@@ -1,0 +1,83 @@
+// Ablation — Workload Decomposition strategy choice (DESIGN.md §4): identity
+// vs hierarchical vs auto on the paper's W1 (point-heavy) and W2 (cumulative)
+// workloads.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/workload_mechanism.h"
+#include "ssb/ssb_generator.h"
+#include "ssb/workloads.h"
+
+using namespace dpstarj;
+
+int main() {
+  double sf = bench::BenchScaleFactor();
+  int runs = bench_util::DefaultRuns();
+  const std::vector<double> kEps = {0.1, 0.5, 1.0};
+
+  std::printf(
+      "== Ablation: WD strategy — identity vs hierarchical vs auto"
+      " (SF=%.3f, %d runs) ==\n\n",
+      sf, runs);
+
+  ssb::SsbOptions options;
+  options.scale_factor = sf;
+  auto catalog = ssb::GenerateSsb(options);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "gen: %s\n", catalog.status().ToString().c_str());
+    return 1;
+  }
+  auto attributes = ssb::WorkloadAttributes();
+  query::StarJoinQuery base;
+  base.fact_table = ssb::kLineorder;
+  for (const auto& a : attributes) base.joined_tables.push_back(a.table);
+  query::Binder binder(&*catalog);
+  auto bound = binder.Bind(base);
+  auto cube = exec::DataCube::Build(*bound, attributes);
+  if (!cube.ok()) {
+    std::fprintf(stderr, "cube: %s\n", cube.status().ToString().c_str());
+    return 1;
+  }
+
+  Rng rng(1313);
+  for (const char* which : {"W1", "W2"}) {
+    auto workload = std::string(which) == "W1" ? ssb::WorkloadW1() : ssb::WorkloadW2();
+    auto truth = core::TrueWorkloadAnswers(*cube, *workload, attributes);
+    if (!truth.ok()) {
+      std::fprintf(stderr, "truth: %s\n", truth.status().ToString().c_str());
+      return 1;
+    }
+    bench_util::TablePrinter table({std::string(which) + " strategy",
+                                    "eps=0.1 err %", "eps=0.5 err %",
+                                    "eps=1 err %"});
+    struct Mode {
+      const char* label;
+      core::WorkloadStrategyKind kind;
+    };
+    for (Mode mode : {Mode{"identity", core::WorkloadStrategyKind::kIdentity},
+                      Mode{"hierarchical", core::WorkloadStrategyKind::kHierarchical},
+                      Mode{"auto", core::WorkloadStrategyKind::kAuto}}) {
+      std::vector<std::string> row = {mode.label};
+      for (double eps : kEps) {
+        auto stats = bench_util::Repeat(runs, [&]() -> Result<double> {
+          core::WorkloadMechanismOptions opts;
+          opts.strategy = mode.kind;
+          DPSTARJ_ASSIGN_OR_RETURN(
+              auto answers, core::AnswerWorkloadWithDecomposition(
+                                *cube, *workload, attributes, eps, &rng, opts));
+          double acc = 0.0;
+          for (size_t i = 0; i < truth->size(); ++i) {
+            acc += RelativeErrorPercent(answers[i], (*truth)[i]);
+          }
+          return acc / static_cast<double>(truth->size());
+        });
+        row.push_back(stats.Cell());
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

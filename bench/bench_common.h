@@ -1,0 +1,172 @@
+// Shared helpers for the table/figure reproduction binaries: one-call error
+// cells for the three mechanisms on an SSB-style bound query.
+//
+// Environment knobs (see bench_util/experiment.h):
+//   DPSTARJ_SF, DPSTARJ_RUNS, DPSTARJ_GRAPH_SCALE, DPSTARJ_TIME_LIMIT_S.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/local_sensitivity.h"
+#include "baselines/r2t.h"
+#include "bench_util/experiment.h"
+#include "bench_util/table_printer.h"
+#include "common/math_util.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/predicate_mechanism.h"
+#include "exec/contribution_index.h"
+#include "exec/data_cube.h"
+#include "exec/star_join_executor.h"
+#include "query/binder.h"
+
+namespace dpstarj::bench {
+
+/// \brief Prepared state for answering one query with all three mechanisms.
+///
+/// The privacy scenario for the output-perturbation baselines is (0,1)-
+/// private. The private relation defaults to Customer when the query joins it
+/// with a predicate (the paper's motivating example — Example 1.3), otherwise
+/// the first predicate-bearing dimension; `private_spec` overrides it (it may
+/// be a "Table.column" entity spec, see exec::BuildContributionIndex).
+/// Contributions and the data cube are built once; noise runs are cheap.
+class QueryBench {
+ public:
+  static Result<QueryBench> Prepare(const storage::Catalog* catalog,
+                                    const query::StarJoinQuery& q,
+                                    std::string private_spec = "") {
+    QueryBench b;
+    query::Binder binder(catalog);
+    DPSTARJ_ASSIGN_OR_RETURN(b.bound_, binder.Bind(q));
+    // Ground truth via the executor (works for GROUP BY too).
+    exec::StarJoinExecutor executor;
+    DPSTARJ_ASSIGN_OR_RETURN(b.truth_, executor.Execute(b.bound_));
+    // Cube fast path for scalar PM runs.
+    if (b.bound_.group_key_layout.empty()) {
+      DPSTARJ_ASSIGN_OR_RETURN(auto cube,
+                               exec::DataCube::BuildFromQueryPredicates(b.bound_));
+      b.cube_ = std::make_shared<exec::DataCube>(std::move(cube));
+    }
+    // Private relation for the baselines.
+    b.private_table_ = std::move(private_spec);
+    if (b.private_table_.empty()) {
+      for (const auto& d : b.bound_.dims) {
+        if (d.predicates.empty()) continue;
+        if (b.private_table_.empty()) b.private_table_ = d.table;
+        if (d.table == "Customer") b.private_table_ = d.table;
+      }
+    }
+    if (!b.private_table_.empty() && b.bound_.group_key_layout.empty()) {
+      auto idx = exec::BuildContributionIndex(b.bound_, {b.private_table_});
+      if (idx.ok()) {
+        b.contributions_ =
+            std::make_shared<exec::ContributionIndex>(std::move(*idx));
+      }
+    }
+    return b;
+  }
+
+  const query::BoundQuery& bound() const { return bound_; }
+  const exec::QueryResult& truth() const { return truth_; }
+  double truth_total() const { return truth_.Total(); }
+
+  /// Mean relative error (%) of PM over `runs` draws. GROUP BY queries use
+  /// the executor path and the total-aggregate metric.
+  bench_util::RunStats PmError(double epsilon, int runs, Rng* rng) const {
+    core::PredicateMechanism pm;
+    return bench_util::Repeat(runs, [&]() -> Result<double> {
+      if (cube_ != nullptr) {
+        DPSTARJ_ASSIGN_OR_RETURN(double est,
+                                 pm.AnswerWithCube(bound_, *cube_, epsilon, rng));
+        return RelativeErrorPercent(est, truth_.scalar);
+      }
+      DPSTARJ_ASSIGN_OR_RETURN(exec::QueryResult est, pm.Answer(bound_, epsilon, rng));
+      return est.TotalRelativeErrorPercent(truth_);
+    });
+  }
+
+  /// Mean relative error (%) of R2T (scalar queries only).
+  bench_util::RunStats R2tError(double epsilon, int runs, Rng* rng,
+                                double gs_q = 0.0) const {
+    if (!bound_.group_key_layout.empty()) {
+      bench_util::RunStats s;
+      s.not_supported = true;  // "a future work of [7]"
+      return s;
+    }
+    if (contributions_ == nullptr) {
+      bench_util::RunStats s;
+      s.error = Status::Internal("no contribution index");
+      return s;
+    }
+    double gs = gs_q > 0 ? gs_q : DefaultGs();
+    return bench_util::Repeat(runs, [&]() -> Result<double> {
+      DPSTARJ_ASSIGN_OR_RETURN(
+          double est, baselines::R2tRace(contributions_->contributions, gs, epsilon,
+                                         /*alpha=*/0.1, rng));
+      return RelativeErrorPercent(est, truth_.scalar);
+    });
+  }
+
+  /// Mean relative error (%) of LS (COUNT scalar queries only).
+  bench_util::RunStats LsError(double epsilon, int runs, Rng* rng) const {
+    return bench_util::Repeat(runs, [&]() -> Result<double> {
+      dp::PrivacyScenario scenario = dp::PrivacyScenario::Dimensions({private_table_});
+      DPSTARJ_ASSIGN_OR_RETURN(
+          double est,
+          baselines::AnswerWithLocalSensitivity(bound_, scenario, epsilon, rng));
+      return RelativeErrorPercent(est, truth_.scalar);
+    });
+  }
+
+  /// Wall-clock of one full mechanism run including the join work (for the
+  /// running-time panels of Figures 4/5). Mechanism: 0 = PM, 1 = R2T, 2 = LS.
+  Result<double> TimeOneRun(int mechanism, double epsilon, Rng* rng) const {
+    Timer timer;
+    dp::PrivacyScenario scenario = dp::PrivacyScenario::Dimensions({private_table_});
+    switch (mechanism) {
+      case 0: {
+        core::PredicateMechanism pm;
+        DPSTARJ_RETURN_NOT_OK(pm.Answer(bound_, epsilon, rng).status());
+        break;
+      }
+      case 1:
+        DPSTARJ_RETURN_NOT_OK(
+            baselines::AnswerWithR2t(bound_, scenario, epsilon, rng).status());
+        break;
+      case 2:
+        DPSTARJ_RETURN_NOT_OK(
+            baselines::AnswerWithLocalSensitivity(bound_, scenario, epsilon, rng)
+                .status());
+        break;
+      default:
+        return Status::InvalidArgument("unknown mechanism");
+    }
+    return timer.ElapsedSeconds();
+  }
+
+ private:
+  double DefaultGs() const { return static_cast<double>(bound_.fact->num_rows()); }
+
+  query::BoundQuery bound_;
+  exec::QueryResult truth_;
+  std::shared_ptr<exec::DataCube> cube_;
+  std::shared_ptr<exec::ContributionIndex> contributions_;
+  std::string private_table_;
+};
+
+/// Default SSB scale factor for benches (DPSTARJ_SF).
+inline double BenchScaleFactor() { return bench_util::EnvDouble("DPSTARJ_SF", 0.1); }
+/// Default graph scale for Table 2 (DPSTARJ_GRAPH_SCALE).
+inline double BenchGraphScale() {
+  return bench_util::EnvDouble("DPSTARJ_GRAPH_SCALE", 0.1);
+}
+/// Default baseline time limit in seconds (DPSTARJ_TIME_LIMIT_S).
+inline double BenchTimeLimit() {
+  return bench_util::EnvDouble("DPSTARJ_TIME_LIMIT_S", 5.0);
+}
+
+}  // namespace dpstarj::bench

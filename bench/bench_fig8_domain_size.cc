@@ -1,0 +1,51 @@
+// Figure 8 — Error level of PM, R2T, LS for different predicate domain
+// sizes: the five two-dimension counting queries with domain combinations
+// {5×7, 5×10², 250×10², 5×366, 250×366}.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ssb/ssb_generator.h"
+#include "ssb/ssb_queries.h"
+
+using namespace dpstarj;
+
+int main() {
+  double sf = bench::BenchScaleFactor();
+  int runs = bench_util::DefaultRuns();
+  const double kEpsilon = 0.5;
+
+  std::printf(
+      "== Figure 8: error level vs predicate domain size (SF=%.3f, eps=%.1f, "
+      "%d runs) ==\n\n",
+      sf, kEpsilon, runs);
+
+  ssb::SsbOptions options;
+  options.scale_factor = sf;
+  auto catalog = ssb::GenerateSsb(options);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "gen: %s\n", catalog.status().ToString().c_str());
+    return 1;
+  }
+
+  Rng rng(808);
+  bench_util::TablePrinter table(
+      {"domain sizes", "PM err %", "R2T err %", "LS err %"});
+  for (const auto& variant : ssb::DomainSizeQueries()) {
+    auto b = bench::QueryBench::Prepare(&*catalog, variant.query);
+    if (!b.ok()) {
+      std::fprintf(stderr, "%s: %s\n", variant.label.c_str(),
+                   b.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({variant.label, b->PmError(kEpsilon, runs, &rng).Cell(),
+                  b->R2tError(kEpsilon, runs, &rng).MedianCell(),
+                  b->LsError(kEpsilon, runs, &rng).Cell()});
+  }
+  table.Print();
+  std::printf(
+      "\n(paper shape: PM's error rises mildly with the domain product —\n"
+      " perturbed predicates stay inside the domain — and remains orders of\n"
+      " magnitude below R2T and LS)\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Engine-level micro benchmarks (google-benchmark): star-join executor
+// throughput, data-cube evaluation, PMA perturbation, R2T race, and k-star
+// index counting. These are not paper experiments; they track the substrate's
+// performance so regressions in the join/cube paths are visible.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/r2t.h"
+#include "common/random.h"
+#include "core/pma.h"
+#include "core/predicate_mechanism.h"
+#include "exec/data_cube.h"
+#include "exec/star_join_executor.h"
+#include "graph/generator.h"
+#include "graph/kstar.h"
+#include "query/binder.h"
+#include "ssb/ssb_generator.h"
+#include "ssb/ssb_queries.h"
+
+namespace {
+
+using namespace dpstarj;
+
+// Shared SSB instance (built once, smallest useful size).
+const storage::Catalog& SharedCatalog() {
+  static storage::Catalog* catalog = [] {
+    ssb::SsbOptions options;
+    options.scale_factor = 0.01;
+    auto c = ssb::GenerateSsb(options);
+    DPSTARJ_CHECK(c.ok(), "ssb generation");
+    return new storage::Catalog(std::move(*c));
+  }();
+  return *catalog;
+}
+
+const query::BoundQuery& SharedBoundQc3() {
+  static query::BoundQuery* bound = [] {
+    query::Binder binder(&SharedCatalog());
+    auto q = ssb::GetQuery("Qc3");
+    DPSTARJ_CHECK(q.ok(), "query");
+    auto b = binder.Bind(*q);
+    DPSTARJ_CHECK(b.ok(), "bind");
+    return new query::BoundQuery(std::move(*b));
+  }();
+  return *bound;
+}
+
+void BM_StarJoinExecute(benchmark::State& state) {
+  exec::StarJoinExecutor executor;
+  const auto& bound = SharedBoundQc3();
+  for (auto _ : state) {
+    auto r = executor.Execute(bound);
+    DPSTARJ_CHECK(r.ok(), "execute");
+    benchmark::DoNotOptimize(r->scalar);
+  }
+  state.SetItemsProcessed(state.iterations() * bound.fact->num_rows());
+}
+BENCHMARK(BM_StarJoinExecute);
+
+void BM_DataCubeBuild(benchmark::State& state) {
+  const auto& bound = SharedBoundQc3();
+  for (auto _ : state) {
+    auto cube = exec::DataCube::BuildFromQueryPredicates(bound);
+    DPSTARJ_CHECK(cube.ok(), "cube");
+    benchmark::DoNotOptimize(cube->total());
+  }
+  state.SetItemsProcessed(state.iterations() * bound.fact->num_rows());
+}
+BENCHMARK(BM_DataCubeBuild);
+
+void BM_DataCubeEvaluate(benchmark::State& state) {
+  const auto& bound = SharedBoundQc3();
+  auto cube = exec::DataCube::BuildFromQueryPredicates(bound);
+  DPSTARJ_CHECK(cube.ok(), "cube");
+  auto preds = bound.Predicates();
+  for (auto _ : state) {
+    auto r = cube->Evaluate(preds);
+    DPSTARJ_CHECK(r.ok(), "evaluate");
+    benchmark::DoNotOptimize(*r);
+  }
+}
+BENCHMARK(BM_DataCubeEvaluate);
+
+void BM_PmaPerturbRange(benchmark::State& state) {
+  Rng rng(1);
+  query::BoundPredicate pred;
+  pred.domain = storage::AttributeDomain::IntRange(0, state.range(0) - 1);
+  pred.kind = query::PredicateKind::kRange;
+  pred.lo_index = state.range(0) / 4;
+  pred.hi_index = 3 * state.range(0) / 4;
+  for (auto _ : state) {
+    auto r = core::PerturbPredicate(pred, 0.5, &rng);
+    DPSTARJ_CHECK(r.ok(), "pma");
+    benchmark::DoNotOptimize(r->lo_index);
+  }
+}
+BENCHMARK(BM_PmaPerturbRange)->Arg(7)->Arg(366)->Arg(144000);
+
+void BM_PredicateMechanismAnswer(benchmark::State& state) {
+  Rng rng(2);
+  core::PredicateMechanism pm;
+  const auto& bound = SharedBoundQc3();
+  auto cube = exec::DataCube::BuildFromQueryPredicates(bound);
+  DPSTARJ_CHECK(cube.ok(), "cube");
+  for (auto _ : state) {
+    auto r = pm.AnswerWithCube(bound, *cube, 0.5, &rng);
+    DPSTARJ_CHECK(r.ok(), "pm");
+    benchmark::DoNotOptimize(*r);
+  }
+}
+BENCHMARK(BM_PredicateMechanismAnswer);
+
+void BM_R2tRace(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> contributions(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < contributions.size(); ++i) {
+    contributions[i] = 1.0 + static_cast<double>(i % 17);
+  }
+  for (auto _ : state) {
+    auto r = baselines::R2tRace(contributions, 1e6, 0.5, 0.1, &rng);
+    DPSTARJ_CHECK(r.ok(), "race");
+    benchmark::DoNotOptimize(*r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_R2tRace)->Arg(1000)->Arg(100000);
+
+void BM_KStarIndexBuild(benchmark::State& state) {
+  graph::GeneratorOptions options;
+  options.num_nodes = state.range(0);
+  options.num_edges = state.range(0) * 5;
+  options.seed = 4;
+  auto g = graph::GeneratePowerLawGraph(options);
+  DPSTARJ_CHECK(g.ok(), "graph");
+  for (auto _ : state) {
+    graph::KStarIndex index(*g, 2);
+    benchmark::DoNotOptimize(index.total());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KStarIndexBuild)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Table 2 — Relative error (%) and running time (s) of PM, R2T, TM on the
+// k-star counting queries Q2*, Q3* over the Deezer-like and Amazon-like
+// graphs, ε ∈ {0.1, 0.5, 1}.
+//
+// "over limit" reproduces the paper's time-outs: the baselines pay the
+// self-join enumeration cost (R2T additionally on its LP-style truncation
+// race), which explodes on 3-stars / the larger graph; PM answers from the
+// degree index in microseconds. Scale via DPSTARJ_GRAPH_SCALE,
+// limit via DPSTARJ_TIME_LIMIT_S.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "graph/generator.h"
+#include "graph/kstar_mechanisms.h"
+
+using namespace dpstarj;
+
+namespace {
+
+struct Cell {
+  std::string error = "-";
+  std::string time = "-";
+};
+
+Cell RunMechanism(const std::string& which, const graph::Graph& g,
+                  const graph::KStarIndex& index, const graph::KStarQuery& q,
+                  double eps, int runs, double time_limit, Rng* rng) {
+  double truth = index.total();
+  std::vector<double> errs;
+  double seconds = 0.0;
+  for (int i = 0; i < runs; ++i) {
+    Result<graph::KStarAnswer> r = Status::Internal("unset");
+    if (which == "PM") {
+      r = graph::AnswerKStarWithPm(g, index, q, eps, rng);
+    } else if (which == "R2T") {
+      graph::KStarR2tOptions o;
+      o.time_limit_s = time_limit;
+      r = graph::AnswerKStarWithR2t(g, q, eps, rng, o);
+    } else {
+      graph::KStarTmOptions o;
+      o.time_limit_s = time_limit;
+      r = graph::AnswerKStarWithTm(g, q, eps, rng, o);
+    }
+    if (!r.ok()) {
+      Cell c;
+      if (r.status().code() == StatusCode::kTimeLimit) {
+        c.error = "over limit";
+        c.time = "over limit";
+      } else {
+        c.error = "error";
+      }
+      return c;
+    }
+    errs.push_back(RelativeErrorPercent(r->estimate, truth));
+    seconds += r->seconds;
+  }
+  Cell c;
+  // Median across runs: the baselines' Cauchy/Laplace tails make the sample
+  // mean of the relative error diverge (see EXPERIMENTS.md).
+  c.error = Format("%.2f", Median(errs));
+  c.time = Format("%.3f", seconds / runs);
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  double scale = bench::BenchGraphScale();
+  double limit = bench::BenchTimeLimit();
+  int runs = bench_util::DefaultRuns();
+  std::printf(
+      "== Table 2: k-star counting — error (%%) and time (s)"
+      " (graph scale %.3f, limit %.1fs, %d runs) ==\n\n",
+      scale, limit, runs);
+
+  Rng rng(77);
+  struct Dataset {
+    const char* name;
+    Result<graph::Graph> graph;
+  };
+  Dataset datasets[] = {
+      {"Deezer-like", graph::GenerateDeezerLike(scale, 101)},
+      {"Amazon-like", graph::GenerateAmazonLike(scale, 202)},
+  };
+
+  for (auto& ds : datasets) {
+    if (!ds.graph.ok()) {
+      std::fprintf(stderr, "%s: %s\n", ds.name, ds.graph.status().ToString().c_str());
+      return 1;
+    }
+    const graph::Graph& g = *ds.graph;
+    std::printf("%s: %lld nodes / %lld edges / max degree %lld\n", ds.name,
+                static_cast<long long>(g.num_nodes()),
+                static_cast<long long>(g.num_edges()),
+                static_cast<long long>(g.max_degree()));
+    for (int k : {2, 3}) {
+      graph::KStarIndex index(g, k);
+      graph::KStarQuery q{k, 0, g.num_nodes() - 1};
+      bench_util::TablePrinter table({Format("Q%d* mechanism", k), "eps=0.1 err",
+                                      "eps=0.1 time", "eps=0.5 err", "eps=0.5 time",
+                                      "eps=1 err", "eps=1 time"});
+      for (const char* mech : {"PM", "R2T", "TM"}) {
+        std::vector<std::string> row = {mech};
+        for (double eps : {0.1, 0.5, 1.0}) {
+          Cell c = RunMechanism(mech, g, index, q, eps, runs, limit, &rng);
+          row.push_back(c.error);
+          row.push_back(c.time);
+        }
+        table.AddRow(row);
+      }
+      table.Print();
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "(paper shape: PM lowest error and flat sub-second time; TM error\n"
+      " explodes at small epsilon; R2T/TM hit the limit on 3-stars)\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Snowflake scenario (paper §5.3): the TPC-H chain
+// Lineitem→Orders→Customer→Nation→Region is flattened into a star so the
+// Predicate Mechanism applies to queries whose predicates sit deep in the
+// hierarchy (Region.name, three joins away from the fact table).
+//
+//   $ ./snowflake_tpch [scale_factor=0.01] [epsilon=0.5]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/math_util.h"
+#include "core/dp_star_join.h"
+#include "core/snowflake.h"
+#include "tpch/tpch_mini.h"
+
+using dpstarj::Status;
+
+namespace {
+
+Status Run(double scale_factor, double epsilon) {
+  dpstarj::tpch::TpchOptions options;
+  options.scale_factor = scale_factor;
+  DPSTARJ_ASSIGN_OR_RETURN(auto snowflake_catalog,
+                           dpstarj::tpch::GenerateTpchMini(options));
+  std::printf("TPC-H snowflake generated at scale %.3f\n", scale_factor);
+
+  // Flatten: every dimension reachable from Lineitem becomes one wide table.
+  DPSTARJ_ASSIGN_OR_RETURN(
+      auto flat, dpstarj::core::FlattenedSnowflake::Flatten(snowflake_catalog,
+                                                            dpstarj::tpch::kLineitem));
+  DPSTARJ_ASSIGN_OR_RETURN(auto mapped,
+                           flat.MapColumn(dpstarj::tpch::kRegion, "name"));
+  std::printf("Region.name now lives at %s.%s\n\n", mapped.first.c_str(),
+              mapped.second.c_str());
+
+  dpstarj::core::DpStarJoinOptions engine_options;
+  engine_options.seed = 31;
+  dpstarj::core::DpStarJoin engine(&flat.catalog(), engine_options);
+
+  for (auto query : {dpstarj::tpch::QueryQtc(), dpstarj::tpch::QueryQts()}) {
+    DPSTARJ_ASSIGN_OR_RETURN(auto star_query, flat.Rewrite(query));
+    DPSTARJ_ASSIGN_OR_RETURN(auto truth, engine.TrueAnswer(star_query));
+    DPSTARJ_ASSIGN_OR_RETURN(auto noisy, engine.Answer(star_query, epsilon));
+    std::printf("%s: true %.0f | dp %.0f | rel. error %.2f%% (epsilon=%.2f)\n",
+                query.name.c_str(), truth.scalar, noisy.scalar,
+                dpstarj::RelativeErrorPercent(noisy.scalar, truth.scalar), epsilon);
+  }
+  std::printf(
+      "\nThe rewrite is exact (pre-joins follow foreign keys), so the DP\n"
+      "guarantee and the PMA sensitivities carry over unchanged.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sf = argc > 1 ? std::atof(argv[1]) : 0.01;
+  double epsilon = argc > 2 ? std::atof(argv[2]) : 0.5;
+  Status st = Run(sf, epsilon);
+  if (!st.ok()) {
+    std::fprintf(stderr, "snowflake_tpch failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Workload scenario: an analyst submits a batch of correlated star-join
+// counting queries (the paper's W1/W2). Workload Decomposition answers the
+// batch with less error than independent per-query perturbation (Figure 9).
+//
+//   $ ./workload_analyst [scale_factor=0.02] [epsilon=0.5]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util/table_printer.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "core/dp_star_join.h"
+#include "ssb/ssb_generator.h"
+#include "ssb/workloads.h"
+
+using dpstarj::Status;
+
+namespace {
+
+double MeanAbsError(const std::vector<double>& est, const std::vector<double>& truth) {
+  double acc = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    acc += dpstarj::RelativeErrorPercent(est[i], truth[i]);
+  }
+  return truth.empty() ? 0 : acc / static_cast<double>(truth.size());
+}
+
+Status Run(double scale_factor, double epsilon) {
+  dpstarj::ssb::SsbOptions options;
+  options.scale_factor = scale_factor;
+  DPSTARJ_ASSIGN_OR_RETURN(auto catalog, dpstarj::ssb::GenerateSsb(options));
+
+  dpstarj::core::DpStarJoinOptions engine_options;
+  engine_options.seed = 99;
+  dpstarj::core::DpStarJoin engine(&catalog, engine_options);
+
+  auto attributes = dpstarj::ssb::WorkloadAttributes();
+  dpstarj::bench_util::TablePrinter table(
+      {"workload", "queries", "PM mean err %", "WD mean err %"});
+
+  for (const char* which : {"W1", "W2"}) {
+    DPSTARJ_ASSIGN_OR_RETURN(auto workload,
+                             std::string(which) == "W1" ? dpstarj::ssb::WorkloadW1()
+                                                        : dpstarj::ssb::WorkloadW2());
+    DPSTARJ_ASSIGN_OR_RETURN(auto truth, engine.TrueWorkload(workload, attributes));
+    DPSTARJ_ASSIGN_OR_RETURN(
+        auto pm, engine.AnswerWorkload(workload, attributes, epsilon, false));
+    DPSTARJ_ASSIGN_OR_RETURN(
+        auto wd, engine.AnswerWorkload(workload, attributes, epsilon, true));
+    table.AddRow({which, dpstarj::Format("%d", workload.size()),
+                  dpstarj::Format("%.2f", MeanAbsError(pm, truth)),
+                  dpstarj::Format("%.2f", MeanAbsError(wd, truth))});
+  }
+
+  std::printf("workload answering at epsilon = %.2f (scale factor %.3f)\n\n",
+              epsilon, scale_factor);
+  table.Print();
+  std::printf(
+      "\nWD perturbs a strategy of interval predicates once per dimension and\n"
+      "reconstructs every query from it; correlated queries share the noise.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sf = argc > 1 ? std::atof(argv[1]) : 0.02;
+  double epsilon = argc > 2 ? std::atof(argv[2]) : 0.5;
+  Status st = Run(sf, epsilon);
+  if (!st.ok()) {
+    std::fprintf(stderr, "workload_analyst failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

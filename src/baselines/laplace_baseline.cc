@@ -1,0 +1,37 @@
+#include "baselines/laplace_baseline.h"
+
+#include "dp/mechanism.h"
+#include "exec/star_join_executor.h"
+
+namespace dpstarj::baselines {
+
+Result<double> AnswerWithLaplaceBaseline(const query::BoundQuery& q,
+                                         const dp::PrivacyScenario& scenario,
+                                         double epsilon, Rng* rng,
+                                         const LaplaceBaselineOptions& options) {
+  DPSTARJ_RETURN_NOT_OK(scenario.Validate(q.query));
+  if (scenario.b() > 0) {
+    return Status::NotSupported(
+        "the Laplace mechanism requires bounded global sensitivity; with a "
+        "private dimension table a single tuple owns unboundedly many fact rows "
+        "((" +
+        scenario.ToString() + ") scenario)");
+  }
+  if (!q.group_key_layout.empty()) {
+    return Status::NotSupported("Laplace baseline does not support GROUP BY");
+  }
+
+  exec::StarJoinExecutor executor;
+  DPSTARJ_ASSIGN_OR_RETURN(exec::QueryResult truth, executor.Execute(q));
+
+  double sensitivity = 1.0;
+  if (q.query.aggregate == query::AggregateKind::kSum) {
+    if (options.sum_weight_bound <= 0.0) {
+      return Status::InvalidArgument("sum_weight_bound must be positive");
+    }
+    sensitivity = options.sum_weight_bound;
+  }
+  return dp::LaplaceMechanism::Release(truth.scalar, sensitivity, epsilon, rng);
+}
+
+}  // namespace dpstarj::baselines

@@ -1,0 +1,35 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// LM — the plain Laplace mechanism (paper §4, data-independent output
+// perturbation). Only applicable in the (1,0)-private scenario: when just the
+// fact table is sensitive, neighbors differ in one fact row, so the global
+// sensitivity of COUNT is 1 and of SUM is a declared per-row weight bound.
+// With any private dimension table the global sensitivity is unbounded and
+// this mechanism correctly refuses to run.
+
+#pragma once
+
+#include "common/random.h"
+#include "common/result.h"
+#include "dp/neighboring.h"
+#include "query/binder.h"
+
+namespace dpstarj::baselines {
+
+/// \brief Options for the Laplace baseline.
+struct LaplaceBaselineOptions {
+  /// Global per-row weight bound for SUM queries (|w(t)| ≤ bound). COUNT
+  /// ignores it (bound = 1).
+  double sum_weight_bound = 1.0;
+};
+
+/// \brief Answers a scalar star-join query with output Laplace noise.
+///
+/// Fails with NotSupported when the scenario involves a private dimension
+/// table (unbounded global sensitivity — the paper's motivating observation).
+Result<double> AnswerWithLaplaceBaseline(const query::BoundQuery& q,
+                                         const dp::PrivacyScenario& scenario,
+                                         double epsilon, Rng* rng,
+                                         const LaplaceBaselineOptions& options = {});
+
+}  // namespace dpstarj::baselines

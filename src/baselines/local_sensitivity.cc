@@ -1,0 +1,59 @@
+#include "baselines/local_sensitivity.h"
+
+#include <cmath>
+
+#include "dp/mechanism.h"
+#include "exec/contribution_index.h"
+#include "exec/star_join_executor.h"
+
+namespace dpstarj::baselines {
+
+double SmoothUpperBound(double local_sensitivity, double beta) {
+  DPSTARJ_CHECK(beta > 0.0, "beta must be positive");
+  double ls = std::max(0.0, local_sensitivity);
+  // f(t) = e^{-βt}(ls + t); f'(t*) = 0 at t* = 1/β − ls.
+  if (ls >= 1.0 / beta) return ls;
+  return std::exp(beta * ls - 1.0) / beta;
+}
+
+Result<double> AnswerWithLocalSensitivity(const query::BoundQuery& q,
+                                          const dp::PrivacyScenario& scenario,
+                                          double epsilon, Rng* rng,
+                                          const LocalSensitivityOptions& options,
+                                          LocalSensitivityInfo* info) {
+  DPSTARJ_RETURN_NOT_OK(scenario.Validate(q.query));
+  if (q.query.aggregate != query::AggregateKind::kCount) {
+    return Status::NotSupported(
+        "the local-sensitivity baseline supports COUNT star-join queries only");
+  }
+  if (!q.group_key_layout.empty()) {
+    return Status::NotSupported(
+        "the local-sensitivity baseline does not support GROUP BY");
+  }
+
+  DPSTARJ_ASSIGN_OR_RETURN(
+      exec::ContributionIndex index,
+      exec::BuildContributionIndex(q, scenario.PrivateTables()));
+
+  // The local-sensitivity upper bound follows Tao et al.'s degree-based
+  // bounds: the largest *join fan-out* of a private individual, independent
+  // of the filter predicates (a neighboring instance may toggle which tuples
+  // satisfy them). Computed on a predicate-free copy of the plan.
+  query::BoundQuery unfiltered = q;
+  for (auto& d : unfiltered.dims) d.predicates.clear();
+  DPSTARJ_ASSIGN_OR_RETURN(
+      exec::ContributionIndex fanout,
+      exec::BuildContributionIndex(unfiltered, scenario.PrivateTables()));
+
+  double beta = dp::CauchyMechanism::Beta(epsilon, options.gamma);
+  double ls = fanout.max_contribution;
+  double smooth = SmoothUpperBound(ls, beta);
+  if (info != nullptr) {
+    info->local_sensitivity = ls;
+    info->smooth_sensitivity = smooth;
+  }
+  return dp::CauchyMechanism::Release(index.total, smooth, epsilon, rng,
+                                      options.gamma);
+}
+
+}  // namespace dpstarj::baselines

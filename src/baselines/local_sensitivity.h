@@ -1,0 +1,55 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// LS — the local-sensitivity baseline (Tao et al. 2020, as deployed in the
+// paper's §4/§6): a two-phase, data-dependent output perturbation.
+//
+//   1. compute an upper bound L̂S_Q(D) on the local sensitivity of the
+//      star-join query: the largest total weight any private individual
+//      contributes to the result (exec::ContributionIndex);
+//   2. smooth it — we use the closed-form smooth upper bound
+//      SS = max_t e^{-βt}(L̂S + t) (each unit of instance distance can raise
+//      the heaviest contribution by ≥ 1), which equals L̂S when L̂S ≥ 1/β and
+//      e^{β·L̂S − 1}/β otherwise — and release through the general Cauchy
+//      mechanism (γ = 4, β = ε/(2(γ+1))), giving pure ε-DP with the
+//      (10·L̂S/ε)² noise level quoted in the paper.
+//
+// Like the original, this supports COUNT star-join queries only (Table 1
+// prints "Not supported" for SUM/GROUP BY), and — as the paper stresses in
+// §2 — the smoothing step has no sound answer under foreign-key cascades;
+// this bound underestimates dimension-side deletions exactly the way the
+// original does.
+
+#pragma once
+
+#include "common/random.h"
+#include "common/result.h"
+#include "dp/neighboring.h"
+#include "query/binder.h"
+
+namespace dpstarj::baselines {
+
+/// \brief Options for the LS baseline.
+struct LocalSensitivityOptions {
+  /// Tail exponent of the general Cauchy distribution (paper: γ = 4).
+  double gamma = 4.0;
+};
+
+/// \brief Diagnostics for tests and benches.
+struct LocalSensitivityInfo {
+  double local_sensitivity = 0.0;   ///< L̂S_Q(D)
+  double smooth_sensitivity = 0.0;  ///< the released smooth bound
+};
+
+/// \brief Answers a COUNT star-join query with Cauchy noise calibrated to a
+/// smooth upper bound of the local sensitivity. SUM/GROUP BY return
+/// NotSupported (matching the original's scope).
+Result<double> AnswerWithLocalSensitivity(const query::BoundQuery& q,
+                                          const dp::PrivacyScenario& scenario,
+                                          double epsilon, Rng* rng,
+                                          const LocalSensitivityOptions& options = {},
+                                          LocalSensitivityInfo* info = nullptr);
+
+/// \brief The closed-form smooth upper bound max_t e^{-βt}(ls + t).
+double SmoothUpperBound(double local_sensitivity, double beta);
+
+}  // namespace dpstarj::baselines

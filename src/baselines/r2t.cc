@@ -1,0 +1,87 @@
+#include "baselines/r2t.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "exec/contribution_index.h"
+
+namespace dpstarj::baselines {
+
+Result<double> R2tRace(const std::vector<double>& contributions, double gs_q,
+                       double epsilon, double alpha, Rng* rng, R2tInfo* info,
+                       const Deadline* deadline) {
+  if (epsilon <= 0.0) return Status::InvalidArgument("epsilon must be positive");
+  if (alpha <= 0.0 || alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in (0,1)");
+  }
+  if (gs_q < 2.0) gs_q = 2.0;  // at least one trial
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+
+  int trials = CeilLog2(gs_q);
+  double log_gs = static_cast<double>(trials);
+  double penalty_factor = log_gs * std::log(log_gs / alpha) / epsilon;
+
+  double best = 0.0;  // Q(D, 0) = 0
+  double best_tau = 0.0;
+  double tau = 1.0;
+  for (int j = 1; j <= trials; ++j) {
+    if (deadline != nullptr && deadline->Expired()) {
+      return Status::TimeLimit("R2T race exceeded the time limit");
+    }
+    tau *= 2.0;  // τ⁽ʲ⁾ = 2ʲ
+    double truncated = 0.0;
+    for (double c : contributions) truncated += std::min(c, tau);
+    double noise = rng->Laplace(log_gs * tau / epsilon);
+    double noisy = truncated + noise - penalty_factor * tau;
+    if (noisy > best) {
+      best = noisy;
+      best_tau = tau;
+    }
+  }
+  if (info != nullptr) {
+    info->gs_q = gs_q;
+    info->num_trials = trials;
+    info->winning_tau = best_tau;
+  }
+  return best;
+}
+
+Result<double> AnswerWithR2t(const query::BoundQuery& q,
+                             const dp::PrivacyScenario& scenario, double epsilon,
+                             Rng* rng, const R2tOptions& options, R2tInfo* info) {
+  DPSTARJ_RETURN_NOT_OK(scenario.Validate(q.query));
+  if (!q.group_key_layout.empty()) {
+    return Status::NotSupported(
+        "R2T does not support GROUP BY star-join queries (future work of Dong et "
+        "al.)");
+  }
+
+  Deadline deadline(options.time_limit_s);
+  DPSTARJ_ASSIGN_OR_RETURN(
+      exec::ContributionIndex index,
+      exec::BuildContributionIndex(q, scenario.PrivateTables()));
+  if (deadline.Expired()) {
+    return Status::TimeLimit("R2T contribution analysis exceeded the time limit");
+  }
+
+  double gs = options.gs_q;
+  if (gs <= 0.0) {
+    gs = static_cast<double>(q.fact->num_rows());
+    if (q.query.aggregate == query::AggregateKind::kSum) {
+      double max_w = 1.0;
+      for (int64_t r = 0; r < q.fact->num_rows(); ++r) {
+        double w = 0.0;
+        for (const auto& [col, coeff] : q.measure_cols) {
+          w += coeff * q.fact->column(col).GetNumeric(r);
+        }
+        max_w = std::max(max_w, std::abs(w));
+      }
+      gs *= max_w;
+    }
+  }
+  return R2tRace(index.contributions, gs, epsilon, options.alpha, rng, info,
+                 &deadline);
+}
+
+}  // namespace dpstarj::baselines

@@ -1,0 +1,64 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// R2T — Race-to-the-Top (Dong et al., SIGMOD 2022), the state-of-the-art
+// truncation mechanism for queries with foreign-key constraints, implemented
+// per Eq. (9) of the paper:
+//
+//   for τ⁽ʲ⁾ = 2ʲ, j = 1..⌈log₂ GS_Q⌉:
+//     Q̂(D, τ⁽ʲ⁾) = Q(D, τ⁽ʲ⁾) + Lap(log₂(GS_Q)·τ⁽ʲ⁾/ε)
+//                  − log₂(GS_Q)·ln(log₂(GS_Q)/α)·τ⁽ʲ⁾/ε
+//   output max( max_j Q̂(D, τ⁽ʲ⁾), Q(D, 0) )
+//
+// Q(D, τ) truncates each private individual's contribution at τ
+// (Σ min(cᵢ, τ)); the penalty term makes overshooting unlikely (≤ α), so the
+// race "to the top" picks the largest safe estimate. The utility bound
+// Q(D) − 4·log(GS)·ln(log(GS)/α)·τ*/ε ≤ Q̂(D) w.p. ≥ 1−α is exercised in the
+// tests.
+
+#pragma once
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/timer.h"
+#include "dp/neighboring.h"
+#include "query/binder.h"
+
+namespace dpstarj::baselines {
+
+/// \brief Options for R2T.
+struct R2tOptions {
+  /// Failure-probability knob α in the penalty term.
+  double alpha = 0.1;
+  /// Upper bound GS_Q on the query's global sensitivity; 0 selects the
+  /// default (fact-table cardinality for COUNT, cardinality × max |measure|
+  /// for SUM). Figure 6 varies this explicitly.
+  double gs_q = 0.0;
+  /// Cooperative wall-clock limit in seconds (0 = unlimited); exceeded runs
+  /// return Status::TimeLimit, reproducing the paper's "Over time limit".
+  double time_limit_s = 0.0;
+};
+
+/// \brief Diagnostics for tests and benches.
+struct R2tInfo {
+  double gs_q = 0.0;
+  int num_trials = 0;
+  double winning_tau = 0.0;
+};
+
+/// \brief The core race, reusable by the k-star variant: given per-individual
+/// contributions, runs the geometric truncation race and returns the winner.
+Result<double> R2tRace(const std::vector<double>& contributions, double gs_q,
+                       double epsilon, double alpha, Rng* rng,
+                       R2tInfo* info = nullptr, const Deadline* deadline = nullptr);
+
+/// \brief Answers a scalar COUNT/SUM star-join query with R2T under the given
+/// privacy scenario. GROUP BY returns NotSupported ("a future work of [7]",
+/// Table 1 footnote).
+Result<double> AnswerWithR2t(const query::BoundQuery& q,
+                             const dp::PrivacyScenario& scenario, double epsilon,
+                             Rng* rng, const R2tOptions& options = {},
+                             R2tInfo* info = nullptr);
+
+}  // namespace dpstarj::baselines

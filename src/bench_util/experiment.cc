@@ -1,0 +1,67 @@
+#include "bench_util/experiment.h"
+
+#include <cstdlib>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace dpstarj::bench_util {
+
+std::string RunStats::Cell(int decimals) const {
+  if (over_time_limit) return "over limit";
+  if (not_supported) return "n/a";
+  if (!error.ok()) return "error";
+  return Format("%.*f", decimals, mean);
+}
+
+std::string RunStats::MedianCell(int decimals) const {
+  if (over_time_limit) return "over limit";
+  if (not_supported) return "n/a";
+  if (!error.ok()) return "error";
+  return Format("%.*f", decimals, median);
+}
+
+RunStats Repeat(int runs, const std::function<Result<double>()>& trial) {
+  RunStats stats;
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    Result<double> r = trial();
+    if (!r.ok()) {
+      if (r.status().code() == StatusCode::kTimeLimit) {
+        stats.over_time_limit = true;
+      } else if (r.status().code() == StatusCode::kNotSupported) {
+        stats.not_supported = true;
+      } else {
+        stats.error = r.status();
+      }
+      return stats;
+    }
+    values.push_back(*r);
+  }
+  stats.mean = Mean(values);
+  stats.stddev = StdDev(values);
+  stats.median = Median(values);
+  stats.runs = runs;
+  return stats;
+}
+
+double EnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  double out = def;
+  if (!ParseDouble(v, &out)) return def;
+  return out;
+}
+
+int EnvInt(const char* name, int def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  int64_t out = def;
+  if (!ParseInt64(v, &out)) return def;
+  return static_cast<int>(out);
+}
+
+int DefaultRuns() { return EnvInt("DPSTARJ_RUNS", 10); }
+
+}  // namespace dpstarj::bench_util

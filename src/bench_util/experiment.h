@@ -1,0 +1,57 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Shared experiment harness for the bench/ binaries: repeated-run error
+// statistics (the paper reports the mean relative error over 10 independent
+// runs), wall-clock capture, and environment knobs so CI can run scaled-down
+// while a workstation reproduces paper-scale:
+//   DPSTARJ_SF            SSB/TPC-H scale factor (default bench-specific)
+//   DPSTARJ_RUNS          independent runs per point (default 10)
+//   DPSTARJ_GRAPH_SCALE   graph size multiplier in (0,1]
+//   DPSTARJ_TIME_LIMIT_S  baseline time limit in seconds
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dpstarj::bench_util {
+
+/// \brief Summary of repeated runs.
+struct RunStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double median = 0.0;
+  int runs = 0;
+  /// True when any run hit Status::TimeLimit — the whole cell reports
+  /// "over limit" like the paper.
+  bool over_time_limit = false;
+  /// True when the mechanism reported NotSupported.
+  bool not_supported = false;
+  /// First non-OK, non-time-limit status encountered (for diagnostics).
+  Status error;
+
+  /// Renders mean as "12.34", or "over limit" / "n/a" / "error".
+  std::string Cell(int decimals = 2) const;
+
+  /// Renders the median instead — used for mechanisms with heavy-tailed
+  /// output noise (R2T's race), where the sample mean of the relative error
+  /// diverges across runs.
+  std::string MedianCell(int decimals = 2) const;
+};
+
+/// \brief Runs `trial` `runs` times, collecting one value per run. A trial
+/// returning TimeLimit / NotSupported short-circuits into the corresponding
+/// flag (no point repeating).
+RunStats Repeat(int runs, const std::function<Result<double>()>& trial);
+
+/// Environment knobs (with defaults).
+double EnvDouble(const char* name, double def);
+int EnvInt(const char* name, int def);
+
+/// Default number of runs per point (DPSTARJ_RUNS, default 10).
+int DefaultRuns();
+
+}  // namespace dpstarj::bench_util

@@ -1,0 +1,36 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dpstarj::bench_util {
+
+/// \brief Fixed-width console table, used by the bench binaries to print
+/// paper-style tables (Table 1/2) and figure series.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row (must match the header arity; short rows are padded).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with aligned columns and a header separator.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Prints a labelled series (figure-style output):
+/// "label: x=0.25 y=12.3 | x=0.5 y=11.9 | ...".
+std::string FormatSeries(const std::string& label, const std::vector<double>& xs,
+                         const std::vector<std::string>& ys);
+
+}  // namespace dpstarj::bench_util

@@ -1,0 +1,35 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace dpstarj {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::SetLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel Logger::GetLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+void Logger::Log(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < g_level.load()) return;
+  std::fprintf(stderr, "[dpstarj %s] %s\n", LevelName(level), msg.c_str());
+}
+
+}  // namespace dpstarj

@@ -1,0 +1,43 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dpstarj {
+
+/// \brief Log severities, lowest to highest.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Minimal stderr logger. Controlled by SetLogLevel (default kWarning,
+/// so the library is silent in normal operation; benches raise it).
+class Logger {
+ public:
+  /// Sets the global threshold; messages below it are dropped.
+  static void SetLevel(LogLevel level);
+  /// Returns the global threshold.
+  static LogLevel GetLevel();
+  /// Emits one line to stderr if `level` passes the threshold.
+  static void Log(LogLevel level, const std::string& msg);
+};
+
+namespace internal {
+/// RAII line builder used by the DPSTARJ_LOG macro.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+/// Usage: DPSTARJ_LOG(kInfo) << "generated " << n << " rows";
+#define DPSTARJ_LOG(severity)                                           \
+  ::dpstarj::internal::LogMessage(::dpstarj::LogLevel::severity).stream()
+
+}  // namespace dpstarj

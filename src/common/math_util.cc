@@ -1,0 +1,66 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpstarj {
+
+double BinomialCoefficient(int64_t n, int64_t k) {
+  if (k < 0 || n < 0 || k > n) return 0.0;
+  k = std::min(k, n - k);
+  double result = 1.0;
+  for (int64_t i = 1; i <= k; ++i) {
+    result *= static_cast<double>(n - k + i) / static_cast<double>(i);
+    if (result > kBinomialCap) return kBinomialCap;
+  }
+  return result;
+}
+
+int CeilLog2(double x) {
+  if (x <= 1.0) return 0;
+  int bits = 0;
+  double v = 1.0;
+  while (v < x && bits < 1100) {
+    v *= 2.0;
+    ++bits;
+  }
+  return bits;
+}
+
+double Clamp(double v, double lo, double hi) { return std::min(std::max(v, lo), hi); }
+
+int64_t ClampInt(int64_t v, int64_t lo, int64_t hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double Median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  double lo = *std::max_element(xs.begin(), xs.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double RelativeErrorPercent(double estimate, double truth) {
+  double denom = std::max(std::abs(truth), 1.0);
+  return 100.0 * std::abs(estimate - truth) / denom;
+}
+
+}  // namespace dpstarj

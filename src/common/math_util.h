@@ -1,0 +1,41 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Small numeric helpers shared by the sensitivity computations and the
+// experiment harness.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dpstarj {
+
+/// \brief C(n, k) saturating at kBinomialCap to avoid overflow; returns 0 for
+/// k > n or negative inputs. Used by the k-star counting formulas where
+/// Σ C(deg, k) may be astronomically large.
+double BinomialCoefficient(int64_t n, int64_t k);
+
+/// Saturation bound for BinomialCoefficient (still exact below it).
+inline constexpr double kBinomialCap = 1e300;
+
+/// \brief ⌈log2(x)⌉ for x ≥ 1 (0 for x ≤ 1). Used by R2T's geometric race.
+int CeilLog2(double x);
+
+/// Clamps v into [lo, hi].
+double Clamp(double v, double lo, double hi);
+/// Clamps v into [lo, hi] (integer overload).
+int64_t ClampInt(int64_t v, int64_t lo, int64_t hi);
+
+/// Arithmetic mean (0 for empty input).
+double Mean(const std::vector<double>& xs);
+/// Population standard deviation (0 for size < 2).
+double StdDev(const std::vector<double>& xs);
+/// Median (0 for empty input); copies and sorts.
+double Median(std::vector<double> xs);
+
+/// \brief Relative error in percent: 100·|estimate − truth| / max(|truth|, 1).
+/// The max(...) guard keeps empty-result queries well-defined, matching the
+/// convention of the R2T evaluation code the paper compares against.
+double RelativeErrorPercent(double estimate, double truth);
+
+}  // namespace dpstarj

@@ -1,0 +1,53 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dpstarj {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kBudgetExhausted:
+      return "BudgetExhausted";
+    case StatusCode::kTimeLimit:
+      return "TimeLimit";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kParseError:
+      return "ParseError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+namespace internal {
+
+void FatalCheck(const char* expr, const char* msg, const char* file, int line) {
+  std::fprintf(stderr, "DPSTARJ_CHECK failed at %s:%d: (%s) %s\n", file, line, expr,
+               msg);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dpstarj

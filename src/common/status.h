@@ -1,0 +1,118 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Exception-free error handling in the style of RocksDB / Apache Arrow:
+// fallible operations return a Status (or a Result<T>, see result.h), and the
+// caller is expected to check it. The library never throws.
+
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace dpstarj {
+
+/// \brief Error categories used across the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kNotSupported = 5,
+  kInternal = 6,
+  kBudgetExhausted = 7,
+  kTimeLimit = 8,
+  kIoError = 9,
+  kParseError = 10,
+};
+
+/// \brief Returns a human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation.
+///
+/// A default-constructed Status is OK. Non-OK statuses carry a code and a
+/// message. Status is cheap to copy for OK (no allocation) and carries a
+/// std::string otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  /// \name Factory helpers, one per StatusCode.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status BudgetExhausted(std::string msg) {
+    return Status(StatusCode::kBudgetExhausted, std::move(msg));
+  }
+  static Status TimeLimit(std::string msg) {
+    return Status(StatusCode::kTimeLimit, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  /// @}
+
+  /// Returns true iff the status is OK.
+  bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  /// Returns the status code.
+  StatusCode code() const noexcept { return code_; }
+  /// Returns the error message ("" for OK).
+  const std::string& message() const noexcept { return msg_; }
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const noexcept {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Propagates a non-OK Status to the caller.
+#define DPSTARJ_RETURN_NOT_OK(expr)         \
+  do {                                      \
+    ::dpstarj::Status _st = (expr);         \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+/// \brief Aborts the process with a message if `cond` is false. For invariant
+/// violations that indicate a bug in the library itself, never for user error.
+#define DPSTARJ_CHECK(cond, msg)                              \
+  do {                                                        \
+    if (!(cond)) ::dpstarj::internal::FatalCheck(#cond, msg,  \
+                                                 __FILE__, __LINE__); \
+  } while (0)
+
+namespace internal {
+[[noreturn]] void FatalCheck(const char* expr, const char* msg, const char* file,
+                             int line);
+}  // namespace internal
+
+}  // namespace dpstarj

@@ -1,0 +1,39 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpstarj {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Lower-cases ASCII.
+std::string ToLower(std::string_view s);
+/// Upper-cases ASCII.
+std::string ToUpper(std::string_view s);
+
+/// True if `s` starts with `prefix` (case-sensitive).
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Parses a signed integer; returns false on any non-numeric content.
+bool ParseInt64(std::string_view s, int64_t* out);
+/// Parses a double; returns false on any non-numeric content.
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace dpstarj

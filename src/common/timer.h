@@ -1,0 +1,50 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+
+#pragma once
+
+#include <chrono>
+
+namespace dpstarj {
+
+/// \brief Simple wall-clock stopwatch used by the experiment harness.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction / last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Cooperative deadline: long-running baselines poll Expired() and bail
+/// out with Status::TimeLimit, reproducing the paper's "Over time limit" rows.
+class Deadline {
+ public:
+  /// A deadline `seconds` from now. Non-positive seconds means "no limit".
+  explicit Deadline(double seconds) : limit_seconds_(seconds) {}
+
+  /// Returns true if the limit is set and has elapsed.
+  bool Expired() const {
+    return limit_seconds_ > 0 && timer_.ElapsedSeconds() > limit_seconds_;
+  }
+
+  /// The configured limit in seconds (<= 0 means unlimited).
+  double limit_seconds() const { return limit_seconds_; }
+
+ private:
+  Timer timer_;
+  double limit_seconds_;
+};
+
+}  // namespace dpstarj

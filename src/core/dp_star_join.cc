@@ -1,0 +1,113 @@
+#include "core/dp_star_join.h"
+
+#include "exec/naive_executor.h"
+#include "exec/star_join_executor.h"
+
+namespace dpstarj::core {
+
+DpStarJoin::DpStarJoin(const storage::Catalog* catalog, DpStarJoinOptions options)
+    : catalog_(catalog),
+      options_(options),
+      binder_(catalog),
+      mechanism_(options.pma),
+      rng_(options.seed) {
+  DPSTARJ_CHECK(catalog != nullptr, "catalog must not be null");
+  if (options_.total_budget.has_value()) {
+    budget_.emplace(*options_.total_budget);
+  }
+}
+
+Status DpStarJoin::SpendBudget(double epsilon) {
+  if (!budget_.has_value()) return Status::OK();
+  return budget_->Spend(epsilon);
+}
+
+Result<exec::QueryResult> DpStarJoin::Answer(const query::StarJoinQuery& q,
+                                             double epsilon) {
+  DPSTARJ_ASSIGN_OR_RETURN(query::BoundQuery bound, binder_.Bind(q));
+  DPSTARJ_RETURN_NOT_OK(SpendBudget(epsilon));
+  return mechanism_.Answer(bound, epsilon, &rng_);
+}
+
+Result<exec::QueryResult> DpStarJoin::AnswerSql(const std::string& sql,
+                                                double epsilon) {
+  DPSTARJ_ASSIGN_OR_RETURN(query::BoundQuery bound, binder_.BindSql(sql));
+  DPSTARJ_RETURN_NOT_OK(SpendBudget(epsilon));
+  return mechanism_.Answer(bound, epsilon, &rng_);
+}
+
+Result<exec::QueryResult> DpStarJoin::TrueAnswer(const query::StarJoinQuery& q) const {
+  DPSTARJ_ASSIGN_OR_RETURN(query::BoundQuery bound, binder_.Bind(q));
+  exec::StarJoinExecutor executor;
+  return executor.Execute(bound);
+}
+
+Result<exec::QueryResult> DpStarJoin::TrueAnswerSql(const std::string& sql) const {
+  DPSTARJ_ASSIGN_OR_RETURN(query::BoundQuery bound, binder_.BindSql(sql));
+  exec::StarJoinExecutor executor;
+  return executor.Execute(bound);
+}
+
+Result<exec::DataCube> DpStarJoin::BuildWorkloadCube(
+    const query::Workload& workload,
+    const std::vector<query::DimensionAttribute>& attributes) const {
+  if (workload.size() == 0) {
+    return Status::InvalidArgument("empty workload");
+  }
+  // Assemble a predicate-free base query joining the attribute dimensions;
+  // the cube over `attributes` is the W vector all answers contract against.
+  query::StarJoinQuery base;
+  base.fact_table = workload.queries[0].fact_table;
+  base.aggregate = workload.queries[0].aggregate;
+  base.measure_terms = workload.queries[0].measure_terms;
+  for (const auto& q : workload.queries) {
+    if (q.fact_table != base.fact_table) {
+      return Status::InvalidArgument("workload queries must share a fact table");
+    }
+  }
+  for (const auto& attr : attributes) {
+    bool present = false;
+    for (const auto& t : base.joined_tables) {
+      if (t == attr.table) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) base.joined_tables.push_back(attr.table);
+  }
+  DPSTARJ_ASSIGN_OR_RETURN(query::BoundQuery bound, binder_.Bind(base));
+  return exec::DataCube::Build(bound, attributes);
+}
+
+Result<std::vector<double>> DpStarJoin::AnswerWorkload(
+    const query::Workload& workload,
+    const std::vector<query::DimensionAttribute>& attributes, double epsilon,
+    bool decompose) {
+  DPSTARJ_ASSIGN_OR_RETURN(exec::DataCube cube,
+                           BuildWorkloadCube(workload, attributes));
+  DPSTARJ_RETURN_NOT_OK(SpendBudget(epsilon));
+  if (decompose) {
+    WorkloadMechanismOptions opts;
+    opts.strategy = options_.workload_strategy;
+    opts.pma = options_.pma;
+    return AnswerWorkloadWithDecomposition(cube, workload, attributes, epsilon, &rng_,
+                                           opts);
+  }
+  return AnswerWorkloadPerQuery(cube, workload, attributes, epsilon, &rng_,
+                                options_.pma);
+}
+
+Result<std::vector<double>> DpStarJoin::TrueWorkload(
+    const query::Workload& workload,
+    const std::vector<query::DimensionAttribute>& attributes) const {
+  DPSTARJ_ASSIGN_OR_RETURN(exec::DataCube cube,
+                           BuildWorkloadCube(workload, attributes));
+  return TrueWorkloadAnswers(cube, workload, attributes);
+}
+
+std::optional<double> DpStarJoin::RemainingBudget() const {
+  if (!budget_.has_value()) return std::nullopt;
+  return budget_->remaining();
+}
+
+}  // namespace dpstarj::core

@@ -1,0 +1,100 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// DpStarJoin — the user-facing facade of the library. Wires together the
+// catalog, the SQL front-end, the binder, the star-join executor, the
+// Predicate Mechanism and Workload Decomposition, with optional cumulative
+// privacy-budget accounting.
+//
+// Typical use:
+//   dpstarj::core::DpStarJoin engine(&catalog);
+//   auto noisy = engine.AnswerSql(
+//       "SELECT count(*) FROM Lineorder, Date "
+//       "WHERE Lineorder.orderdate = Date.datekey AND Date.year = 1993",
+//       /*epsilon=*/0.5);
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/predicate_mechanism.h"
+#include "core/workload_mechanism.h"
+#include "dp/budget.h"
+#include "exec/query_result.h"
+#include "query/binder.h"
+#include "query/workload.h"
+#include "storage/catalog.h"
+
+namespace dpstarj::core {
+
+/// \brief Facade configuration.
+struct DpStarJoinOptions {
+  /// Seed for all mechanism randomness (reproducible runs).
+  uint64_t seed = Rng::kDefaultSeed;
+  /// PMA tunables.
+  PmaOptions pma;
+  /// When set, the engine enforces a cumulative privacy budget: every Answer*
+  /// call spends its ε and fails with BudgetExhausted once depleted.
+  std::optional<double> total_budget;
+  /// Strategy selection for workload decomposition.
+  WorkloadStrategyKind workload_strategy = WorkloadStrategyKind::kAuto;
+};
+
+/// \brief The DP-starJ engine.
+///
+/// Not thread-safe (owns one Rng and one budget); use one engine per thread.
+class DpStarJoin {
+ public:
+  /// The catalog must outlive the engine.
+  explicit DpStarJoin(const storage::Catalog* catalog, DpStarJoinOptions options = {});
+
+  /// \brief Answers a star-join query under ε-DP with the Predicate Mechanism
+  /// (Algorithm 3; COUNT, SUM and GROUP BY are all supported per §5.3).
+  Result<exec::QueryResult> Answer(const query::StarJoinQuery& q, double epsilon);
+
+  /// Parses SQL, resolves it against the catalog, and answers under ε-DP.
+  Result<exec::QueryResult> AnswerSql(const std::string& sql, double epsilon);
+
+  /// Exact (non-private) answer — for utility evaluation only.
+  Result<exec::QueryResult> TrueAnswer(const query::StarJoinQuery& q) const;
+  /// Exact (non-private) answer of SQL text.
+  Result<exec::QueryResult> TrueAnswerSql(const std::string& sql) const;
+
+  /// \brief Answers a workload of counting queries over the given dimension
+  /// attributes under ε-DP. `decompose` selects Workload Decomposition
+  /// (Algorithm 4) vs independent per-query PM (§5.3's baseline).
+  Result<std::vector<double>> AnswerWorkload(
+      const query::Workload& workload,
+      const std::vector<query::DimensionAttribute>& attributes, double epsilon,
+      bool decompose = true);
+
+  /// Exact workload answers.
+  Result<std::vector<double>> TrueWorkload(
+      const query::Workload& workload,
+      const std::vector<query::DimensionAttribute>& attributes) const;
+
+  /// Remaining budget (nullopt when accounting is disabled).
+  std::optional<double> RemainingBudget() const;
+
+  /// The engine's RNG (e.g. to reseed between experiments).
+  Rng* rng() { return &rng_; }
+
+ private:
+  Status SpendBudget(double epsilon);
+  Result<exec::DataCube> BuildWorkloadCube(
+      const query::Workload& workload,
+      const std::vector<query::DimensionAttribute>& attributes) const;
+
+  const storage::Catalog* catalog_;
+  DpStarJoinOptions options_;
+  query::Binder binder_;
+  PredicateMechanism mechanism_;
+  Rng rng_;
+  std::optional<dp::PrivacyBudget> budget_;
+};
+
+}  // namespace dpstarj::core

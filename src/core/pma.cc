@@ -1,0 +1,98 @@
+#include "core/pma.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace dpstarj::core {
+
+double PmaPointScale(int64_t domain_size, double epsilon) {
+  return static_cast<double>(domain_size) / epsilon;
+}
+
+double PmaRangeScale(int64_t domain_size, double epsilon) {
+  return 2.0 * static_cast<double>(domain_size) / epsilon;
+}
+
+namespace {
+
+int64_t NoisyIndex(int64_t index, double scale, int64_t domain_size, Rng* rng) {
+  double noisy = static_cast<double>(index) + rng->Laplace(scale);
+  int64_t rounded = static_cast<int64_t>(std::llround(noisy));
+  return ClampInt(rounded, 0, domain_size - 1);
+}
+
+}  // namespace
+
+Result<query::BoundPredicate> PerturbPredicate(const query::BoundPredicate& pred,
+                                               double epsilon, Rng* rng,
+                                               const PmaOptions& options) {
+  if (epsilon <= 0.0) return Status::InvalidArgument("epsilon must be positive");
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  int64_t m = pred.domain.size();
+  if (m <= 0) return Status::InvalidArgument("empty attribute domain");
+  if (pred.lo_index < 0 || pred.hi_index >= m || pred.lo_index > pred.hi_index) {
+    return Status::InvalidArgument("predicate indices out of domain");
+  }
+
+  query::BoundPredicate noisy = pred;
+
+  if (pred.kind == query::PredicateKind::kPoint) {
+    double scale = PmaPointScale(m, epsilon);
+    int64_t v = NoisyIndex(pred.lo_index, scale, m, rng);
+    noisy.lo_index = v;
+    noisy.hi_index = v;
+    return noisy;
+  }
+
+  // Domains of size 1 cannot host a proper interval; the predicate
+  // degenerates to the (deterministic) full domain.
+  if (m == 1) {
+    noisy.lo_index = 0;
+    noisy.hi_index = 0;
+    return noisy;
+  }
+
+  if (options.range_mode == PmaRangeMode::kSharedShift) {
+    // One Laplace draw translates the interval; clamping keeps it inside the
+    // domain with its width intact.
+    int64_t width = pred.hi_index - pred.lo_index;  // width-1 cells
+    double shift = rng->Laplace(static_cast<double>(m) / epsilon);
+    int64_t lo =
+        static_cast<int64_t>(std::llround(static_cast<double>(pred.lo_index) + shift));
+    lo = ClampInt(lo, 0, m - 1 - width);
+    noisy.lo_index = lo;
+    noisy.hi_index = lo + width;
+    return noisy;
+  }
+
+  // kIndependentEndpoints: each endpoint receives ε/2, i.e. scale 2m/ε, and
+  // Algorithm 2's guard "while l̂ < r̂" accepts only a proper interval.
+  double scale = PmaRangeScale(m, epsilon);
+  for (int attempt = 0; attempt < options.max_range_retries; ++attempt) {
+    int64_t lo = NoisyIndex(pred.lo_index, scale, m, rng);
+    int64_t hi = NoisyIndex(pred.hi_index, scale, m, rng);
+    if (lo < hi) {
+      noisy.lo_index = lo;
+      noisy.hi_index = hi;
+      return noisy;
+    }
+  }
+  // Fallback: one more draw, endpoints ordered and widened to a proper
+  // interval. This keeps the mechanism total (the loop as printed in the
+  // paper may never terminate).
+  int64_t lo = NoisyIndex(pred.lo_index, scale, m, rng);
+  int64_t hi = NoisyIndex(pred.hi_index, scale, m, rng);
+  noisy.lo_index = std::min(lo, hi);
+  noisy.hi_index = std::max(lo, hi);
+  if (noisy.lo_index == noisy.hi_index) {
+    if (noisy.hi_index < m - 1) {
+      ++noisy.hi_index;
+    } else {
+      --noisy.lo_index;
+    }
+  }
+  return noisy;
+}
+
+}  // namespace dpstarj::core

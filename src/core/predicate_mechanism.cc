@@ -1,0 +1,66 @@
+#include "core/predicate_mechanism.h"
+
+#include "common/string_util.h"
+
+namespace dpstarj::core {
+
+Result<exec::PredicateOverrides> PredicateMechanism::PerturbPredicates(
+    const query::BoundQuery& q, double epsilon, Rng* rng) const {
+  if (epsilon <= 0.0) return Status::InvalidArgument("epsilon must be positive");
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+
+  int n = q.NumPredicates();
+  if (n == 0) {
+    return Status::InvalidArgument(
+        "Predicate Mechanism requires at least one dimension predicate; a "
+        "predicate-free aggregate has no input to randomize");
+  }
+  double epsilon_i = epsilon / static_cast<double>(n);
+
+  exec::PredicateOverrides overrides(q.dims.size());
+  for (size_t i = 0; i < q.dims.size(); ++i) {
+    if (q.dims[i].predicates.empty()) continue;
+    std::vector<query::BoundPredicate> noisy_preds;
+    noisy_preds.reserve(q.dims[i].predicates.size());
+    for (const auto& pred : q.dims[i].predicates) {
+      DPSTARJ_ASSIGN_OR_RETURN(query::BoundPredicate noisy,
+                               PerturbPredicate(pred, epsilon_i, rng, pma_));
+      noisy_preds.push_back(std::move(noisy));
+    }
+    overrides[i] = std::move(noisy_preds);
+  }
+  return overrides;
+}
+
+Result<exec::QueryResult> PredicateMechanism::Answer(const query::BoundQuery& q,
+                                                     double epsilon, Rng* rng) const {
+  DPSTARJ_ASSIGN_OR_RETURN(exec::PredicateOverrides overrides,
+                           PerturbPredicates(q, epsilon, rng));
+  exec::StarJoinExecutor executor;
+  return executor.Execute(q, overrides);
+}
+
+Result<double> PredicateMechanism::AnswerWithCube(const query::BoundQuery& q,
+                                                  const exec::DataCube& cube,
+                                                  double epsilon, Rng* rng) const {
+  if (!q.group_key_layout.empty()) {
+    return Status::NotSupported("cube path does not support GROUP BY");
+  }
+  DPSTARJ_ASSIGN_OR_RETURN(exec::PredicateOverrides overrides,
+                           PerturbPredicates(q, epsilon, rng));
+  // Collect the noisy predicates in dims-then-predicate order — the cube axis
+  // order of BuildFromQueryPredicates.
+  std::vector<const query::BoundPredicate*> preds;
+  for (size_t i = 0; i < q.dims.size(); ++i) {
+    if (!overrides[i].has_value()) continue;
+    for (const auto& p : *overrides[i]) preds.push_back(&p);
+  }
+  if (preds.size() != cube.axes().size()) {
+    return Status::InvalidArgument(
+        Format("cube has %zu axes but the query has %zu predicates",
+               cube.axes().size(), preds.size()));
+  }
+  return cube.Evaluate(preds);
+}
+
+}  // namespace dpstarj::core

@@ -1,0 +1,57 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// The Predicate Mechanism — the heart of DP-starJ (paper Algorithms 1 & 3).
+//
+// Instead of adding noise to the query *output* (whose sensitivity is
+// unbounded under foreign-key cascades), PM perturbs the query *input*: each
+// dimension predicate φ_{a_i} is replaced by a PMA-noised predicate with
+// budget ε_i = ε/n (n = number of predicate-bearing dimensions), and the
+// noisy query is executed verbatim over the real data. By Theorems 5.2–5.4
+// the composition is ε-DP; the error depends only on the predicate domain
+// sizes and the data distribution, never on join fan-outs.
+
+#pragma once
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/pma.h"
+#include "exec/data_cube.h"
+#include "exec/query_result.h"
+#include "exec/star_join_executor.h"
+#include "query/binder.h"
+
+namespace dpstarj::core {
+
+/// \brief Algorithms 1 & 3: DP star-join answering via predicate perturbation.
+///
+/// Thread-compatible: callers pass their own Rng.
+class PredicateMechanism {
+ public:
+  explicit PredicateMechanism(PmaOptions pma = {}) : pma_(pma) {}
+
+  /// \brief Phase 2 of DP-starJ: perturbs every predicate of the bound query
+  /// with its ε/n share, returning executor overrides (Algorithm 1 lines
+  /// 2–5). Fails if the query carries no predicate (there would be nothing to
+  /// randomize, so the output could not satisfy DP).
+  Result<exec::PredicateOverrides> PerturbPredicates(const query::BoundQuery& q,
+                                                     double epsilon, Rng* rng) const;
+
+  /// \brief Algorithm 3 (and its SUM / GROUP BY variants, §5.3): perturb
+  /// predicates, then answer the noisy query over the real instance.
+  /// COUNT/SUM return a scalar; GROUP BY returns per-group aggregates.
+  Result<exec::QueryResult> Answer(const query::BoundQuery& q, double epsilon,
+                                   Rng* rng) const;
+
+  /// \brief Fast path for repeated-run experiments: evaluates the noisy
+  /// predicates against a pre-built cube (must be built with
+  /// DataCube::BuildFromQueryPredicates over the same query). Scalar
+  /// aggregates only.
+  Result<double> AnswerWithCube(const query::BoundQuery& q,
+                                const exec::DataCube& cube, double epsilon,
+                                Rng* rng) const;
+
+ private:
+  PmaOptions pma_;
+};
+
+}  // namespace dpstarj::core

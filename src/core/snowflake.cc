@@ -1,0 +1,270 @@
+#include "core/snowflake.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace dpstarj::core {
+
+namespace {
+
+using ColumnMap =
+    std::map<std::pair<std::string, std::string>, std::pair<std::string, std::string>>;
+
+/// Recursively flattens `dim` by pre-joining its referenced sub-dimensions.
+/// `prefix` accumulates the attribute-name prefix; `mapping` receives
+/// (original table, column) → (top-level name, flattened column) entries keyed
+/// relative to `top`. `visiting` detects cycles.
+Result<std::shared_ptr<storage::Table>> FlattenDim(
+    const storage::Catalog& catalog, const std::string& dim, const std::string& top,
+    const std::string& prefix, ColumnMap* mapping,
+    std::unordered_set<std::string>* visiting) {
+  if (!visiting->insert(dim).second) {
+    return Status::InvalidArgument(
+        Format("cycle in dimension hierarchy at '%s'", dim.c_str()));
+  }
+  DPSTARJ_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> table, catalog.GetTable(dim));
+  std::vector<storage::ForeignKey> sub_fks = catalog.ForeignKeysFrom(dim);
+
+  // Record this table's own columns.
+  for (int i = 0; i < table->schema().num_fields(); ++i) {
+    const auto& f = table->schema().field(i);
+    (*mapping)[{dim, f.name}] = {top, prefix + f.name};
+  }
+
+  if (sub_fks.empty()) {
+    visiting->erase(dim);
+    if (prefix.empty()) return table;  // top-level leaf: reuse as-is
+    // Nested leaf: rebuild with prefixed names (schema only differs in names).
+    storage::Schema schema;
+    for (int i = 0; i < table->schema().num_fields(); ++i) {
+      storage::Field f = table->schema().field(i);
+      f.name = prefix + f.name;
+      DPSTARJ_RETURN_NOT_OK(schema.AddField(std::move(f)));
+    }
+    std::string pk = table->primary_key().empty() ? "" : prefix + table->primary_key();
+    DPSTARJ_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> renamed,
+                             storage::Table::Create(dim + "_flat", std::move(schema), pk));
+    renamed->Reserve(table->num_rows());
+    for (int64_t r = 0; r < table->num_rows(); ++r) {
+      DPSTARJ_RETURN_NOT_OK(renamed->AppendRow(table->GetRow(r)));
+    }
+    return renamed;
+  }
+
+  // Flatten sub-dimensions first.
+  struct Sub {
+    storage::ForeignKey fk;
+    std::shared_ptr<storage::Table> flat;
+    std::unordered_map<int64_t, int64_t> pk_to_row;
+    int fk_col = -1;  // in `table`
+    int pk_col = -1;  // in `flat`
+  };
+  std::vector<Sub> subs;
+  for (const auto& fk : sub_fks) {
+    Sub s;
+    s.fk = fk;
+    DPSTARJ_ASSIGN_OR_RETURN(
+        s.flat, FlattenDim(catalog, fk.dim_table, top, prefix + fk.dim_table + "_",
+                           mapping, visiting));
+    DPSTARJ_ASSIGN_OR_RETURN(s.fk_col, table->schema().FieldIndex(fk.fact_column));
+    // The sub's pk column may have been prefixed during flattening.
+    std::string sub_pk = s.flat->primary_key();
+    if (sub_pk.empty()) {
+      return Status::InvalidArgument(
+          Format("hierarchy table '%s' has no primary key", fk.dim_table.c_str()));
+    }
+    DPSTARJ_ASSIGN_OR_RETURN(s.pk_col, s.flat->schema().FieldIndex(sub_pk));
+    if (s.flat->column(s.pk_col).type() != storage::ValueType::kInt64 ||
+        table->column(s.fk_col).type() != storage::ValueType::kInt64) {
+      return Status::NotSupported("hierarchy join keys must be int64");
+    }
+    const auto& pks = s.flat->column(s.pk_col).int64_data();
+    s.pk_to_row.reserve(pks.size() * 2);
+    for (size_t r = 0; r < pks.size(); ++r) {
+      s.pk_to_row.emplace(pks[r], static_cast<int64_t>(r));
+    }
+    subs.push_back(std::move(s));
+  }
+
+  // Assemble the flattened schema: own fields (prefixed) then each sub's
+  // fields except its primary key (already prefixed by recursion).
+  storage::Schema schema;
+  for (int i = 0; i < table->schema().num_fields(); ++i) {
+    storage::Field f = table->schema().field(i);
+    f.name = prefix + f.name;
+    DPSTARJ_RETURN_NOT_OK(schema.AddField(std::move(f)));
+  }
+  for (const auto& s : subs) {
+    for (int i = 0; i < s.flat->schema().num_fields(); ++i) {
+      if (i == s.pk_col) continue;
+      DPSTARJ_RETURN_NOT_OK(schema.AddField(s.flat->schema().field(i)));
+    }
+  }
+
+  std::string pk = table->primary_key().empty() ? "" : prefix + table->primary_key();
+  std::string flat_name = prefix.empty() ? dim : dim + "_flat";
+  DPSTARJ_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> flat,
+                           storage::Table::Create(flat_name, std::move(schema), pk));
+  flat->Reserve(table->num_rows());
+  std::vector<storage::Value> row;
+  for (int64_t r = 0; r < table->num_rows(); ++r) {
+    row = table->GetRow(r);
+    for (const auto& s : subs) {
+      int64_t key = table->column(s.fk_col).GetInt64(r);
+      auto it = s.pk_to_row.find(key);
+      if (it == s.pk_to_row.end()) {
+        return Status::InvalidArgument(
+            Format("dangling hierarchy key %lld from '%s' into '%s'",
+                   static_cast<long long>(key), dim.c_str(), s.fk.dim_table.c_str()));
+      }
+      std::vector<storage::Value> sub_row = s.flat->GetRow(it->second);
+      for (size_t i = 0; i < sub_row.size(); ++i) {
+        if (static_cast<int>(i) == s.pk_col) continue;
+        row.push_back(std::move(sub_row[i]));
+      }
+    }
+    DPSTARJ_RETURN_NOT_OK(flat->AppendRow(row));
+  }
+  visiting->erase(dim);
+  return flat;
+}
+
+/// Records table→top mapping for every table reachable from `dim`.
+void RecordReachable(const storage::Catalog& catalog, const std::string& dim,
+                     const std::string& top, std::map<std::string, std::string>* out) {
+  if (out->count(dim) != 0) return;
+  (*out)[dim] = top;
+  for (const auto& fk : catalog.ForeignKeysFrom(dim)) {
+    RecordReachable(catalog, fk.dim_table, top, out);
+  }
+}
+
+}  // namespace
+
+Result<FlattenedSnowflake> FlattenedSnowflake::Flatten(const storage::Catalog& catalog,
+                                                       const std::string& fact_table) {
+  FlattenedSnowflake out;
+  out.fact_table_ = fact_table;
+  DPSTARJ_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> fact,
+                           catalog.GetTable(fact_table));
+  DPSTARJ_RETURN_NOT_OK(out.catalog_.AddTable(fact));
+  out.table_map_[fact_table] = fact_table;
+
+  for (const auto& fk : catalog.ForeignKeysFrom(fact_table)) {
+    std::unordered_set<std::string> visiting;
+    DPSTARJ_ASSIGN_OR_RETURN(
+        std::shared_ptr<storage::Table> flat,
+        FlattenDim(catalog, fk.dim_table, fk.dim_table, "", &out.column_map_,
+                   &visiting));
+    RecordReachable(catalog, fk.dim_table, fk.dim_table, &out.table_map_);
+    DPSTARJ_RETURN_NOT_OK(out.catalog_.AddTable(flat));
+    storage::ForeignKey star_fk = fk;
+    star_fk.dim_table = flat->name();
+    // Top-level dims keep their name and pk; register under the flat name.
+    star_fk.dim_column = flat->primary_key();
+    DPSTARJ_RETURN_NOT_OK(out.catalog_.AddForeignKey(star_fk));
+    if (flat->name() != fk.dim_table) {
+      // Flattened table was renamed (nested case keeps "<dim>" since prefix is
+      // empty at top level; this branch is defensive).
+      out.table_map_[fk.dim_table] = flat->name();
+    }
+  }
+  return out;
+}
+
+Result<std::pair<std::string, std::string>> FlattenedSnowflake::MapColumn(
+    const std::string& table, const std::string& column) const {
+  auto it = column_map_.find({table, column});
+  if (it == column_map_.end()) {
+    return Status::NotFound(
+        Format("no flattened mapping for %s.%s", table.c_str(), column.c_str()));
+  }
+  return it->second;
+}
+
+Result<std::string> FlattenedSnowflake::MapTable(const std::string& table) const {
+  auto it = table_map_.find(table);
+  if (it == table_map_.end()) {
+    return Status::NotFound(Format("table '%s' is not part of the snowflake",
+                                   table.c_str()));
+  }
+  return it->second;
+}
+
+Result<query::StarJoinQuery> FlattenedSnowflake::Rewrite(
+    const query::StarJoinQuery& q) const {
+  if (q.fact_table != fact_table_) {
+    return Status::InvalidArgument(
+        Format("query fact table '%s' does not match flattened fact '%s'",
+               q.fact_table.c_str(), fact_table_.c_str()));
+  }
+  query::StarJoinQuery out = q;
+  out.joined_tables.clear();
+  std::unordered_set<std::string> seen;
+  for (const auto& t : q.joined_tables) {
+    DPSTARJ_ASSIGN_OR_RETURN(std::string top, MapTable(t));
+    if (top != fact_table_ && seen.insert(top).second) {
+      out.joined_tables.push_back(top);
+    }
+  }
+
+  auto rewrite_ref = [&](const query::ColumnRef& ref) -> Result<query::ColumnRef> {
+    if (ref.table == fact_table_) return ref;
+    DPSTARJ_ASSIGN_OR_RETURN(auto mapped, MapColumn(ref.table, ref.column));
+    query::ColumnRef r;
+    r.table = mapped.first;
+    r.column = mapped.second;
+    // Ensure the owning dimension is joined.
+    if (seen.insert(mapped.first).second) out.joined_tables.push_back(mapped.first);
+    return r;
+  };
+
+  out.predicates.clear();
+  for (const auto& p : q.predicates) {
+    DPSTARJ_ASSIGN_OR_RETURN(auto mapped, MapColumn(p.table(), p.column()));
+    if (seen.insert(mapped.first).second) out.joined_tables.push_back(mapped.first);
+    // Rebuild the predicate with the new address, preserving constraint form.
+    if (p.index_space()) {
+      if (p.kind() == query::PredicateKind::kPoint) {
+        out.predicates.push_back(
+            query::Predicate::PointIndex(mapped.first, mapped.second, p.lo_index()));
+      } else {
+        out.predicates.push_back(query::Predicate::RangeIndex(
+            mapped.first, mapped.second, p.lo_index(), p.hi_index()));
+      }
+      continue;
+    }
+    if (p.is_or_pair()) {
+      out.predicates.push_back(query::Predicate::PointPair(
+          mapped.first, mapped.second, p.lo_value(), p.hi_value()));
+    } else if (p.kind() == query::PredicateKind::kPoint) {
+      out.predicates.push_back(
+          query::Predicate::Point(mapped.first, mapped.second, p.point_value()));
+    } else if (!p.has_lo()) {
+      out.predicates.push_back(query::Predicate::AtMost(mapped.first, mapped.second,
+                                                        p.hi_value(), p.hi_strict()));
+    } else if (!p.has_hi()) {
+      out.predicates.push_back(query::Predicate::AtLeast(mapped.first, mapped.second,
+                                                         p.lo_value(), p.lo_strict()));
+    } else {
+      out.predicates.push_back(query::Predicate::Range(mapped.first, mapped.second,
+                                                       p.lo_value(), p.hi_value()));
+    }
+  }
+
+  out.group_by.clear();
+  for (const auto& g : q.group_by) {
+    DPSTARJ_ASSIGN_OR_RETURN(query::ColumnRef r, rewrite_ref(g));
+    out.group_by.push_back(std::move(r));
+  }
+  out.order_by.clear();
+  for (const auto& o : q.order_by) {
+    DPSTARJ_ASSIGN_OR_RETURN(query::ColumnRef r, rewrite_ref(o));
+    out.order_by.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace dpstarj::core

@@ -1,0 +1,60 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Snowflake support (paper §5.3, "Predicate Mechanism for snowflake
+// queries"): a snowflake schema hierarchizes dimensions (e.g. TPC-H
+// Lineitem→Orders→Customer→Nation→Region). PM applies after *flattening*:
+// every dimension reachable from the fact table is pre-joined into a single
+// wide dimension table, turning the snowflake into a star; predicates on
+// hierarchy attributes are rewritten onto the flattened dimension. This does
+// not change query semantics (the pre-join is along foreign keys) and keeps
+// attribute domains intact, so PMA sensitivities are unchanged.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "query/star_query.h"
+#include "storage/catalog.h"
+
+namespace dpstarj::core {
+
+/// \brief A snowflake schema flattened into a star schema.
+class FlattenedSnowflake {
+ public:
+  /// \brief Flattens every dimension reachable from `fact_table` in `catalog`
+  /// into a single-level star. Dimension-to-dimension foreign keys define the
+  /// hierarchy; cycles are rejected.
+  static Result<FlattenedSnowflake> Flatten(const storage::Catalog& catalog,
+                                            const std::string& fact_table);
+
+  /// The star-shaped catalog: the original fact table plus one flattened
+  /// table per top-level dimension, with fact→dimension foreign keys.
+  const storage::Catalog& catalog() const { return catalog_; }
+
+  /// \brief Rewrites a query phrased against the snowflake schema (predicates
+  /// and group-by keys may reference hierarchy tables like Nation/Region)
+  /// into the flattened star schema.
+  Result<query::StarJoinQuery> Rewrite(const query::StarJoinQuery& q) const;
+
+  /// Flattened location of an original column, e.g. (Nation, n_regionkey) →
+  /// (Orders, Customer_Nation_n_regionkey).
+  Result<std::pair<std::string, std::string>> MapColumn(
+      const std::string& table, const std::string& column) const;
+
+  /// Top-level dimension holding an original (possibly nested) table.
+  Result<std::string> MapTable(const std::string& table) const;
+
+ private:
+  storage::Catalog catalog_;
+  /// (original table, column) → (flattened dim, column).
+  std::map<std::pair<std::string, std::string>, std::pair<std::string, std::string>>
+      column_map_;
+  /// original table → top-level flattened dimension.
+  std::map<std::string, std::string> table_map_;
+  std::string fact_table_;
+};
+
+}  // namespace dpstarj::core

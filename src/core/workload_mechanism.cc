@@ -1,0 +1,191 @@
+#include "core/workload_mechanism.h"
+
+#include "common/string_util.h"
+
+namespace dpstarj::core {
+
+namespace {
+
+// Extracts query q's predicate on attribute a from the one-hot row: nullopt
+// when the row selects the full domain (no predicate). Rows are intervals by
+// construction of BuildPredicateMatrices on point/range queries.
+Result<std::optional<query::BoundPredicate>> RowToPredicate(
+    const linalg::Matrix& m, int q, const query::DimensionAttribute& attr) {
+  int lo = -1, hi = -1;
+  for (int c = 0; c < m.cols(); ++c) {
+    if (m.At(q, c) != 0.0) {
+      if (lo < 0) lo = c;
+      hi = c;
+    }
+  }
+  if (lo < 0) return Status::InvalidArgument("workload row selects nothing");
+  for (int c = lo; c <= hi; ++c) {
+    if (m.At(q, c) != 1.0) {
+      return Status::NotSupported("workload row is not an interval");
+    }
+  }
+  if (lo == 0 && hi == m.cols() - 1) {
+    return std::optional<query::BoundPredicate>();  // full domain
+  }
+  query::BoundPredicate p;
+  p.table = attr.table;
+  p.column = attr.column;
+  p.column_index = -1;  // not tied to a physical column; cube evaluation only
+  p.domain = attr.domain;
+  p.kind = (lo == hi) ? query::PredicateKind::kPoint : query::PredicateKind::kRange;
+  p.lo_index = lo;
+  p.hi_index = hi;
+  return std::optional<query::BoundPredicate>(std::move(p));
+}
+
+// A strategy interval as a bound predicate for PMA.
+query::BoundPredicate IntervalToPredicate(const query::DimensionAttribute& attr,
+                                          int lo, int hi) {
+  query::BoundPredicate p;
+  p.table = attr.table;
+  p.column = attr.column;
+  p.column_index = -1;
+  p.domain = attr.domain;
+  p.kind = (lo == hi) ? query::PredicateKind::kPoint : query::PredicateKind::kRange;
+  p.lo_index = lo;
+  p.hi_index = hi;
+  return p;
+}
+
+}  // namespace
+
+Result<std::vector<double>> AnswerWorkloadWithDecomposition(
+    const exec::DataCube& cube, const query::Workload& workload,
+    const std::vector<query::DimensionAttribute>& attributes, double epsilon,
+    Rng* rng, const WorkloadMechanismOptions& options,
+    WorkloadDecompositionInfo* info) {
+  if (epsilon <= 0.0) return Status::InvalidArgument("epsilon must be positive");
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  if (attributes.empty()) return Status::InvalidArgument("no workload attributes");
+  if (cube.axes().size() != attributes.size()) {
+    return Status::InvalidArgument("cube axes must match workload attributes");
+  }
+  if (workload.size() == 0) return std::vector<double>{};
+
+  DPSTARJ_ASSIGN_OR_RETURN(std::vector<linalg::Matrix> pred_matrices,
+                           query::BuildPredicateMatrices(workload, attributes));
+
+  int n = static_cast<int>(attributes.size());
+  double epsilon_i = epsilon / static_cast<double>(n);
+  if (info != nullptr) info->strategies.clear();
+
+  // Per attribute: choose strategy, decompose, perturb, reconstruct.
+  std::vector<linalg::Matrix> noisy_pred_matrices;
+  noisy_pred_matrices.reserve(attributes.size());
+  for (size_t a = 0; a < attributes.size(); ++a) {
+    int m = static_cast<int>(attributes[a].domain.size());
+    linalg::IntervalStrategy strategy;
+    switch (options.strategy) {
+      case WorkloadStrategyKind::kIdentity:
+        strategy = linalg::MakeIdentityStrategy(m);
+        break;
+      case WorkloadStrategyKind::kHierarchical:
+        strategy = linalg::MakeHierarchicalStrategy(m);
+        break;
+      case WorkloadStrategyKind::kAuto:
+        strategy = linalg::ChooseStrategy(pred_matrices[a], m);
+        break;
+    }
+    if (info != nullptr) info->strategies.push_back(strategy.description);
+
+    linalg::Matrix strategy_matrix = strategy.AsMatrix();
+    DPSTARJ_ASSIGN_OR_RETURN(
+        linalg::Matrix x, linalg::SolveDecomposition(pred_matrices[a], strategy_matrix));
+
+    // Perturb every strategy interval with PMA at the attribute's budget.
+    linalg::Matrix noisy_strategy(static_cast<int>(strategy.intervals.size()), m);
+    for (size_t j = 0; j < strategy.intervals.size(); ++j) {
+      auto [lo, hi] = strategy.intervals[j];
+      query::BoundPredicate pred = IntervalToPredicate(attributes[a], lo, hi);
+      DPSTARJ_ASSIGN_OR_RETURN(query::BoundPredicate noisy,
+                               PerturbPredicate(pred, epsilon_i, rng, options.pma));
+      for (int c = static_cast<int>(noisy.lo_index); c <= static_cast<int>(noisy.hi_index);
+           ++c) {
+        noisy_strategy.At(static_cast<int>(j), c) = 1.0;
+      }
+    }
+    DPSTARJ_ASSIGN_OR_RETURN(linalg::Matrix reconstructed, x.Multiply(noisy_strategy));
+    noisy_pred_matrices.push_back(std::move(reconstructed));
+  }
+
+  // Contract each query's noisy predicate rows against the cube.
+  std::vector<double> answers;
+  answers.reserve(static_cast<size_t>(workload.size()));
+  for (int q = 0; q < workload.size(); ++q) {
+    std::vector<std::vector<double>> axis_weights;
+    axis_weights.reserve(attributes.size());
+    for (size_t a = 0; a < attributes.size(); ++a) {
+      axis_weights.push_back(noisy_pred_matrices[a].Row(q));
+    }
+    DPSTARJ_ASSIGN_OR_RETURN(double ans, cube.EvaluateWeighted(axis_weights));
+    answers.push_back(ans);
+  }
+  return answers;
+}
+
+Result<std::vector<double>> AnswerWorkloadPerQuery(
+    const exec::DataCube& cube, const query::Workload& workload,
+    const std::vector<query::DimensionAttribute>& attributes, double epsilon,
+    Rng* rng, const PmaOptions& pma) {
+  if (epsilon <= 0.0) return Status::InvalidArgument("epsilon must be positive");
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  if (cube.axes().size() != attributes.size()) {
+    return Status::InvalidArgument("cube axes must match workload attributes");
+  }
+  DPSTARJ_ASSIGN_OR_RETURN(std::vector<linalg::Matrix> pred_matrices,
+                           query::BuildPredicateMatrices(workload, attributes));
+
+  std::vector<double> answers;
+  answers.reserve(static_cast<size_t>(workload.size()));
+  for (int q = 0; q < workload.size(); ++q) {
+    // Collect this query's predicates.
+    std::vector<std::optional<query::BoundPredicate>> preds(attributes.size());
+    int n = 0;
+    for (size_t a = 0; a < attributes.size(); ++a) {
+      DPSTARJ_ASSIGN_OR_RETURN(preds[a],
+                               RowToPredicate(pred_matrices[a], q, attributes[a]));
+      if (preds[a].has_value()) ++n;
+    }
+    if (n == 0) {
+      return Status::InvalidArgument(
+          Format("workload query %d has no predicate; PM cannot answer it", q));
+    }
+    double epsilon_i = epsilon / static_cast<double>(n);
+    std::vector<const query::BoundPredicate*> noisy_ptrs(attributes.size(), nullptr);
+    std::vector<query::BoundPredicate> noisy_storage(attributes.size());
+    for (size_t a = 0; a < attributes.size(); ++a) {
+      if (!preds[a].has_value()) continue;
+      DPSTARJ_ASSIGN_OR_RETURN(noisy_storage[a],
+                               PerturbPredicate(*preds[a], epsilon_i, rng, pma));
+      noisy_ptrs[a] = &noisy_storage[a];
+    }
+    DPSTARJ_ASSIGN_OR_RETURN(double ans, cube.Evaluate(noisy_ptrs));
+    answers.push_back(ans);
+  }
+  return answers;
+}
+
+Result<std::vector<double>> TrueWorkloadAnswers(
+    const exec::DataCube& cube, const query::Workload& workload,
+    const std::vector<query::DimensionAttribute>& attributes) {
+  DPSTARJ_ASSIGN_OR_RETURN(std::vector<linalg::Matrix> pred_matrices,
+                           query::BuildPredicateMatrices(workload, attributes));
+  std::vector<double> answers;
+  answers.reserve(static_cast<size_t>(workload.size()));
+  for (int q = 0; q < workload.size(); ++q) {
+    std::vector<std::vector<double>> axis_weights;
+    for (size_t a = 0; a < attributes.size(); ++a) {
+      axis_weights.push_back(pred_matrices[a].Row(q));
+    }
+    DPSTARJ_ASSIGN_OR_RETURN(double ans, cube.EvaluateWeighted(axis_weights));
+    answers.push_back(ans);
+  }
+  return answers;
+}
+
+}  // namespace dpstarj::core

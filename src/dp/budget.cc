@@ -1,0 +1,41 @@
+#include "dp/budget.h"
+
+#include "common/string_util.h"
+
+namespace dpstarj::dp {
+
+namespace {
+constexpr double kTolerance = 1e-9;
+}
+
+PrivacyBudget::PrivacyBudget(double epsilon) : total_(epsilon) {
+  DPSTARJ_CHECK(epsilon > 0.0, "privacy budget must be positive");
+}
+
+Status PrivacyBudget::Spend(double epsilon) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("spend must be positive");
+  }
+  if (spent_ + epsilon > total_ + kTolerance) {
+    return Status::BudgetExhausted(
+        Format("requested %.6g but only %.6g of %.6g remains", epsilon, remaining(),
+               total_));
+  }
+  spent_ += epsilon;
+  return Status::OK();
+}
+
+Result<std::vector<double>> PrivacyBudget::SplitRemaining(int n) const {
+  if (n <= 0) return Status::InvalidArgument("split count must be positive");
+  if (remaining() <= kTolerance) {
+    return Status::BudgetExhausted("no budget remaining to split");
+  }
+  return std::vector<double>(static_cast<size_t>(n),
+                             remaining() / static_cast<double>(n));
+}
+
+std::string PrivacyBudget::ToString() const {
+  return Format("spent %.4g of %.4g", spent_, total_);
+}
+
+}  // namespace dpstarj::dp

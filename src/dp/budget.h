@@ -1,0 +1,43 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dpstarj::dp {
+
+/// \brief Sequential-composition privacy accounting (Dwork & Roth, Thm 3.16):
+/// a sequence of mechanisms spending ε_1, ..., ε_k on the same data satisfies
+/// (Σ ε_i)-DP. The budget tracks spending and refuses overdrafts.
+class PrivacyBudget {
+ public:
+  /// Creates a budget of `epsilon` (must be positive).
+  explicit PrivacyBudget(double epsilon);
+
+  /// Total budget.
+  double total() const { return total_; }
+  /// Already consumed.
+  double spent() const { return spent_; }
+  /// Still available.
+  double remaining() const { return total_ - spent_; }
+
+  /// \brief Consumes `epsilon`; BudgetExhausted if it would overdraw (with a
+  /// tiny tolerance for floating-point splits that should sum to the total).
+  Status Spend(double epsilon);
+
+  /// \brief Splits the *remaining* budget into n equal shares (ε_i = ε/n, the
+  /// Predicate Mechanism's allocation) without consuming anything.
+  Result<std::vector<double>> SplitRemaining(int n) const;
+
+  /// A human-readable account, e.g. "spent 0.30 of 1.00".
+  std::string ToString() const;
+
+ private:
+  double total_;
+  double spent_ = 0.0;
+};
+
+}  // namespace dpstarj::dp

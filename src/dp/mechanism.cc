@@ -1,0 +1,58 @@
+#include "dp/mechanism.h"
+
+#include <cmath>
+
+namespace dpstarj::dp {
+
+Result<double> LaplaceMechanism::Release(double value, double sensitivity,
+                                         double epsilon, Rng* rng) {
+  if (epsilon <= 0.0) return Status::InvalidArgument("epsilon must be positive");
+  if (sensitivity < 0.0) {
+    return Status::InvalidArgument("sensitivity must be non-negative");
+  }
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  return value + rng->Laplace(sensitivity / epsilon);
+}
+
+double LaplaceMechanism::Variance(double sensitivity, double epsilon) {
+  double b = sensitivity / epsilon;
+  return 2.0 * b * b;
+}
+
+double CauchyMechanism::Beta(double epsilon, double gamma) {
+  return epsilon / (2.0 * (gamma + 1.0));
+}
+
+Result<double> CauchyMechanism::Release(double value, double smooth_sensitivity,
+                                        double epsilon, Rng* rng, double gamma) {
+  if (epsilon <= 0.0) return Status::InvalidArgument("epsilon must be positive");
+  if (smooth_sensitivity < 0.0) {
+    return Status::InvalidArgument("smooth sensitivity must be non-negative");
+  }
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  double beta = Beta(epsilon, gamma);
+  return value + rng->GeneralCauchy(gamma, smooth_sensitivity / beta);
+}
+
+double CauchyMechanism::NoiseLevel(double smooth_sensitivity, double epsilon,
+                                   double gamma) {
+  double level = 2.0 * (gamma + 1.0) * smooth_sensitivity / epsilon;
+  return level * level;
+}
+
+double SmoothLaplaceMechanism::Beta(double epsilon, double delta) {
+  return epsilon / (2.0 * std::log(2.0 / delta));
+}
+
+Result<double> SmoothLaplaceMechanism::Release(double value,
+                                               double smooth_sensitivity,
+                                               double epsilon, Rng* rng) {
+  if (epsilon <= 0.0) return Status::InvalidArgument("epsilon must be positive");
+  if (smooth_sensitivity < 0.0) {
+    return Status::InvalidArgument("smooth sensitivity must be non-negative");
+  }
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  return value + rng->Laplace(2.0 * smooth_sensitivity / epsilon);
+}
+
+}  // namespace dpstarj::dp

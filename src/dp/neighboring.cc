@@ -1,0 +1,67 @@
+#include "dp/neighboring.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace dpstarj::dp {
+
+PrivacyScenario PrivacyScenario::FactOnly(std::string fact_table) {
+  PrivacyScenario s;
+  s.fact_private_ = true;
+  s.fact_table_ = std::move(fact_table);
+  return s;
+}
+
+PrivacyScenario PrivacyScenario::Dimensions(std::vector<std::string> dimension_tables) {
+  PrivacyScenario s;
+  s.private_dimensions_ = std::move(dimension_tables);
+  return s;
+}
+
+PrivacyScenario PrivacyScenario::FactAndDimensions(
+    std::string fact_table, std::vector<std::string> dimension_tables) {
+  PrivacyScenario s;
+  s.fact_private_ = true;
+  s.fact_table_ = std::move(fact_table);
+  s.private_dimensions_ = std::move(dimension_tables);
+  return s;
+}
+
+std::vector<std::string> PrivacyScenario::PrivateTables() const {
+  std::vector<std::string> out;
+  if (fact_private_) out.push_back(fact_table_);
+  out.insert(out.end(), private_dimensions_.begin(), private_dimensions_.end());
+  return out;
+}
+
+Status PrivacyScenario::Validate(const query::StarJoinQuery& q) const {
+  if (a() + b() < 1) {
+    return Status::InvalidArgument("scenario must have at least one private table");
+  }
+  if (fact_private_ && fact_table_ != q.fact_table) {
+    return Status::InvalidArgument(
+        Format("scenario fact table '%s' != query fact table '%s'",
+               fact_table_.c_str(), q.fact_table.c_str()));
+  }
+  for (const auto& d : private_dimensions_) {
+    // "Table.column" entity specs validate against the table part.
+    std::string table = d.substr(0, d.find('.'));
+    if (std::find(q.joined_tables.begin(), q.joined_tables.end(), table) ==
+        q.joined_tables.end()) {
+      return Status::InvalidArgument(
+          Format("private dimension '%s' is not joined by the query", d.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+std::string PrivacyScenario::ToString() const {
+  std::string out = Format("(%d,%d)-private", a(), b());
+  if (!private_dimensions_.empty()) {
+    out += "{" + Join(private_dimensions_, ",") + "}";
+  }
+  return out;
+}
+
+}  // namespace dpstarj::dp

@@ -1,0 +1,65 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// The (a,b)-private scenario taxonomy (paper Definition 3.7): which relations
+// of the star schema are sensitive. This drives how the output-perturbation
+// baselines compute contributions/sensitivities:
+//   * (1,0)-private — only the fact table: neighbors differ in one fact row;
+//     global sensitivity is bounded and plain Laplace works.
+//   * (0,k)-private — k dimension tables: deleting one private dimension tuple
+//     per table (sharing a fact-side key conjunction) cascades into the fact
+//     table; contribution grouping is by that key conjunction.
+//   * (1,k)-private — both; the cascade dominates, so baselines group as in
+//     (0,k) and additionally treat each fact row as sensitive.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/star_query.h"
+
+namespace dpstarj::dp {
+
+/// \brief The privacy scenario for a star-join task.
+class PrivacyScenario {
+ public:
+  /// (1,0)-private: only the fact table is sensitive.
+  static PrivacyScenario FactOnly(std::string fact_table);
+
+  /// (0,k)-private: the given dimension tables are sensitive (k = |tables|).
+  static PrivacyScenario Dimensions(std::vector<std::string> dimension_tables);
+
+  /// (1,k)-private: fact plus the given dimensions.
+  static PrivacyScenario FactAndDimensions(std::string fact_table,
+                                           std::vector<std::string> dimension_tables);
+
+  /// a ∈ {0,1}: number of private fact tables.
+  int a() const { return fact_private_ ? 1 : 0; }
+  /// b: number of private dimension tables.
+  int b() const { return static_cast<int>(private_dimensions_.size()); }
+
+  bool fact_private() const { return fact_private_; }
+  const std::string& fact_table() const { return fact_table_; }
+  const std::vector<std::string>& private_dimensions() const {
+    return private_dimensions_;
+  }
+
+  /// \brief All private tables (fact first if private) — the grouping set for
+  /// exec::BuildContributionIndex.
+  std::vector<std::string> PrivateTables() const;
+
+  /// \brief Checks the scenario against a query: a+b ≥ 1, the fact table
+  /// matches, and every private dimension is joined by the query.
+  Status Validate(const query::StarJoinQuery& q) const;
+
+  /// e.g. "(0,2)-private{Customer,Supplier}".
+  std::string ToString() const;
+
+ private:
+  bool fact_private_ = false;
+  std::string fact_table_;
+  std::vector<std::string> private_dimensions_;
+};
+
+}  // namespace dpstarj::dp

@@ -1,0 +1,56 @@
+#include "dp/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace dpstarj::dp {
+
+Result<double> SmoothSensitivity(double beta, int64_t t_max, double ls_max,
+                                 const LocalSensitivityAtDistance& ls_at_distance) {
+  if (beta <= 0.0) return Status::InvalidArgument("beta must be positive");
+  if (t_max < 0) return Status::InvalidArgument("t_max must be non-negative");
+  if (!ls_at_distance) return Status::InvalidArgument("ls_at_distance is empty");
+
+  double best = 0.0;
+  for (int64_t t = 0; t <= t_max; ++t) {
+    double decay = std::exp(-beta * static_cast<double>(t));
+    if (ls_max > 0.0 && decay * ls_max <= best) {
+      break;  // no later t can improve on the current best
+    }
+    double ls = ls_at_distance(t);
+    if (ls < 0.0) {
+      return Status::InvalidArgument("ls_at_distance returned a negative bound");
+    }
+    best = std::max(best, decay * ls);
+  }
+  return best;
+}
+
+Result<double> KStarSmoothSensitivity(const std::vector<int64_t>& degrees, int k,
+                                      int64_t degree_cap, double beta) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (degree_cap < 0) return Status::InvalidArgument("degree_cap must be >= 0");
+  int64_t d_max = 0;
+  for (int64_t d : degrees) d_max = std::max(d_max, std::min(d, degree_cap));
+
+  // At distance t the adversary can raise the effective max degree by t (one
+  // edge per step), still capped by the truncation threshold.
+  auto ls_at = [&](int64_t t) {
+    int64_t d = std::min(d_max + t, degree_cap);
+    // Removing a degree-d node deletes C(d, k) stars centered on it plus up to
+    // d·C(d-1, k-1) stars centered on its neighbors.
+    return BinomialCoefficient(d, k) +
+           static_cast<double>(d) * BinomialCoefficient(d - 1, k - 1);
+  };
+  double ls_cap = ls_at(degree_cap);  // LS^{(t)} plateaus once d_max+t >= cap
+  int64_t t_max = std::max<int64_t>(0, degree_cap - d_max) + 1;
+  return SmoothSensitivity(beta, t_max, ls_cap, ls_at);
+}
+
+double JoinLocalSensitivity(double max_contribution) {
+  return std::max(0.0, max_contribution);
+}
+
+}  // namespace dpstarj::dp

@@ -1,0 +1,50 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Sensitivity toolbox (paper §3.1): global sensitivity GS_Q, local sensitivity
+// LS_Q(D), local sensitivity at distance t, and the β-smooth sensitivity
+// SS_Q(D) = max_t e^{-βt}·LS^{(t)}(D). The generic driver takes a callback for
+// LS^{(t)} so each query family (join counting, k-star) plugs in its own
+// closed form.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dpstarj::dp {
+
+/// \brief LS at distance t: given t, returns an upper bound on the local
+/// sensitivity of any instance within distance t of D.
+using LocalSensitivityAtDistance = std::function<double(int64_t t)>;
+
+/// \brief β-smooth sensitivity: max over t ∈ [0, t_max] of e^{-βt}·LS^{(t)}.
+///
+/// `ls_at_distance` must be non-decreasing in t (it is a max over a growing
+/// ball); the scan also stops early once e^{-βt}·LS_max cannot beat the
+/// current best, where LS_max bounds LS^{(t)} for all t (pass 0 to disable
+/// early stopping).
+Result<double> SmoothSensitivity(double beta, int64_t t_max, double ls_max,
+                                 const LocalSensitivityAtDistance& ls_at_distance);
+
+/// \brief Smooth sensitivity of the k-star counting query under node privacy
+/// on a graph with the given degree sequence (Kasiviswanathan et al. 2013).
+///
+/// Adding/removing a node of degree d changes the k-star count by
+/// C(d, k) + d·C(d_max, k-1)-ish terms; at distance t the adversary can first
+/// raise t degrees to d_cap. With degrees truncated at `degree_cap` (the TM
+/// baseline truncates first), LS^{(t)} is bounded by
+///   C(min(d_max+t, cap), k) + min(d_max+t, cap)·C(min(d_max+t, cap)-1, k-1).
+/// Conservative but monotone and cheap; exactly what naive-truncation-with-
+/// smooth-sensitivity needs.
+Result<double> KStarSmoothSensitivity(const std::vector<int64_t>& degrees, int k,
+                                      int64_t degree_cap, double beta);
+
+/// \brief Local sensitivity of a star-join counting/sum query: the maximum
+/// contribution of any private individual (see exec::ContributionIndex).
+/// Provided here as a thin named wrapper so call sites read like the paper.
+double JoinLocalSensitivity(double max_contribution);
+
+}  // namespace dpstarj::dp

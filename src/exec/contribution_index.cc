@@ -1,0 +1,178 @@
+#include "exec/contribution_index.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "exec/domain_index.h"
+
+namespace dpstarj::exec {
+
+double ContributionIndex::TruncatedTotal(double tau) const {
+  if (tau <= 0) return 0.0;
+  double s = 0.0;
+  for (double c : contributions) s += std::min(c, tau);
+  return s;
+}
+
+namespace {
+
+// 64-bit mix for combining key components (splitmix64 finalizer).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Result<ContributionIndex> BuildContributionIndex(
+    const query::BoundQuery& q, const std::vector<std::string>& private_tables) {
+  if (private_tables.empty()) {
+    return Status::InvalidArgument("private_tables must be non-empty");
+  }
+  if (!q.group_key_layout.empty()) {
+    return Status::NotSupported("contribution index does not support GROUP BY");
+  }
+  if (q.query.aggregate == query::AggregateKind::kAvg) {
+    return Status::NotSupported(
+        "contributions are additive; the baselines do not support AVG");
+  }
+
+  bool fact_private = false;
+  // Per private entry: the dim index and, for "Table.column" specs, the
+  // grouping column within the dimension (-1 = group by primary key).
+  std::vector<std::pair<int, int>> private_dims;
+  for (const auto& spec : private_tables) {
+    if (spec == q.query.fact_table) {
+      fact_private = true;
+      continue;
+    }
+    std::string table = spec;
+    std::string column;
+    auto dot = spec.find('.');
+    if (dot != std::string::npos) {
+      table = spec.substr(0, dot);
+      column = spec.substr(dot + 1);
+    }
+    int found = -1;
+    for (size_t i = 0; i < q.dims.size(); ++i) {
+      if (q.dims[i].table == table) {
+        found = static_cast<int>(i);
+        break;
+      }
+    }
+    if (found < 0) {
+      return Status::InvalidArgument(
+          Format("private table '%s' is not joined by the query", table.c_str()));
+    }
+    int col = -1;
+    if (!column.empty()) {
+      DPSTARJ_ASSIGN_OR_RETURN(
+          col, q.dims[static_cast<size_t>(found)].dim->schema().FieldIndex(column));
+      if (q.dims[static_cast<size_t>(found)].dim->column(col).type() ==
+          storage::ValueType::kDouble) {
+        return Status::InvalidArgument("grouping column must not be double");
+      }
+    }
+    private_dims.emplace_back(found, col);
+  }
+
+  // Per-dimension predicate pass sets (key → pass).
+  std::vector<std::unordered_map<int64_t, bool>> pass(q.dims.size());
+  for (size_t i = 0; i < q.dims.size(); ++i) {
+    const query::DimBinding& d = q.dims[i];
+    std::vector<std::vector<int64_t>> ordinals(d.predicates.size());
+    for (size_t p = 0; p < d.predicates.size(); ++p) {
+      DPSTARJ_ASSIGN_OR_RETURN(
+          ordinals[p],
+          ComputeDomainIndexes(d.dim->column(d.predicates[p].column_index),
+                               d.predicates[p].domain));
+    }
+    const auto& keys = d.dim->column(d.dim_pk_col).int64_data();
+    pass[i].reserve(keys.size() * 2);
+    for (size_t r = 0; r < keys.size(); ++r) {
+      bool p = true;
+      for (size_t j = 0; j < d.predicates.size() && p; ++j) {
+        p = ordinals[j][r] >= 0 && d.predicates[j].Matches(ordinals[j][r]);
+      }
+      pass[i].emplace(keys[r], p);
+    }
+  }
+
+  std::vector<const std::vector<int64_t>*> fk_data(q.dims.size());
+  for (size_t i = 0; i < q.dims.size(); ++i) {
+    fk_data[i] = &q.fact->column(q.dims[i].fact_fk_col).int64_data();
+  }
+
+  // Per private dim: primary key → grouping value (the pk itself, or the
+  // grouping column's int value / dictionary code).
+  std::vector<std::unordered_map<int64_t, int64_t>> group_of(private_dims.size());
+  for (size_t p = 0; p < private_dims.size(); ++p) {
+    auto [dim_idx, col] = private_dims[p];
+    const query::DimBinding& d = q.dims[static_cast<size_t>(dim_idx)];
+    const auto& keys = d.dim->column(d.dim_pk_col).int64_data();
+    group_of[p].reserve(keys.size() * 2);
+    for (size_t r = 0; r < keys.size(); ++r) {
+      int64_t g = keys[r];
+      if (col >= 0) {
+        const storage::Column& c = d.dim->column(col);
+        g = c.type() == storage::ValueType::kString
+                ? static_cast<int64_t>(c.GetStringCode(static_cast<int64_t>(r)))
+                : c.GetInt64(static_cast<int64_t>(r));
+      }
+      group_of[p].emplace(keys[r], g);
+    }
+  }
+
+  ContributionIndex index;
+  std::unordered_map<uint64_t, double> by_individual;
+  for (int64_t row = 0; row < q.fact->num_rows(); ++row) {
+    bool ok = true;
+    for (size_t i = 0; i < q.dims.size(); ++i) {
+      auto it = pass[i].find((*fk_data[i])[static_cast<size_t>(row)]);
+      if (it == pass[i].end() || !it->second) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+
+    double w = 1.0;
+    if (!q.measure_cols.empty()) {
+      w = 0.0;
+      for (const auto& [col, coeff] : q.measure_cols) {
+        w += coeff * q.fact->column(col).GetNumeric(row);
+      }
+    }
+    index.total += w;
+
+    if (fact_private && private_dims.empty()) {
+      // (1,0)-private: each fact row is its own individual.
+      index.contributions.push_back(w);
+      continue;
+    }
+    uint64_t h = 0;
+    for (size_t p = 0; p < private_dims.size(); ++p) {
+      int dim_idx = private_dims[p].first;
+      int64_t key =
+          (*fk_data[static_cast<size_t>(dim_idx)])[static_cast<size_t>(row)];
+      int64_t group = group_of[p].at(key);
+      h = Mix64(h ^ Mix64(static_cast<uint64_t>(group) +
+                          static_cast<uint64_t>(p) * 0x9e37ULL));
+    }
+    by_individual[h] += w;
+  }
+
+  for (const auto& [k, v] : by_individual) {
+    (void)k;
+    index.contributions.push_back(v);
+  }
+  for (double c : index.contributions) {
+    index.max_contribution = std::max(index.max_contribution, c);
+  }
+  return index;
+}
+
+}  // namespace dpstarj::exec

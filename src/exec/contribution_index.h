@@ -1,0 +1,55 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Per-individual contribution analysis for the output-perturbation baselines.
+//
+// Under the (a,b)-private neighboring definitions (paper §3.2), deleting one
+// private tuple (or one tuple per private dimension, sharing a fact-side key
+// conjunction) removes every fact row referencing it. The "contribution" of a
+// private individual is therefore the total query weight of the fact rows it
+// owns. The baselines consume this:
+//   * LS  — local sensitivity = max contribution;
+//   * R2T — Q(D, τ) = Σ min(contribution_i, τ) over individuals;
+//   * LM  — (1,0)-private: every fact row is its own individual.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/binder.h"
+
+namespace dpstarj::exec {
+
+/// \brief Contributions of private individuals to a star-join query.
+struct ContributionIndex {
+  /// Per-individual total weight, for individuals with non-zero weight.
+  std::vector<double> contributions;
+  /// Largest contribution (0 when the query result is empty).
+  double max_contribution = 0.0;
+  /// The true query answer Σ contributions.
+  double total = 0.0;
+
+  /// Q(D, τ): the truncated answer Σ min(contribution_i, τ) (paper §4, R2T).
+  double TruncatedTotal(double tau) const;
+};
+
+/// \brief Groups matching fact rows by the conjunction of foreign keys into
+/// `private_tables` and accumulates each group's query weight.
+///
+/// `private_tables` entries are either
+///  * a joined dimension table name — individuals are that table's tuples
+///    (grouping key: the fact-side foreign key);
+///  * "Table.column" — individuals are the distinct values of `column` in
+///    joined dimension `Table`. This expresses deeper snowflake entities on a
+///    flattened schema (e.g. "Orders.custkey" = customer-level privacy when
+///    Customer has been absorbed into Orders);
+///  * the fact table name for the (1,0)-private scenario, where every fact
+///    row is its own individual.
+/// Grouped queries are not supported (the baselines under comparison do not
+/// support GROUP BY either).
+Result<ContributionIndex> BuildContributionIndex(
+    const query::BoundQuery& q, const std::vector<std::string>& private_tables);
+
+}  // namespace dpstarj::exec

@@ -1,0 +1,242 @@
+#include "exec/data_cube.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "exec/domain_index.h"
+
+namespace dpstarj::exec {
+
+Result<DataCube> DataCube::Build(
+    const query::BoundQuery& q,
+    const std::vector<query::DimensionAttribute>& attributes) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("cube needs at least one attribute");
+  }
+  if (!q.group_key_layout.empty()) {
+    return Status::NotSupported("cube does not support GROUP BY queries");
+  }
+  if (q.query.aggregate == query::AggregateKind::kAvg) {
+    return Status::NotSupported(
+        "cube cells are additive; AVG needs the executor path");
+  }
+
+  DataCube cube;
+  int64_t cells = 1;
+  // Per-axis: key → ordinal lookup built from the owning dimension.
+  std::vector<std::unordered_map<int64_t, int64_t>> key_to_ordinal(attributes.size());
+  std::vector<int> axis_fk_col(attributes.size(), -1);
+
+  for (size_t a = 0; a < attributes.size(); ++a) {
+    const auto& attr = attributes[a];
+    const query::DimBinding* owner = nullptr;
+    for (const auto& d : q.dims) {
+      if (d.table == attr.table) {
+        owner = &d;
+        break;
+      }
+    }
+    if (owner == nullptr) {
+      return Status::InvalidArgument(
+          Format("cube attribute %s.%s: table not joined by the query",
+                 attr.table.c_str(), attr.column.c_str()));
+    }
+    DPSTARJ_ASSIGN_OR_RETURN(int col, owner->dim->schema().FieldIndex(attr.column));
+    DPSTARJ_ASSIGN_OR_RETURN(
+        std::vector<int64_t> ordinals,
+        ComputeDomainIndexes(owner->dim->column(col), attr.domain));
+    const auto& keys = owner->dim->column(owner->dim_pk_col).int64_data();
+    auto& map = key_to_ordinal[a];
+    map.reserve(keys.size() * 2);
+    for (size_t r = 0; r < keys.size(); ++r) map.emplace(keys[r], ordinals[r]);
+    axis_fk_col[a] = owner->fact_fk_col;
+
+    CubeAxis axis;
+    axis.table = attr.table;
+    axis.column = attr.column;
+    axis.domain = attr.domain;
+    cube.axes_.push_back(std::move(axis));
+    cube.sizes_.push_back(attr.domain.size());
+    if (cells > (int64_t{1} << 40) / attr.domain.size()) {
+      return Status::InvalidArgument("cube too large");
+    }
+    cells *= attr.domain.size();
+  }
+
+  cube.strides_.assign(cube.sizes_.size(), 1);
+  for (int i = static_cast<int>(cube.sizes_.size()) - 2; i >= 0; --i) {
+    cube.strides_[static_cast<size_t>(i)] =
+        cube.strides_[static_cast<size_t>(i + 1)] * cube.sizes_[static_cast<size_t>(i + 1)];
+  }
+  cube.values_.assign(static_cast<size_t>(cells), 0.0);
+
+  // Also honour joined dimensions that are NOT cube axes: rows whose FK
+  // misses such a dimension do not join and must be dropped.
+  std::vector<std::unordered_map<int64_t, bool>> other_dims;
+  std::vector<int> other_fk_col;
+  for (const auto& d : q.dims) {
+    bool is_axis = false;
+    for (const auto& attr : attributes) {
+      if (attr.table == d.table) {
+        is_axis = true;
+        break;
+      }
+    }
+    if (is_axis) continue;
+    std::unordered_map<int64_t, bool> keys;
+    const auto& pk = d.dim->column(d.dim_pk_col).int64_data();
+    keys.reserve(pk.size() * 2);
+    for (int64_t k : pk) keys.emplace(k, true);
+    other_dims.push_back(std::move(keys));
+    other_fk_col.push_back(d.fact_fk_col);
+  }
+
+  for (int64_t row = 0; row < q.fact->num_rows(); ++row) {
+    int64_t offset = 0;
+    bool ok = true;
+    for (size_t a = 0; a < attributes.size(); ++a) {
+      int64_t key =
+          q.fact->column(axis_fk_col[a]).int64_data()[static_cast<size_t>(row)];
+      auto it = key_to_ordinal[a].find(key);
+      if (it == key_to_ordinal[a].end() || it->second < 0) {
+        ok = false;
+        break;
+      }
+      offset += it->second * cube.strides_[a];
+    }
+    if (ok) {
+      for (size_t i = 0; i < other_dims.size(); ++i) {
+        int64_t key = q.fact->column(other_fk_col[i])
+                          .int64_data()[static_cast<size_t>(row)];
+        if (other_dims[i].find(key) == other_dims[i].end()) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) {
+      ++cube.dropped_rows_;
+      continue;
+    }
+    double w = 1.0;
+    if (!q.measure_cols.empty()) {
+      w = 0.0;
+      for (const auto& [col, coeff] : q.measure_cols) {
+        w += coeff * q.fact->column(col).GetNumeric(row);
+      }
+    }
+    cube.values_[static_cast<size_t>(offset)] += w;
+    cube.total_ += w;
+  }
+  return cube;
+}
+
+Result<DataCube> DataCube::BuildFromQueryPredicates(const query::BoundQuery& q) {
+  std::vector<query::DimensionAttribute> attrs;
+  for (const auto& d : q.dims) {
+    for (const auto& p : d.predicates) {
+      query::DimensionAttribute a;
+      a.table = d.table;
+      a.column = p.column;
+      a.domain = p.domain;
+      attrs.push_back(std::move(a));
+    }
+  }
+  if (attrs.empty()) {
+    return Status::InvalidArgument("query has no predicates to build a cube over");
+  }
+  return Build(q, attrs);
+}
+
+double DataCube::CellAt(const std::vector<int64_t>& index) const {
+  DPSTARJ_CHECK(index.size() == sizes_.size(), "cube index arity mismatch");
+  int64_t offset = 0;
+  for (size_t i = 0; i < index.size(); ++i) {
+    DPSTARJ_CHECK(index[i] >= 0 && index[i] < sizes_[i], "cube index out of range");
+    offset += index[i] * strides_[i];
+  }
+  return values_[static_cast<size_t>(offset)];
+}
+
+Result<double> DataCube::Evaluate(
+    const std::vector<const query::BoundPredicate*>& preds) const {
+  if (preds.size() != axes_.size()) {
+    return Status::InvalidArgument("predicate arity must match cube axes");
+  }
+  // Walk all cells; for each axis precompute the match mask.
+  std::vector<std::vector<char>> match(axes_.size());
+  for (size_t a = 0; a < axes_.size(); ++a) {
+    match[a].assign(static_cast<size_t>(sizes_[a]), 1);
+    if (preds[a] != nullptr) {
+      for (int64_t i = 0; i < sizes_[a]; ++i) {
+        match[a][static_cast<size_t>(i)] = preds[a]->Matches(i) ? 1 : 0;
+      }
+    }
+  }
+  double sum = 0.0;
+  std::vector<int64_t> idx(axes_.size(), 0);
+  for (size_t cell = 0; cell < values_.size(); ++cell) {
+    bool ok = true;
+    for (size_t a = 0; a < axes_.size(); ++a) {
+      if (!match[a][static_cast<size_t>(idx[a])]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) sum += values_[cell];
+    // Increment multi-index.
+    for (int a = static_cast<int>(axes_.size()) - 1; a >= 0; --a) {
+      if (++idx[static_cast<size_t>(a)] < sizes_[static_cast<size_t>(a)]) break;
+      idx[static_cast<size_t>(a)] = 0;
+    }
+  }
+  return sum;
+}
+
+Result<double> DataCube::EvaluateWeighted(
+    const std::vector<std::vector<double>>& axis_weights) const {
+  if (axis_weights.size() != axes_.size()) {
+    return Status::InvalidArgument("weight arity must match cube axes");
+  }
+  for (size_t a = 0; a < axes_.size(); ++a) {
+    if (static_cast<int64_t>(axis_weights[a].size()) != sizes_[a]) {
+      return Status::InvalidArgument(
+          Format("axis %zu weight vector has wrong size", a));
+    }
+  }
+  double sum = 0.0;
+  std::vector<int64_t> idx(axes_.size(), 0);
+  for (size_t cell = 0; cell < values_.size(); ++cell) {
+    if (values_[cell] != 0.0) {
+      double w = 1.0;
+      for (size_t a = 0; a < axes_.size(); ++a) {
+        w *= axis_weights[a][static_cast<size_t>(idx[a])];
+        if (w == 0.0) break;
+      }
+      sum += w * values_[cell];
+    }
+    for (int a = static_cast<int>(axes_.size()) - 1; a >= 0; --a) {
+      if (++idx[static_cast<size_t>(a)] < sizes_[static_cast<size_t>(a)]) break;
+      idx[static_cast<size_t>(a)] = 0;
+    }
+  }
+  return sum;
+}
+
+Result<std::vector<double>> DataCube::Marginal(int axis) const {
+  if (axis < 0 || axis >= static_cast<int>(axes_.size())) {
+    return Status::OutOfRange("axis out of range");
+  }
+  std::vector<double> out(static_cast<size_t>(sizes_[static_cast<size_t>(axis)]), 0.0);
+  std::vector<int64_t> idx(axes_.size(), 0);
+  for (size_t cell = 0; cell < values_.size(); ++cell) {
+    out[static_cast<size_t>(idx[static_cast<size_t>(axis)])] += values_[cell];
+    for (int a = static_cast<int>(axes_.size()) - 1; a >= 0; --a) {
+      if (++idx[static_cast<size_t>(a)] < sizes_[static_cast<size_t>(a)]) break;
+      idx[static_cast<size_t>(a)] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace dpstarj::exec

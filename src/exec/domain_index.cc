@@ -1,0 +1,50 @@
+#include "exec/domain_index.h"
+
+#include <unordered_map>
+
+namespace dpstarj::exec {
+
+Result<std::vector<int64_t>> ComputeDomainIndexes(
+    const storage::Column& column, const storage::AttributeDomain& domain) {
+  std::vector<int64_t> out(static_cast<size_t>(column.size()), -1);
+
+  if (domain.is_categorical()) {
+    if (column.type() != storage::ValueType::kString) {
+      return Status::InvalidArgument(
+          "categorical domain requires a string column");
+    }
+    const auto& dict = column.dictionary();
+    // code → ordinal, computed once per dictionary entry.
+    std::unordered_map<std::string, int64_t> cat_index;
+    const auto& cats = domain.categories();
+    for (size_t i = 0; i < cats.size(); ++i) {
+      cat_index.emplace(cats[i], static_cast<int64_t>(i));
+    }
+    std::vector<int64_t> code_to_ordinal(static_cast<size_t>(dict->size()), -1);
+    for (int32_t code = 0; code < dict->size(); ++code) {
+      auto it = cat_index.find(dict->At(code));
+      if (it != cat_index.end()) {
+        code_to_ordinal[static_cast<size_t>(code)] = it->second;
+      }
+    }
+    const auto& codes = column.code_data();
+    for (size_t r = 0; r < codes.size(); ++r) {
+      out[r] = code_to_ordinal[static_cast<size_t>(codes[r])];
+    }
+    return out;
+  }
+
+  if (column.type() != storage::ValueType::kInt64) {
+    return Status::InvalidArgument("integer domain requires an int64 column");
+  }
+  int64_t lo = domain.int_lo();
+  int64_t hi = domain.int_hi();
+  const auto& data = column.int64_data();
+  for (size_t r = 0; r < data.size(); ++r) {
+    int64_t v = data[r];
+    out[r] = (v >= lo && v <= hi) ? v - lo : -1;
+  }
+  return out;
+}
+
+}  // namespace dpstarj::exec

@@ -1,0 +1,22 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/column.h"
+#include "storage/domain.h"
+
+namespace dpstarj::exec {
+
+/// \brief Maps every row of `column` to its ordinal in `domain`, or -1 when
+/// the value is outside the domain.
+///
+/// Integer columns translate by offset; string columns translate dictionary
+/// codes through a memoized code→ordinal table (O(|dict| + rows)).
+Result<std::vector<int64_t>> ComputeDomainIndexes(const storage::Column& column,
+                                                  const storage::AttributeDomain& domain);
+
+}  // namespace dpstarj::exec

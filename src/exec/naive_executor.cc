@@ -1,0 +1,112 @@
+#include "exec/naive_executor.h"
+
+#include "common/string_util.h"
+#include "storage/value.h"
+
+namespace dpstarj::exec {
+
+namespace {
+
+// Linear search for `key` in the dimension's primary-key column.
+int64_t FindDimRow(const query::DimBinding& d, int64_t key) {
+  const auto& pk = d.dim->column(d.dim_pk_col).int64_data();
+  for (size_t r = 0; r < pk.size(); ++r) {
+    if (pk[r] == key) return static_cast<int64_t>(r);
+  }
+  return -1;
+}
+
+// Evaluates a bound predicate against one dimension row by re-deriving the
+// domain ordinal from the raw cell (independent of ComputeDomainIndexes).
+bool RowPasses(const query::DimBinding& d, const query::BoundPredicate& pred,
+               int64_t row) {
+  storage::Value v = d.dim->column(pred.column_index).GetValue(row);
+  auto ord = pred.domain.IndexOf(v);
+  if (!ord.ok()) return false;
+  return pred.Matches(*ord);
+}
+
+}  // namespace
+
+Result<QueryResult> ExecuteNaive(const query::BoundQuery& q) {
+  return ExecuteNaive(q, PredicateOverrides(q.dims.size()));
+}
+
+Result<QueryResult> ExecuteNaive(const query::BoundQuery& q,
+                                 const PredicateOverrides& overrides) {
+  if (!overrides.empty() && overrides.size() != q.dims.size()) {
+    return Status::InvalidArgument("override arity mismatch");
+  }
+  QueryResult result;
+  result.grouped = !q.group_key_layout.empty();
+  const bool is_avg = q.query.aggregate == query::AggregateKind::kAvg;
+  double avg_rows = 0.0;
+  std::map<std::string, double> group_rows;
+
+  for (int64_t row = 0; row < q.fact->num_rows(); ++row) {
+    bool pass = true;
+    std::vector<int64_t> dim_rows(q.dims.size(), -1);
+    for (size_t i = 0; i < q.dims.size(); ++i) {
+      const query::DimBinding& d = q.dims[i];
+      int64_t key = q.fact->column(d.fact_fk_col).GetInt64(row);
+      int64_t dim_row = FindDimRow(d, key);
+      if (dim_row < 0) {
+        pass = false;
+        break;
+      }
+      dim_rows[i] = dim_row;
+      const std::vector<query::BoundPredicate>* preds = &d.predicates;
+      if (!overrides.empty() && overrides[i].has_value()) {
+        preds = &*overrides[i];
+      }
+      for (const auto& pred : *preds) {
+        if (!RowPasses(d, pred, dim_row)) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) break;
+    }
+    if (!pass) continue;
+
+    double w = 1.0;
+    if (!q.measure_cols.empty()) {
+      w = 0.0;
+      for (const auto& [col, coeff] : q.measure_cols) {
+        w += coeff * q.fact->column(col).GetNumeric(row);
+      }
+    }
+    if (!result.grouped) {
+      result.scalar += w;
+      avg_rows += 1.0;
+      continue;
+    }
+    std::string label;
+    for (const auto& [dim_idx, col] : q.group_key_layout) {
+      if (!label.empty()) label += kGroupKeyDelimiter;
+      if (dim_idx < 0) {
+        label += q.fact->column(col).GetValue(row).ToString();
+      } else {
+        const query::DimBinding& d = q.dims[static_cast<size_t>(dim_idx)];
+        label += d.dim->column(col)
+                     .GetValue(dim_rows[static_cast<size_t>(dim_idx)])
+                     .ToString();
+      }
+    }
+    result.groups[label] += w;
+    if (is_avg) group_rows[label] += 1.0;
+  }
+
+  if (is_avg) {
+    if (!result.grouped) {
+      result.scalar = avg_rows > 0.0 ? result.scalar / avg_rows : 0.0;
+    } else {
+      for (auto& [label_key, sum] : result.groups) {
+        sum /= group_rows[label_key];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dpstarj::exec

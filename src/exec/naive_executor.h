@@ -1,0 +1,24 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// A deliberately naive nested-loop reference executor. O(F · Σ|dims|) — used
+// by tests to cross-check StarJoinExecutor on small instances, sharing no
+// code with the hash-join path.
+
+#pragma once
+
+#include "common/result.h"
+#include "exec/query_result.h"
+#include "exec/star_join_executor.h"
+#include "query/binder.h"
+
+namespace dpstarj::exec {
+
+/// \brief Nested-loop evaluation of a bound star-join query.
+Result<QueryResult> ExecuteNaive(const query::BoundQuery& q);
+
+/// \brief Nested-loop evaluation with predicate overrides (same contract as
+/// StarJoinExecutor::Execute).
+Result<QueryResult> ExecuteNaive(const query::BoundQuery& q,
+                                 const PredicateOverrides& overrides);
+
+}  // namespace dpstarj::exec

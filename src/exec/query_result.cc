@@ -1,0 +1,48 @@
+#include "exec/query_result.h"
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace dpstarj::exec {
+
+double QueryResult::Total() const {
+  if (!grouped) return scalar;
+  double s = 0.0;
+  for (const auto& [k, v] : groups) s += v;
+  return s;
+}
+
+double QueryResult::MeanRelativeErrorPercent(const QueryResult& truth) const {
+  if (!truth.grouped) {
+    return RelativeErrorPercent(grouped ? Total() : scalar, truth.scalar);
+  }
+  if (truth.groups.empty()) {
+    return RelativeErrorPercent(Total(), 0.0);
+  }
+  double acc = 0.0;
+  for (const auto& [label, true_value] : truth.groups) {
+    auto it = groups.find(label);
+    double est = (it == groups.end()) ? 0.0 : it->second;
+    acc += RelativeErrorPercent(est, true_value);
+  }
+  return acc / static_cast<double>(truth.groups.size());
+}
+
+double QueryResult::TotalRelativeErrorPercent(const QueryResult& truth) const {
+  return RelativeErrorPercent(Total(), truth.Total());
+}
+
+std::string QueryResult::ToString() const {
+  if (!grouped) return Format("%.6g", scalar);
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : groups) {
+    if (!first) out += ", ";
+    first = false;
+    out += Format("%s: %.6g", k.c_str(), v);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace dpstarj::exec

@@ -1,0 +1,165 @@
+#include "exec/star_join_executor.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "exec/domain_index.h"
+
+namespace dpstarj::exec {
+
+namespace {
+
+/// Per-dimension hash table entry: predicate verdict and the dimension row
+/// (needed only when the dimension contributes GROUP BY keys).
+struct DimEntry {
+  bool pass = true;
+  int64_t row = -1;
+};
+
+struct DimState {
+  std::unordered_map<int64_t, DimEntry> by_key;
+  bool has_group_cols = false;
+};
+
+// Renders one group-key part from a column cell.
+std::string RenderCell(const storage::Column& col, int64_t row) {
+  return col.GetValue(row).ToString();
+}
+
+}  // namespace
+
+Result<QueryResult> StarJoinExecutor::Execute(const query::BoundQuery& q) const {
+  return Execute(q, PredicateOverrides(q.dims.size()));
+}
+
+Result<QueryResult> StarJoinExecutor::Execute(const query::BoundQuery& q,
+                                              const PredicateOverrides& overrides) const {
+  if (!overrides.empty() && overrides.size() != q.dims.size()) {
+    return Status::InvalidArgument(
+        Format("override arity %zu != dimension count %zu", overrides.size(),
+               q.dims.size()));
+  }
+
+  // Build one hash table per dimension.
+  std::vector<DimState> states(q.dims.size());
+  for (size_t i = 0; i < q.dims.size(); ++i) {
+    const query::DimBinding& d = q.dims[i];
+    DimState& st = states[i];
+    st.has_group_cols = !d.group_by_cols.empty();
+
+    const std::vector<query::BoundPredicate>* preds = &d.predicates;
+    if (!overrides.empty() && overrides[i].has_value()) {
+      preds = &*overrides[i];
+    }
+
+    // Per-predicate domain ordinals of the filtered column.
+    std::vector<std::vector<int64_t>> ordinals(preds->size());
+    for (size_t p = 0; p < preds->size(); ++p) {
+      const query::BoundPredicate& pred = (*preds)[p];
+      if (pred.column_index < 0 ||
+          pred.column_index >= d.dim->schema().num_fields()) {
+        return Status::InvalidArgument("predicate has bad column index");
+      }
+      DPSTARJ_ASSIGN_OR_RETURN(
+          ordinals[p],
+          ComputeDomainIndexes(d.dim->column(pred.column_index), pred.domain));
+    }
+
+    const auto& keys = d.dim->column(d.dim_pk_col).int64_data();
+    st.by_key.reserve(keys.size() * 2);
+    for (size_t r = 0; r < keys.size(); ++r) {
+      DimEntry e;
+      e.row = static_cast<int64_t>(r);
+      for (size_t p = 0; p < preds->size() && e.pass; ++p) {
+        int64_t ord = ordinals[p][r];
+        e.pass = (ord >= 0) && (*preds)[p].Matches(ord);
+      }
+      auto [it, inserted] = st.by_key.emplace(keys[r], e);
+      if (!inserted) {
+        return Status::InvalidArgument(
+            Format("duplicate primary key %lld in dimension '%s'",
+                   static_cast<long long>(keys[r]), d.table.c_str()));
+      }
+    }
+  }
+
+  QueryResult result;
+  result.grouped = !q.group_key_layout.empty();
+  const bool is_avg = q.query.aggregate == query::AggregateKind::kAvg;
+  double avg_rows = 0.0;
+  std::map<std::string, double> group_rows;
+
+  const int64_t fact_rows = q.fact->num_rows();
+  // Resolve fk column data pointers once.
+  std::vector<const std::vector<int64_t>*> fk_data(q.dims.size());
+  for (size_t i = 0; i < q.dims.size(); ++i) {
+    fk_data[i] = &q.fact->column(q.dims[i].fact_fk_col).int64_data();
+  }
+
+  std::vector<const DimEntry*> matched(q.dims.size());
+  std::string label;
+  for (int64_t row = 0; row < fact_rows; ++row) {
+    bool pass = true;
+    for (size_t i = 0; i < q.dims.size(); ++i) {
+      int64_t key = (*fk_data[i])[static_cast<size_t>(row)];
+      auto it = states[i].by_key.find(key);
+      if (it == states[i].by_key.end()) {
+        if (options_.strict_integrity) {
+          return Status::InvalidArgument(
+              Format("fact row %lld: foreign key %lld misses dimension '%s'",
+                     static_cast<long long>(row), static_cast<long long>(key),
+                     q.dims[i].table.c_str()));
+        }
+        pass = false;
+        break;
+      }
+      if (!it->second.pass) {
+        pass = false;
+        break;
+      }
+      matched[i] = &it->second;
+    }
+    if (!pass) continue;
+
+    double w = 1.0;
+    if (!q.measure_cols.empty()) {
+      w = 0.0;
+      for (const auto& [col, coeff] : q.measure_cols) {
+        w += coeff * q.fact->column(col).GetNumeric(row);
+      }
+    }
+
+    if (!result.grouped) {
+      result.scalar += w;
+      avg_rows += 1.0;
+      continue;
+    }
+    // Assemble the group label in declared key order.
+    label.clear();
+    for (const auto& [dim_idx, col] : q.group_key_layout) {
+      if (!label.empty()) label += kGroupKeyDelimiter;
+      if (dim_idx < 0) {
+        label += RenderCell(q.fact->column(col), row);
+      } else {
+        const query::DimBinding& d = q.dims[static_cast<size_t>(dim_idx)];
+        label += RenderCell(d.dim->column(col),
+                            matched[static_cast<size_t>(dim_idx)]->row);
+      }
+    }
+    result.groups[label] += w;
+    if (is_avg) group_rows[label] += 1.0;
+  }
+
+  if (is_avg) {
+    if (!result.grouped) {
+      result.scalar = avg_rows > 0.0 ? result.scalar / avg_rows : 0.0;
+    } else {
+      for (auto& [label_key, sum] : result.groups) {
+        sum /= group_rows[label_key];  // every group has ≥ 1 row
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dpstarj::exec

@@ -1,0 +1,55 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// The star-join executor: evaluates a bound star-join query with hash
+// semi-joins. For each dimension it builds a key → (predicate pass, row)
+// table, then streams the fact table once, combining predicate verdicts,
+// accumulating COUNT/SUM and assembling GROUP BY keys.
+//
+// The executor accepts *predicate overrides* so that DP mechanisms can run
+// the same plan under perturbed predicates (the heart of DP-starJ's input
+// perturbation) without re-binding.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/query_result.h"
+#include "query/binder.h"
+
+namespace dpstarj::exec {
+
+/// \brief Per-dimension predicate replacements, aligned with BoundQuery::dims.
+///
+/// Entry semantics: nullopt = keep the dimension's own predicates; an engaged
+/// vector replaces them wholesale (possibly with a different count, possibly
+/// empty = no filtering on that dimension).
+using DimPredicateOverride = std::optional<std::vector<query::BoundPredicate>>;
+using PredicateOverrides = std::vector<DimPredicateOverride>;
+
+/// \brief Options for the executor.
+struct ExecutorOptions {
+  /// When true, fact rows whose foreign key misses the dimension hash table
+  /// are an error (they violate referential integrity). When false they are
+  /// silently dropped, matching SQL inner-join semantics.
+  bool strict_integrity = false;
+};
+
+/// \brief Hash-join star-join evaluation.
+class StarJoinExecutor {
+ public:
+  explicit StarJoinExecutor(ExecutorOptions options = {}) : options_(options) {}
+
+  /// Evaluates the query as bound.
+  Result<QueryResult> Execute(const query::BoundQuery& q) const;
+
+  /// Evaluates with per-dimension predicate overrides (for DP mechanisms).
+  Result<QueryResult> Execute(const query::BoundQuery& q,
+                              const PredicateOverrides& overrides) const;
+
+ private:
+  ExecutorOptions options_;
+};
+
+}  // namespace dpstarj::exec

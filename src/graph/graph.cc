@@ -1,0 +1,107 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace dpstarj::graph {
+
+namespace {
+uint64_t EdgeKey(int64_t u, int64_t v) {
+  return (static_cast<uint64_t>(u) << 32) | static_cast<uint64_t>(v);
+}
+}  // namespace
+
+Result<Graph> Graph::FromEdges(int64_t num_nodes,
+                               std::vector<std::pair<int64_t, int64_t>> edges) {
+  if (num_nodes < 0) return Status::InvalidArgument("num_nodes must be >= 0");
+  if (num_nodes > (int64_t{1} << 31)) {
+    return Status::InvalidArgument("graphs beyond 2^31 nodes are not supported");
+  }
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.degrees_.assign(static_cast<size_t>(num_nodes), 0);
+  g.adjacency_.assign(static_cast<size_t>(num_nodes), {});
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(edges.size() * 2);
+  for (auto& [a, b] : edges) {
+    if (a < 0 || a >= num_nodes || b < 0 || b >= num_nodes) {
+      return Status::InvalidArgument(
+          Format("edge (%lld, %lld) out of range", static_cast<long long>(a),
+                 static_cast<long long>(b)));
+    }
+    if (a == b) {
+      return Status::InvalidArgument(
+          Format("self-loop at node %lld", static_cast<long long>(a)));
+    }
+    int64_t u = std::min(a, b);
+    int64_t v = std::max(a, b);
+    if (!seen.insert(EdgeKey(u, v)).second) {
+      return Status::InvalidArgument(
+          Format("duplicate edge (%lld, %lld)", static_cast<long long>(u),
+                 static_cast<long long>(v)));
+    }
+    g.edges_.emplace_back(u, v);
+    ++g.degrees_[static_cast<size_t>(u)];
+    ++g.degrees_[static_cast<size_t>(v)];
+    g.adjacency_[static_cast<size_t>(u)].push_back(v);
+    g.adjacency_[static_cast<size_t>(v)].push_back(u);
+  }
+  for (auto& adj : g.adjacency_) std::sort(adj.begin(), adj.end());
+  return g;
+}
+
+int64_t Graph::max_degree() const {
+  int64_t m = 0;
+  for (int64_t d : degrees_) m = std::max(m, d);
+  return m;
+}
+
+int64_t Graph::DegreePercentile(double q) const {
+  if (degrees_.empty()) return 0;
+  std::vector<int64_t> sorted = degrees_;
+  std::sort(sorted.begin(), sorted.end());
+  double pos = std::clamp(q, 0.0, 1.0) * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<size_t>(pos)];
+}
+
+Graph Graph::TruncateDegrees(int64_t cap) const {
+  std::vector<std::pair<int64_t, int64_t>> kept;
+  kept.reserve(edges_.size());
+  for (const auto& [u, v] : edges_) {
+    if (degrees_[static_cast<size_t>(u)] <= cap &&
+        degrees_[static_cast<size_t>(v)] <= cap) {
+      kept.emplace_back(u, v);
+    }
+  }
+  auto g = FromEdges(num_nodes_, std::move(kept));
+  DPSTARJ_CHECK(g.ok(), "truncation of a valid graph cannot fail");
+  return std::move(g).ValueOrDie();
+}
+
+Result<std::shared_ptr<storage::Table>> Graph::ToEdgeTable(
+    const std::string& name) const {
+  storage::Schema schema;
+  DPSTARJ_RETURN_NOT_OK(schema.AddField(
+      storage::Field("from_id", storage::ValueType::kInt64,
+                     storage::AttributeDomain::IntRange(0, std::max<int64_t>(
+                                                               num_nodes_ - 1, 0)))));
+  DPSTARJ_RETURN_NOT_OK(schema.AddField(storage::Field("to_id",
+                                                       storage::ValueType::kInt64)));
+  DPSTARJ_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> table,
+                           storage::Table::Create(name, std::move(schema)));
+  table->Reserve(num_edges() * 2);
+  auto* from = table->mutable_column(0);
+  auto* to = table->mutable_column(1);
+  for (const auto& [u, v] : edges_) {
+    from->AppendInt64(u);
+    to->AppendInt64(v);
+    from->AppendInt64(v);
+    to->AppendInt64(u);
+  }
+  DPSTARJ_RETURN_NOT_OK(table->FinishBulkAppend(num_edges() * 2));
+  return table;
+}
+
+}  // namespace dpstarj::graph

@@ -1,0 +1,60 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Graph substrate for the k-star counting experiments (paper §6, Table 2).
+// The paper evaluates on SNAP's Deezer and Amazon networks; this module holds
+// the in-memory graph, degree indexes, naive truncation (for the TM
+// baseline), and conversion to an Edge relation (from_id, to_id) matching the
+// appendix's k-star SQL.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace dpstarj::graph {
+
+/// \brief An undirected simple graph with dense node ids [0, n).
+class Graph {
+ public:
+  /// Builds from an edge list; self-loops and duplicate edges (in either
+  /// orientation) are rejected.
+  static Result<Graph> FromEdges(int64_t num_nodes,
+                                 std::vector<std::pair<int64_t, int64_t>> edges);
+
+  /// Number of nodes n.
+  int64_t num_nodes() const { return num_nodes_; }
+  /// Number of undirected edges.
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+  /// Degree sequence (size n).
+  const std::vector<int64_t>& degrees() const { return degrees_; }
+  /// Sorted adjacency lists.
+  const std::vector<std::vector<int64_t>>& adjacency() const { return adjacency_; }
+  /// The edge list (u < v for every edge).
+  const std::vector<std::pair<int64_t, int64_t>>& edges() const { return edges_; }
+  /// Maximum degree.
+  int64_t max_degree() const;
+  /// The q-th degree percentile (q in [0,1]); e.g. 0.99 for the TM cap.
+  int64_t DegreePercentile(double q) const;
+
+  /// \brief Naive truncation (Kasiviswanathan et al.): removes every node of
+  /// degree > cap together with all its edges; node ids are preserved.
+  Graph TruncateDegrees(int64_t cap) const;
+
+  /// \brief Materializes the Edge relation of the appendix SQL: columns
+  /// (from_id, to_id), one row per *directed* edge (both orientations), so
+  /// "R1.from_id = R2.from_id AND R1.to_id < R2.to_id" enumerates 2-stars.
+  Result<std::shared_ptr<storage::Table>> ToEdgeTable(const std::string& name) const;
+
+ private:
+  int64_t num_nodes_ = 0;
+  std::vector<std::pair<int64_t, int64_t>> edges_;
+  std::vector<int64_t> degrees_;
+  std::vector<std::vector<int64_t>> adjacency_;
+};
+
+}  // namespace dpstarj::graph

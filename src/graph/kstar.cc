@@ -1,0 +1,103 @@
+#include "graph/kstar.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace dpstarj::graph {
+
+KStarIndex::KStarIndex(const Graph& g, int k) : k_(k) {
+  DPSTARJ_CHECK(k >= 1, "k must be >= 1");
+  prefix_.assign(static_cast<size_t>(g.num_nodes()) + 1, 0.0);
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    prefix_[static_cast<size_t>(v) + 1] =
+        prefix_[static_cast<size_t>(v)] +
+        BinomialCoefficient(g.degrees()[static_cast<size_t>(v)], k);
+  }
+}
+
+double KStarIndex::CountRange(int64_t lo, int64_t hi) const {
+  int64_t n = num_nodes();
+  lo = std::max<int64_t>(lo, 0);
+  hi = std::min<int64_t>(hi, n - 1);
+  if (lo > hi) return 0.0;
+  return prefix_[static_cast<size_t>(hi) + 1] - prefix_[static_cast<size_t>(lo)];
+}
+
+double KStarIndex::total() const { return prefix_.back(); }
+
+namespace {
+
+/// Counts the k-subsets of `adj` by explicit nested enumeration, charging one
+/// unit of work per enumerated tuple (the database cost model). Returns false
+/// when the deadline expires mid-enumeration.
+bool EnumerateCenter(const std::vector<int64_t>& adj, int k, const Deadline& deadline,
+                     double* count, int64_t* steps) {
+  int64_t d = static_cast<int64_t>(adj.size());
+  constexpr int64_t kDeadlinePollMask = (1 << 16) - 1;
+  if (k == 1) {
+    *count += static_cast<double>(d);
+    *steps += d;
+    return !deadline.Expired();
+  }
+  if (k == 2) {
+    for (int64_t i = 0; i < d; ++i) {
+      for (int64_t j = i + 1; j < d; ++j) {
+        *count += 1.0;
+        if ((++*steps & kDeadlinePollMask) == 0 && deadline.Expired()) return false;
+      }
+    }
+    return true;
+  }
+  if (k == 3) {
+    for (int64_t i = 0; i < d; ++i) {
+      for (int64_t j = i + 1; j < d; ++j) {
+        for (int64_t l = j + 1; l < d; ++l) {
+          *count += 1.0;
+          if ((++*steps & kDeadlinePollMask) == 0 && deadline.Expired()) return false;
+        }
+      }
+    }
+    return true;
+  }
+  // k >= 4: recursive combination walk (depth ≤ k).
+  bool alive = true;
+  auto rec = [&](auto&& self, int64_t start, int depth) -> void {
+    if (!alive) return;
+    if (depth == k) {
+      *count += 1.0;
+      if ((++*steps & kDeadlinePollMask) == 0 && deadline.Expired()) alive = false;
+      return;
+    }
+    for (int64_t i = start; i < d && alive; ++i) {
+      self(self, i + 1, depth + 1);
+    }
+  };
+  rec(rec, 0, 0);
+  return alive;
+}
+
+}  // namespace
+
+Result<double> EnumerateKStars(const Graph& g, const KStarQuery& q,
+                               const Deadline& deadline,
+                               std::vector<double>* contributions) {
+  if (q.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (contributions != nullptr) contributions->clear();
+  int64_t lo = std::max<int64_t>(q.lo, 0);
+  int64_t hi = std::min<int64_t>(q.hi, g.num_nodes() - 1);
+  double total = 0.0;
+  int64_t steps = 0;
+  for (int64_t v = lo; v <= hi; ++v) {
+    double count = 0.0;
+    if (!EnumerateCenter(g.adjacency()[static_cast<size_t>(v)], q.k, deadline, &count,
+                         &steps)) {
+      return Status::TimeLimit("k-star enumeration exceeded the time limit");
+    }
+    if (count > 0.0 && contributions != nullptr) contributions->push_back(count);
+    total += count;
+  }
+  return total;
+}
+
+}  // namespace dpstarj::graph

@@ -1,0 +1,61 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// k-star counting (paper §6 / appendix A.2): a k-star is a center node with k
+// distinct neighbors; the appendix SQL counts k-stars whose center falls in a
+// node-id range. Two evaluation paths:
+//   * KStarIndex — closed form Σ_{v in range} C(deg(v), k) with prefix sums,
+//     O(1) per range query. This is what PM uses after perturbing the range;
+//   * EnumerateKStars — explicit self-join-style enumeration (what a database
+//     executing the appendix SQL does). Deliberately O(Σ C(deg, k)) with
+//     cooperative deadlines: the R2T/TM baselines pay this cost, reproducing
+//     the paper's "Over time limit" rows on 3-stars.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/timer.h"
+#include "graph/graph.h"
+
+namespace dpstarj::graph {
+
+/// \brief A k-star counting query: count k-stars centered in [lo, hi].
+struct KStarQuery {
+  int k = 2;
+  int64_t lo = 0;   ///< inclusive node-id range start
+  int64_t hi = 0;   ///< inclusive node-id range end
+};
+
+/// \brief Prefix-summed Σ C(deg(v), k): O(n) build, O(1) range count.
+class KStarIndex {
+ public:
+  /// Builds the index for the given k (k ≥ 1).
+  KStarIndex(const Graph& g, int k);
+
+  /// Number of k-stars with center id in [lo, hi] (clamped to [0, n)).
+  double CountRange(int64_t lo, int64_t hi) const;
+
+  /// All k-stars in the graph.
+  double total() const;
+
+  int k() const { return k_; }
+  int64_t num_nodes() const { return static_cast<int64_t>(prefix_.size()) - 1; }
+
+ private:
+  int k_;
+  std::vector<double> prefix_;  // prefix_[i] = Σ_{v<i} C(deg v, k)
+};
+
+/// \brief Per-center k-star counts by explicit neighbor-tuple enumeration —
+/// the cost model of a database running the appendix's self-join SQL. Returns
+/// TimeLimit when the deadline expires (the contributions vector is partial).
+///
+/// `contributions` (optional) receives C(deg v, k) per center v in [lo, hi]
+/// with non-zero count — exactly the per-individual contributions R2T's race
+/// needs under node privacy.
+Result<double> EnumerateKStars(const Graph& g, const KStarQuery& q,
+                               const Deadline& deadline,
+                               std::vector<double>* contributions = nullptr);
+
+}  // namespace dpstarj::graph

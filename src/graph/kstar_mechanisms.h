@@ -1,0 +1,70 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// The three DP k-star mechanisms of Table 2:
+//   * PM  — the Predicate Mechanism: the node-range predicate of the appendix
+//     SQL ("from_id BETWEEN lo AND hi") is perturbed by PMA over the node-id
+//     domain, then the noisy range is answered from the KStarIndex. Cost:
+//     O(1) after the index — this is why PM's times in Table 2 are flat.
+//   * R2T — Race-to-the-Top under node privacy: per-center contributions are
+//     obtained by enumerating the self-join (the LP-truncation cost model of
+//     Dong et al.), then raced. Honors a wall-clock limit.
+//   * TM  — naive truncation + smooth sensitivity (Kasiviswanathan et al.):
+//     truncate nodes above a degree cap, enumerate the truncated self-join,
+//     release with Cauchy noise calibrated to the k-star smooth sensitivity.
+
+#pragma once
+
+#include "common/random.h"
+#include "common/result.h"
+#include "graph/kstar.h"
+
+namespace dpstarj::graph {
+
+/// \brief Result of one mechanism run: the estimate and its wall-clock cost.
+struct KStarAnswer {
+  double estimate = 0.0;
+  double seconds = 0.0;
+};
+
+/// \brief PM options.
+struct KStarPmOptions {
+  int max_range_retries = 64;  ///< PMA resampling bound
+};
+
+/// \brief Answers a k-star query with the Predicate Mechanism at budget ε.
+/// `index` must be built over the same graph with the same k.
+Result<KStarAnswer> AnswerKStarWithPm(const Graph& g, const KStarIndex& index,
+                                      const KStarQuery& q, double epsilon, Rng* rng,
+                                      const KStarPmOptions& options = {});
+
+/// \brief R2T options for k-star.
+struct KStarR2tOptions {
+  double alpha = 0.1;
+  /// Global-sensitivity bound; 0 selects C(n-1, k) (capped) as in Dong et al.
+  double gs_q = 0.0;
+  /// Wall-clock limit in seconds (0 = unlimited). Exceeding it returns
+  /// Status::TimeLimit — Table 2's "Over time limit".
+  double time_limit_s = 0.0;
+};
+
+/// \brief Answers a k-star query with R2T under node privacy.
+Result<KStarAnswer> AnswerKStarWithR2t(const Graph& g, const KStarQuery& q,
+                                       double epsilon, Rng* rng,
+                                       const KStarR2tOptions& options = {});
+
+/// \brief TM options.
+struct KStarTmOptions {
+  /// Degree cap for naive truncation; 0 selects the 99.9th degree percentile.
+  int64_t degree_cap = 0;
+  /// Cauchy tail exponent (γ = 4 per the paper).
+  double gamma = 4.0;
+  /// Wall-clock limit in seconds (0 = unlimited).
+  double time_limit_s = 0.0;
+};
+
+/// \brief Answers a k-star query with naive truncation + smooth sensitivity.
+Result<KStarAnswer> AnswerKStarWithTm(const Graph& g, const KStarQuery& q,
+                                      double epsilon, Rng* rng,
+                                      const KStarTmOptions& options = {});
+
+}  // namespace dpstarj::graph

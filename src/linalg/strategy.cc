@@ -1,0 +1,82 @@
+#include "linalg/strategy.h"
+
+#include "common/string_util.h"
+
+namespace dpstarj::linalg {
+
+Matrix IntervalStrategy::AsMatrix() const {
+  Matrix m(static_cast<int>(intervals.size()), domain_size);
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    auto [lo, hi] = intervals[i];
+    DPSTARJ_CHECK(0 <= lo && lo <= hi && hi < domain_size,
+                  "strategy interval out of domain");
+    for (int c = lo; c <= hi; ++c) m.At(static_cast<int>(i), c) = 1.0;
+  }
+  return m;
+}
+
+IntervalStrategy MakeIdentityStrategy(int domain_size) {
+  DPSTARJ_CHECK(domain_size > 0, "domain_size must be positive");
+  IntervalStrategy s;
+  s.domain_size = domain_size;
+  s.description = Format("identity(%d)", domain_size);
+  s.intervals.reserve(static_cast<size_t>(domain_size));
+  for (int i = 0; i < domain_size; ++i) s.intervals.emplace_back(i, i);
+  return s;
+}
+
+IntervalStrategy MakeHierarchicalStrategy(int domain_size) {
+  DPSTARJ_CHECK(domain_size > 0, "domain_size must be positive");
+  IntervalStrategy s;
+  s.domain_size = domain_size;
+  s.description = Format("hierarchical(%d)", domain_size);
+  // Breadth-first interval splitting: [0,m-1], halves, ..., unit cells.
+  std::vector<std::pair<int, int>> frontier = {{0, domain_size - 1}};
+  while (!frontier.empty()) {
+    std::vector<std::pair<int, int>> next;
+    for (auto [lo, hi] : frontier) {
+      s.intervals.emplace_back(lo, hi);
+      if (lo < hi) {
+        int mid = lo + (hi - lo) / 2;
+        next.emplace_back(lo, mid);
+        next.emplace_back(mid + 1, hi);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return s;
+}
+
+bool HasRangeStructure(const Matrix& predicate_matrix) {
+  for (int r = 0; r < predicate_matrix.rows(); ++r) {
+    int run = 0;
+    for (int c = 0; c < predicate_matrix.cols(); ++c) {
+      if (predicate_matrix.At(r, c) != 0.0) {
+        ++run;
+        if (run >= 2) return true;
+      } else {
+        run = 0;
+      }
+    }
+  }
+  return false;
+}
+
+IntervalStrategy ChooseStrategy(const Matrix& predicate_matrix, int domain_size) {
+  if (HasRangeStructure(predicate_matrix)) {
+    return MakeHierarchicalStrategy(domain_size);
+  }
+  return MakeIdentityStrategy(domain_size);
+}
+
+Result<Matrix> SolveDecomposition(const Matrix& predicate_matrix,
+                                  const Matrix& strategy_matrix) {
+  if (predicate_matrix.cols() != strategy_matrix.cols()) {
+    return Status::InvalidArgument(
+        "predicate and strategy matrices must share the domain dimension");
+  }
+  DPSTARJ_ASSIGN_OR_RETURN(Matrix pinv, strategy_matrix.PseudoInverse());
+  return predicate_matrix.Multiply(pinv);
+}
+
+}  // namespace dpstarj::linalg

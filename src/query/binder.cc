@@ -1,0 +1,238 @@
+#include "query/binder.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace dpstarj::query {
+
+int BoundQuery::NumPredicates() const {
+  int n = 0;
+  for (const auto& d : dims) n += static_cast<int>(d.predicates.size());
+  return n;
+}
+
+std::vector<const BoundPredicate*> BoundQuery::Predicates() const {
+  std::vector<const BoundPredicate*> out;
+  for (const auto& d : dims) {
+    for (const auto& p : d.predicates) out.push_back(&p);
+  }
+  return out;
+}
+
+Result<StarJoinQuery> Binder::Resolve(const ParsedQuery& parsed) const {
+  if (parsed.from_tables.empty()) {
+    return Status::InvalidArgument("FROM list is empty");
+  }
+  for (const auto& t : parsed.from_tables) {
+    if (!catalog_->HasTable(t)) {
+      return Status::NotFound(Format("unknown table '%s'", t.c_str()));
+    }
+  }
+
+  // The fact table is the FROM table that references every other FROM table
+  // through a registered foreign key.
+  std::string fact;
+  for (const auto& cand : parsed.from_tables) {
+    bool references_all = true;
+    for (const auto& other : parsed.from_tables) {
+      if (other == cand) continue;
+      if (!catalog_->ForeignKeyBetween(cand, other).ok()) {
+        references_all = false;
+        break;
+      }
+    }
+    if (references_all && parsed.from_tables.size() > 1) {
+      fact = cand;
+      break;
+    }
+  }
+  if (parsed.from_tables.size() == 1) fact = parsed.from_tables[0];
+  if (fact.empty()) {
+    return Status::InvalidArgument(
+        "no FROM table references all others via foreign keys; not a star join");
+  }
+
+  // Every join equality must match a registered foreign key between the fact
+  // table and a dimension (in either spelled order).
+  for (const auto& j : parsed.joins) {
+    const ColumnRef* fside = nullptr;
+    const ColumnRef* dside = nullptr;
+    if (j.left.table == fact) {
+      fside = &j.left;
+      dside = &j.right;
+    } else if (j.right.table == fact) {
+      fside = &j.right;
+      dside = &j.left;
+    } else {
+      return Status::InvalidArgument(
+          Format("join '%s' does not involve the fact table '%s'",
+                 j.ToString().c_str(), fact.c_str()));
+    }
+    DPSTARJ_ASSIGN_OR_RETURN(storage::ForeignKey fk,
+                             catalog_->ForeignKeyBetween(fact, dside->table));
+    if (fk.fact_column != fside->column || fk.dim_column != dside->column) {
+      return Status::InvalidArgument(
+          Format("join '%s' does not match the registered foreign key %s",
+                 j.ToString().c_str(), fk.ToString().c_str()));
+    }
+  }
+
+  StarJoinQuery q;
+  q.fact_table = fact;
+  for (const auto& t : parsed.from_tables) {
+    if (t != fact) q.joined_tables.push_back(t);
+  }
+  q.aggregate = parsed.aggregate;
+  q.predicates = parsed.predicates;
+  q.group_by = parsed.group_by;
+  q.order_by = parsed.order_by;
+
+  // Measures: accept "col" or "Fact.col".
+  for (const auto& term : parsed.measure_terms) {
+    MeasureTerm t = term;
+    auto dot = t.column.find('.');
+    if (dot != std::string::npos) {
+      std::string table = t.column.substr(0, dot);
+      if (table != fact) {
+        return Status::InvalidArgument(
+            Format("measure '%s' must come from the fact table '%s'",
+                   t.column.c_str(), fact.c_str()));
+      }
+      t.column = t.column.substr(dot + 1);
+    }
+    q.measure_terms.push_back(std::move(t));
+  }
+
+  // Bare SELECT columns must reappear in GROUP BY.
+  for (const auto& ref : parsed.select_columns) {
+    if (std::find(q.group_by.begin(), q.group_by.end(), ref) == q.group_by.end()) {
+      return Status::InvalidArgument(
+          Format("SELECT column %s is not in GROUP BY", ref.ToString().c_str()));
+    }
+  }
+  return q;
+}
+
+Result<BoundQuery> Binder::Bind(const StarJoinQuery& q) const {
+  BoundQuery bound;
+  bound.query = q;
+  DPSTARJ_ASSIGN_OR_RETURN(bound.fact, catalog_->GetTable(q.fact_table));
+
+  // Dimensions: resolve FK columns.
+  std::unordered_map<std::string, int> dim_index;
+  for (const auto& dname : q.joined_tables) {
+    if (dname == q.fact_table) {
+      return Status::InvalidArgument("fact table cannot join itself in a star join");
+    }
+    if (dim_index.count(dname) != 0) {
+      return Status::InvalidArgument(Format("table '%s' joined twice", dname.c_str()));
+    }
+    DimBinding d;
+    d.table = dname;
+    DPSTARJ_ASSIGN_OR_RETURN(d.dim, catalog_->GetTable(dname));
+    DPSTARJ_ASSIGN_OR_RETURN(storage::ForeignKey fk,
+                             catalog_->ForeignKeyBetween(q.fact_table, dname));
+    DPSTARJ_ASSIGN_OR_RETURN(int ffk, bound.fact->schema().FieldIndex(fk.fact_column));
+    DPSTARJ_ASSIGN_OR_RETURN(int dpk, d.dim->schema().FieldIndex(fk.dim_column));
+    d.fact_fk_col = ffk;
+    d.dim_pk_col = dpk;
+    if (bound.fact->schema().field(ffk).type != storage::ValueType::kInt64 ||
+        d.dim->schema().field(dpk).type != storage::ValueType::kInt64) {
+      return Status::NotSupported(
+          Format("join keys must be int64 columns (%s)", fk.ToString().c_str()));
+    }
+    dim_index.emplace(dname, static_cast<int>(bound.dims.size()));
+    bound.dims.push_back(std::move(d));
+  }
+
+  // Predicates: at most one per dimension, on attributes with domains.
+  for (const auto& p : q.predicates) {
+    if (p.table() == q.fact_table) {
+      return Status::NotSupported(
+          Format("predicate %s is on the fact table; the star-join model places "
+                 "predicates on dimension attributes only",
+                 p.ToString().c_str()));
+    }
+    auto it = dim_index.find(p.table());
+    if (it == dim_index.end()) {
+      return Status::InvalidArgument(
+          Format("predicate %s references un-joined table", p.ToString().c_str()));
+    }
+    DimBinding& d = bound.dims[static_cast<size_t>(it->second)];
+    for (const auto& existing : d.predicates) {
+      if (existing.column == p.column()) {
+        return Status::NotSupported(
+            Format("two predicates on attribute %s.%s; the model allows one "
+                   "predicate per dimension attribute",
+                   p.table().c_str(), p.column().c_str()));
+      }
+    }
+    DPSTARJ_ASSIGN_OR_RETURN(int col, d.dim->schema().FieldIndex(p.column()));
+    const storage::Field& field = d.dim->schema().field(col);
+    if (!field.domain.has_value()) {
+      return Status::InvalidArgument(
+          Format("attribute %s.%s has no declared finite domain; DP predicates "
+                 "require one",
+                 p.table().c_str(), p.column().c_str()));
+    }
+    DPSTARJ_ASSIGN_OR_RETURN(BoundPredicate bp, BindPredicate(p, *field.domain, col));
+    d.predicates.push_back(std::move(bp));
+  }
+
+  // Measures.
+  if (q.aggregate != AggregateKind::kCount && q.measure_terms.empty()) {
+    return Status::InvalidArgument(
+        Format("%s query without measure terms", AggregateKindToString(q.aggregate)));
+  }
+  if (q.aggregate == AggregateKind::kCount && !q.measure_terms.empty()) {
+    return Status::InvalidArgument("COUNT query with measure terms");
+  }
+  for (const auto& term : q.measure_terms) {
+    DPSTARJ_ASSIGN_OR_RETURN(int col, bound.fact->schema().FieldIndex(term.column));
+    storage::ValueType t = bound.fact->schema().field(col).type;
+    if (t == storage::ValueType::kString) {
+      return Status::InvalidArgument(
+          Format("measure '%s' must be numeric", term.column.c_str()));
+    }
+    bound.measure_cols.emplace_back(col, term.coefficient);
+  }
+
+  // Group-by keys.
+  for (const auto& ref : q.group_by) {
+    if (ref.table == q.fact_table) {
+      DPSTARJ_ASSIGN_OR_RETURN(int col, bound.fact->schema().FieldIndex(ref.column));
+      bound.fact_group_by_cols.push_back(col);
+      bound.group_key_layout.emplace_back(-1, col);
+      continue;
+    }
+    auto it = dim_index.find(ref.table);
+    if (it == dim_index.end()) {
+      return Status::InvalidArgument(
+          Format("GROUP BY key %s references un-joined table", ref.ToString().c_str()));
+    }
+    DimBinding& d = bound.dims[static_cast<size_t>(it->second)];
+    DPSTARJ_ASSIGN_OR_RETURN(int col, d.dim->schema().FieldIndex(ref.column));
+    d.group_by_cols.push_back(col);
+    bound.group_key_layout.emplace_back(it->second, col);
+  }
+
+  // Order-by keys must be group keys (we only honour ordering on them).
+  for (const auto& ref : q.order_by) {
+    if (std::find(q.group_by.begin(), q.group_by.end(), ref) == q.group_by.end()) {
+      return Status::NotSupported(
+          Format("ORDER BY %s must appear in GROUP BY", ref.ToString().c_str()));
+    }
+  }
+  return bound;
+}
+
+Result<BoundQuery> Binder::BindSql(const std::string& sql) const {
+  DPSTARJ_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseStarJoinSql(sql));
+  DPSTARJ_ASSIGN_OR_RETURN(StarJoinQuery q, Resolve(parsed));
+  return Bind(q);
+}
+
+}  // namespace dpstarj::query

@@ -1,0 +1,79 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Binding: resolving a StarJoinQuery (or parsed SQL) against a Catalog into
+// an executable plan — table handles, foreign-key column indexes, bound
+// predicates in domain-index space, measure columns, group-by layout.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "query/parser.h"
+#include "query/star_query.h"
+#include "storage/catalog.h"
+
+namespace dpstarj::query {
+
+/// \brief One dimension table's role in a bound star-join query.
+struct DimBinding {
+  std::string table;
+  std::shared_ptr<storage::Table> dim;
+  int fact_fk_col = -1;  ///< foreign-key column index in the fact table
+  int dim_pk_col = -1;   ///< primary-key column index in the dimension table
+  /// Filter predicates on this dimension, bound to indexes. Star queries have
+  /// at most one per dimension attribute; flattened snowflakes may carry
+  /// several (one per absorbed hierarchy level).
+  std::vector<BoundPredicate> predicates;
+  /// Dimension columns used as GROUP BY keys.
+  std::vector<int> group_by_cols;
+};
+
+/// \brief A fully resolved star-join query, ready for execution.
+struct BoundQuery {
+  StarJoinQuery query;  ///< the source query (copied)
+  std::shared_ptr<storage::Table> fact;
+  std::vector<DimBinding> dims;
+  /// SUM measure as (fact column index, coefficient) pairs; empty for COUNT.
+  std::vector<std::pair<int, double>> measure_cols;
+  /// Fact-table GROUP BY columns.
+  std::vector<int> fact_group_by_cols;
+  /// Declared group-key order: (dim index into dims, or -1 for fact; column
+  /// index within that table).
+  std::vector<std::pair<int, int>> group_key_layout;
+
+  /// Number of bound predicates across dimensions.
+  int NumPredicates() const;
+  /// Pointers to the bound predicates, in dims order.
+  std::vector<const BoundPredicate*> Predicates() const;
+};
+
+/// \brief Resolves queries against a catalog.
+class Binder {
+ public:
+  /// The catalog must outlive the binder.
+  explicit Binder(const storage::Catalog* catalog) : catalog_(catalog) {}
+
+  /// \brief Semantic analysis of parsed SQL: identifies the fact table (the
+  /// FROM table referencing all others via registered foreign keys), checks
+  /// every join equality against the catalog, resolves measures, and returns
+  /// a StarJoinQuery.
+  Result<StarJoinQuery> Resolve(const ParsedQuery& parsed) const;
+
+  /// \brief Binds a star-join query: validates tables/joins/predicates/
+  /// measures/group keys and produces the executable plan. Join keys must be
+  /// int64 columns; predicates require declared attribute domains.
+  Result<BoundQuery> Bind(const StarJoinQuery& q) const;
+
+  /// Convenience: parse + resolve + bind.
+  Result<BoundQuery> BindSql(const std::string& sql) const;
+
+ private:
+  const storage::Catalog* catalog_;
+};
+
+}  // namespace dpstarj::query

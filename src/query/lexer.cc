@@ -1,0 +1,133 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace dpstarj::query {
+
+bool Token::IsKeyword(const std::string& kw) const {
+  return kind == TokenKind::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, std::string text, int pos) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.position = pos;
+    out.push_back(std::move(t));
+  };
+
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    int pos = static_cast<int>(i);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < sql.size() && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                                sql[j] == '_' || sql[j] == '#')) {
+        ++j;
+      }
+      push(TokenKind::kIdentifier, sql.substr(i, j - i), pos);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < sql.size() && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                                sql[j] == '.')) {
+        if (sql[j] == '.') {
+          // "1993." followed by identifier would be odd; only treat as float
+          // when a digit follows.
+          if (j + 1 < sql.size() && std::isdigit(static_cast<unsigned char>(sql[j + 1]))) {
+            is_float = true;
+          } else {
+            break;
+          }
+        }
+        ++j;
+      }
+      std::string text = sql.substr(i, j - i);
+      Token t;
+      t.position = pos;
+      t.text = text;
+      if (is_float) {
+        t.kind = TokenKind::kNumLiteral;
+        if (!ParseDouble(text, &t.num_value)) {
+          return Status::ParseError(Format("bad numeric literal '%s' at %d",
+                                           text.c_str(), pos));
+        }
+      } else {
+        t.kind = TokenKind::kIntLiteral;
+        if (!ParseInt64(text, &t.int_value)) {
+          return Status::ParseError(Format("bad integer literal '%s' at %d",
+                                           text.c_str(), pos));
+        }
+      }
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      std::string body;
+      bool closed = false;
+      while (j < sql.size()) {
+        if (sql[j] == '\'') {
+          if (j + 1 < sql.size() && sql[j + 1] == '\'') {  // escaped quote
+            body += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        body += sql[j];
+        ++j;
+      }
+      if (!closed) {
+        return Status::ParseError(Format("unterminated string literal at %d", pos));
+      }
+      Token t;
+      t.kind = TokenKind::kStringLiteral;
+      t.text = std::move(body);
+      t.position = pos;
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    // Two-char symbols first.
+    if (i + 1 < sql.size()) {
+      std::string two = sql.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
+        push(TokenKind::kSymbol, two == "<>" ? "!=" : two, pos);
+        i += 2;
+        continue;
+      }
+    }
+    switch (c) {
+      case '(': case ')': case ',': case '.': case ';': case '*': case '+':
+      case '-': case '=': case '<': case '>':
+        push(TokenKind::kSymbol, std::string(1, c), pos);
+        ++i;
+        break;
+      default:
+        return Status::ParseError(Format("unexpected character '%c' at %d", c, pos));
+    }
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = static_cast<int>(sql.size());
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace dpstarj::query

@@ -1,0 +1,46 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Tokenizer for the restricted star-join SQL dialect (the SELECT template of
+// §3.1 and the SSB/TPC-H queries in the paper's appendix).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dpstarj::query {
+
+/// Token categories.
+enum class TokenKind : int {
+  kIdentifier,   ///< bare word: table/column names and keywords
+  kIntLiteral,   ///< 1993
+  kNumLiteral,   ///< 3.5
+  kStringLiteral,///< 'ASIA' (quotes stripped)
+  kSymbol,       ///< one of ( ) , . ; * + - = < > <= >= !=
+  kEnd,          ///< end of input
+};
+
+/// \brief One token with its source position (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     ///< identifier text, symbol spelling, or literal body
+  int64_t int_value = 0;
+  double num_value = 0.0;
+  int position = 0;     ///< byte offset in the input
+
+  /// True if this is an identifier equal (case-insensitively) to `kw`.
+  bool IsKeyword(const std::string& kw) const;
+  /// True if this is the given symbol.
+  bool IsSymbol(const std::string& s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+};
+
+/// \brief Tokenizes `sql`. Comments are not supported; unterminated strings
+/// and unknown characters produce ParseError with the offending offset.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace dpstarj::query

@@ -1,0 +1,272 @@
+#include "query/parser.h"
+
+#include "common/string_util.h"
+#include "query/lexer.h"
+
+namespace dpstarj::query {
+
+namespace {
+
+/// Token-stream cursor with helpers; all Parse* methods return Status and
+/// write into the ParsedQuery being built.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Run() {
+    ParsedQuery q;
+    DPSTARJ_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    DPSTARJ_RETURN_NOT_OK(ParseSelectList(&q));
+    DPSTARJ_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    DPSTARJ_RETURN_NOT_OK(ParseFromList(&q));
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      DPSTARJ_RETURN_NOT_OK(ParseWhere(&q));
+    }
+    if (Peek().IsKeyword("GROUP")) {
+      Advance();
+      DPSTARJ_RETURN_NOT_OK(ExpectKeyword("BY"));
+      DPSTARJ_RETURN_NOT_OK(ParseColumnRefList(&q.group_by));
+    }
+    if (Peek().IsKeyword("ORDER")) {
+      Advance();
+      DPSTARJ_RETURN_NOT_OK(ExpectKeyword("BY"));
+      DPSTARJ_RETURN_NOT_OK(ParseColumnRefList(&q.order_by));
+    }
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Err("unexpected trailing input");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  Status Err(const std::string& what) const {
+    return Status::ParseError(
+        Format("%s near position %d (token '%s')", what.c_str(), Peek().position,
+               Peek().text.c_str()));
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!Peek().IsKeyword(kw)) return Err("expected " + kw);
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const std::string& s) {
+    if (!Peek().IsSymbol(s)) return Err("expected '" + s + "'");
+    Advance();
+    return Status::OK();
+  }
+
+  Result<ColumnRef> ParseColumnRef() {
+    if (Peek().kind != TokenKind::kIdentifier) return Err("expected Table.column");
+    ColumnRef ref;
+    ref.table = Advance().text;
+    DPSTARJ_RETURN_NOT_OK(ExpectSymbol("."));
+    if (Peek().kind != TokenKind::kIdentifier) return Err("expected column name");
+    ref.column = Advance().text;
+    return ref;
+  }
+
+  Status ParseColumnRefList(std::vector<ColumnRef>* out) {
+    while (true) {
+      DPSTARJ_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+      out->push_back(std::move(ref));
+      if (!Peek().IsSymbol(",")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseSelectList(ParsedQuery* q) {
+    bool have_aggregate = false;
+    while (true) {
+      if (Peek().IsKeyword("COUNT")) {
+        if (have_aggregate) return Err("multiple aggregates are not supported");
+        Advance();
+        DPSTARJ_RETURN_NOT_OK(ExpectSymbol("("));
+        DPSTARJ_RETURN_NOT_OK(ExpectSymbol("*"));
+        DPSTARJ_RETURN_NOT_OK(ExpectSymbol(")"));
+        q->aggregate = AggregateKind::kCount;
+        have_aggregate = true;
+      } else if (Peek().IsKeyword("SUM") || Peek().IsKeyword("AVG")) {
+        if (have_aggregate) return Err("multiple aggregates are not supported");
+        bool is_avg = Peek().IsKeyword("AVG");
+        Advance();
+        DPSTARJ_RETURN_NOT_OK(ExpectSymbol("("));
+        DPSTARJ_RETURN_NOT_OK(ParseMeasureExpr(q));
+        DPSTARJ_RETURN_NOT_OK(ExpectSymbol(")"));
+        q->aggregate = is_avg ? AggregateKind::kAvg : AggregateKind::kSum;
+        have_aggregate = true;
+      } else {
+        DPSTARJ_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+        q->select_columns.push_back(std::move(ref));
+      }
+      if (!Peek().IsSymbol(",")) break;
+      Advance();
+    }
+    if (!have_aggregate) return Err("SELECT list must contain count(*) or sum(...)");
+    return Status::OK();
+  }
+
+  // col | col + col | col - col ... ; columns may be qualified or bare (bare
+  // columns are resolved against the fact table by the binder, which is how
+  // SSB writes sum(Lineorder.revenue - Lineorder.supplycost)).
+  Status ParseMeasureExpr(ParsedQuery* q) {
+    double sign = 1.0;
+    while (true) {
+      if (Peek().kind != TokenKind::kIdentifier) return Err("expected measure column");
+      std::string first = Advance().text;
+      std::string column = first;
+      if (Peek().IsSymbol(".")) {
+        Advance();
+        if (Peek().kind != TokenKind::kIdentifier) return Err("expected column name");
+        column = first + "." + Advance().text;
+      }
+      q->measure_terms.push_back({column, sign});
+      if (Peek().IsSymbol("+")) {
+        sign = 1.0;
+        Advance();
+      } else if (Peek().IsSymbol("-")) {
+        sign = -1.0;
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ParseFromList(ParsedQuery* q) {
+    while (true) {
+      if (Peek().kind != TokenKind::kIdentifier) return Err("expected table name");
+      q->from_tables.push_back(Advance().text);
+      if (!Peek().IsSymbol(",")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Result<storage::Value> ParseLiteral() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIntLiteral:
+        Advance();
+        return storage::Value(t.int_value);
+      case TokenKind::kNumLiteral:
+        Advance();
+        return storage::Value(t.num_value);
+      case TokenKind::kStringLiteral:
+        Advance();
+        return storage::Value(t.text);
+      default:
+        return Err("expected literal");
+    }
+  }
+
+  // One comparison: either a join equality (ref = ref) or a predicate.
+  // Writes into q. `out_pred_index` receives the predicate slot or -1.
+  Status ParseComparison(ParsedQuery* q, int* out_pred_index) {
+    *out_pred_index = -1;
+    DPSTARJ_ASSIGN_OR_RETURN(ColumnRef lhs, ParseColumnRef());
+
+    if (Peek().IsKeyword("BETWEEN")) {
+      Advance();
+      DPSTARJ_ASSIGN_OR_RETURN(storage::Value lo, ParseLiteral());
+      DPSTARJ_RETURN_NOT_OK(ExpectKeyword("AND"));
+      DPSTARJ_ASSIGN_OR_RETURN(storage::Value hi, ParseLiteral());
+      q->predicates.push_back(
+          Predicate::Range(lhs.table, lhs.column, std::move(lo), std::move(hi)));
+      *out_pred_index = static_cast<int>(q->predicates.size()) - 1;
+      return Status::OK();
+    }
+
+    if (!(Peek().kind == TokenKind::kSymbol)) return Err("expected comparison operator");
+    std::string op = Advance().text;
+    if (op != "=" && op != "<" && op != "<=" && op != ">" && op != ">=") {
+      return Err("unsupported operator '" + op + "'");
+    }
+
+    // ref op ref → join equality (only '=' allowed).
+    if (Peek().kind == TokenKind::kIdentifier && Peek(1).IsSymbol(".")) {
+      DPSTARJ_ASSIGN_OR_RETURN(ColumnRef rhs, ParseColumnRef());
+      if (op != "=") return Err("non-equality joins are not supported");
+      q->joins.push_back({std::move(lhs), std::move(rhs)});
+      return Status::OK();
+    }
+
+    DPSTARJ_ASSIGN_OR_RETURN(storage::Value lit, ParseLiteral());
+    Predicate p = Predicate::Point("", "", storage::Value());
+    if (op == "=") {
+      p = Predicate::Point(lhs.table, lhs.column, std::move(lit));
+    } else if (op == "<") {
+      p = Predicate::AtMost(lhs.table, lhs.column, std::move(lit), /*strict=*/true);
+    } else if (op == "<=") {
+      p = Predicate::AtMost(lhs.table, lhs.column, std::move(lit), /*strict=*/false);
+    } else if (op == ">") {
+      p = Predicate::AtLeast(lhs.table, lhs.column, std::move(lit), /*strict=*/true);
+    } else {  // ">="
+      p = Predicate::AtLeast(lhs.table, lhs.column, std::move(lit), /*strict=*/false);
+    }
+    q->predicates.push_back(std::move(p));
+    *out_pred_index = static_cast<int>(q->predicates.size()) - 1;
+    return Status::OK();
+  }
+
+  Status ParseWhere(ParsedQuery* q) {
+    while (true) {
+      int pred_index = -1;
+      DPSTARJ_RETURN_NOT_OK(ParseComparison(q, &pred_index));
+
+      // Optional OR chain: only between two point predicates on one attribute
+      // (the SSB MFGR#1/MFGR#2 idiom).
+      while (Peek().IsKeyword("OR")) {
+        Advance();
+        if (pred_index < 0) {
+          return Err("OR must follow a filter predicate, not a join condition");
+        }
+        int rhs_index = -1;
+        DPSTARJ_RETURN_NOT_OK(ParseComparison(q, &rhs_index));
+        if (rhs_index < 0) return Err("OR must join two filter predicates");
+        Predicate& a = q->predicates[static_cast<size_t>(pred_index)];
+        Predicate& b = q->predicates[static_cast<size_t>(rhs_index)];
+        if (a.table() != b.table() || a.column() != b.column()) {
+          return Status::NotSupported(
+              "OR is only supported between predicates on the same attribute");
+        }
+        if (a.kind() != PredicateKind::kPoint || b.kind() != PredicateKind::kPoint) {
+          return Status::NotSupported(
+              "OR is only supported between point predicates");
+        }
+        Predicate merged = Predicate::PointPair(a.table(), a.column(), a.point_value(),
+                                                b.point_value());
+        q->predicates[static_cast<size_t>(pred_index)] = std::move(merged);
+        q->predicates.erase(q->predicates.begin() + rhs_index);
+      }
+
+      if (!Peek().IsKeyword("AND")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseStarJoinSql(const std::string& sql) {
+  DPSTARJ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.Run();
+}
+
+}  // namespace dpstarj::query

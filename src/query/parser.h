@@ -1,0 +1,60 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Recursive-descent parser for the star-join SQL template (paper §3.1):
+//
+//   SELECT count(*) | sum(col [± col]) [, Table.col ...]
+//   FROM t0, t1, ...
+//   WHERE <join-equalities and filter predicates joined by AND,
+//          with OR allowed between two point predicates on one attribute>
+//   [GROUP BY Table.col, ...]
+//   [ORDER BY Table.col, ...] [;]
+//
+// The parser is purely syntactic: it does not know which table is the fact
+// table — the binder (binder.h) resolves that against the Catalog's foreign
+// keys. Comparisons <, <=, >, >=, BETWEEN..AND.. normalize to predicates at
+// bind time.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/star_query.h"
+
+namespace dpstarj::query {
+
+/// \brief An equality between two column references (a join condition).
+struct JoinCondition {
+  ColumnRef left;
+  ColumnRef right;
+
+  std::string ToString() const {
+    return left.ToString() + " = " + right.ToString();
+  }
+};
+
+/// \brief Parser output: the syntactic pieces of one star-join query.
+struct ParsedQuery {
+  /// FROM list, in order.
+  std::vector<std::string> from_tables;
+  /// Equalities between column refs.
+  std::vector<JoinCondition> joins;
+  /// Filter predicates (value-space, unbound).
+  std::vector<Predicate> predicates;
+  /// COUNT or SUM.
+  AggregateKind aggregate = AggregateKind::kCount;
+  /// SUM terms.
+  std::vector<MeasureTerm> measure_terms;
+  /// Bare column refs in the SELECT list (must reappear in GROUP BY).
+  std::vector<ColumnRef> select_columns;
+  /// GROUP BY keys.
+  std::vector<ColumnRef> group_by;
+  /// ORDER BY keys.
+  std::vector<ColumnRef> order_by;
+};
+
+/// \brief Parses one star-join SELECT statement.
+Result<ParsedQuery> ParseStarJoinSql(const std::string& sql);
+
+}  // namespace dpstarj::query

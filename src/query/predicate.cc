@@ -1,0 +1,189 @@
+#include "query/predicate.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace dpstarj::query {
+
+Predicate Predicate::Point(std::string table, std::string column, storage::Value v) {
+  Predicate p;
+  p.kind_ = PredicateKind::kPoint;
+  p.table_ = std::move(table);
+  p.column_ = std::move(column);
+  p.lo_value_ = v;
+  p.hi_value_ = std::move(v);
+  return p;
+}
+
+Predicate Predicate::Range(std::string table, std::string column, storage::Value lo,
+                           storage::Value hi) {
+  Predicate p;
+  p.kind_ = PredicateKind::kRange;
+  p.table_ = std::move(table);
+  p.column_ = std::move(column);
+  p.lo_value_ = std::move(lo);
+  p.hi_value_ = std::move(hi);
+  return p;
+}
+
+Predicate Predicate::AtMost(std::string table, std::string column, storage::Value v,
+                            bool strict) {
+  Predicate p;
+  p.kind_ = PredicateKind::kRange;
+  p.table_ = std::move(table);
+  p.column_ = std::move(column);
+  p.has_lo_ = false;
+  p.hi_value_ = std::move(v);
+  p.hi_strict_ = strict;
+  return p;
+}
+
+Predicate Predicate::AtLeast(std::string table, std::string column, storage::Value v,
+                             bool strict) {
+  Predicate p;
+  p.kind_ = PredicateKind::kRange;
+  p.table_ = std::move(table);
+  p.column_ = std::move(column);
+  p.has_hi_ = false;
+  p.lo_value_ = std::move(v);
+  p.lo_strict_ = strict;
+  return p;
+}
+
+Predicate Predicate::PointPair(std::string table, std::string column,
+                               storage::Value v1, storage::Value v2) {
+  Predicate p;
+  p.kind_ = PredicateKind::kRange;
+  p.table_ = std::move(table);
+  p.column_ = std::move(column);
+  p.or_pair_ = true;
+  p.lo_value_ = std::move(v1);
+  p.hi_value_ = std::move(v2);
+  return p;
+}
+
+Predicate Predicate::PointIndex(std::string table, std::string column, int64_t v) {
+  Predicate p;
+  p.kind_ = PredicateKind::kPoint;
+  p.table_ = std::move(table);
+  p.column_ = std::move(column);
+  p.index_space_ = true;
+  p.lo_index_ = v;
+  p.hi_index_ = v;
+  return p;
+}
+
+Predicate Predicate::RangeIndex(std::string table, std::string column, int64_t lo,
+                                int64_t hi) {
+  Predicate p;
+  p.kind_ = PredicateKind::kRange;
+  p.table_ = std::move(table);
+  p.column_ = std::move(column);
+  p.index_space_ = true;
+  p.lo_index_ = lo;
+  p.hi_index_ = hi;
+  return p;
+}
+
+std::string Predicate::ToString() const {
+  std::string lhs = table_ + "." + column_;
+  if (index_space_) {
+    if (kind_ == PredicateKind::kPoint) {
+      return Format("%s = #%lld", lhs.c_str(), static_cast<long long>(lo_index_));
+    }
+    return Format("%s in #[%lld, %lld]", lhs.c_str(),
+                  static_cast<long long>(lo_index_), static_cast<long long>(hi_index_));
+  }
+  if (or_pair_) {
+    return Format("(%s = %s OR %s = %s)", lhs.c_str(), lo_value_.ToString().c_str(),
+                  lhs.c_str(), hi_value_.ToString().c_str());
+  }
+  if (kind_ == PredicateKind::kPoint) {
+    return Format("%s = %s", lhs.c_str(), lo_value_.ToString().c_str());
+  }
+  if (!has_lo_) {
+    return Format("%s %s %s", lhs.c_str(), hi_strict_ ? "<" : "<=",
+                  hi_value_.ToString().c_str());
+  }
+  if (!has_hi_) {
+    return Format("%s %s %s", lhs.c_str(), lo_strict_ ? ">" : ">=",
+                  lo_value_.ToString().c_str());
+  }
+  return Format("%s in [%s, %s]", lhs.c_str(), lo_value_.ToString().c_str(),
+                hi_value_.ToString().c_str());
+}
+
+std::string BoundPredicate::ToString() const {
+  return Format("%s.%s in #[%lld, %lld] of %s", table.c_str(), column.c_str(),
+                static_cast<long long>(lo_index), static_cast<long long>(hi_index),
+                domain.ToString().c_str());
+}
+
+Result<BoundPredicate> BindPredicate(const Predicate& p,
+                                     const storage::AttributeDomain& domain,
+                                     int column_index) {
+  BoundPredicate b;
+  b.table = p.table();
+  b.column = p.column();
+  b.column_index = column_index;
+  b.domain = domain;
+  b.kind = p.kind();
+
+  if (p.index_space()) {
+    if (p.lo_index() < 0 || p.hi_index() >= domain.size() ||
+        p.lo_index() > p.hi_index()) {
+      return Status::InvalidArgument(
+          Format("index-space predicate %s out of domain size %lld",
+                 p.ToString().c_str(), static_cast<long long>(domain.size())));
+    }
+    b.lo_index = p.lo_index();
+    b.hi_index = p.hi_index();
+    return b;
+  }
+
+  if (p.is_or_pair()) {
+    DPSTARJ_ASSIGN_OR_RETURN(int64_t i1, domain.IndexOf(p.lo_value()));
+    DPSTARJ_ASSIGN_OR_RETURN(int64_t i2, domain.IndexOf(p.hi_value()));
+    int64_t lo = std::min(i1, i2);
+    int64_t hi = std::max(i1, i2);
+    if (hi - lo != 1) {
+      return Status::NotSupported(
+          Format("OR pair %s: values are not adjacent in the domain "
+                 "(indices %lld, %lld); only adjacent disjunctions normalize to a range",
+                 p.ToString().c_str(), static_cast<long long>(i1),
+                 static_cast<long long>(i2)));
+    }
+    b.kind = PredicateKind::kRange;
+    b.lo_index = lo;
+    b.hi_index = hi;
+    return b;
+  }
+
+  if (p.kind() == PredicateKind::kPoint) {
+    DPSTARJ_ASSIGN_OR_RETURN(b.lo_index, domain.IndexOf(p.point_value()));
+    b.hi_index = b.lo_index;
+    return b;
+  }
+
+  // Range with possibly open / strict endpoints.
+  if (p.has_lo()) {
+    DPSTARJ_ASSIGN_OR_RETURN(b.lo_index, domain.IndexOf(p.lo_value()));
+    if (p.lo_strict()) ++b.lo_index;
+  } else {
+    b.lo_index = 0;
+  }
+  if (p.has_hi()) {
+    DPSTARJ_ASSIGN_OR_RETURN(b.hi_index, domain.IndexOf(p.hi_value()));
+    if (p.hi_strict()) --b.hi_index;
+  } else {
+    b.hi_index = domain.size() - 1;
+  }
+  if (b.lo_index > b.hi_index) {
+    return Status::InvalidArgument(
+        Format("empty range in predicate %s", p.ToString().c_str()));
+  }
+  return b;
+}
+
+}  // namespace dpstarj::query

@@ -1,0 +1,125 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Filter predicates over dimension attributes — the objects the Predicate
+// Mechanism perturbs. A predicate is either a point constraint (a = v) or a
+// range constraint (a ∈ [l, r]) over a finite ordered domain (paper §3.1).
+// SQL comparisons (<, <=, >, >=, BETWEEN, adjacent OR pairs) all normalize to
+// these two kinds at bind time.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "storage/domain.h"
+#include "storage/value.h"
+
+namespace dpstarj::query {
+
+/// Point (`a = v`) or range (`a ∈ [l, r]`, both ends inclusive).
+enum class PredicateKind : int { kPoint = 0, kRange = 1 };
+
+/// \brief An unbound predicate on `table.column`.
+///
+/// Addressing modes:
+///  * value space — constants are storage::Values resolved against the
+///    attribute's declared domain at bind time (the SQL path). Value-space
+///    ranges may leave one end open (comparisons like `a < v`), which binds
+///    to the corresponding domain boundary;
+///  * index space — constants are ordinal positions in [0, m); used by
+///    workload matrices (W1/W2) that are specified directly over domains.
+class Predicate {
+ public:
+  /// a = v (value space).
+  static Predicate Point(std::string table, std::string column, storage::Value v);
+  /// a ∈ [lo, hi] (value space, inclusive).
+  static Predicate Range(std::string table, std::string column, storage::Value lo,
+                         storage::Value hi);
+  /// a < v (strict) or a <= v; the lower end binds to the domain minimum.
+  static Predicate AtMost(std::string table, std::string column, storage::Value v,
+                          bool strict);
+  /// a > v (strict) or a >= v; the upper end binds to the domain maximum.
+  static Predicate AtLeast(std::string table, std::string column, storage::Value v,
+                           bool strict);
+  /// `a = v1 OR a = v2`; valid only if v1 and v2 are adjacent in the domain
+  /// (checked at bind time), normalizing to a width-2 range. This is how SSB
+  /// Qc4/Qs4/Qg4 express the MFGR#1/MFGR#2 disjunction.
+  static Predicate PointPair(std::string table, std::string column, storage::Value v1,
+                             storage::Value v2);
+  /// a = index `v` (index space).
+  static Predicate PointIndex(std::string table, std::string column, int64_t v);
+  /// a ∈ [lo, hi] by domain index (index space, inclusive).
+  static Predicate RangeIndex(std::string table, std::string column, int64_t lo,
+                              int64_t hi);
+
+  PredicateKind kind() const { return kind_; }
+  const std::string& table() const { return table_; }
+  const std::string& column() const { return column_; }
+  bool index_space() const { return index_space_; }
+  bool is_or_pair() const { return or_pair_; }
+
+  /// Value-space accessors (valid when !index_space()).
+  const storage::Value& point_value() const { return lo_value_; }
+  const storage::Value& lo_value() const { return lo_value_; }
+  const storage::Value& hi_value() const { return hi_value_; }
+  bool has_lo() const { return has_lo_; }
+  bool has_hi() const { return has_hi_; }
+  bool lo_strict() const { return lo_strict_; }
+  bool hi_strict() const { return hi_strict_; }
+
+  /// Index-space accessors (valid when index_space()).
+  int64_t lo_index() const { return lo_index_; }
+  int64_t hi_index() const { return hi_index_; }
+
+  /// Debug rendering, e.g. "Customer.region = 'ASIA'".
+  std::string ToString() const;
+
+ private:
+  Predicate() = default;
+
+  PredicateKind kind_ = PredicateKind::kPoint;
+  std::string table_;
+  std::string column_;
+  bool index_space_ = false;
+  bool or_pair_ = false;
+  storage::Value lo_value_;
+  storage::Value hi_value_;
+  bool has_lo_ = true;
+  bool has_hi_ = true;
+  bool lo_strict_ = false;
+  bool hi_strict_ = false;
+  int64_t lo_index_ = 0;
+  int64_t hi_index_ = 0;
+};
+
+/// \brief A predicate resolved against its attribute's domain: constraints
+/// live in index space [0, m). Produced by the binder; consumed by the
+/// executor and by PMA (which perturbs lo/hi indices).
+struct BoundPredicate {
+  std::string table;
+  std::string column;
+  int column_index = -1;  ///< position of `column` in the dimension table
+  storage::AttributeDomain domain;
+  PredicateKind kind = PredicateKind::kPoint;
+  int64_t lo_index = 0;  ///< inclusive
+  int64_t hi_index = 0;  ///< inclusive; == lo_index for points
+
+  /// True iff a cell with this domain index satisfies the constraint.
+  bool Matches(int64_t index) const { return index >= lo_index && index <= hi_index; }
+
+  /// Number of selected cells.
+  int64_t Width() const { return hi_index - lo_index + 1; }
+
+  /// Debug rendering with resolved indices.
+  std::string ToString() const;
+};
+
+/// \brief Resolves a predicate against a domain, checking that its constants
+/// belong to the domain. `column_index` is the column's position in the
+/// dimension table.
+Result<BoundPredicate> BindPredicate(const Predicate& p,
+                                     const storage::AttributeDomain& domain,
+                                     int column_index);
+
+}  // namespace dpstarj::query

@@ -1,0 +1,63 @@
+#include "query/star_query.h"
+
+#include "common/string_util.h"
+
+namespace dpstarj::query {
+
+const char* AggregateKindToString(AggregateKind k) {
+  switch (k) {
+    case AggregateKind::kCount:
+      return "COUNT";
+    case AggregateKind::kSum:
+      return "SUM";
+    case AggregateKind::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+bool StarJoinQuery::Touches(const std::string& t) const {
+  if (t == fact_table) return true;
+  for (const auto& d : joined_tables) {
+    if (d == t) return true;
+  }
+  return false;
+}
+
+std::string StarJoinQuery::ToString() const {
+  std::string out = "SELECT ";
+  if (aggregate == AggregateKind::kCount) {
+    out += "count(*)";
+  } else {
+    out += aggregate == AggregateKind::kAvg ? "avg(" : "sum(";
+    for (size_t i = 0; i < measure_terms.size(); ++i) {
+      const auto& t = measure_terms[i];
+      if (i == 0) {
+        if (t.coefficient < 0) out += "-";
+      } else {
+        out += t.coefficient < 0 ? " - " : " + ";
+      }
+      out += t.column;
+    }
+    out += ")";
+  }
+  out += " FROM " + fact_table;
+  for (const auto& d : joined_tables) out += ", " + d;
+  if (!predicates.empty()) {
+    out += " WHERE ";
+    for (size_t i = 0; i < predicates.size(); ++i) {
+      if (i) out += " AND ";
+      out += predicates[i].ToString();
+    }
+  }
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    std::vector<std::string> keys;
+    keys.reserve(group_by.size());
+    for (const auto& g : group_by) keys.push_back(g.ToString());
+    out += Join(keys, ", ");
+  }
+  return out;
+}
+
+}  // namespace dpstarj::query

@@ -1,0 +1,82 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// The star-join query model (Definition 1.1 / §3.1): a fact table joined to
+// dimension tables over foreign keys, filter predicates on dimension
+// attributes, an aggregate over the fact table, optional GROUP BY.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "query/predicate.h"
+
+namespace dpstarj::query {
+
+/// COUNT(*), SUM(linear measure expression), or AVG(linear measure
+/// expression). Under the Predicate Mechanism AVG costs no extra budget: the
+/// same noisy-predicate draw yields both the SUM and the COUNT, and their
+/// ratio is post-processing (§3.1 lists AVG in the query template).
+enum class AggregateKind : int { kCount = 0, kSum = 1, kAvg = 2 };
+
+/// Returns "COUNT", "SUM" or "AVG".
+const char* AggregateKindToString(AggregateKind k);
+
+/// \brief One term of a SUM measure: coefficient · fact_column. SUM(revenue)
+/// is a single term; SUM(revenue - supplycost) (SSB Qg4) is two terms with
+/// coefficients +1 and -1.
+struct MeasureTerm {
+  std::string column;
+  double coefficient = 1.0;
+};
+
+/// \brief A `table.column` reference (group-by / order-by keys).
+struct ColumnRef {
+  std::string table;
+  std::string column;
+
+  std::string ToString() const { return table + "." + column; }
+  bool operator==(const ColumnRef& o) const {
+    return table == o.table && column == o.column;
+  }
+};
+
+/// \brief A star-join query.
+///
+/// Invariants enforced by the binder (see binder.h):
+///  * `fact_table` references every table in `joined_tables` via a registered
+///    foreign key;
+///  * at most one predicate per dimension table (the paper's model — the
+///    per-dimension predicate φ_{a_i}), each on an attribute with a declared
+///    finite domain;
+///  * measures are numeric columns of the fact table;
+///  * group-by keys are attributes of joined tables or the fact table.
+struct StarJoinQuery {
+  /// Display name, e.g. "Qc2". Optional.
+  std::string name;
+  /// The fact table R0.
+  std::string fact_table;
+  /// Dimension tables joined by the query (superset of predicate tables).
+  std::vector<std::string> joined_tables;
+  /// COUNT or SUM.
+  AggregateKind aggregate = AggregateKind::kCount;
+  /// SUM measure (empty for COUNT).
+  std::vector<MeasureTerm> measure_terms;
+  /// Per-dimension filter predicates (φ_{a_1} ∧ ... ∧ φ_{a_n}).
+  std::vector<Predicate> predicates;
+  /// GROUP BY keys (empty for scalar aggregates).
+  std::vector<ColumnRef> group_by;
+  /// ORDER BY keys; validated but only affects result ordering.
+  std::vector<ColumnRef> order_by;
+
+  /// Number of predicate-bearing dimension tables (the `n` in ε_i = ε/n).
+  int NumPredicates() const { return static_cast<int>(predicates.size()); }
+
+  /// True if `t` is the fact table or a joined dimension.
+  bool Touches(const std::string& t) const;
+
+  /// Debug SQL-ish rendering.
+  std::string ToString() const;
+};
+
+}  // namespace dpstarj::query

@@ -1,0 +1,125 @@
+#include "query/workload.h"
+
+#include "common/string_util.h"
+
+namespace dpstarj::query {
+
+Result<std::vector<linalg::Matrix>> BuildPredicateMatrices(
+    const Workload& workload, const std::vector<DimensionAttribute>& attributes) {
+  int l = workload.size();
+  std::vector<linalg::Matrix> out;
+  out.reserve(attributes.size());
+  for (const auto& attr : attributes) {
+    out.emplace_back(l, static_cast<int>(attr.domain.size()));
+  }
+
+  for (int q = 0; q < l; ++q) {
+    const StarJoinQuery& query = workload.queries[static_cast<size_t>(q)];
+    // Default: no predicate on an attribute selects its whole domain.
+    for (size_t a = 0; a < attributes.size(); ++a) {
+      for (int c = 0; c < out[a].cols(); ++c) out[a].At(q, c) = 1.0;
+    }
+    std::vector<bool> seen(attributes.size(), false);
+    for (const auto& pred : query.predicates) {
+      int which = -1;
+      for (size_t a = 0; a < attributes.size(); ++a) {
+        if (attributes[a].table == pred.table() &&
+            attributes[a].column == pred.column()) {
+          which = static_cast<int>(a);
+          break;
+        }
+      }
+      if (which < 0) {
+        return Status::InvalidArgument(
+            Format("query %d has predicate on %s.%s which is not a workload attribute",
+                   q, pred.table().c_str(), pred.column().c_str()));
+      }
+      if (seen[static_cast<size_t>(which)]) {
+        return Status::InvalidArgument(
+            Format("query %d has two predicates on %s.%s", q, pred.table().c_str(),
+                   pred.column().c_str()));
+      }
+      seen[static_cast<size_t>(which)] = true;
+      DPSTARJ_ASSIGN_OR_RETURN(
+          BoundPredicate bound,
+          BindPredicate(pred, attributes[static_cast<size_t>(which)].domain, -1));
+      auto& m = out[static_cast<size_t>(which)];
+      for (int c = 0; c < m.cols(); ++c) {
+        m.At(q, c) = bound.Matches(c) ? 1.0 : 0.0;
+      }
+    }
+  }
+  return out;
+}
+
+Result<Workload> WorkloadFromMatrices(const std::string& name,
+                                      const std::string& fact_table,
+                                      const std::vector<DimensionAttribute>& attributes,
+                                      const std::vector<linalg::Matrix>& matrices) {
+  if (attributes.size() != matrices.size()) {
+    return Status::InvalidArgument("attributes/matrices arity mismatch");
+  }
+  if (matrices.empty()) return Status::InvalidArgument("empty workload spec");
+  int l = matrices[0].rows();
+  for (size_t a = 0; a < matrices.size(); ++a) {
+    if (matrices[a].rows() != l) {
+      return Status::InvalidArgument("all predicate matrices must have equal rows");
+    }
+    if (matrices[a].cols() != static_cast<int>(attributes[a].domain.size())) {
+      return Status::InvalidArgument(
+          Format("matrix %zu has %d cols but domain size is %lld", a,
+                 matrices[a].cols(),
+                 static_cast<long long>(attributes[a].domain.size())));
+    }
+  }
+
+  Workload w;
+  w.name = name;
+  for (int q = 0; q < l; ++q) {
+    StarJoinQuery query;
+    query.name = Format("%s[%d]", name.c_str(), q);
+    query.fact_table = fact_table;
+    query.aggregate = AggregateKind::kCount;
+    for (size_t a = 0; a < attributes.size(); ++a) {
+      const auto& m = matrices[a];
+      // Extract the selected interval; verify contiguity.
+      int lo = -1, hi = -1;
+      for (int c = 0; c < m.cols(); ++c) {
+        double v = m.At(q, c);
+        if (v != 0.0 && v != 1.0) {
+          return Status::InvalidArgument(
+              Format("matrix %zu row %d is not 0/1", a, q));
+        }
+        if (v == 1.0) {
+          if (lo < 0) lo = c;
+          hi = c;
+        }
+      }
+      if (lo < 0) {
+        return Status::InvalidArgument(
+            Format("matrix %zu row %d selects nothing", a, q));
+      }
+      for (int c = lo; c <= hi; ++c) {
+        if (m.At(q, c) != 1.0) {
+          return Status::NotSupported(
+              Format("matrix %zu row %d is not an interval", a, q));
+        }
+      }
+      query.joined_tables.push_back(attributes[a].table);
+      bool full_domain = (lo == 0 && hi == m.cols() - 1);
+      if (!full_domain) {
+        if (lo == hi) {
+          query.predicates.push_back(
+              Predicate::PointIndex(attributes[a].table, attributes[a].column, lo));
+        } else {
+          query.predicates.push_back(Predicate::RangeIndex(
+              attributes[a].table, attributes[a].column, lo, hi));
+        }
+      }
+    }
+    w.queries.push_back(std::move(query));
+  }
+  return w;
+}
+
+}  // namespace dpstarj::query

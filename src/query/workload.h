@@ -1,0 +1,52 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Star-join workloads (§5.3): a set of star-join queries answered together.
+// For Workload Decomposition each query is viewed as one row of a predicate
+// matrix per dimension attribute (one-hot over that attribute's domain).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "query/star_query.h"
+#include "storage/domain.h"
+
+namespace dpstarj::query {
+
+/// \brief A dimension attribute participating in a workload, with its domain.
+struct DimensionAttribute {
+  std::string table;
+  std::string column;
+  storage::AttributeDomain domain;
+};
+
+/// \brief A named list of star-join queries sharing a fact table.
+struct Workload {
+  std::string name;
+  std::vector<StarJoinQuery> queries;
+
+  int size() const { return static_cast<int>(queries.size()); }
+};
+
+/// \brief One-hot encodes the workload over `attributes` (paper §5.3).
+///
+/// Returns one l×m_i 0/1 matrix per attribute, where row q is the indicator
+/// of query q's predicate on that attribute (all-ones when the query has no
+/// predicate there, since an absent predicate selects the full domain).
+/// Fails if a query carries a predicate on a table.column not listed in
+/// `attributes`, or two predicates on the same attribute.
+Result<std::vector<linalg::Matrix>> BuildPredicateMatrices(
+    const Workload& workload, const std::vector<DimensionAttribute>& attributes);
+
+/// \brief Inverse of BuildPredicateMatrices for interval rows: builds a
+/// workload of counting queries over `fact_table` from per-attribute 0/1
+/// matrices whose rows are contiguous intervals (points included).
+/// Non-interval rows are rejected (the predicate model is point/range only).
+Result<Workload> WorkloadFromMatrices(const std::string& name,
+                                      const std::string& fact_table,
+                                      const std::vector<DimensionAttribute>& attributes,
+                                      const std::vector<linalg::Matrix>& matrices);
+
+}  // namespace dpstarj::query

@@ -1,0 +1,127 @@
+#include "ssb/distributions.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace dpstarj::ssb {
+
+const char* DistributionKindToString(DistributionKind k) {
+  switch (k) {
+    case DistributionKind::kUniform:
+      return "uniform";
+    case DistributionKind::kExponential:
+      return "exponential";
+    case DistributionKind::kGamma:
+      return "gamma";
+    case DistributionKind::kGaussianMixture:
+      return "gaussian-mixture";
+  }
+  return "?";
+}
+
+DistributionSpec DistributionSpec::Uniform() { return DistributionSpec{}; }
+
+DistributionSpec DistributionSpec::Exponential(double lambda) {
+  DistributionSpec d;
+  d.kind = DistributionKind::kExponential;
+  d.param1 = lambda;
+  return d;
+}
+
+DistributionSpec DistributionSpec::Gamma(double shape, double scale) {
+  DistributionSpec d;
+  d.kind = DistributionKind::kGamma;
+  d.param1 = shape;
+  d.param2 = scale;
+  return d;
+}
+
+DistributionSpec DistributionSpec::GaussianMixture(std::vector<double> weights,
+                                                   std::vector<double> means,
+                                                   std::vector<double> stddevs) {
+  DistributionSpec d;
+  d.kind = DistributionKind::kGaussianMixture;
+  d.gm_weights = std::move(weights);
+  d.gm_means = std::move(means);
+  d.gm_stddevs = std::move(stddevs);
+  return d;
+}
+
+Status DistributionSpec::Validate() const {
+  switch (kind) {
+    case DistributionKind::kUniform:
+      return Status::OK();
+    case DistributionKind::kExponential:
+      if (param1 <= 0.0) return Status::InvalidArgument("exponential rate must be > 0");
+      return Status::OK();
+    case DistributionKind::kGamma:
+      if (param1 <= 0.0 || param2 <= 0.0) {
+        return Status::InvalidArgument("gamma parameters must be > 0");
+      }
+      return Status::OK();
+    case DistributionKind::kGaussianMixture:
+      if (gm_weights.empty() || gm_weights.size() != gm_means.size() ||
+          gm_means.size() != gm_stddevs.size()) {
+        return Status::InvalidArgument("mixture component vectors must align");
+      }
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown distribution kind");
+}
+
+double DistributionSpec::SampleFraction(Rng* rng) const {
+  switch (kind) {
+    case DistributionKind::kUniform:
+      return rng->Uniform01();
+    case DistributionKind::kExponential: {
+      // ~99.3% of mass within 5 means.
+      double x = rng->Exponential(param1);
+      return Clamp(x * param1 / 5.0, 0.0, 1.0 - 1e-12);
+    }
+    case DistributionKind::kGamma: {
+      double x = rng->Gamma(param1, param2);
+      double mean = param1 * param2;
+      return Clamp(x / (4.0 * mean), 0.0, 1.0 - 1e-12);
+    }
+    case DistributionKind::kGaussianMixture: {
+      double x = rng->GaussianMixture(gm_weights, gm_means, gm_stddevs);
+      return Clamp(x, 0.0, 1.0 - 1e-12);
+    }
+  }
+  return 0.0;
+}
+
+int64_t DistributionSpec::SampleIndex(int64_t m, Rng* rng) const {
+  DPSTARJ_CHECK(m > 0, "domain size must be positive");
+  if (kind == DistributionKind::kUniform) return rng->UniformInt(0, m - 1);
+  return static_cast<int64_t>(SampleFraction(rng) * static_cast<double>(m));
+}
+
+double DistributionSpec::SampleValue(double lo, double hi, Rng* rng) const {
+  DPSTARJ_CHECK(lo <= hi, "invalid value range");
+  return lo + SampleFraction(rng) * (hi - lo);
+}
+
+std::string DistributionSpec::ToString() const {
+  switch (kind) {
+    case DistributionKind::kUniform:
+      return "uniform";
+    case DistributionKind::kExponential:
+      return Format("exponential(%.3g)", param1);
+    case DistributionKind::kGamma:
+      return Format("gamma(%.3g,%.3g)", param1, param2);
+    case DistributionKind::kGaussianMixture: {
+      std::string out = "gm[";
+      for (size_t i = 0; i < gm_weights.size(); ++i) {
+        if (i) out += ";";
+        out += Format("%.2g:N(%.2g,%.2g)", gm_weights[i], gm_means[i], gm_stddevs[i]);
+      }
+      return out + "]";
+    }
+  }
+  return "?";
+}
+
+}  // namespace dpstarj::ssb

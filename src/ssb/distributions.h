@@ -1,0 +1,73 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Data-skew distributions for the SSB generator (paper Figures 7 & 11): the
+// benchmark constructs SSB instances whose attribute values / foreign-key
+// fan-outs / measure values follow uniform, exponential, gamma, or
+// Gaussian-mixture distributions.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace dpstarj::ssb {
+
+/// Distribution families supported by the generator.
+enum class DistributionKind : int {
+  kUniform = 0,
+  kExponential = 1,
+  kGamma = 2,
+  kGaussianMixture = 3,
+};
+
+/// Returns "uniform" / "exponential" / "gamma" / "gaussian-mixture".
+const char* DistributionKindToString(DistributionKind k);
+
+/// \brief A distribution over the unit interval, quantized onto finite
+/// domains. All parameters live in fraction space so one spec applies to any
+/// domain size.
+struct DistributionSpec {
+  DistributionKind kind = DistributionKind::kUniform;
+  /// Exponential: rate λ (mass concentrates near 0; draws are scaled so
+  /// ~5 means cover the domain). Gamma: shape. Ignored otherwise.
+  double param1 = 1.0;
+  /// Gamma: scale θ. Ignored otherwise.
+  double param2 = 1.0;
+  /// Gaussian mixture: component weights / means / stddevs, means and stddevs
+  /// as fractions of the domain.
+  std::vector<double> gm_weights;
+  std::vector<double> gm_means;
+  std::vector<double> gm_stddevs;
+
+  /// Uniform over [0, 1).
+  static DistributionSpec Uniform();
+  /// Exponential with rate λ.
+  static DistributionSpec Exponential(double lambda = 1.0);
+  /// Gamma with shape k and scale θ.
+  static DistributionSpec Gamma(double shape = 2.0, double scale = 1.0);
+  /// Gaussian mixture (fraction space).
+  static DistributionSpec GaussianMixture(std::vector<double> weights,
+                                          std::vector<double> means,
+                                          std::vector<double> stddevs);
+
+  /// \brief Draws a fraction in [0, 1).
+  double SampleFraction(Rng* rng) const;
+
+  /// \brief Draws a domain index in [0, m).
+  int64_t SampleIndex(int64_t m, Rng* rng) const;
+
+  /// \brief Draws a value in [lo, hi] (continuous, for measures).
+  double SampleValue(double lo, double hi, Rng* rng) const;
+
+  /// Validates parameter sanity.
+  Status Validate() const;
+
+  /// Debug rendering.
+  std::string ToString() const;
+};
+
+}  // namespace dpstarj::ssb

@@ -1,0 +1,214 @@
+#include "ssb/ssb_generator.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace dpstarj::ssb {
+
+SsbSizes SsbSizes::ForScaleFactor(double sf) {
+  SsbSizes s;
+  s.lineorder = std::max<int64_t>(1, static_cast<int64_t>(6000000.0 * sf));
+  s.customer = std::max<int64_t>(1, static_cast<int64_t>(30000.0 * sf));
+  s.supplier = std::max<int64_t>(1, static_cast<int64_t>(2000.0 * sf));
+  s.part = std::max<int64_t>(1, static_cast<int64_t>(200000.0 * sf));
+  s.date = kNumDays;
+  return s;
+}
+
+namespace {
+
+Result<std::shared_ptr<storage::Table>> GenerateDate() {
+  DPSTARJ_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> table,
+                           storage::Table::Create(kDate, DateSchema(), "datekey"));
+  table->Reserve(kNumDays);
+  auto* datekey = table->mutable_column(0);
+  auto* year = table->mutable_column(1);
+  auto* month = table->mutable_column(2);
+  auto* daynum = table->mutable_column(3);
+  auto* dow = table->mutable_column(4);
+  for (int64_t d = 0; d < kNumDays; ++d) {
+    int64_t y = kYearLo + d / 365;
+    if (y > kYearHi) y = kYearHi;
+    int64_t day_in_year = d % 365;  // 0-based
+    datekey->AppendInt64(d + 1);
+    year->AppendInt64(y);
+    month->AppendInt64(day_in_year / 31 + 1);  // 1..12
+    daynum->AppendInt64(day_in_year + 1);      // 1..365
+    dow->AppendInt64(d % 7 + 1);
+  }
+  DPSTARJ_RETURN_NOT_OK(table->FinishBulkAppend(kNumDays));
+  return table;
+}
+
+Result<std::shared_ptr<storage::Table>> GenerateCustomer(const SsbOptions& opt,
+                                                         int64_t rows, Rng* rng) {
+  DPSTARJ_ASSIGN_OR_RETURN(
+      std::shared_ptr<storage::Table> table,
+      storage::Table::Create(kCustomer, CustomerSchema(), "custkey"));
+  table->Reserve(rows);
+  const DistributionSpec& dist = opt.attribute_distribution;
+  auto* custkey = table->mutable_column(0);
+  auto* region = table->mutable_column(1);
+  auto* nation = table->mutable_column(2);
+  auto* city = table->mutable_column(3);
+  auto* zip = table->mutable_column(4);
+  auto* address = table->mutable_column(5);
+  const int64_t num_nations = kNumRegions * kNationsPerRegion;
+  for (int64_t i = 0; i < rows; ++i) {
+    // Coverage seeding: the first 25 rows cycle through the nations so every
+    // region/nation predicate has support even at tiny scale factors (real
+    // SSB sizes make this a no-op statistically).
+    int64_t n = i < num_nations
+                    ? i
+                    : dist.SampleIndex(kNumRegions, rng) * kNationsPerRegion +
+                          dist.SampleIndex(kNationsPerRegion, rng);
+    int64_t r = n / kNationsPerRegion;
+    int64_t c = n * kCitiesPerNation + dist.SampleIndex(kCitiesPerNation, rng);
+    custkey->AppendInt64(i + 1);
+    region->AppendString(Regions()[static_cast<size_t>(r)]);
+    nation->AppendString(Nations()[static_cast<size_t>(n)]);
+    city->AppendString(Cities()[static_cast<size_t>(c)]);
+    zip->AppendInt64(dist.SampleIndex(kNumZip, rng));
+    address->AppendString(Format("addr_%lld", static_cast<long long>(i + 1)));
+  }
+  DPSTARJ_RETURN_NOT_OK(table->FinishBulkAppend(rows));
+  return table;
+}
+
+Result<std::shared_ptr<storage::Table>> GenerateSupplier(const SsbOptions& opt,
+                                                         int64_t rows, Rng* rng) {
+  DPSTARJ_ASSIGN_OR_RETURN(
+      std::shared_ptr<storage::Table> table,
+      storage::Table::Create(kSupplier, SupplierSchema(), "suppkey"));
+  table->Reserve(rows);
+  const DistributionSpec& dist = opt.attribute_distribution;
+  auto* suppkey = table->mutable_column(0);
+  auto* region = table->mutable_column(1);
+  auto* nation = table->mutable_column(2);
+  auto* city = table->mutable_column(3);
+  auto* address = table->mutable_column(4);
+  const int64_t num_nations = kNumRegions * kNationsPerRegion;
+  for (int64_t i = 0; i < rows; ++i) {
+    int64_t n = i < num_nations
+                    ? i
+                    : dist.SampleIndex(kNumRegions, rng) * kNationsPerRegion +
+                          dist.SampleIndex(kNationsPerRegion, rng);
+    int64_t r = n / kNationsPerRegion;
+    int64_t c = n * kCitiesPerNation + dist.SampleIndex(kCitiesPerNation, rng);
+    suppkey->AppendInt64(i + 1);
+    region->AppendString(Regions()[static_cast<size_t>(r)]);
+    nation->AppendString(Nations()[static_cast<size_t>(n)]);
+    city->AppendString(Cities()[static_cast<size_t>(c)]);
+    address->AppendString(Format("saddr_%lld", static_cast<long long>(i + 1)));
+  }
+  DPSTARJ_RETURN_NOT_OK(table->FinishBulkAppend(rows));
+  return table;
+}
+
+Result<std::shared_ptr<storage::Table>> GeneratePart(const SsbOptions& opt,
+                                                     int64_t rows, Rng* rng) {
+  DPSTARJ_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> table,
+                           storage::Table::Create(kPart, PartSchema(), "partkey"));
+  table->Reserve(rows);
+  const DistributionSpec& dist = opt.attribute_distribution;
+  auto* partkey = table->mutable_column(0);
+  auto* mfgr = table->mutable_column(1);
+  auto* category = table->mutable_column(2);
+  auto* brand = table->mutable_column(3);
+  const int64_t num_categories = kNumMfgrs * kCategoriesPerMfgr;
+  for (int64_t i = 0; i < rows; ++i) {
+    // Coverage seeding over categories, mirroring the customer/supplier
+    // nation cycling.
+    int64_t c = i < num_categories
+                    ? i
+                    : dist.SampleIndex(kNumMfgrs, rng) * kCategoriesPerMfgr +
+                          dist.SampleIndex(kCategoriesPerMfgr, rng);
+    int64_t m = c / kCategoriesPerMfgr;
+    int64_t b = c * kBrandsPerCategory + dist.SampleIndex(kBrandsPerCategory, rng);
+    partkey->AppendInt64(i + 1);
+    mfgr->AppendString(Mfgrs()[static_cast<size_t>(m)]);
+    category->AppendString(Categories()[static_cast<size_t>(c)]);
+    brand->AppendString(Brands()[static_cast<size_t>(b)]);
+  }
+  DPSTARJ_RETURN_NOT_OK(table->FinishBulkAppend(rows));
+  return table;
+}
+
+Result<std::shared_ptr<storage::Table>> GenerateLineorder(const SsbOptions& opt,
+                                                          const SsbSizes& sizes,
+                                                          Rng* rng) {
+  DPSTARJ_ASSIGN_OR_RETURN(
+      std::shared_ptr<storage::Table> table,
+      storage::Table::Create(kLineorder, LineorderSchema()));
+  table->Reserve(sizes.lineorder);
+  const DistributionSpec& fanout = opt.fanout_distribution;
+  const DistributionSpec& value = opt.value_distribution;
+  auto* orderkey = table->mutable_column(0);
+  auto* custkey = table->mutable_column(1);
+  auto* partkey = table->mutable_column(2);
+  auto* suppkey = table->mutable_column(3);
+  auto* orderdate = table->mutable_column(4);
+  auto* quantity = table->mutable_column(5);
+  auto* revenue = table->mutable_column(6);
+  auto* supplycost = table->mutable_column(7);
+  int64_t planted = std::min(opt.planted_heavy_degree, sizes.lineorder);
+  for (int64_t i = 0; i < sizes.lineorder; ++i) {
+    bool heavy = i < planted;
+    orderkey->AppendInt64(i + 1);
+    // Planted rows reference key 1 of *every* dimension, so the heavy-hitter
+    // degree is visible regardless of which relation a scenario marks private.
+    custkey->AppendInt64(heavy ? 1 : fanout.SampleIndex(sizes.customer, rng) + 1);
+    partkey->AppendInt64(heavy ? 1 : fanout.SampleIndex(sizes.part, rng) + 1);
+    suppkey->AppendInt64(heavy ? 1 : fanout.SampleIndex(sizes.supplier, rng) + 1);
+    orderdate->AppendInt64(heavy ? 1 : fanout.SampleIndex(sizes.date, rng) + 1);
+    quantity->AppendInt64(rng->UniformInt(1, 50));
+    revenue->AppendDouble(value.SampleValue(opt.revenue_lo, opt.revenue_hi, rng));
+    supplycost->AppendDouble(
+        value.SampleValue(opt.supplycost_lo, opt.supplycost_hi, rng));
+  }
+  DPSTARJ_RETURN_NOT_OK(table->FinishBulkAppend(sizes.lineorder));
+  return table;
+}
+
+}  // namespace
+
+Result<storage::Catalog> GenerateSsb(const SsbOptions& options) {
+  if (options.scale_factor <= 0.0) {
+    return Status::InvalidArgument("scale_factor must be positive");
+  }
+  DPSTARJ_RETURN_NOT_OK(options.attribute_distribution.Validate());
+  DPSTARJ_RETURN_NOT_OK(options.fanout_distribution.Validate());
+  DPSTARJ_RETURN_NOT_OK(options.value_distribution.Validate());
+
+  Rng rng(options.seed);
+  SsbSizes sizes = SsbSizes::ForScaleFactor(options.scale_factor);
+
+  storage::Catalog catalog;
+  DPSTARJ_ASSIGN_OR_RETURN(auto date, GenerateDate());
+  DPSTARJ_ASSIGN_OR_RETURN(auto customer, GenerateCustomer(options, sizes.customer,
+                                                           &rng));
+  DPSTARJ_ASSIGN_OR_RETURN(auto supplier, GenerateSupplier(options, sizes.supplier,
+                                                           &rng));
+  DPSTARJ_ASSIGN_OR_RETURN(auto part, GeneratePart(options, sizes.part, &rng));
+  DPSTARJ_ASSIGN_OR_RETURN(auto lineorder, GenerateLineorder(options, sizes, &rng));
+
+  DPSTARJ_RETURN_NOT_OK(catalog.AddTable(std::move(date)));
+  DPSTARJ_RETURN_NOT_OK(catalog.AddTable(std::move(customer)));
+  DPSTARJ_RETURN_NOT_OK(catalog.AddTable(std::move(supplier)));
+  DPSTARJ_RETURN_NOT_OK(catalog.AddTable(std::move(part)));
+  DPSTARJ_RETURN_NOT_OK(catalog.AddTable(std::move(lineorder)));
+
+  DPSTARJ_RETURN_NOT_OK(
+      catalog.AddForeignKey({kLineorder, "custkey", kCustomer, "custkey"}));
+  DPSTARJ_RETURN_NOT_OK(
+      catalog.AddForeignKey({kLineorder, "partkey", kPart, "partkey"}));
+  DPSTARJ_RETURN_NOT_OK(
+      catalog.AddForeignKey({kLineorder, "suppkey", kSupplier, "suppkey"}));
+  DPSTARJ_RETURN_NOT_OK(
+      catalog.AddForeignKey({kLineorder, "orderdate", kDate, "datekey"}));
+  return catalog;
+}
+
+}  // namespace dpstarj::ssb

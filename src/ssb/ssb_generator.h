@@ -1,0 +1,61 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// The SSB instance generator. At scale factor 1 the row counts follow the SSB
+// spec (Lineorder 6,000,000; Customer 30,000; Supplier 2,000; Part 200,000;
+// Date 2,556) and shrink linearly with the scale factor. Three independent
+// distribution knobs reproduce the paper's skew experiments (Figures 7 & 11):
+//   * attribute_distribution — dimension attribute values (region/..., with
+//     hierarchy consistency: nation within region, city within nation);
+//   * fanout_distribution — which dimension keys fact rows reference (join
+//     fan-out skew, what the output-perturbation baselines are sensitive to);
+//   * value_distribution — the revenue/supplycost measures (what SUM queries
+//     are sensitive to).
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "ssb/distributions.h"
+#include "ssb/ssb_schema.h"
+#include "storage/catalog.h"
+
+namespace dpstarj::ssb {
+
+/// \brief Generator configuration.
+struct SsbOptions {
+  /// Linear scale factor (1.0 = the full SSB sizes). Benches default well
+  /// below 1 for CI speed; see DPSTARJ_SF.
+  double scale_factor = 0.01;
+  uint64_t seed = 7;
+  DistributionSpec attribute_distribution;
+  DistributionSpec fanout_distribution;
+  DistributionSpec value_distribution;
+  /// Revenue range (SampleValue bounds).
+  double revenue_lo = 100.0;
+  double revenue_hi = 10000.0;
+  /// Supply-cost range.
+  double supplycost_lo = 10.0;
+  double supplycost_hi = 1000.0;
+  /// When positive, the first `planted_heavy_degree` fact rows all reference
+  /// custkey 1 — planting a known-degree heavy hitter. Figure 6 uses this to
+  /// drive the instance's join sensitivity (and hence GS_Q/LS) explicitly.
+  int64_t planted_heavy_degree = 0;
+};
+
+/// \brief Row counts implied by a scale factor.
+struct SsbSizes {
+  int64_t lineorder = 0;
+  int64_t customer = 0;
+  int64_t supplier = 0;
+  int64_t part = 0;
+  int64_t date = kNumDays;
+
+  static SsbSizes ForScaleFactor(double sf);
+};
+
+/// \brief Generates a full SSB catalog (five tables + four foreign keys).
+/// The result passes Catalog::ValidateIntegrity.
+Result<storage::Catalog> GenerateSsb(const SsbOptions& options);
+
+}  // namespace dpstarj::ssb

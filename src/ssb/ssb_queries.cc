@@ -1,0 +1,220 @@
+#include "ssb/ssb_queries.h"
+
+#include "common/string_util.h"
+#include "ssb/ssb_schema.h"
+
+namespace dpstarj::ssb {
+
+using query::AggregateKind;
+using query::Predicate;
+using query::StarJoinQuery;
+using storage::Value;
+
+namespace {
+
+StarJoinQuery BaseQuery(std::string name, AggregateKind agg) {
+  StarJoinQuery q;
+  q.name = std::move(name);
+  q.fact_table = kLineorder;
+  q.aggregate = agg;
+  if (agg == AggregateKind::kSum) {
+    q.measure_terms.push_back({"revenue", 1.0});
+  }
+  return q;
+}
+
+// ---- predicate bundles shared by the c/s/g families -------------------------
+
+void AddQ1Predicates(StarJoinQuery* q) {
+  q->joined_tables = {kDate};
+  q->predicates.push_back(Predicate::Point(kDate, "year", Value(int64_t{1993})));
+}
+
+void AddQ2Predicates(StarJoinQuery* q) {
+  q->joined_tables = {kDate, kPart, kSupplier};
+  q->predicates.push_back(Predicate::Point(kPart, "category", Value("MFGR#12")));
+  q->predicates.push_back(Predicate::Point(kSupplier, "region", Value("AMERICA")));
+}
+
+void AddQ3Predicates(StarJoinQuery* q) {
+  q->joined_tables = {kDate, kCustomer, kSupplier};
+  q->predicates.push_back(Predicate::Point(kCustomer, "region", Value("ASIA")));
+  q->predicates.push_back(Predicate::Point(kSupplier, "region", Value("ASIA")));
+  q->predicates.push_back(
+      Predicate::Range(kDate, "year", Value(int64_t{1992}), Value(int64_t{1997})));
+}
+
+void AddQ4Predicates(StarJoinQuery* q) {
+  q->joined_tables = {kDate, kCustomer, kPart, kSupplier};
+  q->predicates.push_back(Predicate::Point(kCustomer, "region", Value("AMERICA")));
+  q->predicates.push_back(
+      Predicate::Point(kSupplier, "nation", Value("UNITED STATES")));
+  q->predicates.push_back(
+      Predicate::Range(kDate, "year", Value(int64_t{1997}), Value(int64_t{1998})));
+  q->predicates.push_back(
+      Predicate::PointPair(kPart, "mfgr", Value("MFGR#1"), Value("MFGR#2")));
+}
+
+}  // namespace
+
+const std::vector<std::string>& AllQueryNames() {
+  static const std::vector<std::string> names = {"Qc1", "Qc2", "Qc3", "Qc4", "Qs2",
+                                                 "Qs3", "Qs4", "Qg2", "Qg4"};
+  return names;
+}
+
+Result<StarJoinQuery> GetQuery(const std::string& name) {
+  if (name == "Qc1") {
+    StarJoinQuery q = BaseQuery(name, AggregateKind::kCount);
+    AddQ1Predicates(&q);
+    return q;
+  }
+  if (name == "Qc2") {
+    StarJoinQuery q = BaseQuery(name, AggregateKind::kCount);
+    AddQ2Predicates(&q);
+    return q;
+  }
+  if (name == "Qc3") {
+    StarJoinQuery q = BaseQuery(name, AggregateKind::kCount);
+    AddQ3Predicates(&q);
+    return q;
+  }
+  if (name == "Qc4") {
+    StarJoinQuery q = BaseQuery(name, AggregateKind::kCount);
+    AddQ4Predicates(&q);
+    return q;
+  }
+  if (name == "Qs2") {
+    StarJoinQuery q = BaseQuery(name, AggregateKind::kSum);
+    AddQ2Predicates(&q);
+    return q;
+  }
+  if (name == "Qs3") {
+    StarJoinQuery q = BaseQuery(name, AggregateKind::kSum);
+    AddQ3Predicates(&q);
+    return q;
+  }
+  if (name == "Qs4") {
+    StarJoinQuery q = BaseQuery(name, AggregateKind::kSum);
+    AddQ4Predicates(&q);
+    return q;
+  }
+  if (name == "Qg2") {
+    StarJoinQuery q = BaseQuery(name, AggregateKind::kSum);
+    AddQ2Predicates(&q);
+    q.group_by = {{kDate, "year"}, {kPart, "brand"}};
+    q.order_by = q.group_by;
+    return q;
+  }
+  if (name == "Qg4") {
+    StarJoinQuery q = BaseQuery(name, AggregateKind::kSum);
+    q.measure_terms = {{"revenue", 1.0}, {"supplycost", -1.0}};
+    AddQ4Predicates(&q);
+    q.group_by = {{kDate, "year"}, {kPart, "category"}};
+    q.order_by = q.group_by;
+    return q;
+  }
+  return Status::NotFound(Format("unknown SSB query '%s'", name.c_str()));
+}
+
+Result<std::string> GetQuerySql(const std::string& name) {
+  // Shared WHERE fragments (parser normalizes them back to the object form).
+  const std::string j_date = "Lineorder.orderdate = Date.datekey";
+  const std::string j_cust = "Lineorder.custkey = Customer.custkey";
+  const std::string j_supp = "Lineorder.suppkey = Supplier.suppkey";
+  const std::string j_part = "Lineorder.partkey = Part.partkey";
+
+  if (name == "Qc1") {
+    return std::string(
+        "SELECT count(*) FROM Date, Lineorder WHERE " + j_date +
+        " AND Date.year = 1993;");
+  }
+  if (name == "Qc2" || name == "Qs2") {
+    std::string sel = (name == "Qc2") ? "count(*)" : "sum(Lineorder.revenue)";
+    return "SELECT " + sel + " FROM Date, Lineorder, Part, Supplier WHERE " + j_supp +
+           " AND " + j_part + " AND " + j_date +
+           " AND Part.category = 'MFGR#12' AND Supplier.region = 'AMERICA';";
+  }
+  if (name == "Qc3" || name == "Qs3") {
+    std::string sel = (name == "Qc3") ? "count(*)" : "sum(Lineorder.revenue)";
+    return "SELECT " + sel + " FROM Date, Lineorder, Customer, Supplier WHERE " +
+           j_supp + " AND " + j_cust + " AND " + j_date +
+           " AND Customer.region = 'ASIA' AND Supplier.region = 'ASIA'"
+           " AND Date.year BETWEEN 1992 AND 1997;";
+  }
+  if (name == "Qc4" || name == "Qs4") {
+    std::string sel = (name == "Qc4") ? "count(*)" : "sum(Lineorder.revenue)";
+    return "SELECT " + sel + " FROM Date, Lineorder, Customer, Part, Supplier WHERE " +
+           j_supp + " AND " + j_part + " AND " + j_cust + " AND " + j_date +
+           " AND Customer.region = 'AMERICA'"
+           " AND Supplier.nation = 'UNITED STATES'"
+           " AND Date.year BETWEEN 1997 AND 1998"
+           " AND Part.mfgr = 'MFGR#1' OR Part.mfgr = 'MFGR#2';";
+  }
+  if (name == "Qg2") {
+    return std::string(
+        "SELECT sum(Lineorder.revenue), Date.year, Part.brand"
+        " FROM Date, Lineorder, Part, Supplier WHERE " +
+        j_supp + " AND " + j_part + " AND " + j_date +
+        " AND Part.category = 'MFGR#12' AND Supplier.region = 'AMERICA'"
+        " GROUP BY Date.year, Part.brand ORDER BY Date.year, Part.brand;");
+  }
+  if (name == "Qg4") {
+    return std::string(
+        "SELECT sum(Lineorder.revenue - Lineorder.supplycost), Date.year,"
+        " Part.category"
+        " FROM Date, Lineorder, Customer, Part, Supplier WHERE " +
+        j_supp + " AND " + j_part + " AND " + j_cust + " AND " + j_date +
+        " AND Customer.region = 'AMERICA'"
+        " AND Supplier.nation = 'UNITED STATES'"
+        " AND Date.year BETWEEN 1997 AND 1998"
+        " AND Part.mfgr = 'MFGR#1' OR Part.mfgr = 'MFGR#2'"
+        " GROUP BY Date.year, Part.category ORDER BY Date.year, Part.category;");
+  }
+  return Status::NotFound(Format("unknown SSB query '%s'", name.c_str()));
+}
+
+std::vector<DomainSizeVariant> DomainSizeQueries() {
+  std::vector<DomainSizeVariant> out;
+
+  auto make = [](std::string label, int64_t d1, int64_t d2, Predicate p1,
+                 Predicate p2, std::vector<std::string> joined) {
+    DomainSizeVariant v;
+    v.label = std::move(label);
+    v.dom1 = d1;
+    v.dom2 = d2;
+    v.query.name = "Qdom_" + v.label;
+    v.query.fact_table = kLineorder;
+    v.query.aggregate = AggregateKind::kCount;
+    v.query.joined_tables = std::move(joined);
+    v.query.predicates.push_back(std::move(p1));
+    v.query.predicates.push_back(std::move(p2));
+    return v;
+  };
+
+  out.push_back(make(
+      "5x7", 5, 7, Predicate::Point(kSupplier, "region", Value("ASIA")),
+      Predicate::Range(kDate, "year", Value(int64_t{1993}), Value(int64_t{1995})),
+      {kSupplier, kDate}));
+  out.push_back(make(
+      "5x100", 5, 100, Predicate::Point(kSupplier, "region", Value("ASIA")),
+      Predicate::Range(kCustomer, "zip", Value(int64_t{10}), Value(int64_t{40})),
+      {kSupplier, kCustomer}));
+  out.push_back(make(
+      "250x100", 250, 100,
+      Predicate::Range(kSupplier, "city", Value(Cities()[100]), Value(Cities()[140])),
+      Predicate::Range(kCustomer, "zip", Value(int64_t{10}), Value(int64_t{40})),
+      {kSupplier, kCustomer}));
+  out.push_back(make(
+      "5x366", 5, 366, Predicate::Point(kSupplier, "region", Value("ASIA")),
+      Predicate::Range(kDate, "daynuminyear", Value(int64_t{50}), Value(int64_t{150})),
+      {kSupplier, kDate}));
+  out.push_back(make(
+      "250x366", 250, 366,
+      Predicate::Range(kSupplier, "city", Value(Cities()[100]), Value(Cities()[140])),
+      Predicate::Range(kDate, "daynuminyear", Value(int64_t{50}), Value(int64_t{150})),
+      {kSupplier, kDate}));
+  return out;
+}
+
+}  // namespace dpstarj::ssb

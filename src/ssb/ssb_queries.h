@@ -1,0 +1,39 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// The paper's nine SSB star-join queries (§6.1, appendix A.1): counting
+// queries Qc1–Qc4, sum queries Qs2–Qs4, group-by queries Qg2/Qg4 — both as
+// StarJoinQuery objects and as SQL text (exercising the parser front-end).
+// Also the Figure 8 two-dimension domain-size variants.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/star_query.h"
+
+namespace dpstarj::ssb {
+
+/// The nine query names: Qc1..Qc4, Qs2..Qs4, Qg2, Qg4.
+const std::vector<std::string>& AllQueryNames();
+
+/// Builds one of the nine queries by name.
+Result<query::StarJoinQuery> GetQuery(const std::string& name);
+
+/// The same query as SQL text against the generated schema.
+Result<std::string> GetQuerySql(const std::string& name);
+
+/// \brief One Figure 8 variant: a 2-dimension counting query whose predicate
+/// domains have the given sizes.
+struct DomainSizeVariant {
+  std::string label;  ///< e.g. "5x366"
+  int64_t dom1 = 0;
+  int64_t dom2 = 0;
+  query::StarJoinQuery query;
+};
+
+/// The five Figure 8 variants: 5×7, 5×10², 250×10², 5×366, 250×366.
+std::vector<DomainSizeVariant> DomainSizeQueries();
+
+}  // namespace dpstarj::ssb

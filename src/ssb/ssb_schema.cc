@@ -1,0 +1,193 @@
+#include "ssb/ssb_schema.h"
+
+#include "common/string_util.h"
+
+namespace dpstarj::ssb {
+
+namespace {
+
+std::vector<std::string> BuildRegions() {
+  return {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+}
+
+std::vector<std::string> BuildNations() {
+  // Region-major: nations[i] belongs to Regions()[i / kNationsPerRegion].
+  return {
+      // AFRICA
+      "ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE",
+      // AMERICA
+      "UNITED STATES", "CANADA", "BRAZIL", "ARGENTINA", "PERU",
+      // ASIA
+      "CHINA", "INDIA", "JAPAN", "INDONESIA", "VIETNAM",
+      // EUROPE
+      "FRANCE", "GERMANY", "RUSSIA", "ROMANIA", "UNITED KINGDOM",
+      // MIDDLE EAST
+      "EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA",
+  };
+}
+
+std::vector<std::string> BuildCities() {
+  std::vector<std::string> cities;
+  cities.reserve(static_cast<size_t>(kNationsPerRegion) * kNumRegions *
+                 kCitiesPerNation);
+  for (const auto& nation : BuildNations()) {
+    // SSB style: first 9 chars of the nation plus a digit.
+    std::string stem = nation.substr(0, 9);
+    for (int i = 0; i < kCitiesPerNation; ++i) {
+      cities.push_back(Format("%s#%d", stem.c_str(), i));
+    }
+  }
+  return cities;
+}
+
+std::vector<std::string> BuildMfgrs() {
+  std::vector<std::string> out;
+  for (int m = 1; m <= kNumMfgrs; ++m) out.push_back(Format("MFGR#%d", m));
+  return out;
+}
+
+std::vector<std::string> BuildCategories() {
+  std::vector<std::string> out;
+  for (int m = 1; m <= kNumMfgrs; ++m) {
+    for (int c = 1; c <= kCategoriesPerMfgr; ++c) {
+      out.push_back(Format("MFGR#%d%d", m, c));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> BuildBrands() {
+  std::vector<std::string> out;
+  for (int m = 1; m <= kNumMfgrs; ++m) {
+    for (int c = 1; c <= kCategoriesPerMfgr; ++c) {
+      for (int b = 1; b <= kBrandsPerCategory; ++b) {
+        out.push_back(Format("MFGR#%d%d%02d", m, c, b));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& Regions() {
+  static const std::vector<std::string> v = BuildRegions();
+  return v;
+}
+const std::vector<std::string>& Nations() {
+  static const std::vector<std::string> v = BuildNations();
+  return v;
+}
+const std::vector<std::string>& Cities() {
+  static const std::vector<std::string> v = BuildCities();
+  return v;
+}
+const std::vector<std::string>& Mfgrs() {
+  static const std::vector<std::string> v = BuildMfgrs();
+  return v;
+}
+const std::vector<std::string>& Categories() {
+  static const std::vector<std::string> v = BuildCategories();
+  return v;
+}
+const std::vector<std::string>& Brands() {
+  static const std::vector<std::string> v = BuildBrands();
+  return v;
+}
+
+storage::AttributeDomain RegionDomain() {
+  return storage::AttributeDomain::Categorical(Regions());
+}
+storage::AttributeDomain NationDomain() {
+  return storage::AttributeDomain::Categorical(Nations());
+}
+storage::AttributeDomain CityDomain() {
+  return storage::AttributeDomain::Categorical(Cities());
+}
+storage::AttributeDomain ZipDomain() {
+  return storage::AttributeDomain::IntRange(0, kNumZip - 1);
+}
+storage::AttributeDomain MfgrDomain() {
+  return storage::AttributeDomain::Categorical(Mfgrs());
+}
+storage::AttributeDomain CategoryDomain() {
+  return storage::AttributeDomain::Categorical(Categories());
+}
+storage::AttributeDomain BrandDomain() {
+  return storage::AttributeDomain::Categorical(Brands());
+}
+storage::AttributeDomain YearDomain() {
+  return storage::AttributeDomain::IntRange(kYearLo, kYearHi);
+}
+storage::AttributeDomain MonthDomain() {
+  return storage::AttributeDomain::IntRange(1, 12);
+}
+storage::AttributeDomain DayNumInYearDomain() {
+  return storage::AttributeDomain::IntRange(1, 366);
+}
+
+storage::Schema DateSchema() {
+  using storage::Field;
+  using storage::ValueType;
+  return storage::Schema({
+      Field("datekey", ValueType::kInt64),
+      Field("year", ValueType::kInt64, YearDomain()),
+      Field("month", ValueType::kInt64, MonthDomain()),
+      Field("daynuminyear", ValueType::kInt64, DayNumInYearDomain()),
+      Field("dayofweek", ValueType::kInt64,
+            storage::AttributeDomain::IntRange(1, 7)),
+  });
+}
+
+storage::Schema CustomerSchema() {
+  using storage::Field;
+  using storage::ValueType;
+  return storage::Schema({
+      Field("custkey", ValueType::kInt64),
+      Field("region", ValueType::kString, RegionDomain()),
+      Field("nation", ValueType::kString, NationDomain()),
+      Field("city", ValueType::kString, CityDomain()),
+      Field("zip", ValueType::kInt64, ZipDomain()),
+      Field("address", ValueType::kString),
+  });
+}
+
+storage::Schema SupplierSchema() {
+  using storage::Field;
+  using storage::ValueType;
+  return storage::Schema({
+      Field("suppkey", ValueType::kInt64),
+      Field("region", ValueType::kString, RegionDomain()),
+      Field("nation", ValueType::kString, NationDomain()),
+      Field("city", ValueType::kString, CityDomain()),
+      Field("address", ValueType::kString),
+  });
+}
+
+storage::Schema PartSchema() {
+  using storage::Field;
+  using storage::ValueType;
+  return storage::Schema({
+      Field("partkey", ValueType::kInt64),
+      Field("mfgr", ValueType::kString, MfgrDomain()),
+      Field("category", ValueType::kString, CategoryDomain()),
+      Field("brand", ValueType::kString, BrandDomain()),
+  });
+}
+
+storage::Schema LineorderSchema() {
+  using storage::Field;
+  using storage::ValueType;
+  return storage::Schema({
+      Field("orderkey", ValueType::kInt64),
+      Field("custkey", ValueType::kInt64),
+      Field("partkey", ValueType::kInt64),
+      Field("suppkey", ValueType::kInt64),
+      Field("orderdate", ValueType::kInt64),
+      Field("quantity", ValueType::kInt64),
+      Field("revenue", ValueType::kDouble),
+      Field("supplycost", ValueType::kDouble),
+  });
+}
+
+}  // namespace dpstarj::ssb

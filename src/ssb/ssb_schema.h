@@ -1,0 +1,73 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// The Star Schema Benchmark schema (O'Neil et al.; paper §6): fact table
+// Lineorder plus dimensions Date, Customer, Supplier, Part. Every dimension
+// attribute that can carry a predicate declares its finite ordered domain —
+// the domains are what PM's sensitivity depends on, so they match the paper:
+//   Date.year 7, Date.month 12, Date.daynuminyear 366,
+//   Customer/Supplier region 5, nation 25, city 250, Customer.zip 100,
+//   Part mfgr 5, category 25, brand 1000.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/domain.h"
+#include "storage/schema.h"
+
+namespace dpstarj::ssb {
+
+/// Table names.
+inline constexpr const char* kLineorder = "Lineorder";
+inline constexpr const char* kDate = "Date";
+inline constexpr const char* kCustomer = "Customer";
+inline constexpr const char* kSupplier = "Supplier";
+inline constexpr const char* kPart = "Part";
+
+/// Domain sizes (the numbers quoted in the paper's appendix A.1).
+inline constexpr int kNumRegions = 5;
+inline constexpr int kNationsPerRegion = 5;   // 25 nations
+inline constexpr int kCitiesPerNation = 10;   // 250 cities
+inline constexpr int kNumZip = 100;           // Customer.zip (Figure 8's 10² domain)
+inline constexpr int kNumMfgrs = 5;
+inline constexpr int kCategoriesPerMfgr = 5;  // 25 categories
+inline constexpr int kBrandsPerCategory = 40; // 1000 brands
+inline constexpr int kYearLo = 1992;
+inline constexpr int kYearHi = 1998;          // 7 years
+inline constexpr int kNumDays = 2556;         // 7 years of date keys
+
+/// The five SSB regions, in domain order.
+const std::vector<std::string>& Regions();
+/// The 25 nations, region-major (nation i belongs to region i/5).
+const std::vector<std::string>& Nations();
+/// The 250 cities, nation-major (city i belongs to nation i/10).
+const std::vector<std::string>& Cities();
+/// The 5 manufacturers "MFGR#1".."MFGR#5".
+const std::vector<std::string>& Mfgrs();
+/// The 25 categories "MFGR#11".."MFGR#55", mfgr-major.
+const std::vector<std::string>& Categories();
+/// The 1000 brands "MFGR#1101".., category-major.
+const std::vector<std::string>& Brands();
+
+/// Domains for the predicate attributes.
+storage::AttributeDomain RegionDomain();
+storage::AttributeDomain NationDomain();
+storage::AttributeDomain CityDomain();
+storage::AttributeDomain ZipDomain();
+storage::AttributeDomain MfgrDomain();
+storage::AttributeDomain CategoryDomain();
+storage::AttributeDomain BrandDomain();
+storage::AttributeDomain YearDomain();
+storage::AttributeDomain MonthDomain();
+storage::AttributeDomain DayNumInYearDomain();
+
+/// Schemas (with domains attached to predicate attributes).
+storage::Schema DateSchema();
+storage::Schema CustomerSchema();
+storage::Schema SupplierSchema();
+storage::Schema PartSchema();
+storage::Schema LineorderSchema();
+
+}  // namespace dpstarj::ssb

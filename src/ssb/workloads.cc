@@ -1,0 +1,92 @@
+#include "ssb/workloads.h"
+
+#include "common/status.h"
+#include "ssb/ssb_schema.h"
+
+namespace dpstarj::ssb {
+
+namespace {
+
+linalg::Matrix BuildW1() {
+  auto m = linalg::Matrix::FromRows({
+      {1, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0},
+      {0, 1, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0},
+      {0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0},
+      {0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0},
+      {0, 0, 0, 0, 1, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0},
+      {0, 0, 0, 0, 0, 1, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0},
+      {0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 1, 0, 0, 0},
+      {0, 0, 1, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0},
+      {0, 0, 0, 1, 1, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0},
+      {0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 1, 0, 0, 1, 0, 0, 0},
+      {0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 1, 0, 1, 0, 0, 0},
+  });
+  DPSTARJ_CHECK(m.ok(), "W1 literal must be rectangular");
+  return std::move(m).ValueOrDie();
+}
+
+linalg::Matrix BuildW2() {
+  auto m = linalg::Matrix::FromRows({
+      {1, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 1, 0, 0, 0, 0},
+      {1, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 1, 0, 0, 0, 0},
+      {1, 1, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0},
+      {1, 1, 1, 1, 0, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0},
+      {1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0},
+      {1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0},
+      {1, 1, 1, 1, 1, 1, 1, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0},
+  });
+  DPSTARJ_CHECK(m.ok(), "W2 literal must be rectangular");
+  return std::move(m).ValueOrDie();
+}
+
+}  // namespace
+
+std::vector<query::DimensionAttribute> WorkloadAttributes() {
+  return {
+      {kDate, "year", YearDomain()},
+      {kCustomer, "region", RegionDomain()},
+      {kSupplier, "region", RegionDomain()},
+  };
+}
+
+const linalg::Matrix& W1Matrix() {
+  static const linalg::Matrix m = BuildW1();
+  return m;
+}
+
+const linalg::Matrix& W2Matrix() {
+  static const linalg::Matrix m = BuildW2();
+  return m;
+}
+
+Result<std::vector<linalg::Matrix>> SplitWorkloadMatrix(const linalg::Matrix& m) {
+  const int blocks[3] = {7, 5, 5};
+  if (m.cols() != blocks[0] + blocks[1] + blocks[2]) {
+    return Status::InvalidArgument("workload matrix must have 17 columns");
+  }
+  std::vector<linalg::Matrix> out;
+  int offset = 0;
+  for (int b : blocks) {
+    linalg::Matrix block(m.rows(), b);
+    for (int r = 0; r < m.rows(); ++r) {
+      for (int c = 0; c < b; ++c) block.At(r, c) = m.At(r, offset + c);
+    }
+    out.push_back(std::move(block));
+    offset += b;
+  }
+  return out;
+}
+
+Result<query::Workload> WorkloadW1() {
+  DPSTARJ_ASSIGN_OR_RETURN(std::vector<linalg::Matrix> blocks,
+                           SplitWorkloadMatrix(W1Matrix()));
+  return query::WorkloadFromMatrices("W1", kLineorder, WorkloadAttributes(), blocks);
+}
+
+Result<query::Workload> WorkloadW2() {
+  DPSTARJ_ASSIGN_OR_RETURN(std::vector<linalg::Matrix> blocks,
+                           SplitWorkloadMatrix(W2Matrix()));
+  return query::WorkloadFromMatrices("W2", kLineorder, WorkloadAttributes(), blocks);
+}
+
+}  // namespace dpstarj::ssb

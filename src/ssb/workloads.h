@@ -1,0 +1,36 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// The paper's star-join workloads W1 and W2 (§6.1, Figure 9), given as
+// predicate matrices over the concatenated domains
+// [ Date.year (7) | Customer.region (5) | Supplier.region (5) ] — 17 columns.
+// W1 (11 queries) is point-heavy with a few short date ranges; W2 (7 queries)
+// has a cumulative (prefix) structure on the date block.
+
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "query/workload.h"
+
+namespace dpstarj::ssb {
+
+/// The three workload attributes, in block order (year, Customer.region,
+/// Supplier.region).
+std::vector<query::DimensionAttribute> WorkloadAttributes();
+
+/// The 11×17 W1 matrix exactly as printed in the paper.
+const linalg::Matrix& W1Matrix();
+/// The 7×17 W2 matrix exactly as printed in the paper.
+const linalg::Matrix& W2Matrix();
+
+/// W1 as a workload of counting star-join queries.
+Result<query::Workload> WorkloadW1();
+/// W2 as a workload of counting star-join queries.
+Result<query::Workload> WorkloadW2();
+
+/// Splits a concatenated (7|5|5) workload matrix into per-attribute blocks.
+Result<std::vector<linalg::Matrix>> SplitWorkloadMatrix(const linalg::Matrix& m);
+
+}  // namespace dpstarj::ssb

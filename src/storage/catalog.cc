@@ -1,0 +1,122 @@
+#include "storage/catalog.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace dpstarj::storage {
+
+std::string ForeignKey::ToString() const {
+  return Format("%s.%s -> %s.%s", fact_table.c_str(), fact_column.c_str(),
+                dim_table.c_str(), dim_column.c_str());
+}
+
+Status Catalog::AddTable(std::shared_ptr<Table> table) {
+  if (!table) return Status::InvalidArgument("null table");
+  const std::string& name = table->name();
+  if (tables_.count(name) != 0) {
+    return Status::AlreadyExists(Format("table '%s' already registered", name.c_str()));
+  }
+  table_order_.push_back(name);
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Table>> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(Format("no table named '%s'", name.c_str()));
+  }
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) != 0;
+}
+
+Status Catalog::AddForeignKey(ForeignKey fk) {
+  DPSTARJ_ASSIGN_OR_RETURN(std::shared_ptr<Table> fact, GetTable(fk.fact_table));
+  DPSTARJ_ASSIGN_OR_RETURN(std::shared_ptr<Table> dim, GetTable(fk.dim_table));
+  if (!fact->schema().HasField(fk.fact_column)) {
+    return Status::InvalidArgument(
+        Format("fact column '%s' not in '%s'", fk.fact_column.c_str(),
+               fk.fact_table.c_str()));
+  }
+  if (!dim->schema().HasField(fk.dim_column)) {
+    return Status::InvalidArgument(
+        Format("dim column '%s' not in '%s'", fk.dim_column.c_str(),
+               fk.dim_table.c_str()));
+  }
+  if (dim->primary_key() != fk.dim_column) {
+    return Status::InvalidArgument(
+        Format("foreign key must reference the primary key of '%s' (pk='%s', got '%s')",
+               fk.dim_table.c_str(), dim->primary_key().c_str(), fk.dim_column.c_str()));
+  }
+  foreign_keys_.push_back(std::move(fk));
+  return Status::OK();
+}
+
+std::vector<ForeignKey> Catalog::ForeignKeysFrom(const std::string& fact) const {
+  std::vector<ForeignKey> out;
+  for (const auto& fk : foreign_keys_) {
+    if (fk.fact_table == fact) out.push_back(fk);
+  }
+  return out;
+}
+
+Result<ForeignKey> Catalog::ForeignKeyBetween(const std::string& fact,
+                                              const std::string& dim) const {
+  for (const auto& fk : foreign_keys_) {
+    if (fk.fact_table == fact && fk.dim_table == dim) return fk;
+  }
+  return Status::NotFound(
+      Format("no foreign key from '%s' to '%s'", fact.c_str(), dim.c_str()));
+}
+
+std::vector<std::string> Catalog::TableNames() const { return table_order_; }
+
+namespace {
+// Collects the set of key values in a column as int64s (string columns use
+// dictionary codes, which are only comparable within one dictionary, so we
+// hash the strings themselves in that case).
+Status CollectKeySet(const Column& col, std::unordered_set<int64_t>* int_keys,
+                     std::unordered_set<std::string>* str_keys) {
+  if (col.type() == ValueType::kString) {
+    for (int64_t r = 0; r < col.size(); ++r) str_keys->insert(col.GetString(r));
+  } else if (col.type() == ValueType::kInt64) {
+    for (int64_t r = 0; r < col.size(); ++r) int_keys->insert(col.GetInt64(r));
+  } else {
+    return Status::InvalidArgument("double columns cannot be join keys");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status Catalog::ValidateIntegrity() const {
+  for (const auto& fk : foreign_keys_) {
+    DPSTARJ_ASSIGN_OR_RETURN(std::shared_ptr<Table> fact, GetTable(fk.fact_table));
+    DPSTARJ_ASSIGN_OR_RETURN(std::shared_ptr<Table> dim, GetTable(fk.dim_table));
+    DPSTARJ_ASSIGN_OR_RETURN(const Column* fcol, fact->ColumnByName(fk.fact_column));
+    DPSTARJ_ASSIGN_OR_RETURN(const Column* dcol, dim->ColumnByName(fk.dim_column));
+    if (fcol->type() != dcol->type()) {
+      return Status::InvalidArgument(
+          Format("type mismatch on %s", fk.ToString().c_str()));
+    }
+    std::unordered_set<int64_t> int_keys;
+    std::unordered_set<std::string> str_keys;
+    DPSTARJ_RETURN_NOT_OK(CollectKeySet(*dcol, &int_keys, &str_keys));
+    for (int64_t r = 0; r < fcol->size(); ++r) {
+      bool found = fcol->type() == ValueType::kString
+                       ? str_keys.count(fcol->GetString(r)) != 0
+                       : int_keys.count(fcol->GetInt64(r)) != 0;
+      if (!found) {
+        return Status::InvalidArgument(
+            Format("dangling foreign key in row %lld of %s",
+                   static_cast<long long>(r), fk.ToString().c_str()));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dpstarj::storage

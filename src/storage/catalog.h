@@ -1,0 +1,73 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace dpstarj::storage {
+
+/// \brief A foreign-key constraint: fact_table.fact_column references
+/// dim_table's primary key column dim_column.
+///
+/// The (a,b)-private neighboring definitions (paper §3.2) are driven by these
+/// constraints: deleting a private dimension tuple deletes every fact tuple
+/// referencing it.
+struct ForeignKey {
+  std::string fact_table;
+  std::string fact_column;
+  std::string dim_table;
+  std::string dim_column;
+
+  std::string ToString() const;
+};
+
+/// \brief A database instance: named tables plus foreign-key constraints.
+///
+/// For star schemas there is one fact table referencing n dimension tables;
+/// the Catalog does not hard-code that shape (snowflake hierarchies register
+/// dimension→dimension keys too) but offers star-oriented lookups.
+class Catalog {
+ public:
+  /// Registers a table; fails on duplicate names.
+  Status AddTable(std::shared_ptr<Table> table);
+
+  /// Looks up a table by name.
+  Result<std::shared_ptr<Table>> GetTable(const std::string& name) const;
+
+  /// True if a table with this name exists.
+  bool HasTable(const std::string& name) const;
+
+  /// Registers a foreign key; both tables/columns must exist and the
+  /// referenced column must be the dim table's primary key.
+  Status AddForeignKey(ForeignKey fk);
+
+  /// All registered constraints.
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+
+  /// Constraints whose referencing side is `fact`.
+  std::vector<ForeignKey> ForeignKeysFrom(const std::string& fact) const;
+
+  /// The constraint linking `fact` to `dim`, if any.
+  Result<ForeignKey> ForeignKeyBetween(const std::string& fact,
+                                       const std::string& dim) const;
+
+  /// All table names in registration order.
+  std::vector<std::string> TableNames() const;
+
+  /// \brief Full referential-integrity check: every foreign-key value in every
+  /// fact row must have a matching primary-key row. O(total rows).
+  Status ValidateIntegrity() const;
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<Table>> tables_;
+  std::vector<std::string> table_order_;
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+}  // namespace dpstarj::storage

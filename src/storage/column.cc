@@ -1,0 +1,132 @@
+#include "storage/column.h"
+
+#include "common/string_util.h"
+
+namespace dpstarj::storage {
+
+Column::Column(ValueType type, std::shared_ptr<Dictionary> dict) : type_(type) {
+  if (type_ == ValueType::kString) {
+    dict_ = dict ? std::move(dict) : std::make_shared<Dictionary>();
+  }
+}
+
+int64_t Column::size() const {
+  switch (type_) {
+    case ValueType::kInt64:
+      return static_cast<int64_t>(int64_data_.size());
+    case ValueType::kDouble:
+      return static_cast<int64_t>(double_data_.size());
+    case ValueType::kString:
+      return static_cast<int64_t>(code_data_.size());
+  }
+  return 0;
+}
+
+Status Column::Append(const Value& v) {
+  switch (type_) {
+    case ValueType::kInt64:
+      if (v.is_int64()) {
+        AppendInt64(v.AsInt64());
+        return Status::OK();
+      }
+      if (v.is_double()) {  // tolerate integral doubles from CSV
+        AppendInt64(static_cast<int64_t>(v.AsDouble()));
+        return Status::OK();
+      }
+      break;
+    case ValueType::kDouble:
+      if (v.is_double() || v.is_int64()) {
+        AppendDouble(v.ToNumeric());
+        return Status::OK();
+      }
+      break;
+    case ValueType::kString:
+      if (v.is_string()) {
+        AppendString(v.AsString());
+        return Status::OK();
+      }
+      break;
+  }
+  return Status::InvalidArgument(
+      Format("cannot append %s value to %s column", ValueTypeToString(v.type()),
+             ValueTypeToString(type_)));
+}
+
+void Column::AppendInt64(int64_t v) {
+  DPSTARJ_CHECK(type_ == ValueType::kInt64, "AppendInt64 on non-int64 column");
+  int64_data_.push_back(v);
+}
+
+void Column::AppendDouble(double v) {
+  DPSTARJ_CHECK(type_ == ValueType::kDouble, "AppendDouble on non-double column");
+  double_data_.push_back(v);
+}
+
+void Column::AppendStringCode(int32_t code) {
+  DPSTARJ_CHECK(type_ == ValueType::kString, "AppendStringCode on non-string column");
+  DPSTARJ_CHECK(code >= 0 && code < dict_->size(), "unknown dictionary code");
+  code_data_.push_back(code);
+}
+
+int32_t Column::AppendString(std::string_view s) {
+  DPSTARJ_CHECK(type_ == ValueType::kString, "AppendString on non-string column");
+  int32_t code = dict_->GetOrInsert(s);
+  code_data_.push_back(code);
+  return code;
+}
+
+int64_t Column::GetInt64(int64_t row) const {
+  return int64_data_[static_cast<size_t>(row)];
+}
+
+double Column::GetDouble(int64_t row) const {
+  return double_data_[static_cast<size_t>(row)];
+}
+
+int32_t Column::GetStringCode(int64_t row) const {
+  return code_data_[static_cast<size_t>(row)];
+}
+
+const std::string& Column::GetString(int64_t row) const {
+  return dict_->At(code_data_[static_cast<size_t>(row)]);
+}
+
+Value Column::GetValue(int64_t row) const {
+  switch (type_) {
+    case ValueType::kInt64:
+      return Value(GetInt64(row));
+    case ValueType::kDouble:
+      return Value(GetDouble(row));
+    case ValueType::kString:
+      return Value(GetString(row));
+  }
+  return Value();
+}
+
+double Column::GetNumeric(int64_t row) const {
+  switch (type_) {
+    case ValueType::kInt64:
+      return static_cast<double>(GetInt64(row));
+    case ValueType::kDouble:
+      return GetDouble(row);
+    case ValueType::kString:
+      return static_cast<double>(GetStringCode(row));
+  }
+  return 0.0;
+}
+
+void Column::Reserve(int64_t n) {
+  switch (type_) {
+    case ValueType::kInt64:
+      int64_data_.reserve(static_cast<size_t>(n));
+      break;
+    case ValueType::kDouble:
+      double_data_.reserve(static_cast<size_t>(n));
+      break;
+    case ValueType::kString:
+      code_data_.reserve(static_cast<size_t>(n));
+      break;
+  }
+}
+
+}  // namespace dpstarj::storage

@@ -1,0 +1,76 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/dictionary.h"
+#include "storage/value.h"
+
+namespace dpstarj::storage {
+
+/// \brief A typed in-memory column.
+///
+/// Storage layout by type:
+///  * kInt64  — std::vector<int64_t>
+///  * kDouble — std::vector<double>
+///  * kString — std::vector<int32_t> dictionary codes + shared Dictionary
+///
+/// Columns grow append-only; the Table guarantees equal lengths.
+class Column {
+ public:
+  /// Creates an empty column. String columns allocate a fresh dictionary
+  /// unless one is supplied (sharing enables integer-compare joins).
+  explicit Column(ValueType type, std::shared_ptr<Dictionary> dict = nullptr);
+
+  /// The column type.
+  ValueType type() const { return type_; }
+  /// Number of rows.
+  int64_t size() const;
+
+  /// \name Appends (type must match; mismatch returns InvalidArgument).
+  /// @{
+  Status Append(const Value& v);
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendStringCode(int32_t code);
+  int32_t AppendString(std::string_view s);  ///< interns and appends; returns code
+  /// @}
+
+  /// \name Typed readers (row must be in range; type checked in debug).
+  /// @{
+  int64_t GetInt64(int64_t row) const;
+  double GetDouble(int64_t row) const;
+  int32_t GetStringCode(int64_t row) const;
+  const std::string& GetString(int64_t row) const;
+  /// @}
+
+  /// Generic reader producing a Value (slow path; for I/O and tests).
+  Value GetValue(int64_t row) const;
+
+  /// Numeric view of a cell: int64/double convert, string returns its code.
+  double GetNumeric(int64_t row) const;
+
+  /// Raw data access for tight loops.
+  const std::vector<int64_t>& int64_data() const { return int64_data_; }
+  const std::vector<double>& double_data() const { return double_data_; }
+  const std::vector<int32_t>& code_data() const { return code_data_; }
+
+  /// The dictionary (string columns only; nullptr otherwise).
+  const std::shared_ptr<Dictionary>& dictionary() const { return dict_; }
+
+  /// Reserves capacity for n rows.
+  void Reserve(int64_t n);
+
+ private:
+  ValueType type_;
+  std::vector<int64_t> int64_data_;
+  std::vector<double> double_data_;
+  std::vector<int32_t> code_data_;
+  std::shared_ptr<Dictionary> dict_;
+};
+
+}  // namespace dpstarj::storage

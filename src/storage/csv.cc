@@ -1,0 +1,153 @@
+#include "storage/csv.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace dpstarj::storage {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s, char delim) {
+  return s.find(delim) != std::string::npos || s.find('"') != std::string::npos ||
+         s.find('\n') != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+// Splits one CSV record honoring double-quote escaping.
+std::vector<std::string> SplitCsvLine(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, const std::string& path, char delim) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError(Format("cannot open '%s' for writing", path.c_str()));
+  const Schema& schema = table.schema();
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    if (i) out << delim;
+    out << schema.field(i).name;
+  }
+  out << '\n';
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < schema.num_fields(); ++c) {
+      if (c) out << delim;
+      std::string s = table.column(c).GetValue(r).ToString();
+      out << (NeedsQuoting(s, delim) ? QuoteField(s) : s);
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError(Format("write to '%s' failed", path.c_str()));
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Table>> ReadCsv(const std::string& path,
+                                       const std::string& table_name, Schema schema,
+                                       std::string primary_key, char delim) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError(Format("cannot open '%s' for reading", path.c_str()));
+
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::ParseError(Format("'%s' is empty", path.c_str()));
+  }
+  std::vector<std::string> names = SplitCsvLine(header, delim);
+  if (static_cast<int>(names.size()) != schema.num_fields()) {
+    return Status::ParseError(
+        Format("'%s' header has %zu columns, schema expects %d", path.c_str(),
+               names.size(), schema.num_fields()));
+  }
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    if (std::string(Trim(names[static_cast<size_t>(i)])) != schema.field(i).name) {
+      return Status::ParseError(
+          Format("'%s' header column %d is '%s', schema expects '%s'", path.c_str(), i,
+                 names[static_cast<size_t>(i)].c_str(), schema.field(i).name.c_str()));
+    }
+  }
+
+  DPSTARJ_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                           Table::Create(table_name, std::move(schema),
+                                         std::move(primary_key)));
+  std::string line;
+  int64_t lineno = 1;
+  std::vector<Value> row;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(line, delim);
+    if (static_cast<int>(fields.size()) != table->schema().num_fields()) {
+      return Status::ParseError(Format("'%s' line %lld: arity mismatch", path.c_str(),
+                                       static_cast<long long>(lineno)));
+    }
+    row.clear();
+    for (int i = 0; i < table->schema().num_fields(); ++i) {
+      const std::string& f = fields[static_cast<size_t>(i)];
+      switch (table->schema().field(i).type) {
+        case ValueType::kInt64: {
+          int64_t v = 0;
+          if (!ParseInt64(f, &v)) {
+            return Status::ParseError(Format("'%s' line %lld col %d: bad int '%s'",
+                                             path.c_str(), static_cast<long long>(lineno),
+                                             i, f.c_str()));
+          }
+          row.emplace_back(v);
+          break;
+        }
+        case ValueType::kDouble: {
+          double v = 0;
+          if (!ParseDouble(f, &v)) {
+            return Status::ParseError(Format("'%s' line %lld col %d: bad double '%s'",
+                                             path.c_str(), static_cast<long long>(lineno),
+                                             i, f.c_str()));
+          }
+          row.emplace_back(v);
+          break;
+        }
+        case ValueType::kString:
+          row.emplace_back(f);
+          break;
+      }
+    }
+    DPSTARJ_RETURN_NOT_OK(table->AppendRow(row));
+  }
+  return table;
+}
+
+}  // namespace dpstarj::storage

@@ -1,0 +1,28 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Minimal CSV import/export so generated benchmark instances can be persisted
+// and inspected, and external data (e.g. real SNAP edge lists) can be loaded.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace dpstarj::storage {
+
+/// \brief Writes `table` to `path` with a header row. Fields containing the
+/// delimiter are quoted.
+Status WriteCsv(const Table& table, const std::string& path, char delim = ',');
+
+/// \brief Reads a CSV with a header row into a new table using `schema` for
+/// types (header names must match the schema, in order). Rows failing to
+/// parse produce a ParseError naming the line.
+Result<std::shared_ptr<Table>> ReadCsv(const std::string& path,
+                                       const std::string& table_name, Schema schema,
+                                       std::string primary_key = "",
+                                       char delim = ',');
+
+}  // namespace dpstarj::storage

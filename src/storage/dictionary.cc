@@ -1,0 +1,26 @@
+#include "storage/dictionary.h"
+
+#include "common/status.h"
+
+namespace dpstarj::storage {
+
+int32_t Dictionary::GetOrInsert(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  int32_t code = static_cast<int32_t>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), code);
+  return code;
+}
+
+int32_t Dictionary::Find(std::string_view s) const {
+  auto it = index_.find(std::string(s));
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::string& Dictionary::At(int32_t code) const {
+  DPSTARJ_CHECK(code >= 0 && code < size(), "dictionary code out of range");
+  return strings_[static_cast<size_t>(code)];
+}
+
+}  // namespace dpstarj::storage

@@ -1,0 +1,40 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dpstarj::storage {
+
+/// \brief String interning pool backing dictionary-encoded string columns.
+///
+/// Codes are dense int32 indices in insertion order. One Dictionary may be
+/// shared by several columns of the same attribute (e.g. a dimension key and
+/// the fact-side foreign key), which makes join comparisons integer compares.
+class Dictionary {
+ public:
+  /// Interns `s`, returning its code (existing or freshly assigned).
+  int32_t GetOrInsert(std::string_view s);
+
+  /// Returns the code for `s` or -1 if not present.
+  int32_t Find(std::string_view s) const;
+
+  /// Returns the string for a valid code.
+  const std::string& At(int32_t code) const;
+
+  /// Number of distinct strings.
+  int32_t size() const { return static_cast<int32_t>(strings_.size()); }
+
+  /// All interned strings in code order.
+  const std::vector<std::string>& strings() const { return strings_; }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+}  // namespace dpstarj::storage

@@ -1,0 +1,47 @@
+#include "storage/schema.h"
+
+#include "common/string_util.h"
+
+namespace dpstarj::storage {
+
+Schema::Schema(std::vector<Field> fields) {
+  for (auto& f : fields) {
+    Status st = AddField(std::move(f));
+    DPSTARJ_CHECK(st.ok(), "duplicate field name in Schema constructor");
+  }
+}
+
+Status Schema::AddField(Field field) {
+  if (index_.count(field.name) != 0) {
+    return Status::AlreadyExists(Format("field '%s' already in schema",
+                                        field.name.c_str()));
+  }
+  index_.emplace(field.name, static_cast<int>(fields_.size()));
+  fields_.push_back(std::move(field));
+  return Status::OK();
+}
+
+Result<int> Schema::FieldIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound(Format("no field named '%s'", name.c_str()));
+  }
+  return it->second;
+}
+
+bool Schema::HasField(const std::string& name) const {
+  return index_.count(name) != 0;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += ValueTypeToString(fields_[i].type);
+  }
+  return out;
+}
+
+}  // namespace dpstarj::storage

@@ -1,0 +1,59 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/domain.h"
+#include "storage/value.h"
+
+namespace dpstarj::storage {
+
+/// \brief A named, typed column descriptor, optionally with a declared finite
+/// domain (required for attributes that may carry DP-perturbed predicates).
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  /// Declared finite domain; nullopt for free-form attributes (keys, measures).
+  std::optional<AttributeDomain> domain;
+
+  Field() = default;
+  Field(std::string n, ValueType t) : name(std::move(n)), type(t) {}
+  Field(std::string n, ValueType t, AttributeDomain d)
+      : name(std::move(n)), type(t), domain(std::move(d)) {}
+};
+
+/// \brief An ordered list of Fields with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  /// Appends a field; fails if the name already exists.
+  Status AddField(Field field);
+
+  /// Number of fields.
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  /// Field by position.
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+  /// All fields.
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Position of the field named `name`, or NotFound.
+  Result<int> FieldIndex(const std::string& name) const;
+  /// True if a field named `name` exists.
+  bool HasField(const std::string& name) const;
+
+  /// Debug rendering: "name:type, ...".
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace dpstarj::storage

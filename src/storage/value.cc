@@ -1,0 +1,31 @@
+#include "storage/value.h"
+
+#include "common/string_util.h"
+
+namespace dpstarj::storage {
+
+const char* ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+double Value::ToNumeric() const {
+  if (is_int64()) return static_cast<double>(AsInt64());
+  if (is_double()) return AsDouble();
+  return 0.0;
+}
+
+std::string Value::ToString() const {
+  if (is_int64()) return std::to_string(AsInt64());
+  if (is_double()) return dpstarj::Format("%.6g", AsDouble());
+  return AsString();
+}
+
+}  // namespace dpstarj::storage

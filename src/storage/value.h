@@ -1,0 +1,62 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace dpstarj::storage {
+
+/// \brief Physical column types. Strings are dictionary-encoded inside
+/// columns; Value carries them un-encoded for row building and I/O.
+enum class ValueType : int { kInt64 = 0, kDouble = 1, kString = 2 };
+
+/// Returns "int64" / "double" / "string".
+const char* ValueTypeToString(ValueType t);
+
+/// \brief A dynamically typed cell, used at the API boundary (row appends,
+/// CSV, query literals). Columnar storage never materializes Values in bulk.
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  Value(int64_t v) : v_(v) {}            // NOLINT(google-explicit-constructor)
+  Value(int v) : v_(int64_t{v}) {}       // NOLINT(google-explicit-constructor)
+  Value(double v) : v_(v) {}             // NOLINT(google-explicit-constructor)
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT(google-explicit-constructor)
+
+  /// The dynamic type of the held value.
+  ValueType type() const {
+    switch (v_.index()) {
+      case 0:
+        return ValueType::kInt64;
+      case 1:
+        return ValueType::kDouble;
+      default:
+        return ValueType::kString;
+    }
+  }
+
+  bool is_int64() const { return v_.index() == 0; }
+  bool is_double() const { return v_.index() == 1; }
+  bool is_string() const { return v_.index() == 2; }
+
+  /// Typed accessors; the caller must know the type (checked in debug).
+  int64_t AsInt64() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Numeric view: int64 and double both convert; strings return 0.
+  double ToNumeric() const;
+
+  /// Renders the value for CSV/debug output.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace dpstarj::storage

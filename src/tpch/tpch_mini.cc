@@ -1,0 +1,177 @@
+#include "tpch/tpch_mini.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "ssb/ssb_schema.h"
+
+namespace dpstarj::tpch {
+
+namespace {
+
+using storage::AttributeDomain;
+using storage::Field;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+using storage::ValueType;
+
+Result<std::shared_ptr<Table>> GenerateRegion() {
+  Schema schema({
+      Field("regionkey", ValueType::kInt64),
+      Field("name", ValueType::kString,
+            AttributeDomain::Categorical(ssb::Regions())),
+  });
+  DPSTARJ_ASSIGN_OR_RETURN(std::shared_ptr<Table> t,
+                           Table::Create(kRegion, std::move(schema), "regionkey"));
+  for (size_t i = 0; i < ssb::Regions().size(); ++i) {
+    DPSTARJ_RETURN_NOT_OK(t->AppendRow(
+        {Value(static_cast<int64_t>(i + 1)), Value(ssb::Regions()[i])}));
+  }
+  return t;
+}
+
+Result<std::shared_ptr<Table>> GenerateNation() {
+  Schema schema({
+      Field("nationkey", ValueType::kInt64),
+      Field("name", ValueType::kString,
+            AttributeDomain::Categorical(ssb::Nations())),
+      Field("regionkey", ValueType::kInt64),
+  });
+  DPSTARJ_ASSIGN_OR_RETURN(std::shared_ptr<Table> t,
+                           Table::Create(kNation, std::move(schema), "nationkey"));
+  for (size_t i = 0; i < ssb::Nations().size(); ++i) {
+    int64_t region = static_cast<int64_t>(i) / ssb::kNationsPerRegion + 1;
+    DPSTARJ_RETURN_NOT_OK(t->AppendRow({Value(static_cast<int64_t>(i + 1)),
+                                        Value(ssb::Nations()[i]), Value(region)}));
+  }
+  return t;
+}
+
+Result<std::shared_ptr<Table>> GenerateCustomer(int64_t rows, Rng* rng) {
+  Schema schema({
+      Field("custkey", ValueType::kInt64),
+      Field("nationkey", ValueType::kInt64),
+      Field("mktsegment", ValueType::kString,
+            AttributeDomain::Categorical({"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                          "HOUSEHOLD", "MACHINERY"})),
+  });
+  static const char* kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                     "HOUSEHOLD", "MACHINERY"};
+  DPSTARJ_ASSIGN_OR_RETURN(std::shared_ptr<Table> t,
+                           Table::Create(kCustomer, std::move(schema), "custkey"));
+  t->Reserve(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    DPSTARJ_RETURN_NOT_OK(t->AppendRow(
+        {Value(i + 1), Value(rng->UniformInt(1, 25)),
+         Value(kSegments[rng->UniformInt(0, 4)])}));
+  }
+  return t;
+}
+
+Result<std::shared_ptr<Table>> GenerateOrders(int64_t rows, int64_t customers,
+                                              Rng* rng) {
+  Schema schema({
+      Field("orderkey", ValueType::kInt64),
+      Field("custkey", ValueType::kInt64),
+      Field("orderyear", ValueType::kInt64,
+            AttributeDomain::IntRange(ssb::kYearLo, ssb::kYearHi)),
+      Field("orderpriority", ValueType::kString,
+            AttributeDomain::Categorical({"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                          "4-NOT SPECIFIED", "5-LOW"})),
+  });
+  static const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                       "4-NOT SPECIFIED", "5-LOW"};
+  DPSTARJ_ASSIGN_OR_RETURN(std::shared_ptr<Table> t,
+                           Table::Create(kOrders, std::move(schema), "orderkey"));
+  t->Reserve(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    DPSTARJ_RETURN_NOT_OK(t->AppendRow(
+        {Value(i + 1), Value(rng->UniformInt(1, customers)),
+         Value(rng->UniformInt(ssb::kYearLo, ssb::kYearHi)),
+         Value(kPriorities[rng->UniformInt(0, 4)])}));
+  }
+  return t;
+}
+
+Result<std::shared_ptr<Table>> GenerateLineitem(int64_t rows, int64_t orders,
+                                                Rng* rng) {
+  Schema schema({
+      Field("lineid", ValueType::kInt64),
+      Field("orderkey", ValueType::kInt64),
+      Field("quantity", ValueType::kInt64, AttributeDomain::IntRange(1, 50)),
+      Field("extendedprice", ValueType::kDouble),
+  });
+  DPSTARJ_ASSIGN_OR_RETURN(std::shared_ptr<Table> t,
+                           Table::Create(kLineitem, std::move(schema)));
+  t->Reserve(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    DPSTARJ_RETURN_NOT_OK(t->AppendRow(
+        {Value(i + 1), Value(rng->UniformInt(1, orders)),
+         Value(rng->UniformInt(1, 50)), Value(rng->Uniform(100.0, 10000.0))}));
+  }
+  return t;
+}
+
+}  // namespace
+
+Result<storage::Catalog> GenerateTpchMini(const TpchOptions& options) {
+  if (options.scale_factor <= 0.0) {
+    return Status::InvalidArgument("scale_factor must be positive");
+  }
+  Rng rng(options.seed);
+  int64_t customers =
+      std::max<int64_t>(1, static_cast<int64_t>(150000.0 * options.scale_factor));
+  int64_t orders =
+      std::max<int64_t>(1, static_cast<int64_t>(1500000.0 * options.scale_factor));
+  int64_t lineitems =
+      std::max<int64_t>(1, static_cast<int64_t>(6000000.0 * options.scale_factor));
+
+  storage::Catalog catalog;
+  DPSTARJ_ASSIGN_OR_RETURN(auto region, GenerateRegion());
+  DPSTARJ_ASSIGN_OR_RETURN(auto nation, GenerateNation());
+  DPSTARJ_ASSIGN_OR_RETURN(auto customer, GenerateCustomer(customers, &rng));
+  DPSTARJ_ASSIGN_OR_RETURN(auto order_table, GenerateOrders(orders, customers, &rng));
+  DPSTARJ_ASSIGN_OR_RETURN(auto lineitem, GenerateLineitem(lineitems, orders, &rng));
+
+  DPSTARJ_RETURN_NOT_OK(catalog.AddTable(std::move(region)));
+  DPSTARJ_RETURN_NOT_OK(catalog.AddTable(std::move(nation)));
+  DPSTARJ_RETURN_NOT_OK(catalog.AddTable(std::move(customer)));
+  DPSTARJ_RETURN_NOT_OK(catalog.AddTable(std::move(order_table)));
+  DPSTARJ_RETURN_NOT_OK(catalog.AddTable(std::move(lineitem)));
+
+  DPSTARJ_RETURN_NOT_OK(
+      catalog.AddForeignKey({kLineitem, "orderkey", kOrders, "orderkey"}));
+  DPSTARJ_RETURN_NOT_OK(
+      catalog.AddForeignKey({kOrders, "custkey", kCustomer, "custkey"}));
+  DPSTARJ_RETURN_NOT_OK(
+      catalog.AddForeignKey({kCustomer, "nationkey", kNation, "nationkey"}));
+  DPSTARJ_RETURN_NOT_OK(
+      catalog.AddForeignKey({kNation, "regionkey", kRegion, "regionkey"}));
+  return catalog;
+}
+
+query::StarJoinQuery QueryQtc() {
+  query::StarJoinQuery q;
+  q.name = "Qtc";
+  q.fact_table = kLineitem;
+  q.aggregate = query::AggregateKind::kCount;
+  q.joined_tables = {kOrders, kCustomer, kNation, kRegion};
+  q.predicates.push_back(
+      query::Predicate::Point(kRegion, "name", storage::Value("ASIA")));
+  q.predicates.push_back(query::Predicate::Range(
+      kOrders, "orderyear", storage::Value(int64_t{1993}),
+      storage::Value(int64_t{1995})));
+  return q;
+}
+
+query::StarJoinQuery QueryQts() {
+  query::StarJoinQuery q = QueryQtc();
+  q.name = "Qts";
+  q.aggregate = query::AggregateKind::kSum;
+  q.measure_terms = {{"extendedprice", 1.0}};
+  return q;
+}
+
+}  // namespace dpstarj::tpch

@@ -1,0 +1,48 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// A miniature TPC-H subset for the snowflake experiment (paper Figure 10).
+// The schema keeps exactly the chain the snowflake queries touch:
+//
+//   Lineitem → Orders → Customer → Nation → Region
+//
+// i.e. a two-level (plus geography) snowflake rather than SSB's star. The
+// paper's Qtc (count) and Qts (sum) place predicates on Region.name (reached
+// through three hops) and Orders.orderyear; PM answers them after
+// core::FlattenedSnowflake turns the chain into a star.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "query/star_query.h"
+#include "storage/catalog.h"
+
+namespace dpstarj::tpch {
+
+/// Table names.
+inline constexpr const char* kLineitem = "Lineitem";
+inline constexpr const char* kOrders = "Orders";
+inline constexpr const char* kCustomer = "Customer";
+inline constexpr const char* kNation = "Nation";
+inline constexpr const char* kRegion = "Region";
+
+/// \brief Generator configuration. Sizes at scale 1 follow TPC-H: Lineitem
+/// 6M, Orders 1.5M, Customer 150k, Nation 25, Region 5.
+struct TpchOptions {
+  double scale_factor = 0.01;
+  uint64_t seed = 11;
+};
+
+/// \brief Generates the snowflake catalog with all hierarchy foreign keys
+/// registered (passes Catalog::ValidateIntegrity).
+Result<storage::Catalog> GenerateTpchMini(const TpchOptions& options);
+
+/// Qtc — snowflake counting query: Region.name = 'ASIA' AND
+/// Orders.orderyear BETWEEN 1993 AND 1995.
+query::StarJoinQuery QueryQtc();
+
+/// Qts — the SUM(extendedprice) twin of Qtc.
+query::StarJoinQuery QueryQts();
+
+}  // namespace dpstarj::tpch

@@ -1,0 +1,212 @@
+// Tests for the output-perturbation baselines LM, LS, and R2T.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/laplace_baseline.h"
+#include "baselines/local_sensitivity.h"
+#include "baselines/r2t.h"
+#include "common/math_util.h"
+#include "exec/contribution_index.h"
+#include "query/binder.h"
+#include "test_catalog.h"
+
+namespace dpstarj::baselines {
+namespace {
+
+using dp::PrivacyScenario;
+using query::Binder;
+using query::StarJoinQuery;
+using testing_fixture::MakeToyCatalog;
+using testing_fixture::ToyCountQuery;
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest() : catalog_(MakeToyCatalog()), binder_(&catalog_) {}
+  storage::Catalog catalog_;
+  Binder binder_;
+};
+
+TEST_F(BaselinesTest, LaplaceFactOnlyCentersOnTruth) {
+  auto bound = binder_.Bind(ToyCountQuery());
+  ASSERT_TRUE(bound.ok());
+  Rng rng(1);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) {
+    auto r = AnswerWithLaplaceBaseline(*bound, PrivacyScenario::FactOnly("Orders"),
+                                       1.0, &rng);
+    ASSERT_TRUE(r.ok());
+    x = *r;
+  }
+  EXPECT_NEAR(Mean(xs), 2.0, 0.1);  // truth = 2, sensitivity 1
+}
+
+TEST_F(BaselinesTest, LaplaceRefusesPrivateDimensions) {
+  auto bound = binder_.Bind(ToyCountQuery());
+  ASSERT_TRUE(bound.ok());
+  Rng rng(2);
+  auto r = AnswerWithLaplaceBaseline(*bound, PrivacyScenario::Dimensions({"Cust"}),
+                                     1.0, &rng);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(BaselinesTest, SmoothUpperBoundClosedForm) {
+  // ls ≥ 1/β → bound equals ls.
+  EXPECT_DOUBLE_EQ(SmoothUpperBound(20.0, 0.1), 20.0);
+  // ls < 1/β → e^{β·ls−1}/β; check against brute force.
+  double beta = 0.1, ls = 2.0;
+  double expect = 0.0;
+  for (int t = 0; t < 500; ++t) {
+    expect = std::max(expect, std::exp(-beta * t) * (ls + t));
+  }
+  EXPECT_NEAR(SmoothUpperBound(ls, beta), expect, 1e-6);
+}
+
+TEST_F(BaselinesTest, LocalSensitivityInfoAndCentering) {
+  auto bound = binder_.Bind(ToyCountQuery());
+  ASSERT_TRUE(bound.ok());
+  Rng rng(3);
+  LocalSensitivityInfo info;
+  std::vector<double> xs(20000);
+  for (auto& x : xs) {
+    auto r = AnswerWithLocalSensitivity(*bound, PrivacyScenario::Dimensions({"Cust"}),
+                                        1.0, &rng, {}, &info);
+    ASSERT_TRUE(r.ok());
+    x = *r;
+  }
+  // The bound is predicate-free join fan-out (every customer owns 2 rows).
+  EXPECT_DOUBLE_EQ(info.local_sensitivity, 2.0);
+  EXPECT_GE(info.smooth_sensitivity, info.local_sensitivity);
+  EXPECT_NEAR(Median(xs), 2.0, 1.5);  // Cauchy noise → use median
+}
+
+TEST_F(BaselinesTest, LocalSensitivityRefusesSumAndGroupBy) {
+  StarJoinQuery q = ToyCountQuery();
+  q.aggregate = query::AggregateKind::kSum;
+  q.measure_terms = {{"qty", 1.0}};
+  auto bound = binder_.Bind(q);
+  ASSERT_TRUE(bound.ok());
+  Rng rng(4);
+  auto r = AnswerWithLocalSensitivity(*bound, PrivacyScenario::Dimensions({"Cust"}),
+                                      1.0, &rng);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(BaselinesTest, R2tRaceTruncationArithmetic) {
+  // Deterministic check of the truncated totals entering the race: with
+  // contributions {8, 2, 1} and τ = 2: Σ min(c, 2) = 5, τ = 4: 7, τ = 8: 11.
+  exec::ContributionIndex idx;
+  idx.contributions = {8.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(idx.TruncatedTotal(2.0), 5.0);
+  EXPECT_DOUBLE_EQ(idx.TruncatedTotal(4.0), 7.0);
+  EXPECT_DOUBLE_EQ(idx.TruncatedTotal(8.0), 11.0);
+}
+
+TEST_F(BaselinesTest, R2tUtilityBoundHoldsWithHighProbability) {
+  // Q(D) − 4·log(GS)·ln(log(GS)/α)·τ*/ε ≤ Q̂(D) with probability ≥ 1−α.
+  std::vector<double> contributions(100, 1.0);  // Q = 100, τ* = 1
+  double gs = 1024.0, eps = 1.0, alpha = 0.1;
+  double log_gs = 10.0;
+  double bound = 100.0 - 4.0 * log_gs * std::log(log_gs / alpha) * 1.0 / eps;
+  Rng rng(5);
+  int undershoots = 0;
+  int overshoots = 0;
+  const int kRuns = 2000;
+  for (int i = 0; i < kRuns; ++i) {
+    auto r = R2tRace(contributions, gs, eps, alpha, &rng);
+    ASSERT_TRUE(r.ok());
+    if (*r < bound) ++undershoots;
+    // The penalty term also makes overshooting the true answer rare
+    // (P ≤ α/2 by a union bound over trials).
+    if (*r > 100.0) ++overshoots;
+  }
+  EXPECT_LT(static_cast<double>(undershoots) / kRuns, alpha);
+  EXPECT_LT(static_cast<double>(overshoots) / kRuns, alpha);
+}
+
+TEST_F(BaselinesTest, R2tNeverReturnsNegative) {
+  std::vector<double> contributions = {1.0, 1.0};
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    auto r = R2tRace(contributions, 1e6, 0.1, 0.1, &rng);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GE(*r, 0.0);  // the race includes Q(D,0) = 0
+  }
+}
+
+TEST_F(BaselinesTest, R2tInfoReportsTrials) {
+  std::vector<double> contributions = {4.0, 4.0};
+  Rng rng(7);
+  R2tInfo info;
+  ASSERT_TRUE(R2tRace(contributions, 1024.0, 1.0, 0.1, &rng, &info).ok());
+  EXPECT_EQ(info.num_trials, 10);
+  EXPECT_DOUBLE_EQ(info.gs_q, 1024.0);
+}
+
+TEST_F(BaselinesTest, R2tValidation) {
+  Rng rng(8);
+  EXPECT_FALSE(R2tRace({1.0}, 8.0, 0.0, 0.1, &rng).ok());
+  EXPECT_FALSE(R2tRace({1.0}, 8.0, 1.0, 0.0, &rng).ok());
+  EXPECT_FALSE(R2tRace({1.0}, 8.0, 1.0, 1.5, &rng).ok());
+  EXPECT_FALSE(R2tRace({1.0}, 8.0, 1.0, 0.1, nullptr).ok());
+}
+
+TEST_F(BaselinesTest, R2tEndToEndOnStarJoin) {
+  auto bound = binder_.Bind(ToyCountQuery());
+  ASSERT_TRUE(bound.ok());
+  Rng rng(9);
+  R2tOptions opts;
+  opts.gs_q = 64.0;
+  R2tInfo info;
+  auto r = AnswerWithR2t(*bound, PrivacyScenario::Dimensions({"Cust"}), 5.0, &rng,
+                         opts, &info);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(*r, 0.0);
+  EXPECT_EQ(info.num_trials, 6);
+}
+
+TEST_F(BaselinesTest, R2tRefusesGroupBy) {
+  StarJoinQuery q = ToyCountQuery();
+  q.aggregate = query::AggregateKind::kSum;
+  q.measure_terms = {{"qty", 1.0}};
+  q.group_by = {{"Cust", "region"}};
+  auto bound = binder_.Bind(q);
+  ASSERT_TRUE(bound.ok());
+  Rng rng(10);
+  auto r = AnswerWithR2t(*bound, PrivacyScenario::Dimensions({"Cust"}), 1.0, &rng);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(BaselinesTest, R2tTimeLimitTriggers) {
+  auto bound = binder_.Bind(ToyCountQuery());
+  ASSERT_TRUE(bound.ok());
+  Rng rng(11);
+  R2tOptions opts;
+  opts.time_limit_s = 1e-12;
+  auto r = AnswerWithR2t(*bound, PrivacyScenario::Dimensions({"Cust"}), 1.0, &rng,
+                         opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeLimit);
+}
+
+TEST_F(BaselinesTest, R2tSumUsesMeasureScaledGs) {
+  StarJoinQuery q = ToyCountQuery();
+  q.aggregate = query::AggregateKind::kSum;
+  q.measure_terms = {{"qty", 1.0}};
+  auto bound = binder_.Bind(q);
+  ASSERT_TRUE(bound.ok());
+  Rng rng(12);
+  R2tInfo info;
+  auto r = AnswerWithR2t(*bound, PrivacyScenario::Dimensions({"Cust"}), 5.0, &rng,
+                         {}, &info);
+  ASSERT_TRUE(r.ok());
+  // Default GS = 12 rows × max qty 5 = 60 → 6 trials.
+  EXPECT_EQ(info.num_trials, 6);
+}
+
+}  // namespace
+}  // namespace dpstarj::baselines

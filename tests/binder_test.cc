@@ -1,0 +1,181 @@
+// Tests for semantic resolution (Resolve) and plan binding (Bind).
+
+#include <gtest/gtest.h>
+
+#include "query/binder.h"
+#include "test_catalog.h"
+
+namespace dpstarj::query {
+namespace {
+
+using testing_fixture::MakeToyCatalog;
+using testing_fixture::ToyCountQuery;
+
+class BinderTest : public ::testing::Test {
+ protected:
+  BinderTest() : catalog_(MakeToyCatalog()), binder_(&catalog_) {}
+  storage::Catalog catalog_;
+  Binder binder_;
+};
+
+TEST_F(BinderTest, ResolveIdentifiesFactTable) {
+  auto parsed = ParseStarJoinSql(
+      "SELECT count(*) FROM Cust, Orders, Prod "
+      "WHERE Orders.ck = Cust.ck AND Orders.pk = Prod.pk AND Cust.region = 'N'");
+  ASSERT_TRUE(parsed.ok());
+  auto q = binder_.Resolve(*parsed);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->fact_table, "Orders");
+  ASSERT_EQ(q->joined_tables.size(), 2u);
+}
+
+TEST_F(BinderTest, ResolveAcceptsEitherJoinOrder) {
+  auto parsed = ParseStarJoinSql(
+      "SELECT count(*) FROM Cust, Orders WHERE Cust.ck = Orders.ck");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(binder_.Resolve(*parsed).ok());
+}
+
+TEST_F(BinderTest, ResolveRejectsUnknownTable) {
+  auto parsed = ParseStarJoinSql("SELECT count(*) FROM Nope, Orders "
+                                 "WHERE Orders.ck = Nope.ck");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(binder_.Resolve(*parsed).ok());
+}
+
+TEST_F(BinderTest, ResolveRejectsJoinNotMatchingForeignKey) {
+  auto parsed = ParseStarJoinSql(
+      "SELECT count(*) FROM Cust, Orders WHERE Orders.pk = Cust.ck");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(binder_.Resolve(*parsed).ok());
+}
+
+TEST_F(BinderTest, ResolveMeasureMustBeFactColumn) {
+  auto parsed = ParseStarJoinSql(
+      "SELECT sum(Cust.tier) FROM Cust, Orders WHERE Orders.ck = Cust.ck");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(binder_.Resolve(*parsed).ok());
+}
+
+TEST_F(BinderTest, ResolveSelectColumnNeedsGroupBy) {
+  auto parsed = ParseStarJoinSql(
+      "SELECT sum(Orders.qty), Cust.region FROM Cust, Orders "
+      "WHERE Orders.ck = Cust.ck");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(binder_.Resolve(*parsed).ok());
+  auto with_group = ParseStarJoinSql(
+      "SELECT sum(Orders.qty), Cust.region FROM Cust, Orders "
+      "WHERE Orders.ck = Cust.ck GROUP BY Cust.region");
+  ASSERT_TRUE(with_group.ok());
+  EXPECT_TRUE(binder_.Resolve(*with_group).ok());
+}
+
+TEST_F(BinderTest, BindHappyPath) {
+  auto bound = binder_.Bind(ToyCountQuery());
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ(bound->fact->name(), "Orders");
+  ASSERT_EQ(bound->dims.size(), 2u);
+  EXPECT_EQ(bound->NumPredicates(), 2);
+  ASSERT_EQ(bound->dims[0].predicates.size(), 1u);
+  EXPECT_EQ(bound->dims[0].predicates[0].lo_index, 0);  // region N
+  EXPECT_EQ(bound->Predicates().size(), 2u);
+}
+
+TEST_F(BinderTest, BindRejectsPredicateOnFact) {
+  StarJoinQuery q = ToyCountQuery();
+  q.predicates.push_back(
+      Predicate::Point("Orders", "qty", storage::Value(int64_t{1})));
+  auto bound = binder_.Bind(q);
+  ASSERT_FALSE(bound.ok());
+  EXPECT_EQ(bound.status().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(BinderTest, BindAllowsTwoPredicatesOnDistinctAttributes) {
+  // A flattened snowflake produces several predicates on one dimension; they
+  // are legal as long as they target distinct attributes.
+  StarJoinQuery q = ToyCountQuery();
+  q.predicates.push_back(
+      Predicate::Point("Cust", "tier", storage::Value(int64_t{1})));
+  auto bound = binder_.Bind(q);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ(bound->NumPredicates(), 3);
+  EXPECT_EQ(bound->dims[0].predicates.size(), 2u);
+}
+
+TEST_F(BinderTest, BindRejectsTwoPredicatesOnSameAttribute) {
+  StarJoinQuery q = ToyCountQuery();
+  q.predicates.push_back(Predicate::Point("Cust", "region", storage::Value("S")));
+  auto bound = binder_.Bind(q);
+  ASSERT_FALSE(bound.ok());
+  EXPECT_EQ(bound.status().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(BinderTest, BindRejectsPredicateOnUnjoinedTable) {
+  StarJoinQuery q = ToyCountQuery();
+  q.joined_tables = {"Cust"};  // drop Prod but keep its predicate
+  EXPECT_FALSE(binder_.Bind(q).ok());
+}
+
+TEST_F(BinderTest, BindRejectsAttributeWithoutDomain) {
+  StarJoinQuery q;
+  q.fact_table = "Orders";
+  q.joined_tables = {"Cust"};
+  // "ck" has no declared domain.
+  q.predicates.push_back(Predicate::Point("Cust", "ck", storage::Value(int64_t{1})));
+  EXPECT_FALSE(binder_.Bind(q).ok());
+}
+
+TEST_F(BinderTest, BindSumQuery) {
+  StarJoinQuery q;
+  q.fact_table = "Orders";
+  q.joined_tables = {"Cust"};
+  q.aggregate = AggregateKind::kSum;
+  q.measure_terms = {{"qty", 1.0}, {"price", -0.5}};
+  q.predicates.push_back(Predicate::Point("Cust", "region", storage::Value("S")));
+  auto bound = binder_.Bind(q);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  ASSERT_EQ(bound->measure_cols.size(), 2u);
+  EXPECT_DOUBLE_EQ(bound->measure_cols[1].second, -0.5);
+}
+
+TEST_F(BinderTest, BindRejectsAggregateMeasureMismatch) {
+  StarJoinQuery sum_no_terms;
+  sum_no_terms.fact_table = "Orders";
+  sum_no_terms.aggregate = AggregateKind::kSum;
+  EXPECT_FALSE(binder_.Bind(sum_no_terms).ok());
+
+  StarJoinQuery count_with_terms = ToyCountQuery();
+  count_with_terms.measure_terms = {{"qty", 1.0}};
+  EXPECT_FALSE(binder_.Bind(count_with_terms).ok());
+}
+
+TEST_F(BinderTest, BindGroupByLayout) {
+  StarJoinQuery q = ToyCountQuery();
+  q.aggregate = AggregateKind::kSum;
+  q.measure_terms = {{"qty", 1.0}};
+  q.group_by = {{"Cust", "region"}, {"Orders", "qty"}, {"Prod", "cat"}};
+  auto bound = binder_.Bind(q);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  ASSERT_EQ(bound->group_key_layout.size(), 3u);
+  EXPECT_EQ(bound->group_key_layout[0].first, 0);   // Cust is dims[0]
+  EXPECT_EQ(bound->group_key_layout[1].first, -1);  // fact column
+  EXPECT_EQ(bound->group_key_layout[2].first, 1);   // Prod is dims[1]
+  EXPECT_EQ(bound->fact_group_by_cols.size(), 1u);
+}
+
+TEST_F(BinderTest, BindRejectsOrderByOutsideGroupBy) {
+  StarJoinQuery q = ToyCountQuery();
+  q.order_by = {{"Cust", "region"}};
+  EXPECT_FALSE(binder_.Bind(q).ok());
+}
+
+TEST_F(BinderTest, BindSqlEndToEnd) {
+  auto bound = binder_.BindSql(
+      "SELECT count(*) FROM Cust, Orders, Prod WHERE Orders.ck = Cust.ck"
+      " AND Orders.pk = Prod.pk AND Cust.region = 'N' AND Prod.cat = 'a'");
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ(bound->NumPredicates(), 2);
+}
+
+}  // namespace
+}  // namespace dpstarj::query

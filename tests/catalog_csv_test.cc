@@ -1,0 +1,148 @@
+// Tests for the Catalog (foreign keys, referential integrity) and CSV I/O.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "storage/catalog.h"
+#include "storage/csv.h"
+
+namespace dpstarj::storage {
+namespace {
+
+std::shared_ptr<Table> MakeDim() {
+  Schema schema({Field("id", ValueType::kInt64), Field("attr", ValueType::kString)});
+  auto t = *Table::Create("Dim", schema, "id");
+  EXPECT_TRUE(t->AppendRow({Value(int64_t{1}), Value("a")}).ok());
+  EXPECT_TRUE(t->AppendRow({Value(int64_t{2}), Value("b")}).ok());
+  return t;
+}
+
+std::shared_ptr<Table> MakeFact(std::vector<int64_t> fks) {
+  Schema schema({Field("fk", ValueType::kInt64), Field("w", ValueType::kDouble)});
+  auto t = *Table::Create("Fact", schema);
+  for (int64_t k : fks) {
+    EXPECT_TRUE(t->AppendRow({Value(k), Value(1.0)}).ok());
+  }
+  return t;
+}
+
+TEST(CatalogTest, AddAndLookup) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(MakeDim()).ok());
+  EXPECT_TRUE(cat.HasTable("Dim"));
+  EXPECT_FALSE(cat.HasTable("Nope"));
+  EXPECT_TRUE(cat.GetTable("Dim").ok());
+  EXPECT_FALSE(cat.GetTable("Nope").ok());
+  EXPECT_FALSE(cat.AddTable(MakeDim()).ok());  // duplicate name
+  EXPECT_FALSE(cat.AddTable(nullptr).ok());
+}
+
+TEST(CatalogTest, ForeignKeyValidation) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(MakeDim()).ok());
+  ASSERT_TRUE(cat.AddTable(MakeFact({1, 2, 1})).ok());
+  // References a non-pk column.
+  EXPECT_FALSE(cat.AddForeignKey({"Fact", "fk", "Dim", "attr"}).ok());
+  // Bad column names.
+  EXPECT_FALSE(cat.AddForeignKey({"Fact", "nope", "Dim", "id"}).ok());
+  EXPECT_FALSE(cat.AddForeignKey({"Fact", "fk", "Dim", "nope"}).ok());
+  // Good.
+  ASSERT_TRUE(cat.AddForeignKey({"Fact", "fk", "Dim", "id"}).ok());
+  EXPECT_EQ(cat.foreign_keys().size(), 1u);
+  EXPECT_TRUE(cat.ForeignKeyBetween("Fact", "Dim").ok());
+  EXPECT_FALSE(cat.ForeignKeyBetween("Dim", "Fact").ok());
+  EXPECT_EQ(cat.ForeignKeysFrom("Fact").size(), 1u);
+}
+
+TEST(CatalogTest, IntegrityPassesAndFails) {
+  {
+    Catalog cat;
+    ASSERT_TRUE(cat.AddTable(MakeDim()).ok());
+    ASSERT_TRUE(cat.AddTable(MakeFact({1, 2})).ok());
+    ASSERT_TRUE(cat.AddForeignKey({"Fact", "fk", "Dim", "id"}).ok());
+    EXPECT_TRUE(cat.ValidateIntegrity().ok());
+  }
+  {
+    Catalog cat;
+    ASSERT_TRUE(cat.AddTable(MakeDim()).ok());
+    ASSERT_TRUE(cat.AddTable(MakeFact({1, 99})).ok());  // dangling key 99
+    ASSERT_TRUE(cat.AddForeignKey({"Fact", "fk", "Dim", "id"}).ok());
+    Status st = cat.ValidateIntegrity();
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(CatalogTest, TableNamesInOrder) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(MakeDim()).ok());
+  ASSERT_TRUE(cat.AddTable(MakeFact({1})).ok());
+  auto names = cat.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "Dim");
+  EXPECT_EQ(names[1], "Fact");
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() / "dpstarj_csv_test.csv";
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(CsvTest, RoundTrip) {
+  Schema schema({Field("id", ValueType::kInt64), Field("name", ValueType::kString),
+                 Field("score", ValueType::kDouble)});
+  auto t = *Table::Create("T", schema, "id");
+  ASSERT_TRUE(t->AppendRow({Value(int64_t{1}), Value("plain"), Value(1.5)}).ok());
+  ASSERT_TRUE(
+      t->AppendRow({Value(int64_t{2}), Value("with,comma"), Value(-2.25)}).ok());
+  ASSERT_TRUE(
+      t->AppendRow({Value(int64_t{3}), Value("with\"quote"), Value(0.0)}).ok());
+  ASSERT_TRUE(WriteCsv(*t, path_.string()).ok());
+
+  auto back = ReadCsv(path_.string(), "T", schema, "id");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ((*back)->num_rows(), 3);
+  EXPECT_EQ((*back)->column(1).GetString(1), "with,comma");
+  EXPECT_EQ((*back)->column(1).GetString(2), "with\"quote");
+  EXPECT_DOUBLE_EQ((*back)->column(2).GetDouble(1), -2.25);
+}
+
+TEST_F(CsvTest, HeaderMismatchRejected) {
+  Schema schema({Field("id", ValueType::kInt64)});
+  auto t = *Table::Create("T", schema);
+  ASSERT_TRUE(t->AppendRow({Value(int64_t{1})}).ok());
+  ASSERT_TRUE(WriteCsv(*t, path_.string()).ok());
+
+  Schema other({Field("different", ValueType::kInt64)});
+  auto r = ReadCsv(path_.string(), "T", other);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(CsvTest, BadCellRejectedWithLineNumber) {
+  {
+    std::ofstream out(path_);
+    out << "id\n1\nnot_a_number\n";
+  }
+  Schema schema({Field("id", ValueType::kInt64)});
+  auto r = ReadCsv(path_.string(), "T", schema);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+}
+
+TEST_F(CsvTest, MissingFileIsIoError) {
+  Schema schema({Field("id", ValueType::kInt64)});
+  auto r = ReadCsv("/nonexistent/path/file.csv", "T", schema);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace dpstarj::storage

@@ -1,0 +1,188 @@
+// Unit tests for the common substrate: Status/Result, math and string utils.
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace dpstarj {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad input");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kBudgetExhausted), "BudgetExhausted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kTimeLimit), "TimeLimit");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kParseError), "ParseError");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  DPSTARJ_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 21);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, ErrorPath) {
+  Result<int> r = ParsePositive(-3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(4), 8);
+  EXPECT_FALSE(Doubled(-1).ok());
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).ValueOrDie();
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(MathTest, BinomialSmallValues) {
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(10, 3), 120.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(4, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(4, 4), 1.0);
+}
+
+TEST(MathTest, BinomialDegenerate) {
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(3, 5), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(-1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(3, -1), 0.0);
+}
+
+TEST(MathTest, BinomialSaturates) {
+  EXPECT_EQ(BinomialCoefficient(100000, 50000), kBinomialCap);
+}
+
+TEST(MathTest, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1.0), 0);
+  EXPECT_EQ(CeilLog2(2.0), 1);
+  EXPECT_EQ(CeilLog2(3.0), 2);
+  EXPECT_EQ(CeilLog2(1024.0), 10);
+  EXPECT_EQ(CeilLog2(1025.0), 11);
+  EXPECT_EQ(CeilLog2(0.5), 0);
+}
+
+TEST(MathTest, MeanStdDevMedian) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+  EXPECT_NEAR(StdDev(xs), 1.1180, 1e-3);
+  EXPECT_DOUBLE_EQ(Median(xs), 2.5);
+  EXPECT_DOUBLE_EQ(Median({5.0, 1.0, 9.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(MathTest, RelativeErrorPercent) {
+  EXPECT_DOUBLE_EQ(RelativeErrorPercent(110, 100), 10.0);
+  EXPECT_DOUBLE_EQ(RelativeErrorPercent(90, 100), 10.0);
+  // Guarded denominator for empty results.
+  EXPECT_DOUBLE_EQ(RelativeErrorPercent(3, 0), 300.0);
+  EXPECT_DOUBLE_EQ(RelativeErrorPercent(0.5, 0.25), 25.0);
+}
+
+TEST(MathTest, Clamp) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(Clamp(-1.0, 0.0, 3.0), 0.0);
+  EXPECT_EQ(ClampInt(10, 0, 4), 4);
+  EXPECT_EQ(ClampInt(-2, 0, 4), 0);
+  EXPECT_EQ(ClampInt(2, 0, 4), 2);
+}
+
+TEST(StringTest, SplitTrimJoin) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Trim("  hi \t"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Join({"x", "y"}, ", "), "x, y");
+}
+
+TEST(StringTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+  EXPECT_TRUE(StartsWith("Lineorder", "Line"));
+  EXPECT_FALSE(StartsWith("Line", "Lineorder"));
+}
+
+TEST(StringTest, Format) {
+  EXPECT_EQ(Format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(Format("%.2f", 3.14159), "3.14");
+}
+
+TEST(StringTest, ParseNumbers) {
+  int64_t i = 0;
+  EXPECT_TRUE(ParseInt64("123", &i));
+  EXPECT_EQ(i, 123);
+  EXPECT_TRUE(ParseInt64(" -5 ", &i));
+  EXPECT_EQ(i, -5);
+  EXPECT_FALSE(ParseInt64("12x", &i));
+  EXPECT_FALSE(ParseInt64("", &i));
+  double d = 0;
+  EXPECT_TRUE(ParseDouble("3.5", &d));
+  EXPECT_DOUBLE_EQ(d, 3.5);
+  EXPECT_FALSE(ParseDouble("3.5z", &d));
+}
+
+TEST(TimerTest, DeadlineSemantics) {
+  Deadline unlimited(0.0);
+  EXPECT_FALSE(unlimited.Expired());
+  Deadline tiny(1e-9);
+  // Busy-wait a moment.
+  double x = 0;
+  for (int i = 0; i < 100000; ++i) x += i;
+  EXPECT_GT(x, 0);
+  EXPECT_TRUE(tiny.Expired());
+}
+
+TEST(TimerTest, ElapsedIsMonotonic) {
+  Timer t;
+  double a = t.ElapsedSeconds();
+  double b = t.ElapsedSeconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+}  // namespace
+}  // namespace dpstarj

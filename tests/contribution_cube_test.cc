@@ -1,0 +1,234 @@
+// Tests for the contribution index (baseline sensitivities) and the data
+// cube, cross-checked against the executor.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "exec/contribution_index.h"
+#include "exec/data_cube.h"
+#include "exec/star_join_executor.h"
+#include "query/binder.h"
+#include "test_catalog.h"
+
+namespace dpstarj::exec {
+namespace {
+
+using query::Binder;
+using query::Predicate;
+using query::StarJoinQuery;
+using storage::Value;
+using testing_fixture::MakeToyCatalog;
+using testing_fixture::ToyCountQuery;
+
+class ContributionTest : public ::testing::Test {
+ protected:
+  ContributionTest() : catalog_(MakeToyCatalog()), binder_(&catalog_) {}
+  storage::Catalog catalog_;
+  Binder binder_;
+};
+
+TEST_F(ContributionTest, FactPrivateEachRowIsAnIndividual) {
+  StarJoinQuery q;
+  q.fact_table = "Orders";
+  q.joined_tables = {"Cust"};
+  q.predicates.push_back(Predicate::Point("Cust", "region", Value("N")));
+  auto bound = binder_.Bind(q);
+  ASSERT_TRUE(bound.ok());
+  auto idx = BuildContributionIndex(*bound, {"Orders"});
+  ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+  // 4 matching fact rows, each contributing 1.
+  EXPECT_EQ(idx->contributions.size(), 4u);
+  EXPECT_DOUBLE_EQ(idx->max_contribution, 1.0);
+  EXPECT_DOUBLE_EQ(idx->total, 4.0);
+}
+
+TEST_F(ContributionTest, DimensionPrivateGroupsByKey) {
+  StarJoinQuery q;
+  q.fact_table = "Orders";
+  q.joined_tables = {"Cust"};
+  // No predicate: every customer contributes its fan-out (2 each).
+  auto bound = binder_.Bind(q);
+  ASSERT_TRUE(bound.ok());
+  auto idx = BuildContributionIndex(*bound, {"Cust"});
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx->contributions.size(), 6u);
+  EXPECT_DOUBLE_EQ(idx->max_contribution, 2.0);
+  EXPECT_DOUBLE_EQ(idx->total, 12.0);
+}
+
+TEST_F(ContributionTest, PredicateRestrictsContributions) {
+  auto bound = binder_.Bind(ToyCountQuery());
+  ASSERT_TRUE(bound.ok());
+  auto idx = BuildContributionIndex(*bound, {"Cust"});
+  ASSERT_TRUE(idx.ok());
+  // Matching rows: (1,1), (2,1) → customers 1 and 2, one row each.
+  EXPECT_EQ(idx->contributions.size(), 2u);
+  EXPECT_DOUBLE_EQ(idx->max_contribution, 1.0);
+  EXPECT_DOUBLE_EQ(idx->total, 2.0);
+}
+
+TEST_F(ContributionTest, MultiplePrivateDimensionsGroupByConjunction) {
+  StarJoinQuery q;
+  q.fact_table = "Orders";
+  q.joined_tables = {"Cust", "Prod"};
+  auto bound = binder_.Bind(q);
+  ASSERT_TRUE(bound.ok());
+  auto idx = BuildContributionIndex(*bound, {"Cust", "Prod"});
+  ASSERT_TRUE(idx.ok());
+  // Every (ck,pk) pair in the fixture is distinct → 12 individuals of 1.
+  EXPECT_EQ(idx->contributions.size(), 12u);
+  EXPECT_DOUBLE_EQ(idx->max_contribution, 1.0);
+}
+
+TEST_F(ContributionTest, SumUsesWeights) {
+  StarJoinQuery q;
+  q.fact_table = "Orders";
+  q.joined_tables = {"Cust"};
+  q.aggregate = query::AggregateKind::kSum;
+  q.measure_terms = {{"qty", 1.0}};
+  auto bound = binder_.Bind(q);
+  ASSERT_TRUE(bound.ok());
+  auto idx = BuildContributionIndex(*bound, {"Cust"});
+  ASSERT_TRUE(idx.ok());
+  // ck3 owns qty 2+5=7, the maximum.
+  EXPECT_DOUBLE_EQ(idx->max_contribution, 7.0);
+  EXPECT_DOUBLE_EQ(idx->total, 27.0);
+}
+
+TEST_F(ContributionTest, TruncatedTotal) {
+  ContributionIndex idx;
+  idx.contributions = {5.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(idx.TruncatedTotal(2.0), 5.0);   // 2+2+1
+  EXPECT_DOUBLE_EQ(idx.TruncatedTotal(10.0), 8.0);  // untruncated
+  EXPECT_DOUBLE_EQ(idx.TruncatedTotal(0.0), 0.0);
+}
+
+TEST_F(ContributionTest, Errors) {
+  auto bound = binder_.Bind(ToyCountQuery());
+  ASSERT_TRUE(bound.ok());
+  EXPECT_FALSE(BuildContributionIndex(*bound, {}).ok());
+  EXPECT_FALSE(BuildContributionIndex(*bound, {"Nope"}).ok());
+}
+
+class CubeTest : public ::testing::Test {
+ protected:
+  CubeTest() : catalog_(MakeToyCatalog()), binder_(&catalog_) {}
+  storage::Catalog catalog_;
+  Binder binder_;
+};
+
+TEST_F(CubeTest, TotalsMatchExecutor) {
+  auto bound = binder_.Bind(ToyCountQuery());
+  ASSERT_TRUE(bound.ok());
+  auto cube = DataCube::BuildFromQueryPredicates(*bound);
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+  EXPECT_EQ(cube->axes().size(), 2u);
+  EXPECT_EQ(cube->num_cells(), 12);  // 3 regions × 4 cats
+  EXPECT_EQ(cube->dropped_rows(), 0);
+  EXPECT_DOUBLE_EQ(cube->total(), 12.0);
+
+  // Evaluating the query's own predicates must equal the executor.
+  auto preds = bound->Predicates();
+  auto cube_answer = cube->Evaluate(preds);
+  ASSERT_TRUE(cube_answer.ok());
+  StarJoinExecutor executor;
+  auto exec_answer = executor.Execute(*bound);
+  ASSERT_TRUE(exec_answer.ok());
+  EXPECT_DOUBLE_EQ(*cube_answer, exec_answer->scalar);
+}
+
+TEST_F(CubeTest, CellValues) {
+  auto bound = binder_.Bind(ToyCountQuery());
+  ASSERT_TRUE(bound.ok());
+  auto cube = DataCube::BuildFromQueryPredicates(*bound);
+  ASSERT_TRUE(cube.ok());
+  // Region N (idx 0) × cat a (idx 0): rows (1,1),(2,1) → 2.
+  EXPECT_DOUBLE_EQ(cube->CellAt({0, 0}), 2.0);
+  // Region E (idx 2) × cat b (idx 1): rows (5,2),(6,2) → 2.
+  EXPECT_DOUBLE_EQ(cube->CellAt({2, 1}), 2.0);
+}
+
+TEST_F(CubeTest, EvaluateWeightedMatchesIndicator) {
+  auto bound = binder_.Bind(ToyCountQuery());
+  ASSERT_TRUE(bound.ok());
+  auto cube = DataCube::BuildFromQueryPredicates(*bound);
+  ASSERT_TRUE(cube.ok());
+  // Indicator weights equal to the predicates → same answer as Evaluate.
+  std::vector<std::vector<double>> weights = {{1, 0, 0}, {1, 0, 0, 0}};
+  auto w = cube->EvaluateWeighted(weights);
+  ASSERT_TRUE(w.ok());
+  EXPECT_DOUBLE_EQ(*w, 2.0);
+  // Fractional weights scale linearly.
+  weights[0] = {0.5, 0, 0};
+  EXPECT_DOUBLE_EQ(*cube->EvaluateWeighted(weights), 1.0);
+}
+
+TEST_F(CubeTest, Marginals) {
+  auto bound = binder_.Bind(ToyCountQuery());
+  ASSERT_TRUE(bound.ok());
+  auto cube = DataCube::BuildFromQueryPredicates(*bound);
+  ASSERT_TRUE(cube.ok());
+  auto region_marginal = cube->Marginal(0);
+  ASSERT_TRUE(region_marginal.ok());
+  EXPECT_EQ(region_marginal->size(), 3u);
+  EXPECT_DOUBLE_EQ((*region_marginal)[0], 4.0);  // region N rows
+  EXPECT_DOUBLE_EQ((*region_marginal)[1], 4.0);
+  EXPECT_DOUBLE_EQ((*region_marginal)[2], 4.0);
+  EXPECT_FALSE(cube->Marginal(5).ok());
+}
+
+TEST_F(CubeTest, SumCube) {
+  StarJoinQuery q = ToyCountQuery();
+  q.aggregate = query::AggregateKind::kSum;
+  q.measure_terms = {{"qty", 1.0}};
+  auto bound = binder_.Bind(q);
+  ASSERT_TRUE(bound.ok());
+  auto cube = DataCube::BuildFromQueryPredicates(*bound);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_DOUBLE_EQ(cube->total(), 27.0);
+  // N × a: qty 2 (row 1,1) + 3 (row 2,1) = 5.
+  EXPECT_DOUBLE_EQ(cube->CellAt({0, 0}), 5.0);
+}
+
+TEST_F(CubeTest, ErrorsAndGuards) {
+  auto bound = binder_.Bind(ToyCountQuery());
+  ASSERT_TRUE(bound.ok());
+  EXPECT_FALSE(DataCube::Build(*bound, {}).ok());
+  auto cube = DataCube::BuildFromQueryPredicates(*bound);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_FALSE(cube->Evaluate({}).ok());  // arity
+  EXPECT_FALSE(cube->EvaluateWeighted({{1, 0, 0}}).ok());
+  EXPECT_FALSE(cube->EvaluateWeighted({{1, 0}, {1, 0, 0, 0}}).ok());
+}
+
+// Property: cube evaluation ≡ executor for random predicates.
+class CubeEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(CubeEquivalence, MatchesExecutor) {
+  storage::Catalog catalog = MakeToyCatalog();
+  Binder binder(&catalog);
+  Rng rng(static_cast<uint64_t>(GetParam()) * 131 + 3);
+
+  int64_t rlo = rng.UniformInt(0, 2), rhi = rng.UniformInt(rlo, 2);
+  int64_t clo = rng.UniformInt(0, 3), chi = rng.UniformInt(clo, 3);
+  StarJoinQuery q;
+  q.fact_table = "Orders";
+  q.joined_tables = {"Cust", "Prod"};
+  q.predicates.push_back(Predicate::RangeIndex("Cust", "region", rlo, rhi));
+  q.predicates.push_back(Predicate::RangeIndex("Prod", "cat", clo, chi));
+  auto bound = binder.Bind(q);
+  ASSERT_TRUE(bound.ok());
+  auto cube = DataCube::BuildFromQueryPredicates(*bound);
+  ASSERT_TRUE(cube.ok());
+  StarJoinExecutor executor;
+  auto exec_r = executor.Execute(*bound);
+  auto cube_r = cube->Evaluate(bound->Predicates());
+  ASSERT_TRUE(exec_r.ok());
+  ASSERT_TRUE(cube_r.ok());
+  EXPECT_DOUBLE_EQ(exec_r->scalar, *cube_r);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRanges, CubeEquivalence, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace dpstarj::exec

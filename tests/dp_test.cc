@@ -1,0 +1,188 @@
+// Tests for the DP primitives: budget accounting, the release mechanisms,
+// sensitivity machinery, and the (a,b)-private scenario model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "dp/budget.h"
+#include "dp/mechanism.h"
+#include "dp/neighboring.h"
+#include "dp/sensitivity.h"
+
+namespace dpstarj::dp {
+namespace {
+
+TEST(BudgetTest, SpendAndExhaust) {
+  PrivacyBudget b(1.0);
+  EXPECT_DOUBLE_EQ(b.total(), 1.0);
+  ASSERT_TRUE(b.Spend(0.4).ok());
+  EXPECT_DOUBLE_EQ(b.spent(), 0.4);
+  EXPECT_DOUBLE_EQ(b.remaining(), 0.6);
+  ASSERT_TRUE(b.Spend(0.6).ok());
+  Status st = b.Spend(0.01);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kBudgetExhausted);
+}
+
+TEST(BudgetTest, RejectsNonPositiveSpend) {
+  PrivacyBudget b(1.0);
+  EXPECT_FALSE(b.Spend(0.0).ok());
+  EXPECT_FALSE(b.Spend(-0.1).ok());
+}
+
+TEST(BudgetTest, FloatingPointSplitsSumToTotal) {
+  PrivacyBudget b(1.0);
+  auto shares = b.SplitRemaining(3);
+  ASSERT_TRUE(shares.ok());
+  for (double s : *shares) ASSERT_TRUE(b.Spend(s).ok()) << b.ToString();
+  EXPECT_NEAR(b.remaining(), 0.0, 1e-9);
+}
+
+TEST(BudgetTest, SplitErrors) {
+  PrivacyBudget b(1.0);
+  EXPECT_FALSE(b.SplitRemaining(0).ok());
+  ASSERT_TRUE(b.Spend(1.0).ok());
+  EXPECT_FALSE(b.SplitRemaining(2).ok());
+}
+
+TEST(LaplaceMechanismTest, NoiseStatistics) {
+  Rng rng(3);
+  double sensitivity = 2.0, epsilon = 0.5;
+  std::vector<double> xs(100000);
+  for (auto& x : xs) {
+    x = *LaplaceMechanism::Release(10.0, sensitivity, epsilon, &rng);
+  }
+  EXPECT_NEAR(Mean(xs), 10.0, 0.1);
+  double var = StdDev(xs) * StdDev(xs);
+  EXPECT_NEAR(var, LaplaceMechanism::Variance(sensitivity, epsilon),
+              0.05 * LaplaceMechanism::Variance(sensitivity, epsilon));
+}
+
+TEST(LaplaceMechanismTest, ParameterValidation) {
+  Rng rng(1);
+  EXPECT_FALSE(LaplaceMechanism::Release(0, 1, 0, &rng).ok());
+  EXPECT_FALSE(LaplaceMechanism::Release(0, -1, 1, &rng).ok());
+  EXPECT_FALSE(LaplaceMechanism::Release(0, 1, 1, nullptr).ok());
+  // Zero sensitivity → exact answer.
+  EXPECT_DOUBLE_EQ(*LaplaceMechanism::Release(7, 0, 1, &rng), 7.0);
+}
+
+TEST(CauchyMechanismTest, BetaAndNoiseLevel) {
+  // γ = 4: β = ε/10, noise level (10·SS/ε)² (paper §4).
+  EXPECT_DOUBLE_EQ(CauchyMechanism::Beta(1.0), 0.1);
+  EXPECT_DOUBLE_EQ(CauchyMechanism::NoiseLevel(3.0, 1.0), 900.0);
+}
+
+TEST(CauchyMechanismTest, ReleaseCentersOnValue) {
+  Rng rng(5);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = *CauchyMechanism::Release(100.0, 1.0, 1.0, &rng);
+  EXPECT_NEAR(Median(xs), 100.0, 2.0);
+}
+
+TEST(SmoothLaplaceTest, Beta) {
+  EXPECT_NEAR(SmoothLaplaceMechanism::Beta(1.0, 0.01), 1.0 / (2 * std::log(200.0)),
+              1e-12);
+  Rng rng(1);
+  EXPECT_TRUE(SmoothLaplaceMechanism::Release(1.0, 2.0, 0.5, &rng).ok());
+  EXPECT_FALSE(SmoothLaplaceMechanism::Release(1.0, -1.0, 0.5, &rng).ok());
+}
+
+TEST(SmoothSensitivityTest, MatchesBruteForce) {
+  // LS^{(t)} = min(5 + t, 20).
+  auto ls = [](int64_t t) { return std::min<double>(5.0 + t, 20.0); };
+  double beta = 0.3;
+  auto got = SmoothSensitivity(beta, 100, 20.0, ls);
+  ASSERT_TRUE(got.ok());
+  double want = 0.0;
+  for (int64_t t = 0; t <= 100; ++t) {
+    want = std::max(want, std::exp(-beta * t) * ls(t));
+  }
+  EXPECT_NEAR(*got, want, 1e-12);
+}
+
+TEST(SmoothSensitivityTest, EarlyStopMatchesFullScan) {
+  auto ls = [](int64_t t) { return std::min<double>(1.0 + t, 64.0); };
+  auto with_cap = SmoothSensitivity(0.05, 1000, 64.0, ls);
+  auto without_cap = SmoothSensitivity(0.05, 1000, 0.0, ls);
+  ASSERT_TRUE(with_cap.ok());
+  ASSERT_TRUE(without_cap.ok());
+  EXPECT_DOUBLE_EQ(*with_cap, *without_cap);
+}
+
+TEST(SmoothSensitivityTest, Validation) {
+  auto ls = [](int64_t) { return 1.0; };
+  EXPECT_FALSE(SmoothSensitivity(0.0, 10, 1.0, ls).ok());
+  EXPECT_FALSE(SmoothSensitivity(0.5, -1, 1.0, ls).ok());
+  EXPECT_FALSE(SmoothSensitivity(0.5, 10, 1.0, nullptr).ok());
+  auto neg = SmoothSensitivity(0.5, 10, 0.0, [](int64_t) { return -1.0; });
+  EXPECT_FALSE(neg.ok());
+}
+
+TEST(KStarSmoothSensitivityTest, GrowsWithDegreeAndK) {
+  std::vector<int64_t> degrees = {3, 5, 2, 5, 1};
+  auto s2 = KStarSmoothSensitivity(degrees, 2, 10, 0.1);
+  auto s3 = KStarSmoothSensitivity(degrees, 3, 10, 0.1);
+  ASSERT_TRUE(s2.ok());
+  ASSERT_TRUE(s3.ok());
+  EXPECT_GT(*s2, 0.0);
+  // Larger caps admit more sensitivity.
+  auto s2_small_cap = KStarSmoothSensitivity(degrees, 2, 5, 0.1);
+  ASSERT_TRUE(s2_small_cap.ok());
+  EXPECT_LE(*s2_small_cap, *s2);
+}
+
+TEST(KStarSmoothSensitivityTest, SmoothnessProperty) {
+  // SS must satisfy SS(D) ≤ e^β · SS(D′) for neighboring degree sequences
+  // (one node's degree changed by one).
+  std::vector<int64_t> d1 = {4, 7, 3, 9, 2};
+  std::vector<int64_t> d2 = d1;
+  d2[3] += 1;  // neighbor at distance 1
+  double beta = 0.2;
+  auto s1 = KStarSmoothSensitivity(d1, 2, 50, beta);
+  auto s2 = KStarSmoothSensitivity(d2, 2, 50, beta);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_LE(*s1, std::exp(beta) * *s2 + 1e-9);
+  EXPECT_LE(*s2, std::exp(beta) * *s1 + 1e-9);
+}
+
+TEST(KStarSmoothSensitivityTest, Validation) {
+  EXPECT_FALSE(KStarSmoothSensitivity({1, 2}, 0, 5, 0.1).ok());
+  EXPECT_FALSE(KStarSmoothSensitivity({1, 2}, 2, -1, 0.1).ok());
+}
+
+TEST(ScenarioTest, Construction) {
+  auto fact_only = PrivacyScenario::FactOnly("Lineorder");
+  EXPECT_EQ(fact_only.a(), 1);
+  EXPECT_EQ(fact_only.b(), 0);
+  EXPECT_EQ(fact_only.ToString(), "(1,0)-private");
+
+  auto dims = PrivacyScenario::Dimensions({"Customer", "Supplier"});
+  EXPECT_EQ(dims.a(), 0);
+  EXPECT_EQ(dims.b(), 2);
+  EXPECT_EQ(dims.PrivateTables().size(), 2u);
+
+  auto both = PrivacyScenario::FactAndDimensions("Lineorder", {"Customer"});
+  EXPECT_EQ(both.a(), 1);
+  EXPECT_EQ(both.b(), 1);
+  ASSERT_EQ(both.PrivateTables().size(), 2u);
+  EXPECT_EQ(both.PrivateTables()[0], "Lineorder");
+}
+
+TEST(ScenarioTest, Validation) {
+  query::StarJoinQuery q;
+  q.fact_table = "F";
+  q.joined_tables = {"D1", "D2"};
+
+  EXPECT_TRUE(PrivacyScenario::FactOnly("F").Validate(q).ok());
+  EXPECT_FALSE(PrivacyScenario::FactOnly("Other").Validate(q).ok());
+  EXPECT_TRUE(PrivacyScenario::Dimensions({"D1"}).Validate(q).ok());
+  EXPECT_FALSE(PrivacyScenario::Dimensions({"D3"}).Validate(q).ok());
+  EXPECT_FALSE(PrivacyScenario::Dimensions({}).Validate(q).ok());
+}
+
+}  // namespace
+}  // namespace dpstarj::dp

@@ -1,0 +1,150 @@
+// Tests for "Table.column" entity grouping in the contribution index (used
+// for customer-level privacy on flattened snowflakes) and the harness
+// statistics added for the benches (median cells, total-error metric).
+
+#include <gtest/gtest.h>
+
+#include "bench_util/experiment.h"
+#include "dp/neighboring.h"
+#include "exec/contribution_index.h"
+#include "exec/query_result.h"
+#include "query/binder.h"
+#include "test_catalog.h"
+
+namespace dpstarj {
+namespace {
+
+using exec::BuildContributionIndex;
+using query::Binder;
+using query::StarJoinQuery;
+using testing_fixture::MakeToyCatalog;
+
+class EntityGroupingTest : public ::testing::Test {
+ protected:
+  EntityGroupingTest() : catalog_(MakeToyCatalog()), binder_(&catalog_) {}
+  storage::Catalog catalog_;
+  Binder binder_;
+};
+
+TEST_F(EntityGroupingTest, GroupByStringAttribute) {
+  StarJoinQuery q;
+  q.fact_table = "Orders";
+  q.joined_tables = {"Cust"};
+  auto bound = binder_.Bind(q);
+  ASSERT_TRUE(bound.ok());
+  // Individuals = region values: N, S, E each own 2 customers × 2 rows = 4.
+  auto idx = BuildContributionIndex(*bound, {"Cust.region"});
+  ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+  EXPECT_EQ(idx->contributions.size(), 3u);
+  EXPECT_DOUBLE_EQ(idx->max_contribution, 4.0);
+  EXPECT_DOUBLE_EQ(idx->total, 12.0);
+}
+
+TEST_F(EntityGroupingTest, GroupByIntAttribute) {
+  StarJoinQuery q;
+  q.fact_table = "Orders";
+  q.joined_tables = {"Cust"};
+  auto bound = binder_.Bind(q);
+  ASSERT_TRUE(bound.ok());
+  // tier values 1,2,3,4 with customer multiplicity 2,2,1,1 → contributions
+  // 4,4,2,2.
+  auto idx = BuildContributionIndex(*bound, {"Cust.tier"});
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx->contributions.size(), 4u);
+  EXPECT_DOUBLE_EQ(idx->max_contribution, 4.0);
+}
+
+TEST_F(EntityGroupingTest, PkGroupingUnchanged) {
+  StarJoinQuery q;
+  q.fact_table = "Orders";
+  q.joined_tables = {"Cust"};
+  auto bound = binder_.Bind(q);
+  ASSERT_TRUE(bound.ok());
+  auto by_table = BuildContributionIndex(*bound, {"Cust"});
+  auto by_pk = BuildContributionIndex(*bound, {"Cust.ck"});
+  ASSERT_TRUE(by_table.ok());
+  ASSERT_TRUE(by_pk.ok());
+  EXPECT_EQ(by_table->contributions.size(), by_pk->contributions.size());
+  EXPECT_DOUBLE_EQ(by_table->max_contribution, by_pk->max_contribution);
+}
+
+TEST_F(EntityGroupingTest, BadSpecsRejected) {
+  StarJoinQuery q;
+  q.fact_table = "Orders";
+  q.joined_tables = {"Cust"};
+  auto bound = binder_.Bind(q);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_FALSE(BuildContributionIndex(*bound, {"Cust.nope"}).ok());
+  EXPECT_FALSE(BuildContributionIndex(*bound, {"Nope.ck"}).ok());
+}
+
+TEST_F(EntityGroupingTest, ScenarioValidatesEntitySpecs) {
+  query::StarJoinQuery q;
+  q.fact_table = "F";
+  q.joined_tables = {"D1"};
+  EXPECT_TRUE(dp::PrivacyScenario::Dimensions({"D1.attr"}).Validate(q).ok());
+  EXPECT_FALSE(dp::PrivacyScenario::Dimensions({"D2.attr"}).Validate(q).ok());
+}
+
+TEST(RunStatsTest, CellsRenderAllStates) {
+  bench_util::RunStats ok;
+  ok.mean = 12.345;
+  ok.median = 10.0;
+  EXPECT_EQ(ok.Cell(), "12.35");
+  EXPECT_EQ(ok.Cell(1), "12.3");
+  EXPECT_EQ(ok.MedianCell(), "10.00");
+
+  bench_util::RunStats limited;
+  limited.over_time_limit = true;
+  EXPECT_EQ(limited.Cell(), "over limit");
+  EXPECT_EQ(limited.MedianCell(), "over limit");
+
+  bench_util::RunStats unsupported;
+  unsupported.not_supported = true;
+  EXPECT_EQ(unsupported.Cell(), "n/a");
+
+  bench_util::RunStats failed;
+  failed.error = Status::Internal("boom");
+  EXPECT_EQ(failed.Cell(), "error");
+}
+
+TEST(RunStatsTest, RepeatShortCircuitsOnTimeLimit) {
+  int calls = 0;
+  auto stats = bench_util::Repeat(10, [&]() -> Result<double> {
+    ++calls;
+    return Status::TimeLimit("slow");
+  });
+  EXPECT_TRUE(stats.over_time_limit);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RunStatsTest, RepeatCollectsStatistics) {
+  double v = 0.0;
+  auto stats = bench_util::Repeat(5, [&]() -> Result<double> {
+    v += 1.0;
+    return v;
+  });
+  EXPECT_EQ(stats.runs, 5);
+  EXPECT_DOUBLE_EQ(stats.mean, 3.0);
+  EXPECT_DOUBLE_EQ(stats.median, 3.0);
+}
+
+TEST(QueryResultTest, TotalRelativeError) {
+  exec::QueryResult truth;
+  truth.grouped = true;
+  truth.groups = {{"a", 60.0}, {"b", 40.0}};
+  exec::QueryResult est;
+  est.grouped = true;
+  est.groups = {{"c", 110.0}};  // disjoint labels, total 110 vs 100
+  EXPECT_DOUBLE_EQ(est.TotalRelativeErrorPercent(truth), 10.0);
+  // Per-label matching would be maximal here.
+  EXPECT_DOUBLE_EQ(est.MeanRelativeErrorPercent(truth), 100.0);
+}
+
+TEST(EnvTest, Defaults) {
+  EXPECT_EQ(bench_util::EnvInt("DPSTARJ_SURELY_UNSET_VAR", 7), 7);
+  EXPECT_DOUBLE_EQ(bench_util::EnvDouble("DPSTARJ_SURELY_UNSET_VAR", 2.5), 2.5);
+}
+
+}  // namespace
+}  // namespace dpstarj

@@ -1,0 +1,236 @@
+// Tests for the star-join executor: hand-computed answers on the toy fixture,
+// GROUP BY labels, predicate overrides, and a randomized property suite
+// cross-checking the hash-join executor against the naive nested-loop
+// reference.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "exec/naive_executor.h"
+#include "exec/star_join_executor.h"
+#include "query/binder.h"
+#include "test_catalog.h"
+
+namespace dpstarj::exec {
+namespace {
+
+using query::AggregateKind;
+using query::Binder;
+using query::Predicate;
+using query::StarJoinQuery;
+using storage::Value;
+using testing_fixture::MakeToyCatalog;
+using testing_fixture::ToyCountQuery;
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : catalog_(MakeToyCatalog()), binder_(&catalog_) {}
+  storage::Catalog catalog_;
+  Binder binder_;
+  StarJoinExecutor executor_;
+};
+
+TEST_F(ExecutorTest, CountWithTwoPredicates) {
+  auto bound = binder_.Bind(ToyCountQuery());
+  ASSERT_TRUE(bound.ok());
+  auto r = executor_.Execute(*bound);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r->scalar, 2.0);  // (1,1) and (2,1)
+  EXPECT_FALSE(r->grouped);
+}
+
+TEST_F(ExecutorTest, CountNoPredicates) {
+  StarJoinQuery q;
+  q.fact_table = "Orders";
+  q.joined_tables = {"Cust", "Prod"};
+  auto bound = binder_.Bind(q);
+  ASSERT_TRUE(bound.ok());
+  auto r = executor_.Execute(*bound);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->scalar, 12.0);
+}
+
+TEST_F(ExecutorTest, SumWithMeasure) {
+  StarJoinQuery q;
+  q.fact_table = "Orders";
+  q.joined_tables = {"Cust"};
+  q.aggregate = AggregateKind::kSum;
+  q.measure_terms = {{"qty", 1.0}};
+  q.predicates.push_back(Predicate::Point("Cust", "region", Value("E")));
+  auto bound = binder_.Bind(q);
+  ASSERT_TRUE(bound.ok());
+  auto r = executor_.Execute(*bound);
+  ASSERT_TRUE(r.ok());
+  // ck 5: qty 4,3; ck 6: qty 2,1 → 10.
+  EXPECT_DOUBLE_EQ(r->scalar, 10.0);
+}
+
+TEST_F(ExecutorTest, SumWithTwoTerms) {
+  StarJoinQuery q;
+  q.fact_table = "Orders";
+  q.joined_tables = {"Cust"};
+  q.aggregate = AggregateKind::kSum;
+  // price = 10*qty, so qty - 0.1*price = 0 for every row.
+  q.measure_terms = {{"qty", 1.0}, {"price", -0.1}};
+  q.predicates.push_back(Predicate::Point("Cust", "region", Value("N")));
+  auto bound = binder_.Bind(q);
+  ASSERT_TRUE(bound.ok());
+  auto r = executor_.Execute(*bound);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->scalar, 0.0, 1e-9);
+}
+
+TEST_F(ExecutorTest, RangePredicate) {
+  StarJoinQuery q;
+  q.fact_table = "Orders";
+  q.joined_tables = {"Cust"};
+  q.predicates.push_back(Predicate::Range("Cust", "tier", Value(int64_t{1}),
+                                          Value(int64_t{2})));
+  auto bound = binder_.Bind(q);
+  ASSERT_TRUE(bound.ok());
+  auto r = executor_.Execute(*bound);
+  ASSERT_TRUE(r.ok());
+  // tiers 1,2 → ck ∈ {1,2,5,6} → 2+2+2+2 = 8 fact rows.
+  EXPECT_DOUBLE_EQ(r->scalar, 8.0);
+}
+
+TEST_F(ExecutorTest, GroupByLabelsAndValues) {
+  StarJoinQuery q;
+  q.fact_table = "Orders";
+  q.joined_tables = {"Cust"};
+  q.aggregate = AggregateKind::kSum;
+  q.measure_terms = {{"qty", 1.0}};
+  q.group_by = {{"Cust", "region"}};
+  auto bound = binder_.Bind(q);
+  ASSERT_TRUE(bound.ok());
+  auto r = executor_.Execute(*bound);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->grouped);
+  ASSERT_EQ(r->groups.size(), 3u);
+  EXPECT_DOUBLE_EQ(r->groups.at("N"), 7.0);   // ck1: 2+1, ck2: 3+1
+  EXPECT_DOUBLE_EQ(r->groups.at("S"), 10.0);  // ck3: 2+5, ck4: 1+2
+  EXPECT_DOUBLE_EQ(r->groups.at("E"), 10.0);
+  EXPECT_DOUBLE_EQ(r->Total(), 27.0);
+}
+
+TEST_F(ExecutorTest, GroupByCompositeKeyOrder) {
+  StarJoinQuery q;
+  q.fact_table = "Orders";
+  q.joined_tables = {"Cust", "Prod"};
+  q.group_by = {{"Prod", "cat"}, {"Cust", "region"}};
+  auto bound = binder_.Bind(q);
+  ASSERT_TRUE(bound.ok());
+  auto r = executor_.Execute(*bound);
+  ASSERT_TRUE(r.ok());
+  // Label order must follow the declared GROUP BY order: "cat|region".
+  EXPECT_TRUE(r->groups.count("a|N") == 1) << r->ToString();
+  EXPECT_DOUBLE_EQ(r->groups.at("a|N"), 2.0);
+}
+
+TEST_F(ExecutorTest, PredicateOverridesReplaceOriginal) {
+  auto bound = binder_.Bind(ToyCountQuery());
+  ASSERT_TRUE(bound.ok());
+
+  // Override the region predicate N → E; Prod predicate untouched.
+  PredicateOverrides overrides(bound->dims.size());
+  query::BoundPredicate region = bound->dims[0].predicates.at(0);
+  region.lo_index = 2;  // E
+  region.hi_index = 2;
+  overrides[0] = std::vector<query::BoundPredicate>{region};
+  auto r = executor_.Execute(*bound, overrides);
+  ASSERT_TRUE(r.ok());
+  // Region E & cat a: ck∈{5,6} with pk=1 → (6,1) → 1.
+  EXPECT_DOUBLE_EQ(r->scalar, 1.0);
+}
+
+TEST_F(ExecutorTest, OverrideArityChecked) {
+  auto bound = binder_.Bind(ToyCountQuery());
+  ASSERT_TRUE(bound.ok());
+  PredicateOverrides wrong(1);
+  EXPECT_FALSE(executor_.Execute(*bound, wrong).ok());
+}
+
+TEST_F(ExecutorTest, QueryResultErrorMetric) {
+  QueryResult truth;
+  truth.scalar = 100;
+  QueryResult est;
+  est.scalar = 90;
+  EXPECT_DOUBLE_EQ(est.MeanRelativeErrorPercent(truth), 10.0);
+
+  QueryResult gtruth;
+  gtruth.grouped = true;
+  gtruth.groups = {{"a", 10.0}, {"b", 20.0}};
+  QueryResult gest;
+  gest.grouped = true;
+  gest.groups = {{"a", 12.0}};  // b missing → 100% for that group
+  EXPECT_DOUBLE_EQ(gest.MeanRelativeErrorPercent(gtruth), (20.0 + 100.0) / 2);
+}
+
+// ---- property: hash-join executor ≡ naive reference on random instances ----
+
+class ExecutorEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutorEquivalence, MatchesNaiveReference) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 977 + 5);
+  using storage::Field;
+  using storage::ValueType;
+
+  // Random instance: one dim with int attribute, one fact.
+  int64_t dim_rows = rng.UniformInt(1, 30);
+  int64_t fact_rows = rng.UniformInt(0, 200);
+  int64_t domain = rng.UniformInt(2, 9);
+
+  storage::Catalog catalog;
+  storage::Schema dim_schema(
+      {Field("k", ValueType::kInt64),
+       Field("attr", ValueType::kInt64,
+             storage::AttributeDomain::IntRange(0, domain - 1))});
+  auto dim = *storage::Table::Create("D", dim_schema, "k");
+  for (int64_t i = 0; i < dim_rows; ++i) {
+    ASSERT_TRUE(dim->AppendRow({storage::Value(i),
+                                storage::Value(rng.UniformInt(0, domain - 1))})
+                    .ok());
+  }
+  storage::Schema fact_schema(
+      {Field("fk", ValueType::kInt64), Field("w", ValueType::kDouble)});
+  auto fact = *storage::Table::Create("F", fact_schema);
+  for (int64_t i = 0; i < fact_rows; ++i) {
+    ASSERT_TRUE(fact->AppendRow({storage::Value(rng.UniformInt(0, dim_rows - 1)),
+                                 storage::Value(rng.Uniform(-5, 5))})
+                    .ok());
+  }
+  ASSERT_TRUE(catalog.AddTable(dim).ok());
+  ASSERT_TRUE(catalog.AddTable(fact).ok());
+  ASSERT_TRUE(catalog.AddForeignKey({"F", "fk", "D", "k"}).ok());
+
+  // Random query: count or sum, random range predicate.
+  StarJoinQuery q;
+  q.fact_table = "F";
+  q.joined_tables = {"D"};
+  bool sum = rng.Bernoulli(0.5);
+  if (sum) {
+    q.aggregate = AggregateKind::kSum;
+    q.measure_terms = {{"w", 1.0}};
+  }
+  int64_t lo = rng.UniformInt(0, domain - 1);
+  int64_t hi = rng.UniformInt(lo, domain - 1);
+  q.predicates.push_back(Predicate::RangeIndex("D", "attr", lo, hi));
+
+  Binder binder(&catalog);
+  auto bound = binder.Bind(q);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+
+  StarJoinExecutor executor;
+  auto fast = executor.Execute(*bound);
+  auto slow = ExecuteNaive(*bound);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_NEAR(fast->scalar, slow->scalar, 1e-9)
+      << "seed=" << GetParam() << " rows=" << fact_rows;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ExecutorEquivalence,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace dpstarj::exec

@@ -1,0 +1,215 @@
+// Tests for the graph substrate: construction, truncation, generators, and
+// k-star counting (closed form vs explicit enumeration, known graphs).
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "graph/generator.h"
+#include "graph/graph.h"
+#include "graph/kstar.h"
+
+namespace dpstarj::graph {
+namespace {
+
+Graph Star(int64_t leaves) {
+  // Node 0 is the hub.
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  for (int64_t i = 1; i <= leaves; ++i) edges.emplace_back(0, i);
+  return *Graph::FromEdges(leaves + 1, std::move(edges));
+}
+
+Graph Clique(int64_t n) {
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  }
+  return *Graph::FromEdges(n, std::move(edges));
+}
+
+Graph Path(int64_t n) {
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  for (int64_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return *Graph::FromEdges(n, std::move(edges));
+}
+
+TEST(GraphTest, ConstructionAndDegrees) {
+  Graph g = Star(4);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.degrees()[0], 4);
+  EXPECT_EQ(g.degrees()[1], 1);
+  EXPECT_EQ(g.max_degree(), 4);
+  EXPECT_EQ(g.adjacency()[0].size(), 4u);
+}
+
+TEST(GraphTest, RejectsBadEdges) {
+  EXPECT_FALSE(Graph::FromEdges(3, {{0, 0}}).ok());          // self-loop
+  EXPECT_FALSE(Graph::FromEdges(3, {{0, 5}}).ok());          // out of range
+  EXPECT_FALSE(Graph::FromEdges(3, {{0, 1}, {1, 0}}).ok());  // duplicate
+}
+
+TEST(GraphTest, DegreePercentile) {
+  Graph g = Star(9);  // degrees: 9,1,1,...,1
+  EXPECT_EQ(g.DegreePercentile(0.5), 1);
+  EXPECT_EQ(g.DegreePercentile(1.0), 9);
+  EXPECT_EQ(g.DegreePercentile(0.0), 1);
+}
+
+TEST(GraphTest, TruncationRemovesHighDegreeNodes) {
+  Graph g = Star(5);
+  Graph t = g.TruncateDegrees(3);
+  // Hub (degree 5) is removed with all its edges.
+  EXPECT_EQ(t.num_nodes(), g.num_nodes());
+  EXPECT_EQ(t.num_edges(), 0);
+  // Cap above max keeps everything.
+  Graph same = g.TruncateDegrees(5);
+  EXPECT_EQ(same.num_edges(), 5);
+}
+
+TEST(GraphTest, EdgeTableHasBothOrientations) {
+  Graph g = Path(3);
+  auto table = g.ToEdgeTable("Edge");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 4);  // 2 edges × 2 directions
+  // from_id carries the node-id domain for PM.
+  const auto& field = (*table)->schema().field(0);
+  ASSERT_TRUE(field.domain.has_value());
+  EXPECT_EQ(field.domain->size(), 3);
+}
+
+TEST(KStarIndexTest, ClosedFormsOnKnownGraphs) {
+  // Star with L leaves: Σ C(deg, 2) = C(L,2) at the hub, 0 elsewhere.
+  KStarIndex star2(Star(6), 2);
+  EXPECT_DOUBLE_EQ(star2.total(), 15.0);
+  // Clique K_n: every node has degree n−1 → n·C(n−1, k).
+  KStarIndex clique2(Clique(5), 2);
+  EXPECT_DOUBLE_EQ(clique2.total(), 5 * BinomialCoefficient(4, 2));
+  KStarIndex clique3(Clique(5), 3);
+  EXPECT_DOUBLE_EQ(clique3.total(), 5 * BinomialCoefficient(4, 3));
+  // Path with n ≥ 3: inner nodes have degree 2 → (n−2) 2-stars.
+  KStarIndex path2(Path(6), 2);
+  EXPECT_DOUBLE_EQ(path2.total(), 4.0);
+}
+
+TEST(KStarIndexTest, RangeCounting) {
+  Graph g = Star(4);  // only node 0 has stars
+  KStarIndex idx(g, 2);
+  EXPECT_DOUBLE_EQ(idx.CountRange(0, 4), 6.0);
+  EXPECT_DOUBLE_EQ(idx.CountRange(1, 4), 0.0);
+  EXPECT_DOUBLE_EQ(idx.CountRange(0, 0), 6.0);
+  // Clamping.
+  EXPECT_DOUBLE_EQ(idx.CountRange(-5, 100), 6.0);
+  EXPECT_DOUBLE_EQ(idx.CountRange(3, 1), 0.0);
+}
+
+TEST(EnumerateTest, MatchesIndexOnKnownGraphs) {
+  Deadline no_limit(0.0);
+  for (int k = 1; k <= 3; ++k) {
+    Graph g = Clique(6);
+    KStarIndex idx(g, k);
+    KStarQuery q{k, 0, g.num_nodes() - 1};
+    auto enumerated = EnumerateKStars(g, q, no_limit);
+    ASSERT_TRUE(enumerated.ok());
+    EXPECT_DOUBLE_EQ(*enumerated, idx.total()) << "k=" << k;
+  }
+}
+
+TEST(EnumerateTest, ContributionsArePerCenter) {
+  Graph g = Star(4);
+  Deadline no_limit(0.0);
+  std::vector<double> contributions;
+  auto total = EnumerateKStars(g, {2, 0, 4}, no_limit, &contributions);
+  ASSERT_TRUE(total.ok());
+  ASSERT_EQ(contributions.size(), 1u);  // only the hub
+  EXPECT_DOUBLE_EQ(contributions[0], 6.0);
+}
+
+TEST(EnumerateTest, DeadlineTriggersTimeLimit) {
+  Graph g = Clique(60);  // ~60·C(59,2) ≈ 10^5 tuples for k=2… use k=3
+  Deadline tiny(1e-9);
+  auto r = EnumerateKStars(g, {3, 0, g.num_nodes() - 1}, tiny);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeLimit);
+}
+
+TEST(EnumerateTest, K4RecursiveWalk) {
+  Graph g = Clique(7);
+  Deadline no_limit(0.0);
+  auto r = EnumerateKStars(g, {4, 0, 6}, no_limit);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 7 * BinomialCoefficient(6, 4));
+}
+
+// Property: enumeration ≡ closed form on random power-law graphs.
+class EnumerationEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnumerationEquivalence, RandomGraphs) {
+  GeneratorOptions opt;
+  opt.num_nodes = 150;
+  opt.num_edges = 400;
+  opt.seed = static_cast<uint64_t>(GetParam()) * 19 + 1;
+  auto g = GeneratePowerLawGraph(opt);
+  ASSERT_TRUE(g.ok());
+  Deadline no_limit(0.0);
+  for (int k = 2; k <= 3; ++k) {
+    KStarIndex idx(*g, k);
+    int64_t lo = GetParam() % 50;
+    int64_t hi = 149 - (GetParam() % 30);
+    auto e = EnumerateKStars(*g, {k, lo, hi}, no_limit);
+    ASSERT_TRUE(e.ok());
+    EXPECT_DOUBLE_EQ(*e, idx.CountRange(lo, hi)) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnumerationEquivalence, ::testing::Range(0, 10));
+
+TEST(GeneratorTest, ProducesRequestedShape) {
+  GeneratorOptions opt;
+  opt.num_nodes = 2000;
+  opt.num_edges = 6000;
+  opt.seed = 3;
+  auto g = GeneratePowerLawGraph(opt);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 2000);
+  EXPECT_NEAR(static_cast<double>(g->num_edges()), 6000.0, 600.0);
+  // Heavy tail: the max degree dwarfs the mean.
+  double mean_deg = 2.0 * static_cast<double>(g->num_edges()) / 2000.0;
+  EXPECT_GT(static_cast<double>(g->max_degree()), 4.0 * mean_deg);
+}
+
+TEST(GeneratorTest, DeterministicUnderSeed) {
+  GeneratorOptions opt;
+  opt.num_nodes = 500;
+  opt.num_edges = 1500;
+  opt.seed = 9;
+  auto a = GeneratePowerLawGraph(opt);
+  auto b = GeneratePowerLawGraph(opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->edges(), b->edges());
+}
+
+TEST(GeneratorTest, NamedGeneratorsScale) {
+  auto deezer = GenerateDeezerLike(0.01, 1);
+  ASSERT_TRUE(deezer.ok());
+  EXPECT_EQ(deezer->num_nodes(), 1440);
+  auto amazon = GenerateAmazonLike(0.01, 1);
+  ASSERT_TRUE(amazon.ok());
+  EXPECT_EQ(amazon->num_nodes(), 3350);
+  EXPECT_FALSE(GenerateDeezerLike(0.0, 1).ok());
+  EXPECT_FALSE(GenerateAmazonLike(1.5, 1).ok());
+}
+
+TEST(GeneratorTest, Validation) {
+  GeneratorOptions opt;
+  opt.num_nodes = 1;
+  EXPECT_FALSE(GeneratePowerLawGraph(opt).ok());
+  opt.num_nodes = 10;
+  opt.num_edges = 0;
+  EXPECT_FALSE(GeneratePowerLawGraph(opt).ok());
+  opt.num_edges = 100;  // too dense for 10 nodes (max simple = 45)
+  EXPECT_FALSE(GeneratePowerLawGraph(opt).ok());
+}
+
+}  // namespace
+}  // namespace dpstarj::graph

@@ -1,0 +1,176 @@
+// Tests for the k-star DP mechanisms (Table 2's PM / R2T / TM).
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "graph/generator.h"
+#include "graph/kstar_mechanisms.h"
+
+namespace dpstarj::graph {
+namespace {
+
+Graph TestGraph(uint64_t seed = 5) {
+  GeneratorOptions opt;
+  opt.num_nodes = 400;
+  opt.num_edges = 1600;
+  opt.seed = seed;
+  auto g = GeneratePowerLawGraph(opt);
+  DPSTARJ_CHECK(g.ok(), "test graph");
+  return std::move(*g);
+}
+
+TEST(KStarPmTest, ExactUnderHugeBudget) {
+  Graph g = TestGraph();
+  KStarIndex idx(g, 2);
+  KStarQuery q{2, 0, g.num_nodes() - 1};
+  Rng rng(1);
+  auto r = AnswerKStarWithPm(g, idx, q, /*epsilon=*/1e9, &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->estimate, idx.total());
+  EXPECT_GE(r->seconds, 0.0);
+}
+
+TEST(KStarPmTest, EstimateIsAlwaysAValidRangeCount) {
+  Graph g = TestGraph();
+  KStarIndex idx(g, 2);
+  KStarQuery q{2, 0, g.num_nodes() - 1};
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    auto r = AnswerKStarWithPm(g, idx, q, 0.1, &rng);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GE(r->estimate, 0.0);
+    EXPECT_LE(r->estimate, idx.total());
+  }
+}
+
+TEST(KStarPmTest, ErrorShrinksWithEpsilon) {
+  Graph g = TestGraph();
+  KStarIndex idx(g, 2);
+  // Use a proper sub-range: for a full-domain range the boundary clamping
+  // makes tiny ε *more* accurate (both endpoints stick to the domain edges),
+  // so monotonicity in ε only holds away from the boundaries.
+  KStarQuery q{2, g.num_nodes() / 5, 4 * g.num_nodes() / 5};
+  double truth = idx.CountRange(q.lo, q.hi);
+  auto mean_error = [&](double eps) {
+    Rng rng(3);
+    std::vector<double> errs;
+    for (int i = 0; i < 300; ++i) {
+      auto r = AnswerKStarWithPm(g, idx, q, eps, &rng);
+      EXPECT_TRUE(r.ok());
+      errs.push_back(RelativeErrorPercent(r->estimate, truth));
+    }
+    return Mean(errs);
+  };
+  EXPECT_LT(mean_error(10.0), mean_error(0.05));
+}
+
+TEST(KStarPmTest, Validation) {
+  Graph g = TestGraph();
+  KStarIndex idx(g, 2);
+  Rng rng(4);
+  // Index k mismatch.
+  KStarQuery q3{3, 0, g.num_nodes() - 1};
+  EXPECT_FALSE(AnswerKStarWithPm(g, idx, q3, 1.0, &rng).ok());
+  // Empty range.
+  KStarQuery empty{2, 10, 5};
+  EXPECT_FALSE(AnswerKStarWithPm(g, idx, empty, 1.0, &rng).ok());
+}
+
+TEST(KStarR2tTest, ReasonableEstimate) {
+  Graph g = TestGraph();
+  KStarIndex idx(g, 2);
+  KStarQuery q{2, 0, g.num_nodes() - 1};
+  Rng rng(5);
+  KStarR2tOptions opts;
+  opts.gs_q = 1e6;
+  auto r = AnswerKStarWithR2t(g, q, /*epsilon=*/8.0, &rng, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(r->estimate, 0.0);
+  // At a generous budget R2T should land within a factor of the truth.
+  EXPECT_LT(RelativeErrorPercent(r->estimate, idx.total()), 100.0);
+}
+
+TEST(KStarR2tTest, TimeLimitOnExpensiveEnumeration) {
+  GeneratorOptions opt;
+  opt.num_nodes = 3000;
+  opt.num_edges = 15000;
+  opt.seed = 6;
+  auto g = GeneratePowerLawGraph(opt);
+  ASSERT_TRUE(g.ok());
+  Rng rng(6);
+  KStarR2tOptions opts;
+  opts.time_limit_s = 1e-6;  // 3-star enumeration cannot finish in a μs
+  auto r = AnswerKStarWithR2t(*g, {3, 0, g->num_nodes() - 1}, 1.0, &rng, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeLimit);
+}
+
+TEST(KStarTmTest, TruncationBiasAndNoise) {
+  Graph g = TestGraph();
+  KStarIndex idx(g, 2);
+  KStarQuery q{2, 0, g.num_nodes() - 1};
+  Rng rng(7);
+  KStarTmOptions opts;
+  opts.degree_cap = g.max_degree();  // no truncation
+  auto r = AnswerKStarWithTm(g, q, /*epsilon=*/1e9, &rng, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // With no truncation and no effective noise, TM returns the exact count.
+  EXPECT_NEAR(r->estimate, idx.total(), 1e-6 * idx.total() + 1.0);
+}
+
+TEST(KStarTmTest, AggressiveCapUnderestimates) {
+  Graph g = TestGraph();
+  KStarIndex idx(g, 2);
+  KStarQuery q{2, 0, g.num_nodes() - 1};
+  Rng rng(8);
+  KStarTmOptions opts;
+  opts.degree_cap = 2;  // drop almost everything
+  auto r = AnswerKStarWithTm(g, q, 1e9, &rng, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->estimate, idx.total());
+}
+
+TEST(KStarTmTest, DefaultCapIsPercentile) {
+  Graph g = TestGraph();
+  KStarQuery q{2, 0, g.num_nodes() - 1};
+  Rng rng(9);
+  auto r = AnswerKStarWithTm(g, q, 1.0, &rng);
+  ASSERT_TRUE(r.ok());
+}
+
+TEST(KStarTmTest, TimeLimit) {
+  GeneratorOptions opt;
+  opt.num_nodes = 3000;
+  opt.num_edges = 15000;
+  opt.seed = 10;
+  auto g = GeneratePowerLawGraph(opt);
+  ASSERT_TRUE(g.ok());
+  Rng rng(10);
+  KStarTmOptions opts;
+  opts.time_limit_s = 1e-6;
+  opts.degree_cap = g->max_degree();
+  auto r = AnswerKStarWithTm(*g, {3, 0, g->num_nodes() - 1}, 1.0, &rng, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeLimit);
+}
+
+TEST(KStarMechanismsTest, PmIsOrdersOfMagnitudeFasterThanEnumeration) {
+  GeneratorOptions opt;
+  opt.num_nodes = 5000;
+  opt.num_edges = 25000;
+  opt.seed = 11;
+  auto g = GeneratePowerLawGraph(opt);
+  ASSERT_TRUE(g.ok());
+  KStarIndex idx(*g, 2);
+  KStarQuery q{2, 0, g->num_nodes() - 1};
+  Rng rng(11);
+  auto pm = AnswerKStarWithPm(*g, idx, q, 0.5, &rng);
+  auto r2t = AnswerKStarWithR2t(*g, q, 0.5, &rng);
+  ASSERT_TRUE(pm.ok());
+  ASSERT_TRUE(r2t.ok());
+  // PM answers from the prefix-sum index; R2T pays the self-join enumeration.
+  EXPECT_LT(pm->seconds * 5.0, r2t->seconds + 1e-6);
+}
+
+}  // namespace
+}  // namespace dpstarj::graph

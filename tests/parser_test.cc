@@ -1,0 +1,158 @@
+// Tests for the SQL lexer and the star-join parser, including every SSB query
+// from the paper's appendix.
+
+#include <gtest/gtest.h>
+
+#include "query/lexer.h"
+#include "query/parser.h"
+#include "ssb/ssb_queries.h"
+
+namespace dpstarj::query {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT count(*) FROM T WHERE T.a = 'x';");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 10u);
+  EXPECT_TRUE((*tokens)[0].IsKeyword("select"));
+  EXPECT_TRUE((*tokens)[1].IsKeyword("COUNT"));
+  EXPECT_TRUE((*tokens)[2].IsSymbol("("));
+  EXPECT_TRUE((*tokens)[3].IsSymbol("*"));
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, NumbersAndStrings) {
+  auto tokens = Tokenize("1993 3.5 'MFGR#12' 'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ((*tokens)[0].int_value, 1993);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kNumLiteral);
+  EXPECT_DOUBLE_EQ((*tokens)[1].num_value, 3.5);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ((*tokens)[2].text, "MFGR#12");
+  EXPECT_EQ((*tokens)[3].text, "it's");
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto tokens = Tokenize("a <= b >= c <> d");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[1].IsSymbol("<="));
+  EXPECT_TRUE((*tokens)[3].IsSymbol(">="));
+  EXPECT_TRUE((*tokens)[5].IsSymbol("!="));
+}
+
+TEST(LexerTest, ErrorsCarryPosition) {
+  auto t1 = Tokenize("SELECT @");
+  ASSERT_FALSE(t1.ok());
+  EXPECT_EQ(t1.status().code(), StatusCode::kParseError);
+  auto t2 = Tokenize("'unterminated");
+  ASSERT_FALSE(t2.ok());
+}
+
+TEST(ParserTest, MinimalCount) {
+  auto q = ParseStarJoinSql(
+      "SELECT count(*) FROM Date, Lineorder "
+      "WHERE Lineorder.orderdate = Date.datekey AND Date.year = 1993");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->aggregate, AggregateKind::kCount);
+  ASSERT_EQ(q->from_tables.size(), 2u);
+  ASSERT_EQ(q->joins.size(), 1u);
+  ASSERT_EQ(q->predicates.size(), 1u);
+  EXPECT_EQ(q->predicates[0].table(), "Date");
+  EXPECT_EQ(q->predicates[0].kind(), PredicateKind::kPoint);
+}
+
+TEST(ParserTest, SumWithDifference) {
+  auto q = ParseStarJoinSql(
+      "SELECT sum(Lineorder.revenue - Lineorder.supplycost) FROM Lineorder");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->aggregate, AggregateKind::kSum);
+  ASSERT_EQ(q->measure_terms.size(), 2u);
+  EXPECT_DOUBLE_EQ(q->measure_terms[0].coefficient, 1.0);
+  EXPECT_DOUBLE_EQ(q->measure_terms[1].coefficient, -1.0);
+  EXPECT_EQ(q->measure_terms[1].column, "Lineorder.supplycost");
+}
+
+TEST(ParserTest, BetweenBecomesRange) {
+  auto q = ParseStarJoinSql(
+      "SELECT count(*) FROM D, F WHERE F.k = D.k AND D.year BETWEEN 1992 AND 1997");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->predicates.size(), 1u);
+  EXPECT_EQ(q->predicates[0].kind(), PredicateKind::kRange);
+  EXPECT_EQ(q->predicates[0].lo_value().AsInt64(), 1992);
+  EXPECT_EQ(q->predicates[0].hi_value().AsInt64(), 1997);
+}
+
+TEST(ParserTest, ComparisonOperators) {
+  auto q = ParseStarJoinSql(
+      "SELECT count(*) FROM D, F WHERE F.k = D.k AND D.month < 7 AND D.day >= 2");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->predicates.size(), 2u);
+  EXPECT_FALSE(q->predicates[0].has_lo());
+  EXPECT_TRUE(q->predicates[0].hi_strict());
+  EXPECT_FALSE(q->predicates[1].has_hi());
+  EXPECT_FALSE(q->predicates[1].lo_strict());
+}
+
+TEST(ParserTest, OrMergesAdjacentPoints) {
+  auto q = ParseStarJoinSql(
+      "SELECT count(*) FROM P, F WHERE F.k = P.k AND P.mfgr = 'MFGR#1'"
+      " OR P.mfgr = 'MFGR#2'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->predicates.size(), 1u);
+  EXPECT_TRUE(q->predicates[0].is_or_pair());
+}
+
+TEST(ParserTest, OrAcrossAttributesRejected) {
+  auto q = ParseStarJoinSql(
+      "SELECT count(*) FROM P, F WHERE F.k = P.k AND P.a = 'x' OR P.b = 'y'");
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(ParserTest, GroupByOrderBy) {
+  auto q = ParseStarJoinSql(
+      "SELECT sum(F.rev), D.year FROM D, F WHERE F.k = D.k"
+      " GROUP BY D.year, P.brand ORDER BY D.year");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->group_by.size(), 2u);
+  EXPECT_EQ(q->group_by[0].ToString(), "D.year");
+  ASSERT_EQ(q->order_by.size(), 1u);
+  ASSERT_EQ(q->select_columns.size(), 1u);
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseStarJoinSql("").ok());
+  EXPECT_FALSE(ParseStarJoinSql("SELECT FROM T").ok());
+  EXPECT_FALSE(ParseStarJoinSql("SELECT count(*)").ok());          // no FROM
+  EXPECT_FALSE(ParseStarJoinSql("SELECT count(*) FROM T extra").ok());
+  EXPECT_FALSE(ParseStarJoinSql("SELECT count(*), count(*) FROM T").ok());
+  EXPECT_FALSE(
+      ParseStarJoinSql("SELECT count(*) FROM T WHERE T.a != 3").ok());
+  EXPECT_FALSE(
+      ParseStarJoinSql("SELECT count(*) FROM A, B WHERE A.x < B.y").ok());
+}
+
+TEST(ParserTest, NonEqualityJoinRejected) {
+  auto q = ParseStarJoinSql("SELECT count(*) FROM A, B WHERE A.x < B.y");
+  EXPECT_FALSE(q.ok());
+}
+
+// Every SSB query from the appendix must parse.
+class SsbSqlParses : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SsbSqlParses, Parses) {
+  auto sql = ssb::GetQuerySql(GetParam());
+  ASSERT_TRUE(sql.ok());
+  auto parsed = ParseStarJoinSql(*sql);
+  ASSERT_TRUE(parsed.ok()) << GetParam() << ": " << parsed.status().ToString()
+                           << "\n" << *sql;
+  EXPECT_FALSE(parsed->from_tables.empty());
+  EXPECT_FALSE(parsed->joins.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNine, SsbSqlParses,
+                         ::testing::ValuesIn(ssb::AllQueryNames()));
+
+}  // namespace
+}  // namespace dpstarj::query

@@ -1,0 +1,191 @@
+// Tests for the two PMA range readings (shared shift vs independent
+// endpoints) and the calibration-sensitive properties each must satisfy.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "core/pma.h"
+
+namespace dpstarj::core {
+namespace {
+
+query::BoundPredicate MakeRange(int64_t domain_size, int64_t lo, int64_t hi) {
+  query::BoundPredicate p;
+  p.table = "D";
+  p.column = "a";
+  p.column_index = 0;
+  p.domain = storage::AttributeDomain::IntRange(0, domain_size - 1);
+  p.kind = query::PredicateKind::kRange;
+  p.lo_index = lo;
+  p.hi_index = hi;
+  return p;
+}
+
+PmaOptions SharedShift() {
+  PmaOptions o;
+  o.range_mode = PmaRangeMode::kSharedShift;
+  return o;
+}
+
+PmaOptions IndependentEndpoints() {
+  PmaOptions o;
+  o.range_mode = PmaRangeMode::kIndependentEndpoints;
+  return o;
+}
+
+TEST(SharedShiftTest, WidthIsAlwaysPreserved) {
+  Rng rng(1);
+  auto pred = MakeRange(100, 30, 60);
+  for (double eps : {0.01, 0.1, 1.0, 10.0}) {
+    for (int i = 0; i < 500; ++i) {
+      auto noisy = PerturbPredicate(pred, eps, &rng, SharedShift());
+      ASSERT_TRUE(noisy.ok());
+      EXPECT_EQ(noisy->hi_index - noisy->lo_index, 30) << "eps=" << eps;
+      EXPECT_GE(noisy->lo_index, 0);
+      EXPECT_LT(noisy->hi_index, 100);
+    }
+  }
+}
+
+TEST(SharedShiftTest, FullDomainRangeIsFixedPoint) {
+  // The width-preserving reading has a single placement for a full-width
+  // interval (this is why the k-star mechanisms use the other mode).
+  Rng rng(2);
+  auto pred = MakeRange(50, 0, 49);
+  for (int i = 0; i < 100; ++i) {
+    auto noisy = PerturbPredicate(pred, 0.01, &rng, SharedShift());
+    ASSERT_TRUE(noisy.ok());
+    EXPECT_EQ(noisy->lo_index, 0);
+    EXPECT_EQ(noisy->hi_index, 49);
+  }
+}
+
+TEST(SharedShiftTest, ShiftMagnitudeMatchesLaplaceScale) {
+  Rng rng(3);
+  int64_t m = 1000000;
+  auto pred = MakeRange(m, m / 2 - 50, m / 2 + 50);
+  double epsilon = 100.0;  // scale m/ε = 10⁴, clamping negligible
+  std::vector<double> shifts;
+  for (int i = 0; i < 20000; ++i) {
+    auto noisy = PerturbPredicate(pred, epsilon, &rng, SharedShift());
+    ASSERT_TRUE(noisy.ok());
+    shifts.push_back(std::abs(static_cast<double>(noisy->lo_index - (m / 2 - 50))));
+  }
+  EXPECT_NEAR(Mean(shifts), static_cast<double>(m) / epsilon,
+              0.05 * static_cast<double>(m) / epsilon);
+}
+
+TEST(SharedShiftTest, BothEndpointsShiftTogether) {
+  Rng rng(4);
+  auto pred = MakeRange(1000, 400, 500);
+  for (int i = 0; i < 200; ++i) {
+    auto noisy = PerturbPredicate(pred, 5.0, &rng, SharedShift());
+    ASSERT_TRUE(noisy.ok());
+    EXPECT_EQ(noisy->hi_index - noisy->lo_index, 100);
+  }
+}
+
+TEST(IndependentEndpointsTest, ProperIntervalAlways) {
+  Rng rng(5);
+  auto pred = MakeRange(7, 0, 5);  // the SSB year-range shape
+  for (double eps : {0.01, 0.1, 1.0}) {
+    for (int i = 0; i < 1000; ++i) {
+      auto noisy = PerturbPredicate(pred, eps, &rng, IndependentEndpoints());
+      ASSERT_TRUE(noisy.ok());
+      EXPECT_LT(noisy->lo_index, noisy->hi_index) << "eps=" << eps;
+      EXPECT_GE(noisy->lo_index, 0);
+      EXPECT_LT(noisy->hi_index, 7);
+    }
+  }
+}
+
+TEST(IndependentEndpointsTest, WidthVariesUnderNoise) {
+  Rng rng(6);
+  auto pred = MakeRange(100, 40, 60);
+  bool width_changed = false;
+  for (int i = 0; i < 200 && !width_changed; ++i) {
+    auto noisy = PerturbPredicate(pred, 0.5, &rng, IndependentEndpoints());
+    ASSERT_TRUE(noisy.ok());
+    width_changed = (noisy->hi_index - noisy->lo_index) != 20;
+  }
+  EXPECT_TRUE(width_changed);
+}
+
+TEST(IndependentEndpointsTest, FullDomainRangeStaysRandomized) {
+  // Unlike the shared shift, the verbatim reading keeps randomness on a
+  // full-domain range (required for the k-star release to be private).
+  Rng rng(7);
+  auto pred = MakeRange(1000, 0, 999);
+  bool moved = false;
+  for (int i = 0; i < 100 && !moved; ++i) {
+    auto noisy = PerturbPredicate(pred, 0.5, &rng, IndependentEndpoints());
+    ASSERT_TRUE(noisy.ok());
+    moved = noisy->lo_index != 0 || noisy->hi_index != 999;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(PmaModesTest, SingletonDomainDegenerates) {
+  Rng rng(8);
+  auto pred = MakeRange(1, 0, 0);
+  for (auto opts : {SharedShift(), IndependentEndpoints()}) {
+    auto noisy = PerturbPredicate(pred, 0.5, &rng, opts);
+    ASSERT_TRUE(noisy.ok());
+    EXPECT_EQ(noisy->lo_index, 0);
+    EXPECT_EQ(noisy->hi_index, 0);
+  }
+}
+
+TEST(PmaModesTest, PointsUnaffectedByMode) {
+  query::BoundPredicate p = MakeRange(25, 3, 3);
+  p.kind = query::PredicateKind::kPoint;
+  Rng a(9), b(9);
+  auto r1 = PerturbPredicate(p, 0.5, &a, SharedShift());
+  auto r2 = PerturbPredicate(p, 0.5, &b, IndependentEndpoints());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->lo_index, r2->lo_index);
+}
+
+// Distribution sweep: both modes must keep every output inside the domain
+// across (domain, epsilon, range-shape) combinations.
+struct ModeSweepParam {
+  int64_t domain;
+  double epsilon;
+  double lo_frac;
+  double hi_frac;
+};
+
+class PmaModeSweep : public ::testing::TestWithParam<ModeSweepParam> {};
+
+TEST_P(PmaModeSweep, OutputsStayInDomain) {
+  auto [m, eps, lo_frac, hi_frac] = GetParam();
+  int64_t lo = static_cast<int64_t>(lo_frac * static_cast<double>(m - 1));
+  int64_t hi = static_cast<int64_t>(hi_frac * static_cast<double>(m - 1));
+  if (hi < lo) std::swap(lo, hi);
+  auto pred = MakeRange(m, lo, hi);
+  Rng rng(static_cast<uint64_t>(m) * 31 + static_cast<uint64_t>(eps * 100));
+  for (auto opts : {SharedShift(), IndependentEndpoints()}) {
+    for (int i = 0; i < 200; ++i) {
+      auto noisy = PerturbPredicate(pred, eps, &rng, opts);
+      ASSERT_TRUE(noisy.ok());
+      EXPECT_GE(noisy->lo_index, 0);
+      EXPECT_LE(noisy->lo_index, noisy->hi_index);
+      EXPECT_LT(noisy->hi_index, m);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PmaModeSweep,
+    ::testing::Values(ModeSweepParam{2, 0.1, 0.0, 1.0},
+                      ModeSweepParam{7, 0.1, 0.0, 0.8},
+                      ModeSweepParam{7, 1.0, 0.7, 1.0},
+                      ModeSweepParam{25, 0.5, 0.0, 0.1},
+                      ModeSweepParam{366, 0.2, 0.1, 0.5},
+                      ModeSweepParam{144000, 0.1, 0.0, 1.0}));
+
+}  // namespace
+}  // namespace dpstarj::core

@@ -1,0 +1,182 @@
+// Tests for PMA (Algorithm 2): perturbation semantics, clamping, termination,
+// scale correctness, and parameterized sweeps across domains and budgets.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "core/pma.h"
+
+namespace dpstarj::core {
+namespace {
+
+query::BoundPredicate MakePoint(int64_t domain_size, int64_t at) {
+  query::BoundPredicate p;
+  p.table = "D";
+  p.column = "a";
+  p.column_index = 0;
+  p.domain = storage::AttributeDomain::IntRange(0, domain_size - 1);
+  p.kind = query::PredicateKind::kPoint;
+  p.lo_index = at;
+  p.hi_index = at;
+  return p;
+}
+
+query::BoundPredicate MakeRange(int64_t domain_size, int64_t lo, int64_t hi) {
+  query::BoundPredicate p = MakePoint(domain_size, lo);
+  p.kind = query::PredicateKind::kRange;
+  p.hi_index = hi;
+  return p;
+}
+
+TEST(PmaTest, Scales) {
+  EXPECT_DOUBLE_EQ(PmaPointScale(7, 0.5), 14.0);
+  EXPECT_DOUBLE_EQ(PmaRangeScale(7, 0.5), 28.0);
+}
+
+TEST(PmaTest, PointStaysInDomain) {
+  Rng rng(1);
+  auto pred = MakePoint(5, 2);
+  for (int i = 0; i < 2000; ++i) {
+    auto noisy = PerturbPredicate(pred, 0.1, &rng);
+    ASSERT_TRUE(noisy.ok());
+    EXPECT_GE(noisy->lo_index, 0);
+    EXPECT_LT(noisy->lo_index, 5);
+    EXPECT_EQ(noisy->lo_index, noisy->hi_index);
+    EXPECT_EQ(noisy->kind, query::PredicateKind::kPoint);
+  }
+}
+
+TEST(PmaTest, RangeStaysInDomainAndNonEmpty) {
+  Rng rng(2);
+  auto pred = MakeRange(100, 20, 60);
+  for (int i = 0; i < 2000; ++i) {
+    auto noisy = PerturbPredicate(pred, 0.2, &rng);
+    ASSERT_TRUE(noisy.ok());
+    EXPECT_GE(noisy->lo_index, 0);
+    EXPECT_LE(noisy->lo_index, noisy->hi_index);
+    EXPECT_LT(noisy->hi_index, 100);
+  }
+}
+
+TEST(PmaTest, HighBudgetBarelyPerturbs) {
+  Rng rng(3);
+  auto pred = MakeRange(1000, 100, 900);
+  double epsilon = 1e6;  // essentially no noise
+  auto noisy = PerturbPredicate(pred, epsilon, &rng);
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_EQ(noisy->lo_index, 100);
+  EXPECT_EQ(noisy->hi_index, 900);
+}
+
+TEST(PmaTest, PointShiftMatchesLaplaceScale) {
+  // Mean |shift| of Laplace(b) is b (before rounding/clamping). Use a huge
+  // domain so clamping is immaterial and check the empirical mean shift.
+  Rng rng(4);
+  int64_t m = 1000000;
+  auto pred = MakePoint(m, m / 2);
+  double epsilon = 100.0;  // scale m/ε = 10⁴ ≪ m/2, so clamping is negligible
+  std::vector<double> shifts;
+  shifts.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    auto noisy = PerturbPredicate(pred, epsilon, &rng);
+    ASSERT_TRUE(noisy.ok());
+    shifts.push_back(std::abs(static_cast<double>(noisy->lo_index - m / 2)));
+  }
+  double expected = PmaPointScale(m, epsilon);  // E|Lap(b)| = b = m/ε
+  EXPECT_NEAR(Mean(shifts), expected, 0.05 * expected);
+}
+
+TEST(PmaTest, DeterministicUnderSeed) {
+  auto pred = MakeRange(50, 10, 30);
+  Rng a(77), b(77);
+  auto r1 = PerturbPredicate(pred, 0.3, &a);
+  auto r2 = PerturbPredicate(pred, 0.3, &b);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->lo_index, r2->lo_index);
+  EXPECT_EQ(r1->hi_index, r2->hi_index);
+}
+
+TEST(PmaTest, PreservesAddressingMetadata) {
+  Rng rng(5);
+  auto pred = MakeRange(10, 2, 8);
+  pred.table = "Customer";
+  pred.column = "region";
+  pred.column_index = 3;
+  auto noisy = PerturbPredicate(pred, 0.5, &rng);
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_EQ(noisy->table, "Customer");
+  EXPECT_EQ(noisy->column, "region");
+  EXPECT_EQ(noisy->column_index, 3);
+  EXPECT_EQ(noisy->domain.size(), 10);
+}
+
+TEST(PmaTest, Validation) {
+  Rng rng(6);
+  auto pred = MakePoint(5, 2);
+  EXPECT_FALSE(PerturbPredicate(pred, 0.0, &rng).ok());
+  EXPECT_FALSE(PerturbPredicate(pred, -1.0, &rng).ok());
+  EXPECT_FALSE(PerturbPredicate(pred, 1.0, nullptr).ok());
+  auto bad = MakeRange(5, 3, 1);  // inverted
+  std::swap(bad.lo_index, bad.hi_index);
+  bad.lo_index = 3;
+  bad.hi_index = 1;
+  EXPECT_FALSE(PerturbPredicate(bad, 1.0, &rng).ok());
+  auto oob = MakePoint(5, 7);
+  EXPECT_FALSE(PerturbPredicate(oob, 1.0, &rng).ok());
+}
+
+TEST(PmaTest, TerminatesUnderExtremeNoise) {
+  // ε so small that nearly every draw lands outside the domain; the retry
+  // bound plus swap fallback must still terminate with a valid range.
+  Rng rng(7);
+  auto pred = MakeRange(3, 0, 2);
+  PmaOptions opts;
+  opts.max_range_retries = 2;
+  for (int i = 0; i < 500; ++i) {
+    auto noisy = PerturbPredicate(pred, 1e-9, &rng, opts);
+    ASSERT_TRUE(noisy.ok());
+    EXPECT_LE(noisy->lo_index, noisy->hi_index);
+    EXPECT_GE(noisy->lo_index, 0);
+    EXPECT_LT(noisy->hi_index, 3);
+  }
+}
+
+// ---- parameterized sweep over (domain size, epsilon) -----------------------
+
+struct PmaSweepParam {
+  int64_t domain;
+  double epsilon;
+};
+
+class PmaSweep : public ::testing::TestWithParam<PmaSweepParam> {};
+
+TEST_P(PmaSweep, InvariantsHoldEverywhere) {
+  auto [m, eps] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 1000 + eps * 100));
+  auto point = MakePoint(m, m / 2);
+  auto range = MakeRange(m, m / 4, (3 * m) / 4);
+  for (int i = 0; i < 300; ++i) {
+    auto p = PerturbPredicate(point, eps, &rng);
+    ASSERT_TRUE(p.ok());
+    EXPECT_GE(p->lo_index, 0);
+    EXPECT_LT(p->hi_index, m);
+    auto r = PerturbPredicate(range, eps, &rng);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GE(r->lo_index, 0);
+    EXPECT_LE(r->lo_index, r->hi_index);
+    EXPECT_LT(r->hi_index, m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DomainsAndBudgets, PmaSweep,
+    ::testing::Values(PmaSweepParam{2, 0.1}, PmaSweepParam{5, 0.1},
+                      PmaSweepParam{5, 1.0}, PmaSweepParam{25, 0.5},
+                      PmaSweepParam{366, 0.1}, PmaSweepParam{1000, 0.8},
+                      PmaSweepParam{144000, 0.1}, PmaSweepParam{144000, 1.0}));
+
+}  // namespace
+}  // namespace dpstarj::core

@@ -1,0 +1,144 @@
+// Tests for the predicate model and binding against attribute domains.
+
+#include <gtest/gtest.h>
+
+#include "query/predicate.h"
+
+namespace dpstarj::query {
+namespace {
+
+using storage::AttributeDomain;
+using storage::Value;
+
+const AttributeDomain kYears = AttributeDomain::IntRange(1992, 1998);
+const AttributeDomain kRegions =
+    AttributeDomain::Categorical({"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"});
+
+TEST(PredicateTest, PointBindsToIndex) {
+  auto p = Predicate::Point("Date", "year", Value(int64_t{1995}));
+  auto b = BindPredicate(p, kYears, 1);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->kind, PredicateKind::kPoint);
+  EXPECT_EQ(b->lo_index, 3);
+  EXPECT_EQ(b->hi_index, 3);
+  EXPECT_EQ(b->Width(), 1);
+  EXPECT_TRUE(b->Matches(3));
+  EXPECT_FALSE(b->Matches(2));
+  EXPECT_EQ(b->column_index, 1);
+}
+
+TEST(PredicateTest, CategoricalPoint) {
+  auto p = Predicate::Point("Customer", "region", Value("ASIA"));
+  auto b = BindPredicate(p, kRegions, 0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->lo_index, 2);
+}
+
+TEST(PredicateTest, OutOfDomainValueRejected) {
+  auto p = Predicate::Point("Date", "year", Value(int64_t{2024}));
+  EXPECT_FALSE(BindPredicate(p, kYears, 0).ok());
+  auto q = Predicate::Point("Customer", "region", Value("ATLANTIS"));
+  EXPECT_FALSE(BindPredicate(q, kRegions, 0).ok());
+}
+
+TEST(PredicateTest, RangeBinds) {
+  auto p = Predicate::Range("Date", "year", Value(int64_t{1993}),
+                            Value(int64_t{1996}));
+  auto b = BindPredicate(p, kYears, 0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->kind, PredicateKind::kRange);
+  EXPECT_EQ(b->lo_index, 1);
+  EXPECT_EQ(b->hi_index, 4);
+  EXPECT_EQ(b->Width(), 4);
+}
+
+TEST(PredicateTest, EmptyRangeRejected) {
+  auto p = Predicate::Range("Date", "year", Value(int64_t{1996}),
+                            Value(int64_t{1993}));
+  EXPECT_FALSE(BindPredicate(p, kYears, 0).ok());
+}
+
+TEST(PredicateTest, AtMostStrictAndInclusive) {
+  // year < 1995 → [1992, 1994] → indices [0, 2]
+  auto strict = Predicate::AtMost("Date", "year", Value(int64_t{1995}), true);
+  auto b1 = BindPredicate(strict, kYears, 0);
+  ASSERT_TRUE(b1.ok());
+  EXPECT_EQ(b1->lo_index, 0);
+  EXPECT_EQ(b1->hi_index, 2);
+  // year <= 1995 → [0, 3]
+  auto incl = Predicate::AtMost("Date", "year", Value(int64_t{1995}), false);
+  auto b2 = BindPredicate(incl, kYears, 0);
+  ASSERT_TRUE(b2.ok());
+  EXPECT_EQ(b2->hi_index, 3);
+}
+
+TEST(PredicateTest, AtLeastStrictAndInclusive) {
+  auto strict = Predicate::AtLeast("Date", "year", Value(int64_t{1995}), true);
+  auto b1 = BindPredicate(strict, kYears, 0);
+  ASSERT_TRUE(b1.ok());
+  EXPECT_EQ(b1->lo_index, 4);
+  EXPECT_EQ(b1->hi_index, 6);
+  auto incl = Predicate::AtLeast("Date", "year", Value(int64_t{1995}), false);
+  auto b2 = BindPredicate(incl, kYears, 0);
+  ASSERT_TRUE(b2.ok());
+  EXPECT_EQ(b2->lo_index, 3);
+}
+
+TEST(PredicateTest, StrictBoundCollapsingToEmptyRejected) {
+  // year < 1992 selects nothing.
+  auto p = Predicate::AtMost("Date", "year", Value(int64_t{1992}), true);
+  EXPECT_FALSE(BindPredicate(p, kYears, 0).ok());
+}
+
+TEST(PredicateTest, OrPairAdjacentBecomesRange) {
+  auto p = Predicate::PointPair("Part", "mfgr", Value("AMERICA"), Value("AFRICA"));
+  auto b = BindPredicate(p, kRegions, 0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->kind, PredicateKind::kRange);
+  EXPECT_EQ(b->lo_index, 0);
+  EXPECT_EQ(b->hi_index, 1);
+}
+
+TEST(PredicateTest, OrPairNonAdjacentRejected) {
+  auto p = Predicate::PointPair("Part", "mfgr", Value("AFRICA"), Value("ASIA"));
+  auto b = BindPredicate(p, kRegions, 0);
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(PredicateTest, IndexSpacePassThrough) {
+  auto p = Predicate::RangeIndex("Date", "year", 2, 5);
+  auto b = BindPredicate(p, kYears, 0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->lo_index, 2);
+  EXPECT_EQ(b->hi_index, 5);
+  auto pt = Predicate::PointIndex("Date", "year", 6);
+  auto b2 = BindPredicate(pt, kYears, 0);
+  ASSERT_TRUE(b2.ok());
+  EXPECT_EQ(b2->lo_index, 6);
+}
+
+TEST(PredicateTest, IndexSpaceOutOfRangeRejected) {
+  EXPECT_FALSE(BindPredicate(Predicate::PointIndex("D", "y", 7), kYears, 0).ok());
+  EXPECT_FALSE(BindPredicate(Predicate::RangeIndex("D", "y", -1, 3), kYears, 0).ok());
+  EXPECT_FALSE(BindPredicate(Predicate::RangeIndex("D", "y", 5, 3), kYears, 0).ok());
+}
+
+TEST(PredicateTest, ToStringForms) {
+  EXPECT_EQ(Predicate::Point("T", "a", Value(int64_t{5})).ToString(), "T.a = 5");
+  EXPECT_EQ(Predicate::AtMost("T", "a", Value(int64_t{5}), true).ToString(),
+            "T.a < 5");
+  EXPECT_EQ(Predicate::AtLeast("T", "a", Value(int64_t{5}), false).ToString(),
+            "T.a >= 5");
+  EXPECT_EQ(
+      Predicate::Range("T", "a", Value(int64_t{1}), Value(int64_t{2})).ToString(),
+      "T.a in [1, 2]");
+  EXPECT_EQ(Predicate::PointIndex("T", "a", 3).ToString(), "T.a = #3");
+  EXPECT_NE(Predicate::PointPair("T", "a", Value("x"), Value("y"))
+                .ToString()
+                .find("OR"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpstarj::query

@@ -1,0 +1,262 @@
+// Randomized end-to-end property suites that stress feature combinations the
+// per-module tests cover only pointwise:
+//  * hash-join executor ≡ naive reference on random two-dimension star
+//    instances across COUNT/SUM/AVG × scalar/GROUP BY × multi-predicate dims;
+//  * snowflake flattening on *branching* hierarchies (a dimension with two
+//    sub-dimensions) preserves query answers;
+//  * workload matrix encoding round-trips random interval workloads.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/snowflake.h"
+#include "exec/naive_executor.h"
+#include "exec/star_join_executor.h"
+#include "query/binder.h"
+#include "query/workload.h"
+#include "storage/catalog.h"
+
+namespace dpstarj {
+namespace {
+
+using query::AggregateKind;
+using query::Predicate;
+using query::StarJoinQuery;
+using storage::AttributeDomain;
+using storage::Field;
+using storage::Value;
+using storage::ValueType;
+
+// Builds a random star instance: two dimensions, each with two domained
+// attributes, plus a fact table with two measures.
+storage::Catalog RandomStarInstance(Rng* rng, int64_t* d1_domain, int64_t* d2_domain) {
+  storage::Catalog catalog;
+  int64_t m1 = rng->UniformInt(2, 8);
+  int64_t m2 = rng->UniformInt(2, 6);
+  *d1_domain = m1;
+  *d2_domain = m2;
+
+  int64_t rows1 = rng->UniformInt(1, 25);
+  storage::Schema s1({Field("k", ValueType::kInt64),
+                      Field("a", ValueType::kInt64,
+                            AttributeDomain::IntRange(0, m1 - 1)),
+                      Field("b", ValueType::kInt64,
+                            AttributeDomain::IntRange(0, 3))});
+  auto d1 = *storage::Table::Create("D1", s1, "k");
+  for (int64_t i = 0; i < rows1; ++i) {
+    DPSTARJ_CHECK(d1->AppendRow({Value(i), Value(rng->UniformInt(0, m1 - 1)),
+                                 Value(rng->UniformInt(0, 3))})
+                      .ok(),
+                  "row");
+  }
+
+  int64_t rows2 = rng->UniformInt(1, 15);
+  storage::Schema s2({Field("k", ValueType::kInt64),
+                      Field("c", ValueType::kInt64,
+                            AttributeDomain::IntRange(0, m2 - 1))});
+  auto d2 = *storage::Table::Create("D2", s2, "k");
+  for (int64_t i = 0; i < rows2; ++i) {
+    DPSTARJ_CHECK(d2->AppendRow({Value(i), Value(rng->UniformInt(0, m2 - 1))}).ok(),
+                  "row");
+  }
+
+  int64_t fact_rows = rng->UniformInt(0, 300);
+  storage::Schema sf({Field("fk1", ValueType::kInt64),
+                      Field("fk2", ValueType::kInt64),
+                      Field("w", ValueType::kDouble),
+                      Field("q", ValueType::kInt64)});
+  auto fact = *storage::Table::Create("F", sf);
+  for (int64_t i = 0; i < fact_rows; ++i) {
+    DPSTARJ_CHECK(fact->AppendRow({Value(rng->UniformInt(0, rows1 - 1)),
+                                   Value(rng->UniformInt(0, rows2 - 1)),
+                                   Value(rng->Uniform(-10, 10)),
+                                   Value(rng->UniformInt(1, 9))})
+                      .ok(),
+                  "row");
+  }
+
+  DPSTARJ_CHECK(catalog.AddTable(d1).ok(), "cat");
+  DPSTARJ_CHECK(catalog.AddTable(d2).ok(), "cat");
+  DPSTARJ_CHECK(catalog.AddTable(fact).ok(), "cat");
+  DPSTARJ_CHECK(catalog.AddForeignKey({"F", "fk1", "D1", "k"}).ok(), "cat");
+  DPSTARJ_CHECK(catalog.AddForeignKey({"F", "fk2", "D2", "k"}).ok(), "cat");
+  return catalog;
+}
+
+StarJoinQuery RandomQuery(Rng* rng, int64_t m1, int64_t m2) {
+  StarJoinQuery q;
+  q.fact_table = "F";
+  q.joined_tables = {"D1", "D2"};
+  switch (rng->UniformInt(0, 2)) {
+    case 0:
+      q.aggregate = AggregateKind::kCount;
+      break;
+    case 1:
+      q.aggregate = AggregateKind::kSum;
+      q.measure_terms = {{"w", 1.0}, {"q", rng->Uniform(-2, 2)}};
+      break;
+    default:
+      q.aggregate = AggregateKind::kAvg;
+      q.measure_terms = {{"w", 1.0}};
+      break;
+  }
+  // Predicate on D1.a, sometimes a second one on D1.b (multi-predicate dim),
+  // sometimes one on D2.c.
+  int64_t lo = rng->UniformInt(0, m1 - 1);
+  int64_t hi = rng->UniformInt(lo, m1 - 1);
+  q.predicates.push_back(Predicate::RangeIndex("D1", "a", lo, hi));
+  if (rng->Bernoulli(0.5)) {
+    int64_t v = rng->UniformInt(0, 3);
+    q.predicates.push_back(Predicate::PointIndex("D1", "b", v));
+  }
+  if (rng->Bernoulli(0.5)) {
+    int64_t clo = rng->UniformInt(0, m2 - 1);
+    q.predicates.push_back(Predicate::RangeIndex("D2", "c", clo, m2 - 1));
+  }
+  if (rng->Bernoulli(0.4)) {
+    q.group_by.push_back({"D2", "c"});
+    if (rng->Bernoulli(0.3)) q.group_by.push_back({"D1", "b"});
+  }
+  return q;
+}
+
+class ExecutorFullEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutorFullEquivalence, HashJoinMatchesNaive) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  int64_t m1 = 0, m2 = 0;
+  storage::Catalog catalog = RandomStarInstance(&rng, &m1, &m2);
+  StarJoinQuery q = RandomQuery(&rng, m1, m2);
+
+  query::Binder binder(&catalog);
+  auto bound = binder.Bind(q);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString() << "\n" << q.ToString();
+
+  exec::StarJoinExecutor executor;
+  auto fast = executor.Execute(*bound);
+  auto slow = exec::ExecuteNaive(*bound);
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+
+  ASSERT_EQ(fast->grouped, slow->grouped) << q.ToString();
+  if (!fast->grouped) {
+    EXPECT_NEAR(fast->scalar, slow->scalar, 1e-9) << q.ToString();
+  } else {
+    ASSERT_EQ(fast->groups.size(), slow->groups.size()) << q.ToString();
+    for (const auto& [label, value] : slow->groups) {
+      ASSERT_EQ(fast->groups.count(label), 1u) << label << "\n" << q.ToString();
+      EXPECT_NEAR(fast->groups.at(label), value, 1e-9) << label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ExecutorFullEquivalence,
+                         ::testing::Range(0, 40));
+
+// ---- branching snowflake hierarchies ---------------------------------------
+
+TEST(BranchingSnowflakeTest, DimensionWithTwoSubDimensions) {
+  // Mid references both Color and Size; flattening must absorb both.
+  storage::Catalog catalog;
+  storage::Schema color_schema({Field("ck", ValueType::kInt64),
+                                Field("name", ValueType::kString,
+                                      AttributeDomain::Categorical({"r", "g"}))});
+  auto color = *storage::Table::Create("Color", color_schema, "ck");
+  DPSTARJ_CHECK(color->AppendRow({Value(int64_t{1}), Value("r")}).ok(), "t");
+  DPSTARJ_CHECK(color->AppendRow({Value(int64_t{2}), Value("g")}).ok(), "t");
+
+  storage::Schema size_schema({Field("sk", ValueType::kInt64),
+                               Field("n", ValueType::kInt64,
+                                     AttributeDomain::IntRange(1, 2))});
+  auto size = *storage::Table::Create("Size", size_schema, "sk");
+  DPSTARJ_CHECK(size->AppendRow({Value(int64_t{1}), Value(int64_t{1})}).ok(), "t");
+  DPSTARJ_CHECK(size->AppendRow({Value(int64_t{2}), Value(int64_t{2})}).ok(), "t");
+
+  storage::Schema mid_schema({Field("mk", ValueType::kInt64),
+                              Field("ck", ValueType::kInt64),
+                              Field("sk", ValueType::kInt64)});
+  auto mid = *storage::Table::Create("Mid", mid_schema, "mk");
+  // (mk, color, size): (1,r,1), (2,r,2), (3,g,1).
+  DPSTARJ_CHECK(
+      mid->AppendRow({Value(int64_t{1}), Value(int64_t{1}), Value(int64_t{1})}).ok(),
+      "t");
+  DPSTARJ_CHECK(
+      mid->AppendRow({Value(int64_t{2}), Value(int64_t{1}), Value(int64_t{2})}).ok(),
+      "t");
+  DPSTARJ_CHECK(
+      mid->AppendRow({Value(int64_t{3}), Value(int64_t{2}), Value(int64_t{1})}).ok(),
+      "t");
+
+  storage::Schema fact_schema({Field("mk", ValueType::kInt64)});
+  auto fact = *storage::Table::Create("F", fact_schema);
+  for (int64_t mk : {1, 1, 2, 3, 3, 3}) {
+    DPSTARJ_CHECK(fact->AppendRow({Value(mk)}).ok(), "t");
+  }
+
+  DPSTARJ_CHECK(catalog.AddTable(color).ok(), "t");
+  DPSTARJ_CHECK(catalog.AddTable(size).ok(), "t");
+  DPSTARJ_CHECK(catalog.AddTable(mid).ok(), "t");
+  DPSTARJ_CHECK(catalog.AddTable(fact).ok(), "t");
+  DPSTARJ_CHECK(catalog.AddForeignKey({"F", "mk", "Mid", "mk"}).ok(), "t");
+  DPSTARJ_CHECK(catalog.AddForeignKey({"Mid", "ck", "Color", "ck"}).ok(), "t");
+  DPSTARJ_CHECK(catalog.AddForeignKey({"Mid", "sk", "Size", "sk"}).ok(), "t");
+
+  auto flat = core::FlattenedSnowflake::Flatten(catalog, "F");
+  ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+  auto mid_flat = *flat->catalog().GetTable("Mid");
+  EXPECT_TRUE(mid_flat->schema().HasField("Color_name"));
+  EXPECT_TRUE(mid_flat->schema().HasField("Size_n"));
+
+  // count(color = r AND size = 1) → mids {1} → 2 fact rows.
+  StarJoinQuery q;
+  q.fact_table = "F";
+  q.joined_tables = {"Mid", "Color", "Size"};
+  q.predicates.push_back(Predicate::Point("Color", "name", Value("r")));
+  q.predicates.push_back(Predicate::Point("Size", "n", Value(int64_t{1})));
+  auto rewritten = flat->Rewrite(q);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  query::Binder binder(&flat->catalog());
+  auto bound = binder.Bind(*rewritten);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  exec::StarJoinExecutor executor;
+  auto r = executor.Execute(*bound);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->scalar, 2.0);
+}
+
+// ---- workload encoding round-trip property ---------------------------------
+
+class WorkloadRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadRoundTrip, EncodingIsLossless) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 271 + 9);
+  std::vector<query::DimensionAttribute> attrs = {
+      {"D1", "a", AttributeDomain::IntRange(0, rng.UniformInt(1, 9))},
+      {"D2", "c", AttributeDomain::IntRange(0, rng.UniformInt(1, 5))},
+  };
+  int l = static_cast<int>(rng.UniformInt(1, 8));
+  std::vector<linalg::Matrix> matrices;
+  for (const auto& attr : attrs) {
+    int m = static_cast<int>(attr.domain.size());
+    linalg::Matrix p(l, m);
+    for (int q = 0; q < l; ++q) {
+      int lo = static_cast<int>(rng.UniformInt(0, m - 1));
+      int hi = static_cast<int>(rng.UniformInt(lo, m - 1));
+      for (int c = lo; c <= hi; ++c) p.At(q, c) = 1.0;
+    }
+    matrices.push_back(std::move(p));
+  }
+  auto workload = query::WorkloadFromMatrices("rt", "F", attrs, matrices);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  auto back = query::BuildPredicateMatrices(*workload, attrs);
+  ASSERT_TRUE(back.ok());
+  for (size_t a = 0; a < matrices.size(); ++a) {
+    EXPECT_EQ(matrices[a], (*back)[a]) << "attribute " << a;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorkloads, WorkloadRoundTrip,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace dpstarj

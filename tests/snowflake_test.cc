@@ -1,0 +1,186 @@
+// Tests for snowflake flattening and query rewriting.
+
+#include <gtest/gtest.h>
+
+#include "core/snowflake.h"
+#include "exec/star_join_executor.h"
+#include "query/binder.h"
+
+namespace dpstarj::core {
+namespace {
+
+using storage::AttributeDomain;
+using storage::Field;
+using storage::Value;
+using storage::ValueType;
+
+// Snowflake fixture: Fact → Mid → Leaf (a two-level dimension chain).
+//   Leaf(lk, color ∈ {red, blue})           : 2 rows
+//   Mid(mk, lk, size ∈ [1,3])               : 3 rows
+//   Fact(mk, amount)                        : 6 rows
+storage::Catalog MakeSnowflakeCatalog() {
+  storage::Catalog catalog;
+
+  storage::Schema leaf_schema(
+      {Field("lk", ValueType::kInt64),
+       Field("color", ValueType::kString,
+             AttributeDomain::Categorical({"red", "blue"}))});
+  auto leaf = *storage::Table::Create("Leaf", leaf_schema, "lk");
+  DPSTARJ_CHECK(leaf->AppendRow({Value(int64_t{1}), Value("red")}).ok(), "t");
+  DPSTARJ_CHECK(leaf->AppendRow({Value(int64_t{2}), Value("blue")}).ok(), "t");
+
+  storage::Schema mid_schema({Field("mk", ValueType::kInt64),
+                              Field("lk", ValueType::kInt64),
+                              Field("size", ValueType::kInt64,
+                                    AttributeDomain::IntRange(1, 3))});
+  auto mid = *storage::Table::Create("Mid", mid_schema, "mk");
+  DPSTARJ_CHECK(
+      mid->AppendRow({Value(int64_t{1}), Value(int64_t{1}), Value(int64_t{1})}).ok(),
+      "t");
+  DPSTARJ_CHECK(
+      mid->AppendRow({Value(int64_t{2}), Value(int64_t{1}), Value(int64_t{2})}).ok(),
+      "t");
+  DPSTARJ_CHECK(
+      mid->AppendRow({Value(int64_t{3}), Value(int64_t{2}), Value(int64_t{3})}).ok(),
+      "t");
+
+  storage::Schema fact_schema(
+      {Field("mk", ValueType::kInt64), Field("amount", ValueType::kDouble)});
+  auto fact = *storage::Table::Create("Fact", fact_schema);
+  const int64_t mks[6] = {1, 1, 2, 2, 3, 3};
+  for (int i = 0; i < 6; ++i) {
+    DPSTARJ_CHECK(fact->AppendRow({Value(mks[i]), Value(double(i + 1))}).ok(), "t");
+  }
+
+  DPSTARJ_CHECK(catalog.AddTable(leaf).ok(), "t");
+  DPSTARJ_CHECK(catalog.AddTable(mid).ok(), "t");
+  DPSTARJ_CHECK(catalog.AddTable(fact).ok(), "t");
+  DPSTARJ_CHECK(catalog.AddForeignKey({"Fact", "mk", "Mid", "mk"}).ok(), "t");
+  DPSTARJ_CHECK(catalog.AddForeignKey({"Mid", "lk", "Leaf", "lk"}).ok(), "t");
+  return catalog;
+}
+
+TEST(SnowflakeTest, FlattensHierarchyIntoStar) {
+  storage::Catalog catalog = MakeSnowflakeCatalog();
+  auto flat = FlattenedSnowflake::Flatten(catalog, "Fact");
+  ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+
+  // The flattened catalog has Fact + Mid (with Leaf attributes pre-joined).
+  ASSERT_TRUE(flat->catalog().HasTable("Fact"));
+  ASSERT_TRUE(flat->catalog().HasTable("Mid"));
+  auto mid = *flat->catalog().GetTable("Mid");
+  EXPECT_EQ(mid->num_rows(), 3);
+  EXPECT_TRUE(mid->schema().HasField("Leaf_color"));
+  // Leaf attribute values joined correctly: mid row 2 (mk=3) has lk=2 → blue.
+  auto col = *mid->ColumnByName("Leaf_color");
+  EXPECT_EQ(col->GetString(2), "blue");
+  // Domain preserved through flattening.
+  int idx = *mid->schema().FieldIndex("Leaf_color");
+  ASSERT_TRUE(mid->schema().field(idx).domain.has_value());
+  EXPECT_EQ(mid->schema().field(idx).domain->size(), 2);
+}
+
+TEST(SnowflakeTest, ColumnAndTableMapping) {
+  storage::Catalog catalog = MakeSnowflakeCatalog();
+  auto flat = FlattenedSnowflake::Flatten(catalog, "Fact");
+  ASSERT_TRUE(flat.ok());
+  auto mapped = flat->MapColumn("Leaf", "color");
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(mapped->first, "Mid");
+  EXPECT_EQ(mapped->second, "Leaf_color");
+  EXPECT_EQ(*flat->MapTable("Leaf"), "Mid");
+  EXPECT_EQ(*flat->MapTable("Mid"), "Mid");
+  EXPECT_FALSE(flat->MapColumn("Nope", "x").ok());
+  EXPECT_FALSE(flat->MapTable("Nope").ok());
+}
+
+TEST(SnowflakeTest, RewriteAndExecuteMatchesManualAnswer) {
+  storage::Catalog catalog = MakeSnowflakeCatalog();
+  auto flat = FlattenedSnowflake::Flatten(catalog, "Fact");
+  ASSERT_TRUE(flat.ok());
+
+  // Snowflake query: count fact rows joined to red leaves.
+  query::StarJoinQuery q;
+  q.fact_table = "Fact";
+  q.joined_tables = {"Mid", "Leaf"};
+  q.predicates.push_back(query::Predicate::Point("Leaf", "color", Value("red")));
+  auto rewritten = flat->Rewrite(q);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  ASSERT_EQ(rewritten->joined_tables.size(), 1u);
+  EXPECT_EQ(rewritten->joined_tables[0], "Mid");
+  ASSERT_EQ(rewritten->predicates.size(), 1u);
+  EXPECT_EQ(rewritten->predicates[0].table(), "Mid");
+  EXPECT_EQ(rewritten->predicates[0].column(), "Leaf_color");
+
+  query::Binder binder(&flat->catalog());
+  auto bound = binder.Bind(*rewritten);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  exec::StarJoinExecutor executor;
+  auto r = executor.Execute(*bound);
+  ASSERT_TRUE(r.ok());
+  // Red leaves: lk=1 → mids {1,2} → fact rows with mk∈{1,2} → 4.
+  EXPECT_DOUBLE_EQ(r->scalar, 4.0);
+}
+
+TEST(SnowflakeTest, RewriteGroupByKeys) {
+  storage::Catalog catalog = MakeSnowflakeCatalog();
+  auto flat = FlattenedSnowflake::Flatten(catalog, "Fact");
+  ASSERT_TRUE(flat.ok());
+  query::StarJoinQuery q;
+  q.fact_table = "Fact";
+  q.joined_tables = {"Mid"};
+  q.aggregate = query::AggregateKind::kSum;
+  q.measure_terms = {{"amount", 1.0}};
+  q.predicates.push_back(query::Predicate::Range("Mid", "size", Value(int64_t{1}),
+                                                 Value(int64_t{3})));
+  q.group_by = {{"Leaf", "color"}};
+  auto rewritten = flat->Rewrite(q);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  EXPECT_EQ(rewritten->group_by[0].column, "Leaf_color");
+
+  query::Binder binder(&flat->catalog());
+  auto bound = binder.Bind(*rewritten);
+  ASSERT_TRUE(bound.ok());
+  exec::StarJoinExecutor executor;
+  auto r = executor.Execute(*bound);
+  ASSERT_TRUE(r.ok());
+  // red: fact amounts 1+2+3+4 = 10; blue: 5+6 = 11.
+  EXPECT_DOUBLE_EQ(r->groups.at("red"), 10.0);
+  EXPECT_DOUBLE_EQ(r->groups.at("blue"), 11.0);
+}
+
+TEST(SnowflakeTest, RejectsWrongFact) {
+  storage::Catalog catalog = MakeSnowflakeCatalog();
+  auto flat = FlattenedSnowflake::Flatten(catalog, "Fact");
+  ASSERT_TRUE(flat.ok());
+  query::StarJoinQuery q;
+  q.fact_table = "Mid";
+  EXPECT_FALSE(flat->Rewrite(q).ok());
+}
+
+TEST(SnowflakeTest, CycleDetection) {
+  // A → B → A cycle among dimensions must be rejected.
+  storage::Catalog catalog;
+  storage::Schema a_schema({Field("ak", ValueType::kInt64),
+                            Field("bk", ValueType::kInt64)});
+  auto a = *storage::Table::Create("A", a_schema, "ak");
+  DPSTARJ_CHECK(a->AppendRow({Value(int64_t{1}), Value(int64_t{1})}).ok(), "t");
+  storage::Schema b_schema({Field("bk", ValueType::kInt64),
+                            Field("ak", ValueType::kInt64)});
+  auto b = *storage::Table::Create("B", b_schema, "bk");
+  DPSTARJ_CHECK(b->AppendRow({Value(int64_t{1}), Value(int64_t{1})}).ok(), "t");
+  storage::Schema f_schema({Field("ak", ValueType::kInt64)});
+  auto f = *storage::Table::Create("F", f_schema);
+  DPSTARJ_CHECK(f->AppendRow({Value(int64_t{1})}).ok(), "t");
+  DPSTARJ_CHECK(catalog.AddTable(a).ok(), "t");
+  DPSTARJ_CHECK(catalog.AddTable(b).ok(), "t");
+  DPSTARJ_CHECK(catalog.AddTable(f).ok(), "t");
+  DPSTARJ_CHECK(catalog.AddForeignKey({"F", "ak", "A", "ak"}).ok(), "t");
+  DPSTARJ_CHECK(catalog.AddForeignKey({"A", "bk", "B", "bk"}).ok(), "t");
+  DPSTARJ_CHECK(catalog.AddForeignKey({"B", "ak", "A", "ak"}).ok(), "t");
+  auto flat = FlattenedSnowflake::Flatten(catalog, "F");
+  EXPECT_FALSE(flat.ok());
+}
+
+}  // namespace
+}  // namespace dpstarj::core

@@ -1,0 +1,246 @@
+// Tests for the SSB substrate: schema/domains, generator integrity across
+// scale factors and distributions, the paper's nine queries (object and SQL
+// forms agree), and the Figure 8 variants.
+
+#include <gtest/gtest.h>
+
+#include "exec/star_join_executor.h"
+#include "query/binder.h"
+#include "ssb/distributions.h"
+#include "ssb/ssb_generator.h"
+#include "ssb/ssb_queries.h"
+#include "ssb/ssb_schema.h"
+
+namespace dpstarj::ssb {
+namespace {
+
+TEST(SsbSchemaTest, DomainSizesMatchPaper) {
+  EXPECT_EQ(RegionDomain().size(), 5);
+  EXPECT_EQ(NationDomain().size(), 25);
+  EXPECT_EQ(CityDomain().size(), 250);
+  EXPECT_EQ(ZipDomain().size(), 100);
+  EXPECT_EQ(MfgrDomain().size(), 5);
+  EXPECT_EQ(CategoryDomain().size(), 25);
+  EXPECT_EQ(BrandDomain().size(), 1000);
+  EXPECT_EQ(YearDomain().size(), 7);
+  EXPECT_EQ(DayNumInYearDomain().size(), 366);
+}
+
+TEST(SsbSchemaTest, HierarchiesAreConsistent) {
+  // Nation i belongs to region i/5; names used by the paper's queries exist.
+  EXPECT_EQ(Nations()[5], "UNITED STATES");  // AMERICA block starts at 5
+  EXPECT_EQ(Regions()[1], "AMERICA");
+  EXPECT_EQ(Categories()[1], "MFGR#12");
+  EXPECT_EQ(Mfgrs()[0], "MFGR#1");
+  // Every city stems from its nation (SSB style: nation stem + "#digit").
+  for (int n = 0; n < 25; ++n) {
+    std::string stem = Nations()[static_cast<size_t>(n)].substr(0, 9);
+    for (int c = 0; c < 10; ++c) {
+      const std::string& city = Cities()[static_cast<size_t>(n * 10 + c)];
+      EXPECT_EQ(city.substr(0, stem.size()), stem) << city;
+    }
+  }
+}
+
+TEST(SsbSizesTest, ScaleLinearly) {
+  auto s1 = SsbSizes::ForScaleFactor(1.0);
+  EXPECT_EQ(s1.lineorder, 6000000);
+  EXPECT_EQ(s1.customer, 30000);
+  EXPECT_EQ(s1.supplier, 2000);
+  EXPECT_EQ(s1.part, 200000);
+  auto s_small = SsbSizes::ForScaleFactor(0.01);
+  EXPECT_EQ(s_small.lineorder, 60000);
+  EXPECT_EQ(s_small.date, kNumDays);
+}
+
+TEST(SsbGeneratorTest, IntegrityAtSmallScale) {
+  SsbOptions opt;
+  opt.scale_factor = 0.002;
+  auto catalog = GenerateSsb(opt);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  EXPECT_TRUE(catalog->ValidateIntegrity().ok());
+  auto lineorder = *catalog->GetTable(kLineorder);
+  EXPECT_EQ(lineorder->num_rows(), 12000);
+  EXPECT_EQ((*catalog->GetTable(kDate))->num_rows(), kNumDays);
+}
+
+TEST(SsbGeneratorTest, DeterministicUnderSeed) {
+  SsbOptions opt;
+  opt.scale_factor = 0.001;
+  auto a = GenerateSsb(opt);
+  auto b = GenerateSsb(opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto fact_a = *a->GetTable(kLineorder);
+  auto fact_b = *b->GetTable(kLineorder);
+  ASSERT_EQ(fact_a->num_rows(), fact_b->num_rows());
+  for (int64_t r = 0; r < std::min<int64_t>(fact_a->num_rows(), 100); ++r) {
+    EXPECT_EQ(fact_a->column(1).GetInt64(r), fact_b->column(1).GetInt64(r));
+  }
+}
+
+TEST(SsbGeneratorTest, AttributeValuesInsideDomains) {
+  SsbOptions opt;
+  opt.scale_factor = 0.001;
+  auto catalog = GenerateSsb(opt);
+  ASSERT_TRUE(catalog.ok());
+  auto customer = *catalog->GetTable(kCustomer);
+  const auto& schema = customer->schema();
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    if (!schema.field(c).domain.has_value()) continue;
+    for (int64_t r = 0; r < customer->num_rows(); ++r) {
+      auto idx = schema.field(c).domain->IndexOf(customer->column(c).GetValue(r));
+      ASSERT_TRUE(idx.ok()) << schema.field(c).name << " row " << r;
+    }
+  }
+}
+
+TEST(SsbGeneratorTest, SkewedDistributionsSkew) {
+  SsbOptions uniform;
+  uniform.scale_factor = 0.005;
+  SsbOptions skewed = uniform;
+  skewed.fanout_distribution = DistributionSpec::Exponential(1.0);
+  auto cat_u = GenerateSsb(uniform);
+  auto cat_s = GenerateSsb(skewed);
+  ASSERT_TRUE(cat_u.ok());
+  ASSERT_TRUE(cat_s.ok());
+  // Under exponential fan-out, low customer keys own far more fact rows.
+  auto count_low_keys = [](const storage::Catalog& cat) {
+    auto fact = *cat.GetTable(kLineorder);
+    auto cust = *cat.GetTable(kCustomer);
+    int64_t low = 0;
+    int64_t threshold = cust->num_rows() / 10;
+    const auto& keys = fact->column(1).int64_data();
+    for (int64_t k : keys) {
+      if (k <= threshold) ++low;
+    }
+    return static_cast<double>(low) / static_cast<double>(keys.size());
+  };
+  EXPECT_NEAR(count_low_keys(*cat_u), 0.1, 0.02);
+  EXPECT_GT(count_low_keys(*cat_s), 0.3);
+}
+
+TEST(SsbGeneratorTest, PlantedHeavyDegree) {
+  SsbOptions opt;
+  opt.scale_factor = 0.002;
+  opt.planted_heavy_degree = 500;
+  auto catalog = GenerateSsb(opt);
+  ASSERT_TRUE(catalog.ok());
+  auto fact = *catalog->GetTable(kLineorder);
+  int64_t owned = 0;
+  for (int64_t k : fact->column(1).int64_data()) {
+    if (k == 1) ++owned;
+  }
+  EXPECT_GE(owned, 500);
+}
+
+TEST(SsbGeneratorTest, RejectsBadOptions) {
+  SsbOptions opt;
+  opt.scale_factor = 0.0;
+  EXPECT_FALSE(GenerateSsb(opt).ok());
+  opt.scale_factor = 0.001;
+  opt.attribute_distribution.kind = DistributionKind::kExponential;
+  opt.attribute_distribution.param1 = -1.0;
+  EXPECT_FALSE(GenerateSsb(opt).ok());
+}
+
+TEST(DistributionTest, SampleIndexInRange) {
+  Rng rng(1);
+  for (auto spec : {DistributionSpec::Uniform(), DistributionSpec::Exponential(1.0),
+                    DistributionSpec::Gamma(2.0, 1.0),
+                    DistributionSpec::GaussianMixture({1.0}, {0.5}, {0.2})}) {
+    for (int i = 0; i < 2000; ++i) {
+      int64_t idx = spec.SampleIndex(25, &rng);
+      ASSERT_GE(idx, 0) << spec.ToString();
+      ASSERT_LT(idx, 25) << spec.ToString();
+    }
+  }
+}
+
+TEST(DistributionTest, ExponentialConcentratesLow) {
+  Rng rng(2);
+  auto spec = DistributionSpec::Exponential(1.0);
+  int64_t low = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (spec.SampleIndex(100, &rng) < 20) ++low;
+  }
+  EXPECT_GT(low, 6000);  // 1 − e^{-1} ≈ 63% below the first fifth
+}
+
+// The nine queries, object form vs SQL form, must agree end-to-end.
+class SsbQueryAgreement : public ::testing::TestWithParam<std::string> {
+ protected:
+  static void SetUpTestSuite() {
+    SsbOptions opt;
+    // Large enough that every predicate (incl. Supplier.nation = US) has
+    // support: supplier table must exceed the 25-nation coverage prefix.
+    opt.scale_factor = 0.02;
+    auto catalog = GenerateSsb(opt);
+    DPSTARJ_CHECK(catalog.ok(), "ssb generation");
+    catalog_ = new storage::Catalog(std::move(*catalog));
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+  static storage::Catalog* catalog_;
+};
+
+storage::Catalog* SsbQueryAgreement::catalog_ = nullptr;
+
+TEST_P(SsbQueryAgreement, ObjectAndSqlFormsMatch) {
+  query::Binder binder(catalog_);
+  auto object_query = GetQuery(GetParam());
+  ASSERT_TRUE(object_query.ok());
+  auto sql = GetQuerySql(GetParam());
+  ASSERT_TRUE(sql.ok());
+
+  auto bound_obj = binder.Bind(*object_query);
+  ASSERT_TRUE(bound_obj.ok()) << bound_obj.status().ToString();
+  auto bound_sql = binder.BindSql(*sql);
+  ASSERT_TRUE(bound_sql.ok()) << bound_sql.status().ToString() << "\n" << *sql;
+
+  exec::StarJoinExecutor executor;
+  auto r_obj = executor.Execute(*bound_obj);
+  auto r_sql = executor.Execute(*bound_sql);
+  ASSERT_TRUE(r_obj.ok());
+  ASSERT_TRUE(r_sql.ok());
+  if (r_obj->grouped) {
+    EXPECT_EQ(r_obj->groups, r_sql->groups);
+  } else {
+    EXPECT_DOUBLE_EQ(r_obj->scalar, r_sql->scalar);
+  }
+  // Sanity: the query actually selects something at this scale.
+  EXPECT_GT(r_obj->Total(), 0.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNine, SsbQueryAgreement,
+                         ::testing::ValuesIn(AllQueryNames()));
+
+TEST(SsbQueriesTest, UnknownNameRejected) {
+  EXPECT_FALSE(GetQuery("Qx9").ok());
+  EXPECT_FALSE(GetQuerySql("Qx9").ok());
+}
+
+TEST(SsbQueriesTest, DomainSizeVariantsBindAndRun) {
+  SsbOptions opt;
+  opt.scale_factor = 0.002;
+  auto catalog = GenerateSsb(opt);
+  ASSERT_TRUE(catalog.ok());
+  query::Binder binder(&*catalog);
+  exec::StarJoinExecutor executor;
+  auto variants = DomainSizeQueries();
+  ASSERT_EQ(variants.size(), 5u);
+  for (const auto& v : variants) {
+    auto bound = binder.Bind(v.query);
+    ASSERT_TRUE(bound.ok()) << v.label << ": " << bound.status().ToString();
+    auto preds = bound->Predicates();
+    ASSERT_EQ(preds.size(), 2u) << v.label;
+    EXPECT_EQ(preds[0]->domain.size() * preds[1]->domain.size(), v.dom1 * v.dom2);
+    auto r = executor.Execute(*bound);
+    ASSERT_TRUE(r.ok()) << v.label;
+  }
+}
+
+}  // namespace
+}  // namespace dpstarj::ssb

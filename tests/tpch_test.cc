@@ -1,0 +1,139 @@
+// Tests for the mini TPC-H snowflake substrate and the Figure 10 queries.
+
+#include <gtest/gtest.h>
+
+#include "core/snowflake.h"
+#include "exec/star_join_executor.h"
+#include "query/binder.h"
+#include "tpch/tpch_mini.h"
+
+namespace dpstarj::tpch {
+namespace {
+
+TEST(TpchTest, GeneratorIntegrity) {
+  TpchOptions opt;
+  opt.scale_factor = 0.002;
+  auto catalog = GenerateTpchMini(opt);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  EXPECT_TRUE(catalog->ValidateIntegrity().ok());
+  EXPECT_EQ((*catalog->GetTable(kRegion))->num_rows(), 5);
+  EXPECT_EQ((*catalog->GetTable(kNation))->num_rows(), 25);
+  EXPECT_EQ((*catalog->GetTable(kCustomer))->num_rows(), 300);
+  EXPECT_EQ((*catalog->GetTable(kOrders))->num_rows(), 3000);
+  EXPECT_EQ((*catalog->GetTable(kLineitem))->num_rows(), 12000);
+}
+
+TEST(TpchTest, RejectsBadScale) {
+  TpchOptions opt;
+  opt.scale_factor = -1;
+  EXPECT_FALSE(GenerateTpchMini(opt).ok());
+}
+
+TEST(TpchTest, SnowflakeChainHasFourLevels) {
+  TpchOptions opt;
+  opt.scale_factor = 0.001;
+  auto catalog = GenerateTpchMini(opt);
+  ASSERT_TRUE(catalog.ok());
+  // Lineitem→Orders→Customer→Nation→Region registered.
+  EXPECT_TRUE(catalog->ForeignKeyBetween(kLineitem, kOrders).ok());
+  EXPECT_TRUE(catalog->ForeignKeyBetween(kOrders, kCustomer).ok());
+  EXPECT_TRUE(catalog->ForeignKeyBetween(kCustomer, kNation).ok());
+  EXPECT_TRUE(catalog->ForeignKeyBetween(kNation, kRegion).ok());
+}
+
+class TpchFlattenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TpchOptions opt;
+    opt.scale_factor = 0.002;
+    auto catalog = GenerateTpchMini(opt);
+    DPSTARJ_CHECK(catalog.ok(), "tpch generation");
+    catalog_ = new storage::Catalog(std::move(*catalog));
+    auto flat = core::FlattenedSnowflake::Flatten(*catalog_, kLineitem);
+    DPSTARJ_CHECK(flat.ok(), "flatten");
+    flat_ = new core::FlattenedSnowflake(std::move(*flat));
+  }
+  static void TearDownTestSuite() {
+    delete flat_;
+    delete catalog_;
+    flat_ = nullptr;
+    catalog_ = nullptr;
+  }
+  static storage::Catalog* catalog_;
+  static core::FlattenedSnowflake* flat_;
+};
+
+storage::Catalog* TpchFlattenTest::catalog_ = nullptr;
+core::FlattenedSnowflake* TpchFlattenTest::flat_ = nullptr;
+
+TEST_F(TpchFlattenTest, FlattensChainIntoOneDimension) {
+  // Orders absorbs Customer→Nation→Region.
+  auto orders = flat_->catalog().GetTable(kOrders);
+  ASSERT_TRUE(orders.ok());
+  EXPECT_TRUE((*orders)->schema().HasField("Customer_Nation_Region_name"));
+  auto mapped = flat_->MapColumn(kRegion, "name");
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(mapped->first, kOrders);
+  EXPECT_EQ(mapped->second, "Customer_Nation_Region_name");
+}
+
+TEST_F(TpchFlattenTest, QtcMatchesManualEvaluationOnSnowflake) {
+  // Rewrite and execute Qtc on the flattened star.
+  auto rewritten = flat_->Rewrite(QueryQtc());
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  query::Binder binder(&flat_->catalog());
+  auto bound = binder.Bind(*rewritten);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  exec::StarJoinExecutor executor;
+  auto fast = executor.Execute(*bound);
+  ASSERT_TRUE(fast.ok());
+
+  // Manual evaluation over the original snowflake chain.
+  auto lineitem = *catalog_->GetTable(kLineitem);
+  auto orders = *catalog_->GetTable(kOrders);
+  auto customer = *catalog_->GetTable(kCustomer);
+  auto nation = *catalog_->GetTable(kNation);
+  auto region = *catalog_->GetTable(kRegion);
+  // Build key→row maps.
+  auto key_map = [](const storage::Table& t, int col) {
+    std::unordered_map<int64_t, int64_t> m;
+    for (int64_t r = 0; r < t.num_rows(); ++r) {
+      m.emplace(t.column(col).GetInt64(r), r);
+    }
+    return m;
+  };
+  auto orders_by_key = key_map(*orders, 0);
+  auto cust_by_key = key_map(*customer, 0);
+  auto nation_by_key = key_map(*nation, 0);
+  auto region_by_key = key_map(*region, 0);
+  double manual = 0;
+  for (int64_t r = 0; r < lineitem->num_rows(); ++r) {
+    int64_t orow = orders_by_key.at(lineitem->column(1).GetInt64(r));
+    int64_t year = orders->column(2).GetInt64(orow);
+    if (year < 1993 || year > 1995) continue;
+    int64_t crow = cust_by_key.at(orders->column(1).GetInt64(orow));
+    int64_t nrow = nation_by_key.at(customer->column(1).GetInt64(crow));
+    int64_t rrow = region_by_key.at(nation->column(2).GetInt64(nrow));
+    if (region->column(1).GetString(rrow) == "ASIA") manual += 1;
+  }
+  EXPECT_DOUBLE_EQ(fast->scalar, manual);
+  EXPECT_GT(manual, 0.0);
+}
+
+TEST_F(TpchFlattenTest, QtsIsSumTwin) {
+  auto qts = QueryQts();
+  EXPECT_EQ(qts.aggregate, query::AggregateKind::kSum);
+  ASSERT_EQ(qts.measure_terms.size(), 1u);
+  auto rewritten = flat_->Rewrite(qts);
+  ASSERT_TRUE(rewritten.ok());
+  query::Binder binder(&flat_->catalog());
+  auto bound = binder.Bind(*rewritten);
+  ASSERT_TRUE(bound.ok());
+  exec::StarJoinExecutor executor;
+  auto r = executor.Execute(*bound);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->scalar, 0.0);
+}
+
+}  // namespace
+}  // namespace dpstarj::tpch
