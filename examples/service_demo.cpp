@@ -1,0 +1,124 @@
+// Service demo: the concurrent, multi-tenant DP query service on a tiny
+// hospital schema — tenant budgets, async submission, free cache replays,
+// and budget-exhaustion refusals.
+//
+//   $ ./service_demo
+//
+// Builds on quickstart.cpp (same schema); read that first for the storage
+// and engine basics.
+
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "service/query_service.h"
+#include "storage/catalog.h"
+
+using dpstarj::Status;
+using dpstarj::storage::AttributeDomain;
+using dpstarj::storage::Catalog;
+using dpstarj::storage::Field;
+using dpstarj::storage::Schema;
+using dpstarj::storage::Table;
+using dpstarj::storage::Value;
+using dpstarj::storage::ValueType;
+
+namespace {
+
+Status Run() {
+  // 1. The quickstart schema: patients (with a declared ward domain) and
+  //    visits referencing them.
+  Schema patient_schema({
+      Field("patient_id", ValueType::kInt64),
+      Field("ward", ValueType::kString,
+            AttributeDomain::Categorical(
+                {"cardiology", "oncology", "neurology", "pediatrics"})),
+  });
+  DPSTARJ_ASSIGN_OR_RETURN(auto patients,
+                           Table::Create("Patient", patient_schema, "patient_id"));
+  const char* wards[8] = {"cardiology", "oncology",   "cardiology", "neurology",
+                          "pediatrics", "cardiology", "oncology",   "neurology"};
+  for (int64_t i = 0; i < 8; ++i) {
+    DPSTARJ_RETURN_NOT_OK(patients->AppendRow({Value(i + 1), Value(wards[i])}));
+  }
+  Schema visit_schema({
+      Field("patient_id", ValueType::kInt64),
+      Field("cost", ValueType::kDouble),
+  });
+  DPSTARJ_ASSIGN_OR_RETURN(auto visits, Table::Create("Visit", visit_schema));
+  for (int64_t i = 0; i < 64; ++i) {
+    DPSTARJ_RETURN_NOT_OK(
+        visits->AppendRow({Value(i % 8 + 1), Value(100.0 + 5.0 * (i % 7))}));
+  }
+  Catalog catalog;
+  DPSTARJ_RETURN_NOT_OK(catalog.AddTable(patients));
+  DPSTARJ_RETURN_NOT_OK(catalog.AddTable(visits));
+  DPSTARJ_RETURN_NOT_OK(
+      catalog.AddForeignKey({"Visit", "patient_id", "Patient", "patient_id"}));
+  DPSTARJ_RETURN_NOT_OK(catalog.ValidateIntegrity());
+
+  // 2. A query service: 4 engines behind a bounded queue, a noisy-answer
+  //    cache, and per-tenant budgets.
+  dpstarj::service::ServiceOptions options;
+  options.num_engines = 4;
+  options.engine.seed = 2024;
+  dpstarj::service::QueryService service(&catalog, options);
+  DPSTARJ_RETURN_NOT_OK(service.RegisterTenant("research", 2.0));
+  DPSTARJ_RETURN_NOT_OK(service.RegisterTenant("billing", 0.5));
+
+  const std::string cardio =
+      "SELECT count(*) FROM Patient, Visit "
+      "WHERE Visit.patient_id = Patient.patient_id "
+      "AND Patient.ward = 'cardiology'";
+
+  // 3. Asynchronous submission: futures resolve as pool workers answer.
+  std::vector<std::future<dpstarj::Result<dpstarj::exec::QueryResult>>> futures;
+  const char* queried_wards[3] = {"cardiology", "oncology", "neurology"};
+  for (const char* ward : queried_wards) {
+    std::string sql =
+        "SELECT count(*) FROM Patient, Visit "
+        "WHERE Visit.patient_id = Patient.patient_id AND Patient.ward = '" +
+        std::string(ward) + "'";
+    futures.push_back(service.Submit(sql, /*epsilon=*/0.25, "research"));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    DPSTARJ_ASSIGN_OR_RETURN(auto noisy, futures[i].get());
+    std::printf("research: dp count of %-11s visits = %6.1f\n", queried_wards[i],
+                noisy.scalar);
+  }
+  std::printf("research: budget left %.2f of 2.00\n\n",
+              *service.RemainingBudget("research"));
+
+  // 4. Replays are free: re-asking the cardiology question (even reformatted)
+  //    returns the *same* noisy answer and spends no budget.
+  DPSTARJ_ASSIGN_OR_RETURN(auto replay, service.Answer(cardio, 0.25, "research"));
+  std::printf("research: replayed cardiology count = %6.1f (budget still %.2f)\n\n",
+              replay.scalar, *service.RemainingBudget("research"));
+
+  // 5. Tenants are isolated: billing has its own small budget and runs dry.
+  DPSTARJ_ASSIGN_OR_RETURN(
+      auto avg, service.Answer("SELECT avg(cost) FROM Visit, Patient "
+                               "WHERE Visit.patient_id = Patient.patient_id "
+                               "AND Patient.ward = 'oncology'",
+                               0.5, "billing"));
+  std::printf("billing : dp avg oncology cost = %.1f (budget left %.2f)\n",
+              avg.scalar, *service.RemainingBudget("billing"));
+  auto refused = service.Answer(cardio, 0.5, "billing");
+  std::printf("billing : next query -> %s\n\n", refused.status().ToString().c_str());
+
+  // 6. The service accounts for everything it did.
+  std::printf("stats   : %s\n", service.Stats().ToString().c_str());
+  std::printf("ledger  :\n%s", service.ledger().ToString().c_str());
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Status st = Run();
+  if (!st.ok()) {
+    std::fprintf(stderr, "service_demo failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -36,6 +36,11 @@ Result<exec::QueryResult> DpStarJoin::AnswerSql(const std::string& sql,
   return mechanism_.Answer(bound, epsilon, &rng_);
 }
 
+Result<exec::QueryResult> DpStarJoin::AnswerBound(const query::BoundQuery& bound,
+                                                  double epsilon, Rng* rng) const {
+  return mechanism_.Answer(bound, epsilon, rng);
+}
+
 Result<exec::QueryResult> DpStarJoin::TrueAnswer(const query::StarJoinQuery& q) const {
   DPSTARJ_ASSIGN_OR_RETURN(query::BoundQuery bound, binder_.Bind(q));
   exec::StarJoinExecutor executor;

@@ -59,6 +59,18 @@ class DpStarJoin {
   /// Parses SQL, resolves it against the catalog, and answers under ε-DP.
   Result<exec::QueryResult> AnswerSql(const std::string& sql, double epsilon);
 
+  /// \brief Answers an already-bound query with caller-provided randomness,
+  /// bypassing the engine's own Rng and budget.
+  ///
+  /// This is the const, re-entrant core of Answer/AnswerSql: it touches no
+  /// engine state besides the (immutable) mechanism options, so it is safe to
+  /// call concurrently as long as each caller supplies a distinct Rng. The
+  /// service layer routes every pool-worker answer through here — budget
+  /// accounting lives in service::BudgetLedger, randomness in the worker's
+  /// per-engine stream.
+  Result<exec::QueryResult> AnswerBound(const query::BoundQuery& bound,
+                                        double epsilon, Rng* rng) const;
+
   /// Exact (non-private) answer — for utility evaluation only.
   Result<exec::QueryResult> TrueAnswer(const query::StarJoinQuery& q) const;
   /// Exact (non-private) answer of SQL text.
@@ -82,6 +94,9 @@ class DpStarJoin {
 
   /// The engine's RNG (e.g. to reseed between experiments).
   Rng* rng() { return &rng_; }
+
+  /// The engine's binder (shares the engine's catalog; const and re-entrant).
+  const query::Binder& binder() const { return binder_; }
 
  private:
   Status SpendBudget(double epsilon);

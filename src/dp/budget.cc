@@ -1,5 +1,7 @@
 #include "dp/budget.h"
 
+#include <cmath>
+
 #include "common/string_util.h"
 
 namespace dpstarj::dp {
@@ -12,16 +14,44 @@ PrivacyBudget::PrivacyBudget(double epsilon) : total_(epsilon) {
   DPSTARJ_CHECK(epsilon > 0.0, "privacy budget must be positive");
 }
 
+void PrivacyBudget::Accumulate(double delta) {
+  // Kahan compensated summation: carry the low-order bits lost by each
+  // addition so a long run of tiny spends sums to machine precision.
+  double y = delta - compensation_;
+  double t = spent_ + y;
+  compensation_ = (t - spent_) - y;
+  spent_ = t;
+}
+
 Status PrivacyBudget::Spend(double epsilon) {
-  if (epsilon <= 0.0) {
-    return Status::InvalidArgument("spend must be positive");
+  // NaN must be refused explicitly: it sails through `<= 0.0` and, once added
+  // to spent_, makes every future overdraft comparison false — an account
+  // that admits everything. Fatal for a privacy accountant.
+  if (!std::isfinite(epsilon) || epsilon <= 0.0) {
+    return Status::InvalidArgument("spend must be positive and finite");
   }
   if (spent_ + epsilon > total_ + kTolerance) {
     return Status::BudgetExhausted(
         Format("requested %.6g but only %.6g of %.6g remains", epsilon, remaining(),
                total_));
   }
-  spent_ += epsilon;
+  Accumulate(epsilon);
+  return Status::OK();
+}
+
+Status PrivacyBudget::Refund(double epsilon) {
+  if (!std::isfinite(epsilon) || epsilon <= 0.0) {
+    return Status::InvalidArgument("refund must be positive and finite");
+  }
+  if (epsilon > spent_ + kTolerance) {
+    return Status::InvalidArgument(
+        Format("refund of %.6g exceeds the %.6g spent", epsilon, spent_));
+  }
+  Accumulate(-epsilon);
+  if (spent_ < 0.0) {  // guard the tolerance window from going negative
+    spent_ = 0.0;
+    compensation_ = 0.0;
+  }
   return Status::OK();
 }
 

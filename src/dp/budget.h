@@ -12,6 +12,14 @@ namespace dpstarj::dp {
 /// \brief Sequential-composition privacy accounting (Dwork & Roth, Thm 3.16):
 /// a sequence of mechanisms spending ε_1, ..., ε_k on the same data satisfies
 /// (Σ ε_i)-DP. The budget tracks spending and refuses overdrafts.
+///
+/// Spends are accumulated with compensated (Kahan) summation so that millions
+/// of tiny ε splits do not drift against the overdraft tolerance — a service
+/// accepting 1e6 queries of ε=1e-6 must land on exactly Σ ε_i, not Σ ε_i plus
+/// a floating-point random walk.
+///
+/// Not thread-safe on its own; service::BudgetLedger wraps it in a mutex for
+/// multi-tenant concurrent accounting.
 class PrivacyBudget {
  public:
   /// Creates a budget of `epsilon` (must be positive).
@@ -28,6 +36,12 @@ class PrivacyBudget {
   /// tiny tolerance for floating-point splits that should sum to the total).
   Status Spend(double epsilon);
 
+  /// \brief Returns `epsilon` to the budget — the accounting counterpart of a
+  /// query that was admitted but failed before touching the data (bind error,
+  /// cancelled work) or was answered from a noisy-answer cache. Refunding more
+  /// than was spent is an InvalidArgument: it would mint budget.
+  Status Refund(double epsilon);
+
   /// \brief Splits the *remaining* budget into n equal shares (ε_i = ε/n, the
   /// Predicate Mechanism's allocation) without consuming anything.
   Result<std::vector<double>> SplitRemaining(int n) const;
@@ -36,8 +50,12 @@ class PrivacyBudget {
   std::string ToString() const;
 
  private:
+  /// Kahan-adds `delta` (of either sign) into spent_.
+  void Accumulate(double delta);
+
   double total_;
   double spent_ = 0.0;
+  double compensation_ = 0.0;  ///< Kahan carry for spent_.
 };
 
 }  // namespace dpstarj::dp

@@ -1,0 +1,54 @@
+#include "query/canonical.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace dpstarj::query {
+
+std::string CanonicalKey(const BoundQuery& bound) {
+  const StarJoinQuery& q = bound.query;
+  std::string key = "fact=" + q.fact_table;
+
+  key += ";agg=";
+  key += AggregateKindToString(q.aggregate);
+  if (!q.measure_terms.empty()) {
+    std::vector<std::string> terms;
+    terms.reserve(q.measure_terms.size());
+    for (const auto& t : q.measure_terms) {
+      terms.push_back(Format("%.17g*%s", t.coefficient, t.column.c_str()));
+    }
+    std::sort(terms.begin(), terms.end());
+    key += "(" + Join(terms, "+") + ")";
+  }
+
+  std::vector<std::string> dims = q.joined_tables;
+  std::sort(dims.begin(), dims.end());
+  key += ";join=" + Join(dims, ",");
+
+  std::vector<std::string> preds;
+  for (const auto& d : bound.dims) {
+    for (const auto& p : d.predicates) {
+      preds.push_back(Format("%s.%s[%lld,%lld]", p.table.c_str(), p.column.c_str(),
+                             static_cast<long long>(p.lo_index),
+                             static_cast<long long>(p.hi_index)));
+    }
+  }
+  std::sort(preds.begin(), preds.end());
+  key += ";pred=" + Join(preds, "&");
+
+  if (!q.group_by.empty()) {
+    std::vector<std::string> keys;
+    keys.reserve(q.group_by.size());
+    for (const auto& g : q.group_by) keys.push_back(g.ToString());
+    key += ";group=" + Join(keys, ",");
+  }
+  return key;
+}
+
+std::string CanonicalKey(const BoundQuery& bound, double epsilon) {
+  return CanonicalKey(bound) + Format(";eps=%.17g", epsilon);
+}
+
+}  // namespace dpstarj::query

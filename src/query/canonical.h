@@ -1,0 +1,40 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Canonical cache keys for bound star-join queries. Two submissions that
+// request the same distribution over answers — regardless of SQL formatting,
+// predicate order, join-list order, or how a range was spelled (`a < 3` vs
+// `a <= 2`) — must map to the same key, because the service's AnswerCache
+// replays a stored noisy answer for free under DP and a spurious key
+// difference silently doubles the privacy spend.
+//
+// Canonicalization therefore runs on the *bound* query, where predicates have
+// been resolved to closed index ranges over their attribute domains and
+// tables/columns have been verified against the catalog.
+
+#pragma once
+
+#include <string>
+
+#include "query/binder.h"
+
+namespace dpstarj::query {
+
+/// \brief Deterministic canonical key of a bound star-join query.
+///
+/// Normalizations applied:
+///  * joined dimension tables are sorted (join conjunction is commutative);
+///  * predicates are rendered in index space (`Cust.region[0,0]`) and sorted
+///    (predicate conjunction is commutative; value-space spellings that bind
+///    to the same range collapse);
+///  * SUM/AVG measure terms are sorted by their rendered
+///    "coefficient*column" form (term addition is commutative);
+///  * GROUP BY keys keep their declared order (it fixes the rendered group
+///    labels of the answer) while ORDER BY and the display name are dropped
+///    (they do not change the answer distribution).
+std::string CanonicalKey(const BoundQuery& bound);
+
+/// \brief Canonical key of the (query, ε) pair — what the noisy-answer cache
+/// indexes on: a replay is only exchangeable with a fresh draw at the same ε.
+std::string CanonicalKey(const BoundQuery& bound, double epsilon);
+
+}  // namespace dpstarj::query

@@ -1,0 +1,96 @@
+#include "service/budget_ledger.h"
+
+#include "common/string_util.h"
+
+namespace dpstarj::service {
+
+BudgetLedger::BudgetLedger(std::optional<double> default_tenant_budget)
+    : default_budget_(default_tenant_budget) {
+  if (default_budget_.has_value()) {
+    DPSTARJ_CHECK(*default_budget_ > 0.0, "default tenant budget must be positive");
+  }
+}
+
+Status BudgetLedger::RegisterTenant(const std::string& tenant, double total_epsilon) {
+  if (tenant.empty()) return Status::InvalidArgument("tenant name must be non-empty");
+  if (total_epsilon <= 0.0) {
+    return Status::InvalidArgument("tenant budget must be positive");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (accounts_.find(tenant) != accounts_.end()) {
+    return Status::AlreadyExists(Format("tenant '%s' is already registered",
+                                        tenant.c_str()));
+  }
+  accounts_.emplace(tenant, dp::PrivacyBudget(total_epsilon));
+  return Status::OK();
+}
+
+bool BudgetLedger::HasTenant(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return accounts_.find(tenant) != accounts_.end();
+}
+
+Result<dp::PrivacyBudget*> BudgetLedger::FindLocked(const std::string& tenant) {
+  auto it = accounts_.find(tenant);
+  if (it == accounts_.end()) {
+    if (!default_budget_.has_value()) {
+      return Status::NotFound(Format("tenant '%s' is not registered", tenant.c_str()));
+    }
+    if (tenant.empty()) {
+      return Status::InvalidArgument("tenant name must be non-empty");
+    }
+    it = accounts_.emplace(tenant, dp::PrivacyBudget(*default_budget_)).first;
+  }
+  return &it->second;
+}
+
+Status BudgetLedger::Spend(const std::string& tenant, double epsilon) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DPSTARJ_ASSIGN_OR_RETURN(dp::PrivacyBudget * budget, FindLocked(tenant));
+  return budget->Spend(epsilon);
+}
+
+Status BudgetLedger::Refund(const std::string& tenant, double epsilon) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DPSTARJ_ASSIGN_OR_RETURN(dp::PrivacyBudget * budget, FindLocked(tenant));
+  return budget->Refund(epsilon);
+}
+
+Result<double> BudgetLedger::Remaining(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = accounts_.find(tenant);
+  if (it == accounts_.end()) {
+    return Status::NotFound(Format("tenant '%s' is not registered", tenant.c_str()));
+  }
+  return it->second.remaining();
+}
+
+Result<double> BudgetLedger::Spent(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = accounts_.find(tenant);
+  if (it == accounts_.end()) {
+    return Status::NotFound(Format("tenant '%s' is not registered", tenant.c_str()));
+  }
+  return it->second.spent();
+}
+
+std::vector<TenantAccount> BudgetLedger::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TenantAccount> out;
+  out.reserve(accounts_.size());
+  for (const auto& [name, budget] : accounts_) {
+    out.push_back({name, budget.total(), budget.spent(), budget.remaining()});
+  }
+  return out;
+}
+
+std::string BudgetLedger::ToString() const {
+  std::string out;
+  for (const auto& acc : Snapshot()) {
+    out += Format("%-16s spent %.4g of %.4g (%.4g left)\n", acc.tenant.c_str(),
+                  acc.spent, acc.total, acc.remaining);
+  }
+  return out;
+}
+
+}  // namespace dpstarj::service

@@ -1,0 +1,82 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// BudgetLedger — the service's multi-tenant privacy accountant. Each tenant
+// (an analyst, an application, a data-sharing agreement) owns an independent
+// dp::PrivacyBudget; the ledger serializes spends and refunds under one mutex
+// so that concurrent query admissions can never over-draw a tenant, and a
+// query that is admitted but later fails (bind error, cancelled work) or is
+// answered from the noisy-answer cache can return its ε atomically.
+
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dp/budget.h"
+
+namespace dpstarj::service {
+
+/// \brief One tenant's account state, as returned by Snapshot().
+struct TenantAccount {
+  std::string tenant;
+  double total = 0.0;
+  double spent = 0.0;
+  double remaining = 0.0;
+};
+
+/// \brief Thread-safe per-tenant privacy-budget accounting.
+///
+/// All operations take the ledger mutex; spend-then-refund is the service's
+/// admission protocol (spend on Submit, refund on failure or cache replay),
+/// which keeps the invariant that the sum of ε across in-flight and completed
+/// queries never exceeds a tenant's total — regardless of how many threads
+/// submit concurrently.
+class BudgetLedger {
+ public:
+  /// When `default_tenant_budget` is set, an unknown tenant is auto-registered
+  /// with that total on its first Spend; otherwise spending as an unknown
+  /// tenant is NotFound.
+  explicit BudgetLedger(std::optional<double> default_tenant_budget = std::nullopt);
+
+  /// Registers `tenant` with the given total ε. AlreadyExists if registered.
+  Status RegisterTenant(const std::string& tenant, double total_epsilon);
+
+  /// True when the tenant has an account.
+  bool HasTenant(const std::string& tenant) const;
+
+  /// \brief Atomically consumes `epsilon` from the tenant's account.
+  /// BudgetExhausted when it would overdraw; NotFound for unknown tenants
+  /// (unless a default budget auto-registers them).
+  Status Spend(const std::string& tenant, double epsilon);
+
+  /// \brief Atomically returns `epsilon` to the tenant's account (failed or
+  /// cache-replayed query). Never mints budget beyond what was spent.
+  Status Refund(const std::string& tenant, double epsilon);
+
+  /// Remaining ε of a tenant; NotFound for unknown tenants.
+  Result<double> Remaining(const std::string& tenant) const;
+
+  /// Spent ε of a tenant; NotFound for unknown tenants.
+  Result<double> Spent(const std::string& tenant) const;
+
+  /// A consistent snapshot of every account, sorted by tenant name.
+  std::vector<TenantAccount> Snapshot() const;
+
+  /// Human-readable multi-line account table.
+  std::string ToString() const;
+
+ private:
+  /// Returns the tenant's budget, auto-registering if configured. Requires
+  /// mu_ held.
+  Result<dp::PrivacyBudget*> FindLocked(const std::string& tenant);
+
+  mutable std::mutex mu_;
+  std::optional<double> default_budget_;
+  std::map<std::string, dp::PrivacyBudget> accounts_;
+};
+
+}  // namespace dpstarj::service

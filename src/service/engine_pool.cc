@@ -1,0 +1,96 @@
+#include "service/engine_pool.h"
+
+#include <exception>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace dpstarj::service {
+
+EnginePool::EnginePool(const storage::Catalog* catalog, int num_engines,
+                       size_t queue_capacity,
+                       core::DpStarJoinOptions engine_options)
+    : queue_capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
+  DPSTARJ_CHECK(catalog != nullptr, "catalog must not be null");
+  DPSTARJ_CHECK(num_engines > 0, "engine pool needs at least one engine");
+  // Budget accounting lives in the service's ledger; a per-engine budget
+  // would fragment a tenant's ε across whichever workers its queries land on.
+  engine_options.total_budget.reset();
+  // Derive one independent RNG stream per engine from the base seed. Each
+  // stream is deterministic given (seed, num_engines), but which worker picks
+  // up a given query depends on scheduling — end-to-end noise is only
+  // reproducible for serialized submissions to a single-engine pool.
+  Rng seeder(engine_options.seed);
+  engines_.reserve(static_cast<size_t>(num_engines));
+  for (int i = 0; i < num_engines; ++i) {
+    core::DpStarJoinOptions per_engine = engine_options;
+    per_engine.seed = seeder.engine()();
+    engines_.push_back(std::make_unique<core::DpStarJoin>(catalog, per_engine));
+  }
+  workers_.reserve(static_cast<size_t>(num_engines));
+  for (int i = 0; i < num_engines; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+EnginePool::~EnginePool() { Shutdown(); }
+
+Result<std::future<Result<exec::QueryResult>>> EnginePool::Dispatch(Job job) {
+  if (!job) return Status::InvalidArgument("job must be callable");
+  Task task;
+  task.job = std::move(job);
+  std::future<Result<exec::QueryResult>> future = task.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_not_full_.wait(
+        lock, [this] { return shutdown_ || queue_.size() < queue_capacity_; });
+    if (shutdown_) {
+      return Status::Internal("engine pool is shut down");
+    }
+    queue_.push_back(std::move(task));
+  }
+  queue_not_empty_.notify_one();
+  return future;
+}
+
+void EnginePool::WorkerLoop(int engine_index) {
+  core::DpStarJoin& engine = *engines_[static_cast<size_t>(engine_index)];
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_not_empty_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_not_full_.notify_one();
+    // The library is exception-free by contract, but a job can still throw
+    // (std::bad_alloc, user callables). An escape here would std::terminate
+    // the whole service; convert to a Status so the future always resolves.
+    Result<exec::QueryResult> result = [&]() -> Result<exec::QueryResult> {
+      try {
+        return task.job(engine);
+      } catch (const std::exception& e) {
+        return Status::Internal(Format("query job threw: %s", e.what()));
+      } catch (...) {
+        return Status::Internal("query job threw a non-standard exception");
+      }
+    }();
+    task.promise.set_value(std::move(result));
+  }
+}
+
+void EnginePool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+}  // namespace dpstarj::service

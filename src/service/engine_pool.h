@@ -1,0 +1,85 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// EnginePool — a fixed pool of DpStarJoin engines behind a bounded MPMC work
+// queue. `DpStarJoin` is documented not thread-safe (it owns one Rng); the
+// pool gives each worker thread its own engine with an independent RNG stream
+// (forked from the base seed), so N workers answer queries concurrently
+// without sharing any mutable mechanism state. Producers block when the queue
+// is full — bounded admission is the service's backpressure.
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "core/dp_star_join.h"
+#include "exec/query_result.h"
+#include "storage/catalog.h"
+
+namespace dpstarj::service {
+
+/// \brief A pool of worker threads, each owning one DpStarJoin engine.
+///
+/// Work items are callables taking the worker's engine; their return value is
+/// delivered through a std::future. Dispatch blocks while the queue is at
+/// capacity. Shutdown drains every queued job before joining the workers, so
+/// no future is ever abandoned.
+class EnginePool {
+ public:
+  /// The unit of work: runs on a worker thread against that worker's engine.
+  using Job = std::function<Result<exec::QueryResult>(core::DpStarJoin&)>;
+
+  /// \brief Creates `num_engines` engines over `catalog`, with worker i's RNG
+  /// stream forked deterministically from `engine_options.seed`. The options'
+  /// `total_budget` is cleared: budget accounting belongs to the service's
+  /// BudgetLedger, not to individual pool engines.
+  EnginePool(const storage::Catalog* catalog, int num_engines, size_t queue_capacity,
+             core::DpStarJoinOptions engine_options = {});
+
+  /// Drains the queue and joins the workers.
+  ~EnginePool();
+
+  EnginePool(const EnginePool&) = delete;
+  EnginePool& operator=(const EnginePool&) = delete;
+
+  /// \brief Enqueues `job`, blocking while the queue is full. Returns the
+  /// future of the job's result, or an error without enqueuing when the pool
+  /// has been shut down.
+  Result<std::future<Result<exec::QueryResult>>> Dispatch(Job job);
+
+  /// \brief Stops accepting work, lets the workers drain the queue, and joins
+  /// them. Idempotent; also called by the destructor.
+  void Shutdown();
+
+  /// Number of engines (== worker threads).
+  int num_engines() const { return static_cast<int>(engines_.size()); }
+  /// Queue capacity.
+  size_t queue_capacity() const { return queue_capacity_; }
+
+ private:
+  struct Task {
+    Job job;
+    std::promise<Result<exec::QueryResult>> promise;
+  };
+
+  void WorkerLoop(int engine_index);
+
+  const size_t queue_capacity_;
+  std::vector<std::unique_ptr<core::DpStarJoin>> engines_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable queue_not_full_;
+  std::condition_variable queue_not_empty_;
+  std::deque<Task> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace dpstarj::service

@@ -1,0 +1,145 @@
+#include "service/query_service.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "query/canonical.h"
+
+namespace dpstarj::service {
+
+std::string ServiceStats::ToString() const {
+  return Format(
+      "submitted %llu, completed %llu, failed %llu, rejected %llu | "
+      "cache: %llu hits / %llu misses (%.1f%% hit rate), eps saved %.4g",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(rejected_budget),
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses), 100.0 * cache.HitRate(),
+      cache.epsilon_saved);
+}
+
+QueryService::QueryService(const storage::Catalog* catalog, ServiceOptions options)
+    : ledger_(options.default_tenant_budget),
+      cache_(options.cache_capacity),
+      pool_(catalog, options.num_engines, options.queue_capacity, options.engine) {}
+
+QueryService::~QueryService() { Shutdown(); }
+
+Status QueryService::RegisterTenant(const std::string& tenant, double total_epsilon) {
+  return ledger_.RegisterTenant(tenant, total_epsilon);
+}
+
+std::future<Result<exec::QueryResult>> QueryService::FailedFuture(Status status) {
+  std::promise<Result<exec::QueryResult>> promise;
+  std::future<Result<exec::QueryResult>> future = promise.get_future();
+  promise.set_value(std::move(status));
+  return future;
+}
+
+std::future<Result<exec::QueryResult>> QueryService::Submit(
+    const std::string& sql, double epsilon, const std::string& tenant) {
+  if (!std::isfinite(epsilon) || epsilon <= 0.0) {
+    return FailedFuture(Status::InvalidArgument("epsilon must be positive and finite"));
+  }
+  // Admission control: spend the ε before any work is queued, so concurrent
+  // submissions race on the ledger (which is exact), not on the answer path.
+  Status admit = ledger_.Spend(tenant, epsilon);
+  if (!admit.ok()) {
+    if (admit.code() == StatusCode::kBudgetExhausted) {
+      // Replays are free, so an exhausted tenant can still re-read answers it
+      // already paid for. Probe the cache without spending anything; a miss
+      // surfaces the original refusal.
+      auto probe = pool_.Dispatch(
+          [this, sql, epsilon, admit](core::DpStarJoin& engine)
+              -> Result<exec::QueryResult> {
+            auto bound = engine.binder().BindSql(sql);
+            if (!bound.ok()) {
+              ++failed_;
+              return bound.status();
+            }
+            if (auto replay =
+                    cache_.Lookup(query::CanonicalKey(*bound, epsilon), epsilon)) {
+              ++completed_;
+              return std::move(*replay);
+            }
+            ++rejected_budget_;
+            return admit;
+          });
+      if (probe.ok()) {
+        ++submitted_;
+        return std::move(*probe);
+      }
+    }
+    ++rejected_budget_;
+    return FailedFuture(std::move(admit));
+  }
+  // Count the submission before dispatching: a fast worker may complete the
+  // job before Submit returns, and completed must never exceed submitted.
+  ++submitted_;
+  auto dispatched = pool_.Dispatch([this, sql, epsilon, tenant](
+                                       core::DpStarJoin& engine) {
+    return Execute(engine, sql, epsilon, tenant);
+  });
+  if (!dispatched.ok()) {
+    // Pool shut down: the job will never run, so the admission ε flows back.
+    --submitted_;
+    (void)ledger_.Refund(tenant, epsilon);
+    ++failed_;
+    return FailedFuture(dispatched.status());
+  }
+  return std::move(*dispatched);
+}
+
+Result<exec::QueryResult> QueryService::Execute(core::DpStarJoin& engine,
+                                                const std::string& sql,
+                                                double epsilon,
+                                                const std::string& tenant) {
+  auto bound = engine.binder().BindSql(sql);
+  if (!bound.ok()) {
+    // The tenant pays for answers, not for malformed or unbindable queries.
+    (void)ledger_.Refund(tenant, epsilon);
+    ++failed_;
+    return bound.status();
+  }
+  const std::string key = query::CanonicalKey(*bound, epsilon);
+  if (auto replay = cache_.Lookup(key, epsilon)) {
+    // Post-processing closure: re-releasing a stored noisy answer is free.
+    (void)ledger_.Refund(tenant, epsilon);
+    ++completed_;
+    return std::move(*replay);
+  }
+  auto answer = engine.AnswerBound(*bound, epsilon, engine.rng());
+  if (!answer.ok()) {
+    (void)ledger_.Refund(tenant, epsilon);
+    ++failed_;
+    return answer.status();
+  }
+  cache_.Insert(key, *answer);
+  ++completed_;
+  return std::move(*answer);
+}
+
+Result<exec::QueryResult> QueryService::Answer(const std::string& sql, double epsilon,
+                                               const std::string& tenant) {
+  return Submit(sql, epsilon, tenant).get();
+}
+
+Result<double> QueryService::RemainingBudget(const std::string& tenant) const {
+  return ledger_.Remaining(tenant);
+}
+
+ServiceStats QueryService::Stats() const {
+  ServiceStats stats;
+  stats.submitted = submitted_.load();
+  stats.completed = completed_.load();
+  stats.failed = failed_.load();
+  stats.rejected_budget = rejected_budget_.load();
+  stats.cache = cache_.GetStats();
+  return stats;
+}
+
+void QueryService::Shutdown() { pool_.Shutdown(); }
+
+}  // namespace dpstarj::service

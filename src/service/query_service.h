@@ -1,0 +1,145 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// QueryService — the concurrent, multi-tenant front door of DP-starJ. It ties
+// together the three service components:
+//
+//   EnginePool    N worker threads, each with its own DpStarJoin engine and
+//                 RNG stream, fed by a bounded MPMC queue (backpressure);
+//   BudgetLedger  per-tenant ε accounting with atomic spend/refund — a query
+//                 is admitted by spending its ε up front, and the ε flows back
+//                 on bind failure or cache replay;
+//   AnswerCache   canonicalized-query → noisy-answer LRU: repeated queries
+//                 replay the stored noisy result at zero additional ε
+//                 (post-processing closure of DP).
+//
+// Typical use:
+//   service::ServiceOptions opts;
+//   opts.num_engines = 8;
+//   service::QueryService svc(&catalog, opts);
+//   svc.RegisterTenant("analytics", /*total_epsilon=*/2.0);
+//   auto future = svc.Submit(sql, /*epsilon=*/0.1, "analytics");
+//   ... // other submissions, from any thread
+//   Result<exec::QueryResult> r = future.get();
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "core/dp_star_join.h"
+#include "exec/query_result.h"
+#include "service/answer_cache.h"
+#include "service/budget_ledger.h"
+#include "service/engine_pool.h"
+#include "storage/catalog.h"
+
+namespace dpstarj::service {
+
+/// \brief Configuration of the query service.
+struct ServiceOptions {
+  /// Worker threads == engines in the pool.
+  int num_engines = 4;
+  /// Bound of the work queue; Submit blocks when this many queries are
+  /// waiting (admission backpressure).
+  size_t queue_capacity = 256;
+  /// Entries in the noisy-answer cache; 0 disables replay.
+  size_t cache_capacity = 4096;
+  /// When set, unknown tenants are auto-registered with this total ε on their
+  /// first query; otherwise unregistered tenants are refused (NotFound).
+  std::optional<double> default_tenant_budget;
+  /// Engine configuration (seed, PMA tunables, workload strategy). The
+  /// `total_budget` field is ignored — budgets belong to the ledger.
+  core::DpStarJoinOptions engine;
+};
+
+/// \brief Aggregate service counters, as returned by Stats().
+struct ServiceStats {
+  uint64_t submitted = 0;         ///< queries accepted into the queue
+  uint64_t completed = 0;         ///< answered (fresh or replayed)
+  uint64_t failed = 0;            ///< admitted but failed (ε refunded)
+  uint64_t rejected_budget = 0;   ///< refused at admission (ledger)
+  AnswerCache::Stats cache;       ///< hit/miss/ε-saved accounting
+
+  /// Human-readable one-stop summary.
+  std::string ToString() const;
+};
+
+/// \brief Thread-safe multi-tenant DP query service.
+///
+/// Lifecycle of one Submit(sql, ε, tenant):
+///   1. admission — the tenant's ε is spent in the ledger (refused with
+///      BudgetExhausted/NotFound before any work is queued; an exhausted
+///      tenant still gets cached replays, which cost nothing — a fresh
+///      draw is what it can no longer afford);
+///   2. a worker binds the SQL against the catalog; a bind failure refunds
+///      the ε — the tenant only pays for answers;
+///   3. the bound query is canonicalized; a cache hit replays the stored
+///      noisy answer and refunds the ε (replay is free under DP);
+///   4. a cache miss runs the Predicate Mechanism on the worker's engine and
+///      stores the noisy answer for future replays.
+///
+/// All public methods may be called from any thread.
+class QueryService {
+ public:
+  /// The catalog must outlive the service.
+  explicit QueryService(const storage::Catalog* catalog, ServiceOptions options = {});
+
+  /// Drains in-flight queries and stops the workers.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Registers a tenant with its lifetime privacy budget.
+  Status RegisterTenant(const std::string& tenant, double total_epsilon);
+
+  /// \brief Asynchronous submission; blocks only when the work queue is full.
+  /// The returned future resolves to the noisy answer or the failure status.
+  std::future<Result<exec::QueryResult>> Submit(const std::string& sql,
+                                                double epsilon,
+                                                const std::string& tenant);
+
+  /// Synchronous convenience wrapper: Submit + get.
+  Result<exec::QueryResult> Answer(const std::string& sql, double epsilon,
+                                   const std::string& tenant);
+
+  /// Remaining ε of a tenant; NotFound for unknown tenants.
+  Result<double> RemainingBudget(const std::string& tenant) const;
+
+  /// A consistent snapshot of the service counters.
+  ServiceStats Stats() const;
+
+  /// The ledger (e.g. for account snapshots).
+  const BudgetLedger& ledger() const { return ledger_; }
+  /// The noisy-answer cache.
+  const AnswerCache& cache() const { return cache_; }
+
+  /// Stops accepting queries, drains the queue, joins the workers.
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+ private:
+  /// Runs on a pool worker: bind → cache lookup → answer → cache insert, with
+  /// the refund protocol described above.
+  Result<exec::QueryResult> Execute(core::DpStarJoin& engine, const std::string& sql,
+                                    double epsilon, const std::string& tenant);
+
+  /// Wraps a synchronously-known failure in a ready future.
+  static std::future<Result<exec::QueryResult>> FailedFuture(Status status);
+
+  BudgetLedger ledger_;
+  AnswerCache cache_;
+  EnginePool pool_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> rejected_budget_{0};
+};
+
+}  // namespace dpstarj::service

@@ -1,0 +1,102 @@
+// Tests for query canonicalization — the cache-key normalization that lets
+// the service's AnswerCache recognize re-submissions of the same query.
+
+#include <gtest/gtest.h>
+
+#include "query/binder.h"
+#include "query/canonical.h"
+#include "test_catalog.h"
+
+namespace dpstarj::query {
+namespace {
+
+class CanonicalTest : public ::testing::Test {
+ protected:
+  CanonicalTest() : catalog_(testing_fixture::MakeToyCatalog()), binder_(&catalog_) {}
+
+  std::string KeyOf(const std::string& sql) {
+    auto bound = binder_.BindSql(sql);
+    EXPECT_TRUE(bound.ok()) << sql << " -> " << bound.status().ToString();
+    return CanonicalKey(*bound);
+  }
+
+  storage::Catalog catalog_;
+  Binder binder_;
+};
+
+TEST_F(CanonicalTest, FormattingAndOrderInvariant) {
+  std::string a = KeyOf(
+      "SELECT count(*) FROM Orders, Cust, Prod "
+      "WHERE Orders.ck = Cust.ck AND Orders.pk = Prod.pk "
+      "AND Cust.region = 'N' AND Prod.cat = 'a'");
+  // Different join-list order, predicate order, and whitespace.
+  std::string b = KeyOf(
+      "SELECT   count(*)  FROM Prod, Orders, Cust "
+      "WHERE Prod.cat = 'a' AND Orders.pk = Prod.pk "
+      "AND Cust.region = 'N' AND Orders.ck = Cust.ck");
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(CanonicalTest, RangeSpellingsCollapseInIndexSpace) {
+  // tier domain is IntRange(1, 4): `tier <= 2` and `tier < 3` both bind to
+  // index range [0, 1].
+  std::string le = KeyOf(
+      "SELECT count(*) FROM Orders, Cust WHERE Orders.ck = Cust.ck "
+      "AND Cust.tier <= 2");
+  std::string lt = KeyOf(
+      "SELECT count(*) FROM Orders, Cust WHERE Orders.ck = Cust.ck "
+      "AND Cust.tier < 3");
+  std::string between = KeyOf(
+      "SELECT count(*) FROM Orders, Cust WHERE Orders.ck = Cust.ck "
+      "AND Cust.tier BETWEEN 1 AND 2");
+  EXPECT_EQ(le, lt);
+  EXPECT_EQ(le, between);
+}
+
+TEST_F(CanonicalTest, DifferentConstantsDiffer) {
+  std::string n = KeyOf(
+      "SELECT count(*) FROM Orders, Cust WHERE Orders.ck = Cust.ck "
+      "AND Cust.region = 'N'");
+  std::string s = KeyOf(
+      "SELECT count(*) FROM Orders, Cust WHERE Orders.ck = Cust.ck "
+      "AND Cust.region = 'S'");
+  EXPECT_NE(n, s);
+}
+
+TEST_F(CanonicalTest, AggregateAndMeasureMatter) {
+  std::string count = KeyOf(
+      "SELECT count(*) FROM Orders, Cust WHERE Orders.ck = Cust.ck "
+      "AND Cust.region = 'N'");
+  std::string sum = KeyOf(
+      "SELECT sum(qty) FROM Orders, Cust WHERE Orders.ck = Cust.ck "
+      "AND Cust.region = 'N'");
+  std::string price = KeyOf(
+      "SELECT sum(price) FROM Orders, Cust WHERE Orders.ck = Cust.ck "
+      "AND Cust.region = 'N'");
+  EXPECT_NE(count, sum);
+  EXPECT_NE(sum, price);
+}
+
+TEST_F(CanonicalTest, GroupByOrderIsPreserved) {
+  // Group-key order fixes the rendered group labels, so it is part of the key.
+  std::string rt = KeyOf(
+      "SELECT count(*) FROM Orders, Cust WHERE Orders.ck = Cust.ck "
+      "AND Cust.tier <= 4 GROUP BY Cust.region, Cust.tier");
+  std::string tr = KeyOf(
+      "SELECT count(*) FROM Orders, Cust WHERE Orders.ck = Cust.ck "
+      "AND Cust.tier <= 4 GROUP BY Cust.tier, Cust.region");
+  EXPECT_NE(rt, tr);
+}
+
+TEST_F(CanonicalTest, EpsilonExtendsTheKey) {
+  auto bound = binder_.BindSql(
+      "SELECT count(*) FROM Orders, Cust WHERE Orders.ck = Cust.ck "
+      "AND Cust.region = 'N'");
+  ASSERT_TRUE(bound.ok());
+  EXPECT_NE(CanonicalKey(*bound, 0.5), CanonicalKey(*bound, 1.0));
+  EXPECT_EQ(CanonicalKey(*bound, 0.5), CanonicalKey(*bound, 0.5));
+  EXPECT_NE(CanonicalKey(*bound), CanonicalKey(*bound, 0.5));
+}
+
+}  // namespace
+}  // namespace dpstarj::query

@@ -32,6 +32,20 @@ TEST(BudgetTest, RejectsNonPositiveSpend) {
   EXPECT_FALSE(b.Spend(-0.1).ok());
 }
 
+TEST(BudgetTest, RejectsNonFiniteSpendAndRefund) {
+  // NaN passes a naive `<= 0.0` check and, once accumulated, makes every
+  // overdraft comparison false — the account would admit everything.
+  PrivacyBudget b(1.0);
+  EXPECT_FALSE(b.Spend(std::nan("")).ok());
+  EXPECT_FALSE(b.Spend(std::numeric_limits<double>::infinity()).ok());
+  EXPECT_DOUBLE_EQ(b.spent(), 0.0);
+  ASSERT_TRUE(b.Spend(0.5).ok());
+  EXPECT_FALSE(b.Refund(std::nan("")).ok());
+  EXPECT_DOUBLE_EQ(b.spent(), 0.5);
+  // The account still enforces its limit after the rejected inputs.
+  EXPECT_FALSE(b.Spend(0.6).ok());
+}
+
 TEST(BudgetTest, FloatingPointSplitsSumToTotal) {
   PrivacyBudget b(1.0);
   auto shares = b.SplitRemaining(3);
@@ -45,6 +59,54 @@ TEST(BudgetTest, SplitErrors) {
   EXPECT_FALSE(b.SplitRemaining(0).ok());
   ASSERT_TRUE(b.Spend(1.0).ok());
   EXPECT_FALSE(b.SplitRemaining(2).ok());
+}
+
+TEST(BudgetTest, RefundRestoresBudget) {
+  PrivacyBudget b(1.0);
+  ASSERT_TRUE(b.Spend(0.7).ok());
+  ASSERT_TRUE(b.Refund(0.3).ok());
+  EXPECT_NEAR(b.spent(), 0.4, 1e-15);
+  EXPECT_NEAR(b.remaining(), 0.6, 1e-15);
+  // Refund can never mint budget: refunding more than spent is an error.
+  Status st = b.Refund(0.5);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(b.Refund(0.0).ok());
+  EXPECT_FALSE(b.Refund(-1.0).ok());
+  // A full refund brings the account back to zero exactly.
+  ASSERT_TRUE(b.Refund(0.4).ok());
+  EXPECT_DOUBLE_EQ(b.spent(), 0.0);
+}
+
+TEST(BudgetTest, MillionTinySpendsDoNotDrift) {
+  // Regression: naive `spent_ += eps` accumulates rounding error over many
+  // tiny spends (a random walk of ~1e-11 after 1e6 additions), eating into
+  // kTolerance. Kahan summation keeps the account exact to ~1 ulp.
+  constexpr int kSpends = 1000000;
+  constexpr double kEps = 1e-6;
+  PrivacyBudget b(1.0);
+  for (int i = 0; i < kSpends; ++i) {
+    ASSERT_TRUE(b.Spend(kEps).ok()) << "spend " << i << ": " << b.ToString();
+  }
+  // 1e6 · double(1e-6) == 1.0 + 2e-17; the compensated sum must land there,
+  // far tighter than the ~1e-11 drift of naive accumulation.
+  EXPECT_NEAR(b.spent(), 1.0, 1e-12);
+  EXPECT_NEAR(b.remaining(), 0.0, 1e-12);
+  // The account is exhausted: one more tiny spend must be refused.
+  Status st = b.Spend(1e-5);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kBudgetExhausted);
+}
+
+TEST(BudgetTest, MillionSpendRefundPairsStayExact) {
+  PrivacyBudget b(1.0);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_TRUE(b.Spend(1e-4).ok());
+    ASSERT_TRUE(b.Refund(1e-4).ok());
+  }
+  EXPECT_NEAR(b.spent(), 0.0, 1e-12);
+  // The full budget is still available after the churn.
+  EXPECT_TRUE(b.Spend(1.0).ok());
 }
 
 TEST(LaplaceMechanismTest, NoiseStatistics) {
