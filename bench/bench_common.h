@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -105,7 +106,7 @@ class QueryBench {
     double gs = gs_q > 0 ? gs_q : DefaultGs();
     return bench_util::Repeat(runs, [&]() -> Result<double> {
       DPSTARJ_ASSIGN_OR_RETURN(
-          double est, baselines::R2tRace(contributions_->contributions, gs, epsilon,
+          double est, baselines::R2tRace(*contributions_, gs, epsilon,
                                          /*alpha=*/0.1, rng));
       return RelativeErrorPercent(est, truth_.scalar);
     });
@@ -156,6 +157,78 @@ class QueryBench {
   std::shared_ptr<exec::DataCube> cube_;
   std::shared_ptr<exec::ContributionIndex> contributions_;
   std::string private_table_;
+};
+
+/// \brief Machine-readable bench output: when constructed with a non-empty
+/// path, the destructor writes a JSON array of
+/// `{"bench", "config", "rows_per_sec", "wall_ms"}` records — the format the
+/// perf-trajectory tooling consumes (see BENCH_engine.json).
+class JsonBenchWriter {
+ public:
+  /// \brief Extracts `--json <path>` or `--json=<path>` from argv, removing
+  /// the flag so later parsers (e.g. google-benchmark) never see it. Returns
+  /// "" when absent.
+  static std::string ConsumeJsonFlag(int* argc, char** argv) {
+    std::string path;
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < *argc) {
+        path = argv[++i];
+        continue;
+      }
+      if (arg.rfind("--json=", 0) == 0) {
+        path = arg.substr(7);
+        continue;
+      }
+      argv[out++] = argv[i];
+    }
+    *argc = out;
+    return path;
+  }
+
+  explicit JsonBenchWriter(std::string path) : path_(std::move(path)) {}
+  ~JsonBenchWriter() { Flush(); }
+
+  void Add(const std::string& bench, const std::string& config,
+           double rows_per_sec, double wall_ms) {
+    records_.push_back({bench, config, rows_per_sec, wall_ms});
+  }
+
+  /// Writes the file; called by the destructor, idempotent.
+  void Flush() {
+    if (path_.empty() || written_) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write bench json to '%s'\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f,
+                   "  {\"bench\": \"%s\", \"config\": \"%s\", "
+                   "\"rows_per_sec\": %.1f, \"wall_ms\": %.3f}%s\n",
+                   r.bench.c_str(), r.config.c_str(), r.rows_per_sec, r.wall_ms,
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    written_ = true;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+ private:
+  struct Record {
+    std::string bench;
+    std::string config;  // must not contain JSON-special characters
+    double rows_per_sec;
+    double wall_ms;
+  };
+  std::string path_;
+  std::vector<Record> records_;
+  bool written_ = false;
 };
 
 /// Default SSB scale factor for benches (DPSTARJ_SF).

@@ -1,12 +1,25 @@
-// Engine-level micro benchmarks (google-benchmark): star-join executor
-// throughput, data-cube evaluation, PMA perturbation, R2T race, and k-star
-// index counting. These are not paper experiments; they track the substrate's
-// performance so regressions in the join/cube paths are visible.
+// Engine-level micro benchmarks: a scalar-vs-vectorized executor comparison
+// harness (always run; `--json out.json` records machine-readable
+// {bench, config, rows_per_sec, wall_ms} rows — see BENCH_engine.json), plus
+// google-benchmark timings of the join/cube/PMA/R2T/k-star substrate
+// (skipped with `--compare-only`). These are not paper experiments; they
+// track the substrate's performance so regressions in the hot paths are
+// visible.
+//
+// Environment knobs:
+//   DPSTARJ_MICRO_SF       SSB scale factor of the comparison harness (0.05)
+//   DPSTARJ_MICRO_MIN_SEC  min measured wall-clock per configuration (0.3)
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+
 #include "baselines/r2t.h"
+#include "bench_common.h"
+#include "bench_util/table_printer.h"
 #include "common/random.h"
+#include "common/timer.h"
 #include "core/pma.h"
 #include "core/predicate_mechanism.h"
 #include "exec/data_cube.h"
@@ -140,6 +153,135 @@ void BM_KStarIndexBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_KStarIndexBuild)->Arg(10000)->Arg(100000);
 
+// ---------------------------------------------------------------------------
+// Scalar vs vectorized executor comparison (the PR-2 acceptance measurement):
+// runs one grouped and one scalar SSB query through the legacy row-at-a-time
+// pipeline and the vectorized pipeline at 1/2/4 scan threads, reporting
+// rows/sec and the speedup over the legacy pipeline.
+// ---------------------------------------------------------------------------
+
+struct ExecConfig {
+  std::string name;
+  exec::ExecutorOptions options;
+};
+
+std::vector<ExecConfig> ComparisonConfigs() {
+  std::vector<ExecConfig> configs;
+  exec::ExecutorOptions scalar;
+  scalar.force_scalar = true;
+  configs.push_back({"scalar", scalar});
+  for (int threads : {1, 2, 4}) {
+    exec::ExecutorOptions vec;
+    vec.exec_threads = threads;
+    configs.push_back({"vectorized t=" + std::to_string(threads), vec});
+  }
+  return configs;
+}
+
+void RunEngineComparison(bench::JsonBenchWriter* json) {
+  const double sf = bench_util::EnvDouble("DPSTARJ_MICRO_SF", 0.05);
+  const double min_sec = bench_util::EnvDouble("DPSTARJ_MICRO_MIN_SEC", 0.3);
+
+  ssb::SsbOptions options;
+  options.scale_factor = sf;
+  auto catalog = ssb::GenerateSsb(options);
+  DPSTARJ_CHECK(catalog.ok(), "ssb generation");
+  query::Binder binder(&*catalog);
+
+  // QgScan: the archetypal SSB drill-down — SUM(revenue) by year × brand over
+  // the full fact table (no filter), so every row exercises the grouping
+  // path; this is the acceptance-criterion query. Qg2: the paper's filtered
+  // GROUP BY. Qc3: scalar COUNT with two selective predicates.
+  std::vector<std::pair<std::string, query::StarJoinQuery>> queries;
+  {
+    query::StarJoinQuery scan;
+    scan.name = "QgScan";
+    scan.fact_table = "Lineorder";
+    scan.joined_tables = {"Date", "Part"};
+    scan.aggregate = query::AggregateKind::kSum;
+    scan.measure_terms = {{"revenue", 1.0}};
+    scan.group_by = {{"Date", "year"}, {"Part", "brand"}};
+    queries.emplace_back("QgScan", std::move(scan));
+  }
+  for (const char* qname : {"Qg2", "Qc3"}) {
+    auto q = ssb::GetQuery(qname);
+    DPSTARJ_CHECK(q.ok(), "query");
+    queries.emplace_back(qname, std::move(*q));
+  }
+
+  for (const auto& [qname_str, query] : queries) {
+    const char* qname = qname_str.c_str();
+    auto bound = binder.Bind(query);
+    DPSTARJ_CHECK(bound.ok(), "bind");
+    const double fact_rows = static_cast<double>(bound->fact->num_rows());
+
+    std::printf("== executor comparison: %s (sf=%.3g, %.0f fact rows) ==\n",
+                qname, sf, fact_rows);
+    bench_util::TablePrinter table(
+        {"pipeline", "iters", "ms/exec", "rows/sec", "speedup"});
+    double scalar_rows_per_sec = 0.0;
+    double reference_total = 0.0;
+    bool have_reference = false;
+    for (const ExecConfig& config : ComparisonConfigs()) {
+      exec::StarJoinExecutor executor(config.options);
+      // Warm-up + self-check: every pipeline must agree on the total (up to
+      // summation-order rounding on the double-valued SSB measures).
+      auto warm = executor.Execute(*bound);
+      DPSTARJ_CHECK(warm.ok(), "execute");
+      if (!have_reference) {
+        reference_total = warm->Total();
+        have_reference = true;
+      } else {
+        double drift = std::abs(warm->Total() - reference_total) /
+                       std::max(1.0, std::abs(reference_total));
+        DPSTARJ_CHECK(drift < 1e-9, "pipelines disagree on the query answer");
+      }
+      Timer timer;
+      int iters = 0;
+      do {
+        auto r = executor.Execute(*bound);
+        DPSTARJ_CHECK(r.ok(), "execute");
+        ++iters;
+      } while (timer.ElapsedSeconds() < min_sec || iters < 3);
+      const double wall_ms = timer.ElapsedMillis() / iters;
+      const double rows_per_sec = fact_rows / (wall_ms / 1e3);
+      if (scalar_rows_per_sec == 0.0) scalar_rows_per_sec = rows_per_sec;
+      table.AddRow({config.name, Format("%d", iters), Format("%.2f", wall_ms),
+                    Format("%.3g", rows_per_sec),
+                    Format("%.2fx", rows_per_sec / scalar_rows_per_sec)});
+      if (json != nullptr) {
+        json->Add(std::string("micro_engine/") + qname, config.name,
+                  rows_per_sec, wall_ms);
+      }
+    }
+    table.Print();
+    std::printf("\n");
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = bench::JsonBenchWriter::ConsumeJsonFlag(&argc, argv);
+  bool compare_only = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--compare-only") == 0) {
+      compare_only = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+
+  bench::JsonBenchWriter json(json_path);
+  RunEngineComparison(&json);
+  json.Flush();
+  if (compare_only) return 0;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

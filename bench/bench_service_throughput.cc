@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "bench_util/experiment.h"
 #include "bench_util/table_printer.h"
 #include "common/string_util.h"
@@ -110,7 +111,8 @@ RunResult RunWorkload(const storage::Catalog* catalog, int threads,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonBenchWriter json(bench::JsonBenchWriter::ConsumeJsonFlag(&argc, argv));
   const int64_t fact_rows = bench_util::EnvInt("DPSTARJ_SERVICE_ROWS", 200000);
   const int num_queries = bench_util::EnvInt("DPSTARJ_SERVICE_QUERIES", 192);
   const int max_threads = bench_util::EnvInt("DPSTARJ_SERVICE_THREADS", 8);
@@ -136,6 +138,8 @@ int main() {
     if (threads == 1) base_qps = r.qps;
     table.AddRow({Format("%d", threads), Format("%.3f", r.seconds),
                   Format("%.1f", r.qps), Format("%.2fx", r.qps / base_qps)});
+    json.Add("service_throughput/miss", Format("threads=%d", threads), r.qps,
+             r.seconds * 1e3);
   }
   std::printf("cache-miss workload (all queries distinct):\n");
   table.Print();
@@ -157,5 +161,7 @@ int main() {
               100.0 * stats.cache.HitRate());
   std::printf("  privacy budget saved by replays: eps = %.4g (of %.4g requested)\n",
               stats.cache.epsilon_saved, kEpsilon * num_queries);
+  json.Add("service_throughput/replay", Format("threads=%d", max_threads), r.qps,
+           r.seconds * 1e3);
   return 0;
 }

@@ -8,9 +8,13 @@
 
 namespace dpstarj::baselines {
 
-Result<double> R2tRace(const std::vector<double>& contributions, double gs_q,
-                       double epsilon, double alpha, Rng* rng, R2tInfo* info,
-                       const Deadline* deadline) {
+namespace {
+
+// The race proper, over a prepared truncation ladder: each rung of the
+// geometric τ ladder costs O(log n).
+Result<double> RaceOverLadder(const exec::TruncatedTotals& ladder, double gs_q,
+                              double epsilon, double alpha, Rng* rng,
+                              R2tInfo* info, const Deadline* deadline) {
   if (epsilon <= 0.0) return Status::InvalidArgument("epsilon must be positive");
   if (alpha <= 0.0 || alpha >= 1.0) {
     return Status::InvalidArgument("alpha must be in (0,1)");
@@ -30,8 +34,7 @@ Result<double> R2tRace(const std::vector<double>& contributions, double gs_q,
       return Status::TimeLimit("R2T race exceeded the time limit");
     }
     tau *= 2.0;  // τ⁽ʲ⁾ = 2ʲ
-    double truncated = 0.0;
-    for (double c : contributions) truncated += std::min(c, tau);
+    double truncated = ladder.At(tau);
     double noise = rng->Laplace(log_gs * tau / epsilon);
     double noisy = truncated + noise - penalty_factor * tau;
     if (noisy > best) {
@@ -45,6 +48,27 @@ Result<double> R2tRace(const std::vector<double>& contributions, double gs_q,
     info->winning_tau = best_tau;
   }
   return best;
+}
+
+}  // namespace
+
+Result<double> R2tRace(const std::vector<double>& contributions, double gs_q,
+                       double epsilon, double alpha, Rng* rng, R2tInfo* info,
+                       const Deadline* deadline) {
+  // One O(n log n) sort; the rungs are then O(log n) each.
+  exec::TruncatedTotals ladder(contributions);
+  return RaceOverLadder(ladder, gs_q, epsilon, alpha, rng, info, deadline);
+}
+
+Result<double> R2tRace(const exec::ContributionIndex& index, double gs_q,
+                       double epsilon, double alpha, Rng* rng, R2tInfo* info,
+                       const Deadline* deadline) {
+  if (index.truncation_ladder().size() == index.contributions.size()) {
+    return RaceOverLadder(index.truncation_ladder(), gs_q, epsilon, alpha, rng,
+                          info, deadline);
+  }
+  // Hand-assembled index without a prepared ladder.
+  return R2tRace(index.contributions, gs_q, epsilon, alpha, rng, info, deadline);
 }
 
 Result<double> AnswerWithR2t(const query::BoundQuery& q,
@@ -80,8 +104,7 @@ Result<double> AnswerWithR2t(const query::BoundQuery& q,
       gs *= max_w;
     }
   }
-  return R2tRace(index.contributions, gs, epsilon, options.alpha, rng, info,
-                 &deadline);
+  return R2tRace(index, gs, epsilon, options.alpha, rng, info, &deadline);
 }
 
 }  // namespace dpstarj::baselines

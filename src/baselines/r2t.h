@@ -23,6 +23,7 @@
 #include "common/result.h"
 #include "common/timer.h"
 #include "dp/neighboring.h"
+#include "exec/contribution_index.h"
 #include "query/binder.h"
 
 namespace dpstarj::baselines {
@@ -49,7 +50,14 @@ struct R2tInfo {
 
 /// \brief The core race, reusable by the k-star variant: given per-individual
 /// contributions, runs the geometric truncation race and returns the winner.
+/// Sorts the contributions once (O(n log n)), then each τ rung is O(log n).
 Result<double> R2tRace(const std::vector<double>& contributions, double gs_q,
+                       double epsilon, double alpha, Rng* rng,
+                       R2tInfo* info = nullptr, const Deadline* deadline = nullptr);
+
+/// \brief Same race over a prebuilt ContributionIndex, reusing the sorted
+/// truncation ladder BuildContributionIndex already prepared (no re-sort).
+Result<double> R2tRace(const exec::ContributionIndex& index, double gs_q,
                        double epsilon, double alpha, Rng* rng,
                        R2tInfo* info = nullptr, const Deadline* deadline = nullptr);
 

@@ -9,7 +9,7 @@ DpStarJoin::DpStarJoin(const storage::Catalog* catalog, DpStarJoinOptions option
     : catalog_(catalog),
       options_(options),
       binder_(catalog),
-      mechanism_(options.pma),
+      mechanism_(options.pma, options.executor),
       rng_(options.seed) {
   DPSTARJ_CHECK(catalog != nullptr, "catalog must not be null");
   if (options_.total_budget.has_value()) {
@@ -43,13 +43,13 @@ Result<exec::QueryResult> DpStarJoin::AnswerBound(const query::BoundQuery& bound
 
 Result<exec::QueryResult> DpStarJoin::TrueAnswer(const query::StarJoinQuery& q) const {
   DPSTARJ_ASSIGN_OR_RETURN(query::BoundQuery bound, binder_.Bind(q));
-  exec::StarJoinExecutor executor;
+  exec::StarJoinExecutor executor(options_.executor);
   return executor.Execute(bound);
 }
 
 Result<exec::QueryResult> DpStarJoin::TrueAnswerSql(const std::string& sql) const {
   DPSTARJ_ASSIGN_OR_RETURN(query::BoundQuery bound, binder_.BindSql(sql));
-  exec::StarJoinExecutor executor;
+  exec::StarJoinExecutor executor(options_.executor);
   return executor.Execute(bound);
 }
 

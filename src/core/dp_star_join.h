@@ -25,6 +25,7 @@
 #include "core/workload_mechanism.h"
 #include "dp/budget.h"
 #include "exec/query_result.h"
+#include "exec/star_join_executor.h"
 #include "query/binder.h"
 #include "query/workload.h"
 #include "storage/catalog.h"
@@ -42,6 +43,9 @@ struct DpStarJoinOptions {
   std::optional<double> total_budget;
   /// Strategy selection for workload decomposition.
   WorkloadStrategyKind workload_strategy = WorkloadStrategyKind::kAuto;
+  /// Star-join executor tuning (scan thread count, morsel size). Pure
+  /// post-processing: never affects noise semantics, only throughput.
+  exec::ExecutorOptions executor;
 };
 
 /// \brief The DP-starJ engine.

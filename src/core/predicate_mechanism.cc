@@ -36,7 +36,7 @@ Result<exec::QueryResult> PredicateMechanism::Answer(const query::BoundQuery& q,
                                                      double epsilon, Rng* rng) const {
   DPSTARJ_ASSIGN_OR_RETURN(exec::PredicateOverrides overrides,
                            PerturbPredicates(q, epsilon, rng));
-  exec::StarJoinExecutor executor;
+  exec::StarJoinExecutor executor(exec_options_);
   return executor.Execute(q, overrides);
 }
 

@@ -27,7 +27,12 @@ namespace dpstarj::core {
 /// Thread-compatible: callers pass their own Rng.
 class PredicateMechanism {
  public:
-  explicit PredicateMechanism(PmaOptions pma = {}) : pma_(pma) {}
+  /// `exec_options` configures the executor running the perturbed query
+  /// (thread count, morsel size). Execution strategy is post-processing: it
+  /// never affects the noise draw, only throughput.
+  explicit PredicateMechanism(PmaOptions pma = {},
+                              exec::ExecutorOptions exec_options = {})
+      : pma_(pma), exec_options_(exec_options) {}
 
   /// \brief Phase 2 of DP-starJ: perturbs every predicate of the bound query
   /// with its ε/n share, returning executor overrides (Algorithm 1 lines
@@ -52,6 +57,7 @@ class PredicateMechanism {
 
  private:
   PmaOptions pma_;
+  exec::ExecutorOptions exec_options_;
 };
 
 }  // namespace dpstarj::core

@@ -5,11 +5,14 @@
 
 #include "common/string_util.h"
 #include "exec/domain_index.h"
+#include "exec/group_code.h"
 
 namespace dpstarj::exec {
 
 double ContributionIndex::TruncatedTotal(double tau) const {
   if (tau <= 0) return 0.0;
+  if (ladder_.size() == contributions.size()) return ladder_.At(tau);
+  // No prepared ladder (hand-assembled struct): one exact O(n) pass.
   double s = 0.0;
   for (double c : contributions) s += std::min(c, tau);
   return s;
@@ -17,13 +20,33 @@ double ContributionIndex::TruncatedTotal(double tau) const {
 
 namespace {
 
-// 64-bit mix for combining key components (splitmix64 finalizer).
-uint64_t Mix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+// Dimension-row verdict stored in the KeyIndex: the row index when the row
+// passes the query's predicates, kFilteredOut otherwise (dimension tables are
+// assumed to fit int32 rows — the fact table is the big one).
+constexpr int32_t kFilteredOut = -1;
+
+// The exact composite identity of a private individual: one grouping value
+// per private dimension, compared element-wise (hashing is only bucket
+// placement — distinct individuals can never merge).
+struct IndividualKey {
+  std::vector<int64_t> parts;
+  bool operator==(const IndividualKey& o) const { return parts == o.parts; }
+};
+
+struct IndividualKeyHash {
+  // splitmix64 finalizer, chained per part.
+  static uint64_t Mix64(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+  size_t operator()(const IndividualKey& k) const {
+    uint64_t h = 0;
+    for (int64_t p : k.parts) h = Mix64(h ^ static_cast<uint64_t>(p));
+    return static_cast<size_t>(h);
+  }
+};
 
 }  // namespace
 
@@ -79,8 +102,9 @@ Result<ContributionIndex> BuildContributionIndex(
     private_dims.emplace_back(found, col);
   }
 
-  // Per-dimension predicate pass sets (key → pass).
-  std::vector<std::unordered_map<int64_t, bool>> pass(q.dims.size());
+  // Per-dimension verdict index (key → passing row / kFilteredOut), with the
+  // same dense-offset-table fast path as the executor's scan.
+  std::vector<KeyIndex> verdicts(q.dims.size());
   for (size_t i = 0; i < q.dims.size(); ++i) {
     const query::DimBinding& d = q.dims[i];
     std::vector<std::vector<int64_t>> ordinals(d.predicates.size());
@@ -91,29 +115,25 @@ Result<ContributionIndex> BuildContributionIndex(
                                d.predicates[p].domain));
     }
     const auto& keys = d.dim->column(d.dim_pk_col).int64_data();
-    pass[i].reserve(keys.size() * 2);
+    std::vector<int32_t> payload(keys.size());
     for (size_t r = 0; r < keys.size(); ++r) {
-      bool p = true;
-      for (size_t j = 0; j < d.predicates.size() && p; ++j) {
-        p = ordinals[j][r] >= 0 && d.predicates[j].Matches(ordinals[j][r]);
+      bool pass = true;
+      for (size_t j = 0; j < d.predicates.size() && pass; ++j) {
+        pass = ordinals[j][r] >= 0 && d.predicates[j].Matches(ordinals[j][r]);
       }
-      pass[i].emplace(keys[r], p);
+      payload[r] = pass ? static_cast<int32_t>(r) : kFilteredOut;
     }
+    DPSTARJ_ASSIGN_OR_RETURN(verdicts[i], KeyIndex::Build(keys, payload));
   }
 
-  std::vector<const std::vector<int64_t>*> fk_data(q.dims.size());
-  for (size_t i = 0; i < q.dims.size(); ++i) {
-    fk_data[i] = &q.fact->column(q.dims[i].fact_fk_col).int64_data();
-  }
-
-  // Per private dim: primary key → grouping value (the pk itself, or the
+  // Per private dim: dimension row → grouping value (the pk itself, or the
   // grouping column's int value / dictionary code).
-  std::vector<std::unordered_map<int64_t, int64_t>> group_of(private_dims.size());
+  std::vector<std::vector<int64_t>> group_vals(private_dims.size());
   for (size_t p = 0; p < private_dims.size(); ++p) {
     auto [dim_idx, col] = private_dims[p];
     const query::DimBinding& d = q.dims[static_cast<size_t>(dim_idx)];
     const auto& keys = d.dim->column(d.dim_pk_col).int64_data();
-    group_of[p].reserve(keys.size() * 2);
+    group_vals[p].resize(keys.size());
     for (size_t r = 0; r < keys.size(); ++r) {
       int64_t g = keys[r];
       if (col >= 0) {
@@ -122,29 +142,42 @@ Result<ContributionIndex> BuildContributionIndex(
                 ? static_cast<int64_t>(c.GetStringCode(static_cast<int64_t>(r)))
                 : c.GetInt64(static_cast<int64_t>(r));
       }
-      group_of[p].emplace(keys[r], g);
+      group_vals[p][r] = g;
     }
   }
 
+  // Hoisted fact-side spans.
+  std::vector<const int64_t*> fk_data(q.dims.size());
+  for (size_t i = 0; i < q.dims.size(); ++i) {
+    fk_data[i] = q.fact->column(q.dims[i].fact_fk_col).int64_data().data();
+  }
+  std::vector<std::pair<storage::Column::NumericView, double>> measures;
+  measures.reserve(q.measure_cols.size());
+  for (const auto& [col, coeff] : q.measure_cols) {
+    measures.emplace_back(q.fact->column(col).numeric_view(), coeff);
+  }
+
   ContributionIndex index;
-  std::unordered_map<uint64_t, double> by_individual;
+  std::unordered_map<IndividualKey, double, IndividualKeyHash> by_individual;
+  std::vector<int32_t> matched_rows(q.dims.size());
+  IndividualKey key;
+  key.parts.resize(private_dims.size());
   for (int64_t row = 0; row < q.fact->num_rows(); ++row) {
     bool ok = true;
     for (size_t i = 0; i < q.dims.size(); ++i) {
-      auto it = pass[i].find((*fk_data[i])[static_cast<size_t>(row)]);
-      if (it == pass[i].end() || !it->second) {
+      int32_t v = verdicts[i].Lookup(fk_data[i][row]);
+      if (v < 0) {  // absent foreign key or filtered-out dimension row
         ok = false;
         break;
       }
+      matched_rows[i] = v;
     }
     if (!ok) continue;
 
     double w = 1.0;
-    if (!q.measure_cols.empty()) {
+    if (!measures.empty()) {
       w = 0.0;
-      for (const auto& [col, coeff] : q.measure_cols) {
-        w += coeff * q.fact->column(col).GetNumeric(row);
-      }
+      for (const auto& [view, coeff] : measures) w += coeff * view[row];
     }
     index.total += w;
 
@@ -153,16 +186,12 @@ Result<ContributionIndex> BuildContributionIndex(
       index.contributions.push_back(w);
       continue;
     }
-    uint64_t h = 0;
     for (size_t p = 0; p < private_dims.size(); ++p) {
       int dim_idx = private_dims[p].first;
-      int64_t key =
-          (*fk_data[static_cast<size_t>(dim_idx)])[static_cast<size_t>(row)];
-      int64_t group = group_of[p].at(key);
-      h = Mix64(h ^ Mix64(static_cast<uint64_t>(group) +
-                          static_cast<uint64_t>(p) * 0x9e37ULL));
+      key.parts[p] = group_vals[p][static_cast<size_t>(
+          matched_rows[static_cast<size_t>(dim_idx)])];
     }
-    by_individual[h] += w;
+    by_individual[key] += w;
   }
 
   for (const auto& [k, v] : by_individual) {
@@ -172,6 +201,7 @@ Result<ContributionIndex> BuildContributionIndex(
   for (double c : index.contributions) {
     index.max_contribution = std::max(index.max_contribution, c);
   }
+  index.PrepareTruncation();
   return index;
 }
 

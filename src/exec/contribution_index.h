@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -21,6 +22,37 @@
 #include "query/binder.h"
 
 namespace dpstarj::exec {
+
+/// \brief Sorted-prefix-sum view of a contribution multiset: each truncated
+/// total Σ min(cᵢ, τ) is O(log n) after one O(n log n) preparation — R2T-style
+/// consumers evaluate a geometric ladder of τ values against the same set.
+class TruncatedTotals {
+ public:
+  TruncatedTotals() = default;
+  explicit TruncatedTotals(const std::vector<double>& contributions)
+      : sorted_(contributions) {
+    std::sort(sorted_.begin(), sorted_.end());
+    prefix_.resize(sorted_.size() + 1);
+    prefix_[0] = 0.0;
+    for (size_t i = 0; i < sorted_.size(); ++i) {
+      prefix_[i + 1] = prefix_[i] + sorted_[i];
+    }
+  }
+
+  /// Σ min(cᵢ, τ) = Σ_{c ≤ τ} c + τ·|{c > τ}|.
+  double At(double tau) const {
+    if (prefix_.empty()) return 0.0;  // default-constructed ladder
+    size_t k = static_cast<size_t>(
+        std::upper_bound(sorted_.begin(), sorted_.end(), tau) - sorted_.begin());
+    return prefix_[k] + tau * static_cast<double>(sorted_.size() - k);
+  }
+
+  size_t size() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+  std::vector<double> prefix_;  // prefix_[i] = Σ sorted_[0..i)
+};
 
 /// \brief Contributions of private individuals to a star-join query.
 struct ContributionIndex {
@@ -32,7 +64,22 @@ struct ContributionIndex {
   double total = 0.0;
 
   /// Q(D, τ): the truncated answer Σ min(contribution_i, τ) (paper §4, R2T).
+  /// O(log n) per call on an index from BuildContributionIndex (which
+  /// prepares the sorted prefix-sum ladder once); O(n) on a hand-assembled
+  /// struct. Const and thread-safe either way. Mutating `contributions`
+  /// after PrepareTruncation() without calling it again serves stale totals
+  /// when the length is unchanged.
   double TruncatedTotal(double tau) const;
+
+  /// Rebuilds the O(log n) ladder from the current `contributions`.
+  void PrepareTruncation() { ladder_ = TruncatedTotals(contributions); }
+
+  /// The prepared ladder (empty on hand-assembled structs — check size()
+  /// against contributions before using directly).
+  const TruncatedTotals& truncation_ladder() const { return ladder_; }
+
+ private:
+  TruncatedTotals ladder_;
 };
 
 /// \brief Groups matching fact rows by the conjunction of foreign keys into
@@ -47,6 +94,9 @@ struct ContributionIndex {
 ///    Customer has been absorbed into Orders);
 ///  * the fact table name for the (1,0)-private scenario, where every fact
 ///    row is its own individual.
+/// Individuals are keyed by the exact composite of their per-dimension
+/// grouping values (never a mixed hash), so two distinct individuals can
+/// never merge — a collision would silently under-count sensitivity.
 /// Grouped queries are not supported (the baselines under comparison do not
 /// support GROUP BY either).
 Result<ContributionIndex> BuildContributionIndex(

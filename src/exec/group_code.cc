@@ -1,0 +1,88 @@
+#include "exec/group_code.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace dpstarj::exec {
+
+Result<KeyIndex> KeyIndex::Build(const std::vector<int64_t>& keys,
+                                 const std::vector<int32_t>& payload) {
+  KeyIndex index;
+  if (keys.empty()) {
+    index.dense_ = true;
+    return index;
+  }
+  auto [min_it, max_it] = std::minmax_element(keys.begin(), keys.end());
+  // Range computed in uint64 so min=INT64_MIN..max=INT64_MAX cannot overflow.
+  uint64_t range =
+      static_cast<uint64_t>(*max_it) - static_cast<uint64_t>(*min_it);
+  uint64_t budget = static_cast<uint64_t>(keys.size()) * kDensityFactor +
+                    kDensitySlack;
+  if (range < budget) {  // range+1 slots needed; `<` avoids +1 overflow
+    index.dense_ = true;
+    index.min_key_ = *min_it;
+    index.slots_.assign(range + 1, kAbsent);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      uint64_t slot =
+          static_cast<uint64_t>(keys[i]) - static_cast<uint64_t>(*min_it);
+      if (index.slots_[slot] != kAbsent) {
+        return Status::InvalidArgument(
+            Format("duplicate key %lld", static_cast<long long>(keys[i])));
+      }
+      index.slots_[slot] = payload[i];
+    }
+    return index;
+  }
+  index.map_.reserve(keys.size() * 2);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto [it, inserted] = index.map_.emplace(keys[i], payload[i]);
+    if (!inserted) {
+      return Status::InvalidArgument(
+          Format("duplicate key %lld", static_cast<long long>(keys[i])));
+    }
+  }
+  return index;
+}
+
+namespace {
+
+int BitsFor(uint64_t cardinality) {
+  int bits = 1;
+  while (bits < 64 && (uint64_t{1} << bits) < cardinality) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+int GroupCodeLayout::AddField(uint64_t cardinality) {
+  int bits = BitsFor(cardinality);
+  shifts_.push_back(total_bits_);
+  masks_.push_back(bits >= 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1);
+  total_bits_ += bits;
+  return static_cast<int>(shifts_.size()) - 1;
+}
+
+std::optional<uint64_t> GroupCodeLayout::CodeSpace() const {
+  if (!Fits() || total_bits_ >= 63) return std::nullopt;
+  return uint64_t{1} << total_bits_;
+}
+
+GroupAccumulator::GroupAccumulator(std::optional<uint64_t> code_space,
+                                   uint64_t dense_limit) {
+  if (code_space.has_value() &&
+      *code_space <= std::min(dense_limit, kDenseLimit)) {
+    dense_ = true;
+    slots_.resize(*code_space);
+  }
+}
+
+void GroupAccumulator::MergeFrom(const GroupAccumulator& other) {
+  other.ForEach([this](uint64_t code, const GroupAgg& agg) {
+    GroupAgg& mine = dense_ ? slots_[code] : map_[code];
+    mine.sum += agg.sum;
+    mine.rows += agg.rows;
+  });
+}
+
+}  // namespace dpstarj::exec

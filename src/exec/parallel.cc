@@ -1,0 +1,114 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+
+namespace dpstarj::exec {
+
+MorselPool::~MorselPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+MorselPool& MorselPool::Shared() {
+  static MorselPool* pool = new MorselPool();  // leaked: outlives static dtors
+  return *pool;
+}
+
+int MorselPool::num_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+void MorselPool::RunRole(const Job& job, int role) {
+  const int64_t num_morsels =
+      (job.total + job.morsel_size - 1) / job.morsel_size;
+  for (int64_t m = role; m < num_morsels; m += job.num_workers) {
+    const int64_t begin = m * job.morsel_size;
+    const int64_t end = std::min(begin + job.morsel_size, job.total);
+    (*job.fn)(role, begin, end);
+  }
+}
+
+void MorselPool::FinishRole(Job* job) {
+  bool job_done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_done = (++job->completed_roles == job->num_workers);
+  }
+  // Wake every waiting caller; each re-checks its own job. Role completions
+  // are rare (per job, not per morsel), so the broadcast is cheap.
+  if (job_done) done_cv_.notify_all();
+}
+
+void MorselPool::EnsureThreads(int n) {
+  while (static_cast<int>(threads_.size()) < n) {
+    threads_.emplace_back([this] { ThreadLoop(); });
+  }
+}
+
+void MorselPool::ThreadLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return shutdown_ || !pending_.empty(); });
+    if (shutdown_) return;
+    Job* job = pending_.front();
+    const int role = job->next_role++;
+    if (job->next_role >= job->num_workers) pending_.pop_front();
+    lock.unlock();
+    RunRole(*job, role);
+    FinishRole(job);
+    lock.lock();
+  }
+}
+
+void MorselPool::Run(int num_workers, int64_t total, int64_t morsel_size,
+                     const MorselFn& fn) {
+  if (total <= 0) return;
+  if (morsel_size <= 0) morsel_size = total;
+  const int64_t num_morsels = (total + morsel_size - 1) / morsel_size;
+  num_workers = static_cast<int>(
+      std::min<int64_t>(std::max(num_workers, 1), num_morsels));
+
+  Job job;
+  job.fn = &fn;
+  job.total = total;
+  job.morsel_size = morsel_size;
+  job.num_workers = num_workers;
+
+  if (num_workers == 1) {
+    RunRole(job, 0);  // inline fast path: no locks, no pool threads
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EnsureThreads(num_workers - 1);
+    pending_.push_back(&job);
+  }
+  work_cv_.notify_all();
+
+  RunRole(job, 0);  // the calling thread always executes role 0
+  FinishRole(&job);
+
+  // Adopt any roles of our own job the pool has not picked up yet (work
+  // conservation: a Run never waits on threads busy with other jobs), then
+  // wait for the roles that are genuinely running elsewhere.
+  std::unique_lock<std::mutex> lock(mu_);
+  while (job.next_role < job.num_workers) {
+    const int role = job.next_role++;
+    if (job.next_role >= job.num_workers) {
+      pending_.erase(std::find(pending_.begin(), pending_.end(), &job));
+    }
+    lock.unlock();
+    RunRole(job, role);
+    FinishRole(&job);
+    lock.lock();
+  }
+  done_cv_.wait(lock, [&] { return job.completed_roles == job.num_workers; });
+}
+
+}  // namespace dpstarj::exec

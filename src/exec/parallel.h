@@ -1,0 +1,80 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Morsel-parallel execution substrate: a reusable pool of worker threads that
+// splits an index range [0, total) into fixed-size morsels. Each job exposes
+// `num_workers` *roles*; role w owns morsels w, w+W, w+2W, ... and processes
+// them in order. Static role→morsel assignment (rather than work stealing)
+// makes every run with the same worker count process rows in exactly the same
+// order regardless of which thread executes which role — partial aggregates
+// merge deterministically, so a query answer is reproducible run-to-run at
+// any fixed thread count.
+//
+// Concurrency model: jobs from concurrent callers queue into the shared pool
+// and their roles are claimed by whichever pool threads are free; the calling
+// thread always executes role 0 and then adopts any still-unclaimed roles of
+// its *own* job. A Run is therefore work-conserving and never blocks behind
+// another caller's scan — with a busy pool it degrades to the caller scanning
+// alone, which is exactly the "engine-pool workers divide the cores" regime
+// of the service layer. Run(1, ...) touches no synchronization at all.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dpstarj::exec {
+
+/// \brief A reusable morsel worker pool with deterministic role assignment.
+class MorselPool {
+ public:
+  /// Callback for one morsel: the role (worker index in [0, num_workers))
+  /// and the half-open row range [begin, end).
+  using MorselFn = std::function<void(int worker, int64_t begin, int64_t end)>;
+
+  MorselPool() = default;
+  ~MorselPool();
+
+  MorselPool(const MorselPool&) = delete;
+  MorselPool& operator=(const MorselPool&) = delete;
+
+  /// \brief Runs `fn` over [0, total) in morsels of `morsel_size` rows with
+  /// `num_workers` roles. Blocks until every morsel has been processed.
+  void Run(int num_workers, int64_t total, int64_t morsel_size, const MorselFn& fn);
+
+  /// The process-wide shared pool.
+  static MorselPool& Shared();
+
+  /// Number of worker threads currently in the pool.
+  int num_threads() const;
+
+ private:
+  struct Job {
+    const MorselFn* fn = nullptr;
+    int64_t total = 0;
+    int64_t morsel_size = 0;
+    int num_workers = 0;
+    int next_role = 1;       // roles 1..W-1 are claimable; 0 is the caller's
+    int completed_roles = 0; // job done when == num_workers
+  };
+
+  static void RunRole(const Job& job, int role);
+  // Marks one role of `job` finished; notifies the owning Run when the job
+  // completes. Caller must NOT hold mu_.
+  void FinishRole(Job* job);
+  void EnsureThreads(int n);  // caller holds mu_
+  void ThreadLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // pool threads: a job or shutdown arrived
+  std::condition_variable done_cv_;  // callers: some role finished
+  std::vector<std::thread> threads_;
+  std::deque<Job*> pending_;  // jobs with unclaimed roles, FIFO
+  bool shutdown_ = false;
+};
+
+}  // namespace dpstarj::exec

@@ -1,16 +1,22 @@
 // Copyright (c) dpstarj authors. Licensed under the MIT license.
 //
 // The star-join executor: evaluates a bound star-join query with hash
-// semi-joins. For each dimension it builds a key → (predicate pass, row)
-// table, then streams the fact table once, combining predicate verdicts,
-// accumulating COUNT/SUM and assembling GROUP BY keys.
+// semi-joins. For each dimension it compiles the predicate verdicts into a
+// dense FK-indexed table (pass bit fused with a small-int group ordinal), then
+// streams the fact table in morsels — optionally in parallel — combining
+// verdicts with one array probe per dimension, accumulating COUNT/SUM per
+// packed uint64 group code and rendering string group labels once per group
+// at the end (see exec/group_code.h, exec/parallel.h).
 //
 // The executor accepts *predicate overrides* so that DP mechanisms can run
 // the same plan under perturbed predicates (the heart of DP-starJ's input
-// perturbation) without re-binding.
+// perturbation) without re-binding. The DP layer is post-processing-safe, so
+// executor strategy (scalar vs vectorized, thread count) never changes noise
+// semantics — only throughput.
 
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -34,6 +40,22 @@ struct ExecutorOptions {
   /// are an error (they violate referential integrity). When false they are
   /// silently dropped, matching SQL inner-join semantics.
   bool strict_integrity = false;
+
+  /// Worker threads for the fact scan. 1 (default) runs on the calling
+  /// thread; 0 means one worker per hardware thread. Results are
+  /// deterministic for any fixed value: morsels are statically assigned and
+  /// worker partials merge in worker order, so aggregates whose additions are
+  /// exact (COUNT, integer-valued SUM) are identical across thread counts,
+  /// and inexact floating-point SUMs are reproducible run-to-run.
+  int exec_threads = 1;
+
+  /// Rows per scan morsel (parallel granularity).
+  int64_t morsel_size = 1 << 16;
+
+  /// Forces the legacy row-at-a-time pipeline (kept for benchmarking and as
+  /// the automatic fallback when a GROUP BY key set cannot be packed into a
+  /// 64-bit group code, e.g. grouping on an unbounded double fact column).
+  bool force_scalar = false;
 };
 
 /// \brief Hash-join star-join evaluation.
@@ -47,6 +69,8 @@ class StarJoinExecutor {
   /// Evaluates with per-dimension predicate overrides (for DP mechanisms).
   Result<QueryResult> Execute(const query::BoundQuery& q,
                               const PredicateOverrides& overrides) const;
+
+  const ExecutorOptions& options() const { return options_; }
 
  private:
   ExecutorOptions options_;

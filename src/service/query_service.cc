@@ -1,11 +1,32 @@
 #include "service/query_service.h"
 
+#include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "common/string_util.h"
 #include "query/canonical.h"
 
 namespace dpstarj::service {
+
+namespace {
+
+// Resolves the per-engine executor thread count so the pool's workers share
+// the machine instead of oversubscribing it: N engines × T exec threads is
+// kept ≤ the hardware thread count (with a floor of 1 each).
+core::DpStarJoinOptions ResolveEngineOptions(const ServiceOptions& options) {
+  core::DpStarJoinOptions engine = options.engine;
+  const int hardware =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const int engines = std::max(1, options.num_engines);
+  const int fair_share = std::max(1, hardware / engines);
+  int requested = options.exec_threads_per_engine;
+  if (requested <= 0) requested = fair_share;
+  engine.executor.exec_threads = std::min(requested, fair_share);
+  return engine;
+}
+
+}  // namespace
 
 std::string ServiceStats::ToString() const {
   return Format(
@@ -23,7 +44,8 @@ std::string ServiceStats::ToString() const {
 QueryService::QueryService(const storage::Catalog* catalog, ServiceOptions options)
     : ledger_(options.default_tenant_budget),
       cache_(options.cache_capacity),
-      pool_(catalog, options.num_engines, options.queue_capacity, options.engine) {}
+      pool_(catalog, options.num_engines, options.queue_capacity,
+            ResolveEngineOptions(options)) {}
 
 QueryService::~QueryService() { Shutdown(); }
 

@@ -52,8 +52,16 @@ struct ServiceOptions {
   /// When set, unknown tenants are auto-registered with this total ε on their
   /// first query; otherwise unregistered tenants are refused (NotFound).
   std::optional<double> default_tenant_budget;
-  /// Engine configuration (seed, PMA tunables, workload strategy). The
-  /// `total_budget` field is ignored — budgets belong to the ledger.
+  /// Scan threads each pool engine's executor may use for a single query.
+  /// 0 (default) = auto: divide the hardware threads across the pool
+  /// (max(1, hardware / num_engines)), so executor-level and pool-level
+  /// parallelism compose by splitting the cores instead of oversubscribing
+  /// them. Explicit values are clamped to the same bound. The resolved value
+  /// overrides `engine.executor.exec_threads`.
+  int exec_threads_per_engine = 0;
+  /// Engine configuration (seed, PMA tunables, workload strategy, executor
+  /// tuning). The `total_budget` field is ignored — budgets belong to the
+  /// ledger — and `executor.exec_threads` is overridden as described above.
   core::DpStarJoinOptions engine;
 };
 
