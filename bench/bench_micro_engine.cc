@@ -1,10 +1,16 @@
-// Engine-level micro benchmarks: a scalar-vs-vectorized executor comparison
-// harness (always run; `--json out.json` records machine-readable
-// {bench, config, rows_per_sec, wall_ms} rows — see BENCH_engine.json), plus
-// google-benchmark timings of the join/cube/PMA/R2T/k-star substrate
+// Engine-level micro benchmarks: comparison harnesses (always run;
+// `--json out.json` records machine-readable
+// {bench, config, rows_per_sec, wall_ms} rows — see BENCH_engine.json) for
+//   * the scalar vs vectorized executor pipelines,
+//   * repeated PredicateMechanism::Answer — uncached fresh-build execution
+//     vs the PlanCache cold (compile+run) and warm (bitmap-only) paths,
+//   * DataCube build (legacy hash-probing vs fused-LUT morsel scan) and the
+//     box-sweep Evaluate,
+// plus google-benchmark timings of the join/cube/PMA/R2T/k-star substrate
 // (skipped with `--compare-only`). These are not paper experiments; they
 // track the substrate's performance so regressions in the hot paths are
-// visible.
+// visible. Thread-scaling configs are annotated with the host core count
+// when the host cannot actually scale to them (e.g. a 1-core container).
 //
 // Environment knobs:
 //   DPSTARJ_MICRO_SF       SSB scale factor of the comparison harness (0.05)
@@ -13,7 +19,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <functional>
 #include <string>
+#include <thread>
 
 #include "baselines/r2t.h"
 #include "bench_common.h"
@@ -178,15 +186,36 @@ std::vector<ExecConfig> ComparisonConfigs() {
   return configs;
 }
 
+// Thread-scaling numbers are only meaningful up to the host's core count;
+// configs requesting more get a self-explaining annotation in the JSON.
+std::string HostScalingNote(int threads) {
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  if (threads <= hw) return "";
+  return " [" + std::to_string(hw) + "-core host]";
+}
+
+double SharedMinSec() {
+  return bench_util::EnvDouble("DPSTARJ_MICRO_MIN_SEC", 0.3);
+}
+
+const storage::Catalog& ComparisonCatalog() {
+  static storage::Catalog* catalog = [] {
+    ssb::SsbOptions options;
+    options.scale_factor = bench_util::EnvDouble("DPSTARJ_MICRO_SF", 0.05);
+    auto c = ssb::GenerateSsb(options);
+    DPSTARJ_CHECK(c.ok(), "ssb generation");
+    return new storage::Catalog(std::move(*c));
+  }();
+  return *catalog;
+}
+
 void RunEngineComparison(bench::JsonBenchWriter* json) {
   const double sf = bench_util::EnvDouble("DPSTARJ_MICRO_SF", 0.05);
-  const double min_sec = bench_util::EnvDouble("DPSTARJ_MICRO_MIN_SEC", 0.3);
+  const double min_sec = SharedMinSec();
 
-  ssb::SsbOptions options;
-  options.scale_factor = sf;
-  auto catalog = ssb::GenerateSsb(options);
-  DPSTARJ_CHECK(catalog.ok(), "ssb generation");
-  query::Binder binder(&*catalog);
+  const storage::Catalog& catalog = ComparisonCatalog();
+  query::Binder binder(&catalog);
 
   // QgScan: the archetypal SSB drill-down — SUM(revenue) by year × brand over
   // the full fact table (no filter), so every row exercises the grouping
@@ -250,12 +279,209 @@ void RunEngineComparison(bench::JsonBenchWriter* json) {
                     Format("%.3g", rows_per_sec),
                     Format("%.2fx", rows_per_sec / scalar_rows_per_sec)});
       if (json != nullptr) {
-        json->Add(std::string("micro_engine/") + qname, config.name,
+        json->Add(std::string("micro_engine/") + qname,
+                  config.name + HostScalingNote(config.options.exec_threads),
                   rows_per_sec, wall_ms);
       }
     }
     table.Print();
     std::printf("\n");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Repeated-answer comparison (the PR-3 acceptance measurement): the Predicate
+// Mechanism re-executes the same bound query with perturbed predicates every
+// noisy run. "uncached" rebuilds the verdict tables from scratch per run (the
+// pre-plan-cache behavior); "plan cold" pays ScanPlan::Compile every run;
+// "plan warm" is the steady state — predicate bitmaps only.
+// ---------------------------------------------------------------------------
+
+void RunPlanCacheComparison(bench::JsonBenchWriter* json) {
+  const double sf = bench_util::EnvDouble("DPSTARJ_MICRO_SF", 0.05);
+  const double min_sec = SharedMinSec();
+  const storage::Catalog& catalog = ComparisonCatalog();
+  query::Binder binder(&catalog);
+
+  // QgScanP: the full-scan grouped drill-down (SUM(revenue) by year × brand)
+  // made PM-compatible with a full-domain year predicate — every fact row
+  // still reaches the grouping path. Qg2/Qc3: the paper's filtered queries.
+  std::vector<std::pair<std::string, query::StarJoinQuery>> queries;
+  {
+    query::StarJoinQuery scan;
+    scan.name = "QgScanP";
+    scan.fact_table = "Lineorder";
+    scan.joined_tables = {"Date", "Part"};
+    scan.aggregate = query::AggregateKind::kSum;
+    scan.measure_terms = {{"revenue", 1.0}};
+    scan.group_by = {{"Date", "year"}, {"Part", "brand"}};
+    scan.predicates.push_back(query::Predicate::Range(
+        "Date", "year", storage::Value(int64_t{ssb::kYearLo}),
+        storage::Value(int64_t{ssb::kYearHi})));
+    queries.emplace_back("QgScanP", std::move(scan));
+  }
+  for (const char* qname : {"Qg2", "Qc3"}) {
+    auto q = ssb::GetQuery(qname);
+    DPSTARJ_CHECK(q.ok(), "query");
+    queries.emplace_back(qname, std::move(*q));
+  }
+
+  const double epsilon = 0.5;
+  for (const auto& [qname_str, query] : queries) {
+    const char* qname = qname_str.c_str();
+    auto bound = binder.Bind(query);
+    DPSTARJ_CHECK(bound.ok(), "bind");
+    const double fact_rows = static_cast<double>(bound->fact->num_rows());
+
+    std::printf("== repeated PM answer: %s (sf=%.3g, %.0f fact rows) ==\n",
+                qname, sf, fact_rows);
+    bench_util::TablePrinter table(
+        {"path", "iters", "ms/answer", "rows/sec", "speedup"});
+
+    Rng rng(11);
+    core::PredicateMechanism pm;
+    exec::StarJoinExecutor fresh_executor;
+
+    struct PathConfig {
+      std::string name;
+      std::function<void()> run;
+    };
+    std::vector<PathConfig> paths;
+    paths.push_back({"uncached (fresh build)", [&]() {
+                       auto overrides = pm.PerturbPredicates(*bound, epsilon, &rng);
+                       DPSTARJ_CHECK(overrides.ok(), "perturb");
+                       auto r = fresh_executor.Execute(*bound, *overrides);
+                       DPSTARJ_CHECK(r.ok(), "execute");
+                     }});
+    paths.push_back({"plan cold (compile+run)", [&]() {
+                       pm.plan_cache()->Clear();
+                       auto r = pm.Answer(*bound, epsilon, &rng);
+                       DPSTARJ_CHECK(r.ok(), "answer");
+                     }});
+    paths.push_back({"plan warm (bitmaps only)", [&]() {
+                       auto r = pm.Answer(*bound, epsilon, &rng);
+                       DPSTARJ_CHECK(r.ok(), "answer");
+                     }});
+
+    double uncached_rows_per_sec = 0.0;
+    for (const PathConfig& path : paths) {
+      path.run();  // warm-up (compiles the plan for the warm path)
+      Timer timer;
+      int iters = 0;
+      do {
+        path.run();
+        ++iters;
+      } while (timer.ElapsedSeconds() < min_sec || iters < 3);
+      const double wall_ms = timer.ElapsedMillis() / iters;
+      const double rows_per_sec = fact_rows / (wall_ms / 1e3);
+      if (uncached_rows_per_sec == 0.0) uncached_rows_per_sec = rows_per_sec;
+      table.AddRow({path.name, Format("%d", iters), Format("%.3f", wall_ms),
+                    Format("%.3g", rows_per_sec),
+                    Format("%.2fx", rows_per_sec / uncached_rows_per_sec)});
+      if (json != nullptr) {
+        json->Add(std::string("micro_engine/pm_repeat/") + qname, path.name,
+                  rows_per_sec, wall_ms);
+      }
+    }
+    table.Print();
+    std::printf("\n");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DataCube comparison: the other full fact scan. Build: legacy hash-probing
+// row loop vs the fused dense-LUT morsel scan at 1/2/4 threads. Evaluate:
+// the box sweep over the predicate hyper-rectangle.
+// ---------------------------------------------------------------------------
+
+void RunCubeComparison(bench::JsonBenchWriter* json) {
+  const double sf = bench_util::EnvDouble("DPSTARJ_MICRO_SF", 0.05);
+  const double min_sec = SharedMinSec();
+  const storage::Catalog& catalog = ComparisonCatalog();
+  query::Binder binder(&catalog);
+
+  auto q = ssb::GetQuery("Qc3");
+  DPSTARJ_CHECK(q.ok(), "query");
+  auto bound = binder.Bind(*q);
+  DPSTARJ_CHECK(bound.ok(), "bind");
+  const double fact_rows = static_cast<double>(bound->fact->num_rows());
+
+  std::printf("== DataCube build: Qc3 (sf=%.3g, %.0f fact rows) ==\n", sf,
+              fact_rows);
+  bench_util::TablePrinter table(
+      {"pipeline", "iters", "ms/build", "rows/sec", "speedup"});
+
+  struct CubeConfig {
+    std::string name;
+    exec::CubeOptions options;
+    int threads = 1;
+  };
+  std::vector<CubeConfig> configs;
+  {
+    exec::CubeOptions legacy;
+    legacy.force_legacy = true;
+    configs.push_back({"legacy (hash probes)", legacy, 1});
+  }
+  for (int threads : {1, 2, 4}) {
+    exec::CubeOptions options;
+    options.threads = threads;
+    configs.push_back(
+        {"vectorized t=" + std::to_string(threads), options, threads});
+  }
+
+  double legacy_rows_per_sec = 0.0;
+  double reference_total = 0.0;
+  bool have_reference = false;
+  for (const CubeConfig& config : configs) {
+    auto warm = exec::DataCube::BuildFromQueryPredicates(*bound, config.options);
+    DPSTARJ_CHECK(warm.ok(), "cube build");
+    if (!have_reference) {
+      reference_total = warm->total();
+      have_reference = true;
+    } else {
+      double drift = std::abs(warm->total() - reference_total) /
+                     std::max(1.0, std::abs(reference_total));
+      DPSTARJ_CHECK(drift < 1e-9, "cube builds disagree on the total");
+    }
+    Timer timer;
+    int iters = 0;
+    do {
+      auto cube = exec::DataCube::BuildFromQueryPredicates(*bound, config.options);
+      DPSTARJ_CHECK(cube.ok(), "cube build");
+      ++iters;
+    } while (timer.ElapsedSeconds() < min_sec || iters < 3);
+    const double wall_ms = timer.ElapsedMillis() / iters;
+    const double rows_per_sec = fact_rows / (wall_ms / 1e3);
+    if (legacy_rows_per_sec == 0.0) legacy_rows_per_sec = rows_per_sec;
+    table.AddRow({config.name, Format("%d", iters), Format("%.3f", wall_ms),
+                  Format("%.3g", rows_per_sec),
+                  Format("%.2fx", rows_per_sec / legacy_rows_per_sec)});
+    if (json != nullptr) {
+      json->Add("micro_engine/cube_build/Qc3",
+                config.name + HostScalingNote(config.threads), rows_per_sec,
+                wall_ms);
+    }
+  }
+  table.Print();
+
+  // Evaluate: repeated predicate evaluation against the prebuilt cube.
+  auto cube = exec::DataCube::BuildFromQueryPredicates(*bound);
+  DPSTARJ_CHECK(cube.ok(), "cube build");
+  auto preds = bound->Predicates();
+  Timer timer;
+  int iters = 0;
+  do {
+    auto r = cube->Evaluate(preds);
+    DPSTARJ_CHECK(r.ok(), "evaluate");
+    ++iters;
+  } while (timer.ElapsedSeconds() < min_sec || iters < 1000);
+  const double wall_ms = timer.ElapsedMillis() / iters;
+  const double cells_per_sec =
+      static_cast<double>(cube->num_cells()) / (wall_ms / 1e3);
+  std::printf("cube evaluate (box sweep): %.4f ms/eval over %lld cells\n\n",
+              wall_ms, static_cast<long long>(cube->num_cells()));
+  if (json != nullptr) {
+    json->Add("micro_engine/cube_eval/Qc3", "box-sweep", cells_per_sec, wall_ms);
   }
 }
 
@@ -276,6 +502,8 @@ int main(int argc, char** argv) {
 
   bench::JsonBenchWriter json(json_path);
   RunEngineComparison(&json);
+  RunPlanCacheComparison(&json);
+  RunCubeComparison(&json);
   json.Flush();
   if (compare_only) return 0;
 

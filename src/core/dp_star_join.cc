@@ -9,7 +9,7 @@ DpStarJoin::DpStarJoin(const storage::Catalog* catalog, DpStarJoinOptions option
     : catalog_(catalog),
       options_(options),
       binder_(catalog),
-      mechanism_(options.pma, options.executor),
+      mechanism_(options.pma, options.executor, options.plan_cache),
       rng_(options.seed) {
   DPSTARJ_CHECK(catalog != nullptr, "catalog must not be null");
   if (options_.total_budget.has_value()) {

@@ -46,6 +46,11 @@ struct DpStarJoinOptions {
   /// Star-join executor tuning (scan thread count, morsel size). Pure
   /// post-processing: never affects noise semantics, only throughput.
   exec::ExecutorOptions executor;
+  /// Compiled-plan cache for repeated Predicate Mechanism executions. When
+  /// null the engine's mechanism creates a private one; the service layer
+  /// injects one shared cache across all pool engines so any engine's
+  /// compile warms every other. Also pure post-processing.
+  std::shared_ptr<exec::PlanCache> plan_cache;
 };
 
 /// \brief The DP-starJ engine.

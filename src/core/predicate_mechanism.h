@@ -12,10 +12,13 @@
 
 #pragma once
 
+#include <memory>
+
 #include "common/random.h"
 #include "common/result.h"
 #include "core/pma.h"
 #include "exec/data_cube.h"
+#include "exec/plan_cache.h"
 #include "exec/query_result.h"
 #include "exec/star_join_executor.h"
 #include "query/binder.h"
@@ -24,15 +27,28 @@ namespace dpstarj::core {
 
 /// \brief Algorithms 1 & 3: DP star-join answering via predicate perturbation.
 ///
-/// Thread-compatible: callers pass their own Rng.
+/// Thread-compatible: callers pass their own Rng. The mechanism owns one
+/// executor and one plan cache (possibly shared, see below), both safe for
+/// concurrent const use.
 class PredicateMechanism {
  public:
   /// `exec_options` configures the executor running the perturbed query
   /// (thread count, morsel size). Execution strategy is post-processing: it
   /// never affects the noise draw, only throughput.
+  ///
+  /// `plan_cache` holds the compiled ScanPlans that make repeated Answer
+  /// calls on the same bound query nearly free (only predicate bitmaps are
+  /// rebuilt per noisy run). Pass a shared cache to pool plans across
+  /// mechanisms/engines (the service layer does); nullptr gives the
+  /// mechanism its own.
   explicit PredicateMechanism(PmaOptions pma = {},
-                              exec::ExecutorOptions exec_options = {})
-      : pma_(pma), exec_options_(exec_options) {}
+                              exec::ExecutorOptions exec_options = {},
+                              std::shared_ptr<exec::PlanCache> plan_cache = nullptr)
+      : pma_(pma),
+        executor_(exec_options),
+        plan_cache_(plan_cache != nullptr
+                        ? std::move(plan_cache)
+                        : std::make_shared<exec::PlanCache>()) {}
 
   /// \brief Phase 2 of DP-starJ: perturbs every predicate of the bound query
   /// with its ε/n share, returning executor overrides (Algorithm 1 lines
@@ -55,9 +71,13 @@ class PredicateMechanism {
                                 const exec::DataCube& cube, double epsilon,
                                 Rng* rng) const;
 
+  /// The plan cache answering executions (for stats and admin Clear()).
+  const std::shared_ptr<exec::PlanCache>& plan_cache() const { return plan_cache_; }
+
  private:
   PmaOptions pma_;
-  exec::ExecutorOptions exec_options_;
+  exec::StarJoinExecutor executor_;
+  std::shared_ptr<exec::PlanCache> plan_cache_;
 };
 
 }  // namespace dpstarj::core

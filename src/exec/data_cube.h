@@ -26,6 +26,23 @@ struct CubeAxis {
   storage::AttributeDomain domain;
 };
 
+/// \brief Tuning for the cube-building fact scan.
+struct CubeOptions {
+  /// Worker threads for the fact scan. 1 (default) runs on the calling
+  /// thread; 0 means one worker per hardware thread. Like the executor,
+  /// morsels are statically assigned and worker partials merge in worker
+  /// order, so results are reproducible at any fixed thread count and exact
+  /// sums (COUNT, integer-valued SUM) are identical across thread counts.
+  /// Parallelism is skipped when the cube is too large for per-worker
+  /// partials (> ~4M cells).
+  int threads = 1;
+  /// Rows per scan morsel (parallel granularity).
+  int64_t morsel_size = 1 << 16;
+  /// Forces the legacy row-at-a-time, hash-probing build (kept as the
+  /// benchmark baseline for the fused dense-LUT scan).
+  bool force_legacy = false;
+};
+
 /// \brief Dense cube over the joint domain of dimension attributes.
 class DataCube {
  public:
@@ -35,12 +52,19 @@ class DataCube {
   ///
   /// Fact rows holding attribute values outside a declared domain are dropped
   /// and counted in dropped_rows() — well-formed instances have none.
+  ///
+  /// The scan resolves each axis through a fused FK→domain-ordinal lookup
+  /// table (a dense offset table when the dimension's key space allows, the
+  /// same density rule as exec::KeyIndex) and runs morsel-parallel on the
+  /// shared MorselPool per `options`.
   static Result<DataCube> Build(const query::BoundQuery& q,
-                                const std::vector<query::DimensionAttribute>& attributes);
+                                const std::vector<query::DimensionAttribute>& attributes,
+                                const CubeOptions& options = {});
 
   /// Builds over the query's own predicate attributes (axis order = the order
   /// of predicate-bearing dims in the bound query).
-  static Result<DataCube> BuildFromQueryPredicates(const query::BoundQuery& q);
+  static Result<DataCube> BuildFromQueryPredicates(const query::BoundQuery& q,
+                                                   const CubeOptions& options = {});
 
   /// The axes, in build order.
   const std::vector<CubeAxis>& axes() const { return axes_; }
@@ -56,6 +80,12 @@ class DataCube {
 
   /// \brief Evaluates a conjunctive predicate query: preds[i] applies to axis
   /// i (nullptr = full domain). Returns Σ over matching cells.
+  ///
+  /// Bound predicates are closed index ranges, so each axis's match mask is a
+  /// contiguous interval and the matching cells form a hyper-rectangle: the
+  /// sweep visits only that box in stride order (the innermost axis is
+  /// contiguous memory) instead of odometer-walking every cell. Summation
+  /// order equals the old full-walk order, so answers are bit-identical.
   Result<double> Evaluate(const std::vector<const query::BoundPredicate*>& preds) const;
 
   /// \brief Weighted evaluation for Workload Decomposition: each axis i has a

@@ -17,9 +17,8 @@ Result<KeyIndex> KeyIndex::Build(const std::vector<int64_t>& keys,
   // Range computed in uint64 so min=INT64_MIN..max=INT64_MAX cannot overflow.
   uint64_t range =
       static_cast<uint64_t>(*max_it) - static_cast<uint64_t>(*min_it);
-  uint64_t budget = static_cast<uint64_t>(keys.size()) * kDensityFactor +
-                    kDensitySlack;
-  if (range < budget) {  // range+1 slots needed; `<` avoids +1 overflow
+  // range+1 slots needed; the strict `<` inside avoids +1 overflow.
+  if (DenseRangeWorthwhile(keys.size(), range)) {
     index.dense_ = true;
     index.min_key_ = *min_it;
     index.slots_.assign(range + 1, kAbsent);

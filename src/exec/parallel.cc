@@ -18,6 +18,18 @@ MorselPool& MorselPool::Shared() {
   return *pool;
 }
 
+int MorselPool::ResolveWorkers(int threads, int64_t morsel_size, int64_t total) {
+  int num_workers = threads;
+  if (num_workers <= 0) {
+    num_workers =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  const int64_t morsels =
+      morsel_size > 0 ? (total + morsel_size - 1) / morsel_size : 1;
+  return static_cast<int>(std::min<int64_t>(std::max(num_workers, 1),
+                                            std::max<int64_t>(morsels, 1)));
+}
+
 int MorselPool::num_threads() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int>(threads_.size());

@@ -49,6 +49,13 @@ class MorselPool {
   /// The process-wide shared pool.
   static MorselPool& Shared();
 
+  /// \brief Resolves a worker count for a morsel scan of `total` items:
+  /// `threads` ≤ 0 means one worker per hardware thread, and the result
+  /// never exceeds the number of morsels, so tiny scans stay on the calling
+  /// thread. Shared by every MorselPool caller (executor, plan sweep, cube
+  /// build) so the 0-means-auto rule lives in one place.
+  static int ResolveWorkers(int threads, int64_t morsel_size, int64_t total);
+
   /// Number of worker threads currently in the pool.
   int num_threads() const;
 

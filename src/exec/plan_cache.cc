@@ -1,0 +1,136 @@
+#include "exec/plan_cache.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace dpstarj::exec {
+
+namespace {
+
+// Cache key: exactly the things a ScanPlan's scaffold is laid out by —
+// tables in the bound query's *internal* join order (fact_dim_row is
+// indexed by dim position), the FK/PK column pairing, the GROUP BY layout,
+// measure terms in order, and the predicate (column, domain) sets (the
+// memoized ordinal tables). Predicate *bounds* are deliberately omitted:
+// every field of a plan is bound-independent, so a popular query
+// re-filtered with different constants — and every noisy Predicate
+// Mechanism re-execution — shares one compiled plan. Within a dimension the
+// predicate signatures are sorted, so conjunction order does not split the
+// cache. Two queries that differ only in aggregate kind (SUM vs AVG over
+// the same measures) also share: the aggregate is applied at execution.
+std::string PlanKey(const query::BoundQuery& q) {
+  // Tables are identified by *object*, not name, matching ScanPlan::Matches:
+  // one cache may serve engines over several catalogs (per-tenant instances
+  // with identical schemas), and name-keyed entries would invalidation-
+  // thrash between them.
+  std::string key = Format("fact:%p", static_cast<const void*>(q.fact.get()));
+  std::vector<std::string> pred_sigs;
+  for (const auto& d : q.dims) {
+    key += Format("|dim:%p@%d/%d", static_cast<const void*>(d.dim.get()),
+                  d.fact_fk_col, d.dim_pk_col);
+    pred_sigs.clear();
+    pred_sigs.reserve(d.predicates.size());
+    for (const auto& p : d.predicates) {
+      pred_sigs.push_back(Format("%d:", p.column_index) + p.domain.ToString());
+    }
+    std::sort(pred_sigs.begin(), pred_sigs.end());
+    for (const auto& sig : pred_sigs) {
+      key += ';';
+      key += sig;
+    }
+  }
+  key += "|group:";
+  for (const auto& [dim_idx, col] : q.group_key_layout) {
+    key += Format("%d.%d,", dim_idx, col);
+  }
+  key += "|measure:";
+  for (const auto& [col, coeff] : q.measure_cols) {
+    key += Format("%d*%.17g,", col, coeff);
+  }
+  return key;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(size_t capacity, size_t max_bytes)
+    : capacity_(capacity), max_bytes_(max_bytes) {}
+
+Result<std::shared_ptr<const ScanPlan>> PlanCache::GetOrCompile(
+    const query::BoundQuery& q) {
+  const std::string key = PlanKey(q);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      std::shared_ptr<const ScanPlan> plan = it->second->second;
+      if (plan->Matches(q)) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++stats_.hits;
+        return plan;
+      }
+      bytes_ -= plan->ApproxBytes();
+      lru_.erase(it->second);
+      index_.erase(it);
+      ++stats_.invalidations;
+    }
+  }
+
+  // Compile outside the lock: compilation scans the fact table once and must
+  // not serialize concurrent engines behind the cache mutex.
+  DPSTARJ_ASSIGN_OR_RETURN(ScanPlan compiled, ScanPlan::Compile(q));
+  auto plan = std::make_shared<const ScanPlan>(std::move(compiled));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  if (capacity_ == 0) return plan;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // A racing compile landed first; keep ours only if theirs went stale.
+    if (it->second->second->Matches(q)) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
+    bytes_ -= it->second->second->ApproxBytes();
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.invalidations;
+  }
+  lru_.emplace_front(key, plan);
+  index_[key] = lru_.begin();
+  bytes_ += plan->ApproxBytes();
+  // Evict by entry count and by scaffold bytes; the most recent entry always
+  // stays so a single oversized plan is still served (it just caches alone).
+  while (lru_.size() > 1 &&
+         (lru_.size() > capacity_ || bytes_ > max_bytes_)) {
+    bytes_ -= lru_.back().second->ApproxBytes();
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return plan;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+size_t PlanCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+PlanCache::Stats PlanCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace dpstarj::exec

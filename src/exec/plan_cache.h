@@ -1,0 +1,98 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// PlanCache — a thread-safe LRU of compiled ScanPlans keyed by a canonical
+// *execution signature* of the bound query: the joined tables in bound
+// order, FK/PK pairing, GROUP BY layout, measure terms, and the predicate
+// (column, domain) sets — with predicate conjunction order normalized away,
+// like query::CanonicalKey, but with ε and the predicate *bounds* omitted.
+// A plan is pure bound-independent scaffolding, so one entry serves every
+// privacy budget, every tenant replaying the query, every re-filtering of
+// it with different constants, and every noisy Predicate Mechanism
+// re-execution.
+//
+// Invalidation: tables are append-only, so a plan is stale exactly when one
+// of its tables is no longer the same object or has grown. Every hit is
+// validated with ScanPlan::Matches before use; a stale entry is dropped,
+// counted, and recompiled — callers can never execute against a stale
+// scaffold. The service layer shares one PlanCache across all pool engines
+// (see service/query_service.h).
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/result.h"
+#include "exec/scan_plan.h"
+#include "query/binder.h"
+
+namespace dpstarj::exec {
+
+/// \brief Thread-safe canonical-keyed LRU of compiled scan plans.
+class PlanCache {
+ public:
+  /// Default entry capacity. Plans hold per-fact-row scaffolds — up to
+  /// ≈ 24 + 8·dims bytes per fact row for grouped SUM queries with run-
+  /// sorted layouts — so eviction is governed by a byte budget as well as
+  /// this entry cap; popular queries dominate hits long before either
+  /// matters.
+  static constexpr size_t kDefaultCapacity = 32;
+  /// Default scaffold-byte budget across all cached plans (LRU entries are
+  /// evicted past it; the most recent plan is always kept).
+  static constexpr size_t kDefaultMaxBytes = size_t{256} << 20;  // 256 MB
+
+  /// Hit/miss/invalidation accounting, as returned by GetStats().
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;          ///< lookups that compiled a fresh plan
+    uint64_t invalidations = 0;   ///< stale entries dropped (table changed)
+    uint64_t evictions = 0;
+
+    /// hits / (hits + misses), 0 when empty.
+    double HitRate() const {
+      uint64_t lookups = hits + misses;
+      return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+    }
+  };
+
+  /// A capacity of 0 disables caching (every call compiles a fresh plan).
+  explicit PlanCache(size_t capacity = kDefaultCapacity,
+                     size_t max_bytes = kDefaultMaxBytes);
+
+  /// \brief Returns the cached plan for `q`'s execution signature, compiling
+  /// (and caching) one when absent or stale. Compilation runs outside the
+  /// cache lock; two threads racing on the same cold key may both compile,
+  /// and the later insert wins — wasted work, never wrong results.
+  Result<std::shared_ptr<const ScanPlan>> GetOrCompile(const query::BoundQuery& q);
+
+  /// Drops every entry (stats are preserved).
+  void Clear();
+
+  /// Current entry count.
+  size_t size() const;
+  /// Approximate scaffold bytes currently cached.
+  size_t bytes() const;
+  /// Configured capacity.
+  size_t capacity() const { return capacity_; }
+
+  /// A consistent snapshot of the accounting counters.
+  Stats GetStats() const;
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const ScanPlan>>;
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  size_t max_bytes_;
+  size_t bytes_ = 0;  ///< Σ ApproxBytes() over cached plans
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace dpstarj::exec

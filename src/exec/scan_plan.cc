@@ -1,0 +1,403 @@
+#include "exec/scan_plan.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "common/string_util.h"
+#include "exec/domain_index.h"
+#include "exec/query_result.h"
+
+namespace dpstarj::exec {
+
+namespace {
+
+// Raw value of a dimension group-by cell as an exact int64 (doubles keyed by
+// bit pattern, strings by dictionary code) — mirrors the fresh pipeline so
+// distinct combos get distinct ordinals and identical labels merge on render.
+int64_t CellKey(const storage::Column& col, int64_t row) {
+  switch (col.type()) {
+    case storage::ValueType::kInt64:
+      return col.GetInt64(row);
+    case storage::ValueType::kString:
+      return col.GetStringCode(row);
+    case storage::ValueType::kDouble: {
+      double d = col.GetDouble(row);
+      int64_t bits;
+      static_assert(sizeof(bits) == sizeof(d), "double must be 64-bit");
+      std::memcpy(&bits, &d, sizeof(bits));
+      return bits;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<ScanPlan> ScanPlan::Compile(const query::BoundQuery& q) {
+  ScanPlan plan;
+  plan.fact_ = q.fact;
+  plan.fact_rows_ = q.fact->num_rows();
+  plan.measure_cols_ = q.measure_cols;
+  plan.group_key_layout_ = q.group_key_layout;
+  for (const auto& d : q.dims) {
+    plan.dim_tables_.push_back(d.dim);
+    plan.dim_rows_.push_back(d.dim->num_rows());
+  }
+  plan.grouped = !q.group_key_layout.empty();
+
+  // ---- group-code layout, fact-side parts first (fresh-pipeline order).
+  std::vector<std::vector<int>> dim_group_cols(q.dims.size());
+  if (plan.grouped) {
+    plan.parts.reserve(q.group_key_layout.size());
+    for (const auto& [dim_idx, col] : q.group_key_layout) {
+      PlanLabelPart part;
+      part.dim_idx = dim_idx;
+      part.col = col;
+      if (dim_idx >= 0) {
+        dim_group_cols[static_cast<size_t>(dim_idx)].push_back(col);
+      } else {
+        const storage::Column& c = q.fact->column(col);
+        uint64_t cardinality = 1;
+        if (c.type() == storage::ValueType::kDouble) {
+          // Unbounded ordinal space; execution takes the scalar pipeline.
+          plan.requires_scalar_ = true;
+          return plan;
+        }
+        if (c.type() == storage::ValueType::kString) {
+          part.is_string = true;
+          cardinality = static_cast<uint64_t>(
+              std::max<int32_t>(c.dictionary()->size(), 1));
+        } else {
+          const auto& data = c.int64_data();
+          if (!data.empty()) {
+            auto [lo, hi] = std::minmax_element(data.begin(), data.end());
+            part.base = *lo;
+            uint64_t range =
+                static_cast<uint64_t>(*hi) - static_cast<uint64_t>(*lo);
+            if (range >= (uint64_t{1} << 62)) {
+              plan.requires_scalar_ = true;
+              return plan;
+            }
+            cardinality = range + 1;
+          }
+        }
+        part.field = plan.layout.AddField(cardinality);
+      }
+      plan.parts.push_back(part);
+    }
+  }
+
+  // ---- per-dimension scaffolds.
+  plan.dims.resize(q.dims.size());
+  plan.fact_dim_row.resize(q.dims.size());
+  for (size_t i = 0; i < q.dims.size(); ++i) {
+    const query::DimBinding& d = q.dims[i];
+    PlanDim& pd = plan.dims[i];
+    const auto& keys = d.dim->column(d.dim_pk_col).int64_data();
+    pd.num_rows = static_cast<int32_t>(keys.size());
+
+    // Memoized domain-ordinal tables for the query's own predicate columns.
+    for (const auto& pred : d.predicates) {
+      if (pred.column_index < 0 ||
+          pred.column_index >= d.dim->schema().num_fields()) {
+        return Status::InvalidArgument("predicate has bad column index");
+      }
+      bool have = false;
+      for (const auto& t : pd.ordinal_tables) {
+        if (t.column_index == pred.column_index && t.domain == pred.domain) {
+          have = true;
+          break;
+        }
+      }
+      if (have) continue;
+      PlanDim::OrdinalTable table;
+      table.column_index = pred.column_index;
+      table.domain = pred.domain;
+      DPSTARJ_ASSIGN_OR_RETURN(
+          table.ordinals,
+          ComputeDomainIndexes(d.dim->column(pred.column_index), pred.domain));
+      pd.ordinal_tables.push_back(std::move(table));
+    }
+
+    // Group ordinals over *all* rows, first-occurrence order.
+    const std::vector<int>& group_cols = dim_group_cols[i];
+    if (!group_cols.empty()) {
+      pd.group_ordinal.resize(keys.size());
+      std::map<std::vector<int64_t>, int32_t> ordinal_of;
+      std::vector<int64_t> combo(group_cols.size());
+      for (size_t r = 0; r < keys.size(); ++r) {
+        for (size_t c = 0; c < group_cols.size(); ++c) {
+          combo[c] =
+              CellKey(d.dim->column(group_cols[c]), static_cast<int64_t>(r));
+        }
+        auto [it, inserted] = ordinal_of.emplace(
+            combo, static_cast<int32_t>(pd.rep_rows.size()));
+        if (inserted) pd.rep_rows.push_back(static_cast<int64_t>(r));
+        pd.group_ordinal[r] = it->second;
+      }
+      pd.field =
+          plan.layout.AddField(std::max<uint64_t>(pd.rep_rows.size(), 1));
+    }
+
+    // FK→row resolution for every fact row (the expensive probe, paid once).
+    std::vector<int32_t> row_payload(keys.size());
+    for (size_t r = 0; r < keys.size(); ++r) {
+      row_payload[r] = static_cast<int32_t>(r);
+    }
+    auto built = KeyIndex::Build(keys, row_payload);
+    if (!built.ok()) {
+      return Status::InvalidArgument(
+          Format("duplicate primary key in dimension '%s': %s", d.table.c_str(),
+                 built.status().message().c_str()));
+    }
+    const KeyIndex index = std::move(*built);
+    const int64_t* fk = q.fact->column(d.fact_fk_col).int64_data().data();
+    std::vector<int32_t>& rows = plan.fact_dim_row[i];
+    rows.resize(static_cast<size_t>(plan.fact_rows_));
+    const int32_t sentinel = pd.num_rows;
+    for (int64_t r = 0; r < plan.fact_rows_; ++r) {
+      int32_t dr = index.Lookup(fk[r]);
+      rows[static_cast<size_t>(r)] = dr == KeyIndex::kAbsent ? sentinel : dr;
+    }
+  }
+
+  if (plan.grouped) {
+    for (auto& part : plan.parts) {
+      if (part.dim_idx >= 0) {
+        part.field = plan.dims[static_cast<size_t>(part.dim_idx)].field;
+      }
+    }
+    if (!plan.layout.Fits()) {
+      // Scalar execution re-derives everything from the query; drop the
+      // scaffolds already built so the cached plan is just identity fields.
+      plan.requires_scalar_ = true;
+      plan.dims.clear();
+      plan.dims.shrink_to_fit();
+      plan.fact_dim_row.clear();
+      plan.fact_dim_row.shrink_to_fit();
+      plan.parts.clear();
+      return plan;
+    }
+    plan.code_space = plan.layout.CodeSpace();
+
+    // Pre-pack the complete group code of every fact row: dimension ordinal
+    // fields (via the resolved row, 0 for absent FKs — such rows never pass)
+    // plus fact-side key fields.
+    plan.codes.assign(static_cast<size_t>(plan.fact_rows_), 0);
+    for (size_t i = 0; i < plan.dims.size(); ++i) {
+      const PlanDim& pd = plan.dims[i];
+      if (pd.field < 0) continue;
+      const int32_t* rows = plan.fact_dim_row[i].data();
+      const int32_t* ordinals = pd.group_ordinal.data();
+      const int32_t sentinel = pd.num_rows;
+      for (int64_t r = 0; r < plan.fact_rows_; ++r) {
+        int32_t dr = rows[r];
+        if (dr == sentinel) continue;
+        plan.codes[static_cast<size_t>(r)] |= plan.layout.Pack(
+            pd.field, static_cast<uint64_t>(ordinals[dr]));
+      }
+    }
+    for (const auto& part : plan.parts) {
+      if (part.dim_idx >= 0) continue;
+      const storage::Column& c = q.fact->column(part.col);
+      if (part.is_string) {
+        const int32_t* code = c.code_data().data();
+        for (int64_t r = 0; r < plan.fact_rows_; ++r) {
+          plan.codes[static_cast<size_t>(r)] |=
+              plan.layout.Pack(part.field, static_cast<uint64_t>(code[r]));
+        }
+      } else {
+        const int64_t* i64 = c.int64_data().data();
+        for (int64_t r = 0; r < plan.fact_rows_; ++r) {
+          plan.codes[static_cast<size_t>(r)] |= plan.layout.Pack(
+              part.field, static_cast<uint64_t>(i64[r] - part.base));
+        }
+      }
+    }
+  }
+
+  // Per-row aggregate weights (fact measures are predicate-independent).
+  if (!q.measure_cols.empty()) {
+    plan.weights.assign(static_cast<size_t>(plan.fact_rows_), 0.0);
+    for (const auto& [col, coeff] : q.measure_cols) {
+      storage::Column::NumericView view = q.fact->column(col).numeric_view();
+      const double c = coeff;
+      for (int64_t r = 0; r < plan.fact_rows_; ++r) {
+        plan.weights[static_cast<size_t>(r)] += c * view[r];
+      }
+    }
+  }
+
+  // Run-sorted layout for dense code spaces: stable counting sort of fact
+  // rows by group code, so warm executions aggregate each group in one
+  // sequential sweep.
+  if (plan.grouped && plan.code_space.has_value() &&
+      *plan.code_space <= GroupAccumulator::kDenseLimit) {
+    const int64_t space = static_cast<int64_t>(*plan.code_space);
+    plan.run_offsets.assign(static_cast<size_t>(space) + 1, 0);
+    for (int64_t r = 0; r < plan.fact_rows_; ++r) {
+      ++plan.run_offsets[static_cast<size_t>(plan.codes[static_cast<size_t>(r)]) + 1];
+    }
+    for (int64_t c = 0; c < space; ++c) {
+      plan.run_offsets[static_cast<size_t>(c) + 1] +=
+          plan.run_offsets[static_cast<size_t>(c)];
+    }
+    std::vector<int64_t> cursor(plan.run_offsets.begin(),
+                                plan.run_offsets.end() - 1);
+    plan.sorted_dim_row.resize(plan.dims.size());
+    for (auto& v : plan.sorted_dim_row) {
+      v.resize(static_cast<size_t>(plan.fact_rows_));
+    }
+    if (!plan.weights.empty()) {
+      plan.sorted_weights.resize(static_cast<size_t>(plan.fact_rows_));
+    }
+    for (int64_t r = 0; r < plan.fact_rows_; ++r) {
+      const int64_t pos = cursor[static_cast<size_t>(plan.codes[static_cast<size_t>(r)])]++;
+      for (size_t i = 0; i < plan.dims.size(); ++i) {
+        plan.sorted_dim_row[i][static_cast<size_t>(pos)] =
+            plan.fact_dim_row[i][static_cast<size_t>(r)];
+      }
+      if (!plan.weights.empty()) {
+        plan.sorted_weights[static_cast<size_t>(pos)] =
+            plan.weights[static_cast<size_t>(r)];
+      }
+    }
+
+    // Pre-render the label of every code that can ever produce a group (its
+    // run is non-empty), merging codes that render identically. A group-
+    // bearing dimension with zero rows means no fact row can ever pass (all
+    // FKs resolve to its sentinel), so nothing is renderable — and its empty
+    // rep_rows must not be indexed.
+    bool renderable = true;
+    for (const auto& part : plan.parts) {
+      if (part.dim_idx >= 0 &&
+          plan.dims[static_cast<size_t>(part.dim_idx)].rep_rows.empty()) {
+        renderable = false;
+        break;
+      }
+    }
+    plan.label_of_code.assign(static_cast<size_t>(space), -1);
+    std::map<std::string, std::vector<int64_t>> codes_of_label;
+    std::string label;
+    for (int64_t code = 0; renderable && code < space; ++code) {
+      if (plan.run_offsets[static_cast<size_t>(code)] ==
+          plan.run_offsets[static_cast<size_t>(code) + 1]) {
+        continue;
+      }
+      label.clear();
+      for (const auto& part : plan.parts) {
+        if (!label.empty()) label += kGroupKeyDelimiter;
+        uint64_t ordinal =
+            plan.layout.Extract(static_cast<uint64_t>(code), part.field);
+        if (part.dim_idx >= 0) {
+          const PlanDim& pd = plan.dims[static_cast<size_t>(part.dim_idx)];
+          const query::DimBinding& d = q.dims[static_cast<size_t>(part.dim_idx)];
+          label += d.dim->column(part.col)
+                       .GetValue(pd.rep_rows[ordinal])
+                       .ToString();
+        } else if (part.is_string) {
+          label += q.fact->column(part.col).dictionary()->At(
+              static_cast<int32_t>(ordinal));
+        } else {
+          label += std::to_string(part.base + static_cast<int64_t>(ordinal));
+        }
+      }
+      codes_of_label[label].push_back(code);
+    }
+    plan.group_labels.reserve(codes_of_label.size());
+    for (auto& [label_key, code_list] : codes_of_label) {
+      const int32_t slot = static_cast<int32_t>(plan.group_labels.size());
+      plan.group_labels.push_back(label_key);
+      for (int64_t code : code_list) {
+        plan.label_of_code[static_cast<size_t>(code)] = slot;
+      }
+    }
+    plan.has_sorted_runs = true;
+  }
+  return plan;
+}
+
+size_t ScanPlan::ApproxBytes() const {
+  size_t bytes = sizeof(ScanPlan);
+  for (const auto& v : fact_dim_row) bytes += v.capacity() * sizeof(int32_t);
+  for (const auto& v : sorted_dim_row) bytes += v.capacity() * sizeof(int32_t);
+  bytes += codes.capacity() * sizeof(uint64_t);
+  bytes += weights.capacity() * sizeof(double);
+  bytes += sorted_weights.capacity() * sizeof(double);
+  bytes += run_offsets.capacity() * sizeof(int64_t);
+  bytes += label_of_code.capacity() * sizeof(int32_t);
+  for (const auto& s : group_labels) bytes += sizeof(s) + s.capacity();
+  for (const auto& d : dims) {
+    bytes += d.group_ordinal.capacity() * sizeof(int32_t);
+    bytes += d.rep_rows.capacity() * sizeof(int64_t);
+    for (const auto& t : d.ordinal_tables) {
+      bytes += t.ordinals.capacity() * sizeof(int64_t);
+    }
+  }
+  return bytes;
+}
+
+bool ScanPlan::Matches(const query::BoundQuery& q) const {
+  if (q.fact != fact_ || q.fact->num_rows() != fact_rows_) return false;
+  if (q.dims.size() != dim_tables_.size()) return false;
+  for (size_t i = 0; i < q.dims.size(); ++i) {
+    if (q.dims[i].dim != dim_tables_[i] ||
+        q.dims[i].dim->num_rows() != dim_rows_[i]) {
+      return false;
+    }
+  }
+  // The canonical key sorts dimensions and measure terms, so two equivalent
+  // spellings can reach the same cache slot with different internal order;
+  // execution order affects inexact float association, so require the exact
+  // shape the plan was compiled for (a mismatch just recompiles).
+  return q.measure_cols == measure_cols_ &&
+         q.group_key_layout == group_key_layout_;
+}
+
+Result<std::vector<uint64_t>> BuildPassBitmap(
+    const PlanDim& pd, const storage::Table& dim,
+    const std::vector<query::BoundPredicate>& preds) {
+  const int64_t rows = pd.num_rows;
+  // Byte-wise evaluation first: one branchless compare chain per predicate
+  // over the memoized ordinal table — the autovectorizable inner loop.
+  std::vector<uint8_t> pass(static_cast<size_t>(rows), 1);
+  std::vector<int64_t> fresh;  // ordinals computed for non-memoized predicates
+  for (const auto& pred : preds) {
+    if (pred.column_index < 0 ||
+        pred.column_index >= dim.schema().num_fields()) {
+      return Status::InvalidArgument("predicate has bad column index");
+    }
+    const std::vector<int64_t>* ordinals = nullptr;
+    for (const auto& t : pd.ordinal_tables) {
+      if (t.column_index == pred.column_index && t.domain == pred.domain) {
+        ordinals = &t.ordinals;
+        break;
+      }
+    }
+    if (ordinals == nullptr) {
+      DPSTARJ_ASSIGN_OR_RETURN(
+          fresh,
+          ComputeDomainIndexes(dim.column(pred.column_index), pred.domain));
+      ordinals = &fresh;
+    }
+    // lo clamped to 0 so out-of-domain cells (ordinal -1) always fail,
+    // matching the fresh pipeline's `ordinal >= 0 && Matches(ordinal)`.
+    const int64_t lo = std::max<int64_t>(pred.lo_index, 0);
+    const int64_t hi = pred.hi_index;
+    const int64_t* o = ordinals->data();
+    for (int64_t r = 0; r < rows; ++r) {
+      pass[static_cast<size_t>(r)] &=
+          static_cast<uint8_t>((o[r] >= lo) & (o[r] <= hi));
+    }
+  }
+  // Pack into words; bit `rows` (the absent-FK sentinel) stays 0.
+  std::vector<uint64_t> words(static_cast<size_t>((rows + 1 + 63) / 64), 0);
+  for (int64_t r = 0; r < rows; ++r) {
+    words[static_cast<size_t>(r >> 6)] |=
+        static_cast<uint64_t>(pass[static_cast<size_t>(r)]) << (r & 63);
+  }
+  return words;
+}
+
+}  // namespace dpstarj::exec

@@ -1,0 +1,160 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// ScanPlan — the reusable, predicate-independent scaffold of a bound
+// star-join query. DP-starJ's Predicate Mechanism answers every noisy run by
+// re-executing the *same* bound query with perturbed predicate bounds only,
+// so everything that does not depend on predicate values is compiled once:
+//
+//   * FK→dimension-row resolution: one int32 per (fact row, dimension),
+//     with referential misses mapped to a per-dimension sentinel row whose
+//     predicate bit is permanently 0 — the hash/offset-table probe of the
+//     fresh pipeline disappears entirely from the per-execution scan;
+//   * the GROUP BY code layout, the per-dimension group ordinals (assigned
+//     over *all* dimension rows, so they never shift when predicates move),
+//     and the fully pre-packed uint64 group code of every fact row;
+//   * the per-row aggregate weight (measure terms are fact columns);
+//   * memoized domain-ordinal tables for the query's predicate columns, the
+//     inputs of per-execution predicate evaluation.
+//
+// What remains per execution is the cheap part: one *predicate bitmap* per
+// dimension — bit r = "dimension row r passes every effective predicate" —
+// built from the ordinal tables with branchless, autovectorizable compares
+// and packed into uint64 words, then a fact scan that is just gathers into
+// those bitmaps plus the pre-packed code/weight arrays.
+//
+// Plans are immutable after Compile and safe to share across threads; see
+// exec/plan_cache.h for the canonical-keyed cache with invalidation.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/group_code.h"
+#include "query/binder.h"
+
+namespace dpstarj::exec {
+
+/// \brief One dimension's predicate-independent scaffold.
+struct PlanDim {
+  /// Dimension row count. Row id `num_rows` is the absent-FK sentinel: it has
+  /// no ordinal and its bit in every predicate bitmap is 0.
+  int32_t num_rows = 0;
+
+  /// row → dense group ordinal over the dimension's GROUP BY columns (empty
+  /// when the dimension contributes no group keys). Ordinals are assigned in
+  /// first-occurrence row order over all rows — predicate-independent.
+  std::vector<int32_t> group_ordinal;
+  /// ordinal → representative dimension row (for label rendering).
+  std::vector<int64_t> rep_rows;
+  /// GroupCodeLayout field of this dimension, -1 when it has no group cols.
+  int field = -1;
+
+  /// Memoized row → domain-ordinal table for one predicate column.
+  struct OrdinalTable {
+    int column_index = -1;
+    storage::AttributeDomain domain;
+    std::vector<int64_t> ordinals;  ///< -1 = value outside the domain
+  };
+  /// One table per distinct (column, domain) among the query's own
+  /// predicates. Overrides that keep column and domain (the Predicate
+  /// Mechanism always does) evaluate against these; others compute fresh.
+  std::vector<OrdinalTable> ordinal_tables;
+};
+
+/// \brief One rendered group-key part, in declared GROUP BY order.
+struct PlanLabelPart {
+  int dim_idx = -1;  ///< -1 = fact column
+  int col = -1;
+  int field = -1;          ///< layout field
+  bool is_string = false;  ///< fact parts: dictionary-coded column
+  int64_t base = 0;        ///< fact int64 parts: ordinal = value - base
+};
+
+/// \brief Compiled scaffold of one bound star-join query.
+class ScanPlan {
+ public:
+  /// \brief Compiles `q`. Costs about one fresh execution (one fact pass plus
+  /// the per-dimension index builds) and is amortized by every later run.
+  static Result<ScanPlan> Compile(const query::BoundQuery& q);
+
+  /// \brief True when the plan was compiled against exactly the tables (by
+  /// identity *and* row count — tables are append-only) and the aggregate
+  /// shape of `q`. A false return means the plan is stale and must be
+  /// recompiled; executing a stale plan is refused.
+  bool Matches(const query::BoundQuery& q) const;
+
+  /// The GROUP BY key set could not be packed into a 64-bit code; execution
+  /// must take the scalar pipeline (no scaffold is built in this case).
+  bool requires_scalar() const { return requires_scalar_; }
+
+  /// Approximate heap footprint of the scaffold arrays (for the cache's
+  /// byte budget; labels and small per-dimension tables included).
+  size_t ApproxBytes() const;
+
+  // --- scaffold data, read by the executor's plan path -------------------
+  bool grouped = false;
+  GroupCodeLayout layout;
+  std::vector<PlanLabelPart> parts;
+  std::optional<uint64_t> code_space;
+  std::vector<PlanDim> dims;
+
+  /// Per dimension: fact row → dimension row, absent FKs → dims[i].num_rows.
+  std::vector<std::vector<int32_t>> fact_dim_row;
+  /// Pre-packed group code per fact row (empty when !grouped).
+  std::vector<uint64_t> codes;
+  /// Per-row aggregate weight (empty = COUNT, weight 1.0).
+  std::vector<double> weights;
+
+  /// Run-sorted scaffold, built for grouped queries whose code space fits the
+  /// dense accumulator: fact rows stably partitioned by group code (counting
+  /// sort, so rows stay in scan order within a run). The warm scan then
+  /// sweeps each code's run once and emits one aggregate per group —
+  /// sequential accumulator writes instead of a random read-modify-write per
+  /// fact row, and per-group sums that associate in row order (the
+  /// single-thread fresh-build order) at *any* worker count.
+  bool has_sorted_runs = false;
+  /// code → begin of its run in the sorted arrays (size code_space + 1).
+  std::vector<int64_t> run_offsets;
+  /// Per dimension: fact_dim_row permuted into run order.
+  std::vector<std::vector<int32_t>> sorted_dim_row;
+  /// weights permuted into run order (empty = COUNT).
+  std::vector<double> sorted_weights;
+
+  /// Labels too are predicate-independent, so the run-sorted scaffold
+  /// pre-renders them: the sorted unique label of every code whose run is
+  /// non-empty, and code → label slot (-1 for empty runs). Warm executions
+  /// never touch a string — they aggregate per label slot and emit the
+  /// result map in pre-sorted order. Distinct codes may share a label (two
+  /// doubles rendering identically); they merge into one slot, matching the
+  /// fresh pipeline's merge-by-label semantics.
+  std::vector<std::string> group_labels;
+  std::vector<int32_t> label_of_code;
+
+  int64_t fact_rows() const { return fact_rows_; }
+
+ private:
+  bool requires_scalar_ = false;
+
+  // Identity for Matches(): the exact tables and aggregate shape compiled.
+  std::shared_ptr<storage::Table> fact_;
+  int64_t fact_rows_ = 0;
+  std::vector<std::shared_ptr<storage::Table>> dim_tables_;
+  std::vector<int64_t> dim_rows_;
+  std::vector<std::pair<int, double>> measure_cols_;
+  std::vector<std::pair<int, int>> group_key_layout_;
+};
+
+/// \brief Builds one dimension's per-execution predicate bitmap: bit r = row
+/// r passes every predicate in `preds`, packed into uint64 words covering
+/// rows [0, num_rows] with the sentinel bit (num_rows) always 0. Evaluation
+/// is branchless over the plan's memoized ordinal tables (computing a fresh
+/// table when a predicate's column/domain is not memoized).
+Result<std::vector<uint64_t>> BuildPassBitmap(
+    const PlanDim& pd, const storage::Table& dim,
+    const std::vector<query::BoundPredicate>& preds);
+
+}  // namespace dpstarj::exec

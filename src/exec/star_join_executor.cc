@@ -280,6 +280,91 @@ struct ScanPartial {
   int error_dim = -1;
 };
 
+// First strict-integrity violation across workers (scan order), or row -1.
+std::pair<int64_t, int> FirstStrictError(const std::vector<ScanPartial>& partials) {
+  int64_t error_row = -1;
+  int error_dim = -1;
+  for (const auto& p : partials) {
+    if (p.error_row >= 0 && (error_row < 0 || p.error_row < error_row)) {
+      error_row = p.error_row;
+      error_dim = p.error_dim;
+    }
+  }
+  return {error_row, error_dim};
+}
+
+Status StrictErrorStatus(const query::BoundQuery& q, int64_t error_row,
+                         int error_dim) {
+  int64_t key = q.fact->column(q.dims[static_cast<size_t>(error_dim)].fact_fk_col)
+                    .int64_data()[static_cast<size_t>(error_row)];
+  return Status::InvalidArgument(
+      Format("fact row %lld: foreign key %lld misses dimension '%s'",
+             static_cast<long long>(error_row), static_cast<long long>(key),
+             q.dims[static_cast<size_t>(error_dim)].table.c_str()));
+}
+
+// Folds worker partials of a non-grouped scan, in worker order.
+QueryResult FinalizeScalar(const std::vector<ScanPartial>& partials, bool is_avg) {
+  QueryResult result;
+  double scalar = 0.0;
+  int64_t rows = 0;
+  for (const auto& p : partials) {
+    scalar += p.scalar;
+    rows += p.rows;
+  }
+  result.scalar =
+      is_avg ? (rows > 0 ? scalar / static_cast<double>(rows) : 0.0) : scalar;
+  return result;
+}
+
+// Renders labels once per group and merges by label (distinct codes can
+// render identically, e.g. two doubles formatting the same) — exactly the
+// legacy per-row semantics. `rep_rows[dim]` maps a dimension's group ordinal
+// to a representative dimension row.
+QueryResult RenderGroupedResult(
+    const query::BoundQuery& q, const GroupCodeLayout& layout,
+    const std::vector<PlanLabelPart>& parts,
+    const std::vector<const std::vector<int64_t>*>& rep_rows,
+    const GroupAccumulator& merged, bool is_avg) {
+  QueryResult result;
+  result.grouped = true;
+  std::map<std::string, GroupAgg> by_label;
+  std::string label;
+  merged.ForEach([&](uint64_t code, const GroupAgg& agg) {
+    label.clear();
+    for (const auto& part : parts) {
+      if (!label.empty()) label += kGroupKeyDelimiter;
+      if (part.dim_idx >= 0) {
+        uint64_t ordinal = layout.Extract(code, part.field);
+        const query::DimBinding& d = q.dims[static_cast<size_t>(part.dim_idx)];
+        label += RenderCell(
+            d.dim->column(part.col),
+            (*rep_rows[static_cast<size_t>(part.dim_idx)])[ordinal]);
+      } else if (part.is_string) {
+        label += q.fact->column(part.col).dictionary()->At(
+            static_cast<int32_t>(layout.Extract(code, part.field)));
+      } else {
+        label += std::to_string(
+            part.base + static_cast<int64_t>(layout.Extract(code, part.field)));
+      }
+    }
+    GroupAgg& slot = by_label[label];
+    slot.sum += agg.sum;
+    slot.rows += agg.rows;
+  });
+  for (const auto& [label_key, agg] : by_label) {
+    result.groups[label_key] =
+        is_avg ? agg.sum / static_cast<double>(agg.rows) : agg.sum;
+  }
+  return result;
+}
+
+// Resolves the worker count for a fact scan of `fact_rows` rows.
+int ResolveWorkers(const ExecutorOptions& options, int64_t fact_rows) {
+  return MorselPool::ResolveWorkers(options.exec_threads, options.morsel_size,
+                                    fact_rows);
+}
+
 }  // namespace
 
 Result<QueryResult> StarJoinExecutor::Execute(const query::BoundQuery& q) const {
@@ -378,18 +463,7 @@ Result<QueryResult> StarJoinExecutor::Execute(
 
   // ---- the morsel-parallel fact scan.
   const int64_t fact_rows = q.fact->num_rows();
-  int num_workers = options_.exec_threads;
-  if (num_workers <= 0) {
-    num_workers = static_cast<int>(
-        std::max(1u, std::thread::hardware_concurrency()));
-  }
-  const int64_t morsels =
-      options_.morsel_size > 0
-          ? (fact_rows + options_.morsel_size - 1) / options_.morsel_size
-          : 1;
-  num_workers = static_cast<int>(
-      std::min<int64_t>(std::max(num_workers, 1), std::max<int64_t>(morsels, 1)));
-
+  const int num_workers = ResolveWorkers(options_, fact_rows);
   const size_t num_dims = q.dims.size();
   const bool strict = options_.strict_integrity;
   std::vector<ScanPartial> partials(static_cast<size_t>(num_workers));
@@ -453,74 +527,228 @@ Result<QueryResult> StarJoinExecutor::Execute(
 
   // ---- deterministic merge, in worker order.
   if (strict) {
-    int64_t error_row = -1;
-    int error_dim = -1;
-    for (const auto& p : partials) {
-      if (p.error_row >= 0 && (error_row < 0 || p.error_row < error_row)) {
-        error_row = p.error_row;
-        error_dim = p.error_dim;
-      }
-    }
-    if (error_row >= 0) {
-      int64_t key = dims[static_cast<size_t>(error_dim)].fk[error_row];
-      return Status::InvalidArgument(
-          Format("fact row %lld: foreign key %lld misses dimension '%s'",
-                 static_cast<long long>(error_row), static_cast<long long>(key),
-                 q.dims[static_cast<size_t>(error_dim)].table.c_str()));
-    }
+    auto [error_row, error_dim] = FirstStrictError(partials);
+    if (error_row >= 0) return StrictErrorStatus(q, error_row, error_dim);
   }
 
-  QueryResult result;
-  result.grouped = grouped;
   const bool is_avg = q.query.aggregate == query::AggregateKind::kAvg;
-  if (!grouped) {
-    double scalar = 0.0;
-    int64_t rows = 0;
-    for (const auto& p : partials) {
-      scalar += p.scalar;
-      rows += p.rows;
-    }
-    result.scalar = is_avg ? (rows > 0 ? scalar / static_cast<double>(rows) : 0.0)
-                           : scalar;
-    return result;
-  }
+  if (!grouped) return FinalizeScalar(partials, is_avg);
 
   GroupAccumulator& merged = *partials[0].groups;
   for (size_t i = 1; i < partials.size(); ++i) {
     merged.MergeFrom(*partials[i].groups);
   }
 
-  // ---- render labels once per group. Distinct codes can render to the same
-  // label (e.g. two doubles formatting identically), so totals are merged by
-  // label before the AVG division — exactly the legacy per-row semantics.
-  std::map<std::string, GroupAgg> by_label;
-  std::string label;
-  merged.ForEach([&](uint64_t code, const GroupAgg& agg) {
-    label.clear();
-    for (const auto& part : parts) {
-      if (!label.empty()) label += kGroupKeyDelimiter;
-      if (part.dim_idx >= 0) {
-        const VecDim& vd = dims[static_cast<size_t>(part.dim_idx)];
-        uint64_t ordinal = layout.Extract(code, part.field);
-        const query::DimBinding& d = q.dims[static_cast<size_t>(part.dim_idx)];
-        label += RenderCell(d.dim->column(part.col), vd.rep_rows[ordinal]);
-      } else if (part.is_string) {
-        label += q.fact->column(part.col).dictionary()->At(
-            static_cast<int32_t>(layout.Extract(code, part.field)));
+  std::vector<PlanLabelPart> render_parts;
+  render_parts.reserve(parts.size());
+  for (const auto& part : parts) {
+    PlanLabelPart rp;
+    rp.dim_idx = part.dim_idx;
+    rp.col = part.col;
+    rp.field = part.field;
+    rp.is_string = part.is_string;
+    rp.base = part.base;
+    render_parts.push_back(rp);
+  }
+  std::vector<const std::vector<int64_t>*> rep_rows(num_dims);
+  for (size_t i = 0; i < num_dims; ++i) rep_rows[i] = &dims[i].rep_rows;
+  return RenderGroupedResult(q, layout, render_parts, rep_rows, merged, is_avg);
+}
+
+Result<QueryResult> StarJoinExecutor::Execute(const query::BoundQuery& q,
+                                              const PredicateOverrides& overrides,
+                                              const ScanPlan& plan) const {
+  if (!overrides.empty() && overrides.size() != q.dims.size()) {
+    return Status::InvalidArgument(
+        Format("override arity %zu != dimension count %zu", overrides.size(),
+               q.dims.size()));
+  }
+  // Plans carry no scaffold when grouping cannot pack into 64 bits; the
+  // scalar pipeline re-derives everything from the query each run.
+  if (options_.force_scalar || plan.requires_scalar()) {
+    return ExecuteScalar(q, overrides, options_);
+  }
+  if (!plan.Matches(q)) {
+    return Status::InvalidArgument(
+        "scan plan is stale for this query (a table changed since compile); "
+        "recompile via PlanCache::GetOrCompile");
+  }
+
+  const size_t num_dims = q.dims.size();
+  const bool grouped = plan.grouped;
+
+  // ---- the cheap per-execution part: one predicate bitmap per dimension.
+  std::vector<std::vector<uint64_t>> bitmaps(num_dims);
+  for (size_t i = 0; i < num_dims; ++i) {
+    DPSTARJ_ASSIGN_OR_RETURN(
+        bitmaps[i], BuildPassBitmap(plan.dims[i], *q.dims[i].dim,
+                                    *EffectivePreds(q, overrides, i)));
+  }
+
+  const int64_t fact_rows = plan.fact_rows();
+  const int num_workers = ResolveWorkers(options_, fact_rows);
+  const bool strict = options_.strict_integrity;
+  const bool is_avg = q.query.aggregate == query::AggregateKind::kAvg;
+
+  // ---- run-sorted fast path (grouped, dense code space, non-strict): sweep
+  // each group's pre-partitioned run once and emit a single aggregate into
+  // its pre-rendered label slot — sequential reads, no random accumulator
+  // traffic, and no string work at all. Per-group sums associate in row
+  // order, so results are identical at every worker count for exact
+  // aggregates and reproducible for inexact ones.
+  if (grouped && plan.has_sorted_runs && !strict) {
+    const int64_t code_space = static_cast<int64_t>(*plan.code_space);
+    const size_t num_labels = plan.group_labels.size();
+    const int64_t* offsets = plan.run_offsets.data();
+    const int32_t* label_of = plan.label_of_code.data();
+    const double* sorted_w =
+        plan.sorted_weights.empty() ? nullptr : plan.sorted_weights.data();
+    std::vector<const int32_t*> sorted_rows(num_dims);
+    std::vector<const uint64_t*> words(num_dims);
+    for (size_t i = 0; i < num_dims; ++i) {
+      sorted_rows[i] = plan.sorted_dim_row[i].data();
+      words[i] = bitmaps[i].data();
+    }
+    // Workers are sized by the real work — the fact rows inside the runs —
+    // then clamped to the number of code morsels actually available.
+    const int64_t code_morsel = std::max<int64_t>(
+        code_space / (int64_t{std::max(num_workers, 1)} * 8) + 1, 64);
+    const int64_t code_morsels = (code_space + code_morsel - 1) / code_morsel;
+    const int sweep_workers = static_cast<int>(std::min<int64_t>(
+        std::max(num_workers, 1), std::max<int64_t>(code_morsels, 1)));
+    std::vector<std::vector<GroupAgg>> label_partials(
+        static_cast<size_t>(sweep_workers), std::vector<GroupAgg>(num_labels));
+    auto sweep = [&](int worker, int64_t code_begin, int64_t code_end) {
+      std::vector<GroupAgg>& aggs = label_partials[static_cast<size_t>(worker)];
+      for (int64_t code = code_begin; code < code_end; ++code) {
+        const int64_t begin = offsets[code];
+        const int64_t end = offsets[code + 1];
+        if (begin == end) continue;
+        double sum = 0.0;
+        int64_t rows = 0;
+        for (int64_t j = begin; j < end; ++j) {
+          uint64_t ok = 1;
+          for (size_t i = 0; i < num_dims; ++i) {
+            int32_t dr = sorted_rows[i][j];
+            ok &= words[i][dr >> 6] >> (dr & 63);
+          }
+          if ((ok & 1) == 0) continue;
+          sum += sorted_w != nullptr ? sorted_w[j] : 1.0;
+          ++rows;
+        }
+        if (rows > 0) {
+          GroupAgg& agg = aggs[static_cast<size_t>(label_of[code])];
+          agg.sum += sum;
+          agg.rows += rows;
+        }
+      }
+    };
+    MorselPool::Shared().Run(sweep_workers, code_space, code_morsel, sweep);
+
+    // Labels are pre-sorted, so the result map builds in O(groups) with an
+    // end hint instead of O(groups log groups) comparisons.
+    QueryResult result;
+    result.grouped = true;
+    for (size_t li = 0; li < num_labels; ++li) {
+      GroupAgg total;
+      for (const auto& aggs : label_partials) {  // worker order: deterministic
+        total.sum += aggs[li].sum;
+        total.rows += aggs[li].rows;
+      }
+      if (total.rows == 0) continue;
+      result.groups.emplace_hint(
+          result.groups.end(), plan.group_labels[li],
+          is_avg ? total.sum / static_cast<double>(total.rows) : total.sum);
+    }
+    return result;
+  }
+
+  std::vector<ScanPartial> partials(static_cast<size_t>(num_workers));
+  if (grouped) {
+    const uint64_t dense_limit =
+        static_cast<uint64_t>(fact_rows / num_workers) * 4 + 1024;
+    for (auto& p : partials) {
+      p.groups = std::make_unique<GroupAccumulator>(plan.code_space, dense_limit);
+    }
+  }
+
+  std::vector<const int32_t*> dim_rows(num_dims);
+  std::vector<const uint64_t*> pass_words(num_dims);
+  std::vector<int32_t> sentinels(num_dims);
+  for (size_t i = 0; i < num_dims; ++i) {
+    dim_rows[i] = plan.fact_dim_row[i].data();
+    pass_words[i] = bitmaps[i].data();
+    sentinels[i] = plan.dims[i].num_rows;
+  }
+  const uint64_t* codes = plan.codes.data();
+  const double* weights = plan.weights.empty() ? nullptr : plan.weights.data();
+
+  // The scan is pure gathers: resolved dimension rows index into the pass
+  // bitmaps (an absent FK hits the sentinel bit, which is always 0), and the
+  // group code and weight are pre-packed per row. Strict mode takes a
+  // separate branchy loop because it must distinguish "absent" from
+  // "filtered" at the exact (row, dimension) the fresh pipeline would.
+  auto scan = [&](int worker, int64_t begin, int64_t end) {
+    ScanPartial& p = partials[static_cast<size_t>(worker)];
+    if (p.error_row >= 0) return;
+    if (strict) {
+      for (int64_t row = begin; row < end; ++row) {
+        bool pass = true;
+        for (size_t i = 0; i < num_dims; ++i) {
+          int32_t dr = dim_rows[i][row];
+          if (dr == sentinels[i]) {
+            p.error_row = row;
+            p.error_dim = static_cast<int>(i);
+            return;
+          }
+          if (((pass_words[i][dr >> 6] >> (dr & 63)) & 1) == 0) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) continue;
+        const double w = weights != nullptr ? weights[row] : 1.0;
+        if (!grouped) {
+          p.scalar += w;
+          p.rows += 1;
+        } else {
+          p.groups->Add(codes[row], w);
+        }
+      }
+      return;
+    }
+    for (int64_t row = begin; row < end; ++row) {
+      uint64_t ok = 1;
+      for (size_t i = 0; i < num_dims; ++i) {
+        int32_t dr = dim_rows[i][row];
+        ok &= pass_words[i][dr >> 6] >> (dr & 63);
+      }
+      if ((ok & 1) == 0) continue;
+      const double w = weights != nullptr ? weights[row] : 1.0;
+      if (!grouped) {
+        p.scalar += w;
+        p.rows += 1;
       } else {
-        label += std::to_string(
-            part.base + static_cast<int64_t>(layout.Extract(code, part.field)));
+        p.groups->Add(codes[row], w);
       }
     }
-    GroupAgg& slot = by_label[label];
-    slot.sum += agg.sum;
-    slot.rows += agg.rows;
-  });
-  for (const auto& [label_key, agg] : by_label) {
-    result.groups[label_key] =
-        is_avg ? agg.sum / static_cast<double>(agg.rows) : agg.sum;
+  };
+  MorselPool::Shared().Run(num_workers, fact_rows, options_.morsel_size, scan);
+
+  if (strict) {
+    auto [error_row, error_dim] = FirstStrictError(partials);
+    if (error_row >= 0) return StrictErrorStatus(q, error_row, error_dim);
   }
-  return result;
+
+  if (!grouped) return FinalizeScalar(partials, is_avg);
+
+  GroupAccumulator& merged = *partials[0].groups;
+  for (size_t i = 1; i < partials.size(); ++i) {
+    merged.MergeFrom(*partials[i].groups);
+  }
+  std::vector<const std::vector<int64_t>*> rep_rows(num_dims);
+  for (size_t i = 0; i < num_dims; ++i) rep_rows[i] = &plan.dims[i].rep_rows;
+  return RenderGroupedResult(q, plan.layout, plan.parts, rep_rows, merged, is_avg);
 }
 
 }  // namespace dpstarj::exec

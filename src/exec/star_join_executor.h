@@ -22,6 +22,7 @@
 
 #include "common/result.h"
 #include "exec/query_result.h"
+#include "exec/scan_plan.h"
 #include "query/binder.h"
 
 namespace dpstarj::exec {
@@ -69,6 +70,23 @@ class StarJoinExecutor {
   /// Evaluates with per-dimension predicate overrides (for DP mechanisms).
   Result<QueryResult> Execute(const query::BoundQuery& q,
                               const PredicateOverrides& overrides) const;
+
+  /// \brief Evaluates against a pre-compiled ScanPlan (see exec/scan_plan.h):
+  /// only the per-dimension predicate bitmaps are rebuilt, and the fact scan
+  /// is gathers into them plus the plan's pre-packed codes and weights — the
+  /// repeated-noisy-execution fast path of the Predicate Mechanism. The plan
+  /// must have been compiled for `q`'s tables (checked; a stale plan is
+  /// refused rather than silently mis-answered).
+  ///
+  /// Equivalence with the fresh-build Execute: exact aggregates (COUNT,
+  /// integer-valued SUM) are bit-identical at every thread count; inexact
+  /// grouped SUMs follow the plan's run-sorted sweep, which associates each
+  /// group's additions in row order — the fresh pipeline's single-thread
+  /// order — at any worker count. Strict-integrity violations are reported
+  /// with the exact row/dimension/message of the fresh pipeline.
+  Result<QueryResult> Execute(const query::BoundQuery& q,
+                              const PredicateOverrides& overrides,
+                              const ScanPlan& plan) const;
 
   const ExecutorOptions& options() const { return options_; }
 

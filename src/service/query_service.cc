@@ -13,8 +13,11 @@ namespace {
 
 // Resolves the per-engine executor thread count so the pool's workers share
 // the machine instead of oversubscribing it: N engines × T exec threads is
-// kept ≤ the hardware thread count (with a floor of 1 each).
-core::DpStarJoinOptions ResolveEngineOptions(const ServiceOptions& options) {
+// kept ≤ the hardware thread count (with a floor of 1 each). Every engine is
+// pointed at the service's shared plan cache unless the caller supplied one.
+core::DpStarJoinOptions ResolveEngineOptions(
+    const ServiceOptions& options,
+    const std::shared_ptr<exec::PlanCache>& shared_plans) {
   core::DpStarJoinOptions engine = options.engine;
   const int hardware =
       std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
@@ -23,6 +26,7 @@ core::DpStarJoinOptions ResolveEngineOptions(const ServiceOptions& options) {
   int requested = options.exec_threads_per_engine;
   if (requested <= 0) requested = fair_share;
   engine.executor.exec_threads = std::min(requested, fair_share);
+  if (engine.plan_cache == nullptr) engine.plan_cache = shared_plans;
   return engine;
 }
 
@@ -31,21 +35,28 @@ core::DpStarJoinOptions ResolveEngineOptions(const ServiceOptions& options) {
 std::string ServiceStats::ToString() const {
   return Format(
       "submitted %llu, completed %llu, failed %llu, rejected %llu | "
-      "cache: %llu hits / %llu misses (%.1f%% hit rate), eps saved %.4g",
+      "cache: %llu hits / %llu misses (%.1f%% hit rate), eps saved %.4g | "
+      "plans: %llu hits / %llu misses, %llu invalidated",
       static_cast<unsigned long long>(submitted),
       static_cast<unsigned long long>(completed),
       static_cast<unsigned long long>(failed),
       static_cast<unsigned long long>(rejected_budget),
       static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.misses), 100.0 * cache.HitRate(),
-      cache.epsilon_saved);
+      cache.epsilon_saved, static_cast<unsigned long long>(plan_cache.hits),
+      static_cast<unsigned long long>(plan_cache.misses),
+      static_cast<unsigned long long>(plan_cache.invalidations));
 }
 
 QueryService::QueryService(const storage::Catalog* catalog, ServiceOptions options)
     : ledger_(options.default_tenant_budget),
       cache_(options.cache_capacity),
+      plan_cache_(options.engine.plan_cache != nullptr
+                      ? options.engine.plan_cache
+                      : std::make_shared<exec::PlanCache>(
+                            options.plan_cache_capacity)),
       pool_(catalog, options.num_engines, options.queue_capacity,
-            ResolveEngineOptions(options)) {}
+            ResolveEngineOptions(options, plan_cache_)) {}
 
 QueryService::~QueryService() { Shutdown(); }
 
@@ -159,6 +170,7 @@ ServiceStats QueryService::Stats() const {
   stats.failed = failed_.load();
   stats.rejected_budget = rejected_budget_.load();
   stats.cache = cache_.GetStats();
+  stats.plan_cache = plan_cache_->GetStats();
   return stats;
 }
 

@@ -32,6 +32,7 @@
 
 #include "common/result.h"
 #include "core/dp_star_join.h"
+#include "exec/plan_cache.h"
 #include "exec/query_result.h"
 #include "service/answer_cache.h"
 #include "service/budget_ledger.h"
@@ -59,9 +60,16 @@ struct ServiceOptions {
   /// them. Explicit values are clamped to the same bound. The resolved value
   /// overrides `engine.executor.exec_threads`.
   int exec_threads_per_engine = 0;
+  /// Entries in the shared compiled-plan cache (see exec/plan_cache.h). All
+  /// pool engines share one cache, so whichever engine first answers a query
+  /// compiles its ScanPlan and every engine's later noisy executions of that
+  /// query (fresh ε spends included — plans are ε-independent scaffolding)
+  /// only rebuild predicate bitmaps. 0 disables plan caching.
+  size_t plan_cache_capacity = exec::PlanCache::kDefaultCapacity;
   /// Engine configuration (seed, PMA tunables, workload strategy, executor
   /// tuning). The `total_budget` field is ignored — budgets belong to the
-  /// ledger — and `executor.exec_threads` is overridden as described above.
+  /// ledger — `executor.exec_threads` is overridden as described above, and
+  /// `plan_cache` (when null) is replaced by the service's shared cache.
   core::DpStarJoinOptions engine;
 };
 
@@ -72,6 +80,7 @@ struct ServiceStats {
   uint64_t failed = 0;            ///< admitted but failed (ε refunded)
   uint64_t rejected_budget = 0;   ///< refused at admission (ledger)
   AnswerCache::Stats cache;       ///< hit/miss/ε-saved accounting
+  exec::PlanCache::Stats plan_cache;  ///< compiled-plan reuse accounting
 
   /// Human-readable one-stop summary.
   std::string ToString() const;
@@ -126,6 +135,8 @@ class QueryService {
   const BudgetLedger& ledger() const { return ledger_; }
   /// The noisy-answer cache.
   const AnswerCache& cache() const { return cache_; }
+  /// The shared compiled-plan cache (all pool engines point at it).
+  const exec::PlanCache& plan_cache() const { return *plan_cache_; }
 
   /// Stops accepting queries, drains the queue, joins the workers.
   /// Idempotent; also run by the destructor.
@@ -142,6 +153,8 @@ class QueryService {
 
   BudgetLedger ledger_;
   AnswerCache cache_;
+  /// Declared before pool_: the engines capture it at construction.
+  std::shared_ptr<exec::PlanCache> plan_cache_;
   EnginePool pool_;
 
   std::atomic<uint64_t> submitted_{0};

@@ -230,5 +230,126 @@ TEST_P(CubeEquivalence, MatchesExecutor) {
 
 INSTANTIATE_TEST_SUITE_P(RandomRanges, CubeEquivalence, ::testing::Range(0, 20));
 
+// Every cell of two cubes, plus totals and dropped-row accounting.
+void ExpectCubesBitIdentical(const DataCube& expected, const DataCube& got) {
+  ASSERT_EQ(expected.axes().size(), got.axes().size());
+  EXPECT_EQ(expected.num_cells(), got.num_cells());
+  EXPECT_EQ(expected.dropped_rows(), got.dropped_rows());
+  EXPECT_EQ(expected.total(), got.total());
+  std::vector<int64_t> sizes;
+  for (int a = 0; a < static_cast<int>(expected.axes().size()); ++a) {
+    sizes.push_back(expected.axes()[static_cast<size_t>(a)].domain.size());
+  }
+  std::vector<int64_t> idx(sizes.size(), 0);
+  for (int64_t cell = 0; cell < expected.num_cells(); ++cell) {
+    EXPECT_EQ(expected.CellAt(idx), got.CellAt(idx));
+    for (int a = static_cast<int>(sizes.size()) - 1; a >= 0; --a) {
+      if (++idx[static_cast<size_t>(a)] < sizes[static_cast<size_t>(a)]) break;
+      idx[static_cast<size_t>(a)] = 0;
+    }
+  }
+}
+
+TEST_F(CubeTest, VectorizedBuildMatchesLegacyBitForBit) {
+  for (bool as_sum : {false, true}) {
+    StarJoinQuery q = ToyCountQuery();
+    if (as_sum) {
+      q.aggregate = query::AggregateKind::kSum;
+      q.measure_terms = {{"qty", 1.0}};
+    }
+    auto bound = binder_.Bind(q);
+    ASSERT_TRUE(bound.ok());
+
+    CubeOptions legacy;
+    legacy.force_legacy = true;
+    auto reference = DataCube::BuildFromQueryPredicates(*bound, legacy);
+    ASSERT_TRUE(reference.ok());
+
+    for (int threads : {1, 2, 4}) {
+      CubeOptions options;
+      options.threads = threads;
+      options.morsel_size = 5;  // force several morsels on the 12-row fact
+      auto got = DataCube::BuildFromQueryPredicates(*bound, options);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ExpectCubesBitIdentical(*reference, *got);
+    }
+  }
+}
+
+TEST_F(CubeTest, DroppedRowAccountingMatchesAcrossBuilds) {
+  // D(k pk, v ∈ [0,2]) with one out-of-domain value; F references a missing
+  // key too — both kinds of rows must be dropped identically by every build.
+  storage::Catalog catalog;
+  storage::Schema dim_schema(
+      {storage::Field("k", storage::ValueType::kInt64),
+       storage::Field("v", storage::ValueType::kInt64,
+                      storage::AttributeDomain::IntRange(0, 2))});
+  auto dim = *storage::Table::Create("D", dim_schema, "k");
+  ASSERT_TRUE(dim->AppendRow({Value(int64_t{1}), Value(int64_t{0})}).ok());
+  ASSERT_TRUE(dim->AppendRow({Value(int64_t{2}), Value(int64_t{5})}).ok());  // out of domain
+  ASSERT_TRUE(dim->AppendRow({Value(int64_t{3}), Value(int64_t{2})}).ok());
+
+  storage::Schema fact_schema({storage::Field("fk", storage::ValueType::kInt64),
+                               storage::Field("m", storage::ValueType::kDouble)});
+  auto fact = *storage::Table::Create("F", fact_schema);
+  for (int64_t fk : {1, 2, 3, 99}) {  // 99 = dangling foreign key
+    ASSERT_TRUE(fact->AppendRow({Value(fk), Value(1.0)}).ok());
+  }
+  ASSERT_TRUE(catalog.AddTable(dim).ok());
+  ASSERT_TRUE(catalog.AddTable(fact).ok());
+  ASSERT_TRUE(catalog.AddForeignKey({"F", "fk", "D", "k"}).ok());
+
+  StarJoinQuery q;
+  q.fact_table = "F";
+  q.joined_tables = {"D"};
+  q.predicates.push_back(Predicate::RangeIndex("D", "v", 0, 2));
+  Binder binder(&catalog);
+  auto bound = binder.Bind(q);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+
+  CubeOptions legacy;
+  legacy.force_legacy = true;
+  auto reference = DataCube::BuildFromQueryPredicates(*bound, legacy);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(reference->dropped_rows(), 2);  // fk=2 (bad value) and fk=99
+  EXPECT_DOUBLE_EQ(reference->total(), 2.0);
+
+  for (int threads : {1, 4}) {
+    CubeOptions options;
+    options.threads = threads;
+    options.morsel_size = 2;
+    auto got = DataCube::BuildFromQueryPredicates(*bound, options);
+    ASSERT_TRUE(got.ok());
+    ExpectCubesBitIdentical(*reference, *got);
+  }
+}
+
+TEST_F(CubeTest, EvaluateBoxSweepMatchesMaskReference) {
+  auto bound = binder_.Bind(ToyCountQuery());
+  ASSERT_TRUE(bound.ok());
+  auto cube = DataCube::BuildFromQueryPredicates(*bound);
+  ASSERT_TRUE(cube.ok());
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    query::BoundPredicate p0 = bound->dims[0].predicates[0];
+    query::BoundPredicate p1 = bound->dims[1].predicates[0];
+    p0.lo_index = rng.UniformInt(0, 2);
+    p0.hi_index = rng.UniformInt(p0.lo_index, 2);
+    p1.lo_index = rng.UniformInt(0, 3);
+    p1.hi_index = rng.UniformInt(p1.lo_index, 3);
+    std::vector<const query::BoundPredicate*> preds = {&p0, &p1};
+    // Mask reference: walk every cell, apply Matches per axis.
+    double expected = 0.0;
+    for (int64_t i = 0; i < 3; ++i) {
+      for (int64_t j = 0; j < 4; ++j) {
+        if (p0.Matches(i) && p1.Matches(j)) expected += cube->CellAt({i, j});
+      }
+    }
+    auto got = cube->Evaluate(preds);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(expected, *got) << "trial " << trial;
+  }
+}
+
 }  // namespace
 }  // namespace dpstarj::exec

@@ -1,7 +1,10 @@
 // Randomized equivalence of the vectorized, morsel-parallel StarJoinExecutor
 // against the naive nested-loop reference and the legacy scalar pipeline,
 // across generated star schemas × {COUNT, SUM, AVG} × {scalar, GROUP BY} ×
-// {dense, sparse key spaces} × {1, 4, 8} exec threads.
+// {dense, sparse key spaces} × {1, 4, 8} exec threads — and of the
+// cached-ScanPlan execution path against the fresh-build path, with and
+// without predicate overrides (the Predicate Mechanism's repeated-noisy-run
+// shape), including strict-integrity error reporting.
 //
 // Every generated measure is an integer-valued double, so aggregate sums are
 // exact regardless of association order — results must match *bit-for-bit*
@@ -16,6 +19,7 @@
 #include <vector>
 
 #include "exec/naive_executor.h"
+#include "exec/plan_cache.h"
 #include "exec/star_join_executor.h"
 #include "query/binder.h"
 #include "storage/catalog.h"
@@ -229,6 +233,27 @@ std::vector<std::pair<std::string, ExecutorOptions>> Pipelines(bool strict) {
   return out;
 }
 
+// Random per-dimension predicate replacements in domain-index space — the
+// shape the Predicate Mechanism feeds the executor every noisy run.
+exec::PredicateOverrides MakeRandomOverrides(std::mt19937& rng,
+                                             const query::BoundQuery& bound) {
+  exec::PredicateOverrides overrides(bound.dims.size());
+  for (size_t i = 0; i < bound.dims.size(); ++i) {
+    if (bound.dims[i].predicates.empty()) continue;
+    if (RandInt(rng, 0, 2) == 0) continue;  // keep the dim's own predicates
+    std::vector<query::BoundPredicate> noisy = bound.dims[i].predicates;
+    for (auto& p : noisy) {
+      int64_t m = p.domain.size();
+      p.lo_index = RandInt(rng, 0, m - 1);
+      p.hi_index = RandInt(rng, p.lo_index, m - 1);
+      p.kind = p.lo_index == p.hi_index ? query::PredicateKind::kPoint
+                                        : query::PredicateKind::kRange;
+    }
+    overrides[i] = std::move(noisy);
+  }
+  return overrides;
+}
+
 TEST(ExecutorEquivalence, RandomizedMatrixMatchesNaiveBitForBit) {
   for (uint32_t seed = 1; seed <= 40; ++seed) {
     std::mt19937 rng(seed);
@@ -248,6 +273,42 @@ TEST(ExecutorEquivalence, RandomizedMatrixMatchesNaiveBitForBit) {
                            "seed " + std::to_string(seed) + " query " +
                                std::to_string(qi) + " pipeline " + name);
       }
+
+      // Cached-plan path: compile once, execute repeatedly at every thread
+      // count; plans are stateless, so results match the naive reference
+      // bit-for-bit on every repetition.
+      auto plan = exec::ScanPlan::Compile(*bound);
+      ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+      const exec::PredicateOverrides none(bound->dims.size());
+      for (const auto& [name, options] : Pipelines(/*strict=*/false)) {
+        StarJoinExecutor executor(options);
+        for (int rep = 0; rep < 2; ++rep) {
+          auto got = executor.Execute(*bound, none, *plan);
+          ASSERT_TRUE(got.ok()) << name << ": " << got.status().ToString();
+          ExpectBitIdentical(*naive, *got,
+                             "seed " + std::to_string(seed) + " query " +
+                                 std::to_string(qi) + " plan pipeline " + name);
+        }
+      }
+
+      // Overridden-predicate equivalence: the plan path must agree with the
+      // fresh-build path on the same override set (the PM repeated-run case).
+      for (int oi = 0; oi < 3; ++oi) {
+        exec::PredicateOverrides overrides = MakeRandomOverrides(rng, *bound);
+        StarJoinExecutor fresh_executor;
+        auto fresh = fresh_executor.Execute(*bound, overrides);
+        ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+        for (const auto& [name, options] : Pipelines(/*strict=*/false)) {
+          StarJoinExecutor executor(options);
+          if (options.force_scalar) continue;  // fresh vectorized reference
+          auto got = executor.Execute(*bound, overrides, *plan);
+          ASSERT_TRUE(got.ok()) << name << ": " << got.status().ToString();
+          ExpectBitIdentical(*fresh, *got,
+                             "seed " + std::to_string(seed) + " query " +
+                                 std::to_string(qi) + " override " +
+                                 std::to_string(oi) + " pipeline " + name);
+        }
+      }
     }
   }
 }
@@ -262,19 +323,26 @@ TEST(ExecutorEquivalence, StrictIntegrityMissesAgreeAcrossPipelines) {
     ASSERT_TRUE(bound.ok()) << bound.status().ToString();
 
     // All pipelines must fail, and the parallel ones must report the same
-    // (first) violating row as the sequential scan.
+    // (first) violating row as the sequential scan — the cached-plan path
+    // included (dropped-row accounting is part of the equivalence contract).
+    auto plan = exec::ScanPlan::Compile(*bound);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    const exec::PredicateOverrides none(bound->dims.size());
     std::string expected_message;
     for (const auto& [name, options] : Pipelines(/*strict=*/true)) {
       StarJoinExecutor executor(options);
-      auto got = executor.Execute(*bound);
-      ASSERT_FALSE(got.ok()) << name << " seed " << seed;
-      EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument) << name;
-      if (expected_message.empty()) {
-        expected_message = got.status().message();
-        EXPECT_NE(expected_message.find("misses dimension"), std::string::npos);
-      } else {
-        EXPECT_EQ(expected_message, got.status().message())
-            << name << " seed " << seed;
+      for (bool use_plan : {false, true}) {
+        auto got = use_plan ? executor.Execute(*bound, none, *plan)
+                            : executor.Execute(*bound);
+        ASSERT_FALSE(got.ok()) << name << " seed " << seed;
+        EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument) << name;
+        if (expected_message.empty()) {
+          expected_message = got.status().message();
+          EXPECT_NE(expected_message.find("misses dimension"), std::string::npos);
+        } else {
+          EXPECT_EQ(expected_message, got.status().message())
+              << name << " seed " << seed << " plan=" << use_plan;
+        }
       }
     }
 
@@ -286,6 +354,10 @@ TEST(ExecutorEquivalence, StrictIntegrityMissesAgreeAcrossPipelines) {
       auto got = executor.Execute(*bound);
       ASSERT_TRUE(got.ok()) << name;
       ExpectBitIdentical(*naive, *got, name + " seed " + std::to_string(seed));
+      auto got_plan = executor.Execute(*bound, none, *plan);
+      ASSERT_TRUE(got_plan.ok()) << name;
+      ExpectBitIdentical(*naive, *got_plan,
+                         name + " plan seed " + std::to_string(seed));
     }
   }
 }

@@ -1,0 +1,358 @@
+// PlanCache + ScanPlan behavior: cached-plan execution equals fresh-build
+// execution bit-for-bit, invalidation fires when a table grows, equivalent
+// query spellings share one plan, the cache is safe under concurrent use
+// (run under TSan via the build-tsan / CI TSan configuration), and the plan
+// path never changes Predicate Mechanism noise semantics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/predicate_mechanism.h"
+#include "exec/plan_cache.h"
+#include "exec/star_join_executor.h"
+#include "query/binder.h"
+#include "service/query_service.h"
+#include "test_catalog.h"
+
+namespace dpstarj {
+namespace {
+
+using exec::PlanCache;
+using exec::PredicateOverrides;
+using exec::QueryResult;
+using exec::ScanPlan;
+using exec::StarJoinExecutor;
+using storage::Value;
+using testing_fixture::MakeToyCatalog;
+using testing_fixture::ToyCountQuery;
+
+void ExpectBitIdentical(const QueryResult& expected, const QueryResult& got) {
+  EXPECT_EQ(expected.grouped, got.grouped);
+  EXPECT_EQ(expected.scalar, got.scalar);
+  ASSERT_EQ(expected.groups.size(), got.groups.size());
+  auto it = got.groups.begin();
+  for (const auto& [label, value] : expected.groups) {
+    EXPECT_EQ(label, it->first);
+    EXPECT_EQ(value, it->second) << "group " << label;
+    ++it;
+  }
+}
+
+query::StarJoinQuery ToyGroupedQuery() {
+  query::StarJoinQuery q = ToyCountQuery();
+  q.name = "toy_grouped";
+  q.aggregate = query::AggregateKind::kSum;
+  q.measure_terms = {{"qty", 1.0}};
+  q.group_by = {{"Cust", "region"}, {"Prod", "cat"}};
+  return q;
+}
+
+TEST(PlanCacheTest, CachedPlanMatchesFreshExecutionAndCountsHits) {
+  storage::Catalog catalog = MakeToyCatalog();
+  query::Binder binder(&catalog);
+  PlanCache cache(8);
+  StarJoinExecutor executor;
+
+  for (const auto& q : {ToyCountQuery(), ToyGroupedQuery()}) {
+    auto bound = binder.Bind(q);
+    ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+    auto fresh = executor.Execute(*bound);
+    ASSERT_TRUE(fresh.ok());
+
+    auto plan = cache.GetOrCompile(*bound);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    for (int rep = 0; rep < 3; ++rep) {
+      auto got = executor.Execute(*bound, PredicateOverrides(bound->dims.size()),
+                                  **plan);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ExpectBitIdentical(*fresh, *got);
+    }
+    auto again = cache.GetOrCompile(*bound);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->get(), plan->get());  // same shared plan object
+  }
+  PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.invalidations, 0u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCacheTest, InvalidatesWhenATableGrows) {
+  storage::Catalog catalog = MakeToyCatalog();
+  query::Binder binder(&catalog);
+  PlanCache cache(8);
+  StarJoinExecutor executor;
+
+  auto bound = binder.Bind(ToyCountQuery());
+  ASSERT_TRUE(bound.ok());
+  auto plan = cache.GetOrCompile(*bound);
+  ASSERT_TRUE(plan.ok());
+  auto before = executor.Execute(*bound, PredicateOverrides(bound->dims.size()),
+                                 **plan);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->scalar, 2.0);  // fixture ground truth
+
+  // Append a matching fact row (and a new customer it references): the
+  // cached plan's row counts are stale now.
+  auto cust = catalog.GetTable("Cust");
+  ASSERT_TRUE(cust.ok());
+  ASSERT_TRUE((*cust)->AppendRow({Value(int64_t{7}), Value("N"), Value(int64_t{1})}).ok());
+  auto orders = catalog.GetTable("Orders");
+  ASSERT_TRUE(orders.ok());
+  ASSERT_TRUE(
+      (*orders)
+          ->AppendRow({Value(int64_t{7}), Value(int64_t{1}), Value(int64_t{9}),
+                       Value(90.0)})
+          .ok());
+
+  // Executing the stale plan directly is refused, not silently wrong.
+  auto stale = executor.Execute(*bound, PredicateOverrides(bound->dims.size()),
+                                **plan);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kInvalidArgument);
+
+  // The cache notices and recompiles.
+  auto recompiled = cache.GetOrCompile(*bound);
+  ASSERT_TRUE(recompiled.ok());
+  EXPECT_NE(recompiled->get(), plan->get());
+  EXPECT_EQ(cache.GetStats().invalidations, 1u);
+
+  auto fresh = executor.Execute(*bound);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->scalar, 3.0);  // the appended row matches region N × cat a
+  auto got = executor.Execute(*bound, PredicateOverrides(bound->dims.size()),
+                              **recompiled);
+  ASSERT_TRUE(got.ok());
+  ExpectBitIdentical(*fresh, *got);
+}
+
+TEST(PlanCacheTest, EquivalentSpellingsShareOnePlan) {
+  storage::Catalog catalog = MakeToyCatalog();
+  query::Binder binder(&catalog);
+  PlanCache cache(8);
+  StarJoinExecutor executor;
+
+  // Same query, predicates declared in opposite order: the canonical key
+  // collapses them, so the second bind is a cache hit.
+  query::StarJoinQuery q1;
+  q1.fact_table = "Orders";
+  q1.joined_tables = {"Cust"};
+  q1.aggregate = query::AggregateKind::kCount;
+  q1.predicates.push_back(query::Predicate::Point("Cust", "region", Value("N")));
+  q1.predicates.push_back(
+      query::Predicate::Range("Cust", "tier", Value(int64_t{1}), Value(int64_t{2})));
+  query::StarJoinQuery q2 = q1;
+  std::swap(q2.predicates[0], q2.predicates[1]);
+
+  auto b1 = binder.Bind(q1);
+  auto b2 = binder.Bind(q2);
+  ASSERT_TRUE(b1.ok() && b2.ok());
+
+  auto p1 = cache.GetOrCompile(*b1);
+  auto p2 = cache.GetOrCompile(*b2);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(p1->get(), p2->get());
+  EXPECT_EQ(cache.GetStats().hits, 1u);
+
+  auto fresh = executor.Execute(*b2);
+  ASSERT_TRUE(fresh.ok());
+  auto got =
+      executor.Execute(*b2, PredicateOverrides(b2->dims.size()), **p2);
+  ASSERT_TRUE(got.ok());
+  ExpectBitIdentical(*fresh, *got);
+}
+
+TEST(PlanCacheTest, BoundIndependentKeySharesPlanAcrossFilterConstants) {
+  storage::Catalog catalog = MakeToyCatalog();
+  query::Binder binder(&catalog);
+  PlanCache cache(8);
+  StarJoinExecutor executor;
+
+  // Same logical query, four different tier ranges: the scaffold is bound-
+  // independent, so all four share one compiled plan (and each still gets
+  // its own correct answer through its own predicate bitmap).
+  std::shared_ptr<const ScanPlan> first;
+  for (int64_t hi = 1; hi <= 4; ++hi) {
+    query::StarJoinQuery q;
+    q.fact_table = "Orders";
+    q.joined_tables = {"Cust"};
+    q.aggregate = query::AggregateKind::kCount;
+    q.predicates.push_back(query::Predicate::Range(
+        "Cust", "tier", Value(int64_t{1}), Value(hi)));
+    auto bound = binder.Bind(q);
+    ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+    auto plan = cache.GetOrCompile(*bound);
+    ASSERT_TRUE(plan.ok());
+    if (first == nullptr) {
+      first = *plan;
+    } else {
+      EXPECT_EQ(first.get(), plan->get()) << "hi=" << hi;
+    }
+    auto fresh = executor.Execute(*bound);
+    auto got =
+        executor.Execute(*bound, PredicateOverrides(bound->dims.size()), **plan);
+    ASSERT_TRUE(fresh.ok() && got.ok());
+    ExpectBitIdentical(*fresh, *got);
+  }
+  EXPECT_EQ(cache.GetStats().misses, 1u);
+  EXPECT_EQ(cache.GetStats().hits, 3u);
+}
+
+TEST(PlanCacheTest, EmptyGroupByDimensionCompilesAndAnswersEmpty) {
+  // A grouped query joining a dimension with zero rows: every fact row
+  // resolves to the absent sentinel, so the answer is empty — the plan path
+  // must agree with the fresh pipeline instead of touching empty rep_rows.
+  storage::Catalog catalog;
+  storage::Schema dim_schema(
+      {storage::Field("k", storage::ValueType::kInt64),
+       storage::Field("v", storage::ValueType::kInt64,
+                      storage::AttributeDomain::IntRange(0, 2))});
+  auto dim = *storage::Table::Create("D", dim_schema, "k");  // left empty
+  storage::Schema fact_schema({storage::Field("fk", storage::ValueType::kInt64),
+                               storage::Field("m", storage::ValueType::kInt64)});
+  auto fact = *storage::Table::Create("F", fact_schema);
+  for (int64_t r = 0; r < 5; ++r) {
+    ASSERT_TRUE(fact->AppendRow({Value(r), Value(int64_t{1})}).ok());
+  }
+  ASSERT_TRUE(catalog.AddTable(dim).ok());
+  ASSERT_TRUE(catalog.AddTable(fact).ok());
+  ASSERT_TRUE(catalog.AddForeignKey({"F", "fk", "D", "k"}).ok());
+
+  query::StarJoinQuery q;
+  q.fact_table = "F";
+  q.joined_tables = {"D"};
+  q.aggregate = query::AggregateKind::kSum;
+  q.measure_terms = {{"m", 1.0}};
+  q.group_by = {{"D", "v"}};
+  query::Binder binder(&catalog);
+  auto bound = binder.Bind(q);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+
+  StarJoinExecutor executor;
+  auto fresh = executor.Execute(*bound);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh->groups.empty());
+
+  PlanCache cache(4);
+  auto plan = cache.GetOrCompile(*bound);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto got =
+      executor.Execute(*bound, PredicateOverrides(bound->dims.size()), **plan);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectBitIdentical(*fresh, *got);
+}
+
+TEST(PlanCacheTest, ConcurrentSharedCacheIsSafe) {
+  storage::Catalog catalog = MakeToyCatalog();
+  query::Binder binder(&catalog);
+  auto cache = std::make_shared<PlanCache>(4);
+
+  auto bound_count = binder.Bind(ToyCountQuery());
+  auto bound_group = binder.Bind(ToyGroupedQuery());
+  ASSERT_TRUE(bound_count.ok() && bound_group.ok());
+  StarJoinExecutor executor;
+  auto expect_count = executor.Execute(*bound_count);
+  auto expect_group = executor.Execute(*bound_group);
+  ASSERT_TRUE(expect_count.ok() && expect_group.ok());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t]() {
+      const query::BoundQuery& bound = t % 2 == 0 ? *bound_count : *bound_group;
+      const QueryResult& expected = t % 2 == 0 ? *expect_count : *expect_group;
+      StarJoinExecutor local;
+      for (int i = 0; i < 50; ++i) {
+        if (t == 0 && i % 16 == 7) cache->Clear();  // exercise the clear race
+        auto plan = cache->GetOrCompile(bound);
+        if (!plan.ok()) {
+          ++failures;
+          continue;
+        }
+        auto got = local.Execute(bound, PredicateOverrides(bound.dims.size()),
+                                 **plan);
+        if (!got.ok() || got->scalar != expected.scalar ||
+            got->groups != expected.groups) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(PlanCacheTest, PlanPathDoesNotChangePmNoiseSemantics) {
+  storage::Catalog catalog = MakeToyCatalog();
+  query::Binder binder(&catalog);
+
+  for (const auto& q : {ToyCountQuery(), ToyGroupedQuery()}) {
+    auto bound = binder.Bind(q);
+    ASSERT_TRUE(bound.ok());
+
+    // The mechanism's (cached-plan) answer must be bit-identical to manually
+    // drawing the same noise and executing fresh: plan reuse is pure
+    // post-processing of an identical noisy query.
+    core::PredicateMechanism pm;
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      Rng mech_rng(seed);
+      auto via_pm = pm.Answer(*bound, 0.7, &mech_rng);
+      ASSERT_TRUE(via_pm.ok()) << via_pm.status().ToString();
+
+      Rng manual_rng(seed);
+      auto overrides = pm.PerturbPredicates(*bound, 0.7, &manual_rng);
+      ASSERT_TRUE(overrides.ok());
+      StarJoinExecutor fresh_executor;
+      auto via_fresh = fresh_executor.Execute(*bound, *overrides);
+      ASSERT_TRUE(via_fresh.ok());
+      ExpectBitIdentical(*via_fresh, *via_pm);
+    }
+  }
+}
+
+TEST(PlanCacheTest, DisabledCacheBypassesPlanCompilation) {
+  storage::Catalog catalog = MakeToyCatalog();
+  query::Binder binder(&catalog);
+  auto bound = binder.Bind(ToyCountQuery());
+  ASSERT_TRUE(bound.ok());
+
+  // Capacity 0 = "no plan reuse": Answer must take the fresh-build pipeline
+  // instead of compiling throwaway scaffolds (the cache sees no traffic).
+  auto disabled = std::make_shared<PlanCache>(0);
+  core::PredicateMechanism pm({}, {}, disabled);
+  Rng rng(3);
+  auto r = pm.Answer(*bound, 0.5, &rng);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(disabled->GetStats().misses, 0u);
+  EXPECT_EQ(disabled->GetStats().hits, 0u);
+}
+
+TEST(PlanCacheTest, ServiceSharesOnePlanCacheAcrossEngines) {
+  storage::Catalog catalog = MakeToyCatalog();
+  service::ServiceOptions opts;
+  opts.num_engines = 4;
+  service::QueryService svc(&catalog, opts);
+  ASSERT_TRUE(svc.RegisterTenant("t", 100.0).ok());
+
+  const char* sql =
+      "SELECT count(*) FROM Orders, Cust, Prod "
+      "WHERE Orders.ck = Cust.ck AND Orders.pk = Prod.pk "
+      "AND Cust.region = 'N' AND Prod.cat = 'a'";
+  // Distinct ε per call defeats the noisy-answer replay cache, so every call
+  // actually executes — and all engines reuse the single compiled plan.
+  for (int i = 0; i < 12; ++i) {
+    auto r = svc.Answer(sql, 0.1 + 0.01 * i, "t");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  service::ServiceStats stats = svc.Stats();
+  EXPECT_EQ(stats.plan_cache.misses, 1u);
+  EXPECT_EQ(stats.plan_cache.hits, 11u);
+  EXPECT_GE(svc.plan_cache().size(), 1u);
+}
+
+}  // namespace
+}  // namespace dpstarj
