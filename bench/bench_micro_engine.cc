@@ -186,14 +186,7 @@ std::vector<ExecConfig> ComparisonConfigs() {
   return configs;
 }
 
-// Thread-scaling numbers are only meaningful up to the host's core count;
-// configs requesting more get a self-explaining annotation in the JSON.
-std::string HostScalingNote(int threads) {
-  const int hw = static_cast<int>(
-      std::max(1u, std::thread::hardware_concurrency()));
-  if (threads <= hw) return "";
-  return " [" + std::to_string(hw) + "-core host]";
-}
+using bench_util::HostScalingNote;
 
 double SharedMinSec() {
   return bench_util::EnvDouble("DPSTARJ_MICRO_MIN_SEC", 0.3);

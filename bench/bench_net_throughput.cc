@@ -1,0 +1,231 @@
+// Throughput of the HTTP front door: queries/sec over the wire vs concurrent
+// client connections, against an in-process epoll server backed by the full
+// QueryService stack (ledger admission, answer cache, engine pool). Two
+// workloads, mirroring bench_service_throughput: cache-miss (every query
+// distinct — full bind + Predicate Mechanism per request) and cache-replay
+// (8 distinct queries — the wire and dispatch overhead dominate).
+//
+//   $ ./bench_net_throughput [--json BENCH_net.json]
+//
+// Environment knobs:
+//   DPSTARJ_NET_ROWS     fact-table rows            (default 100000)
+//   DPSTARJ_NET_QUERIES  queries per data point     (default 1024)
+//   DPSTARJ_NET_CONNS    max client connections     (default 8)
+//   DPSTARJ_NET_ENGINES  service engine pool size   (default 4)
+//
+// Clients retry on 429 (the TrySubmit queue-full signal) with a short
+// backoff; the retry count is reported so saturation is visible.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_util/experiment.h"
+#include "bench_util/table_printer.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "net/client.h"
+#include "net/http_server.h"
+#include "net/service_api.h"
+#include "service/query_service.h"
+#include "storage/catalog.h"
+
+using namespace dpstarj;
+
+namespace {
+
+// Same synthetic two-dimension star schema as bench_service_throughput: one
+// query is a few ms of bind + join + mechanism work.
+storage::Catalog MakeBenchCatalog(int64_t fact_rows) {
+  using storage::AttributeDomain;
+  using storage::Field;
+  using storage::Value;
+  using storage::ValueType;
+
+  constexpr int64_t kDimRows = 1000;
+  storage::Schema dim_schema({Field("dk", ValueType::kInt64),
+                              Field("bucket", ValueType::kInt64,
+                                    AttributeDomain::IntRange(1, kDimRows))});
+  auto dim = *storage::Table::Create("Dim", dim_schema, "dk");
+  for (int64_t i = 0; i < kDimRows; ++i) {
+    DPSTARJ_CHECK(dim->AppendRow({Value(i + 1), Value(i + 1)}).ok(), "bench dim");
+  }
+
+  storage::Schema fact_schema(
+      {Field("dk", ValueType::kInt64), Field("amount", ValueType::kDouble)});
+  auto fact = *storage::Table::Create("Fact", fact_schema);
+  for (int64_t i = 0; i < fact_rows; ++i) {
+    DPSTARJ_CHECK(
+        fact->AppendRow({Value(i % kDimRows + 1), Value(double(i % 97))}).ok(),
+        "bench fact");
+  }
+
+  storage::Catalog catalog;
+  DPSTARJ_CHECK(catalog.AddTable(dim).ok(), "bench");
+  DPSTARJ_CHECK(catalog.AddTable(fact).ok(), "bench");
+  DPSTARJ_CHECK(catalog.AddForeignKey({"Fact", "dk", "Dim", "dk"}).ok(), "bench");
+  return catalog;
+}
+
+// Unlike bench_service_throughput, one service lives across every data
+// point, so miss-workload queries must be distinct across the whole sweep —
+// `n` is a global counter, not a per-point index.
+std::string DistinctQuery(int n) {
+  int lo = n % 797 + 1;
+  int hi = lo + 50 + (n / 797) % 149 + n % 37;
+  return Format(
+      "SELECT count(*) FROM Fact, Dim WHERE Fact.dk = Dim.dk "
+      "AND Dim.bucket BETWEEN %d AND %d",
+      lo, hi);
+}
+
+std::string QueryBody(const std::string& sql, double epsilon,
+                      const std::string& tenant) {
+  net::Json body = net::Json::Object();
+  body.Set("sql", net::Json::Str(sql));
+  body.Set("epsilon", net::Json::Number(epsilon));
+  body.Set("tenant", net::Json::Str(tenant));
+  return body.Dump();
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  double qps = 0.0;
+  uint64_t retries_429 = 0;
+};
+
+using bench_util::HostScalingNote;
+
+// `connections` client threads split `bodies` round-robin, each over its own
+// keep-alive connection. Every request must eventually succeed; 429s are
+// retried with a 1 ms backoff.
+RunResult RunWorkload(const std::string& host, uint16_t port, int connections,
+                      const std::vector<std::string>& bodies) {
+  std::atomic<uint64_t> retries{0};
+  std::atomic<bool> failed{false};
+  Timer timer;
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(connections));
+  for (int c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c] {
+      net::Client client(host, port);
+      for (size_t i = static_cast<size_t>(c); i < bodies.size();
+           i += static_cast<size_t>(connections)) {
+        for (;;) {
+          auto r = client.Post("/v1/query", bodies[i]);
+          if (!r.ok()) {
+            std::fprintf(stderr, "client: %s\n", r.status().ToString().c_str());
+            failed.store(true);
+            return;
+          }
+          if (r->status == 429) {
+            retries.fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            continue;
+          }
+          if (r->status != 200) {
+            std::fprintf(stderr, "client: HTTP %d %s\n", r->status,
+                         r->body.c_str());
+            failed.store(true);
+            return;
+          }
+          break;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  DPSTARJ_CHECK(!failed.load(), "bench workload had failing requests");
+  RunResult result;
+  result.seconds = timer.ElapsedSeconds();
+  result.qps = static_cast<double>(bodies.size()) / result.seconds;
+  result.retries_429 = retries.load();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonBenchWriter json(bench::JsonBenchWriter::ConsumeJsonFlag(&argc, argv));
+  const int64_t fact_rows = bench_util::EnvInt("DPSTARJ_NET_ROWS", 100000);
+  const int num_queries = bench_util::EnvInt("DPSTARJ_NET_QUERIES", 1024);
+  const int max_conns = bench_util::EnvInt("DPSTARJ_NET_CONNS", 8);
+  const int engines = bench_util::EnvInt("DPSTARJ_NET_ENGINES", 4);
+  const double kEpsilon = 0.5;
+
+  std::printf(
+      "== HTTP front-door throughput: queries/sec vs client connections "
+      "(fact rows=%lld, queries=%d, engines=%d, hardware threads=%u) ==\n\n",
+      static_cast<long long>(fact_rows), num_queries, engines,
+      std::thread::hardware_concurrency());
+
+  storage::Catalog catalog = MakeBenchCatalog(fact_rows);
+  service::ServiceOptions service_options;
+  service_options.num_engines = engines;
+  service_options.queue_capacity = 256;
+  service_options.default_tenant_budget = 1e9;
+  service::QueryService service(&catalog, service_options);
+
+  net::ServerOptions server_options;  // ephemeral port, localhost
+  server_options.handler_threads = max_conns;
+  net::HttpServer server(net::MakeServiceRouter(&service), server_options);
+  Status started = server.Start();
+  DPSTARJ_CHECK(started.ok(), started.ToString().c_str());
+
+  // --- cache-miss workload: every query distinct ---------------------------
+  bench_util::TablePrinter table(
+      {"conns", "seconds", "queries/sec", "speedup", "429 retries"});
+  double base_qps = 0.0;
+  int query_counter = 0;
+  for (int conns = 1; conns <= max_conns; conns *= 2) {
+    std::vector<std::string> miss_bodies;
+    miss_bodies.reserve(static_cast<size_t>(num_queries));
+    for (int i = 0; i < num_queries; ++i) {
+      miss_bodies.push_back(
+          QueryBody(DistinctQuery(query_counter++), kEpsilon, "bench"));
+    }
+    RunResult r = RunWorkload(server.host(), server.port(), conns, miss_bodies);
+    if (conns == 1) base_qps = r.qps;
+    table.AddRow({Format("%d", conns), Format("%.3f", r.seconds),
+                  Format("%.1f", r.qps), Format("%.2fx", r.qps / base_qps),
+                  Format("%llu", static_cast<unsigned long long>(r.retries_429))});
+    json.Add("net_throughput/miss",
+             Format("conns=%d", conns) + HostScalingNote(conns), r.qps,
+             r.seconds * 1e3);
+  }
+  std::printf("cache-miss workload (all queries distinct, over the wire):\n");
+  table.Print();
+
+  // --- cache-replay workload: wire + dispatch overhead dominates -----------
+  std::vector<std::string> hit_bodies;
+  hit_bodies.reserve(static_cast<size_t>(num_queries));
+  for (int i = 0; i < num_queries; ++i) {
+    hit_bodies.push_back(QueryBody(DistinctQuery(i % 8), kEpsilon, "bench"));
+  }
+  RunResult r = RunWorkload(server.host(), server.port(), max_conns, hit_bodies);
+  service::ServiceStats stats = service.Stats();
+  std::printf("\ncache-replay workload (8 distinct queries, %d requests, "
+              "%d connections):\n",
+              num_queries, max_conns);
+  std::printf("  %.1f queries/sec in %.3f s (%llu retries on 429)\n", r.qps,
+              r.seconds, static_cast<unsigned long long>(r.retries_429));
+  std::printf("  cache: %llu hits / %llu misses (%.1f%% hit rate), "
+              "eps saved %.4g\n",
+              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.cache.misses),
+              100.0 * stats.cache.HitRate(), stats.cache.epsilon_saved);
+  json.Add("net_throughput/replay",
+           Format("conns=%d", max_conns) + HostScalingNote(max_conns), r.qps,
+           r.seconds * 1e3);
+
+  net::ServerStats net_stats = server.GetStats();
+  std::printf("  server: %llu connections, %llu requests\n",
+              static_cast<unsigned long long>(net_stats.connections_accepted),
+              static_cast<unsigned long long>(net_stats.requests_handled));
+  server.Stop();
+  return 0;
+}

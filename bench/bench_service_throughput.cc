@@ -80,6 +80,8 @@ struct RunResult {
   double qps = 0.0;
 };
 
+using bench_util::HostScalingNote;
+
 // Submits `queries` through a fresh pool of `threads` workers and waits for
 // every answer. The submitting side runs on one thread; with a bounded queue
 // the pool's workers are the throughput bottleneck by design.
@@ -138,7 +140,8 @@ int main(int argc, char** argv) {
     if (threads == 1) base_qps = r.qps;
     table.AddRow({Format("%d", threads), Format("%.3f", r.seconds),
                   Format("%.1f", r.qps), Format("%.2fx", r.qps / base_qps)});
-    json.Add("service_throughput/miss", Format("threads=%d", threads), r.qps,
+    json.Add("service_throughput/miss",
+             Format("threads=%d", threads) + HostScalingNote(threads), r.qps,
              r.seconds * 1e3);
   }
   std::printf("cache-miss workload (all queries distinct):\n");
@@ -161,7 +164,8 @@ int main(int argc, char** argv) {
               100.0 * stats.cache.HitRate());
   std::printf("  privacy budget saved by replays: eps = %.4g (of %.4g requested)\n",
               stats.cache.epsilon_saved, kEpsilon * num_queries);
-  json.Add("service_throughput/replay", Format("threads=%d", max_threads), r.qps,
-           r.seconds * 1e3);
+  json.Add("service_throughput/replay",
+           Format("threads=%d", max_threads) + HostScalingNote(max_threads),
+           r.qps, r.seconds * 1e3);
   return 0;
 }

@@ -1,6 +1,8 @@
 // Service demo: the concurrent, multi-tenant DP query service on a tiny
 // hospital schema — tenant budgets, async submission, free cache replays,
-// and budget-exhaustion refusals.
+// budget-exhaustion refusals, and the same service behind the HTTP front
+// door (an in-process server + client round trip; `tools/dpstarj_server.cc`
+// is the standalone binary).
 //
 //   $ ./service_demo
 //
@@ -11,6 +13,9 @@
 #include <future>
 #include <vector>
 
+#include "net/client.h"
+#include "net/http_server.h"
+#include "net/service_api.h"
 #include "service/query_service.h"
 #include "storage/catalog.h"
 
@@ -108,7 +113,26 @@ Status Run() {
 
   // 6. The service accounts for everything it did.
   std::printf("stats   : %s\n", service.Stats().ToString().c_str());
-  std::printf("ledger  :\n%s", service.ledger().ToString().c_str());
+  std::printf("ledger  :\n%s\n", service.ledger().ToString().c_str());
+
+  // 7. The same service over the wire: an epoll HTTP server on an ephemeral
+  //    localhost port, spoken to with the blocking client library. POST
+  //    /v1/query goes through TrySubmit — a saturated pool answers 429
+  //    instead of blocking the connection.
+  dpstarj::net::HttpServer server(dpstarj::net::MakeServiceRouter(&service), {});
+  DPSTARJ_RETURN_NOT_OK(server.Start());
+  dpstarj::net::Client client("127.0.0.1", server.port());
+  DPSTARJ_ASSIGN_OR_RETURN(
+      auto wire_reply,
+      client.Post("/v1/query",
+                  "{\"sql\":\"" + cardio + "\",\"epsilon\":0.25,"
+                  "\"tenant\":\"research\"}"));
+  std::printf("wire    : POST /v1/query -> HTTP %d %s (a free replay)\n",
+              wire_reply.status, wire_reply.body.c_str());
+  DPSTARJ_ASSIGN_OR_RETURN(auto wire_account, client.Get("/v1/tenants/research"));
+  std::printf("wire    : GET /v1/tenants/research -> %s\n",
+              wire_account.body.c_str());
+  server.Stop();
   return Status::OK();
 }
 

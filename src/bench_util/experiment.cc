@@ -1,6 +1,8 @@
 #include "bench_util/experiment.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <thread>
 
 #include "common/math_util.h"
 #include "common/string_util.h"
@@ -63,5 +65,12 @@ int EnvInt(const char* name, int def) {
 }
 
 int DefaultRuns() { return EnvInt("DPSTARJ_RUNS", 10); }
+
+std::string HostScalingNote(int threads) {
+  const int hw =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  if (threads <= hw) return "";
+  return " [" + std::to_string(hw) + "-core host]";
+}
 
 }  // namespace dpstarj::bench_util

@@ -24,6 +24,7 @@ enum class StatusCode : int {
   kTimeLimit = 8,
   kIoError = 9,
   kParseError = 10,
+  kUnavailable = 11,
 };
 
 /// \brief Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -74,6 +75,9 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   /// @}
 

@@ -1,0 +1,147 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace dpstarj::net {
+
+Client::Client(std::string host, uint16_t port, ClientOptions options)
+    : host_(std::move(host)), port_(port), options_(options) {}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::Connect() {
+  if (fd_ >= 0) return Status::OK();
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::IoError(Format("socket: %s", std::strerror(errno)));
+
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(options_.timeout_seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (options_.timeout_seconds - std::floor(options_.timeout_seconds)) * 1e6);
+  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument(Format("bad address '%s'", host_.c_str()));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Status::IoError(Format("connect %s:%u: %s", host_.c_str(), port_,
+                                       std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+Result<HttpResponse> Client::RoundTrip(const std::string& wire) {
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Status st = Status::IoError(Format("send: %s", std::strerror(errno)));
+    Close();
+    return st;
+  }
+  HttpResponseParser parser;
+  char buf[8192];
+  for (;;) {
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      switch (parser.Feed(buf, static_cast<size_t>(n))) {
+        case HttpResponseParser::Progress::kComplete: {
+          if (!parser.keep_alive()) Close();
+          return std::move(parser.response());
+        }
+        case HttpResponseParser::Progress::kError: {
+          Status st = Status::IoError("bad response: " + parser.error());
+          Close();
+          return st;
+        }
+        case HttpResponseParser::Progress::kNeedMore:
+          continue;
+      }
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Status st = n == 0 ? Status::IoError("connection closed mid-response")
+                       : Status::IoError(Format("recv: %s", std::strerror(errno)));
+    Close();
+    return st;
+  }
+}
+
+Result<HttpResponse> Client::Request(const std::string& method,
+                                     const std::string& target,
+                                     const std::string& body,
+                                     const std::string& content_type) {
+  // Reap a kept-alive connection the server has since closed BEFORE sending:
+  // a non-blocking peek that sees EOF (or an error) proves the request was
+  // never transmitted, so reconnecting here is safe even for POST. This is
+  // the only stale-connection recovery a non-idempotent request gets — a
+  // failure AFTER the request was sent may mean the server executed it (and
+  // spent the tenant's ε), so resending could double-charge.
+  if (fd_ >= 0) {
+    char peek = 0;
+    ssize_t n = ::recv(fd_, &peek, 1, MSG_PEEK | MSG_DONTWAIT);
+    if (n == 0 ||
+        (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
+      Close();
+    }
+  }
+  const bool had_connection = fd_ >= 0;
+  DPSTARJ_RETURN_NOT_OK(Connect());
+  std::string wire =
+      SerializeRequest(method, target, Format("%s:%u", host_.c_str(), port_),
+                       body, content_type, /*keep_alive=*/true);
+  Result<HttpResponse> r = RoundTrip(wire);
+  if (!r.ok() && had_connection && method == "GET") {
+    // Idempotent request on a connection that raced with a server-side
+    // close: one resend covers it without hiding real failures.
+    DPSTARJ_RETURN_NOT_OK(Connect());
+    return RoundTrip(wire);
+  }
+  return r;
+}
+
+Result<HttpResponse> Client::Get(const std::string& target) {
+  return Request("GET", target, "", "application/json");
+}
+
+Result<HttpResponse> Client::Post(const std::string& target,
+                                  const std::string& body) {
+  return Request("POST", target, body, "application/json");
+}
+
+Result<Json> Client::ParseBody(const HttpResponse& response) {
+  return Json::Parse(response.body);
+}
+
+}  // namespace dpstarj::net

@@ -1,0 +1,70 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Client — a minimal blocking HTTP/1.1 client for the dpstarj wire protocol:
+// one TCP connection, kept alive across requests. A connection the server
+// closed between calls is detected (pre-send peek) and replaced before the
+// request is transmitted; after transmission only idempotent GETs are ever
+// resent — a failed POST may already have executed (and spent ε) server-side.
+// Used by the end-to-end tests, the network bench's load generator, and the
+// `dpstarj-server --selfcheck` smoke path.
+//
+// Not thread-safe: one Client per thread (each holds its own connection —
+// that is what makes a multi-connection load generator multi-connection).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "net/http.h"
+#include "net/json.h"
+
+namespace dpstarj::net {
+
+/// \brief Client configuration.
+struct ClientOptions {
+  /// Send/receive timeout per socket operation.
+  double timeout_seconds = 30.0;
+};
+
+/// \brief A blocking keep-alive HTTP client bound to one host:port.
+class Client {
+ public:
+  Client(std::string host, uint16_t port, ClientOptions options = {});
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// GET `target`, e.g. Get("/v1/stats").
+  Result<HttpResponse> Get(const std::string& target);
+  /// POST a JSON body to `target`.
+  Result<HttpResponse> Post(const std::string& target, const std::string& body);
+  /// Arbitrary method/body round trip.
+  Result<HttpResponse> Request(const std::string& method,
+                               const std::string& target,
+                               const std::string& body,
+                               const std::string& content_type);
+
+  /// Parses a response body as JSON (helper for protocol consumers).
+  static Result<Json> ParseBody(const HttpResponse& response);
+
+  /// Drops the connection (the next request reconnects).
+  void Close();
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+
+ private:
+  Status Connect();
+  /// One attempt on the current connection; IoError invalidates it.
+  Result<HttpResponse> RoundTrip(const std::string& wire);
+
+  std::string host_;
+  uint16_t port_;
+  ClientOptions options_;
+  int fd_ = -1;
+};
+
+}  // namespace dpstarj::net

@@ -1,0 +1,435 @@
+#include "net/http.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "net/json.h"
+
+namespace dpstarj::net {
+
+namespace {
+
+std::string_view FindHeaderIn(const std::vector<HttpHeader>& headers,
+                              std::string_view name) {
+  for (const auto& h : headers) {
+    if (EqualsIgnoreCase(h.name, name)) return h.value;
+  }
+  return {};
+}
+
+// Splits a path on '/', dropping the leading empty segment ("/a/b" → {a, b};
+// "/" → {}). Trailing slashes are not significant.
+std::vector<std::string> SplitPath(std::string_view path) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start < path.size()) {
+    if (path[start] == '/') {
+      ++start;
+      continue;
+    }
+    size_t end = path.find('/', start);
+    if (end == std::string_view::npos) end = path.size();
+    out.emplace_back(path.substr(start, end - start));
+    start = end;
+  }
+  return out;
+}
+
+// Percent-decodes one path segment (clients encode special characters in
+// request targets, e.g. "team%20a"). Invalid escapes pass through verbatim.
+// Decoding happens AFTER the path is split on '/', so an encoded %2F lands
+// inside a single captured segment instead of changing the route shape.
+std::string PercentDecode(std::string_view s) {
+  auto hex = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size() && hex(s[i + 1]) >= 0 &&
+        hex(s[i + 2]) >= 0) {
+      out += static_cast<char>(hex(s[i + 1]) * 16 + hex(s[i + 2]));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+// Resolves keep-alive from version + Connection header: HTTP/1.1 defaults to
+// keep-alive unless "close"; HTTP/1.0 requires an explicit "keep-alive".
+bool ResolveKeepAlive(const std::string& version, std::string_view connection) {
+  if (EqualsIgnoreCase(connection, "close")) return false;
+  if (version == "HTTP/1.0") return EqualsIgnoreCase(connection, "keep-alive");
+  return true;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::FindHeader(std::string_view name) const {
+  return FindHeaderIn(headers, name);
+}
+
+std::string_view HttpResponse::FindHeader(std::string_view name) const {
+  return FindHeaderIn(headers, name);
+}
+
+HttpResponse HttpResponse::MakeJson(int status, std::string body) {
+  HttpResponse r;
+  r.status = status;
+  r.body = std::move(body);
+  r.content_type = "application/json";
+  return r;
+}
+
+HttpResponse HttpResponse::MakeText(int status, std::string body) {
+  HttpResponse r;
+  r.status = status;
+  r.body = std::move(body);
+  r.content_type = "text/plain";
+  return r;
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 411: return "Length Required";
+    case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out = Format("HTTP/1.1 %d %s\r\n", response.status,
+                           HttpReasonPhrase(response.status));
+  out += Format("Content-Length: %zu\r\n", response.body.size());
+  if (!response.body.empty() || !response.content_type.empty()) {
+    out += "Content-Type: " + response.content_type + "\r\n";
+  }
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& h : response.headers) {
+    out += h.name + ": " + h.value + "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string SerializeRequest(const std::string& method, const std::string& target,
+                             const std::string& host, const std::string& body,
+                             const std::string& content_type, bool keep_alive) {
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  out += "Host: " + host + "\r\n";
+  out += Format("Content-Length: %zu\r\n", body.size());
+  if (!body.empty()) out += "Content-Type: " + content_type + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+// ------------------------------------------------------- request parser ----
+
+HttpRequestParser::HttpRequestParser(ParserLimits limits) : limits_(limits) {}
+
+HttpRequestParser::Progress HttpRequestParser::Fail(int status, std::string why) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_ = std::move(why);
+  return Progress::kError;
+}
+
+HttpRequestParser::Progress HttpRequestParser::Feed(const char* data, size_t n) {
+  if (state_ == State::kError) return Progress::kError;
+  if (state_ == State::kComplete) return Progress::kComplete;
+  buffer_.append(data, n);
+  return Pump();
+}
+
+HttpRequestParser::Progress HttpRequestParser::Pump() {
+  if (state_ == State::kError) return Progress::kError;
+  if (state_ == State::kComplete) return Progress::kComplete;
+  if (state_ == State::kHeaders) {
+    Progress p = ParseHeaders();
+    if (p != Progress::kComplete && state_ != State::kBody) return p;
+  }
+  // kBody: wait for the full Content-Length, then split off the message.
+  if (buffer_.size() < body_expected_) return Progress::kNeedMore;
+  request_.body = buffer_.substr(0, body_expected_);
+  buffer_.erase(0, body_expected_);
+  state_ = State::kComplete;
+  return Progress::kComplete;
+}
+
+HttpRequestParser::Progress HttpRequestParser::ParseHeaders() {
+  size_t header_end = buffer_.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    if (buffer_.size() > limits_.max_header_bytes) {
+      return Fail(431, "request headers exceed the configured limit");
+    }
+    return Progress::kNeedMore;
+  }
+  if (header_end > limits_.max_header_bytes) {
+    return Fail(431, "request headers exceed the configured limit");
+  }
+  std::string_view head(buffer_.data(), header_end);
+  std::vector<std::string> lines;
+  {
+    size_t start = 0;
+    while (start <= head.size()) {
+      size_t eol = head.find("\r\n", start);
+      if (eol == std::string_view::npos) eol = head.size();
+      lines.emplace_back(head.substr(start, eol - start));
+      if (eol == head.size()) break;
+      start = eol + 2;
+    }
+  }
+  if (lines.empty() || lines[0].empty()) return Fail(400, "empty request line");
+
+  // Request line: METHOD SP target SP HTTP/x.y
+  std::vector<std::string> parts = Split(lines[0], ' ');
+  if (parts.size() != 3) return Fail(400, "malformed request line");
+  std::string version = parts[2];
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Fail(505, Format("unsupported version '%s'", version.c_str()));
+  }
+  request_.method = ToUpper(parts[0]);
+  request_.target = parts[1];
+  size_t q = request_.target.find('?');
+  request_.path = request_.target.substr(0, q);
+  request_.query =
+      q == std::string::npos ? "" : request_.target.substr(q + 1);
+  if (request_.path.empty() || request_.path[0] != '/') {
+    return Fail(400, "request target must be an absolute path");
+  }
+
+  // Header lines: Name ':' OWS value. Whitespace between the name and the
+  // colon is rejected per RFC 9112 §5.1 — a proxy that trims it would see a
+  // different header than we do (smuggling primitive).
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Fail(400, Format("malformed header line '%s'", line.c_str()));
+    }
+    HttpHeader h;
+    h.name = std::string(Trim(std::string_view(line).substr(0, colon)));
+    if (h.name.size() != colon) {
+      return Fail(400, "whitespace before ':' in header name");
+    }
+    h.value = std::string(Trim(std::string_view(line).substr(colon + 1)));
+    request_.headers.push_back(std::move(h));
+  }
+  request_.keep_alive =
+      ResolveKeepAlive(version, request_.FindHeader("Connection"));
+
+  // Body framing: Content-Length only. Chunked is refused, not mis-parsed.
+  std::string_view te = request_.FindHeader("Transfer-Encoding");
+  if (!te.empty() && !EqualsIgnoreCase(te, "identity")) {
+    return Fail(501, "chunked transfer encoding is not supported");
+  }
+  // All Content-Length occurrences must agree (RFC 9110 §8.6): silently
+  // picking one of two differing values is the classic CL.CL desync a front
+  // proxy preferring the other value would smuggle requests through.
+  std::string_view cl;
+  bool has_cl = false;
+  for (const auto& h : request_.headers) {
+    if (!EqualsIgnoreCase(h.name, "Content-Length")) continue;
+    if (has_cl && cl != h.value) {
+      return Fail(400, "conflicting Content-Length headers");
+    }
+    has_cl = true;
+    cl = h.value;
+  }
+  body_expected_ = 0;
+  if (has_cl) {
+    int64_t n = 0;
+    if (!ParseInt64(cl, &n) || n < 0) {
+      return Fail(400, "invalid Content-Length");
+    }
+    if (static_cast<size_t>(n) > limits_.max_body_bytes) {
+      return Fail(413, "request body exceeds the configured limit");
+    }
+    body_expected_ = static_cast<size_t>(n);
+  }
+  buffer_.erase(0, header_end + 4);
+  state_ = State::kBody;
+  return Progress::kNeedMore;
+}
+
+void HttpRequestParser::Reset() {
+  // Keep buffer_ — it may already hold the next pipelined request.
+  state_ = State::kHeaders;
+  body_expected_ = 0;
+  request_ = HttpRequest();
+  error_status_ = 400;
+  error_.clear();
+}
+
+// ------------------------------------------------------ response parser ----
+
+HttpResponseParser::HttpResponseParser(size_t max_body_bytes)
+    : max_body_bytes_(max_body_bytes) {}
+
+HttpResponseParser::Progress HttpResponseParser::Fail(std::string why) {
+  state_ = State::kError;
+  error_ = std::move(why);
+  return Progress::kError;
+}
+
+HttpResponseParser::Progress HttpResponseParser::Feed(const char* data, size_t n) {
+  if (state_ == State::kError) return Progress::kError;
+  if (state_ == State::kComplete) return Progress::kComplete;
+  buffer_.append(data, n);
+  return Pump();
+}
+
+HttpResponseParser::Progress HttpResponseParser::Pump() {
+  if (state_ == State::kHeaders) {
+    size_t header_end = buffer_.find("\r\n\r\n");
+    if (header_end == std::string::npos) {
+      if (buffer_.size() > 64 * 1024) return Fail("response headers too large");
+      return Progress::kNeedMore;
+    }
+    std::string_view head(buffer_.data(), header_end);
+    size_t eol = head.find("\r\n");
+    std::string status_line(head.substr(0, eol == std::string_view::npos
+                                               ? head.size()
+                                               : eol));
+    // Status line: HTTP/x.y SP code SP reason.
+    std::vector<std::string> parts = Split(status_line, ' ');
+    if (parts.size() < 2 || !StartsWith(parts[0], "HTTP/")) {
+      return Fail(Format("malformed status line '%s'", status_line.c_str()));
+    }
+    int64_t code = 0;
+    if (!ParseInt64(parts[1], &code) || code < 100 || code > 599) {
+      return Fail(Format("bad status code '%s'", parts[1].c_str()));
+    }
+    response_.status = static_cast<int>(code);
+    std::string version = parts[0];
+
+    response_.headers.clear();
+    size_t start = eol == std::string_view::npos ? head.size() : eol + 2;
+    while (start < head.size()) {
+      size_t line_end = head.find("\r\n", start);
+      if (line_end == std::string_view::npos) line_end = head.size();
+      std::string_view line = head.substr(start, line_end - start);
+      start = line_end + 2;
+      size_t colon = line.find(':');
+      if (colon == std::string_view::npos || colon == 0) {
+        return Fail("malformed response header");
+      }
+      HttpHeader h;
+      h.name = std::string(Trim(line.substr(0, colon)));
+      h.value = std::string(Trim(line.substr(colon + 1)));
+      response_.headers.push_back(std::move(h));
+    }
+    keep_alive_ = ResolveKeepAlive(version, response_.FindHeader("Connection"));
+    std::string ct(response_.FindHeader("Content-Type"));
+    if (!ct.empty()) response_.content_type = ct;
+
+    std::string_view cl = response_.FindHeader("Content-Length");
+    if (cl.empty()) {
+      return Fail("response without Content-Length is not supported");
+    }
+    int64_t n = 0;
+    if (!ParseInt64(cl, &n) || n < 0) return Fail("invalid Content-Length");
+    if (static_cast<size_t>(n) > max_body_bytes_) {
+      return Fail("response body exceeds the configured limit");
+    }
+    body_expected_ = static_cast<size_t>(n);
+    buffer_.erase(0, header_end + 4);
+    state_ = State::kBody;
+  }
+  if (buffer_.size() < body_expected_) return Progress::kNeedMore;
+  response_.body = buffer_.substr(0, body_expected_);
+  buffer_.erase(0, body_expected_);
+  state_ = State::kComplete;
+  return Progress::kComplete;
+}
+
+void HttpResponseParser::Reset() {
+  state_ = State::kHeaders;
+  body_expected_ = 0;
+  response_ = HttpResponse();
+  error_.clear();
+}
+
+// ----------------------------------------------------------------- router ----
+
+void Router::Handle(std::string method, std::string pattern, Handler handler) {
+  Route route;
+  route.method = ToUpper(method);
+  route.segments = SplitPath(pattern);
+  route.handler = std::move(handler);
+  routes_.push_back(std::move(route));
+}
+
+bool Router::MatchSegments(const std::vector<std::string>& pattern,
+                           const std::vector<std::string>& path,
+                           std::map<std::string, std::string>* params) {
+  if (pattern.size() != path.size()) return false;
+  std::map<std::string, std::string> captured;
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    const std::string& seg = pattern[i];
+    if (seg.size() >= 2 && seg.front() == '<' && seg.back() == '>') {
+      captured[seg.substr(1, seg.size() - 2)] = PercentDecode(path[i]);
+    } else if (seg != path[i]) {
+      return false;
+    }
+  }
+  *params = std::move(captured);
+  return true;
+}
+
+HttpResponse Router::Dispatch(HttpRequest& request) const {
+  std::vector<std::string> path = SplitPath(request.path);
+  std::vector<std::string> allowed;
+  // Last registration wins, so scan newest-first.
+  for (auto it = routes_.rbegin(); it != routes_.rend(); ++it) {
+    std::map<std::string, std::string> params;
+    if (!MatchSegments(it->segments, path, &params)) continue;
+    if (it->method != request.method) {
+      if (std::find(allowed.begin(), allowed.end(), it->method) == allowed.end()) {
+        allowed.push_back(it->method);
+      }
+      continue;
+    }
+    request.path_params = std::move(params);
+    return it->handler(request);
+  }
+  if (!allowed.empty()) {
+    std::sort(allowed.begin(), allowed.end());
+    HttpResponse r = HttpResponse::MakeJson(
+        405, Format("{\"error\":{\"code\":\"MethodNotAllowed\","
+                    "\"message\":\"method %s not allowed\"}}",
+                    request.method.c_str()));
+    r.headers.push_back({"Allow", Join(allowed, ", ")});
+    return r;
+  }
+  return HttpResponse::MakeJson(
+      404, Format("{\"error\":{\"code\":\"NotFound\",\"message\":"
+                  "\"no route for %s\"}}",
+                  JsonEscape(request.path).c_str()));
+}
+
+}  // namespace dpstarj::net

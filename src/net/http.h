@@ -1,0 +1,200 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Dependency-free HTTP/1.1 plumbing shared by the server and the client:
+// request/response message types, incremental parsers with hard size bounds
+// (a malicious peer can never make the service buffer unbounded input), wire
+// serializers, and a small method+path router with `<param>` capture
+// segments.
+//
+// Scope is deliberately the subset the DP-starJ protocol needs: 'Content-
+// Length'-framed bodies (no chunked transfer encoding), no multipart, no
+// compression. Unsupported framing is refused with a clear status code, never
+// mis-parsed.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dpstarj::net {
+
+/// \brief One HTTP header (name matching is case-insensitive per RFC 9110).
+struct HttpHeader {
+  std::string name;
+  std::string value;
+};
+
+/// \brief A parsed HTTP request.
+struct HttpRequest {
+  std::string method;  ///< upper-cased, e.g. "GET"
+  std::string target;  ///< the raw request target, e.g. "/v1/stats?x=1"
+  std::string path;    ///< target without the query string
+  std::string query;   ///< raw query string ("" when absent)
+  std::vector<HttpHeader> headers;
+  std::string body;
+  /// Keep-alive resolved from the HTTP version and Connection header.
+  bool keep_alive = true;
+  /// `<param>` captures filled in by Router::Dispatch.
+  std::map<std::string, std::string> path_params;
+
+  /// Case-insensitive header lookup; "" when absent.
+  std::string_view FindHeader(std::string_view name) const;
+};
+
+/// \brief An HTTP response under construction or parsed from the wire.
+struct HttpResponse {
+  int status = 200;
+  std::vector<HttpHeader> headers;  ///< extra headers (Content-* are implied)
+  std::string body;
+  std::string content_type = "application/json";
+
+  /// JSON-body response.
+  static HttpResponse MakeJson(int status, std::string body);
+  /// text/plain response.
+  static HttpResponse MakeText(int status, std::string body);
+
+  /// Case-insensitive header lookup; "" when absent.
+  std::string_view FindHeader(std::string_view name) const;
+};
+
+/// The standard reason phrase for a status code ("Unknown" otherwise).
+const char* HttpReasonPhrase(int status);
+
+/// Serializes a response, emitting Content-Length/Content-Type/Connection.
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
+
+/// Serializes a request with Host/Content-Length (and Content-Type when a
+/// body is present).
+std::string SerializeRequest(const std::string& method, const std::string& target,
+                             const std::string& host, const std::string& body,
+                             const std::string& content_type, bool keep_alive);
+
+/// \brief Input bounds enforced while parsing (before any allocation grows
+/// past them).
+struct ParserLimits {
+  size_t max_header_bytes = 16 * 1024;       ///< request line + headers
+  size_t max_body_bytes = 1 * 1024 * 1024;   ///< Content-Length cap
+};
+
+/// \brief Incremental HTTP/1.1 request parser (one connection's inbound side).
+///
+/// Feed() consumes raw bytes; once it reports kComplete, request() holds the
+/// message and Reset() re-arms the parser for the next request on the same
+/// connection, preserving already-buffered pipelined bytes. On kError,
+/// error_status() is the HTTP status the server should answer with before
+/// closing (400/413/431/501/505).
+class HttpRequestParser {
+ public:
+  enum class Progress { kNeedMore, kComplete, kError };
+
+  explicit HttpRequestParser(ParserLimits limits = {});
+
+  /// Consumes `n` bytes; cheap to call with partial input.
+  Progress Feed(const char* data, size_t n);
+  /// Re-examines buffered bytes without new input (pipelined requests).
+  Progress Pump();
+
+  /// The parsed request; valid after kComplete until the next Reset/Feed.
+  HttpRequest& request() { return request_; }
+
+  /// HTTP status code to respond with after kError.
+  int error_status() const { return error_status_; }
+  /// Human-readable parse error after kError.
+  const std::string& error() const { return error_; }
+
+  /// True after a Feed/Pump reported kError.
+  bool in_error() const { return state_ == State::kError; }
+  /// True after a Feed/Pump reported kComplete (until Reset()).
+  bool is_complete() const { return state_ == State::kComplete; }
+
+  /// Discards the completed request and re-arms for the next one.
+  void Reset();
+
+  /// True when buffered bytes remain after the completed request (pipelining).
+  bool has_buffered_input() const { return !buffer_.empty(); }
+
+ private:
+  enum class State { kHeaders, kBody, kComplete, kError };
+
+  Progress Fail(int status, std::string why);
+  Progress ParseHeaders();
+
+  ParserLimits limits_;
+  State state_ = State::kHeaders;
+  std::string buffer_;       ///< unconsumed input
+  size_t body_expected_ = 0;
+  HttpRequest request_;
+  int error_status_ = 400;
+  std::string error_;
+};
+
+/// \brief Incremental HTTP/1.1 response parser (the client's inbound side).
+/// Only 'Content-Length'-framed bodies are supported — which is what the
+/// dpstarj server always emits.
+class HttpResponseParser {
+ public:
+  enum class Progress { kNeedMore, kComplete, kError };
+
+  explicit HttpResponseParser(size_t max_body_bytes = 8 * 1024 * 1024);
+
+  Progress Feed(const char* data, size_t n);
+
+  HttpResponse& response() { return response_; }
+  const std::string& error() const { return error_; }
+  /// Keep-alive as resolved from the status line + Connection header.
+  bool keep_alive() const { return keep_alive_; }
+
+  void Reset();
+
+ private:
+  enum class State { kHeaders, kBody, kComplete, kError };
+
+  Progress Fail(std::string why);
+  Progress Pump();
+
+  size_t max_body_bytes_;
+  State state_ = State::kHeaders;
+  std::string buffer_;
+  size_t body_expected_ = 0;
+  bool keep_alive_ = true;
+  HttpResponse response_;
+  std::string error_;
+};
+
+/// \brief Method + path-pattern routing table.
+///
+/// Patterns are literal segments or `<name>` captures, e.g.
+/// "/v1/tenants/<tenant>" matches "/v1/tenants/acme" and stores
+/// path_params["tenant"] = "acme". Dispatch answers 404 for an unknown path
+/// and 405 (with Allow) for a known path with the wrong method.
+class Router {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Registers a route. Later registrations win on exact duplicates.
+  void Handle(std::string method, std::string pattern, Handler handler);
+
+  /// Matches and invokes the handler, filling request.path_params.
+  HttpResponse Dispatch(HttpRequest& request) const;
+
+ private:
+  struct Route {
+    std::string method;
+    std::vector<std::string> segments;  ///< "<name>" marks a capture
+    Handler handler;
+  };
+
+  static bool MatchSegments(const std::vector<std::string>& pattern,
+                            const std::vector<std::string>& path,
+                            std::map<std::string, std::string>* params);
+
+  std::vector<Route> routes_;
+};
+
+}  // namespace dpstarj::net

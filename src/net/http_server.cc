@@ -1,0 +1,426 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "net/json.h"
+
+namespace dpstarj::net {
+
+namespace {
+
+constexpr int kEpollBatch = 64;
+/// How long WriteAll waits for a congested peer before giving up on it.
+constexpr int kWritePollTimeoutMs = 10'000;
+
+// Error-body `code` values are the library StatusCode names (the wire
+// contract documented in service_api.h), including for errors raised below
+// the router — clients switch on one vocabulary.
+const char* ParseErrorCodeName(int http_status) {
+  switch (http_status) {
+    case 413:
+    case 431:
+      return "OutOfRange";
+    case 501:
+    case 505:
+      return "NotSupported";
+    default:
+      return "InvalidArgument";
+  }
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+HttpServer::HttpServer(Router router, ServerOptions options)
+    : router_(std::move(router)), options_(std::move(options)) {
+  if (options_.handler_threads <= 0) options_.handler_threads = 1;
+  if (options_.max_connections <= 0) options_.max_connections = 1;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  if (started_.exchange(true)) return Status::Internal("server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(Format("socket: %s", std::strerror(errno)));
+  }
+  int one = 1;
+  (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument(
+        Format("bad bind address '%s'", options_.host.c_str()));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Status::IoError(Format("bind %s:%u: %s", options_.host.c_str(),
+                                       options_.port, std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    Status st = Status::IoError(Format("listen: %s", std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  // Resolve an ephemeral port request.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Status st = Status::IoError(Format("epoll/eventfd: %s", std::strerror(errno)));
+    Stop();
+    return st;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0 ||
+      (ev.data.fd = wake_fd_,
+       ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0)) {
+    Status st = Status::IoError(Format("epoll_ctl: %s", std::strerror(errno)));
+    Stop();
+    return st;
+  }
+
+  event_thread_ = std::thread([this] { EventLoop(); });
+  handler_threads_.reserve(static_cast<size_t>(options_.handler_threads));
+  for (int i = 0; i < options_.handler_threads; ++i) {
+    handler_threads_.emplace_back([this] { HandlerLoop(); });
+  }
+  DPSTARJ_LOG(kInfo) << "http server listening on " << options_.host << ":"
+                     << port_;
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (!started_.load() || stopped_) return;
+  stopped_ = true;
+  draining_.store(true);
+
+  auto wake = [this] {
+    if (wake_fd_ >= 0) {
+      uint64_t n = 1;
+      (void)!::write(wake_fd_, &n, sizeof(n));
+    }
+  };
+  // Phase 1: stop accepting (the event loop closes the listen socket) and let
+  // in-flight requests finish — their responses carry "Connection: close".
+  wake();
+  if (event_thread_.joinable()) {
+    std::unique_lock<std::mutex> lock(handler_mu_);
+    drain_cv_.wait(lock, [this] {
+      return handler_queue_.empty() && handlers_busy_ == 0;
+    });
+  }
+  // Phase 2: tear down the threads. The event thread is joined FIRST, so the
+  // handler queue is final when the handler threads are told to exit — a
+  // request the event loop was dispatching right as the drain wait passed is
+  // still answered (with "Connection: close"), never dropped.
+  stop_.store(true);
+  wake();
+  if (event_thread_.joinable()) event_thread_.join();
+  handlers_exit_.store(true);
+  handler_cv_.notify_all();
+  for (auto& t : handler_threads_) {
+    if (t.joinable()) t.join();
+  }
+  handler_threads_.clear();
+
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& [fd, conn] : connections_) ::close(fd);
+    connections_.clear();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+}
+
+int HttpServer::connection_count() const {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  return static_cast<int>(connections_.size());
+}
+
+ServerStats HttpServer::GetStats() const {
+  ServerStats s;
+  s.connections_accepted = connections_accepted_.load();
+  s.connections_rejected = connections_rejected_.load();
+  s.requests_handled = requests_handled_.load();
+  s.bad_requests = bad_requests_.load();
+  return s;
+}
+
+void HttpServer::EventLoop() {
+  epoll_event events[kEpollBatch];
+  while (!stop_.load()) {
+    int n = ::epoll_wait(epoll_fd_, events, kEpollBatch, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      DPSTARJ_LOG(kError) << "epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n && !stop_.load(); ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained = 0;
+        (void)!::read(wake_fd_, &drained, sizeof(drained));
+        if (draining_.load() && listen_fd_ >= 0) {
+          (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+          ::close(listen_fd_);
+          listen_fd_ = -1;
+        }
+        continue;
+      }
+      if (fd == listen_fd_) {
+        AcceptReady();
+        continue;
+      }
+      ConnectionReady(fd);
+    }
+  }
+}
+
+void HttpServer::AcceptReady() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      DPSTARJ_LOG(kWarning) << "accept: " << std::strerror(errno);
+      return;
+    }
+    SetNoDelay(fd);
+    if (draining_.load() || connection_count() >= options_.max_connections) {
+      // Over the cap (or shutting down): shed the connection with a best-
+      // effort 503 — never let it consume parser/handler resources.
+      connections_rejected_.fetch_add(1);
+      HttpResponse busy = HttpResponse::MakeJson(
+          503,
+          "{\"error\":{\"code\":\"Unavailable\","
+          "\"message\":\"connection limit reached\"}}");
+      std::string wire = SerializeResponse(busy, /*keep_alive=*/false);
+      (void)!::write(fd, wire.data(), wire.size());
+      ::close(fd);
+      continue;
+    }
+    connections_accepted_.fetch_add(1);
+    Connection* conn = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn = connections_
+                 .emplace(fd, std::make_unique<Connection>(fd, options_.limits))
+                 .first->second.get();
+    }
+    if (!ArmRead(fd, /*add=*/true)) CloseConnection(conn);
+  }
+}
+
+HttpServer::Connection* HttpServer::LookupConnection(int fd) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  auto it = connections_.find(fd);
+  return it == connections_.end() ? nullptr : it->second.get();
+}
+
+bool HttpServer::ArmRead(int fd, bool add) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP | EPOLLONESHOT;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, add ? EPOLL_CTL_ADD : EPOLL_CTL_MOD, fd, &ev) != 0) {
+    DPSTARJ_LOG(kWarning) << "epoll_ctl arm: " << std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+void HttpServer::CloseConnection(Connection* conn) {
+  // Remove the table entry BEFORE closing the fd: the moment close() returns,
+  // accept4 on the event thread may hand the same fd number back, and its
+  // fresh Connection must not collide with (or be destroyed by) this one.
+  const int fd = conn->fd;
+  std::unique_ptr<Connection> owned;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    auto it = connections_.find(fd);
+    if (it != connections_.end() && it->second.get() == conn) {
+      owned = std::move(it->second);
+      connections_.erase(it);
+    }
+  }
+  if (owned == nullptr) return;  // already closed by another path
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+}
+
+void HttpServer::ConnectionReady(int fd) {
+  Connection* conn = LookupConnection(fd);
+  if (conn == nullptr) return;  // raced with a close
+
+  bool should_close = false;
+  bool dispatch = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    char buf[8192];
+    bool peer_gone = false;
+    HttpRequestParser::Progress progress = HttpRequestParser::Progress::kNeedMore;
+    for (;;) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n > 0) {
+        progress = conn->parser.Feed(buf, static_cast<size_t>(n));
+        if (progress != HttpRequestParser::Progress::kNeedMore) break;
+        continue;
+      }
+      if (n == 0) {
+        peer_gone = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      peer_gone = true;
+      break;
+    }
+    if (progress == HttpRequestParser::Progress::kNeedMore) {
+      should_close = peer_gone || !ArmRead(fd, /*add=*/false);
+    } else {
+      // Complete request or parse error: hand the connection to a handler
+      // thread. The event loop never runs the router — a slow DP answer must
+      // not delay other connections' accepts and reads.
+      dispatch = true;
+    }
+  }
+  if (should_close) {
+    CloseConnection(conn);
+  } else if (dispatch) {
+    EnqueueHandler(conn);
+  }
+}
+
+void HttpServer::EnqueueHandler(Connection* conn) {
+  {
+    std::lock_guard<std::mutex> lock(handler_mu_);
+    handler_queue_.push_back(conn);
+  }
+  handler_cv_.notify_one();
+}
+
+void HttpServer::HandlerLoop() {
+  for (;;) {
+    Connection* conn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(handler_mu_);
+      handler_cv_.wait(lock, [this] {
+        return handlers_exit_.load() || !handler_queue_.empty();
+      });
+      if (handler_queue_.empty()) {
+        if (handlers_exit_.load()) return;
+        continue;
+      }
+      conn = handler_queue_.front();
+      handler_queue_.pop_front();
+      ++handlers_busy_;
+    }
+    // Queued work is answered even when stop_ is already set: draining_
+    // forces "Connection: close", and Stop() joins the event thread before
+    // releasing the handlers, so this loop always drains to empty.
+    HandleRequest(conn);
+    {
+      std::lock_guard<std::mutex> lock(handler_mu_);
+      --handlers_busy_;
+      if (handler_queue_.empty() && handlers_busy_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+void HttpServer::HandleRequest(Connection* conn) {
+  // Serve every request already buffered on this connection (pipelining),
+  // then re-arm it for fresh bytes. The connection mutex is held across the
+  // whole exchange — uncontended under the ONESHOT discipline — and released
+  // before a close, which destroys the Connection.
+  bool should_close = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    for (;;) {
+      if (conn->parser.in_error()) {
+        bad_requests_.fetch_add(1);
+        HttpResponse r = HttpResponse::MakeJson(
+            conn->parser.error_status(),
+            Format("{\"error\":{\"code\":\"%s\",\"message\":\"%s\"}}",
+                   ParseErrorCodeName(conn->parser.error_status()),
+                   JsonEscape(conn->parser.error()).c_str()));
+        (void)WriteAll(conn->fd, SerializeResponse(r, /*keep_alive=*/false));
+        should_close = true;
+        break;
+      }
+      if (!conn->parser.is_complete()) {
+        should_close = !ArmRead(conn->fd, /*add=*/false);
+        break;
+      }
+      HttpRequest& request = conn->parser.request();
+      const bool keep_alive = request.keep_alive && !draining_.load();
+      HttpResponse response = router_.Dispatch(request);
+      requests_handled_.fetch_add(1);
+      std::string wire = SerializeResponse(response, keep_alive);
+      if (!WriteAll(conn->fd, wire) || !keep_alive) {
+        should_close = true;
+        break;
+      }
+      conn->parser.Reset();
+      (void)conn->parser.Pump();
+    }
+  }
+  if (should_close) CloseConnection(conn);
+}
+
+bool HttpServer::WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      int ready = ::poll(&pfd, 1, kWritePollTimeoutMs);
+      if (ready <= 0) return false;  // peer too slow or gone
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dpstarj::net

@@ -1,0 +1,169 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// HttpServer — a dependency-free epoll HTTP/1.1 server, the front door the
+// DP-starJ query service speaks through (src/net/service_api.h wires the
+// routes). The design keeps the accept loop non-blocking no matter what the
+// handlers do:
+//
+//   * one event-loop thread owns the listen socket and epoll set; connection
+//     sockets are registered EPOLLONESHOT, so a connection is touched by
+//     exactly one thread at a time;
+//   * a pool of handler threads runs the Router on fully-parsed requests and
+//     writes the response; the handler queue never exceeds the connection cap
+//     (one in-flight request per connection), so it is naturally bounded;
+//   * per-connection parsers enforce hard header/body byte limits, and the
+//     connection count is capped — excess accepts are answered 503 + close;
+//   * Stop() drains gracefully: the listen socket closes first, in-flight
+//     requests finish (their responses say "Connection: close"), then idle
+//     keep-alive connections are torn down and the threads joined.
+//
+// Handlers may block (the DP answer path does — a noisy star join takes
+// milliseconds); only the sizing of `handler_threads` is affected, never the
+// accept loop's responsiveness.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "net/http.h"
+
+namespace dpstarj::net {
+
+/// \brief Server configuration.
+struct ServerOptions {
+  /// Bind address; the default serves localhost only.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// listen(2) backlog.
+  int backlog = 128;
+  /// Threads running request handlers (and their blocking DP answers).
+  int handler_threads = 4;
+  /// Open-connection cap; accepts beyond it are answered 503 and closed.
+  int max_connections = 1024;
+  /// Per-request input bounds (header bytes, body bytes).
+  ParserLimits limits;
+};
+
+/// \brief Monotonic server counters, as returned by GetStats().
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;  ///< over max_connections (503)
+  uint64_t requests_handled = 0;
+  uint64_t bad_requests = 0;          ///< parse failures answered 4xx/5xx
+};
+
+/// \brief The epoll HTTP server. Construct with a Router, Start(), Stop().
+class HttpServer {
+ public:
+  HttpServer(Router router, ServerOptions options = {});
+  /// Stops the server if still running.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens and spawns the event loop + handler threads. IoError on
+  /// socket/bind/listen failure (e.g. port in use).
+  Status Start();
+
+  /// \brief Graceful shutdown: stop accepting, finish in-flight requests,
+  /// close every connection, join all threads. Idempotent.
+  void Stop();
+
+  /// The bound port (resolves option `port == 0` after Start()).
+  uint16_t port() const { return port_; }
+  /// The bound address.
+  const std::string& host() const { return options_.host; }
+
+  /// Open connections right now.
+  int connection_count() const;
+  /// A snapshot of the counters.
+  ServerStats GetStats() const;
+
+ private:
+  /// One connection's state; owned by the connection table, borrowed by
+  /// exactly one thread at a time (EPOLLONESHOT discipline). The mutex makes
+  /// that handoff a memory-model edge: epoll_ctl/epoll_wait alone publish
+  /// nothing, so the event loop and the handler threads lock `mu` around
+  /// every parser access. It is uncontended by construction — ONESHOT means
+  /// nobody waits on it — it only orders the handoffs.
+  struct Connection {
+    explicit Connection(int fd, ParserLimits limits) : fd(fd), parser(limits) {}
+    const int fd;
+    std::mutex mu;
+    HttpRequestParser parser;
+  };
+
+  void EventLoop();
+  void HandlerLoop();
+
+  /// Accepts until EAGAIN; each new fd is registered EPOLLIN|EPOLLONESHOT.
+  void AcceptReady();
+  /// Reads until EAGAIN and advances the parser; dispatches or re-arms.
+  void ConnectionReady(int fd);
+
+  /// Runs the router on a complete request and writes the response. Returns
+  /// with the connection either re-armed (keep-alive) or closed.
+  void HandleRequest(Connection* conn);
+
+  /// Blocking full write with poll()-based readiness; false on peer error.
+  bool WriteAll(int fd, const std::string& data);
+
+  /// Registers (add) or re-arms (mod) EPOLLIN|ONESHOT; false on failure
+  /// (the caller must close the connection).
+  bool ArmRead(int fd, bool add);
+  Connection* LookupConnection(int fd);
+  void CloseConnection(Connection* conn);
+  void EnqueueHandler(Connection* conn);
+
+  Router router_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd that interrupts epoll_wait for Stop()
+
+  std::thread event_thread_;
+  std::vector<std::thread> handler_threads_;
+
+  /// Connection table; the unique_ptrs pin Connection addresses so handler
+  /// threads can hold raw pointers while the table mutates.
+  mutable std::mutex conn_mu_;
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+
+  std::mutex handler_mu_;
+  std::condition_variable handler_cv_;
+  std::condition_variable drain_cv_;
+  std::deque<Connection*> handler_queue_;
+  int handlers_busy_ = 0;
+
+  /// Serializes Stop() (user call vs destructor).
+  std::mutex stop_mu_;
+  bool stopped_ = false;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};  ///< Stop() begun: no new accepts/keep-alive
+  std::atomic<bool> stop_{false};      ///< event thread must exit
+  /// Handler threads may exit (set only after the event thread is joined, so
+  /// the queue is final and everything in it still gets answered).
+  std::atomic<bool> handlers_exit_{false};
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> requests_handled_{0};
+  std::atomic<uint64_t> bad_requests_{0};
+};
+
+}  // namespace dpstarj::net

@@ -1,0 +1,97 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// A minimal, dependency-free JSON value type with a strict parser and a
+// deterministic serializer — just enough for the wire protocol of the HTTP
+// front door (src/net/service_api.h). Objects preserve insertion order so
+// responses serialize the way the handlers built them; numbers are doubles
+// (all the protocol carries is ε, counters and noisy aggregates).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dpstarj::net {
+
+/// \brief One JSON value: null, bool, number, string, array or object.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Constructs null.
+  Json() = default;
+
+  /// \name Factories, one per JSON type.
+  /// @{
+  static Json Null() { return Json(); }
+  static Json Bool(bool b);
+  static Json Number(double v);
+  static Json Str(std::string s);
+  static Json Array();
+  static Json Object();
+  /// @}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Value accessors; each aborts unless the type matches.
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+
+  /// Array elements (empty unless is_array()).
+  const std::vector<Json>& items() const { return items_; }
+  /// Object members in insertion order (empty unless is_object()).
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Appends to an array (aborts unless is_array()).
+  void Append(Json v);
+  /// Sets an object member, replacing an existing key (aborts unless
+  /// is_object()).
+  void Set(const std::string& key, Json v);
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* Find(std::string_view key) const;
+
+  /// \name Typed object-member lookups for protocol decoding: value of `key`
+  /// when present with the right type, otherwise the Status explains what is
+  /// missing or mistyped.
+  /// @{
+  Result<std::string> GetString(std::string_view key) const;
+  Result<double> GetNumber(std::string_view key) const;
+  /// @}
+
+  /// Compact serialization (no whitespace). Strings escape control
+  /// characters, quotes and backslashes; non-finite numbers render as null
+  /// (JSON has no NaN/Inf).
+  std::string Dump() const;
+
+  /// \brief Strict parse of one JSON document (rejects trailing garbage,
+  /// unescaped control characters, and nesting deeper than 64 levels).
+  static Result<Json> Parse(std::string_view text);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Escapes `s` for inclusion in a JSON string literal (no surrounding quotes).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace dpstarj::net

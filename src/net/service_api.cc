@@ -1,0 +1,183 @@
+#include "net/service_api.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace dpstarj::net {
+
+namespace {
+
+HttpResponse JsonResponse(int status, const Json& body) {
+  return HttpResponse::MakeJson(status, body.Dump());
+}
+
+HttpResponse ErrorResponse(const Status& status) {
+  return JsonResponse(HttpStatusForError(status), ErrorToJson(status));
+}
+
+}  // namespace
+
+int HttpStatusForError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kAlreadyExists:
+      return 409;
+    case StatusCode::kBudgetExhausted:
+      // The request was understood and refused on privacy-accounting grounds:
+      // a client-side condition no retry will fix.
+      return 403;
+    case StatusCode::kUnavailable:
+      return 429;
+    case StatusCode::kNotSupported:
+      return 501;
+    case StatusCode::kTimeLimit:
+      return 504;
+    case StatusCode::kInternal:
+    case StatusCode::kIoError:
+      return 500;
+  }
+  return 500;
+}
+
+Json ErrorToJson(const Status& status) {
+  Json err = Json::Object();
+  err.Set("code", Json::Str(StatusCodeToString(status.code())));
+  err.Set("message", Json::Str(status.message()));
+  Json body = Json::Object();
+  body.Set("error", std::move(err));
+  return body;
+}
+
+Json QueryResultToJson(const exec::QueryResult& result) {
+  Json body = Json::Object();
+  body.Set("grouped", Json::Bool(result.grouped));
+  if (result.grouped) {
+    Json groups = Json::Array();
+    for (const auto& [key, value] : result.groups) {
+      Json row = Json::Object();
+      row.Set("key", Json::Str(key));
+      row.Set("value", Json::Number(value));
+      groups.Append(std::move(row));
+    }
+    body.Set("groups", std::move(groups));
+    body.Set("total", Json::Number(result.Total()));
+  } else {
+    body.Set("scalar", Json::Number(result.scalar));
+  }
+  return body;
+}
+
+Json ServiceStatsToJson(const service::ServiceStats& stats) {
+  Json body = Json::Object();
+  body.Set("submitted", Json::Number(static_cast<double>(stats.submitted)));
+  body.Set("completed", Json::Number(static_cast<double>(stats.completed)));
+  body.Set("failed", Json::Number(static_cast<double>(stats.failed)));
+  body.Set("rejected_budget",
+           Json::Number(static_cast<double>(stats.rejected_budget)));
+  body.Set("rejected_overload",
+           Json::Number(static_cast<double>(stats.rejected_overload)));
+
+  Json cache = Json::Object();
+  cache.Set("hits", Json::Number(static_cast<double>(stats.cache.hits)));
+  cache.Set("misses", Json::Number(static_cast<double>(stats.cache.misses)));
+  cache.Set("insertions",
+            Json::Number(static_cast<double>(stats.cache.insertions)));
+  cache.Set("evictions", Json::Number(static_cast<double>(stats.cache.evictions)));
+  cache.Set("epsilon_saved", Json::Number(stats.cache.epsilon_saved));
+  cache.Set("hit_rate", Json::Number(stats.cache.HitRate()));
+  body.Set("answer_cache", std::move(cache));
+
+  Json plans = Json::Object();
+  plans.Set("hits", Json::Number(static_cast<double>(stats.plan_cache.hits)));
+  plans.Set("misses", Json::Number(static_cast<double>(stats.plan_cache.misses)));
+  plans.Set("invalidations",
+            Json::Number(static_cast<double>(stats.plan_cache.invalidations)));
+  plans.Set("evictions",
+            Json::Number(static_cast<double>(stats.plan_cache.evictions)));
+  plans.Set("hit_rate", Json::Number(stats.plan_cache.HitRate()));
+  body.Set("plan_cache", std::move(plans));
+  return body;
+}
+
+Router MakeServiceRouter(service::QueryService* service, ApiOptions options) {
+  DPSTARJ_CHECK(service != nullptr, "service must not be null");
+  Router router;
+
+  router.Handle("GET", "/healthz", [](const HttpRequest&) {
+    return HttpResponse::MakeJson(200, "{\"status\":\"ok\"}");
+  });
+
+  router.Handle("GET", "/v1/stats", [service](const HttpRequest&) {
+    return JsonResponse(200, ServiceStatsToJson(service->Stats()));
+  });
+
+  router.Handle("POST", "/v1/tenants", [service](const HttpRequest& req) {
+    auto body = Json::Parse(req.body);
+    if (!body.ok()) return ErrorResponse(body.status());
+    if (!body->is_object()) {
+      return ErrorResponse(Status::InvalidArgument("body must be a JSON object"));
+    }
+    auto tenant = body->GetString("tenant");
+    if (!tenant.ok()) return ErrorResponse(tenant.status());
+    auto epsilon = body->GetNumber("epsilon");
+    if (!epsilon.ok()) return ErrorResponse(epsilon.status());
+    Status st = service->RegisterTenant(*tenant, *epsilon);
+    if (!st.ok()) return ErrorResponse(st);
+    Json out = Json::Object();
+    out.Set("tenant", Json::Str(*tenant));
+    out.Set("total", Json::Number(*epsilon));
+    return JsonResponse(201, out);
+  });
+
+  router.Handle("GET", "/v1/tenants/<tenant>", [service](const HttpRequest& req) {
+    const std::string& tenant = req.path_params.at("tenant");
+    auto account = service->ledger().Account(tenant);
+    if (!account.ok()) return ErrorResponse(account.status());
+    Json out = Json::Object();
+    out.Set("tenant", Json::Str(account->tenant));
+    out.Set("total", Json::Number(account->total));
+    out.Set("spent", Json::Number(account->spent));
+    out.Set("remaining", Json::Number(account->remaining));
+    return JsonResponse(200, out);
+  });
+
+  router.Handle("POST", "/v1/query", [service, options](const HttpRequest& req) {
+    auto body = Json::Parse(req.body);
+    if (!body.ok()) return ErrorResponse(body.status());
+    if (!body->is_object()) {
+      return ErrorResponse(Status::InvalidArgument("body must be a JSON object"));
+    }
+    auto sql = body->GetString("sql");
+    if (!sql.ok()) return ErrorResponse(sql.status());
+    auto epsilon = body->GetNumber("epsilon");
+    if (!epsilon.ok()) return ErrorResponse(epsilon.status());
+    auto tenant = body->GetString("tenant");
+    if (!tenant.ok()) return ErrorResponse(tenant.status());
+
+    // Non-blocking admission: a full work queue answers 429 immediately —
+    // the handler thread must not park on the pool's backpressure while the
+    // client holds a connection open.
+    auto answer = service->TrySubmit(*sql, *epsilon, *tenant).get();
+    if (!answer.ok()) {
+      HttpResponse resp = ErrorResponse(answer.status());
+      if (resp.status == 429) {
+        resp.headers.push_back(
+            {"Retry-After", Format("%d", options.retry_after_seconds)});
+      }
+      return resp;
+    }
+    return JsonResponse(200, QueryResultToJson(*answer));
+  });
+
+  return router;
+}
+
+}  // namespace dpstarj::net

@@ -1,0 +1,53 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// service_api — the wire protocol of the DP-starJ front door: a Router over
+// a service::QueryService. All bodies are JSON.
+//
+//   POST /v1/query          {"sql", "epsilon", "tenant"}
+//       200 {"scalar": x} or {"grouped": true, "groups": [{"key","value"},…]}
+//       400/403/404/429/…   {"error": {"code", "message"}}; 429 carries a
+//                           Retry-After header (full work queue — the
+//                           QueryService::TrySubmit admission path)
+//   POST /v1/tenants        {"tenant", "epsilon"} → 201 (409 when it exists)
+//   GET  /v1/tenants/<t>    {"tenant","total","spent","remaining"} from the
+//                           ledger, one consistent snapshot
+//   GET  /v1/stats          ServiceStats: query counters + answer-cache and
+//                           plan-cache accounting
+//   GET  /healthz           {"status":"ok"} — liveness, no service state
+//
+// Error bodies carry the library StatusCode name as `code`, so clients can
+// distinguish "budget exhausted" (a DP verdict — retrying is pointless) from
+// "queue full" (an overload verdict — retrying is exactly right).
+
+#pragma once
+
+#include "common/result.h"
+#include "net/http.h"
+#include "net/json.h"
+#include "service/query_service.h"
+
+namespace dpstarj::net {
+
+/// \brief Protocol tuning.
+struct ApiOptions {
+  /// Value of the Retry-After header on 429 responses, in seconds.
+  int retry_after_seconds = 1;
+};
+
+/// The HTTP status the wire protocol maps a library error to.
+int HttpStatusForError(const Status& status);
+
+/// Renders a non-OK Status as the protocol's error body.
+Json ErrorToJson(const Status& status);
+
+/// Renders a noisy answer as the protocol's result body.
+Json QueryResultToJson(const exec::QueryResult& result);
+
+/// Renders the service counters (incl. answer/plan-cache) for /v1/stats.
+Json ServiceStatsToJson(const service::ServiceStats& stats);
+
+/// \brief Builds the routing table over `service` (which must outlive the
+/// returned Router and any server running it).
+Router MakeServiceRouter(service::QueryService* service, ApiOptions options = {});
+
+}  // namespace dpstarj::net

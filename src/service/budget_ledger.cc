@@ -1,5 +1,7 @@
 #include "service/budget_ledger.h"
 
+#include <cmath>
+
 #include "common/string_util.h"
 
 namespace dpstarj::service {
@@ -13,8 +15,12 @@ BudgetLedger::BudgetLedger(std::optional<double> default_tenant_budget)
 
 Status BudgetLedger::RegisterTenant(const std::string& tenant, double total_epsilon) {
   if (tenant.empty()) return Status::InvalidArgument("tenant name must be non-empty");
-  if (total_epsilon <= 0.0) {
-    return Status::InvalidArgument("tenant budget must be positive");
+  // Finite is as important as positive: this is reachable from the network
+  // (POST /v1/tenants), and a NaN/∞ total (e.g. JSON "1e999" overflowing to
+  // +inf) would mint an unbounded privacy budget and break every later
+  // remaining/spent comparison.
+  if (!std::isfinite(total_epsilon) || total_epsilon <= 0.0) {
+    return Status::InvalidArgument("tenant budget must be positive and finite");
   }
   std::lock_guard<std::mutex> lock(mu_);
   if (accounts_.find(tenant) != accounts_.end()) {
@@ -72,6 +78,16 @@ Result<double> BudgetLedger::Spent(const std::string& tenant) const {
     return Status::NotFound(Format("tenant '%s' is not registered", tenant.c_str()));
   }
   return it->second.spent();
+}
+
+Result<TenantAccount> BudgetLedger::Account(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = accounts_.find(tenant);
+  if (it == accounts_.end()) {
+    return Status::NotFound(Format("tenant '%s' is not registered", tenant.c_str()));
+  }
+  const dp::PrivacyBudget& budget = it->second;
+  return TenantAccount{tenant, budget.total(), budget.spent(), budget.remaining()};
 }
 
 std::vector<TenantAccount> BudgetLedger::Snapshot() const {

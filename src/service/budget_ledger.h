@@ -63,6 +63,12 @@ class BudgetLedger {
   /// Spent ε of a tenant; NotFound for unknown tenants.
   Result<double> Spent(const std::string& tenant) const;
 
+  /// \brief A consistent snapshot of one tenant's account (total, spent,
+  /// remaining read under a single lock acquisition — Remaining()+Spent()
+  /// back-to-back can interleave with a concurrent Spend). NotFound for
+  /// unknown tenants.
+  Result<TenantAccount> Account(const std::string& tenant) const;
+
   /// A consistent snapshot of every account, sorted by tenant name.
   std::vector<TenantAccount> Snapshot() const;
 

@@ -36,21 +36,41 @@ EnginePool::EnginePool(const storage::Catalog* catalog, int num_engines,
 EnginePool::~EnginePool() { Shutdown(); }
 
 Result<std::future<Result<exec::QueryResult>>> EnginePool::Dispatch(Job job) {
+  return DispatchInternal(std::move(job), /*blocking=*/true);
+}
+
+Result<std::future<Result<exec::QueryResult>>> EnginePool::TryDispatch(Job job) {
+  return DispatchInternal(std::move(job), /*blocking=*/false);
+}
+
+Result<std::future<Result<exec::QueryResult>>> EnginePool::DispatchInternal(
+    Job job, bool blocking) {
   if (!job) return Status::InvalidArgument("job must be callable");
   Task task;
   task.job = std::move(job);
   std::future<Result<exec::QueryResult>> future = task.promise.get_future();
   {
     std::unique_lock<std::mutex> lock(mu_);
-    queue_not_full_.wait(
-        lock, [this] { return shutdown_ || queue_.size() < queue_capacity_; });
+    if (blocking) {
+      queue_not_full_.wait(
+          lock, [this] { return shutdown_ || queue_.size() < queue_capacity_; });
+    }
     if (shutdown_) {
       return Status::Internal("engine pool is shut down");
+    }
+    if (queue_.size() >= queue_capacity_) {
+      return Status::Unavailable(
+          Format("work queue full (%zu queued)", queue_.size()));
     }
     queue_.push_back(std::move(task));
   }
   queue_not_empty_.notify_one();
   return future;
+}
+
+size_t EnginePool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
 }
 
 void EnginePool::WorkerLoop(int engine_index) {

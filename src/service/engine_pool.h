@@ -54,6 +54,14 @@ class EnginePool {
   /// has been shut down.
   Result<std::future<Result<exec::QueryResult>>> Dispatch(Job job);
 
+  /// \brief Non-blocking Dispatch: never waits for queue space. A full queue
+  /// returns Unavailable immediately — the admission signal the network front
+  /// door converts into HTTP 429 instead of stalling its accept loop.
+  Result<std::future<Result<exec::QueryResult>>> TryDispatch(Job job);
+
+  /// Queued jobs not yet picked up by a worker (approximate under load).
+  size_t queue_depth() const;
+
   /// \brief Stops accepting work, lets the workers drain the queue, and joins
   /// them. Idempotent; also called by the destructor.
   void Shutdown();
@@ -69,13 +77,16 @@ class EnginePool {
     std::promise<Result<exec::QueryResult>> promise;
   };
 
+  Result<std::future<Result<exec::QueryResult>>> DispatchInternal(Job job,
+                                                                  bool blocking);
+
   void WorkerLoop(int engine_index);
 
   const size_t queue_capacity_;
   std::vector<std::unique_ptr<core::DpStarJoin>> engines_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable queue_not_full_;
   std::condition_variable queue_not_empty_;
   std::deque<Task> queue_;

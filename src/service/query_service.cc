@@ -34,13 +34,15 @@ core::DpStarJoinOptions ResolveEngineOptions(
 
 std::string ServiceStats::ToString() const {
   return Format(
-      "submitted %llu, completed %llu, failed %llu, rejected %llu | "
+      "submitted %llu, completed %llu, failed %llu, rejected %llu, "
+      "overloaded %llu | "
       "cache: %llu hits / %llu misses (%.1f%% hit rate), eps saved %.4g | "
       "plans: %llu hits / %llu misses, %llu invalidated",
       static_cast<unsigned long long>(submitted),
       static_cast<unsigned long long>(completed),
       static_cast<unsigned long long>(failed),
       static_cast<unsigned long long>(rejected_budget),
+      static_cast<unsigned long long>(rejected_overload),
       static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.misses), 100.0 * cache.HitRate(),
       cache.epsilon_saved, static_cast<unsigned long long>(plan_cache.hits),
@@ -73,9 +75,24 @@ std::future<Result<exec::QueryResult>> QueryService::FailedFuture(Status status)
 
 std::future<Result<exec::QueryResult>> QueryService::Submit(
     const std::string& sql, double epsilon, const std::string& tenant) {
+  return SubmitInternal(sql, epsilon, tenant, /*blocking=*/true);
+}
+
+std::future<Result<exec::QueryResult>> QueryService::TrySubmit(
+    const std::string& sql, double epsilon, const std::string& tenant) {
+  return SubmitInternal(sql, epsilon, tenant, /*blocking=*/false);
+}
+
+std::future<Result<exec::QueryResult>> QueryService::SubmitInternal(
+    const std::string& sql, double epsilon, const std::string& tenant,
+    bool blocking) {
   if (!std::isfinite(epsilon) || epsilon <= 0.0) {
     return FailedFuture(Status::InvalidArgument("epsilon must be positive and finite"));
   }
+  auto dispatch = [this, blocking](EnginePool::Job job) {
+    return blocking ? pool_.Dispatch(std::move(job))
+                    : pool_.TryDispatch(std::move(job));
+  };
   // Admission control: spend the ε before any work is queued, so concurrent
   // submissions race on the ledger (which is exact), not on the answer path.
   Status admit = ledger_.Spend(tenant, epsilon);
@@ -83,8 +100,10 @@ std::future<Result<exec::QueryResult>> QueryService::Submit(
     if (admit.code() == StatusCode::kBudgetExhausted) {
       // Replays are free, so an exhausted tenant can still re-read answers it
       // already paid for. Probe the cache without spending anything; a miss
-      // surfaces the original refusal.
-      auto probe = pool_.Dispatch(
+      // surfaces the original refusal. Like the main path, the submission is
+      // counted before dispatching: completed must never exceed submitted.
+      ++submitted_;
+      auto probe = dispatch(
           [this, sql, epsilon, admit](core::DpStarJoin& engine)
               -> Result<exec::QueryResult> {
             auto bound = engine.binder().BindSql(sql);
@@ -101,8 +120,14 @@ std::future<Result<exec::QueryResult>> QueryService::Submit(
             return admit;
           });
       if (probe.ok()) {
-        ++submitted_;
         return std::move(*probe);
+      }
+      --submitted_;
+      if (probe.status().code() == StatusCode::kUnavailable) {
+        // The probe spent no ε; a full queue is an overload signal, not a
+        // budget verdict — let the caller retry for its free replay.
+        ++rejected_overload_;
+        return FailedFuture(probe.status());
       }
     }
     ++rejected_budget_;
@@ -111,15 +136,20 @@ std::future<Result<exec::QueryResult>> QueryService::Submit(
   // Count the submission before dispatching: a fast worker may complete the
   // job before Submit returns, and completed must never exceed submitted.
   ++submitted_;
-  auto dispatched = pool_.Dispatch([this, sql, epsilon, tenant](
-                                       core::DpStarJoin& engine) {
+  auto dispatched = dispatch([this, sql, epsilon, tenant](
+                                 core::DpStarJoin& engine) {
     return Execute(engine, sql, epsilon, tenant);
   });
   if (!dispatched.ok()) {
-    // Pool shut down: the job will never run, so the admission ε flows back.
+    // Queue full (TrySubmit) or pool shut down: the job will never run, so
+    // the admission ε flows back.
     --submitted_;
     (void)ledger_.Refund(tenant, epsilon);
-    ++failed_;
+    if (dispatched.status().code() == StatusCode::kUnavailable) {
+      ++rejected_overload_;
+    } else {
+      ++failed_;
+    }
     return FailedFuture(dispatched.status());
   }
   return std::move(*dispatched);
@@ -169,6 +199,7 @@ ServiceStats QueryService::Stats() const {
   stats.completed = completed_.load();
   stats.failed = failed_.load();
   stats.rejected_budget = rejected_budget_.load();
+  stats.rejected_overload = rejected_overload_.load();
   stats.cache = cache_.GetStats();
   stats.plan_cache = plan_cache_->GetStats();
   return stats;

@@ -79,6 +79,7 @@ struct ServiceStats {
   uint64_t completed = 0;         ///< answered (fresh or replayed)
   uint64_t failed = 0;            ///< admitted but failed (ε refunded)
   uint64_t rejected_budget = 0;   ///< refused at admission (ledger)
+  uint64_t rejected_overload = 0; ///< TrySubmit refused on a full queue (429s)
   AnswerCache::Stats cache;       ///< hit/miss/ε-saved accounting
   exec::PlanCache::Stats plan_cache;  ///< compiled-plan reuse accounting
 
@@ -121,6 +122,15 @@ class QueryService {
                                                 double epsilon,
                                                 const std::string& tenant);
 
+  /// \brief Non-blocking Submit: identical admission and answer path, but a
+  /// full work queue resolves to Unavailable immediately (with the admission
+  /// ε refunded) instead of waiting for queue space. This is the overload
+  /// signal the HTTP front door (src/net/) maps to 429 + Retry-After, so a
+  /// saturated pool sheds load instead of stalling the accept loop.
+  std::future<Result<exec::QueryResult>> TrySubmit(const std::string& sql,
+                                                   double epsilon,
+                                                   const std::string& tenant);
+
   /// Synchronous convenience wrapper: Submit + get.
   Result<exec::QueryResult> Answer(const std::string& sql, double epsilon,
                                    const std::string& tenant);
@@ -143,6 +153,12 @@ class QueryService {
   void Shutdown();
 
  private:
+  /// Shared Submit/TrySubmit path; `blocking` selects Dispatch vs TryDispatch.
+  std::future<Result<exec::QueryResult>> SubmitInternal(const std::string& sql,
+                                                        double epsilon,
+                                                        const std::string& tenant,
+                                                        bool blocking);
+
   /// Runs on a pool worker: bind → cache lookup → answer → cache insert, with
   /// the refund protocol described above.
   Result<exec::QueryResult> Execute(core::DpStarJoin& engine, const std::string& sql,
@@ -161,6 +177,7 @@ class QueryService {
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> rejected_budget_{0};
+  std::atomic<uint64_t> rejected_overload_{0};
 };
 
 }  // namespace dpstarj::service

@@ -1,0 +1,253 @@
+// Tests for the HTTP/1.1 plumbing: the incremental request parser (partial
+// input, pipelining, keep-alive resolution, size limits), the response
+// parser, serializers, and the router's pattern matching.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/http.h"
+
+namespace dpstarj::net {
+namespace {
+
+using Progress = HttpRequestParser::Progress;
+
+TEST(HttpRequestParserTest, ParsesASimpleGet) {
+  HttpRequestParser parser;
+  std::string wire = "GET /v1/stats?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(parser.Feed(wire.data(), wire.size()), Progress::kComplete);
+  const HttpRequest& req = parser.request();
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/v1/stats");
+  EXPECT_EQ(req.query, "verbose=1");
+  EXPECT_EQ(req.FindHeader("host"), "x");  // case-insensitive
+  EXPECT_TRUE(req.keep_alive);
+  EXPECT_TRUE(req.body.empty());
+}
+
+TEST(HttpRequestParserTest, ByteAtATimeWithBody) {
+  HttpRequestParser parser;
+  std::string wire =
+      "POST /v1/query HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world";
+  Progress p = Progress::kNeedMore;
+  for (char c : wire) p = parser.Feed(&c, 1);
+  ASSERT_EQ(p, Progress::kComplete);
+  EXPECT_EQ(parser.request().body, "hello world");
+}
+
+TEST(HttpRequestParserTest, PipeliningKeepsLeftoverBytes) {
+  HttpRequestParser parser;
+  std::string two =
+      "GET /a HTTP/1.1\r\n\r\n"
+      "GET /b HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(parser.Feed(two.data(), two.size()), Progress::kComplete);
+  EXPECT_EQ(parser.request().path, "/a");
+  EXPECT_TRUE(parser.has_buffered_input());
+  parser.Reset();
+  ASSERT_EQ(parser.Pump(), Progress::kComplete);
+  EXPECT_EQ(parser.request().path, "/b");
+  EXPECT_FALSE(parser.has_buffered_input());
+}
+
+TEST(HttpRequestParserTest, KeepAliveResolution) {
+  {
+    HttpRequestParser p;
+    std::string wire = "GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+    ASSERT_EQ(p.Feed(wire.data(), wire.size()), Progress::kComplete);
+    EXPECT_FALSE(p.request().keep_alive);
+  }
+  {
+    HttpRequestParser p;
+    std::string wire = "GET / HTTP/1.0\r\n\r\n";
+    ASSERT_EQ(p.Feed(wire.data(), wire.size()), Progress::kComplete);
+    EXPECT_FALSE(p.request().keep_alive);  // 1.0 defaults to close
+  }
+  {
+    HttpRequestParser p;
+    std::string wire = "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+    ASSERT_EQ(p.Feed(wire.data(), wire.size()), Progress::kComplete);
+    EXPECT_TRUE(p.request().keep_alive);
+  }
+}
+
+TEST(HttpRequestParserTest, EnforcesHeaderLimit) {
+  ParserLimits limits;
+  limits.max_header_bytes = 128;
+  HttpRequestParser parser(limits);
+  std::string wire = "GET / HTTP/1.1\r\nX-Big: " + std::string(500, 'a');
+  EXPECT_EQ(parser.Feed(wire.data(), wire.size()), Progress::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+  EXPECT_TRUE(parser.in_error());
+}
+
+TEST(HttpRequestParserTest, EnforcesBodyLimitBeforeBuffering) {
+  ParserLimits limits;
+  limits.max_body_bytes = 64;
+  HttpRequestParser parser(limits);
+  // The refusal comes from Content-Length alone — no body bytes needed.
+  std::string wire = "POST / HTTP/1.1\r\nContent-Length: 100000\r\n\r\n";
+  EXPECT_EQ(parser.Feed(wire.data(), wire.size()), Progress::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpRequestParserTest, RejectsGarbage) {
+  {
+    HttpRequestParser p;
+    std::string wire = "NOT-HTTP\r\n\r\n";
+    EXPECT_EQ(p.Feed(wire.data(), wire.size()), Progress::kError);
+    EXPECT_EQ(p.error_status(), 400);
+  }
+  {
+    HttpRequestParser p;
+    std::string wire = "GET / HTTP/2.0\r\n\r\n";
+    EXPECT_EQ(p.Feed(wire.data(), wire.size()), Progress::kError);
+    EXPECT_EQ(p.error_status(), 505);
+  }
+  {
+    HttpRequestParser p;
+    std::string wire =
+        "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+    EXPECT_EQ(p.Feed(wire.data(), wire.size()), Progress::kError);
+    EXPECT_EQ(p.error_status(), 501);
+  }
+  {
+    HttpRequestParser p;
+    std::string wire = "POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n";
+    EXPECT_EQ(p.Feed(wire.data(), wire.size()), Progress::kError);
+    EXPECT_EQ(p.error_status(), 400);
+  }
+}
+
+// Request-smuggling primitives must be refused, not resolved silently: a
+// front proxy resolving them the other way would desync from this server.
+TEST(HttpRequestParserTest, RejectsSmugglingPrimitives) {
+  {
+    // CL.CL: two differing Content-Length values.
+    HttpRequestParser p;
+    std::string wire =
+        "POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 43\r\n\r\n";
+    EXPECT_EQ(p.Feed(wire.data(), wire.size()), Progress::kError);
+    EXPECT_EQ(p.error_status(), 400);
+  }
+  {
+    // Identical duplicates are legal to collapse (RFC 9110 §8.6).
+    HttpRequestParser p;
+    std::string wire =
+        "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi";
+    EXPECT_EQ(p.Feed(wire.data(), wire.size()), Progress::kComplete);
+    EXPECT_EQ(p.request().body, "hi");
+  }
+  {
+    // Whitespace between header name and ':' (RFC 9112 §5.1).
+    HttpRequestParser p;
+    std::string wire = "POST / HTTP/1.1\r\nContent-Length : 5\r\n\r\nhello";
+    EXPECT_EQ(p.Feed(wire.data(), wire.size()), Progress::kError);
+    EXPECT_EQ(p.error_status(), 400);
+  }
+}
+
+TEST(HttpResponseRoundTrip, SerializeThenParse) {
+  HttpResponse out = HttpResponse::MakeJson(429, "{\"error\":{}}");
+  out.headers.push_back({"Retry-After", "1"});
+  std::string wire = SerializeResponse(out, /*keep_alive=*/true);
+
+  HttpResponseParser parser;
+  ASSERT_EQ(parser.Feed(wire.data(), wire.size()),
+            HttpResponseParser::Progress::kComplete);
+  EXPECT_EQ(parser.response().status, 429);
+  EXPECT_EQ(parser.response().body, "{\"error\":{}}");
+  EXPECT_EQ(parser.response().FindHeader("retry-after"), "1");
+  EXPECT_TRUE(parser.keep_alive());
+
+  // And the close variant flips keep_alive.
+  std::string closing = SerializeResponse(out, /*keep_alive=*/false);
+  parser.Reset();
+  ASSERT_EQ(parser.Feed(closing.data(), closing.size()),
+            HttpResponseParser::Progress::kComplete);
+  EXPECT_FALSE(parser.keep_alive());
+}
+
+TEST(HttpRequestRoundTrip, SerializeThenParse) {
+  std::string wire = SerializeRequest("POST", "/v1/query", "localhost:8080",
+                                      "{\"epsilon\":0.5}", "application/json",
+                                      /*keep_alive=*/true);
+  HttpRequestParser parser;
+  ASSERT_EQ(parser.Feed(wire.data(), wire.size()), Progress::kComplete);
+  EXPECT_EQ(parser.request().method, "POST");
+  EXPECT_EQ(parser.request().path, "/v1/query");
+  EXPECT_EQ(parser.request().body, "{\"epsilon\":0.5}");
+  EXPECT_EQ(parser.request().FindHeader("Host"), "localhost:8080");
+}
+
+// ----------------------------------------------------------------- router ----
+
+HttpRequest MakeRequest(const std::string& method, const std::string& path) {
+  HttpRequest r;
+  r.method = method;
+  r.path = path;
+  r.target = path;
+  return r;
+}
+
+TEST(RouterTest, MatchesLiteralAndParamRoutes) {
+  Router router;
+  router.Handle("GET", "/healthz",
+                [](const HttpRequest&) { return HttpResponse::MakeText(200, "ok"); });
+  router.Handle("GET", "/v1/tenants/<tenant>", [](const HttpRequest& req) {
+    return HttpResponse::MakeText(200, req.path_params.at("tenant"));
+  });
+
+  HttpRequest health = MakeRequest("GET", "/healthz");
+  EXPECT_EQ(router.Dispatch(health).status, 200);
+
+  HttpRequest tenant = MakeRequest("GET", "/v1/tenants/acme");
+  HttpResponse r = router.Dispatch(tenant);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "acme");
+
+  // Param segments match exactly one segment — no more, no fewer.
+  HttpRequest deep = MakeRequest("GET", "/v1/tenants/acme/extra");
+  EXPECT_EQ(router.Dispatch(deep).status, 404);
+  HttpRequest bare = MakeRequest("GET", "/v1/tenants");
+  EXPECT_EQ(router.Dispatch(bare).status, 404);
+}
+
+TEST(RouterTest, PercentDecodesCapturedSegments) {
+  Router router;
+  router.Handle("GET", "/v1/tenants/<tenant>", [](const HttpRequest& req) {
+    return HttpResponse::MakeText(200, req.path_params.at("tenant"));
+  });
+  // Clients percent-encode special characters in the target; the capture
+  // must come back decoded so it matches the name used at registration.
+  HttpRequest spaced = MakeRequest("GET", "/v1/tenants/team%20a");
+  EXPECT_EQ(router.Dispatch(spaced).body, "team a");
+  // Decoding happens after path splitting: an encoded slash stays inside
+  // one segment instead of changing the route shape.
+  HttpRequest slashed = MakeRequest("GET", "/v1/tenants/a%2Fb");
+  EXPECT_EQ(router.Dispatch(slashed).body, "a/b");
+  // Invalid escapes pass through verbatim rather than erroring.
+  HttpRequest truncated = MakeRequest("GET", "/v1/tenants/50%25");
+  EXPECT_EQ(router.Dispatch(truncated).body, "50%");
+  HttpRequest bogus = MakeRequest("GET", "/v1/tenants/x%zz");
+  EXPECT_EQ(router.Dispatch(bogus).body, "x%zz");
+}
+
+TEST(RouterTest, MethodNotAllowedCarriesAllow) {
+  Router router;
+  router.Handle("POST", "/v1/query",
+                [](const HttpRequest&) { return HttpResponse::MakeText(200, ""); });
+  HttpRequest req = MakeRequest("GET", "/v1/query");
+  HttpResponse r = router.Dispatch(req);
+  EXPECT_EQ(r.status, 405);
+  EXPECT_EQ(r.FindHeader("Allow"), "POST");
+}
+
+TEST(RouterTest, UnknownPathIs404) {
+  Router router;
+  HttpRequest req = MakeRequest("GET", "/nope");
+  EXPECT_EQ(router.Dispatch(req).status, 404);
+}
+
+}  // namespace
+}  // namespace dpstarj::net

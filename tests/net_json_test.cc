@@ -1,0 +1,104 @@
+// Tests for the minimal JSON codec of the HTTP front door: strict parsing,
+// escaping, round trips, and the typed field accessors the protocol decoders
+// rely on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "net/json.h"
+
+namespace dpstarj::net {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_TRUE(Json::Parse("true")->AsBool());
+  EXPECT_FALSE(Json::Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(Json::Parse("42")->AsNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::Parse("-3.5e2")->AsNumber(), -350.0);
+  EXPECT_EQ(Json::Parse("\"hi\"")->AsString(), "hi");
+  EXPECT_DOUBLE_EQ(Json::Parse("  0.25  ")->AsNumber(), 0.25);
+}
+
+TEST(JsonTest, ParsesNested) {
+  auto r = Json::Parse(
+      "{\"sql\": \"SELECT count(*)\", \"epsilon\": 0.5,"
+      " \"tags\": [1, 2, 3], \"opts\": {\"deep\": true}}");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r->GetString("sql"), "SELECT count(*)");
+  EXPECT_DOUBLE_EQ(*r->GetNumber("epsilon"), 0.5);
+  ASSERT_NE(r->Find("tags"), nullptr);
+  ASSERT_EQ(r->Find("tags")->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(r->Find("tags")->items()[1].AsNumber(), 2.0);
+  EXPECT_TRUE(r->Find("opts")->Find("deep")->AsBool());
+}
+
+TEST(JsonTest, StringEscapes) {
+  auto r = Json::Parse(R"("a\"b\\c\nd\teA")");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->AsString(), "a\"b\\c\nd\teA");
+
+  // Dump escapes what Parse unescapes: round trip through the wire form.
+  Json s = Json::Str("line1\nline2\t\"quoted\" \\slash");
+  auto back = Json::Parse(s.Dump());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->AsString(), s.AsString());
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("nul").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());        // trailing garbage
+  EXPECT_FALSE(Json::Parse("{} []").ok());      // trailing garbage
+  EXPECT_FALSE(Json::Parse("\"a\tb\"").ok());   // raw control char
+  EXPECT_FALSE(Json::Parse("{'a': 1}").ok());   // single quotes
+  EXPECT_EQ(Json::Parse("{").status().code(), StatusCode::kParseError);
+}
+
+TEST(JsonTest, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(JsonTest, DumpRoundTripsNumbers) {
+  // Integral numbers (counters, COUNT answers) stay integral on the wire.
+  EXPECT_EQ(Json::Number(1716).Dump(), "1716");
+  EXPECT_EQ(Json::Number(-3).Dump(), "-3");
+  EXPECT_EQ(Json::Number(0).Dump(), "0");
+  // Non-finite is not representable: encoded as null, never "nan".
+  EXPECT_EQ(Json::Number(std::nan("")).Dump(), "null");
+  // Fractional values survive a round trip exactly.
+  double v = 0.1234567890123456789;
+  auto r = Json::Parse(Json::Number(v).Dump());
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->AsNumber(), v);
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrderAndSetReplaces) {
+  Json obj = Json::Object();
+  obj.Set("b", Json::Number(1));
+  obj.Set("a", Json::Number(2));
+  obj.Set("b", Json::Number(3));  // replaces, keeps position
+  EXPECT_EQ(obj.Dump(), "{\"b\":3,\"a\":2}");
+}
+
+TEST(JsonTest, TypedAccessorsExplainFailures) {
+  auto obj = Json::Parse("{\"epsilon\": \"not-a-number\"}");
+  ASSERT_TRUE(obj.ok());
+  auto num = obj->GetNumber("epsilon");
+  EXPECT_FALSE(num.ok());
+  EXPECT_EQ(num.status().code(), StatusCode::kInvalidArgument);
+  auto missing = obj->GetString("sql");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("sql"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpstarj::net

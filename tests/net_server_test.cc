@@ -1,0 +1,381 @@
+// End-to-end tests of the HTTP front door: a live epoll server over a real
+// QueryService, exercised by concurrent net::Client threads.
+//
+// The acceptance-criterion test runs 8 client connections × 125 queries
+// (1000 total) and then checks the per-tenant ε accounting over the wire
+// against the in-process ledger — exactly. The overload test saturates a
+// 1-engine/1-slot service and checks that the front door sheds load with
+// 429 + Retry-After while /healthz stays responsive (the accept loop and
+// spare handler threads never park on the pool's backpressure).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+#include "net/client.h"
+#include "net/http_server.h"
+#include "net/service_api.h"
+#include "service/query_service.h"
+#include "storage/catalog.h"
+#include "test_catalog.h"
+
+namespace dpstarj::net {
+namespace {
+
+std::string QueryBody(const std::string& sql, double epsilon,
+                      const std::string& tenant) {
+  Json body = Json::Object();
+  body.Set("sql", Json::Str(sql));
+  body.Set("epsilon", Json::Number(epsilon));
+  body.Set("tenant", Json::Str(tenant));
+  return body.Dump();
+}
+
+// The d-th distinct toy-catalog query (distinct canonical keys for d < 16).
+std::string DistinctToyQuery(int d) {
+  return Format(
+      "SELECT count(*) FROM Orders, Cust, Prod WHERE Orders.ck = Cust.ck "
+      "AND Orders.pk = Prod.pk AND Cust.tier <= %d AND Prod.cat = '%c'",
+      d % 4 + 1, "abcd"[(d / 4) % 4]);
+}
+
+// A larger star instance whose queries take real milliseconds — enough work
+// for the overload test to actually fill a 1-slot queue.
+storage::Catalog MakeHeavyCatalog(int64_t fact_rows) {
+  using storage::AttributeDomain;
+  using storage::Field;
+  using storage::Value;
+  using storage::ValueType;
+
+  constexpr int64_t kDimRows = 500;
+  storage::Schema dim_schema({Field("dk", ValueType::kInt64),
+                              Field("bucket", ValueType::kInt64,
+                                    AttributeDomain::IntRange(1, kDimRows))});
+  auto dim = *storage::Table::Create("Dim", dim_schema, "dk");
+  for (int64_t i = 0; i < kDimRows; ++i) {
+    EXPECT_TRUE(dim->AppendRow({Value(i + 1), Value(i + 1)}).ok());
+  }
+  storage::Schema fact_schema(
+      {Field("dk", ValueType::kInt64), Field("amount", ValueType::kDouble)});
+  auto fact = *storage::Table::Create("Fact", fact_schema);
+  for (int64_t i = 0; i < fact_rows; ++i) {
+    EXPECT_TRUE(
+        fact->AppendRow({Value(i % kDimRows + 1), Value(double(i % 31))}).ok());
+  }
+  storage::Catalog catalog;
+  EXPECT_TRUE(catalog.AddTable(dim).ok());
+  EXPECT_TRUE(catalog.AddTable(fact).ok());
+  EXPECT_TRUE(catalog.AddForeignKey({"Fact", "dk", "Dim", "dk"}).ok());
+  return catalog;
+}
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  NetServerTest() : catalog_(testing_fixture::MakeToyCatalog()) {}
+  storage::Catalog catalog_;
+};
+
+// The acceptance-criterion test: 8 concurrent connections, 1000 queries,
+// per-tenant ε accounting over the wire matches the ledger exactly.
+TEST_F(NetServerTest, EightConnectionsThousandQueriesExactAccounting) {
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 125;
+  constexpr int kDistinctPerTenant = 10;
+  constexpr double kTotal = 100.0;
+
+  service::ServiceOptions service_options;
+  service_options.num_engines = 2;
+  service_options.queue_capacity = 64;
+  service::QueryService service(&catalog_, service_options);
+
+  ServerOptions server_options;
+  server_options.handler_threads = kClients;
+  HttpServer server(MakeServiceRouter(&service), server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Every client is its own tenant with its own ε-per-query; distinct ε
+  // values keep the tenants' cache keys disjoint even for identical SQL, so
+  // each tenant's paid-answer count is deterministic: one per distinct query
+  // (the thread submits sequentially — replays are free).
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      const std::string tenant = Format("tenant-%d", t);
+      const double eps = 0.01 * (t + 1);
+      Client client("127.0.0.1", server.port());
+      auto reg = client.Post(
+          "/v1/tenants",
+          Format("{\"tenant\":\"%s\",\"epsilon\":%g}", tenant.c_str(), kTotal));
+      if (!reg.ok() || reg->status != 201) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        std::string sql = DistinctToyQuery(i % kDistinctPerTenant);
+        auto r = client.Post("/v1/query", QueryBody(sql, eps, tenant));
+        if (!r.ok() || r->status != 200) {
+          ++failures;
+          return;
+        }
+        auto body = Client::ParseBody(*r);
+        if (!body.ok() || body->Find("scalar") == nullptr) {
+          ++failures;
+          return;
+        }
+      }
+      // The wire-reported account must agree with the expected position:
+      // exactly kDistinctPerTenant fresh draws were paid for.
+      auto account = client.Get("/v1/tenants/" + tenant);
+      if (!account.ok() || account->status != 200) {
+        ++failures;
+        return;
+      }
+      auto json = Client::ParseBody(*account);
+      if (!json.ok()) {
+        ++failures;
+        return;
+      }
+      double spent = *json->GetNumber("spent");
+      double remaining = *json->GetNumber("remaining");
+      EXPECT_NEAR(spent, kDistinctPerTenant * eps, 1e-9) << tenant;
+      EXPECT_NEAR(remaining, kTotal - kDistinctPerTenant * eps, 1e-9) << tenant;
+      // ...and with the in-process ledger bit-for-bit (the JSON number round
+      // trip is exact: %.17g / integral fast path).
+      auto ledger = service.ledger().Account(tenant);
+      ASSERT_TRUE(ledger.ok());
+      EXPECT_EQ(spent, ledger->spent) << tenant;
+      EXPECT_EQ(remaining, ledger->remaining) << tenant;
+    });
+  }
+  for (auto& th : clients) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  service::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(stats.failed, 0u);
+  // Per tenant: kDistinctPerTenant misses, the rest replays.
+  EXPECT_EQ(stats.cache.misses,
+            static_cast<uint64_t>(kClients * kDistinctPerTenant));
+  EXPECT_EQ(stats.cache.hits,
+            static_cast<uint64_t>(kClients * (kPerClient - kDistinctPerTenant)));
+
+  ServerStats net_stats = server.GetStats();
+  EXPECT_GE(net_stats.requests_handled,
+            static_cast<uint64_t>(kClients * (kPerClient + 2)));
+  EXPECT_EQ(net_stats.bad_requests, 0u);
+  server.Stop();
+}
+
+// Saturate a 1-engine, 1-slot service: the front door must shed load with
+// 429 + Retry-After, the accept loop must keep answering /healthz, and every
+// shed request's admission ε must flow back (exact conservation).
+TEST(NetServerOverloadTest, QueueFullYields429AndNeverBlocksAcceptLoop) {
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 40;
+  constexpr double kEps = 0.01;
+
+  storage::Catalog catalog = MakeHeavyCatalog(60000);
+  service::ServiceOptions service_options;
+  service_options.num_engines = 1;
+  service_options.queue_capacity = 1;
+  service_options.cache_capacity = 0;  // every accepted query really runs
+  service_options.default_tenant_budget = 1e9;
+  service::QueryService service(&catalog, service_options);
+
+  ServerOptions server_options;
+  server_options.handler_threads = kClients + 2;
+  HttpServer server(MakeServiceRouter(&service), server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<uint64_t> ok_count{0}, shed_count{0};
+  std::atomic<int> failures{0};
+  std::atomic<bool> storm_over{false};
+
+  // A probe hammering /healthz for the whole storm: if the accept loop or
+  // all handler threads ever park on the pool's backpressure, this stalls
+  // and the count collapses.
+  std::thread probe([&] {
+    Client client("127.0.0.1", server.port());
+    while (!storm_over.load()) {
+      auto r = client.Get("/healthz");
+      if (!r.ok() || r->status != 200) {
+        ++failures;
+        return;
+      }
+    }
+  });
+
+  std::vector<std::thread> clients;
+  int query_counter = 0;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t, base = query_counter] {
+      Client client("127.0.0.1", server.port());
+      for (int i = 0; i < kPerClient; ++i) {
+        int n = base + i;
+        std::string sql = Format(
+            "SELECT count(*) FROM Fact, Dim WHERE Fact.dk = Dim.dk "
+            "AND Dim.bucket BETWEEN %d AND %d",
+            n % 200 + 1, n % 200 + 150 + t);
+        auto r = client.Post("/v1/query", QueryBody(sql, kEps, "storm"));
+        if (!r.ok()) {
+          ++failures;
+          return;
+        }
+        if (r->status == 200) {
+          ok_count.fetch_add(1);
+        } else if (r->status == 429) {
+          shed_count.fetch_add(1);
+          // The protocol promises a Retry-After hint and an Unavailable code.
+          EXPECT_FALSE(r->FindHeader("Retry-After").empty());
+          auto body = Client::ParseBody(*r);
+          ASSERT_TRUE(body.ok());
+          ASSERT_NE(body->Find("error"), nullptr);
+          EXPECT_EQ(body->Find("error")->GetString("code").ValueOrDie(),
+                    "Unavailable");
+        } else {
+          ADD_FAILURE() << "unexpected HTTP " << r->status << ": " << r->body;
+          ++failures;
+          return;
+        }
+      }
+    });
+    query_counter += kPerClient;
+  }
+  for (auto& th : clients) th.join();
+  storm_over.store(true);
+  probe.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(ok_count.load() + shed_count.load(),
+            static_cast<uint64_t>(kClients * kPerClient));
+  // 6 senders against 1 engine and a 1-deep queue must shed.
+  EXPECT_GT(shed_count.load(), 0u);
+  EXPECT_GT(ok_count.load(), 0u);
+
+  // Exact conservation: only answered queries kept their ε.
+  EXPECT_NEAR(*service.ledger().Spent("storm"),
+              static_cast<double>(ok_count.load()) * kEps, 1e-9);
+  service::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.rejected_overload, shed_count.load());
+  EXPECT_EQ(stats.completed, ok_count.load());
+  server.Stop();
+}
+
+TEST_F(NetServerTest, ProtocolErrorsOverTheWire) {
+  service::ServiceOptions service_options;
+  service_options.num_engines = 1;
+  service::QueryService service(&catalog_, service_options);
+  HttpServer server(MakeServiceRouter(&service), {});
+  ASSERT_TRUE(server.Start().ok());
+  Client client("127.0.0.1", server.port());
+
+  // Route and method errors.
+  EXPECT_EQ(client.Get("/nope")->status, 404);
+  EXPECT_EQ(client.Get("/v1/query")->status, 405);
+  EXPECT_EQ(client.Get("/v1/query")->FindHeader("Allow"), "POST");
+
+  // Malformed / mistyped bodies.
+  EXPECT_EQ(client.Post("/v1/query", "not json")->status, 400);
+  EXPECT_EQ(client.Post("/v1/query", "{\"sql\": 7}")->status, 400);
+  EXPECT_EQ(client.Post("/v1/tenants", "{\"tenant\":\"x\"}")->status, 400);
+
+  // Tenant lifecycle errors. An overflowing JSON number ("1e999" → +inf)
+  // must not mint an infinite budget.
+  EXPECT_EQ(client.Post("/v1/tenants", "{\"tenant\":\"evil\",\"epsilon\":1e999}")
+                ->status,
+            400);
+  EXPECT_EQ(client.Get("/v1/tenants/ghost")->status, 404);
+  ASSERT_EQ(client.Post("/v1/tenants", "{\"tenant\":\"t\",\"epsilon\":0.2}")
+                ->status,
+            201);
+  EXPECT_EQ(client.Post("/v1/tenants", "{\"tenant\":\"t\",\"epsilon\":1}")
+                ->status,
+            409);
+
+  // Unknown tenant on the query path, then budget exhaustion (403, a DP
+  // verdict — distinct from 429's "try again").
+  const std::string sql = DistinctToyQuery(0);
+  EXPECT_EQ(client.Post("/v1/query", QueryBody(sql, 0.1, "ghost"))->status, 404);
+  EXPECT_EQ(client.Post("/v1/query", QueryBody(sql, 0.2, "t"))->status, 200);
+  auto exhausted = client.Post("/v1/query", QueryBody(DistinctToyQuery(1), 0.2, "t"));
+  EXPECT_EQ(exhausted->status, 403);
+  auto body = Client::ParseBody(*exhausted);
+  ASSERT_TRUE(body.ok());
+  ASSERT_NE(body->Find("error"), nullptr);
+  EXPECT_EQ(body->Find("error")->GetString("code").ValueOrDie(),
+            "BudgetExhausted");
+
+  // Bad epsilon is refused before admission.
+  EXPECT_EQ(client.Post("/v1/query", QueryBody(sql, -1.0, "t"))->status, 400);
+
+  // An unparsable request line closes the connection with 400 after the
+  // response; the next Client call transparently reconnects.
+  EXPECT_EQ(client.Get("/healthz")->status, 200);
+  server.Stop();
+}
+
+TEST_F(NetServerTest, GracefulStopDrainsAndRefusesNewConnections) {
+  service::ServiceOptions service_options;
+  service_options.num_engines = 1;
+  service::QueryService service(&catalog_, service_options);
+  HttpServer server(MakeServiceRouter(&service), {});
+  ASSERT_TRUE(server.Start().ok());
+  uint16_t port = server.port();
+
+  Client client("127.0.0.1", port);
+  ASSERT_EQ(client.Get("/healthz")->status, 200);
+
+  server.Stop();
+  server.Stop();  // idempotent
+
+  // The kept-alive connection was torn down and nothing listens anymore:
+  // both the reuse path and a fresh connection must fail cleanly.
+  auto after = client.Get("/healthz");
+  EXPECT_FALSE(after.ok());
+  Client fresh("127.0.0.1", port);
+  EXPECT_FALSE(fresh.Get("/healthz").ok());
+}
+
+TEST_F(NetServerTest, ConnectionCapShedsWith503) {
+  service::ServiceOptions service_options;
+  service_options.num_engines = 1;
+  service::QueryService service(&catalog_, service_options);
+  ServerOptions server_options;
+  server_options.max_connections = 2;
+  HttpServer server(MakeServiceRouter(&service), server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client a("127.0.0.1", server.port());
+  Client b("127.0.0.1", server.port());
+  ASSERT_EQ(a.Get("/healthz")->status, 200);
+  ASSERT_EQ(b.Get("/healthz")->status, 200);
+
+  // The third concurrent connection is over the cap: the server answers 503
+  // and closes instead of letting it occupy parser/handler resources.
+  Client c("127.0.0.1", server.port());
+  auto r = c.Get("/healthz");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->status, 503);
+
+  // Capacity frees once an earlier connection goes away (the server reaps
+  // the FIN asynchronously, so poll briefly).
+  a.Close();
+  bool recovered = false;
+  for (int attempt = 0; attempt < 100 && !recovered; ++attempt) {
+    Client d("127.0.0.1", server.port());
+    auto ok = d.Get("/healthz");
+    recovered = ok.ok() && ok->status == 200;
+    if (!recovered) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(recovered);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace dpstarj::net

@@ -35,6 +35,11 @@ TEST(BudgetLedgerTest, RegisterSpendRefund) {
   EXPECT_EQ(ledger.RegisterTenant("a", 2.0).code(), StatusCode::kAlreadyExists);
   EXPECT_FALSE(ledger.RegisterTenant("", 1.0).ok());
   EXPECT_FALSE(ledger.RegisterTenant("b", 0.0).ok());
+  // Registration is remotely reachable (POST /v1/tenants): a non-finite
+  // total would mint an unbounded privacy budget.
+  EXPECT_FALSE(
+      ledger.RegisterTenant("b", std::numeric_limits<double>::infinity()).ok());
+  EXPECT_FALSE(ledger.RegisterTenant("b", std::nan("")).ok());
 
   ASSERT_TRUE(ledger.Spend("a", 0.4).ok());
   EXPECT_NEAR(*ledger.Remaining("a"), 0.6, 1e-12);
@@ -98,6 +103,35 @@ TEST(BudgetLedgerTest, ConcurrentSpendsNeverOverdraw) {
   EXPECT_NEAR(*ledger.Spent("hot"), kTotal, 1e-9);
 }
 
+TEST(BudgetLedgerTest, AccountIsOneConsistentSnapshot) {
+  BudgetLedger ledger;
+  ASSERT_TRUE(ledger.RegisterTenant("a", 2.0).ok());
+  ASSERT_TRUE(ledger.Spend("a", 0.5).ok());
+  auto account = ledger.Account("a");
+  ASSERT_TRUE(account.ok());
+  EXPECT_EQ(account->tenant, "a");
+  EXPECT_NEAR(account->total, 2.0, 1e-12);
+  EXPECT_NEAR(account->spent, 0.5, 1e-12);
+  EXPECT_NEAR(account->remaining, 1.5, 1e-12);
+  EXPECT_EQ(ledger.Account("ghost").status().code(), StatusCode::kNotFound);
+  // total = spent + remaining holds inside one snapshot even while another
+  // thread spends between reads — that is what the single-lock accessor is
+  // for (the /v1/tenants/<t> endpoint relies on it).
+  std::atomic<bool> done{false};
+  std::thread churn([&] {
+    while (!done.load()) {
+      if (!ledger.Spend("a", 0.001).ok()) (void)ledger.Refund("a", 1.0);
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    auto snap = ledger.Account("a");
+    ASSERT_TRUE(snap.ok());
+    EXPECT_NEAR(snap->spent + snap->remaining, snap->total, 1e-9);
+  }
+  done.store(true);
+  churn.join();
+}
+
 TEST(BudgetLedgerTest, ConcurrentSpendRefundStaysConsistent) {
   constexpr int kThreads = 8;
   constexpr int kRounds = 1000;
@@ -117,6 +151,55 @@ TEST(BudgetLedgerTest, ConcurrentSpendRefundStaysConsistent) {
   // Every admitted ε was returned; the account must be exactly balanced.
   EXPECT_NEAR(*ledger.Spent("churn"), 0.0, 1e-9);
   EXPECT_NEAR(*ledger.Remaining("churn"), 1.0, 1e-9);
+}
+
+// The satellite acceptance test: spend/refund/exhaustion racing from 8
+// threads around a tight budget. Every admitted ε must be conserved — the
+// final position equals (admits − refunds) × ε exactly, and the exhaustion
+// boundary refuses without corrupting the account.
+TEST(BudgetLedgerTest, ConcurrentSpendRefundExhaustionConservesEpsilon) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 2000;
+  constexpr double kEps = 0.01;
+  constexpr double kTotal = 1.0;  // exhausts after ~100 net spends
+
+  BudgetLedger ledger;
+  ASSERT_TRUE(ledger.RegisterTenant("hot", kTotal).ok());
+
+  std::atomic<int> admitted{0}, refunded{0}, exhausted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRounds; ++i) {
+        Status st = ledger.Spend("hot", kEps);
+        if (st.ok()) {
+          admitted.fetch_add(1);
+          // Refund two of three admissions: the account approaches the
+          // exhaustion boundary slowly, so many threads race right at it.
+          if ((t + i) % 3 != 0) {
+            ASSERT_TRUE(ledger.Refund("hot", kEps).ok());
+            refunded.fetch_add(1);
+          }
+        } else {
+          ASSERT_EQ(st.code(), StatusCode::kBudgetExhausted);
+          exhausted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // The race must have actually crossed the boundary in both directions.
+  EXPECT_GT(exhausted.load(), 0);
+  EXPECT_GT(refunded.load(), 0);
+  double expected = (admitted.load() - refunded.load()) * kEps;
+  EXPECT_NEAR(*ledger.Spent("hot"), expected, 1e-9);
+  EXPECT_NEAR(*ledger.Remaining("hot"), kTotal - expected, 1e-9);
+  // Conservation: nothing minted, nothing leaked.
+  auto account = ledger.Account("hot");
+  ASSERT_TRUE(account.ok());
+  EXPECT_NEAR(account->spent + account->remaining, kTotal, 1e-9);
+  EXPECT_LE(account->spent, kTotal + 1e-9);
 }
 
 // ----------------------------------------------------------------- cache ----
@@ -216,6 +299,47 @@ TEST(EnginePoolTest, EnginesHaveIndependentRngStreams) {
   bool all_equal = true;
   for (double s : scalars) all_equal = all_equal && s == scalars[0];
   EXPECT_FALSE(all_equal);
+}
+
+// Deterministic queue-full behavior: park the single worker on a latch, fill
+// the one queue slot, and observe TryDispatch refuse with Unavailable while
+// Dispatch would block.
+TEST(EnginePoolTest, TryDispatchRefusesWhenFull) {
+  auto catalog = testing_fixture::MakeToyCatalog();
+  EnginePool pool(&catalog, /*num_engines=*/1, /*queue_capacity=*/1);
+
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> latch(release.get_future());
+  // Occupies the worker until released; `started` resolves once the worker
+  // has actually picked the job up (the queue slot is free again).
+  auto blocker =
+      pool.Dispatch([&started, latch](core::DpStarJoin&) -> Result<exec::QueryResult> {
+        started.set_value();
+        latch.wait();
+        return ScalarResult(1);
+      });
+  ASSERT_TRUE(blocker.ok());
+  started.get_future().wait();
+
+  // The worker is parked and the queue is empty: one TryDispatch fills the
+  // single slot, the next must refuse without blocking.
+  auto queued = pool.TryDispatch(
+      [latch](core::DpStarJoin&) -> Result<exec::QueryResult> {
+        latch.wait();
+        return ScalarResult(2);
+      });
+  ASSERT_TRUE(queued.ok()) << queued.status().ToString();
+  EXPECT_EQ(pool.queue_depth(), 1u);
+
+  auto refused = pool.TryDispatch(
+      [](core::DpStarJoin&) -> Result<exec::QueryResult> { return ScalarResult(3); });
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+
+  release.set_value();
+  ASSERT_TRUE(blocker->get().ok());
+  ASSERT_TRUE(queued->get().ok());
 }
 
 // --------------------------------------------------------------- service ----
@@ -419,6 +543,77 @@ TEST_F(QueryServiceTest, ConcurrentMixedWorkloadAccountsExactly) {
   EXPECT_EQ(stats.cache.misses, paid);
   EXPECT_GT(stats.cache.hits, 0u);
   EXPECT_GT(stats.failed, 0u);
+}
+
+// TrySubmit under saturation: whatever mix of answers and Unavailable
+// refusals the race produces, the ledger position must equal ε × (paid
+// answers) exactly — every shed query's admission ε flowed back — and the
+// stats must classify refusals as overload, not failure.
+TEST_F(QueryServiceTest, TrySubmitShedsLoadAndRefundsExactly) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  constexpr double kEps = 0.01;
+
+  ServiceOptions opts;
+  opts.num_engines = 1;
+  opts.queue_capacity = 1;
+  opts.cache_capacity = 0;  // every answered query pays
+  QueryService svc(&catalog_, opts);
+  ASSERT_TRUE(svc.RegisterTenant("t", 1e6).ok());
+
+  std::atomic<uint64_t> answered{0}, shed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string sql = Format(
+            "SELECT count(*) FROM Orders, Cust WHERE Orders.ck = Cust.ck "
+            "AND Cust.tier <= %d",
+            (t * kPerThread + i) % 4 + 1);
+        auto r = svc.TrySubmit(sql, kEps, "t").get();
+        if (r.ok()) {
+          answered.fetch_add(1);
+        } else {
+          ASSERT_EQ(r.status().code(), StatusCode::kUnavailable)
+              << r.status().ToString();
+          shed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(answered.load() + shed.load(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_GT(answered.load(), 0u);
+  EXPECT_NEAR(*svc.ledger().Spent("t"),
+              static_cast<double>(answered.load()) * kEps, 1e-9);
+  auto stats = svc.Stats();
+  EXPECT_EQ(stats.completed, answered.load());
+  EXPECT_EQ(stats.rejected_overload, shed.load());
+  EXPECT_EQ(stats.failed, 0u);
+  // Shed queries were never counted as submitted work.
+  EXPECT_EQ(stats.submitted, answered.load());
+}
+
+TEST_F(QueryServiceTest, TrySubmitMatchesSubmitWhenUncontended) {
+  ServiceOptions opts;
+  opts.num_engines = 2;
+  QueryService svc(&catalog_, opts);
+  ASSERT_TRUE(svc.RegisterTenant("t", 1.0).ok());
+  auto r = svc.TrySubmit(kToySql, 0.25, "t").get();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NEAR(*svc.RemainingBudget("t"), 0.75, 1e-12);
+  // Same canonical query replays from the cache at zero ε, like Submit.
+  auto replay = svc.TrySubmit(kToySql, 0.25, "t").get();
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(r->scalar, replay->scalar);
+  EXPECT_NEAR(*svc.RemainingBudget("t"), 0.75, 1e-12);
+  // Invalid arguments are refused identically.
+  EXPECT_EQ(svc.TrySubmit(kToySql, 0.0, "t").get().status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(svc.TrySubmit(kToySql, 0.1, "nobody").get().status().code(),
+            StatusCode::kNotFound);
 }
 
 }  // namespace

@@ -1,0 +1,230 @@
+// dpstarj-server — the DP-starJ query service behind the HTTP front door.
+//
+// Generates an SSB catalog (--sf), runs a QueryService over it, and serves
+// the wire protocol of src/net/service_api.h until SIGINT/SIGTERM, then
+// drains gracefully: the listen socket closes first, in-flight queries are
+// answered, the pool shuts down, and the final service stats are printed.
+//
+//   $ ./dpstarj-server --port 8080 --sf 0.01 --default-budget 10
+//   $ curl -s localhost:8080/healthz
+//   $ curl -s -X POST localhost:8080/v1/tenants \
+//       -d '{"tenant":"analytics","epsilon":2.0}'
+//   $ curl -s -X POST localhost:8080/v1/query \
+//       -d '{"sql":"SELECT count(*) FROM Date, Lineorder WHERE
+//            Lineorder.orderdate = Date.datekey AND Date.year = 1993",
+//            "epsilon":0.5,"tenant":"analytics"}'
+//   $ curl -s localhost:8080/v1/tenants/analytics
+//   $ curl -s localhost:8080/v1/stats
+//
+// --selfcheck runs the CI smoke path instead of waiting for traffic: an
+// in-process net::Client registers a tenant, issues one query and one stats
+// call, the process SIGINTs itself, and the exit code reports whether the
+// round trips and the graceful drain all succeeded.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "net/client.h"
+#include "net/http_server.h"
+#include "net/service_api.h"
+#include "service/query_service.h"
+#include "ssb/ssb_generator.h"
+#include "ssb/ssb_queries.h"
+
+using namespace dpstarj;
+
+namespace {
+
+struct Flags {
+  std::string host = "127.0.0.1";
+  int port = 8080;
+  double scale_factor = 0.01;
+  int engines = 4;
+  int queue = 256;
+  int handler_threads = 8;
+  double default_budget = 0.0;  // <= 0: tenants must be registered explicitly
+  bool selfcheck = false;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--host A] [--port N] [--sf S] [--engines N] [--queue N]\n"
+      "          [--handler-threads N] [--default-budget E] [--selfcheck]\n"
+      "  --port 0 picks an ephemeral port (printed on startup)\n"
+      "  --default-budget E auto-registers unknown tenants with total eps E\n"
+      "  --selfcheck: serve, run one client round trip, SIGINT itself, exit\n",
+      argv0);
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next_num = [&](double* out) {
+      if (i + 1 >= argc) return false;
+      return ParseDouble(argv[++i], out);
+    };
+    double v = 0.0;
+    if (arg == "--host" && i + 1 < argc) {
+      flags->host = argv[++i];
+    } else if (arg == "--port" && next_num(&v)) {
+      if (v < 0 || v > 65535 || v != static_cast<int>(v)) {
+        std::fprintf(stderr, "--port must be an integer in [0, 65535]\n");
+        return false;
+      }
+      flags->port = static_cast<int>(v);
+    } else if (arg == "--sf" && next_num(&v)) {
+      flags->scale_factor = v;
+    } else if (arg == "--engines" && next_num(&v)) {
+      flags->engines = static_cast<int>(v);
+    } else if (arg == "--queue" && next_num(&v)) {
+      flags->queue = static_cast<int>(v);
+    } else if (arg == "--handler-threads" && next_num(&v)) {
+      flags->handler_threads = static_cast<int>(v);
+    } else if (arg == "--default-budget" && next_num(&v)) {
+      flags->default_budget = v;
+    } else if (arg == "--selfcheck") {
+      flags->selfcheck = true;
+    } else {
+      Usage(argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+// The selfcheck client: one full protocol round trip against the live
+// server, then a process-directed SIGINT so the main thread's sigwait-based
+// drain path is exercised exactly as an operator's Ctrl-C would.
+int RunSelfcheck(const std::string& host, uint16_t port) {
+  net::Client client(host, port);
+
+  auto health = client.Get("/healthz");
+  if (!health.ok() || health->status != 200) {
+    std::fprintf(stderr, "selfcheck: /healthz failed: %s\n",
+                 health.ok() ? Format("HTTP %d", health->status).c_str()
+                             : health.status().ToString().c_str());
+    return 1;
+  }
+  auto reg = client.Post("/v1/tenants",
+                         "{\"tenant\":\"smoke\",\"epsilon\":2.0}");
+  if (!reg.ok() || reg->status != 201) {
+    std::fprintf(stderr, "selfcheck: tenant registration failed\n");
+    return 1;
+  }
+  auto sql = ssb::GetQuerySql("Qc1");
+  if (!sql.ok()) {
+    std::fprintf(stderr, "selfcheck: %s\n", sql.status().ToString().c_str());
+    return 1;
+  }
+  net::Json query = net::Json::Object();
+  query.Set("sql", net::Json::Str(*sql));
+  query.Set("epsilon", net::Json::Number(0.5));
+  query.Set("tenant", net::Json::Str("smoke"));
+  auto answer = client.Post("/v1/query", query.Dump());
+  if (!answer.ok() || answer->status != 200) {
+    std::fprintf(stderr, "selfcheck: query failed: %s\n",
+                 answer.ok() ? answer->body.c_str()
+                             : answer.status().ToString().c_str());
+    return 1;
+  }
+  auto body = net::Client::ParseBody(*answer);
+  if (!body.ok() || body->Find("scalar") == nullptr) {
+    std::fprintf(stderr, "selfcheck: malformed answer body\n");
+    return 1;
+  }
+  auto account = client.Get("/v1/tenants/smoke");
+  if (!account.ok() || account->status != 200) {
+    std::fprintf(stderr, "selfcheck: account lookup failed\n");
+    return 1;
+  }
+  auto stats = client.Get("/v1/stats");
+  if (!stats.ok() || stats->status != 200) {
+    std::fprintf(stderr, "selfcheck: stats failed\n");
+    return 1;
+  }
+  std::printf("selfcheck: noisy answer %s\n", answer->body.c_str());
+  std::printf("selfcheck: account %s\n", account->body.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 2;
+  Logger::SetLevel(LogLevel::kInfo);
+
+  // Block SIGINT/SIGTERM in every thread (children inherit the mask); the
+  // main thread collects them with sigwait below — the only async-signal-safe
+  // way to run a multi-thread drain from a signal.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  std::printf("generating SSB catalog at sf=%g ...\n", flags.scale_factor);
+  ssb::SsbOptions ssb_options;
+  ssb_options.scale_factor = flags.scale_factor;
+  auto catalog = ssb::GenerateSsb(ssb_options);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "catalog: %s\n", catalog.status().ToString().c_str());
+    return 1;
+  }
+
+  service::ServiceOptions service_options;
+  service_options.num_engines = flags.engines;
+  service_options.queue_capacity = static_cast<size_t>(flags.queue);
+  if (flags.default_budget > 0.0) {
+    service_options.default_tenant_budget = flags.default_budget;
+  }
+  service::QueryService service(&*catalog, service_options);
+
+  net::ServerOptions server_options;
+  server_options.host = flags.host;
+  server_options.port = static_cast<uint16_t>(flags.port);
+  server_options.handler_threads = flags.handler_threads;
+  net::HttpServer server(net::MakeServiceRouter(&service), server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("dpstarj-server listening on http://%s:%u (engines=%d, queue=%d)\n",
+              server.host().c_str(), server.port(), flags.engines, flags.queue);
+
+  std::thread selfcheck;
+  int selfcheck_rc = 0;
+  if (flags.selfcheck) {
+    selfcheck = std::thread([&] {
+      selfcheck_rc = RunSelfcheck(flags.host, server.port());
+      // Drive the normal shutdown path; process-directed so sigwait sees it.
+      kill(getpid(), SIGINT);
+    });
+  }
+
+  int sig = 0;
+  sigwait(&signals, &sig);
+  std::printf("\n%s received, draining ...\n", strsignal(sig));
+  if (selfcheck.joinable()) selfcheck.join();
+
+  server.Stop();
+  service.Shutdown();
+
+  net::ServerStats net_stats = server.GetStats();
+  std::printf("server: %llu connections (%llu rejected), %llu requests "
+              "(%llu bad)\n",
+              static_cast<unsigned long long>(net_stats.connections_accepted),
+              static_cast<unsigned long long>(net_stats.connections_rejected),
+              static_cast<unsigned long long>(net_stats.requests_handled),
+              static_cast<unsigned long long>(net_stats.bad_requests));
+  std::printf("service: %s\n", service.Stats().ToString().c_str());
+  return selfcheck_rc;
+}
