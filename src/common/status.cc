@@ -31,6 +31,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ParseError";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kRateLimited:
+      return "RateLimited";
   }
   return "Unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode : int {
   kIoError = 9,
   kParseError = 10,
   kUnavailable = 11,
+  kRateLimited = 12,
 };
 
 /// \brief Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -78,6 +79,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status RateLimited(std::string msg) {
+    return Status(StatusCode::kRateLimited, std::move(msg));
   }
   /// @}
 

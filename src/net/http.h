@@ -112,6 +112,9 @@ class HttpRequestParser {
   bool in_error() const { return state_ == State::kError; }
   /// True after a Feed/Pump reported kComplete (until Reset()).
   bool is_complete() const { return state_ == State::kComplete; }
+  /// True while the header block is complete and body bytes are still owed —
+  /// the server switches from its header-read to its body-read deadline here.
+  bool in_body() const { return state_ == State::kBody; }
 
   /// Discards the completed request and re-arms for the next one.
   void Reset();

@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.h"
@@ -113,6 +114,7 @@ Status HttpServer::Start() {
   }
 
   event_thread_ = std::thread([this] { EventLoop(); });
+  event_thread_id_.store(event_thread_.get_id());
   handler_threads_.reserve(static_cast<size_t>(options_.handler_threads));
   for (int i = 0; i < options_.handler_threads; ++i) {
     handler_threads_.emplace_back([this] { HandlerLoop(); });
@@ -122,18 +124,20 @@ Status HttpServer::Start() {
   return Status::OK();
 }
 
+void HttpServer::Wake() {
+  if (wake_fd_ >= 0) {
+    uint64_t n = 1;
+    (void)!::write(wake_fd_, &n, sizeof(n));
+  }
+}
+
 void HttpServer::Stop() {
   std::lock_guard<std::mutex> stop_lock(stop_mu_);
   if (!started_.load() || stopped_) return;
   stopped_ = true;
   draining_.store(true);
 
-  auto wake = [this] {
-    if (wake_fd_ >= 0) {
-      uint64_t n = 1;
-      (void)!::write(wake_fd_, &n, sizeof(n));
-    }
-  };
+  auto wake = [this] { Wake(); };
   // Phase 1: stop accepting (the event loop closes the listen socket) and let
   // in-flight requests finish — their responses carry "Connection: close".
   wake();
@@ -179,13 +183,173 @@ ServerStats HttpServer::GetStats() const {
   s.connections_rejected = connections_rejected_.load();
   s.requests_handled = requests_handled_.load();
   s.bad_requests = bad_requests_.load();
+  s.timeouts_header = timeouts_header_.load();
+  s.timeouts_body = timeouts_body_.load();
+  s.timeouts_idle = timeouts_idle_.load();
+  s.timeouts_write = timeouts_write_.load();
   return s;
+}
+
+int HttpServer::TimeoutForPhase(Connection::Phase phase) const {
+  switch (phase) {
+    case Connection::Phase::kHeader:
+      return options_.header_timeout_ms;
+    case Connection::Phase::kBody:
+      return options_.body_timeout_ms;
+    case Connection::Phase::kIdle:
+      return options_.idle_timeout_ms;
+    case Connection::Phase::kHandling:
+      return 0;
+  }
+  return 0;
+}
+
+void HttpServer::SetDeadline(Connection* conn, Connection::Phase phase) {
+  conn->phase = phase;
+  // The fresh gen invalidates every entry already in the heap for this
+  // connection; with a zero timeout that is the whole job (pure cancel).
+  // Gens are drawn from a server-wide counter: a per-connection counter
+  // would restart at 1 for a new connection on a recycled fd number, and a
+  // stale heap entry (fd, 1) from the fd's previous life could then reap the
+  // newcomer before its real deadline.
+  const uint64_t gen =
+      deadline_gen_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  conn->deadline_gen.store(gen, std::memory_order_release);
+  const int timeout_ms = TimeoutForPhase(phase);
+  if (timeout_ms <= 0) {
+    std::lock_guard<std::mutex> lock(deadline_mu_);
+    heap_gens_.erase(conn->fd);
+    return;
+  }
+  DeadlineEntry entry;
+  entry.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(timeout_ms);
+  entry.fd = conn->fd;
+  entry.gen = gen;
+  bool new_earliest = false;
+  {
+    std::lock_guard<std::mutex> lock(deadline_mu_);
+    new_earliest =
+        deadlines_.empty() || entry.deadline < deadlines_.top().deadline;
+    deadlines_.push(entry);
+    heap_gens_[conn->fd] = gen;
+    // Superseded entries removed only at expiry would accumulate with
+    // request rate; compact once they clearly dominate the live set.
+    if (deadlines_.size() > 1024 && deadlines_.size() > 4 * heap_gens_.size()) {
+      CompactDeadlinesLocked();
+    }
+  }
+  // A push from a handler thread may shorten the next expiry below what the
+  // event loop is currently sleeping for — kick it to recompute, but only
+  // when this entry actually became the earliest: the loop's sleep bound is
+  // never later than the previous heap top, so a later entry needs no wake
+  // (and the typical post-response idle push would otherwise pay one eventfd
+  // write plus a spurious wakeup per request). Pushes from the event thread
+  // itself happen before its next ReapExpiredDeadlines.
+  if (new_earliest && std::this_thread::get_id() != event_thread_id_.load()) {
+    Wake();
+  }
+}
+
+void HttpServer::CompactDeadlinesLocked() {
+  std::vector<DeadlineEntry> live;
+  live.reserve(heap_gens_.size());
+  while (!deadlines_.empty()) {
+    const DeadlineEntry& entry = deadlines_.top();
+    auto it = heap_gens_.find(entry.fd);
+    if (it != heap_gens_.end() && it->second == entry.gen) {
+      live.push_back(entry);
+    }
+    deadlines_.pop();
+  }
+  deadlines_ = decltype(deadlines_)(std::greater<DeadlineEntry>(),
+                                    std::move(live));
+}
+
+int HttpServer::ReapExpiredDeadlines() {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<DeadlineEntry> due;
+  int timeout_ms = -1;
+  {
+    std::lock_guard<std::mutex> lock(deadline_mu_);
+    while (!deadlines_.empty() && deadlines_.top().deadline <= now) {
+      due.push_back(deadlines_.top());
+      deadlines_.pop();
+    }
+    if (!deadlines_.empty()) {
+      // Round up so epoll_wait never returns before the deadline and spins.
+      auto delta = deadlines_.top().deadline - now;
+      timeout_ms = static_cast<int>(
+                       std::chrono::duration_cast<std::chrono::milliseconds>(delta)
+                           .count()) +
+                   1;
+    }
+  }
+  for (const DeadlineEntry& entry : due) ReapConnection(entry);
+  return timeout_ms;
+}
+
+void HttpServer::ReapConnection(const DeadlineEntry& entry) {
+  // Claim the connection under the table lock: once its entry is moved out,
+  // no other thread can destroy it (destruction requires conn_mu_), and any
+  // concurrent CloseConnection no-ops on the missing entry. The gen pre-check
+  // is lock-free on conn->mu so a handler blocked in a long write — whose gen
+  // is always stale, kHandling bumps it at dispatch — never stalls the event
+  // loop here.
+  std::unique_ptr<Connection> owned;
+  Connection::Phase phase;
+  {
+    std::lock_guard<std::mutex> table_lock(conn_mu_);
+    auto it = connections_.find(entry.fd);
+    if (it == connections_.end()) return;  // already closed
+    Connection* conn = it->second.get();
+    if (conn->deadline_gen.load(std::memory_order_acquire) != entry.gen) {
+      return;  // superseded: the connection made progress
+    }
+    owned = std::move(it->second);
+    connections_.erase(it);
+    // A matching gen means no handler owns the connection; at worst one is in
+    // the microseconds between scheduling this very deadline and releasing
+    // mu (its re-arm tail). Wait that out so the fd is not closed under it.
+    std::lock_guard<std::mutex> lock(owned->mu);
+    phase = owned->phase;
+  }
+  switch (phase) {
+    case Connection::Phase::kHeader:
+    case Connection::Phase::kBody: {
+      (phase == Connection::Phase::kHeader ? timeouts_header_ : timeouts_body_)
+          .fetch_add(1);
+      // Best-effort 408 — one non-blocking send; a peer too slow to read a
+      // request is likely too slow to read this, and that must not stall us.
+      HttpResponse timeout = HttpResponse::MakeJson(
+          408, Format("{\"error\":{\"code\":\"TimeLimit\",\"message\":"
+                      "\"%s read deadline exceeded\"}}",
+                      phase == Connection::Phase::kHeader ? "header" : "body"));
+      std::string wire = SerializeResponse(timeout, /*keep_alive=*/false);
+      (void)!::send(owned->fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+      break;
+    }
+    case Connection::Phase::kIdle:
+      timeouts_idle_.fetch_add(1);
+      break;
+    case Connection::Phase::kHandling:
+      break;  // unreachable: dispatch bumps the gen
+  }
+  {
+    std::lock_guard<std::mutex> lock(deadline_mu_);
+    heap_gens_.erase(owned->fd);
+  }
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, owned->fd, nullptr);
+  ::close(owned->fd);
 }
 
 void HttpServer::EventLoop() {
   epoll_event events[kEpollBatch];
   while (!stop_.load()) {
-    int n = ::epoll_wait(epoll_fd_, events, kEpollBatch, -1);
+    // The wait is bounded by the earliest connection deadline; expired ones
+    // are reaped before sleeping again.
+    int timeout_ms = ReapExpiredDeadlines();
+    int n = ::epoll_wait(epoll_fd_, events, kEpollBatch, timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       DPSTARJ_LOG(kError) << "epoll_wait: " << std::strerror(errno);
@@ -244,7 +408,15 @@ void HttpServer::AcceptReady() {
                  .emplace(fd, std::make_unique<Connection>(fd, options_.limits))
                  .first->second.get();
     }
-    if (!ArmRead(fd, /*add=*/true)) CloseConnection(conn);
+    bool armed = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      // The header clock starts at accept: a client that connects and sends
+      // nothing (or drips) is exactly what the deadline is for.
+      SetDeadline(conn, Connection::Phase::kHeader);
+      armed = ArmRead(fd, /*add=*/true);
+    }
+    if (!armed) CloseConnection(fd, conn);
   }
 }
 
@@ -265,11 +437,11 @@ bool HttpServer::ArmRead(int fd, bool add) {
   return true;
 }
 
-void HttpServer::CloseConnection(Connection* conn) {
+void HttpServer::CloseConnection(int fd, Connection* conn) {
   // Remove the table entry BEFORE closing the fd: the moment close() returns,
   // accept4 on the event thread may hand the same fd number back, and its
   // fresh Connection must not collide with (or be destroyed by) this one.
-  const int fd = conn->fd;
+  // `conn` is compared, never dereferenced — see the header comment.
   std::unique_ptr<Connection> owned;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
@@ -280,6 +452,14 @@ void HttpServer::CloseConnection(Connection* conn) {
     }
   }
   if (owned == nullptr) return;  // already closed by another path
+  {
+    // Un-endorse any pending deadline entry: without this, a closed
+    // connection's entry stays "live" to CompactDeadlinesLocked for its full
+    // nominal timeout, and under connection churn the heap's dead population
+    // both grows and defers the compaction trigger.
+    std::lock_guard<std::mutex> lock(deadline_mu_);
+    heap_gens_.erase(fd);
+  }
   (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
 }
@@ -312,16 +492,30 @@ void HttpServer::ConnectionReady(int fd) {
       break;
     }
     if (progress == HttpRequestParser::Progress::kNeedMore) {
+      if (!peer_gone) {
+        // Advance the deadline phase on transitions only: kIdle→kHeader when
+        // the next request's first bytes arrive, kHeader→kBody when the
+        // header block completes. Within a phase the deadline stays anchored
+        // — partial progress never buys a slow client more time.
+        Connection::Phase want =
+            conn->parser.in_body()
+                ? Connection::Phase::kBody
+                : (conn->parser.has_buffered_input() ? Connection::Phase::kHeader
+                                                     : conn->phase);
+        if (want != conn->phase) SetDeadline(conn, want);
+      }
       should_close = peer_gone || !ArmRead(fd, /*add=*/false);
     } else {
       // Complete request or parse error: hand the connection to a handler
       // thread. The event loop never runs the router — a slow DP answer must
-      // not delay other connections' accepts and reads.
+      // not delay other connections' accepts and reads. No deadline while a
+      // handler owns the connection (the DP answer may legitimately block).
+      SetDeadline(conn, Connection::Phase::kHandling);
       dispatch = true;
     }
   }
   if (should_close) {
-    CloseConnection(conn);
+    CloseConnection(fd, conn);
   } else if (dispatch) {
     EnqueueHandler(conn);
   }
@@ -367,10 +561,14 @@ void HttpServer::HandleRequest(Connection* conn) {
   // Serve every request already buffered on this connection (pipelining),
   // then re-arm it for fresh bytes. The connection mutex is held across the
   // whole exchange — uncontended under the ONESHOT discipline — and released
-  // before a close, which destroys the Connection.
+  // before a close, which destroys the Connection. The fd is captured under
+  // the mutex: after release, a reaper that claimed the connection during
+  // the re-arm tail may destroy it, and the close below must not touch it.
   bool should_close = false;
+  int fd = -1;
   {
     std::lock_guard<std::mutex> lock(conn->mu);
+    fd = conn->fd;
     for (;;) {
       if (conn->parser.in_error()) {
         bad_requests_.fetch_add(1);
@@ -384,7 +582,23 @@ void HttpServer::HandleRequest(Connection* conn) {
         break;
       }
       if (!conn->parser.is_complete()) {
+        // Back to the read phases: idle when nothing of the next request has
+        // arrived, header/body when pipelined bytes already carry part of it.
+        Connection::Phase next =
+            conn->parser.in_body()
+                ? Connection::Phase::kBody
+                : (conn->parser.has_buffered_input() ? Connection::Phase::kHeader
+                                                     : Connection::Phase::kIdle);
+        SetDeadline(conn, next);
         should_close = !ArmRead(conn->fd, /*add=*/false);
+        if (should_close) {
+          // Cancel the deadline just scheduled: a reaper that has not yet
+          // passed its gen check must not race this thread to the close. (A
+          // reaper already past the check — parked on this mutex — wins the
+          // connection instead; the fd-keyed CloseConnection below then
+          // degrades to a no-op rather than touching the freed Connection.)
+          SetDeadline(conn, Connection::Phase::kHandling);
+        }
         break;
       }
       HttpRequest& request = conn->parser.request();
@@ -400,22 +614,47 @@ void HttpServer::HandleRequest(Connection* conn) {
       (void)conn->parser.Pump();
     }
   }
-  if (should_close) CloseConnection(conn);
+  if (should_close) CloseConnection(fd, conn);
 }
 
 bool HttpServer::WriteAll(int fd, const std::string& data) {
+  // Two bounds: the zero-progress window (kWritePollTimeoutMs) catches a
+  // peer that stops reading entirely, and the total write budget
+  // (write_timeout_ms, 0 = unbounded) catches one that keeps the window
+  // alive by draining a byte at a time — either way a handler thread is
+  // released instead of pinned.
+  const bool bounded = options_.write_timeout_ms > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(bounded ? options_.write_timeout_ms : 0);
   size_t sent = 0;
   while (sent < data.size()) {
+    if (bounded && std::chrono::steady_clock::now() >= deadline) {
+      timeouts_write_.fetch_add(1);
+      return false;
+    }
     ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<size_t>(n);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      int wait_ms = kWritePollTimeoutMs;
+      if (bounded) {
+        const long long left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now())
+                .count();
+        wait_ms = static_cast<int>(std::max<long long>(
+            0, std::min<long long>(wait_ms, left + 1)));
+      }
       pollfd pfd{fd, POLLOUT, 0};
-      int ready = ::poll(&pfd, 1, kWritePollTimeoutMs);
-      if (ready <= 0) return false;  // peer too slow or gone
-      continue;
+      int ready = ::poll(&pfd, 1, wait_ms);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready <= 0 && wait_ms >= kWritePollTimeoutMs) {
+        return false;  // zero progress for the whole window: peer gone/stuck
+      }
+      continue;  // progress possible, or the budget check above fires next
     }
     if (n < 0 && errno == EINTR) continue;
     return false;

@@ -13,6 +13,14 @@
 //     (one in-flight request per connection), so it is naturally bounded;
 //   * per-connection parsers enforce hard header/body byte limits, and the
 //     connection count is capped — excess accepts are answered 503 + close;
+//   * per-connection deadlines bound a connection's *time* footprint the way
+//     the parser limits bound its bytes: separate header-read, body-read and
+//     keep-alive-idle deadlines live in a min-heap serviced by the epoll
+//     loop (its wait timeout is the next expiry), so a slow-loris client
+//     dripping one header byte per second is reaped with 408 at the header
+//     deadline instead of pinning a connection slot forever; the write side
+//     is bounded too — each response has a total write budget, so a peer
+//     draining one byte per poll window cannot pin a handler thread;
 //   * Stop() drains gracefully: the listen socket closes first, in-flight
 //     requests finish (their responses say "Connection: close"), then idle
 //     keep-alive connections are torn down and the threads joined.
@@ -24,11 +32,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -53,6 +63,25 @@ struct ServerOptions {
   int max_connections = 1024;
   /// Per-request input bounds (header bytes, body bytes).
   ParserLimits limits;
+  /// \name Connection deadlines, in milliseconds (0 disables one).
+  /// The deadline is anchored at the phase transition and never extended by
+  /// partial progress — dripping bytes does not buy a slow client time.
+  /// @{
+  /// Accept (or first byte after keep-alive idle) → complete header block.
+  /// Expiry answers 408 and closes (the slow-loris bound).
+  int header_timeout_ms = 10'000;
+  /// Header block complete → full body received. Expiry answers 408 + close.
+  int body_timeout_ms = 30'000;
+  /// Response written → first byte of the next request on a keep-alive
+  /// connection. Expiry closes silently (nothing was in flight to answer).
+  int idle_timeout_ms = 60'000;
+  /// Total budget for writing one response. Enforced inside the handler's
+  /// blocking write (not the deadline heap): without it, a peer that reads
+  /// one byte per zero-progress window pins a handler thread indefinitely —
+  /// the write-side twin of the slow-loris read problem. Expiry closes the
+  /// connection mid-response.
+  int write_timeout_ms = 30'000;
+  /// @}
 };
 
 /// \brief Monotonic server counters, as returned by GetStats().
@@ -61,6 +90,10 @@ struct ServerStats {
   uint64_t connections_rejected = 0;  ///< over max_connections (503)
   uint64_t requests_handled = 0;
   uint64_t bad_requests = 0;          ///< parse failures answered 4xx/5xx
+  uint64_t timeouts_header = 0;       ///< reaped at the header deadline (408)
+  uint64_t timeouts_body = 0;         ///< reaped at the body deadline (408)
+  uint64_t timeouts_idle = 0;         ///< keep-alive idle expiry (silent close)
+  uint64_t timeouts_write = 0;        ///< response write budget exceeded (closed)
 };
 
 /// \brief The epoll HTTP server. Construct with a Router, Start(), Stop().
@@ -99,14 +132,64 @@ class HttpServer {
   /// every parser access. It is uncontended by construction — ONESHOT means
   /// nobody waits on it — it only orders the handoffs.
   struct Connection {
+    /// Which deadline currently governs the connection.
+    enum class Phase {
+      kHeader,    ///< waiting for a complete header block
+      kBody,      ///< headers done, body bytes owed
+      kIdle,      ///< keep-alive, no request in progress
+      kHandling,  ///< owned by a handler thread — no deadline
+    };
+
     explicit Connection(int fd, ParserLimits limits) : fd(fd), parser(limits) {}
     const int fd;
     std::mutex mu;
     HttpRequestParser parser;
+    /// Guarded by mu (the reaper reads it under mu before closing).
+    Phase phase = Phase::kHeader;
+    /// Which heap entry is current: SetDeadline stores a fresh server-wide
+    /// serial here, so superseded entries are recognized and skipped when
+    /// they surface (lazy deletion). Server-wide — not per-connection — so a
+    /// stale entry can never match a NEW connection that reused the same fd
+    /// number (and would otherwise start from the same small gen values).
+    /// Atomic so the reaper can pre-check without conn->mu — a handler deep
+    /// in a blocking write always has a stale gen, and the reaper must not
+    /// wait on it. 0 = no deadline ever scheduled.
+    std::atomic<uint64_t> deadline_gen{0};
+  };
+
+  /// One pending expiry in the deadline min-heap.
+  struct DeadlineEntry {
+    std::chrono::steady_clock::time_point deadline;
+    int fd = -1;
+    uint64_t gen = 0;
+    bool operator>(const DeadlineEntry& other) const {
+      return deadline > other.deadline;
+    }
   };
 
   void EventLoop();
   void HandlerLoop();
+
+  /// Interrupts epoll_wait (deadline pushed off-loop, or Stop()).
+  void Wake();
+
+  /// \brief Moves `conn` into `phase` and schedules its expiry (cancelling
+  /// any previous deadline via the gen bump). Phases with a zero timeout —
+  /// kHandling always — only cancel. Requires conn->mu held.
+  void SetDeadline(Connection* conn, Connection::Phase phase);
+  /// The configured timeout of a phase (0 = none).
+  int TimeoutForPhase(Connection::Phase phase) const;
+
+  /// \brief Pops due deadlines, reaps the connections they still govern, and
+  /// returns the epoll timeout until the next expiry (-1 when none pending).
+  /// Runs on the event thread.
+  int ReapExpiredDeadlines();
+  /// Rebuilds the heap keeping only each fd's newest entry (per heap_gens_).
+  /// Requires deadline_mu_ held; called when stale entries dominate.
+  void CompactDeadlinesLocked();
+  /// Reaps one expired entry if its gen is still current: 408 for header/
+  /// body expiry (best-effort), silent close for idle.
+  void ReapConnection(const DeadlineEntry& entry);
 
   /// Accepts until EAGAIN; each new fd is registered EPOLLIN|EPOLLONESHOT.
   void AcceptReady();
@@ -124,7 +207,11 @@ class HttpServer {
   /// (the caller must close the connection).
   bool ArmRead(int fd, bool add);
   Connection* LookupConnection(int fd);
-  void CloseConnection(Connection* conn);
+  /// \brief Closes `fd` iff the table still maps it to `conn`. Deliberately
+  /// never dereferences `conn` (pointer identity only): a handler thread may
+  /// reach here after the deadline reaper has already claimed and destroyed
+  /// the Connection, and this must degrade to a no-op, not a use-after-free.
+  void CloseConnection(int fd, Connection* conn);
   void EnqueueHandler(Connection* conn);
 
   Router router_;
@@ -136,12 +223,39 @@ class HttpServer {
   int wake_fd_ = -1;  ///< eventfd that interrupts epoll_wait for Stop()
 
   std::thread event_thread_;
+  /// Stored (atomically) right after the event thread spawns: SetDeadline
+  /// compares the running thread against this instead of
+  /// event_thread_.get_id() — the std::thread object is mutated by Stop()'s
+  /// join() concurrently with late handler-side deadline pushes, and
+  /// std::thread members are not synchronized. Atomic because the event
+  /// thread itself may read it (via AcceptReady → SetDeadline) before
+  /// Start()'s store lands; the default id then compares unequal, costing
+  /// at most one spurious self-wake.
+  std::atomic<std::thread::id> event_thread_id_{};
   std::vector<std::thread> handler_threads_;
 
   /// Connection table; the unique_ptrs pin Connection addresses so handler
   /// threads can hold raw pointers while the table mutates.
   mutable std::mutex conn_mu_;
   std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+
+  /// Deadline min-heap (lazy deletion: superseded entries are skipped when
+  /// popped). Guarded by its own mutex — handler threads push idle deadlines
+  /// while the event thread pops. Lock order is conn_mu_ → conn->mu →
+  /// deadline_mu_, acyclic by construction.
+  std::mutex deadline_mu_;
+  std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
+                      std::greater<DeadlineEntry>>
+      deadlines_;
+  /// fd → gen of its newest pushed entry (erased on cancel). Lazy deletion
+  /// alone would let superseded entries pile up for their full nominal
+  /// timeout — at high request rates that is hundreds of thousands of dead
+  /// 60s-idle entries — so when the heap far outgrows this map (the live
+  /// population), CompactDeadlinesLocked() drops everything superseded.
+  /// Bounded by peak concurrent fd numbers (the kernel recycles them).
+  std::unordered_map<int, uint64_t> heap_gens_;
+  /// Source of the server-wide unique gens stamped into connections/entries.
+  std::atomic<uint64_t> deadline_gen_counter_{0};
 
   std::mutex handler_mu_;
   std::condition_variable handler_cv_;
@@ -164,6 +278,10 @@ class HttpServer {
   std::atomic<uint64_t> connections_rejected_{0};
   std::atomic<uint64_t> requests_handled_{0};
   std::atomic<uint64_t> bad_requests_{0};
+  std::atomic<uint64_t> timeouts_header_{0};
+  std::atomic<uint64_t> timeouts_body_{0};
+  std::atomic<uint64_t> timeouts_idle_{0};
+  std::atomic<uint64_t> timeouts_write_{0};
 };
 
 }  // namespace dpstarj::net

@@ -1,5 +1,7 @@
 #include "net/service_api.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/string_util.h"
@@ -35,6 +37,11 @@ int HttpStatusForError(const Status& status) {
       // a client-side condition no retry will fix.
       return 403;
     case StatusCode::kUnavailable:
+      return 429;
+    case StatusCode::kRateLimited:
+      // Same HTTP status as global overload, but the response is additionally
+      // marked X-DPStarJ-Tenant-Limited: 1 — the caller itself is over its
+      // limits; other tenants are unaffected.
       return 429;
     case StatusCode::kNotSupported:
       return 501;
@@ -84,6 +91,12 @@ Json ServiceStatsToJson(const service::ServiceStats& stats) {
            Json::Number(static_cast<double>(stats.rejected_budget)));
   body.Set("rejected_overload",
            Json::Number(static_cast<double>(stats.rejected_overload)));
+  body.Set("rejected_tenant_limited",
+           Json::Number(static_cast<double>(stats.rejected_tenant_limited)));
+  body.Set("tenant_rate_limited",
+           Json::Number(static_cast<double>(stats.tenant_rate_limited)));
+  body.Set("tenant_capped",
+           Json::Number(static_cast<double>(stats.tenant_capped)));
 
   Json cache = Json::Object();
   cache.Set("hits", Json::Number(static_cast<double>(stats.cache.hits)));
@@ -129,12 +142,74 @@ Router MakeServiceRouter(service::QueryService* service, ApiOptions options) {
     if (!tenant.ok()) return ErrorResponse(tenant.status());
     auto epsilon = body->GetNumber("epsilon");
     if (!epsilon.ok()) return ErrorResponse(epsilon.status());
+    // Optional per-tenant admission overrides; absent fields keep the
+    // service defaults, explicit zeros disable that knob for the tenant.
+    service::TenantLimits limits = service->admission().LimitsFor(*tenant);
+    bool has_limits = false;
+    if (body->Find("rate_qps") != nullptr) {
+      auto rate = body->GetNumber("rate_qps");
+      if (!rate.ok()) return ErrorResponse(rate.status());
+      if (!std::isfinite(*rate) || *rate < 0.0) {
+        return ErrorResponse(
+            Status::InvalidArgument("rate_qps must be finite and >= 0"));
+      }
+      limits.rate_qps = *rate;
+      has_limits = true;
+    }
+    if (body->Find("burst") != nullptr) {
+      auto burst = body->GetNumber("burst");
+      if (!burst.ok()) return ErrorResponse(burst.status());
+      if (!std::isfinite(*burst) || *burst < 0.0) {
+        return ErrorResponse(
+            Status::InvalidArgument("burst must be finite and >= 0"));
+      }
+      limits.burst = *burst;
+      has_limits = true;
+    }
+    if (body->Find("max_in_flight") != nullptr) {
+      auto cap = body->GetNumber("max_in_flight");
+      if (!cap.ok()) return ErrorResponse(cap.status());
+      // Range-check BEFORE any int conversion: this value is attacker-
+      // supplied, and static_cast of an out-of-int-range double is UB.
+      if (!std::isfinite(*cap) || *cap < 0.0 || *cap > 1e9 ||
+          *cap != std::floor(*cap)) {
+        return ErrorResponse(Status::InvalidArgument(
+            "max_in_flight must be an integer in [0, 1e9]"));
+      }
+      limits.max_in_flight = static_cast<int>(*cap);
+      has_limits = true;
+    }
+    // Validate the overrides before registering, so a bad request leaves no
+    // half-registered tenant behind.
     Status st = service->RegisterTenant(*tenant, *epsilon);
-    if (!st.ok()) return ErrorResponse(st);
+    double total = *epsilon;
+    int http_status = 201;
+    if (!st.ok()) {
+      // Budgets are append-only — an existing tenant cannot re-register and
+      // `epsilon` is never re-minted. But a request carrying admission
+      // overrides is an operator throttling a LIVE tenant; refusing it with
+      // 409 (and silently dropping the limits) would leave no wire path to
+      // contain an abusive tenant after registration. Apply the limits to
+      // the existing account and answer 200.
+      if (st.code() != StatusCode::kAlreadyExists || !has_limits) {
+        return ErrorResponse(st);
+      }
+      auto account = service->ledger().Account(*tenant);
+      if (!account.ok()) return ErrorResponse(account.status());
+      total = account->total;  // the budget stays what it was
+      http_status = 200;
+    }
+    if (has_limits) service->SetTenantLimits(*tenant, limits);
     Json out = Json::Object();
     out.Set("tenant", Json::Str(*tenant));
-    out.Set("total", Json::Number(*epsilon));
-    return JsonResponse(201, out);
+    out.Set("total", Json::Number(total));
+    if (has_limits) {
+      out.Set("rate_qps", Json::Number(limits.rate_qps));
+      out.Set("burst", Json::Number(limits.burst));
+      out.Set("max_in_flight",
+              Json::Number(static_cast<double>(limits.max_in_flight)));
+    }
+    return JsonResponse(http_status, out);
   });
 
   router.Handle("GET", "/v1/tenants/<tenant>", [service](const HttpRequest& req) {
@@ -146,6 +221,21 @@ Router MakeServiceRouter(service::QueryService* service, ApiOptions options) {
     out.Set("total", Json::Number(account->total));
     out.Set("spent", Json::Number(account->spent));
     out.Set("remaining", Json::Number(account->remaining));
+    out.Set("spends", Json::Number(static_cast<double>(account->spends)));
+    out.Set("refunds", Json::Number(static_cast<double>(account->refunds)));
+    out.Set("budget_refusals",
+            Json::Number(static_cast<double>(account->refusals)));
+    // The fair-admission side of the account (its own lock, so a snapshot
+    // consistent per source, not across the two).
+    service::TenantAdmissionStats admission =
+        service->admission().TenantStats(tenant);
+    Json adm = Json::Object();
+    adm.Set("admitted", Json::Number(static_cast<double>(admission.admitted)));
+    adm.Set("rate_limited",
+            Json::Number(static_cast<double>(admission.rate_limited)));
+    adm.Set("capped", Json::Number(static_cast<double>(admission.capped)));
+    adm.Set("in_flight", Json::Number(static_cast<double>(admission.in_flight)));
+    out.Set("admission", std::move(adm));
     return JsonResponse(200, out);
   });
 
@@ -169,8 +259,20 @@ Router MakeServiceRouter(service::QueryService* service, ApiOptions options) {
     if (!answer.ok()) {
       HttpResponse resp = ErrorResponse(answer.status());
       if (resp.status == 429) {
-        resp.headers.push_back(
-            {"Retry-After", Format("%d", options.retry_after_seconds)});
+        int retry_after = options.retry_after_seconds;
+        if (answer.status().code() == StatusCode::kRateLimited) {
+          // Tenant-limited, not global pressure: mark it so clients (and
+          // dashboards) can tell "I am over my limit" from "the service is
+          // busy", and derive Retry-After from the tenant's own bucket.
+          resp.headers.push_back({kTenantLimitedHeader, "1"});
+          // Clamp before the cast: a wire-settable rate like 1e-300 makes
+          // the hint astronomically large, and casting an out-of-int-range
+          // double is UB. An hour is as honest as any larger number.
+          double hint =
+              std::min(service->admission().RetryAfterSeconds(*tenant), 3600.0);
+          retry_after = std::max(1, static_cast<int>(std::ceil(hint)));
+        }
+        resp.headers.push_back({"Retry-After", Format("%d", retry_after)});
       }
       return resp;
     }

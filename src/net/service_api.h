@@ -1,23 +1,33 @@
 // Copyright (c) dpstarj authors. Licensed under the MIT license.
 //
 // service_api — the wire protocol of the DP-starJ front door: a Router over
-// a service::QueryService. All bodies are JSON.
+// a service::QueryService. All bodies are JSON. The normative reference —
+// every endpoint, schema, and status code — is docs/wire-protocol.md; the
+// sketch:
 //
 //   POST /v1/query          {"sql", "epsilon", "tenant"}
 //       200 {"scalar": x} or {"grouped": true, "groups": [{"key","value"},…]}
-//       400/403/404/429/…   {"error": {"code", "message"}}; 429 carries a
-//                           Retry-After header (full work queue — the
-//                           QueryService::TrySubmit admission path)
-//   POST /v1/tenants        {"tenant", "epsilon"} → 201 (409 when it exists)
-//   GET  /v1/tenants/<t>    {"tenant","total","spent","remaining"} from the
-//                           ledger, one consistent snapshot
+//       400/403/404/429/…   {"error": {"code", "message"}}; both 429 flavors
+//                           carry Retry-After, and the per-tenant one is
+//                           marked X-DPStarJ-Tenant-Limited: 1 (see below)
+//   POST /v1/tenants        {"tenant", "epsilon"[, "rate_qps", "burst",
+//                           "max_in_flight"]} → 201 (409 when it exists);
+//                           the optional fields override the tenant's fair-
+//                           admission limits
+//   GET  /v1/tenants/<t>    ledger account (ε position + admission counters)
+//                           merged with the tenant's rate/in-flight stats,
+//                           one consistent snapshot per source
 //   GET  /v1/stats          ServiceStats: query counters + answer-cache and
-//                           plan-cache accounting
+//                           plan-cache accounting + tenant-limited counters
 //   GET  /healthz           {"status":"ok"} — liveness, no service state
 //
 // Error bodies carry the library StatusCode name as `code`, so clients can
-// distinguish "budget exhausted" (a DP verdict — retrying is pointless) from
-// "queue full" (an overload verdict — retrying is exactly right).
+// switch on one vocabulary. Three refusals matter most:
+//   BudgetExhausted → 403  a DP verdict; retrying is pointless,
+//   Unavailable     → 429  global queue pressure; anyone's retry may succeed,
+//   RateLimited     → 429  + X-DPStarJ-Tenant-Limited: 1 — THIS tenant is
+//                          over its own rate limit or in-flight cap; only its
+//                          own backoff helps, other tenants are unaffected.
 
 #pragma once
 
@@ -28,9 +38,14 @@
 
 namespace dpstarj::net {
 
+/// Marks a 429 as per-tenant (value "1") rather than global queue pressure.
+inline constexpr char kTenantLimitedHeader[] = "X-DPStarJ-Tenant-Limited";
+
 /// \brief Protocol tuning.
 struct ApiOptions {
-  /// Value of the Retry-After header on 429 responses, in seconds.
+  /// Value of the Retry-After header on *overload* (global) 429 responses,
+  /// in seconds. Tenant-limited 429s compute their own hint from the
+  /// tenant's token bucket.
   int retry_after_seconds = 1;
 };
 

@@ -1,0 +1,206 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace dpstarj::service {
+
+namespace {
+
+double SteadyNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The bucket capacity actually in force: an unset burst defaults to one
+/// second's worth of tokens, and any burst is floored at one whole token —
+/// a bucket that can never hold a full token would refuse every admission
+/// forever while its Retry-After hint promises otherwise.
+double EffectiveBurst(const TenantLimits& limits) {
+  if (limits.burst > 0.0) return std::max(1.0, limits.burst);
+  return std::max(1.0, limits.rate_qps);
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : defaults_(options.defaults),
+      clock_(options.clock ? std::move(options.clock) : SteadyNowSeconds) {}
+
+void AdmissionController::SetTenantLimits(const std::string& tenant,
+                                          TenantLimits limits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = tenants_[tenant];
+  state.override_limits = limits;
+  if (state.bucket_primed) {
+    // The drained level carries across the update (clamped to the new
+    // capacity) — re-priming at full burst would let a throttled tenant
+    // reset its own bucket just by re-submitting its limits through
+    // POST /v1/tenants. A raised rate refills it quickly anyway.
+    state.tokens = std::min(state.tokens, EffectiveBurst(limits));
+  }
+}
+
+const TenantLimits& AdmissionController::EffectiveLimits(
+    const TenantState& state) const {
+  return state.override_limits.has_value() ? *state.override_limits : defaults_;
+}
+
+TenantLimits AdmissionController::LimitsFor(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? defaults_ : EffectiveLimits(it->second);
+}
+
+void AdmissionController::RefillLocked(TenantState* state,
+                                       const TenantLimits& limits,
+                                       double now) const {
+  const double burst = EffectiveBurst(limits);
+  if (!state->bucket_primed) {
+    // First touch (or limits changed): a full bucket, so a fresh tenant can
+    // burst immediately instead of trickling in from zero.
+    state->tokens = burst;
+    state->last_refill = now;
+    state->bucket_primed = true;
+    return;
+  }
+  const double elapsed = std::max(0.0, now - state->last_refill);
+  state->tokens = std::min(burst, state->tokens + elapsed * limits.rate_qps);
+  state->last_refill = now;
+}
+
+AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant) {
+  const double now = Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = tenants_[tenant];
+  const TenantLimits& limits = EffectiveLimits(state);
+
+  if (limits.rate_qps > 0.0) {
+    RefillLocked(&state, limits, now);
+    if (state.tokens < 1.0) {
+      ++state.rate_limited;
+      ++total_rate_limited_;
+      AdmissionDecision decision;
+      decision.status = Status::RateLimited(
+          Format("tenant '%s' is over its rate limit (%.3g queries/sec)",
+                 tenant.c_str(), limits.rate_qps));
+      decision.denial = AdmissionDenial::kRateLimited;
+      decision.retry_after_seconds = (1.0 - state.tokens) / limits.rate_qps;
+      return decision;
+    }
+  }
+  if (limits.max_in_flight > 0 && state.in_flight >= limits.max_in_flight) {
+    ++state.capped;
+    ++total_capped_;
+    AdmissionDecision decision;
+    decision.status = Status::RateLimited(
+        Format("tenant '%s' already has %d queries in flight (cap %d)",
+               tenant.c_str(), state.in_flight, limits.max_in_flight));
+    decision.denial = AdmissionDenial::kInFlightCap;
+    // A slot frees when one of the tenant's queries finishes; admission
+    // cannot predict when, so hint the smallest honest backoff.
+    decision.retry_after_seconds = 1.0;
+    return decision;
+  }
+
+  // Both checks passed: consume the token and the slot atomically (same lock
+  // acquisition), so concurrent admissions can never over-admit.
+  if (limits.rate_qps > 0.0) state.tokens -= 1.0;
+  ++state.in_flight;
+  ++state.admitted;
+  AdmissionDecision decision;
+  decision.status = Status::OK();
+  return decision;
+}
+
+void AdmissionController::Release(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  if (it->second.in_flight > 0) --it->second.in_flight;
+}
+
+void AdmissionController::ReleaseAndForget(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  TenantState& state = it->second;
+  if (state.in_flight > 0) --state.in_flight;
+  // Evict the lazily-created state when nothing pins it: no operator
+  // override and no other in-flight admission. The caller invokes this for
+  // tenants the ledger does not know — without it, every attacker-invented
+  // tenant name on POST /v1/query would leave a permanent map entry.
+  if (!state.override_limits.has_value() && state.in_flight == 0) {
+    tenants_.erase(it);
+  }
+}
+
+double AdmissionController::RetryAfterSeconds(const std::string& tenant) const {
+  const double now = Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return 0.0;
+  TenantState& state = it->second;
+  const TenantLimits& limits = EffectiveLimits(state);
+  double hint = 0.0;
+  if (limits.rate_qps > 0.0) {
+    RefillLocked(&state, limits, now);
+    if (state.tokens < 1.0) hint = (1.0 - state.tokens) / limits.rate_qps;
+  }
+  // Mirror TryAdmit's in-flight hint: while the tenant sits at its cap, a
+  // retry needs one of its queries to finish first — never advise sooner
+  // than the nominal 1s, even with a full token bucket.
+  if (limits.max_in_flight > 0 && state.in_flight >= limits.max_in_flight) {
+    hint = std::max(hint, 1.0);
+  }
+  return hint;
+}
+
+TenantAdmissionStats AdmissionController::MakeStats(const std::string& tenant,
+                                                    const TenantState& state) {
+  TenantAdmissionStats stats;
+  stats.tenant = tenant;
+  stats.admitted = state.admitted;
+  stats.rate_limited = state.rate_limited;
+  stats.capped = state.capped;
+  stats.in_flight = state.in_flight;
+  return stats;
+}
+
+TenantAdmissionStats AdmissionController::TenantStats(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    TenantAdmissionStats stats;
+    stats.tenant = tenant;
+    return stats;
+  }
+  return MakeStats(tenant, it->second);
+}
+
+std::vector<TenantAdmissionStats> AdmissionController::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TenantAdmissionStats> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, state] : tenants_) {
+    out.push_back(MakeStats(name, state));
+  }
+  return out;
+}
+
+uint64_t AdmissionController::total_rate_limited() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_rate_limited_;
+}
+
+uint64_t AdmissionController::total_capped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_capped_;
+}
+
+}  // namespace dpstarj::service

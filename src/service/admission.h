@@ -1,0 +1,166 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// AdmissionController — per-tenant fair admission for the query service. The
+// privacy accounting (BudgetLedger) is already per-tenant; this makes the
+// *capacity* accounting per-tenant too, so one hot tenant cannot convert the
+// shared engine pool into its private executor:
+//
+//   * a token bucket per tenant bounds its sustained query rate (and burst);
+//     a drained bucket refuses with RateLimited — the front door maps it to
+//     429 + Retry-After + an "X-DPStarJ-Tenant-Limited: 1" marker, distinct
+//     from the global queue-pressure 429;
+//   * an in-flight cap per tenant bounds how many of its queries may occupy
+//     the pool (queued + executing) at once, so the bounded global work queue
+//     is never filled end-to-end by a single tenant.
+//
+// Defaults come from AdmissionOptions; POST /v1/tenants can override them per
+// tenant (SetTenantLimits). A zero default disables that knob for tenants
+// without an override. The clock is injectable so tests drive the bucket
+// refill deterministically.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dpstarj::service {
+
+/// \brief Per-tenant admission knobs (0 = that knob is disabled).
+struct TenantLimits {
+  /// Sustained query rate, tokens per second.
+  double rate_qps = 0.0;
+  /// Bucket capacity (burst size); defaults to max(1, rate_qps) when 0 while
+  /// a rate is set, and is floored at 1 — a bucket that can never hold one
+  /// whole token would refuse every admission forever.
+  double burst = 0.0;
+  /// Max queries queued + executing at once.
+  int max_in_flight = 0;
+};
+
+/// \brief Controller-wide configuration.
+struct AdmissionOptions {
+  /// Defaults applied to tenants without a SetTenantLimits override.
+  TenantLimits defaults;
+  /// Monotonic clock in seconds; tests inject a fake. Null = steady_clock.
+  std::function<double()> clock;
+};
+
+/// \brief Why an admission was refused (shapes the Retry-After hint).
+enum class AdmissionDenial {
+  kRateLimited,  ///< token bucket drained — retry after the bucket refills
+  kInFlightCap,  ///< too many queries in the pool — retry after one finishes
+};
+
+/// \brief One admission verdict.
+struct AdmissionDecision {
+  Status status;  ///< OK, or RateLimited with a human-readable reason
+  std::optional<AdmissionDenial> denial;
+  /// Advisory: seconds until a retry can plausibly succeed (0 when admitted).
+  double retry_after_seconds = 0.0;
+};
+
+/// \brief One tenant's admission counters, as returned by TenantStats().
+struct TenantAdmissionStats {
+  std::string tenant;
+  uint64_t admitted = 0;      ///< queries that passed both checks
+  uint64_t rate_limited = 0;  ///< refused by the token bucket
+  uint64_t capped = 0;        ///< refused by the in-flight cap
+  int in_flight = 0;          ///< currently queued + executing
+};
+
+/// \brief Thread-safe per-tenant token buckets + in-flight accounting.
+///
+/// The admission protocol mirrors the ledger's spend/refund: TryAdmit
+/// consumes one token and one in-flight slot atomically; the caller MUST pair
+/// every admitted TryAdmit with exactly one Release (when the query reaches a
+/// terminal state — answered, failed, or shed by the pool). A refused
+/// TryAdmit consumes nothing.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options = {});
+
+  /// Overrides the default limits for one tenant (replaces any previous
+  /// override; zero fields disable that knob for the tenant). A drained
+  /// token bucket stays drained across the update — updates change the
+  /// contract, they do not refill the bucket.
+  void SetTenantLimits(const std::string& tenant, TenantLimits limits);
+
+  /// The limits in force for `tenant` (override or defaults).
+  TenantLimits LimitsFor(const std::string& tenant) const;
+
+  /// \brief Admits or refuses one query. On refusal, `retry_after_seconds`
+  /// hints when a retry can succeed: for a drained bucket, the time until one
+  /// token refills; for the in-flight cap, a nominal 1s (a query must finish
+  /// first, which admission cannot predict).
+  AdmissionDecision TryAdmit(const std::string& tenant);
+
+  /// Returns the in-flight slot taken by an admitted TryAdmit.
+  void Release(const std::string& tenant);
+
+  /// \brief Release, then evict the tenant's lazily-created state when
+  /// nothing pins it (no operator override, no other in-flight admission).
+  /// The service calls this instead of Release for tenants the ledger
+  /// refused as unknown, so arbitrary tenant names on the public query
+  /// endpoint cannot grow the controller's map without bound.
+  void ReleaseAndForget(const std::string& tenant);
+
+  /// \brief Advisory seconds until a retry can plausibly succeed: the time
+  /// until the bucket holds a full token, floored at 1s while the tenant
+  /// sits at its in-flight cap; 0 when unconstrained. This is the wire
+  /// path's source of Retry-After hints (the AdmissionDecision fields carry
+  /// the same information for callers that hold the decision) — keep the
+  /// two consistent when touching either.
+  double RetryAfterSeconds(const std::string& tenant) const;
+
+  /// One tenant's counters (zeroed stats for a never-seen tenant).
+  TenantAdmissionStats TenantStats(const std::string& tenant) const;
+
+  /// Every tenant that has been admitted, refused, or given an override.
+  std::vector<TenantAdmissionStats> Snapshot() const;
+
+  /// Controller-wide totals.
+  uint64_t total_rate_limited() const;
+  uint64_t total_capped() const;
+
+ private:
+  /// Token bucket + counters of one tenant; created lazily on first touch.
+  struct TenantState {
+    std::optional<TenantLimits> override_limits;
+    double tokens = 0.0;       ///< current bucket fill
+    double last_refill = 0.0;  ///< clock() of the last refill
+    bool bucket_primed = false;
+    int in_flight = 0;
+    uint64_t admitted = 0;
+    uint64_t rate_limited = 0;
+    uint64_t capped = 0;
+  };
+
+  /// Effective limits of `state` (override or defaults).
+  const TenantLimits& EffectiveLimits(const TenantState& state) const;
+
+  static TenantAdmissionStats MakeStats(const std::string& tenant,
+                                        const TenantState& state);
+
+  /// Refills `state`'s bucket up to now. Requires mu_ held.
+  void RefillLocked(TenantState* state, const TenantLimits& limits,
+                    double now) const;
+
+  double Now() const { return clock_(); }
+
+  TenantLimits defaults_;
+  std::function<double()> clock_;
+
+  mutable std::mutex mu_;
+  mutable std::map<std::string, TenantState> tenants_;
+  uint64_t total_rate_limited_ = 0;
+  uint64_t total_capped_ = 0;
+};
+
+}  // namespace dpstarj::service

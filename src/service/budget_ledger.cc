@@ -27,7 +27,7 @@ Status BudgetLedger::RegisterTenant(const std::string& tenant, double total_epsi
     return Status::AlreadyExists(Format("tenant '%s' is already registered",
                                         tenant.c_str()));
   }
-  accounts_.emplace(tenant, dp::PrivacyBudget(total_epsilon));
+  accounts_.emplace(tenant, AccountState(total_epsilon));
   return Status::OK();
 }
 
@@ -36,7 +36,8 @@ bool BudgetLedger::HasTenant(const std::string& tenant) const {
   return accounts_.find(tenant) != accounts_.end();
 }
 
-Result<dp::PrivacyBudget*> BudgetLedger::FindLocked(const std::string& tenant) {
+Result<BudgetLedger::AccountState*> BudgetLedger::FindLocked(
+    const std::string& tenant) {
   auto it = accounts_.find(tenant);
   if (it == accounts_.end()) {
     if (!default_budget_.has_value()) {
@@ -45,21 +46,29 @@ Result<dp::PrivacyBudget*> BudgetLedger::FindLocked(const std::string& tenant) {
     if (tenant.empty()) {
       return Status::InvalidArgument("tenant name must be non-empty");
     }
-    it = accounts_.emplace(tenant, dp::PrivacyBudget(*default_budget_)).first;
+    it = accounts_.emplace(tenant, AccountState(*default_budget_)).first;
   }
   return &it->second;
 }
 
 Status BudgetLedger::Spend(const std::string& tenant, double epsilon) {
   std::lock_guard<std::mutex> lock(mu_);
-  DPSTARJ_ASSIGN_OR_RETURN(dp::PrivacyBudget * budget, FindLocked(tenant));
-  return budget->Spend(epsilon);
+  DPSTARJ_ASSIGN_OR_RETURN(AccountState * account, FindLocked(tenant));
+  Status st = account->budget.Spend(epsilon);
+  if (st.ok()) {
+    ++account->spends;
+  } else if (st.code() == StatusCode::kBudgetExhausted) {
+    ++account->refusals;
+  }
+  return st;
 }
 
 Status BudgetLedger::Refund(const std::string& tenant, double epsilon) {
   std::lock_guard<std::mutex> lock(mu_);
-  DPSTARJ_ASSIGN_OR_RETURN(dp::PrivacyBudget * budget, FindLocked(tenant));
-  return budget->Refund(epsilon);
+  DPSTARJ_ASSIGN_OR_RETURN(AccountState * account, FindLocked(tenant));
+  Status st = account->budget.Refund(epsilon);
+  if (st.ok()) ++account->refunds;
+  return st;
 }
 
 Result<double> BudgetLedger::Remaining(const std::string& tenant) const {
@@ -68,7 +77,7 @@ Result<double> BudgetLedger::Remaining(const std::string& tenant) const {
   if (it == accounts_.end()) {
     return Status::NotFound(Format("tenant '%s' is not registered", tenant.c_str()));
   }
-  return it->second.remaining();
+  return it->second.budget.remaining();
 }
 
 Result<double> BudgetLedger::Spent(const std::string& tenant) const {
@@ -77,7 +86,20 @@ Result<double> BudgetLedger::Spent(const std::string& tenant) const {
   if (it == accounts_.end()) {
     return Status::NotFound(Format("tenant '%s' is not registered", tenant.c_str()));
   }
-  return it->second.spent();
+  return it->second.budget.spent();
+}
+
+TenantAccount BudgetLedger::MakeAccount(const std::string& tenant,
+                                        const AccountState& state) {
+  TenantAccount account;
+  account.tenant = tenant;
+  account.total = state.budget.total();
+  account.spent = state.budget.spent();
+  account.remaining = state.budget.remaining();
+  account.spends = state.spends;
+  account.refunds = state.refunds;
+  account.refusals = state.refusals;
+  return account;
 }
 
 Result<TenantAccount> BudgetLedger::Account(const std::string& tenant) const {
@@ -86,16 +108,15 @@ Result<TenantAccount> BudgetLedger::Account(const std::string& tenant) const {
   if (it == accounts_.end()) {
     return Status::NotFound(Format("tenant '%s' is not registered", tenant.c_str()));
   }
-  const dp::PrivacyBudget& budget = it->second;
-  return TenantAccount{tenant, budget.total(), budget.spent(), budget.remaining()};
+  return MakeAccount(tenant, it->second);
 }
 
 std::vector<TenantAccount> BudgetLedger::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<TenantAccount> out;
   out.reserve(accounts_.size());
-  for (const auto& [name, budget] : accounts_) {
-    out.push_back({name, budget.total(), budget.spent(), budget.remaining()});
+  for (const auto& [name, state] : accounts_) {
+    out.push_back(MakeAccount(name, state));
   }
   return out;
 }

@@ -6,9 +6,14 @@
 // so that concurrent query admissions can never over-draw a tenant, and a
 // query that is admitted but later fails (bind error, cancelled work) or is
 // answered from the noisy-answer cache can return its ε atomically.
+//
+// Besides the ε position, each account carries admission counters (spends,
+// refunds, budget refusals) so GET /v1/tenants/<t> can show an operator how
+// a tenant has been treated — not just what it has left.
 
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -26,6 +31,10 @@ struct TenantAccount {
   double total = 0.0;
   double spent = 0.0;
   double remaining = 0.0;
+  /// Admission counters (monotonic).
+  uint64_t spends = 0;    ///< successful ε spends (query admissions)
+  uint64_t refunds = 0;   ///< ε returned (bind failure, cache replay, shed)
+  uint64_t refusals = 0;  ///< spends refused with BudgetExhausted
 };
 
 /// \brief Thread-safe per-tenant privacy-budget accounting.
@@ -63,10 +72,10 @@ class BudgetLedger {
   /// Spent ε of a tenant; NotFound for unknown tenants.
   Result<double> Spent(const std::string& tenant) const;
 
-  /// \brief A consistent snapshot of one tenant's account (total, spent,
-  /// remaining read under a single lock acquisition — Remaining()+Spent()
-  /// back-to-back can interleave with a concurrent Spend). NotFound for
-  /// unknown tenants.
+  /// \brief A consistent snapshot of one tenant's account (ε position and
+  /// admission counters read under a single lock acquisition —
+  /// Remaining()+Spent() back-to-back can interleave with a concurrent
+  /// Spend). NotFound for unknown tenants.
   Result<TenantAccount> Account(const std::string& tenant) const;
 
   /// A consistent snapshot of every account, sorted by tenant name.
@@ -76,13 +85,25 @@ class BudgetLedger {
   std::string ToString() const;
 
  private:
-  /// Returns the tenant's budget, auto-registering if configured. Requires
+  /// One account: the ε budget plus admission counters.
+  struct AccountState {
+    explicit AccountState(double total) : budget(total) {}
+    dp::PrivacyBudget budget;
+    uint64_t spends = 0;
+    uint64_t refunds = 0;
+    uint64_t refusals = 0;
+  };
+
+  /// Returns the tenant's account, auto-registering if configured. Requires
   /// mu_ held.
-  Result<dp::PrivacyBudget*> FindLocked(const std::string& tenant);
+  Result<AccountState*> FindLocked(const std::string& tenant);
+
+  static TenantAccount MakeAccount(const std::string& tenant,
+                                   const AccountState& state);
 
   mutable std::mutex mu_;
   std::optional<double> default_budget_;
-  std::map<std::string, dp::PrivacyBudget> accounts_;
+  std::map<std::string, AccountState> accounts_;
 };
 
 }  // namespace dpstarj::service

@@ -35,16 +35,18 @@ EnginePool::EnginePool(const storage::Catalog* catalog, int num_engines,
 
 EnginePool::~EnginePool() { Shutdown(); }
 
-Result<std::future<Result<exec::QueryResult>>> EnginePool::Dispatch(Job job) {
-  return DispatchInternal(std::move(job), /*blocking=*/true);
+Result<std::future<Result<exec::QueryResult>>> EnginePool::Dispatch(
+    Job job, const std::string& tenant) {
+  return DispatchInternal(std::move(job), tenant, /*blocking=*/true);
 }
 
-Result<std::future<Result<exec::QueryResult>>> EnginePool::TryDispatch(Job job) {
-  return DispatchInternal(std::move(job), /*blocking=*/false);
+Result<std::future<Result<exec::QueryResult>>> EnginePool::TryDispatch(
+    Job job, const std::string& tenant) {
+  return DispatchInternal(std::move(job), tenant, /*blocking=*/false);
 }
 
 Result<std::future<Result<exec::QueryResult>>> EnginePool::DispatchInternal(
-    Job job, bool blocking) {
+    Job job, const std::string& tenant, bool blocking) {
   if (!job) return Status::InvalidArgument("job must be callable");
   Task task;
   task.job = std::move(job);
@@ -53,16 +55,19 @@ Result<std::future<Result<exec::QueryResult>>> EnginePool::DispatchInternal(
     std::unique_lock<std::mutex> lock(mu_);
     if (blocking) {
       queue_not_full_.wait(
-          lock, [this] { return shutdown_ || queue_.size() < queue_capacity_; });
+          lock, [this] { return shutdown_ || queued_total_ < queue_capacity_; });
     }
     if (shutdown_) {
       return Status::Internal("engine pool is shut down");
     }
-    if (queue_.size() >= queue_capacity_) {
+    if (queued_total_ >= queue_capacity_) {
       return Status::Unavailable(
-          Format("work queue full (%zu queued)", queue_.size()));
+          Format("work queue full (%zu queued)", queued_total_));
     }
-    queue_.push_back(std::move(task));
+    std::deque<Task>& queue = tenant_queues_[tenant];
+    if (queue.empty()) active_tenants_.push_back(tenant);
+    queue.push_back(std::move(task));
+    ++queued_total_;
   }
   queue_not_empty_.notify_one();
   return future;
@@ -70,7 +75,31 @@ Result<std::future<Result<exec::QueryResult>>> EnginePool::DispatchInternal(
 
 size_t EnginePool::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return queued_total_;
+}
+
+size_t EnginePool::queue_depth(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenant_queues_.find(tenant);
+  return it == tenant_queues_.end() ? 0 : it->second.size();
+}
+
+EnginePool::Task EnginePool::PopNextLocked() {
+  // Serve the head of the next tenant's FIFO: the tenant rotates to the back
+  // of the round-robin while it still has waiting work, and drops out of the
+  // active list (its map entry erased) when drained.
+  const std::string tenant = std::move(active_tenants_.front());
+  active_tenants_.pop_front();
+  auto it = tenant_queues_.find(tenant);
+  Task task = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) {
+    tenant_queues_.erase(it);
+  } else {
+    active_tenants_.push_back(tenant);
+  }
+  --queued_total_;
+  return task;
 }
 
 void EnginePool::WorkerLoop(int engine_index) {
@@ -79,10 +108,10 @@ void EnginePool::WorkerLoop(int engine_index) {
     Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      queue_not_empty_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown with a drained queue
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      queue_not_empty_.wait(lock,
+                            [this] { return shutdown_ || queued_total_ > 0; });
+      if (queued_total_ == 0) return;  // shutdown with a drained queue
+      task = PopNextLocked();
     }
     queue_not_full_.notify_one();
     // The library is exception-free by contract, but a job can still throw

@@ -1,11 +1,23 @@
 // Copyright (c) dpstarj authors. Licensed under the MIT license.
 //
-// EnginePool — a fixed pool of DpStarJoin engines behind a bounded MPMC work
-// queue. `DpStarJoin` is documented not thread-safe (it owns one Rng); the
-// pool gives each worker thread its own engine with an independent RNG stream
-// (forked from the base seed), so N workers answer queries concurrently
-// without sharing any mutable mechanism state. Producers block when the queue
-// is full — bounded admission is the service's backpressure.
+// EnginePool — a fixed pool of DpStarJoin engines behind a bounded,
+// tenant-fair work queue. `DpStarJoin` is documented not thread-safe (it owns
+// one Rng); the pool gives each worker thread its own engine with an
+// independent RNG stream (forked from the base seed), so N workers answer
+// queries concurrently without sharing any mutable mechanism state.
+//
+// Dispatch order is fair across tenants: each tenant has its own FIFO
+// sub-queue, and workers take the head of the next tenant's queue in
+// round-robin order. A tenant that queues 100 jobs therefore delays a
+// one-job tenant by at most one job's service time per engine, not by the
+// whole backlog — the starvation the single global FIFO of PR 1 allowed.
+// Jobs dispatched without a tenant share one anonymous sub-queue (exactly
+// the old global-FIFO behavior when every caller does this).
+//
+// Capacity stays global: producers block (Dispatch) or are refused
+// (TryDispatch → Unavailable) when `queue_capacity` jobs are waiting.
+// Per-tenant admission caps are the AdmissionController's job
+// (service/admission.h) — the pool only orders what was admitted.
 
 #pragma once
 
@@ -13,8 +25,10 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -49,18 +63,23 @@ class EnginePool {
   EnginePool(const EnginePool&) = delete;
   EnginePool& operator=(const EnginePool&) = delete;
 
-  /// \brief Enqueues `job`, blocking while the queue is full. Returns the
-  /// future of the job's result, or an error without enqueuing when the pool
-  /// has been shut down.
-  Result<std::future<Result<exec::QueryResult>>> Dispatch(Job job);
+  /// \brief Enqueues `job` on `tenant`'s FIFO sub-queue, blocking while the
+  /// global queue is full. Returns the future of the job's result, or an
+  /// error without enqueuing when the pool has been shut down.
+  Result<std::future<Result<exec::QueryResult>>> Dispatch(
+      Job job, const std::string& tenant = std::string());
 
   /// \brief Non-blocking Dispatch: never waits for queue space. A full queue
   /// returns Unavailable immediately — the admission signal the network front
   /// door converts into HTTP 429 instead of stalling its accept loop.
-  Result<std::future<Result<exec::QueryResult>>> TryDispatch(Job job);
+  Result<std::future<Result<exec::QueryResult>>> TryDispatch(
+      Job job, const std::string& tenant = std::string());
 
   /// Queued jobs not yet picked up by a worker (approximate under load).
   size_t queue_depth() const;
+
+  /// Queued jobs of one tenant (approximate under load).
+  size_t queue_depth(const std::string& tenant) const;
 
   /// \brief Stops accepting work, lets the workers drain the queue, and joins
   /// them. Idempotent; also called by the destructor.
@@ -77,8 +96,12 @@ class EnginePool {
     std::promise<Result<exec::QueryResult>> promise;
   };
 
-  Result<std::future<Result<exec::QueryResult>>> DispatchInternal(Job job,
-                                                                  bool blocking);
+  Result<std::future<Result<exec::QueryResult>>> DispatchInternal(
+      Job job, const std::string& tenant, bool blocking);
+
+  /// Pops the next task in round-robin tenant order. Requires mu_ held and
+  /// queued_total_ > 0.
+  Task PopNextLocked();
 
   void WorkerLoop(int engine_index);
 
@@ -89,7 +112,12 @@ class EnginePool {
   mutable std::mutex mu_;
   std::condition_variable queue_not_full_;
   std::condition_variable queue_not_empty_;
-  std::deque<Task> queue_;
+  /// Per-tenant FIFO sub-queues; entries are erased when drained so the map
+  /// only holds tenants with waiting work.
+  std::map<std::string, std::deque<Task>> tenant_queues_;
+  /// Round-robin service order: one entry per non-empty sub-queue.
+  std::deque<std::string> active_tenants_;
+  size_t queued_total_ = 0;
   bool shutdown_ = false;
 };
 

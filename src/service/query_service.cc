@@ -35,7 +35,7 @@ core::DpStarJoinOptions ResolveEngineOptions(
 std::string ServiceStats::ToString() const {
   return Format(
       "submitted %llu, completed %llu, failed %llu, rejected %llu, "
-      "overloaded %llu | "
+      "overloaded %llu, tenant-limited %llu | "
       "cache: %llu hits / %llu misses (%.1f%% hit rate), eps saved %.4g | "
       "plans: %llu hits / %llu misses, %llu invalidated",
       static_cast<unsigned long long>(submitted),
@@ -43,6 +43,7 @@ std::string ServiceStats::ToString() const {
       static_cast<unsigned long long>(failed),
       static_cast<unsigned long long>(rejected_budget),
       static_cast<unsigned long long>(rejected_overload),
+      static_cast<unsigned long long>(rejected_tenant_limited),
       static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.misses), 100.0 * cache.HitRate(),
       cache.epsilon_saved, static_cast<unsigned long long>(plan_cache.hits),
@@ -53,6 +54,7 @@ std::string ServiceStats::ToString() const {
 QueryService::QueryService(const storage::Catalog* catalog, ServiceOptions options)
     : ledger_(options.default_tenant_budget),
       cache_(options.cache_capacity),
+      admission_(options.admission),
       plan_cache_(options.engine.plan_cache != nullptr
                       ? options.engine.plan_cache
                       : std::make_shared<exec::PlanCache>(
@@ -64,6 +66,10 @@ QueryService::~QueryService() { Shutdown(); }
 
 Status QueryService::RegisterTenant(const std::string& tenant, double total_epsilon) {
   return ledger_.RegisterTenant(tenant, total_epsilon);
+}
+
+void QueryService::SetTenantLimits(const std::string& tenant, TenantLimits limits) {
+  admission_.SetTenantLimits(tenant, limits);
 }
 
 std::future<Result<exec::QueryResult>> QueryService::FailedFuture(Status status) {
@@ -89,9 +95,32 @@ std::future<Result<exec::QueryResult>> QueryService::SubmitInternal(
   if (!std::isfinite(epsilon) || epsilon <= 0.0) {
     return FailedFuture(Status::InvalidArgument("epsilon must be positive and finite"));
   }
-  auto dispatch = [this, blocking](EnginePool::Job job) {
-    return blocking ? pool_.Dispatch(std::move(job))
-                    : pool_.TryDispatch(std::move(job));
+  // Fair admission first: a tenant over its own rate limit or in-flight cap
+  // is refused before the ledger or the pool is touched — a tenant-limited
+  // RateLimited verdict, distinct from the global-overload Unavailable. An
+  // admitted submission holds one of the tenant's in-flight slots until its
+  // job reaches a terminal state; every exit below releases it exactly once
+  // (inside the job when it runs, at the call site when dispatch fails).
+  AdmissionDecision fair = admission_.TryAdmit(tenant);
+  if (!fair.status.ok()) {
+    ++rejected_tenant_limited_;
+    return FailedFuture(std::move(fair.status));
+  }
+  auto dispatch = [this, blocking, &tenant](EnginePool::Job job) {
+    EnginePool::Job with_release =
+        [this, tenant, inner = std::move(job)](core::DpStarJoin& engine) {
+          // Scope guard, not a tail call: the pool's worker converts a
+          // throwing job into a Status, and the slot must flow back on that
+          // path too — a leak here would 429 the tenant until restart.
+          struct SlotGuard {
+            AdmissionController& admission;
+            const std::string& tenant;
+            ~SlotGuard() { admission.Release(tenant); }
+          } guard{admission_, tenant};
+          return inner(engine);
+        };
+    return blocking ? pool_.Dispatch(std::move(with_release), tenant)
+                    : pool_.TryDispatch(std::move(with_release), tenant);
   };
   // Admission control: spend the ε before any work is queued, so concurrent
   // submissions race on the ledger (which is exact), not on the answer path.
@@ -123,13 +152,21 @@ std::future<Result<exec::QueryResult>> QueryService::SubmitInternal(
         return std::move(*probe);
       }
       --submitted_;
+      admission_.Release(tenant);  // the probe job will never run
       if (probe.status().code() == StatusCode::kUnavailable) {
         // The probe spent no ε; a full queue is an overload signal, not a
         // budget verdict — let the caller retry for its free replay.
         ++rejected_overload_;
         return FailedFuture(probe.status());
       }
+      ++rejected_budget_;
+      return FailedFuture(std::move(admit));
     }
+    // Nothing was dispatched, and the ledger does not know this tenant
+    // (NotFound / invalid name): drop the admission state the probe lazily
+    // created too, or arbitrary tenant names on the public query endpoint
+    // would grow the controller's map without bound.
+    admission_.ReleaseAndForget(tenant);
     ++rejected_budget_;
     return FailedFuture(std::move(admit));
   }
@@ -142,9 +179,10 @@ std::future<Result<exec::QueryResult>> QueryService::SubmitInternal(
   });
   if (!dispatched.ok()) {
     // Queue full (TrySubmit) or pool shut down: the job will never run, so
-    // the admission ε flows back.
+    // the admission ε and the in-flight slot flow back.
     --submitted_;
     (void)ledger_.Refund(tenant, epsilon);
+    admission_.Release(tenant);
     if (dispatched.status().code() == StatusCode::kUnavailable) {
       ++rejected_overload_;
     } else {
@@ -200,6 +238,9 @@ ServiceStats QueryService::Stats() const {
   stats.failed = failed_.load();
   stats.rejected_budget = rejected_budget_.load();
   stats.rejected_overload = rejected_overload_.load();
+  stats.rejected_tenant_limited = rejected_tenant_limited_.load();
+  stats.tenant_rate_limited = admission_.total_rate_limited();
+  stats.tenant_capped = admission_.total_capped();
   stats.cache = cache_.GetStats();
   stats.plan_cache = plan_cache_->GetStats();
   return stats;

@@ -34,6 +34,7 @@
 #include "core/dp_star_join.h"
 #include "exec/plan_cache.h"
 #include "exec/query_result.h"
+#include "service/admission.h"
 #include "service/answer_cache.h"
 #include "service/budget_ledger.h"
 #include "service/engine_pool.h"
@@ -71,6 +72,10 @@ struct ServiceOptions {
   /// ledger — `executor.exec_threads` is overridden as described above, and
   /// `plan_cache` (when null) is replaced by the service's shared cache.
   core::DpStarJoinOptions engine;
+  /// Per-tenant fair admission: default token-bucket rate limits and
+  /// in-flight caps (zeros disable each knob), overridable per tenant via
+  /// SetTenantLimits. See service/admission.h.
+  AdmissionOptions admission;
 };
 
 /// \brief Aggregate service counters, as returned by Stats().
@@ -80,6 +85,11 @@ struct ServiceStats {
   uint64_t failed = 0;            ///< admitted but failed (ε refunded)
   uint64_t rejected_budget = 0;   ///< refused at admission (ledger)
   uint64_t rejected_overload = 0; ///< TrySubmit refused on a full queue (429s)
+  /// Refused by the tenant's own rate limit or in-flight cap (tenant-limited
+  /// 429s — distinct from the global-overload rejected_overload).
+  uint64_t rejected_tenant_limited = 0;
+  uint64_t tenant_rate_limited = 0;  ///< ...of which: drained token bucket
+  uint64_t tenant_capped = 0;        ///< ...of which: in-flight cap
   AnswerCache::Stats cache;       ///< hit/miss/ε-saved accounting
   exec::PlanCache::Stats plan_cache;  ///< compiled-plan reuse accounting
 
@@ -90,6 +100,9 @@ struct ServiceStats {
 /// \brief Thread-safe multi-tenant DP query service.
 ///
 /// Lifecycle of one Submit(sql, ε, tenant):
+///   0. fair admission — the tenant's token bucket and in-flight cap are
+///      checked (refused with RateLimited before any ε is touched; the front
+///      door maps it to a tenant-limited 429, distinct from global overload);
 ///   1. admission — the tenant's ε is spent in the ledger (refused with
 ///      BudgetExhausted/NotFound before any work is queued; an exhausted
 ///      tenant still gets cached replays, which cost nothing — a fresh
@@ -115,6 +128,11 @@ class QueryService {
 
   /// Registers a tenant with its lifetime privacy budget.
   Status RegisterTenant(const std::string& tenant, double total_epsilon);
+
+  /// \brief Overrides `tenant`'s admission limits (rate, burst, in-flight
+  /// cap); zero fields disable that knob for the tenant. Takes effect for the
+  /// tenant's next submission.
+  void SetTenantLimits(const std::string& tenant, TenantLimits limits);
 
   /// \brief Asynchronous submission; blocks only when the work queue is full.
   /// The returned future resolves to the noisy answer or the failure status.
@@ -143,6 +161,8 @@ class QueryService {
 
   /// The ledger (e.g. for account snapshots).
   const BudgetLedger& ledger() const { return ledger_; }
+  /// The per-tenant admission controller (rate limits, in-flight caps).
+  const AdmissionController& admission() const { return admission_; }
   /// The noisy-answer cache.
   const AnswerCache& cache() const { return cache_; }
   /// The shared compiled-plan cache (all pool engines point at it).
@@ -169,6 +189,7 @@ class QueryService {
 
   BudgetLedger ledger_;
   AnswerCache cache_;
+  AdmissionController admission_;
   /// Declared before pool_: the engines capture it at construction.
   std::shared_ptr<exec::PlanCache> plan_cache_;
   EnginePool pool_;
@@ -178,6 +199,7 @@ class QueryService {
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> rejected_budget_{0};
   std::atomic<uint64_t> rejected_overload_{0};
+  std::atomic<uint64_t> rejected_tenant_limited_{0};
 };
 
 }  // namespace dpstarj::service

@@ -1,0 +1,338 @@
+// Tests for per-tenant fair admission: the AdmissionController's token
+// buckets and in-flight caps (driven by a fake clock, so refill behavior is
+// exact), the EnginePool's round-robin tenant queues (FIFO within a tenant,
+// no tenant monopolizes dispatch order), and the QueryService integration —
+// a rate-limited tenant is refused with RateLimited before any ε is spent,
+// while an unlimited tenant on the same service is untouched.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/query_result.h"
+#include "service/admission.h"
+#include "service/engine_pool.h"
+#include "service/query_service.h"
+#include "test_catalog.h"
+
+namespace dpstarj::service {
+namespace {
+
+const char* kToySql =
+    "SELECT count(*) FROM Orders, Cust, Prod "
+    "WHERE Orders.ck = Cust.ck AND Orders.pk = Prod.pk "
+    "AND Cust.region = 'N' AND Prod.cat = 'a'";
+
+exec::QueryResult ScalarResult(double v) {
+  exec::QueryResult r;
+  r.grouped = false;
+  r.scalar = v;
+  return r;
+}
+
+/// Controller over a hand-cranked clock.
+struct FakeClockController {
+  double now = 0.0;
+  AdmissionController controller;
+
+  explicit FakeClockController(TenantLimits defaults)
+      : controller([&] {
+          AdmissionOptions options;
+          options.defaults = defaults;
+          options.clock = [this] { return now; };
+          return options;
+        }()) {}
+};
+
+// ------------------------------------------------------- token bucket ----
+
+TEST(AdmissionControllerTest, BucketAllowsBurstThenRefills) {
+  TenantLimits limits;
+  limits.rate_qps = 2.0;
+  limits.burst = 3.0;
+  FakeClockController fx(limits);
+
+  // A fresh tenant starts with a full bucket: the whole burst is admitted.
+  for (int i = 0; i < 3; ++i) {
+    auto d = fx.controller.TryAdmit("t");
+    ASSERT_TRUE(d.status.ok()) << i << ": " << d.status.ToString();
+    fx.controller.Release("t");
+  }
+  auto denied = fx.controller.TryAdmit("t");
+  ASSERT_FALSE(denied.status.ok());
+  EXPECT_EQ(denied.status.code(), StatusCode::kRateLimited);
+  ASSERT_TRUE(denied.denial.has_value());
+  EXPECT_EQ(*denied.denial, AdmissionDenial::kRateLimited);
+  // Empty bucket at 2 tokens/sec: a whole token is 0.5s away.
+  EXPECT_DOUBLE_EQ(denied.retry_after_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(fx.controller.RetryAfterSeconds("t"), 0.5);
+
+  // Refill is proportional to elapsed time and capped at the burst.
+  fx.now = 0.25;  // +0.5 tokens: still short of one
+  EXPECT_EQ(fx.controller.TryAdmit("t").status.code(), StatusCode::kRateLimited);
+  fx.now = 0.5;  // exactly one token
+  EXPECT_TRUE(fx.controller.TryAdmit("t").status.ok());
+  fx.controller.Release("t");
+  fx.now = 1000.0;  // long idle: the bucket caps at burst, not rate×elapsed
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(fx.controller.TryAdmit("t").status.ok()) << i;
+    fx.controller.Release("t");
+  }
+  EXPECT_EQ(fx.controller.TryAdmit("t").status.code(), StatusCode::kRateLimited);
+
+  TenantAdmissionStats stats = fx.controller.TenantStats("t");
+  EXPECT_EQ(stats.admitted, 7u);
+  EXPECT_EQ(stats.rate_limited, 3u);
+  EXPECT_EQ(stats.capped, 0u);
+  EXPECT_EQ(stats.in_flight, 0);
+}
+
+TEST(AdmissionControllerTest, ZeroRateDisablesBucket) {
+  FakeClockController fx(TenantLimits{});  // all knobs off
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(fx.controller.TryAdmit("t").status.ok());
+  }
+  EXPECT_DOUBLE_EQ(fx.controller.RetryAfterSeconds("t"), 0.0);
+}
+
+TEST(AdmissionControllerTest, UnsetBurstDefaultsToOneSecondOfTokens) {
+  TenantLimits limits;
+  limits.rate_qps = 4.0;  // burst unset → 4 tokens
+  FakeClockController fx(limits);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(fx.controller.TryAdmit("t").status.ok()) << i;
+  }
+  EXPECT_EQ(fx.controller.TryAdmit("t").status.code(), StatusCode::kRateLimited);
+}
+
+// A burst below one token is floored at 1: it would otherwise cap the bucket
+// under the admission threshold and refuse every query forever (while the
+// Retry-After hint kept promising a token that could never arrive).
+TEST(AdmissionControllerTest, SubUnitBurstIsFlooredToOneToken) {
+  TenantLimits limits;
+  limits.rate_qps = 5.0;
+  limits.burst = 0.5;
+  FakeClockController fx(limits);
+  ASSERT_TRUE(fx.controller.TryAdmit("t").status.ok());
+  fx.controller.Release("t");
+  EXPECT_EQ(fx.controller.TryAdmit("t").status.code(), StatusCode::kRateLimited);
+  fx.now = 0.2;  // one token at 5/s
+  EXPECT_TRUE(fx.controller.TryAdmit("t").status.ok());
+}
+
+// ReleaseAndForget evicts state the controller created for a tenant the
+// ledger turned out not to know — arbitrary names must not pin memory.
+TEST(AdmissionControllerTest, ReleaseAndForgetEvictsUnpinnedState) {
+  TenantLimits defaults;
+  defaults.rate_qps = 10.0;
+  FakeClockController fx(defaults);
+  ASSERT_TRUE(fx.controller.TryAdmit("ghost").status.ok());
+  ASSERT_EQ(fx.controller.Snapshot().size(), 1u);
+  fx.controller.ReleaseAndForget("ghost");
+  EXPECT_TRUE(fx.controller.Snapshot().empty());
+
+  // An operator override pins the state (and its counters) through forgets.
+  TenantLimits vip;
+  vip.max_in_flight = 8;
+  fx.controller.SetTenantLimits("vip", vip);
+  ASSERT_TRUE(fx.controller.TryAdmit("vip").status.ok());
+  fx.controller.ReleaseAndForget("vip");
+  ASSERT_EQ(fx.controller.Snapshot().size(), 1u);
+  EXPECT_EQ(fx.controller.TenantStats("vip").admitted, 1u);
+}
+
+// ------------------------------------------------------- in-flight cap ----
+
+TEST(AdmissionControllerTest, InFlightCapRefusesUntilRelease) {
+  TenantLimits limits;
+  limits.max_in_flight = 2;
+  FakeClockController fx(limits);
+
+  ASSERT_TRUE(fx.controller.TryAdmit("t").status.ok());
+  ASSERT_TRUE(fx.controller.TryAdmit("t").status.ok());
+  auto denied = fx.controller.TryAdmit("t");
+  ASSERT_FALSE(denied.status.ok());
+  EXPECT_EQ(denied.status.code(), StatusCode::kRateLimited);
+  ASSERT_TRUE(denied.denial.has_value());
+  EXPECT_EQ(*denied.denial, AdmissionDenial::kInFlightCap);
+  EXPECT_EQ(fx.controller.TenantStats("t").in_flight, 2);
+
+  // Another tenant has its own cap — the refusal is per-tenant by design.
+  EXPECT_TRUE(fx.controller.TryAdmit("other").status.ok());
+
+  fx.controller.Release("t");
+  EXPECT_TRUE(fx.controller.TryAdmit("t").status.ok());
+  // A refused admission consumed nothing: only the cap's worth is in flight.
+  EXPECT_EQ(fx.controller.TenantStats("t").in_flight, 2);
+  EXPECT_EQ(fx.controller.TenantStats("t").capped, 1u);
+}
+
+TEST(AdmissionControllerTest, PerTenantOverridesReplaceDefaults) {
+  TenantLimits defaults;
+  defaults.rate_qps = 1.0;
+  defaults.burst = 1.0;
+  FakeClockController fx(defaults);
+
+  // Default tenant: one query, then limited.
+  ASSERT_TRUE(fx.controller.TryAdmit("capped").status.ok());
+  EXPECT_EQ(fx.controller.TryAdmit("capped").status.code(),
+            StatusCode::kRateLimited);
+
+  // Overridden tenant: unlimited rate (zero disables the knob).
+  TenantLimits unlimited;
+  fx.controller.SetTenantLimits("vip", unlimited);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fx.controller.TryAdmit("vip").status.ok());
+  }
+  EXPECT_DOUBLE_EQ(fx.controller.LimitsFor("vip").rate_qps, 0.0);
+  EXPECT_DOUBLE_EQ(fx.controller.LimitsFor("capped").rate_qps, 1.0);
+
+  // Re-limiting an existing tenant whose bucket was never primed (rate was
+  // disabled) primes it at the new burst on first use.
+  TenantLimits tightened;
+  tightened.rate_qps = 1.0;
+  tightened.burst = 2.0;
+  fx.controller.SetTenantLimits("vip", tightened);
+  ASSERT_TRUE(fx.controller.TryAdmit("vip").status.ok());
+  ASSERT_TRUE(fx.controller.TryAdmit("vip").status.ok());
+  EXPECT_EQ(fx.controller.TryAdmit("vip").status.code(),
+            StatusCode::kRateLimited);
+}
+
+// A limits update never refills a drained bucket: POST /v1/tenants can apply
+// limits to a live tenant, and a throttled tenant re-submitting its own
+// limits must not buy itself a fresh burst.
+TEST(AdmissionControllerTest, LimitsUpdateDoesNotRefillADrainedBucket) {
+  TenantLimits defaults;
+  defaults.rate_qps = 1.0;
+  defaults.burst = 1.0;
+  FakeClockController fx(defaults);
+
+  ASSERT_TRUE(fx.controller.TryAdmit("t").status.ok());  // bucket drained
+  EXPECT_EQ(fx.controller.TryAdmit("t").status.code(), StatusCode::kRateLimited);
+
+  TenantLimits same = defaults;
+  fx.controller.SetTenantLimits("t", same);  // the self-service "reset"
+  EXPECT_EQ(fx.controller.TryAdmit("t").status.code(), StatusCode::kRateLimited);
+
+  fx.now = 1.0;  // honest refill still works
+  EXPECT_TRUE(fx.controller.TryAdmit("t").status.ok());
+}
+
+// --------------------------------------------------- fair engine pool ----
+
+// Round-robin across tenants, FIFO within one: with the single worker parked,
+// tenant A queues three jobs before B and C queue one each — yet B and C are
+// served right after A's first job, not after A's whole backlog.
+TEST(EnginePoolFairnessTest, RoundRobinAcrossTenantsFifoWithinTenant) {
+  auto catalog = testing_fixture::MakeToyCatalog();
+  EnginePool pool(&catalog, /*num_engines=*/1, /*queue_capacity=*/16);
+
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> latch(release.get_future());
+  auto blocker = pool.Dispatch(
+      [&started, latch](core::DpStarJoin&) -> Result<exec::QueryResult> {
+        started.set_value();
+        latch.wait();
+        return ScalarResult(0);
+      },
+      "blocker");
+  ASSERT_TRUE(blocker.ok());
+  started.get_future().wait();  // worker parked; queue empty
+
+  std::mutex order_mu;
+  std::vector<std::string> order;
+  auto tagged = [&](const std::string& tag) {
+    return [&order_mu, &order, tag](core::DpStarJoin&) -> Result<exec::QueryResult> {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(tag);
+      return ScalarResult(0);
+    };
+  };
+
+  std::vector<std::future<Result<exec::QueryResult>>> futures;
+  auto enqueue = [&](const std::string& tag, const std::string& tenant) {
+    auto f = pool.TryDispatch(tagged(tag), tenant);
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+    futures.push_back(std::move(*f));
+  };
+  enqueue("A1", "A");
+  enqueue("A2", "A");
+  enqueue("A3", "A");
+  enqueue("B1", "B");
+  enqueue("C1", "C");
+  EXPECT_EQ(pool.queue_depth(), 5u);
+  EXPECT_EQ(pool.queue_depth("A"), 3u);
+  EXPECT_EQ(pool.queue_depth("B"), 1u);
+
+  release.set_value();
+  ASSERT_TRUE(blocker->get().ok());
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+
+  // A keeps its FIFO order; B and C each jump A's backlog once.
+  EXPECT_EQ(order, (std::vector<std::string>{"A1", "B1", "C1", "A2", "A3"}));
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.queue_depth("A"), 0u);
+}
+
+// ------------------------------------------------ service integration ----
+
+TEST(QueryServiceAdmissionTest, RateLimitedTenantRefusedWithoutSpendingEpsilon) {
+  auto catalog = testing_fixture::MakeToyCatalog();
+  ServiceOptions opts;
+  opts.num_engines = 1;
+  opts.cache_capacity = 0;
+  double now = 0.0;
+  opts.admission.defaults.rate_qps = 1.0;
+  opts.admission.defaults.burst = 2.0;
+  opts.admission.clock = [&now] { return now; };
+  QueryService svc(&catalog, opts);
+  ASSERT_TRUE(svc.RegisterTenant("t", 100.0).ok());
+
+  // The burst passes; the third submission is tenant-limited — with no ε
+  // spent and nothing dispatched for it.
+  ASSERT_TRUE(svc.Answer(kToySql, 0.5, "t").ok());
+  ASSERT_TRUE(svc.Answer(kToySql, 0.5, "t").ok());
+  auto limited = svc.Answer(kToySql, 0.5, "t");
+  ASSERT_FALSE(limited.ok());
+  EXPECT_EQ(limited.status().code(), StatusCode::kRateLimited);
+  EXPECT_NEAR(*svc.ledger().Spent("t"), 1.0, 1e-12);
+
+  // An unlimited tenant on the same service is untouched by t's limit.
+  svc.SetTenantLimits("free", TenantLimits{});
+  ASSERT_TRUE(svc.RegisterTenant("free", 100.0).ok());
+  ASSERT_TRUE(svc.Answer(kToySql, 0.5, "free").ok());
+
+  // The bucket refills with time; the in-flight slots of the completed
+  // queries were released (in_flight is back to zero).
+  now = 1.0;
+  ASSERT_TRUE(svc.Answer(kToySql, 0.5, "t").ok());
+  EXPECT_EQ(svc.admission().TenantStats("t").in_flight, 0);
+
+  ServiceStats stats = svc.Stats();
+  EXPECT_EQ(stats.rejected_tenant_limited, 1u);
+  EXPECT_EQ(stats.tenant_rate_limited, 1u);
+  EXPECT_EQ(stats.tenant_capped, 0u);
+  // The refusal never reached the ledger: 3 spends, 0 refusals there.
+  auto account = svc.ledger().Account("t");
+  ASSERT_TRUE(account.ok());
+  EXPECT_EQ(account->spends, 3u);
+  EXPECT_EQ(account->refusals, 0u);
+
+  // A tenant the ledger refuses as unknown leaves no admission state behind
+  // — invented names on the public endpoint cannot grow the map.
+  now = 2.0;
+  auto ghost = svc.Answer(kToySql, 0.5, "ghost-404");
+  ASSERT_FALSE(ghost.ok());
+  EXPECT_EQ(ghost.status().code(), StatusCode::kNotFound);
+  for (const auto& s : svc.admission().Snapshot()) {
+    EXPECT_NE(s.tenant, "ghost-404");
+  }
+}
+
+}  // namespace
+}  // namespace dpstarj::service

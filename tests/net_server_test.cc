@@ -10,8 +10,14 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -73,6 +79,61 @@ storage::Catalog MakeHeavyCatalog(int64_t fact_rows) {
   EXPECT_TRUE(catalog.AddForeignKey({"Fact", "dk", "Dim", "dk"}).ok());
   return catalog;
 }
+
+// A raw blocking TCP connection for the deadline tests: net::Client always
+// sends complete requests, which is exactly what a slow-loris peer does not.
+class RawConn {
+ public:
+  RawConn(const std::string& host, uint16_t port, int recv_timeout_ms = 5000) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    timeval tv{recv_timeout_ms / 1000, (recv_timeout_ms % 1000) * 1000};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool ok() const { return fd_ >= 0; }
+  bool Send(const std::string& bytes) {
+    return fd_ >= 0 &&
+           ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL) ==
+               static_cast<ssize_t>(bytes.size());
+  }
+  /// Reads until EOF (or the socket timeout); returns everything received.
+  std::string DrainUntilEof() {
+    std::string out;
+    char buf[4096];
+    for (;;) {
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) break;  // EOF, timeout or error
+      out.append(buf, static_cast<size_t>(n));
+    }
+    return out;
+  }
+  /// Reads until `marker` has been seen (headers+body arrive in few reads).
+  std::string ReadUntil(const std::string& marker) {
+    std::string out;
+    char buf[4096];
+    while (out.find(marker) == std::string::npos) {
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+};
 
 class NetServerTest : public ::testing::Test {
  protected:
@@ -231,8 +292,11 @@ TEST(NetServerOverloadTest, QueueFullYields429AndNeverBlocksAcceptLoop) {
           ok_count.fetch_add(1);
         } else if (r->status == 429) {
           shed_count.fetch_add(1);
-          // The protocol promises a Retry-After hint and an Unavailable code.
+          // The protocol promises a Retry-After hint and an Unavailable code
+          // — and no tenant-limited marker: this is global queue pressure,
+          // not a per-tenant verdict.
           EXPECT_FALSE(r->FindHeader("Retry-After").empty());
+          EXPECT_TRUE(r->FindHeader(kTenantLimitedHeader).empty());
           auto body = Client::ParseBody(*r);
           ASSERT_TRUE(body.ok());
           ASSERT_NE(body->Find("error"), nullptr);
@@ -340,6 +404,258 @@ TEST_F(NetServerTest, GracefulStopDrainsAndRefusesNewConnections) {
   EXPECT_FALSE(after.ok());
   Client fresh("127.0.0.1", port);
   EXPECT_FALSE(fresh.Get("/healthz").ok());
+}
+
+// The slow-loris bound (docs/wire-protocol.md "Connection deadlines"): a
+// client dripping an eternally-unfinished request line is answered 408 and
+// closed at the header deadline — while a concurrent well-behaved client on
+// the same server never notices.
+TEST_F(NetServerTest, SlowLorisReapedAtHeaderDeadlineFastClientUnaffected) {
+  service::ServiceOptions service_options;
+  service_options.num_engines = 1;
+  service::QueryService service(&catalog_, service_options);
+  ServerOptions server_options;
+  server_options.header_timeout_ms = 400;
+  HttpServer server(MakeServiceRouter(&service), server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  RawConn loris("127.0.0.1", server.port());
+  ASSERT_TRUE(loris.ok());
+  ASSERT_TRUE(loris.Send("GET /heal"));  // ...and never finishes the line
+
+  // The fast client gets served throughout the loris's lifetime.
+  Client fast("127.0.0.1", server.port());
+  for (int i = 0; i < 5; ++i) {
+    auto r = fast.Get("/healthz");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->status, 200);
+  }
+
+  // The loris is reaped: best-effort 408, then EOF, within the deadline
+  // (plus scheduling slack), and emphatically not the 5s socket timeout.
+  std::string received = loris.DrainUntilEof();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                start)
+          .count();
+  EXPECT_NE(received.find("408"), std::string::npos) << received;
+  EXPECT_NE(received.find("TimeLimit"), std::string::npos) << received;
+  EXPECT_GE(elapsed_ms, 350.0);
+  EXPECT_LT(elapsed_ms, 3000.0);
+
+  ServerStats stats = server.GetStats();
+  EXPECT_EQ(stats.timeouts_header, 1u);
+  EXPECT_EQ(stats.timeouts_idle, 0u);
+
+  // The fast client's keep-alive connection is still alive and armed.
+  EXPECT_EQ(fast.Get("/healthz")->status, 200);
+  server.Stop();
+}
+
+// A keep-alive connection that goes quiet after a completed exchange is
+// closed silently at the idle deadline — no 408, no error, just EOF.
+TEST_F(NetServerTest, KeepAliveIdleTimeoutClosesCleanly) {
+  service::ServiceOptions service_options;
+  service_options.num_engines = 1;
+  service::QueryService service(&catalog_, service_options);
+  ServerOptions server_options;
+  server_options.header_timeout_ms = 2000;
+  server_options.idle_timeout_ms = 300;
+  HttpServer server(MakeServiceRouter(&service), server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawConn conn("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.Send("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"));
+  std::string response = conn.ReadUntil("\"ok\"");
+  ASSERT_NE(response.find("200"), std::string::npos) << response;
+
+  // No second request: the server reaps the idle connection. EOF must come
+  // from the 300ms idle deadline, not the 5s receive timeout.
+  const auto idle_from = std::chrono::steady_clock::now();
+  std::string rest = conn.DrainUntilEof();
+  const double idle_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                idle_from)
+          .count();
+  EXPECT_TRUE(rest.empty()) << rest;  // silent close: no 408 for idleness
+  EXPECT_GE(idle_ms, 250.0);
+  EXPECT_LT(idle_ms, 3000.0);
+  EXPECT_EQ(server.GetStats().timeouts_idle, 1u);
+  EXPECT_EQ(server.GetStats().timeouts_header, 0u);
+  server.Stop();
+}
+
+// The two 429 flavors are distinguishable on the wire: a tenant over its own
+// limits gets RateLimited + X-DPStarJ-Tenant-Limited: 1, while global queue
+// pressure stays Unavailable with no marker (asserted in the overload test).
+TEST_F(NetServerTest, TenantLimited429DistinctFromOverload) {
+  service::ServiceOptions service_options;
+  service_options.num_engines = 1;
+  service::QueryService service(&catalog_, service_options);
+  HttpServer server(MakeServiceRouter(&service), {});
+  ASSERT_TRUE(server.Start().ok());
+  Client client("127.0.0.1", server.port());
+
+  // Register with a bucket of exactly one token that effectively never
+  // refills; overrides ride along on POST /v1/tenants.
+  auto reg = client.Post(
+      "/v1/tenants",
+      "{\"tenant\":\"drip\",\"epsilon\":100,\"rate_qps\":0.001,\"burst\":1}");
+  ASSERT_TRUE(reg.ok());
+  ASSERT_EQ(reg->status, 201);
+  auto body = Client::ParseBody(*reg);
+  ASSERT_TRUE(body.ok());
+  EXPECT_DOUBLE_EQ(*body->GetNumber("rate_qps"), 0.001);
+
+  const std::string sql = DistinctToyQuery(0);
+  EXPECT_EQ(client.Post("/v1/query", QueryBody(sql, 0.1, "drip"))->status, 200);
+
+  auto limited = client.Post("/v1/query", QueryBody(sql, 0.1, "drip"));
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->status, 429);
+  EXPECT_EQ(limited->FindHeader(kTenantLimitedHeader), "1");
+  EXPECT_FALSE(limited->FindHeader("Retry-After").empty());
+  auto err = Client::ParseBody(*limited);
+  ASSERT_TRUE(err.ok());
+  ASSERT_NE(err->Find("error"), nullptr);
+  EXPECT_EQ(err->Find("error")->GetString("code").ValueOrDie(), "RateLimited");
+
+  // The refusal is pre-ledger: the tenant paid for one answer only, and the
+  // account's admission block shows the rate-limited attempt.
+  auto account = client.Get("/v1/tenants/drip");
+  ASSERT_EQ(account->status, 200);
+  auto acc = Client::ParseBody(*account);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(*acc->GetNumber("spent"), 0.1);
+  const Json* adm = acc->Find("admission");
+  ASSERT_NE(adm, nullptr);
+  EXPECT_DOUBLE_EQ(*adm->GetNumber("rate_limited"), 1.0);
+  EXPECT_DOUBLE_EQ(*adm->GetNumber("in_flight"), 0.0);
+
+  // Another tenant on the same service is unaffected by drip's bucket.
+  ASSERT_EQ(client
+                .Post("/v1/tenants",
+                      "{\"tenant\":\"free\",\"epsilon\":100}")
+                ->status,
+            201);
+  EXPECT_EQ(client.Post("/v1/query", QueryBody(sql, 0.1, "free"))->status, 200);
+
+  // A live tenant's limits can be updated over the wire: re-POST with limit
+  // fields answers 200 and applies them — while epsilon is never re-minted.
+  auto update = client.Post(
+      "/v1/tenants", "{\"tenant\":\"drip\",\"epsilon\":999,\"rate_qps\":0}");
+  ASSERT_TRUE(update.ok());
+  EXPECT_EQ(update->status, 200);
+  auto updated = Client::ParseBody(*update);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_DOUBLE_EQ(*updated->GetNumber("total"), 100.0);  // not 999
+  // Unthrottled: the previously rate-limited tenant answers again.
+  EXPECT_EQ(client.Post("/v1/query", QueryBody(DistinctToyQuery(1), 0.1, "drip"))
+                ->status,
+            200);
+  // A plain re-registration without limit fields still conflicts.
+  EXPECT_EQ(client.Post("/v1/tenants", "{\"tenant\":\"drip\",\"epsilon\":5}")
+                ->status,
+            409);
+
+  auto stats = Client::ParseBody(*client.Get("/v1/stats"));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(*stats->GetNumber("rejected_tenant_limited"), 1.0);
+  EXPECT_DOUBLE_EQ(*stats->GetNumber("rejected_overload"), 0.0);
+  server.Stop();
+}
+
+// The fairness acceptance test: a hot tenant saturating the service (capped
+// in-flight, so it cannot fill the global queue) leaves a quiet tenant's
+// queries answerable — every one succeeds, with exact ε accounting.
+TEST(NetServerFairnessTest, HotTenantCannotStarveQuietTenant) {
+  constexpr int kQuietQueries = 15;
+  constexpr double kQuietEps = 0.01;
+  constexpr int kHotThreads = 4;
+
+  storage::Catalog catalog = MakeHeavyCatalog(30000);
+  service::ServiceOptions service_options;
+  service_options.num_engines = 1;
+  service_options.queue_capacity = 64;
+  service_options.cache_capacity = 0;  // every quiet answer is a paid draw
+  service_options.default_tenant_budget = 1e9;
+  service::QueryService service(&catalog, service_options);
+  // Cap only the hot tenant: at most 2 of its queries may occupy the pool,
+  // so the 64-slot queue never fills and "quiet" is never globally shed.
+  service::TenantLimits hot_limits;
+  hot_limits.max_in_flight = 2;
+  service.SetTenantLimits("hot", hot_limits);
+
+  ServerOptions server_options;
+  server_options.handler_threads = kHotThreads + 2;
+  HttpServer server(MakeServiceRouter(&service), server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> storm_over{false};
+  std::atomic<uint64_t> hot_ok{0}, hot_limited{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> hot;
+  for (int t = 0; t < kHotThreads; ++t) {
+    hot.emplace_back([&, t] {
+      Client client("127.0.0.1", server.port());
+      for (int i = 0; !storm_over.load(); ++i) {
+        int n = t * 100000 + i;
+        std::string sql = Format(
+            "SELECT count(*) FROM Fact, Dim WHERE Fact.dk = Dim.dk "
+            "AND Dim.bucket BETWEEN %d AND %d",
+            n % 200 + 1, n % 200 + 180);
+        auto r = client.Post("/v1/query", QueryBody(sql, 0.001, "hot"));
+        if (!r.ok()) {
+          ++failures;
+          return;
+        }
+        if (r->status == 200) {
+          hot_ok.fetch_add(1);
+        } else if (r->status == 429) {
+          // Always the tenant-limited flavor: the global queue has room.
+          hot_limited.fetch_add(1);
+          if (r->FindHeader(kTenantLimitedHeader) != "1") {
+            ADD_FAILURE() << "expected tenant-limited marker: " << r->body;
+            ++failures;
+            return;
+          }
+        } else {
+          ADD_FAILURE() << "unexpected HTTP " << r->status << ": " << r->body;
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+
+  // The quiet tenant, sequential, must get every answer while the storm
+  // rages — fair dispatch bounds its wait to the hot tenant's in-flight cap.
+  {
+    Client client("127.0.0.1", server.port());
+    for (int i = 0; i < kQuietQueries; ++i) {
+      std::string sql = Format(
+          "SELECT count(*) FROM Fact, Dim WHERE Fact.dk = Dim.dk "
+          "AND Dim.bucket BETWEEN 1 AND %d",
+          i + 2);
+      auto r = client.Post("/v1/query", QueryBody(sql, kQuietEps, "quiet"));
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_EQ(r->status, 200) << r->body;
+    }
+  }
+  storm_over.store(true);
+  for (auto& th : hot) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(hot_limited.load(), 0u) << "the hot tenant was never capped";
+  // Exact ε accounting for the quiet tenant: one paid draw per query.
+  EXPECT_NEAR(*service.ledger().Spent("quiet"), kQuietQueries * kQuietEps, 1e-9);
+  service::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.rejected_tenant_limited, hot_limited.load());
+  EXPECT_EQ(stats.tenant_capped, hot_limited.load());
+  EXPECT_EQ(stats.rejected_overload, 0u);
+  server.Stop();
 }
 
 TEST_F(NetServerTest, ConnectionCapShedsWith503) {

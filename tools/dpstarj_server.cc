@@ -21,6 +21,7 @@
 // call, the process SIGINTs itself, and the exit code reports whether the
 // round trips and the graceful drain all succeeded.
 
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +50,16 @@ struct Flags {
   int queue = 256;
   int handler_threads = 8;
   double default_budget = 0.0;  // <= 0: tenants must be registered explicitly
+  // Connection deadlines (0 disables one); see docs/operations.md.
+  int header_timeout_ms = 10'000;
+  int body_timeout_ms = 30'000;
+  int idle_timeout_ms = 60'000;
+  int write_timeout_ms = 30'000;
+  // Default per-tenant fair-admission limits (0 disables one); overridable
+  // per tenant via POST /v1/tenants.
+  double tenant_rate = 0.0;
+  double tenant_burst = 0.0;
+  int tenant_inflight = 0;
   bool selfcheck = false;
 };
 
@@ -56,10 +67,18 @@ void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--host A] [--port N] [--sf S] [--engines N] [--queue N]\n"
-      "          [--handler-threads N] [--default-budget E] [--selfcheck]\n"
+      "          [--handler-threads N] [--default-budget E]\n"
+      "          [--header-timeout-ms N] [--body-timeout-ms N]\n"
+      "          [--idle-timeout-ms N] [--write-timeout-ms N]\n"
+      "          [--tenant-rate Q] [--tenant-burst B]\n"
+      "          [--tenant-inflight N] [--selfcheck]\n"
       "  --port 0 picks an ephemeral port (printed on startup)\n"
       "  --default-budget E auto-registers unknown tenants with total eps E\n"
-      "  --selfcheck: serve, run one client round trip, SIGINT itself, exit\n",
+      "  --header/body/idle/write-timeout-ms: connection deadlines, 0 disables\n"
+      "  --tenant-rate/burst/inflight: default per-tenant admission limits\n"
+      "    (0 disables; per-tenant overrides via POST /v1/tenants)\n"
+      "  --selfcheck: serve, run one client round trip, SIGINT itself, exit\n"
+      "  full reference: docs/operations.md\n",
       argv0);
 }
 
@@ -70,31 +89,66 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       if (i + 1 >= argc) return false;
       return ParseDouble(argv[++i], out);
     };
+    // Integer flags are range-checked BEFORE the cast — static_cast of an
+    // out-of-int-range double is UB, same hardening as the wire's
+    // max_in_flight validation in service_api.cc.
+    auto next_int = [&](int* out) {
+      double v = 0.0;
+      if (!next_num(&v)) return false;
+      if (!(v >= 0 && v <= 1e9) || v != std::floor(v)) {
+        std::fprintf(stderr, "%s must be an integer in [0, 1e9]\n", arg.c_str());
+        return false;
+      }
+      *out = static_cast<int>(v);
+      return true;
+    };
     double v = 0.0;
     if (arg == "--host" && i + 1 < argc) {
       flags->host = argv[++i];
     } else if (arg == "--port" && next_num(&v)) {
-      if (v < 0 || v > 65535 || v != static_cast<int>(v)) {
+      if (!(v >= 0 && v <= 65535) || v != std::floor(v)) {
         std::fprintf(stderr, "--port must be an integer in [0, 65535]\n");
         return false;
       }
       flags->port = static_cast<int>(v);
     } else if (arg == "--sf" && next_num(&v)) {
       flags->scale_factor = v;
-    } else if (arg == "--engines" && next_num(&v)) {
-      flags->engines = static_cast<int>(v);
-    } else if (arg == "--queue" && next_num(&v)) {
-      flags->queue = static_cast<int>(v);
-    } else if (arg == "--handler-threads" && next_num(&v)) {
-      flags->handler_threads = static_cast<int>(v);
+    } else if (arg == "--engines" && next_int(&flags->engines)) {
+    } else if (arg == "--queue" && next_int(&flags->queue)) {
+    } else if (arg == "--handler-threads" && next_int(&flags->handler_threads)) {
     } else if (arg == "--default-budget" && next_num(&v)) {
       flags->default_budget = v;
+    } else if (arg == "--header-timeout-ms" && next_int(&flags->header_timeout_ms)) {
+    } else if (arg == "--body-timeout-ms" && next_int(&flags->body_timeout_ms)) {
+    } else if (arg == "--idle-timeout-ms" && next_int(&flags->idle_timeout_ms)) {
+    } else if (arg == "--write-timeout-ms" && next_int(&flags->write_timeout_ms)) {
+    } else if (arg == "--tenant-rate" && next_num(&v)) {
+      flags->tenant_rate = v;
+    } else if (arg == "--tenant-burst" && next_num(&v)) {
+      flags->tenant_burst = v;
+    } else if (arg == "--tenant-inflight" && next_int(&flags->tenant_inflight)) {
     } else if (arg == "--selfcheck") {
       flags->selfcheck = true;
     } else {
       Usage(argv[0]);
       return false;
     }
+  }
+  // Same validation posture as the wire path (service_api.cc): reject what
+  // would abort deeper in (a zero engine pool trips a CHECK) or silently
+  // misbehave (NaN/negative admission limits).
+  if (flags->engines < 1) {
+    std::fprintf(stderr, "--engines must be >= 1\n");
+    return false;
+  }
+  if (!std::isfinite(flags->tenant_rate) || flags->tenant_rate < 0.0 ||
+      !std::isfinite(flags->tenant_burst) || flags->tenant_burst < 0.0) {
+    std::fprintf(stderr, "--tenant-rate/--tenant-burst must be finite and >= 0\n");
+    return false;
+  }
+  if (!std::isfinite(flags->scale_factor) || flags->scale_factor <= 0.0) {
+    std::fprintf(stderr, "--sf must be positive and finite\n");
+    return false;
   }
   return true;
 }
@@ -185,12 +239,19 @@ int main(int argc, char** argv) {
   if (flags.default_budget > 0.0) {
     service_options.default_tenant_budget = flags.default_budget;
   }
+  service_options.admission.defaults.rate_qps = flags.tenant_rate;
+  service_options.admission.defaults.burst = flags.tenant_burst;
+  service_options.admission.defaults.max_in_flight = flags.tenant_inflight;
   service::QueryService service(&*catalog, service_options);
 
   net::ServerOptions server_options;
   server_options.host = flags.host;
   server_options.port = static_cast<uint16_t>(flags.port);
   server_options.handler_threads = flags.handler_threads;
+  server_options.header_timeout_ms = flags.header_timeout_ms;
+  server_options.body_timeout_ms = flags.body_timeout_ms;
+  server_options.idle_timeout_ms = flags.idle_timeout_ms;
+  server_options.write_timeout_ms = flags.write_timeout_ms;
   net::HttpServer server(net::MakeServiceRouter(&service), server_options);
   Status started = server.Start();
   if (!started.ok()) {
@@ -220,11 +281,16 @@ int main(int argc, char** argv) {
 
   net::ServerStats net_stats = server.GetStats();
   std::printf("server: %llu connections (%llu rejected), %llu requests "
-              "(%llu bad)\n",
+              "(%llu bad), timeouts %llu hdr / %llu body / %llu idle / "
+              "%llu write\n",
               static_cast<unsigned long long>(net_stats.connections_accepted),
               static_cast<unsigned long long>(net_stats.connections_rejected),
               static_cast<unsigned long long>(net_stats.requests_handled),
-              static_cast<unsigned long long>(net_stats.bad_requests));
+              static_cast<unsigned long long>(net_stats.bad_requests),
+              static_cast<unsigned long long>(net_stats.timeouts_header),
+              static_cast<unsigned long long>(net_stats.timeouts_body),
+              static_cast<unsigned long long>(net_stats.timeouts_idle),
+              static_cast<unsigned long long>(net_stats.timeouts_write));
   std::printf("service: %s\n", service.Stats().ToString().c_str());
   return selfcheck_rc;
 }
