@@ -30,6 +30,7 @@
 #include "common/timer.h"
 #include "core/pma.h"
 #include "core/predicate_mechanism.h"
+#include "obs/trace.h"
 #include "exec/data_cube.h"
 #include "exec/star_join_executor.h"
 #include "graph/generator.h"
@@ -354,6 +355,17 @@ void RunPlanCacheComparison(bench::JsonBenchWriter* json) {
     paths.push_back({"plan warm (bitmaps only)", [&]() {
                        auto r = pm.Answer(*bound, epsilon, &rng);
                        DPSTARJ_CHECK(r.ok(), "answer");
+                     }});
+    // Same steady-state path with a per-answer stage trace attached — the
+    // telemetry-overhead acceptance measurement (must stay within a few
+    // percent of the untraced warm path).
+    paths.push_back({"plan warm (traced)", [&]() {
+                       obs::Trace trace;
+                       auto r = pm.Answer(*bound, epsilon, &rng, &trace);
+                       DPSTARJ_CHECK(r.ok(), "answer");
+                       DPSTARJ_CHECK(trace.touched(obs::Stage::kScan) ||
+                                         trace.touched(obs::Stage::kNoiseDraw),
+                                     "traced answer recorded no stages");
                      }});
 
     double uncached_rows_per_sec = 0.0;

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdio>
 
+#include "common/string_util.h"
+
 namespace dpstarj {
 
 namespace {
@@ -29,7 +31,19 @@ LogLevel Logger::GetLevel() { return static_cast<LogLevel>(g_level.load()); }
 
 void Logger::Log(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < g_level.load()) return;
-  std::fprintf(stderr, "[dpstarj %s] %s\n", LevelName(level), msg.c_str());
+  // Assemble the whole line first and emit it with one fwrite: stdio stream
+  // operations are atomic w.r.t. each other (POSIX), so concurrent
+  // LogMessage destructors can't interleave partial lines the way a
+  // multi-argument fprintf's internal chunks could on some libcs.
+  std::string line;
+  line.reserve(48 + msg.size());
+  line += UtcTimestamp();
+  line += " [dpstarj ";
+  line += LevelName(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace dpstarj

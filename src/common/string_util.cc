@@ -2,8 +2,10 @@
 
 #include <cctype>
 #include <charconv>
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <ctime>
 
 namespace dpstarj {
 
@@ -80,6 +82,20 @@ std::string Format(const char* fmt, ...) {
   }
   va_end(args_copy);
   return out;
+}
+
+std::string UtcTimestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  return Format("%04d-%02d-%02dT%02d:%02d:%02d.%06ldZ", tm.tm_year + 1900,
+                tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min, tm.tm_sec,
+                static_cast<long>(micros));
 }
 
 bool ParseInt64(std::string_view s, int64_t* out) {

@@ -31,6 +31,11 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 /// printf-style formatting into a std::string.
 std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// Current wall-clock time as "2026-08-08T12:00:00.123456Z" (UTC,
+/// microsecond precision) — the timestamp format shared by the Logger and
+/// the JSON-lines access log.
+std::string UtcTimestamp();
+
 /// Parses a signed integer; returns false on any non-numeric content.
 bool ParseInt64(std::string_view s, int64_t* out);
 /// Parses a double; returns false on any non-numeric content.

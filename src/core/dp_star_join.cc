@@ -37,8 +37,9 @@ Result<exec::QueryResult> DpStarJoin::AnswerSql(const std::string& sql,
 }
 
 Result<exec::QueryResult> DpStarJoin::AnswerBound(const query::BoundQuery& bound,
-                                                  double epsilon, Rng* rng) const {
-  return mechanism_.Answer(bound, epsilon, rng);
+                                                  double epsilon, Rng* rng,
+                                                  obs::Trace* trace) const {
+  return mechanism_.Answer(bound, epsilon, rng, trace);
 }
 
 Result<exec::QueryResult> DpStarJoin::TrueAnswer(const query::StarJoinQuery& q) const {

@@ -76,9 +76,11 @@ class DpStarJoin {
   /// call concurrently as long as each caller supplies a distinct Rng. The
   /// service layer routes every pool-worker answer through here — budget
   /// accounting lives in service::BudgetLedger, randomness in the worker's
-  /// per-engine stream.
+  /// per-engine stream. A non-null `trace` records the mechanism's stage
+  /// spans (noise draw, plan compile, bitmap rebuild, scan).
   Result<exec::QueryResult> AnswerBound(const query::BoundQuery& bound,
-                                        double epsilon, Rng* rng) const;
+                                        double epsilon, Rng* rng,
+                                        obs::Trace* trace = nullptr) const;
 
   /// Exact (non-private) answer — for utility evaluation only.
   Result<exec::QueryResult> TrueAnswer(const query::StarJoinQuery& q) const;

@@ -33,21 +33,28 @@ Result<exec::PredicateOverrides> PredicateMechanism::PerturbPredicates(
 }
 
 Result<exec::QueryResult> PredicateMechanism::Answer(const query::BoundQuery& q,
-                                                     double epsilon, Rng* rng) const {
-  DPSTARJ_ASSIGN_OR_RETURN(exec::PredicateOverrides overrides,
-                           PerturbPredicates(q, epsilon, rng));
+                                                     double epsilon, Rng* rng,
+                                                     obs::Trace* trace) const {
+  Result<exec::PredicateOverrides> overrides = [&] {
+    obs::ScopedStage noise_span(trace, obs::Stage::kNoiseDraw);
+    return PerturbPredicates(q, epsilon, rng);
+  }();
+  if (!overrides.ok()) return overrides.status();
   // A disabled cache (capacity 0) means "no plan reuse": take the fresh-build
   // pipeline directly instead of compiling a scaffold that would be thrown
   // away — compile costs more than one fresh execution.
-  if (plan_cache_->capacity() == 0) return executor_.Execute(q, overrides);
+  if (plan_cache_->capacity() == 0) {
+    obs::ScopedStage scan_span(trace, obs::Stage::kScan);
+    return executor_.Execute(q, *overrides);
+  }
   // Execute against the cached scaffold: the first Answer on a query compiles
   // its ScanPlan, every later one (and every other tenant/engine sharing the
   // cache) only rebuilds predicate bitmaps. Plan reuse is pure execution
   // strategy — the noise was drawn above, so results are distributed exactly
   // as a fresh-build execution (and are bit-identical given the same draw).
   DPSTARJ_ASSIGN_OR_RETURN(std::shared_ptr<const exec::ScanPlan> plan,
-                           plan_cache_->GetOrCompile(q));
-  return executor_.Execute(q, overrides, *plan);
+                           plan_cache_->GetOrCompile(q, trace));
+  return executor_.Execute(q, *overrides, *plan, trace);
 }
 
 Result<double> PredicateMechanism::AnswerWithCube(const query::BoundQuery& q,

@@ -60,8 +60,11 @@ class PredicateMechanism {
   /// \brief Algorithm 3 (and its SUM / GROUP BY variants, §5.3): perturb
   /// predicates, then answer the noisy query over the real instance.
   /// COUNT/SUM return a scalar; GROUP BY returns per-group aggregates.
+  ///
+  /// A non-null `trace` records the noise-draw, plan-compile, bitmap-rebuild
+  /// and scan spans of this execution; the answer itself is unaffected.
   Result<exec::QueryResult> Answer(const query::BoundQuery& q, double epsilon,
-                                   Rng* rng) const;
+                                   Rng* rng, obs::Trace* trace = nullptr) const;
 
   /// \brief Fast path for repeated-run experiments: evaluates the noisy
   /// predicates against a pre-built cube (must be built with

@@ -57,7 +57,7 @@ PlanCache::PlanCache(size_t capacity, size_t max_bytes)
     : capacity_(capacity), max_bytes_(max_bytes) {}
 
 Result<std::shared_ptr<const ScanPlan>> PlanCache::GetOrCompile(
-    const query::BoundQuery& q) {
+    const query::BoundQuery& q, obs::Trace* trace) {
   const std::string key = PlanKey(q);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -67,6 +67,7 @@ Result<std::shared_ptr<const ScanPlan>> PlanCache::GetOrCompile(
       if (plan->Matches(q)) {
         lru_.splice(lru_.begin(), lru_, it->second);
         ++stats_.hits;
+        if (trace != nullptr) trace->plan_cache_hit = true;
         return plan;
       }
       bytes_ -= plan->ApproxBytes();
@@ -78,6 +79,7 @@ Result<std::shared_ptr<const ScanPlan>> PlanCache::GetOrCompile(
 
   // Compile outside the lock: compilation scans the fact table once and must
   // not serialize concurrent engines behind the cache mutex.
+  obs::ScopedStage compile_span(trace, obs::Stage::kPlanCompile);
   DPSTARJ_ASSIGN_OR_RETURN(ScanPlan compiled, ScanPlan::Compile(q));
   auto plan = std::make_shared<const ScanPlan>(std::move(compiled));
 

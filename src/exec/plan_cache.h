@@ -29,6 +29,7 @@
 
 #include "common/result.h"
 #include "exec/scan_plan.h"
+#include "obs/trace.h"
 #include "query/binder.h"
 
 namespace dpstarj::exec {
@@ -68,7 +69,11 @@ class PlanCache {
   /// (and caching) one when absent or stale. Compilation runs outside the
   /// cache lock; two threads racing on the same cold key may both compile,
   /// and the later insert wins — wasted work, never wrong results.
-  Result<std::shared_ptr<const ScanPlan>> GetOrCompile(const query::BoundQuery& q);
+  ///
+  /// A non-null `trace` gets `plan_cache_hit` set on a validated hit and the
+  /// compile span (obs::Stage::kPlanCompile) recorded on a miss.
+  Result<std::shared_ptr<const ScanPlan>> GetOrCompile(
+      const query::BoundQuery& q, obs::Trace* trace = nullptr);
 
   /// Drops every entry (stats are preserved).
   void Clear();

@@ -557,7 +557,8 @@ Result<QueryResult> StarJoinExecutor::Execute(
 
 Result<QueryResult> StarJoinExecutor::Execute(const query::BoundQuery& q,
                                               const PredicateOverrides& overrides,
-                                              const ScanPlan& plan) const {
+                                              const ScanPlan& plan,
+                                              obs::Trace* trace) const {
   if (!overrides.empty() && overrides.size() != q.dims.size()) {
     return Status::InvalidArgument(
         Format("override arity %zu != dimension count %zu", overrides.size(),
@@ -566,6 +567,7 @@ Result<QueryResult> StarJoinExecutor::Execute(const query::BoundQuery& q,
   // Plans carry no scaffold when grouping cannot pack into 64 bits; the
   // scalar pipeline re-derives everything from the query each run.
   if (options_.force_scalar || plan.requires_scalar()) {
+    obs::ScopedStage scan_span(trace, obs::Stage::kScan);
     return ExecuteScalar(q, overrides, options_);
   }
   if (!plan.Matches(q)) {
@@ -579,11 +581,16 @@ Result<QueryResult> StarJoinExecutor::Execute(const query::BoundQuery& q,
 
   // ---- the cheap per-execution part: one predicate bitmap per dimension.
   std::vector<std::vector<uint64_t>> bitmaps(num_dims);
-  for (size_t i = 0; i < num_dims; ++i) {
-    DPSTARJ_ASSIGN_OR_RETURN(
-        bitmaps[i], BuildPassBitmap(plan.dims[i], *q.dims[i].dim,
-                                    *EffectivePreds(q, overrides, i)));
+  {
+    obs::ScopedStage bitmap_span(trace, obs::Stage::kBitmapRebuild);
+    for (size_t i = 0; i < num_dims; ++i) {
+      DPSTARJ_ASSIGN_OR_RETURN(
+          bitmaps[i], BuildPassBitmap(plan.dims[i], *q.dims[i].dim,
+                                      *EffectivePreds(q, overrides, i)));
+    }
   }
+  // Everything below is the fact sweep (run-sorted or probing) + merge.
+  obs::ScopedStage scan_span(trace, obs::Stage::kScan);
 
   const int64_t fact_rows = plan.fact_rows();
   const int num_workers = ResolveWorkers(options_, fact_rows);

@@ -23,6 +23,7 @@
 #include "common/result.h"
 #include "exec/query_result.h"
 #include "exec/scan_plan.h"
+#include "obs/trace.h"
 #include "query/binder.h"
 
 namespace dpstarj::exec {
@@ -84,9 +85,13 @@ class StarJoinExecutor {
   /// group's additions in row order — the fresh pipeline's single-thread
   /// order — at any worker count. Strict-integrity violations are reported
   /// with the exact row/dimension/message of the fresh pipeline.
+  ///
+  /// A non-null `trace` records the bitmap-rebuild and fact-sweep spans
+  /// (obs::Stage::kBitmapRebuild / kScan); execution is unchanged otherwise.
   Result<QueryResult> Execute(const query::BoundQuery& q,
                               const PredicateOverrides& overrides,
-                              const ScanPlan& plan) const;
+                              const ScanPlan& plan,
+                              obs::Trace* trace = nullptr) const;
 
   const ExecutorOptions& options() const { return options_; }
 

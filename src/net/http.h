@@ -16,11 +16,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/result.h"
+#include "obs/trace.h"
 
 namespace dpstarj::net {
 
@@ -42,6 +44,14 @@ struct HttpRequest {
   bool keep_alive = true;
   /// `<param>` captures filled in by Router::Dispatch.
   std::map<std::string, std::string> path_params;
+  /// \name Server-measured socket read times, in microseconds.
+  /// Filled by HttpServer from its connection phase transitions; 0 for
+  /// pipelined requests whose bytes were already buffered. Handlers copy
+  /// them into the request's obs::Trace (kHeaderRead / kBodyRead).
+  /// @{
+  uint64_t header_read_us = 0;
+  uint64_t body_read_us = 0;
+  /// @}
 
   /// Case-insensitive header lookup; "" when absent.
   std::string_view FindHeader(std::string_view name) const;
@@ -53,6 +63,12 @@ struct HttpResponse {
   std::vector<HttpHeader> headers;  ///< extra headers (Content-* are implied)
   std::string body;
   std::string content_type = "application/json";
+  /// Optional per-request trace attached by the handler. A server that finds
+  /// one appends the X-DPStarJ-Trace-Id header, folds the stage spans into
+  /// its access log line, and feeds the slow-query log from it.
+  std::shared_ptr<obs::Trace> trace;
+  /// Tenant attribution for the access log (handlers that resolved one).
+  std::string tenant;
 
   /// JSON-body response.
   static HttpResponse MakeJson(int status, std::string body);

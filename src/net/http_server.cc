@@ -52,6 +52,32 @@ HttpServer::HttpServer(Router router, ServerOptions options)
     : router_(std::move(router)), options_(std::move(options)) {
   if (options_.handler_threads <= 0) options_.handler_threads = 1;
   if (options_.max_connections <= 0) options_.max_connections = 1;
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* reg = options_.metrics;
+    m_connections_accepted_ =
+        reg->GetCounter("dpstarj_http_connections_total",
+                        "Connections by accept outcome", {{"result", "accepted"}});
+    m_connections_rejected_ =
+        reg->GetCounter("dpstarj_http_connections_total",
+                        "Connections by accept outcome", {{"result", "rejected"}});
+    m_requests_handled_ = reg->GetCounter("dpstarj_http_requests_total",
+                                          "Requests answered by the router");
+    m_bad_requests_ = reg->GetCounter("dpstarj_http_bad_requests_total",
+                                      "Parse failures answered 4xx/5xx");
+    m_timeouts_header_ =
+        reg->GetCounter("dpstarj_http_timeouts_total",
+                        "Connections reaped by deadline, by kind",
+                        {{"kind", "header"}});
+    m_timeouts_body_ = reg->GetCounter("dpstarj_http_timeouts_total",
+                                       "Connections reaped by deadline, by kind",
+                                       {{"kind", "body"}});
+    m_timeouts_idle_ = reg->GetCounter("dpstarj_http_timeouts_total",
+                                       "Connections reaped by deadline, by kind",
+                                       {{"kind", "idle"}});
+    m_timeouts_write_ = reg->GetCounter("dpstarj_http_timeouts_total",
+                                        "Connections reaped by deadline, by kind",
+                                        {{"kind", "write"}});
+  }
 }
 
 HttpServer::~HttpServer() { Stop(); }
@@ -317,20 +343,37 @@ void HttpServer::ReapConnection(const DeadlineEntry& entry) {
   switch (phase) {
     case Connection::Phase::kHeader:
     case Connection::Phase::kBody: {
-      (phase == Connection::Phase::kHeader ? timeouts_header_ : timeouts_body_)
-          .fetch_add(1);
+      const bool header = phase == Connection::Phase::kHeader;
+      (header ? timeouts_header_ : timeouts_body_).fetch_add(1);
+      obs::Counter* twin = header ? m_timeouts_header_ : m_timeouts_body_;
+      if (twin != nullptr) twin->Inc();
       // Best-effort 408 — one non-blocking send; a peer too slow to read a
       // request is likely too slow to read this, and that must not stall us.
       HttpResponse timeout = HttpResponse::MakeJson(
           408, Format("{\"error\":{\"code\":\"TimeLimit\",\"message\":"
                       "\"%s read deadline exceeded\"}}",
-                      phase == Connection::Phase::kHeader ? "header" : "body"));
+                      header ? "header" : "body"));
       std::string wire = SerializeResponse(timeout, /*keep_alive=*/false);
       (void)!::send(owned->fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+      if (options_.access_log != nullptr) {
+        // A reaped request may have a parsed request line (body expiry always
+        // does); attribute what is known, with no trace — the request never
+        // reached a handler.
+        obs::AccessLogEntry entry;
+        entry.method = owned->parser.request().method;
+        entry.path = owned->parser.request().path;
+        entry.status = 408;
+        entry.total_us = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - owned->read_start)
+                .count());
+        options_.access_log->Write(entry);
+      }
       break;
     }
     case Connection::Phase::kIdle:
       timeouts_idle_.fetch_add(1);
+      if (m_timeouts_idle_ != nullptr) m_timeouts_idle_->Inc();
       break;
     case Connection::Phase::kHandling:
       break;  // unreachable: dispatch bumps the gen
@@ -391,6 +434,7 @@ void HttpServer::AcceptReady() {
       // Over the cap (or shutting down): shed the connection with a best-
       // effort 503 — never let it consume parser/handler resources.
       connections_rejected_.fetch_add(1);
+      if (m_connections_rejected_ != nullptr) m_connections_rejected_->Inc();
       HttpResponse busy = HttpResponse::MakeJson(
           503,
           "{\"error\":{\"code\":\"Unavailable\","
@@ -398,9 +442,17 @@ void HttpServer::AcceptReady() {
       std::string wire = SerializeResponse(busy, /*keep_alive=*/false);
       (void)!::write(fd, wire.data(), wire.size());
       ::close(fd);
+      if (options_.access_log != nullptr) {
+        // Shed before a single byte was read: nothing to attribute but the
+        // refusal itself.
+        obs::AccessLogEntry entry;
+        entry.status = 503;
+        options_.access_log->Write(entry);
+      }
       continue;
     }
     connections_accepted_.fetch_add(1);
+    if (m_connections_accepted_ != nullptr) m_connections_accepted_->Inc();
     Connection* conn = nullptr;
     {
       std::lock_guard<std::mutex> lock(conn_mu_);
@@ -413,6 +465,7 @@ void HttpServer::AcceptReady() {
       std::lock_guard<std::mutex> lock(conn->mu);
       // The header clock starts at accept: a client that connects and sends
       // nothing (or drips) is exactly what the deadline is for.
+      conn->read_start = std::chrono::steady_clock::now();
       SetDeadline(conn, Connection::Phase::kHeader);
       armed = ArmRead(fd, /*add=*/true);
     }
@@ -472,6 +525,11 @@ void HttpServer::ConnectionReady(int fd) {
   bool dispatch = false;
   {
     std::lock_guard<std::mutex> lock(conn->mu);
+    // First bytes of a keep-alive connection's next request: restart the
+    // read clock — the idle wait is the client's time, not read time.
+    if (conn->phase == Connection::Phase::kIdle) {
+      conn->read_start = std::chrono::steady_clock::now();
+    }
     char buf[8192];
     bool peer_gone = false;
     HttpRequestParser::Progress progress = HttpRequestParser::Progress::kNeedMore;
@@ -491,6 +549,24 @@ void HttpServer::ConnectionReady(int fd) {
       peer_gone = true;
       break;
     }
+    const auto now = std::chrono::steady_clock::now();
+    const auto elapsed_us = [&] {
+      return static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              now - conn->read_start)
+              .count());
+    };
+    if (progress == HttpRequestParser::Progress::kComplete) {
+      // The request finished in this read burst; whichever read phase it was
+      // in absorbs the elapsed time (headers+body arriving together is all
+      // header-read — body_read stays 0).
+      if (conn->phase == Connection::Phase::kBody) {
+        conn->body_read_us += elapsed_us();
+      } else {
+        conn->header_read_us += elapsed_us();
+      }
+      conn->read_start = now;
+    }
     if (progress == HttpRequestParser::Progress::kNeedMore) {
       if (!peer_gone) {
         // Advance the deadline phase on transitions only: kIdle→kHeader when
@@ -502,7 +578,15 @@ void HttpServer::ConnectionReady(int fd) {
                 ? Connection::Phase::kBody
                 : (conn->parser.has_buffered_input() ? Connection::Phase::kHeader
                                                      : conn->phase);
-        if (want != conn->phase) SetDeadline(conn, want);
+        if (want != conn->phase) {
+          if (want == Connection::Phase::kBody) {
+            // Header block complete: bank the header-read span and restart
+            // the clock for the body bytes still owed.
+            conn->header_read_us += elapsed_us();
+            conn->read_start = now;
+          }
+          SetDeadline(conn, want);
+        }
       }
       should_close = peer_gone || !ArmRead(fd, /*add=*/false);
     } else {
@@ -572,12 +656,23 @@ void HttpServer::HandleRequest(Connection* conn) {
     for (;;) {
       if (conn->parser.in_error()) {
         bad_requests_.fetch_add(1);
+        if (m_bad_requests_ != nullptr) m_bad_requests_->Inc();
         HttpResponse r = HttpResponse::MakeJson(
             conn->parser.error_status(),
             Format("{\"error\":{\"code\":\"%s\",\"message\":\"%s\"}}",
                    ParseErrorCodeName(conn->parser.error_status()),
                    JsonEscape(conn->parser.error()).c_str()));
         (void)WriteAll(conn->fd, SerializeResponse(r, /*keep_alive=*/false));
+        if (options_.access_log != nullptr) {
+          // Whatever the parser managed to extract before failing (possibly
+          // empty method/path) is still the best attribution available.
+          obs::AccessLogEntry entry;
+          entry.method = conn->parser.request().method;
+          entry.path = conn->parser.request().path;
+          entry.status = r.status;
+          entry.total_us = conn->header_read_us + conn->body_read_us;
+          options_.access_log->Write(entry);
+        }
         should_close = true;
         break;
       }
@@ -602,11 +697,49 @@ void HttpServer::HandleRequest(Connection* conn) {
         break;
       }
       HttpRequest& request = conn->parser.request();
+      // Hand the banked socket-read times to the handler (its trace records
+      // them as the header_read/body_read stages) and clear them: pipelined
+      // follow-ups were read as part of an earlier request's burst, so they
+      // report 0 rather than double-billing.
+      request.header_read_us = conn->header_read_us;
+      request.body_read_us = conn->body_read_us;
+      conn->header_read_us = 0;
+      conn->body_read_us = 0;
       const bool keep_alive = request.keep_alive && !draining_.load();
+      const auto handle_start = std::chrono::steady_clock::now();
       HttpResponse response = router_.Dispatch(request);
       requests_handled_.fetch_add(1);
+      if (m_requests_handled_ != nullptr) m_requests_handled_->Inc();
+      if (response.trace != nullptr) {
+        response.headers.push_back({"X-DPStarJ-Trace-Id", response.trace->id()});
+      }
       std::string wire = SerializeResponse(response, keep_alive);
-      if (!WriteAll(conn->fd, wire) || !keep_alive) {
+      const bool write_ok = WriteAll(conn->fd, wire);
+      const uint64_t handle_us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - handle_start)
+              .count());
+      const uint64_t total_us =
+          request.header_read_us + request.body_read_us + handle_us;
+      if (options_.access_log != nullptr) {
+        obs::AccessLogEntry entry;
+        entry.method = request.method;
+        entry.path = request.path;
+        entry.status = response.status;
+        entry.tenant = response.tenant;
+        entry.total_us = total_us;
+        entry.trace = response.trace.get();
+        options_.access_log->Write(entry);
+      }
+      if (options_.slow_query_ms > 0 &&
+          total_us >= static_cast<uint64_t>(options_.slow_query_ms) * 1000) {
+        DPSTARJ_LOG(kWarning)
+            << "slow request: " << request.method << " " << request.path
+            << " -> " << response.status << " in " << total_us << " us"
+            << (response.trace != nullptr ? " trace=" + response.trace->id()
+                                          : std::string());
+      }
+      if (!write_ok || !keep_alive) {
         should_close = true;
         break;
       }
@@ -631,6 +764,7 @@ bool HttpServer::WriteAll(int fd, const std::string& data) {
   while (sent < data.size()) {
     if (bounded && std::chrono::steady_clock::now() >= deadline) {
       timeouts_write_.fetch_add(1);
+      if (m_timeouts_write_ != nullptr) m_timeouts_write_->Inc();
       return false;
     }
     ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);

@@ -46,6 +46,8 @@
 
 #include "common/result.h"
 #include "net/http.h"
+#include "obs/access_log.h"
+#include "obs/metrics.h"
 
 namespace dpstarj::net {
 
@@ -82,6 +84,16 @@ struct ServerOptions {
   /// connection mid-response.
   int write_timeout_ms = 30'000;
   /// @}
+  /// When set, the server's connection/request/timeout counters are also
+  /// published here (names under dpstarj_http_*), so one /metrics scrape
+  /// covers the transport next to the service. Must outlive the server.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// When set, one JSON line per finished exchange — responses the router
+  /// produced, reaped 408s, and 503 sheds alike (see obs/access_log.h).
+  std::shared_ptr<obs::AccessLog> access_log;
+  /// When > 0, any request whose server-side wall time reaches this many
+  /// milliseconds is logged at WARN with its trace id and stage breakdown.
+  int slow_query_ms = 0;
 };
 
 /// \brief Monotonic server counters, as returned by GetStats().
@@ -146,6 +158,16 @@ class HttpServer {
     HttpRequestParser parser;
     /// Guarded by mu (the reaper reads it under mu before closing).
     Phase phase = Phase::kHeader;
+    /// \name Request read timing (guarded by mu).
+    /// `read_start` anchors the current read phase (reset when a new
+    /// request's first bytes arrive); the *_us fields accumulate the finished
+    /// request's socket-read times and are copied into HttpRequest — then
+    /// zeroed — at dispatch, so pipelined followers report 0.
+    /// @{
+    std::chrono::steady_clock::time_point read_start{};
+    uint64_t header_read_us = 0;
+    uint64_t body_read_us = 0;
+    /// @}
     /// Which heap entry is current: SetDeadline stores a fresh server-wide
     /// serial here, so superseded entries are recognized and skipped when
     /// they surface (lazy deletion). Server-wide — not per-connection — so a
@@ -282,6 +304,18 @@ class HttpServer {
   std::atomic<uint64_t> timeouts_body_{0};
   std::atomic<uint64_t> timeouts_idle_{0};
   std::atomic<uint64_t> timeouts_write_{0};
+
+  /// Registry twins of the counters above (null without options_.metrics):
+  /// the atomics stay authoritative for GetStats(), the registry children
+  /// feed /metrics — both are bumped at the same sites.
+  obs::Counter* m_connections_accepted_ = nullptr;
+  obs::Counter* m_connections_rejected_ = nullptr;
+  obs::Counter* m_requests_handled_ = nullptr;
+  obs::Counter* m_bad_requests_ = nullptr;
+  obs::Counter* m_timeouts_header_ = nullptr;
+  obs::Counter* m_timeouts_body_ = nullptr;
+  obs::Counter* m_timeouts_idle_ = nullptr;
+  obs::Counter* m_timeouts_write_ = nullptr;
 };
 
 }  // namespace dpstarj::net

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <utility>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dpstarj::net {
 
@@ -16,6 +19,71 @@ HttpResponse JsonResponse(int status, const Json& body) {
 
 HttpResponse ErrorResponse(const Status& status) {
   return JsonResponse(HttpStatusForError(status), ErrorToJson(status));
+}
+
+/// Telemetry handles of the query route, resolved once against the service
+/// registry and shared by the handler closures.
+struct ApiTelemetry {
+  explicit ApiTelemetry(obs::MetricsRegistry* reg) : stage_metrics(reg) {
+    static const char kName[] = "dpstarj_query_duration_seconds";
+    static const char kHelp[] = "End-to-end /v1/query latency by outcome";
+    ok = reg->GetHistogram(kName, kHelp, {{"outcome", "ok"}});
+    budget_exhausted =
+        reg->GetHistogram(kName, kHelp, {{"outcome", "budget_exhausted"}});
+    tenant_limited =
+        reg->GetHistogram(kName, kHelp, {{"outcome", "tenant_limited"}});
+    overload = reg->GetHistogram(kName, kHelp, {{"outcome", "overload"}});
+    bad_request = reg->GetHistogram(kName, kHelp, {{"outcome", "bad_request"}});
+    not_found = reg->GetHistogram(kName, kHelp, {{"outcome", "not_found"}});
+    error = reg->GetHistogram(kName, kHelp, {{"outcome", "error"}});
+  }
+
+  obs::Histogram* DurationFor(int status, bool is_tenant_limited) {
+    switch (status) {
+      case 200:
+        return ok;
+      case 403:
+        return budget_exhausted;
+      case 429:
+        return is_tenant_limited ? tenant_limited : overload;
+      case 400:
+        return bad_request;
+      case 404:
+        return not_found;
+      default:
+        return error;
+    }
+  }
+
+  obs::StageMetrics stage_metrics;
+  obs::Histogram* ok;
+  obs::Histogram* budget_exhausted;
+  obs::Histogram* tenant_limited;
+  obs::Histogram* overload;
+  obs::Histogram* bad_request;
+  obs::Histogram* not_found;
+  obs::Histogram* error;
+};
+
+/// Seals a /v1/query response: folds the trace into the stage histograms,
+/// observes the end-to-end duration under its outcome label, and attaches the
+/// trace + tenant so the server can emit the trace-id header and access-log
+/// line. Every return path of the query route funnels through here.
+HttpResponse FinishTraced(ApiTelemetry* api, std::shared_ptr<obs::Trace> trace,
+                          std::string tenant, HttpResponse resp) {
+  api->stage_metrics.ObserveTrace(*trace);
+  // ElapsedNs starts at handler entry; the socket-read spans happened before
+  // the trace existed, so they are added back for the end-to-end number.
+  const double seconds =
+      static_cast<double>(trace->ElapsedNs() +
+                          trace->stage_ns(obs::Stage::kHeaderRead) +
+                          trace->stage_ns(obs::Stage::kBodyRead)) *
+      1e-9;
+  const bool is_tenant_limited = !resp.FindHeader(kTenantLimitedHeader).empty();
+  api->DurationFor(resp.status, is_tenant_limited)->Observe(seconds);
+  resp.tenant = std::move(tenant);
+  resp.trace = std::move(trace);
+  return resp;
 }
 
 }  // namespace
@@ -122,6 +190,7 @@ Json ServiceStatsToJson(const service::ServiceStats& stats) {
 
 Router MakeServiceRouter(service::QueryService* service, ApiOptions options) {
   DPSTARJ_CHECK(service != nullptr, "service must not be null");
+  auto api = std::make_shared<ApiTelemetry>(service->metrics());
   Router router;
 
   router.Handle("GET", "/healthz", [](const HttpRequest&) {
@@ -130,6 +199,75 @@ Router MakeServiceRouter(service::QueryService* service, ApiOptions options) {
 
   router.Handle("GET", "/v1/stats", [service](const HttpRequest&) {
     return JsonResponse(200, ServiceStatsToJson(service->Stats()));
+  });
+
+  router.Handle("GET", "/metrics", [service](const HttpRequest&) {
+    obs::MetricsRegistry* reg = service->metrics();
+    // Scrape-time gauges: state that lives behind its own locks/atomics is
+    // mirrored into the registry here, so the page is current without adding
+    // a second counter to the hot path.
+    for (const service::TenantAccount& acct : service->ledger().Snapshot()) {
+      reg->GetGauge("dpstarj_tenant_epsilon_total",
+                    "Tenant lifetime privacy budget", {{"tenant", acct.tenant}})
+          ->Set(acct.total);
+      reg->GetGauge("dpstarj_tenant_epsilon_spent",
+                    "Privacy budget spent so far", {{"tenant", acct.tenant}})
+          ->Set(acct.spent);
+      reg->GetGauge("dpstarj_tenant_epsilon_remaining",
+                    "Privacy budget still available", {{"tenant", acct.tenant}})
+          ->Set(acct.remaining);
+    }
+    reg->GetGauge("dpstarj_queue_depth", "Jobs waiting in the engine pool queue")
+        ->Set(static_cast<double>(service->queue_depth()));
+    const service::ServiceStats stats = service->Stats();
+    reg->GetGauge("dpstarj_answer_cache_hit_ratio",
+                  "Answer-cache hits / lookups")
+        ->Set(stats.cache.HitRate());
+    reg->GetGauge("dpstarj_answer_cache_epsilon_saved",
+                  "Total privacy budget saved by cache replays")
+        ->Set(stats.cache.epsilon_saved);
+    reg->GetGauge("dpstarj_plan_cache_hit_ratio", "Plan-cache hits / lookups")
+        ->Set(stats.plan_cache.HitRate());
+    reg->GetGauge("dpstarj_admission_rate_limited",
+                  "Lifetime submissions refused by tenant token buckets")
+        ->Set(static_cast<double>(stats.tenant_rate_limited));
+    reg->GetGauge("dpstarj_admission_capped",
+                  "Lifetime submissions refused by tenant in-flight caps")
+        ->Set(static_cast<double>(stats.tenant_capped));
+    HttpResponse resp;
+    resp.status = 200;
+    resp.body = reg->RenderPrometheus();
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return resp;
+  });
+
+  router.Handle("GET", "/v1/trace/stats", [service](const HttpRequest&) {
+    obs::MetricsRegistry* reg = service->metrics();
+    // Distills each histogram family into {child-label: count/mean/quantiles}.
+    auto render_family = [reg](const std::string& family,
+                               const std::string& label_key) {
+      Json out = Json::Object();
+      for (const auto& [labels, hist] : reg->HistogramChildren(family)) {
+        std::string key;
+        for (const auto& [k, v] : labels) {
+          if (k == label_key) key = v;
+        }
+        if (key.empty()) continue;
+        obs::HistogramSnapshot snap = hist->Snapshot();
+        Json entry = Json::Object();
+        entry.Set("count", Json::Number(static_cast<double>(snap.count)));
+        entry.Set("mean_seconds", Json::Number(snap.Mean()));
+        entry.Set("p50_seconds", Json::Number(snap.Quantile(0.50)));
+        entry.Set("p90_seconds", Json::Number(snap.Quantile(0.90)));
+        entry.Set("p99_seconds", Json::Number(snap.Quantile(0.99)));
+        out.Set(key, std::move(entry));
+      }
+      return out;
+    };
+    Json body = Json::Object();
+    body.Set("stages", render_family("dpstarj_stage_duration_seconds", "stage"));
+    body.Set("query", render_family("dpstarj_query_duration_seconds", "outcome"));
+    return JsonResponse(200, body);
   });
 
   router.Handle("POST", "/v1/tenants", [service](const HttpRequest& req) {
@@ -239,23 +377,36 @@ Router MakeServiceRouter(service::QueryService* service, ApiOptions options) {
     return JsonResponse(200, out);
   });
 
-  router.Handle("POST", "/v1/query", [service, options](const HttpRequest& req) {
+  router.Handle("POST", "/v1/query",
+                [service, options, api](const HttpRequest& req) {
+    // One trace per query request, alive until the server has written the
+    // access-log line (the response holds the owning reference). The server-
+    // measured socket-read times become its first two stages.
+    auto trace = std::make_shared<obs::Trace>();
+    trace->Record(obs::Stage::kHeaderRead, req.header_read_us * 1000);
+    trace->Record(obs::Stage::kBodyRead, req.body_read_us * 1000);
+    auto fail = [&](const Status& st, std::string tenant = "") {
+      return FinishTraced(api.get(), trace, std::move(tenant),
+                          ErrorResponse(st));
+    };
     auto body = Json::Parse(req.body);
-    if (!body.ok()) return ErrorResponse(body.status());
+    if (!body.ok()) return fail(body.status());
     if (!body->is_object()) {
-      return ErrorResponse(Status::InvalidArgument("body must be a JSON object"));
+      return fail(Status::InvalidArgument("body must be a JSON object"));
     }
     auto sql = body->GetString("sql");
-    if (!sql.ok()) return ErrorResponse(sql.status());
+    if (!sql.ok()) return fail(sql.status());
     auto epsilon = body->GetNumber("epsilon");
-    if (!epsilon.ok()) return ErrorResponse(epsilon.status());
+    if (!epsilon.ok()) return fail(epsilon.status());
     auto tenant = body->GetString("tenant");
-    if (!tenant.ok()) return ErrorResponse(tenant.status());
+    if (!tenant.ok()) return fail(tenant.status());
 
     // Non-blocking admission: a full work queue answers 429 immediately —
     // the handler thread must not park on the pool's backpressure while the
-    // client holds a connection open.
-    auto answer = service->TrySubmit(*sql, *epsilon, *tenant).get();
+    // client holds a connection open. The trace pointer stays valid for the
+    // worker because this thread holds the shared_ptr across .get().
+    auto answer =
+        service->TrySubmit(*sql, *epsilon, *tenant, trace.get()).get();
     if (!answer.ok()) {
       HttpResponse resp = ErrorResponse(answer.status());
       if (resp.status == 429) {
@@ -274,9 +425,13 @@ Router MakeServiceRouter(service::QueryService* service, ApiOptions options) {
         }
         resp.headers.push_back({"Retry-After", Format("%d", retry_after)});
       }
-      return resp;
+      return FinishTraced(api.get(), trace, *tenant, std::move(resp));
     }
-    return JsonResponse(200, QueryResultToJson(*answer));
+    HttpResponse resp = [&] {
+      obs::ScopedStage encode(trace.get(), obs::Stage::kEncode);
+      return JsonResponse(200, QueryResultToJson(*answer));
+    }();
+    return FinishTraced(api.get(), trace, *tenant, std::move(resp));
   });
 
   return router;

@@ -19,7 +19,19 @@
 //                           one consistent snapshot per source
 //   GET  /v1/stats          ServiceStats: query counters + answer-cache and
 //                           plan-cache accounting + tenant-limited counters
+//   GET  /v1/trace/stats    per-stage latency aggregates (count, mean,
+//                           p50/p90/p99 seconds) distilled from the
+//                           dpstarj_stage_duration_seconds histograms, plus
+//                           the per-outcome query-duration aggregates
+//   GET  /metrics           Prometheus text exposition (version 0.0.4) of the
+//                           process registry; scrape-time gauges (per-tenant ε
+//                           position, queue depth, cache hit ratios) are
+//                           refreshed inside the handler
 //   GET  /healthz           {"status":"ok"} — liveness, no service state
+//
+// Every /v1/query response (success or refusal) carries X-DPStarJ-Trace-Id;
+// the same id appears in the server's access log, which holds the request's
+// per-stage timings.
 //
 // Error bodies carry the library StatusCode name as `code`, so clients can
 // switch on one vocabulary. Three refusals matter most:
@@ -62,7 +74,10 @@ Json QueryResultToJson(const exec::QueryResult& result);
 Json ServiceStatsToJson(const service::ServiceStats& stats);
 
 /// \brief Builds the routing table over `service` (which must outlive the
-/// returned Router and any server running it).
+/// returned Router and any server running it). The telemetry endpoints and
+/// the per-request histograms live in service->metrics() — pass the same
+/// registry to ServerOptions::metrics so the HTTP layer's counters land on
+/// the same /metrics page.
 Router MakeServiceRouter(service::QueryService* service, ApiOptions options = {});
 
 }  // namespace dpstarj::net

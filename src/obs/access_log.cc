@@ -1,0 +1,97 @@
+#include "obs/access_log.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace dpstarj::obs {
+
+namespace {
+
+// Minimal JSON string escaping (the obs layer can't use net/json.h — net
+// depends on obs, not the other way around).
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += Format("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+AccessLog::~AccessLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<AccessLog>> AccessLog::Open(const std::string& path) {
+  std::FILE* file = path == "-" ? stdout : std::fopen(path.c_str(), "a");
+  if (file == nullptr) {
+    return Status::InvalidArgument(
+        Format("cannot open access log '%s': %s", path.c_str(),
+               std::strerror(errno)));
+  }
+  auto log = std::make_unique<AccessLog>(Sink());
+  if (path != "-") log->file_ = file;
+  log->sink_ = [file](const std::string& line) {
+    // One fwrite per line: POSIX guarantees stdio stream operations are
+    // atomic w.r.t. each other, so lines from other writers can't splice in.
+    std::string with_newline = line + "\n";
+    std::fwrite(with_newline.data(), 1, with_newline.size(), file);
+    std::fflush(file);
+  };
+  return log;
+}
+
+std::string AccessLog::Serialize(const AccessLogEntry& entry) {
+  std::string line;
+  line.reserve(256);
+  line += "{\"ts\":\"" + UtcTimestamp() + "\"";
+  line += ",\"method\":\"" + Escape(entry.method) + "\"";
+  line += ",\"path\":\"" + Escape(entry.path) + "\"";
+  line += ",\"status\":" + std::to_string(entry.status);
+  if (!entry.tenant.empty()) {
+    line += ",\"tenant\":\"" + Escape(entry.tenant) + "\"";
+  }
+  line += ",\"total_us\":" + std::to_string(entry.total_us);
+  if (entry.trace != nullptr) {
+    line += ",\"trace_id\":\"" + Escape(entry.trace->id()) + "\"";
+    line += entry.trace->plan_cache_hit ? ",\"plan_cache_hit\":true"
+                                        : ",\"plan_cache_hit\":false";
+    line += entry.trace->answer_cache_hit ? ",\"answer_cache_hit\":true"
+                                          : ",\"answer_cache_hit\":false";
+    line += ",\"stages\":{";
+    for (int i = 0; i < kStageCount; ++i) {
+      const Stage stage = static_cast<Stage>(i);
+      if (i > 0) line += ',';
+      line += "\"";
+      line += StageName(stage);
+      line += "\":" + std::to_string(entry.trace->stage_us(stage));
+    }
+    line += "}";
+  }
+  line += "}";
+  return line;
+}
+
+void AccessLog::Write(const AccessLogEntry& entry) {
+  if (!sink_) return;
+  const std::string line = Serialize(entry);
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_(line);
+}
+
+}  // namespace dpstarj::obs

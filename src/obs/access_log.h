@@ -1,0 +1,66 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// JSON-lines access log. One line per finished HTTP exchange — including the
+// ones that never reached a handler (408 deadline reaps, 503 sheds) — with
+// the request's per-stage microseconds when a Trace rode along. The sink is
+// injectable so tests capture lines in memory; the file sink serializes each
+// line under a mutex and writes it with a single fwrite, so concurrent
+// handler threads can't interleave partial lines (same discipline the Logger
+// follows).
+//
+// Line shape (stable keys, one JSON object per line):
+//   {"ts":"2026-08-08T12:00:00.123456Z","method":"POST","path":"/v1/query",
+//    "status":200,"tenant":"acme","trace_id":"9f2c...","total_us":1234,
+//    "plan_cache_hit":true,"answer_cache_hit":false,
+//    "stages":{"header_read":12,"body_read":3,...}}
+// `tenant`, `trace_id`, the cache flags and `stages` are omitted when the
+// exchange had no trace (e.g. a reaped idle connection).
+
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "obs/trace.h"
+
+namespace dpstarj::obs {
+
+/// \brief One finished exchange, ready to serialize.
+struct AccessLogEntry {
+  std::string method;
+  std::string path;
+  int status = 0;
+  std::string tenant;        ///< empty → key omitted
+  uint64_t total_us = 0;     ///< request wall time
+  const Trace* trace = nullptr;  ///< optional stage breakdown
+};
+
+/// \brief Thread-safe JSON-lines sink.
+class AccessLog {
+ public:
+  using Sink = std::function<void(const std::string& line)>;
+
+  /// A log that hands each serialized line (no trailing newline) to `sink`.
+  explicit AccessLog(Sink sink) : sink_(std::move(sink)) {}
+  ~AccessLog();
+
+  /// Opens (appends to) `path`; "-" means stdout.
+  static Result<std::unique_ptr<AccessLog>> Open(const std::string& path);
+
+  /// Serializes and emits one line.
+  void Write(const AccessLogEntry& entry);
+
+  /// Serialization without a sink — what Write emits; exposed for tests.
+  static std::string Serialize(const AccessLogEntry& entry);
+
+ private:
+  Sink sink_;
+  std::FILE* file_ = nullptr;  ///< owned when opened via Open (not stdout)
+  std::mutex mu_;              ///< orders sink calls across handler threads
+};
+
+}  // namespace dpstarj::obs

@@ -1,0 +1,283 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace dpstarj::obs {
+
+namespace {
+
+// Serializes a sorted label set into the registry's child key and, identically,
+// into the Prometheus child suffix: {k1="v1",k2="v2"} with backslash, quote and
+// newline escaped per the exposition format.
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string LabelKey(const Labels& labels) {
+  if (labels.empty()) return std::string();
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += EscapeLabelValue(labels[i].second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void SortLabels(Labels* labels) {
+  std::sort(labels->begin(), labels->end());
+}
+
+// Prometheus renders bucket bounds and values with the shortest round-trip
+// representation; %.17g round-trips doubles but prints 0.005 as
+// 0.0050000000000000001, so use %g with enough digits and trim.
+std::string FormatDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0 || upper_bounds.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= target && counts[i] > 0) {
+      if (i >= upper_bounds.size()) {
+        // Rank falls in the +Inf bucket: clamp to the largest finite bound,
+        // exactly as Prometheus' histogram_quantile does.
+        return upper_bounds.back();
+      }
+      const double lower = i == 0 ? 0.0 : upper_bounds[i - 1];
+      const double upper = upper_bounds[i];
+      const uint64_t below = cumulative - counts[i];
+      const double frac =
+          (target - static_cast<double>(below)) / static_cast<double>(counts[i]);
+      return lower + (upper - lower) * std::min(1.0, std::max(0.0, frac));
+    }
+  }
+  return upper_bounds.back();
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double v) {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v,
+                                   // v lands in the first bucket with v <= bound
+                                   [](double value, double bound) { return value <= bound; });
+  const size_t idx = static_cast<size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.upper_bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  // Buckets first, then the totals: a concurrent Observe bumps the bucket
+  // before the total, so count >= sum-of-buckets can briefly fail but no
+  // bucket can exceed what the totals account for in a later scrape.
+  uint64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap.counts[i];
+  }
+  snap.count = total;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::vector<double> Histogram::ExponentialBuckets(double start, double factor,
+                                                  int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double v = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<double>& Histogram::DefaultLatencyBuckets() {
+  // 5 µs … ~24 s over 20 bounds; covers a cache hit (~10 µs) through a cold
+  // large-scale-factor scan without resolution cliffs in between.
+  static const std::vector<double> kBuckets =
+      ExponentialBuckets(5e-6, 2.2, 20);
+  return kBuckets;
+}
+
+MetricsRegistry::Child* MetricsRegistry::GetChildLocked(const std::string& name,
+                                                        const std::string& help,
+                                                        Type type,
+                                                        Labels* labels) {
+  SortLabels(labels);
+  auto [fit, inserted] = families_.try_emplace(name);
+  Family& family = fit->second;
+  if (inserted) {
+    family.help = help;
+    family.type = type;
+  } else if (family.type != type) {
+    std::fprintf(stderr,
+                 "dpstarj fatal: metric '%s' registered with two types\n",
+                 name.c_str());
+    std::abort();
+  }
+  return &family.children[LabelKey(*labels)];
+}
+
+const MetricsRegistry::Child* MetricsRegistry::FindChildLocked(
+    const std::string& name, const Labels& labels, Type type) const {
+  const auto fit = families_.find(name);
+  if (fit == families_.end() || fit->second.type != type) return nullptr;
+  Labels sorted = labels;
+  SortLabels(&sorted);
+  const auto cit = fit->second.children.find(LabelKey(sorted));
+  return cit == fit->second.children.end() ? nullptr : &cit->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Child* child = GetChildLocked(name, help, Type::kCounter, &labels);
+  if (child->counter == nullptr) {
+    child->labels = std::move(labels);
+    child->counter = std::make_unique<Counter>();
+  }
+  return child->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Child* child = GetChildLocked(name, help, Type::kGauge, &labels);
+  if (child->gauge == nullptr) {
+    child->labels = std::move(labels);
+    child->gauge = std::make_unique<Gauge>();
+  }
+  return child->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help, Labels labels,
+                                         std::vector<double> buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Child* child = GetChildLocked(name, help, Type::kHistogram, &labels);
+  if (child->histogram == nullptr) {
+    child->labels = std::move(labels);
+    child->histogram = std::make_unique<Histogram>(std::move(buckets));
+  }
+  return child->histogram.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name,
+                                            const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Child* child = FindChildLocked(name, labels, Type::kCounter);
+  return child == nullptr ? nullptr : child->counter.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name,
+                                        const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Child* child = FindChildLocked(name, labels, Type::kGauge);
+  return child == nullptr ? nullptr : child->gauge.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name,
+                                                const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Child* child = FindChildLocked(name, labels, Type::kHistogram);
+  return child == nullptr ? nullptr : child->histogram.get();
+}
+
+std::vector<std::pair<Labels, const Histogram*>> MetricsRegistry::HistogramChildren(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<Labels, const Histogram*>> out;
+  const auto fit = families_.find(name);
+  if (fit == families_.end() || fit->second.type != Type::kHistogram) return out;
+  for (const auto& [key, child] : fit->second.children) {
+    if (child.histogram != nullptr) out.emplace_back(child.labels, child.histogram.get());
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, family] : families_) {
+    out += "# HELP " + name + " " + family.help + "\n";
+    out += "# TYPE " + name + " ";
+    switch (family.type) {
+      case Type::kCounter: out += "counter\n"; break;
+      case Type::kGauge: out += "gauge\n"; break;
+      case Type::kHistogram: out += "histogram\n"; break;
+    }
+    for (const auto& [key, child] : family.children) {
+      if (child.counter != nullptr) {
+        out += name + key + " " + std::to_string(child.counter->Value()) + "\n";
+      } else if (child.gauge != nullptr) {
+        out += name + key + " " + FormatDouble(child.gauge->Value()) + "\n";
+      } else if (child.histogram != nullptr) {
+        const HistogramSnapshot snap = child.histogram->Snapshot();
+        // _bucket series are cumulative and the le label joins any existing
+        // labels of the child (child keys never carry an `le`).
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < snap.counts.size(); ++i) {
+          cumulative += snap.counts[i];
+          const std::string le =
+              i < snap.upper_bounds.size() ? FormatDouble(snap.upper_bounds[i])
+                                           : "+Inf";
+          std::string series = name + "_bucket";
+          if (key.empty()) {
+            series += "{le=\"" + le + "\"}";
+          } else {
+            series += key.substr(0, key.size() - 1) + ",le=\"" + le + "\"}";
+          }
+          out += series + " " + std::to_string(cumulative) + "\n";
+        }
+        out += name + "_sum" + key + " " + FormatDouble(snap.sum) + "\n";
+        out += name + "_count" + key + " " + std::to_string(snap.count) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dpstarj::obs

@@ -1,0 +1,174 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// MetricsRegistry — the dependency-free telemetry substrate of the service:
+// named counters, gauges and fixed-bucket histograms with Prometheus text
+// exposition. Designed so the hot path pays a few relaxed atomics:
+//
+//   * registration (GetCounter/GetGauge/GetHistogram) takes the registry
+//     mutex once and returns a stable raw pointer — callers resolve their
+//     handles at construction and never touch the registry again;
+//   * Counter::Inc is one relaxed fetch_add; Histogram::Observe is one
+//     upper_bound over ~20 doubles plus two relaxed atomic adds and one CAS
+//     loop for the sum (per-bucket atomics, no lock, no false-sharing-free
+//     striping needed at service request rates);
+//   * RenderPrometheus/Snapshot read the atomics without stopping writers —
+//     a scrape is a consistent-enough view (counts may trail sums by the
+//     observations in flight), never a torn value.
+//
+// Quantiles are extracted from bucket counts the way Prometheus'
+// histogram_quantile() does: find the bucket holding the target rank,
+// linearly interpolate inside it. Accuracy is bounded by bucket width; the
+// default latency buckets span 5 µs – 10 s at ~2.2x steps.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dpstarj::obs {
+
+/// Label set of one metric child, e.g. {{"stage", "scan"}}. Sorted by key at
+/// registration so label order never creates duplicate children.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief A monotonically increasing counter.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief A settable instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief A point-in-time copy of a histogram's buckets, with quantile
+/// extraction. `counts[i]` is the number of observations in
+/// (upper_bounds[i-1], upper_bounds[i]]; the final entry is the +Inf bucket.
+struct HistogramSnapshot {
+  std::vector<double> upper_bounds;  ///< finite bucket bounds, ascending
+  std::vector<uint64_t> counts;      ///< per-bucket (NOT cumulative); size = bounds+1
+  uint64_t count = 0;                ///< total observations
+  double sum = 0.0;                  ///< sum of observed values
+
+  /// \brief The q-quantile (q in [0,1]) by linear interpolation within the
+  /// bucket holding rank q·count, Prometheus-style: ranks in the +Inf bucket
+  /// clamp to the largest finite bound, an empty histogram returns 0.
+  double Quantile(double q) const;
+
+  /// sum / count (0 when empty).
+  double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+/// \brief A fixed-bucket histogram with atomic-per-bucket counts.
+class Histogram {
+ public:
+  /// `upper_bounds` must be ascending; a value v lands in the first bucket
+  /// with v <= bound (the +Inf bucket when above all of them).
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double v);
+
+  HistogramSnapshot Snapshot() const;
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// `count` bounds starting at `start`, each `factor` times the previous.
+  static std::vector<double> ExponentialBuckets(double start, double factor,
+                                                int count);
+  /// Default latency buckets in seconds: 5 µs … 10 s, ~2.2x steps (20 bounds).
+  static const std::vector<double>& DefaultLatencyBuckets();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  ///< bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// \brief A thread-safe named-metric registry with Prometheus text rendering.
+///
+/// A metric family (one name) holds children keyed by label set; the family's
+/// type and help string are fixed by the first registration (a later Get with
+/// a conflicting type aborts — that is a programming error, not input).
+/// Returned pointers are stable for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      Labels labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  Labels labels = {});
+  Histogram* GetHistogram(
+      const std::string& name, const std::string& help, Labels labels = {},
+      std::vector<double> buckets = Histogram::DefaultLatencyBuckets());
+
+  /// Lookup without creating; nullptr when the child does not exist (or the
+  /// family has a different type).
+  const Counter* FindCounter(const std::string& name, const Labels& labels = {}) const;
+  const Gauge* FindGauge(const std::string& name, const Labels& labels = {}) const;
+  const Histogram* FindHistogram(const std::string& name,
+                                 const Labels& labels = {}) const;
+
+  /// \brief Every child of family `name` with its labels — scrape-side
+  /// iteration for JSON renderings like GET /v1/trace/stats.
+  std::vector<std::pair<Labels, const Histogram*>> HistogramChildren(
+      const std::string& name) const;
+
+  /// \brief The full registry in Prometheus text exposition format 0.0.4
+  /// (# HELP / # TYPE lines, histogram _bucket/_sum/_count expansion,
+  /// families and children in sorted order).
+  std::string RenderPrometheus() const;
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Child {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    std::string help;
+    Type type = Type::kCounter;
+    /// Keyed by the serialized label set (deterministic: labels are sorted).
+    std::map<std::string, Child> children;
+  };
+
+  /// Returns the child for (name, labels), creating family/child as needed.
+  /// Aborts on a type conflict. Requires mu_ held.
+  Child* GetChildLocked(const std::string& name, const std::string& help,
+                        Type type, Labels* labels);
+  const Child* FindChildLocked(const std::string& name, const Labels& labels,
+                               Type type) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace dpstarj::obs

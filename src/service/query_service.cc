@@ -1,6 +1,7 @@
 #include "service/query_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <thread>
 
@@ -52,7 +53,9 @@ std::string ServiceStats::ToString() const {
 }
 
 QueryService::QueryService(const storage::Catalog* catalog, ServiceOptions options)
-    : ledger_(options.default_tenant_budget),
+    : metrics_(options.metrics != nullptr ? options.metrics
+                                          : std::make_shared<obs::MetricsRegistry>()),
+      ledger_(options.default_tenant_budget),
       cache_(options.cache_capacity),
       admission_(options.admission),
       plan_cache_(options.engine.plan_cache != nullptr
@@ -60,7 +63,22 @@ QueryService::QueryService(const storage::Catalog* catalog, ServiceOptions optio
                       : std::make_shared<exec::PlanCache>(
                             options.plan_cache_capacity)),
       pool_(catalog, options.num_engines, options.queue_capacity,
-            ResolveEngineOptions(options, plan_cache_)) {}
+            ResolveEngineOptions(options, plan_cache_)),
+      submitted_(metrics_->GetCounter("dpstarj_queries_submitted_total",
+                                      "Queries that reached a pool worker")),
+      completed_(metrics_->GetCounter("dpstarj_queries_completed_total",
+                                      "Queries answered (fresh or replayed)")),
+      failed_(metrics_->GetCounter("dpstarj_queries_failed_total",
+                                   "Admitted queries that failed (epsilon refunded)")),
+      rejected_budget_(metrics_->GetCounter(
+          "dpstarj_queries_rejected_total", "Queries refused at admission, by kind",
+          {{"reason", "budget"}})),
+      rejected_overload_(metrics_->GetCounter(
+          "dpstarj_queries_rejected_total", "Queries refused at admission, by kind",
+          {{"reason", "overload"}})),
+      rejected_tenant_limited_(metrics_->GetCounter(
+          "dpstarj_queries_rejected_total", "Queries refused at admission, by kind",
+          {{"reason", "tenant_limited"}})) {}
 
 QueryService::~QueryService() { Shutdown(); }
 
@@ -80,18 +98,20 @@ std::future<Result<exec::QueryResult>> QueryService::FailedFuture(Status status)
 }
 
 std::future<Result<exec::QueryResult>> QueryService::Submit(
-    const std::string& sql, double epsilon, const std::string& tenant) {
-  return SubmitInternal(sql, epsilon, tenant, /*blocking=*/true);
+    const std::string& sql, double epsilon, const std::string& tenant,
+    obs::Trace* trace) {
+  return SubmitInternal(sql, epsilon, tenant, /*blocking=*/true, trace);
 }
 
 std::future<Result<exec::QueryResult>> QueryService::TrySubmit(
-    const std::string& sql, double epsilon, const std::string& tenant) {
-  return SubmitInternal(sql, epsilon, tenant, /*blocking=*/false);
+    const std::string& sql, double epsilon, const std::string& tenant,
+    obs::Trace* trace) {
+  return SubmitInternal(sql, epsilon, tenant, /*blocking=*/false, trace);
 }
 
 std::future<Result<exec::QueryResult>> QueryService::SubmitInternal(
     const std::string& sql, double epsilon, const std::string& tenant,
-    bool blocking) {
+    bool blocking, obs::Trace* trace) {
   if (!std::isfinite(epsilon) || epsilon <= 0.0) {
     return FailedFuture(Status::InvalidArgument("epsilon must be positive and finite"));
   }
@@ -101,14 +121,31 @@ std::future<Result<exec::QueryResult>> QueryService::SubmitInternal(
   // admitted submission holds one of the tenant's in-flight slots until its
   // job reaches a terminal state; every exit below releases it exactly once
   // (inside the job when it runs, at the call site when dispatch fails).
-  AdmissionDecision fair = admission_.TryAdmit(tenant);
+  AdmissionDecision fair = [&] {
+    obs::ScopedStage admission_span(trace, obs::Stage::kAdmission);
+    return admission_.TryAdmit(tenant);
+  }();
   if (!fair.status.ok()) {
-    ++rejected_tenant_limited_;
+    rejected_tenant_limited_->Inc();
     return FailedFuture(std::move(fair.status));
   }
-  auto dispatch = [this, blocking, &tenant](EnginePool::Job job) {
+  auto dispatch = [this, blocking, &tenant, trace](EnginePool::Job job) {
+    const auto enqueued = std::chrono::steady_clock::now();
     EnginePool::Job with_release =
-        [this, tenant, inner = std::move(job)](core::DpStarJoin& engine) {
+        [this, tenant, trace, enqueued,
+         inner = std::move(job)](core::DpStarJoin& engine) {
+          // First action on the worker: close the queue-wait span. The trace
+          // pointer is safe to write here — the submitter keeps the trace
+          // alive until the job's future resolves, and the promise/future
+          // handoff publishes these writes back to it.
+          if (trace != nullptr) {
+            trace->Record(
+                obs::Stage::kQueueWait,
+                static_cast<uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - enqueued)
+                        .count()));
+          }
           // Scope guard, not a tail call: the pool's worker converts a
           // throwing job into a Status, and the slot must flow back on that
           // path too — a leak here would 429 the tenant until restart.
@@ -124,42 +161,54 @@ std::future<Result<exec::QueryResult>> QueryService::SubmitInternal(
   };
   // Admission control: spend the ε before any work is queued, so concurrent
   // submissions race on the ledger (which is exact), not on the answer path.
-  Status admit = ledger_.Spend(tenant, epsilon);
+  Status admit = [&] {
+    obs::ScopedStage spend_span(trace, obs::Stage::kLedgerSpend);
+    return ledger_.Spend(tenant, epsilon);
+  }();
   if (!admit.ok()) {
     if (admit.code() == StatusCode::kBudgetExhausted) {
       // Replays are free, so an exhausted tenant can still re-read answers it
       // already paid for. Probe the cache without spending anything; a miss
-      // surfaces the original refusal. Like the main path, the submission is
-      // counted before dispatching: completed must never exceed submitted.
-      ++submitted_;
+      // surfaces the original refusal. `submitted` is counted as the probe's
+      // first action on the worker — the counter is monotonic (a registry
+      // counter cannot be decremented), so it must only move once the job is
+      // guaranteed to run; counting in-job also keeps completed ≤ submitted,
+      // since the same job increments both in order.
       auto probe = dispatch(
-          [this, sql, epsilon, admit](core::DpStarJoin& engine)
+          [this, sql, epsilon, admit, trace](core::DpStarJoin& engine)
               -> Result<exec::QueryResult> {
-            auto bound = engine.binder().BindSql(sql);
+            submitted_->Inc();
+            auto bound = [&] {
+              obs::ScopedStage bind_span(trace, obs::Stage::kBind);
+              return engine.binder().BindSql(sql);
+            }();
             if (!bound.ok()) {
-              ++failed_;
+              failed_->Inc();
               return bound.status();
             }
-            if (auto replay =
-                    cache_.Lookup(query::CanonicalKey(*bound, epsilon), epsilon)) {
-              ++completed_;
+            auto replay = [&] {
+              obs::ScopedStage lookup_span(trace, obs::Stage::kCacheLookup);
+              return cache_.Lookup(query::CanonicalKey(*bound, epsilon), epsilon);
+            }();
+            if (replay) {
+              if (trace != nullptr) trace->answer_cache_hit = true;
+              completed_->Inc();
               return std::move(*replay);
             }
-            ++rejected_budget_;
+            rejected_budget_->Inc();
             return admit;
           });
       if (probe.ok()) {
         return std::move(*probe);
       }
-      --submitted_;
       admission_.Release(tenant);  // the probe job will never run
       if (probe.status().code() == StatusCode::kUnavailable) {
         // The probe spent no ε; a full queue is an overload signal, not a
         // budget verdict — let the caller retry for its free replay.
-        ++rejected_overload_;
+        rejected_overload_->Inc();
         return FailedFuture(probe.status());
       }
-      ++rejected_budget_;
+      rejected_budget_->Inc();
       return FailedFuture(std::move(admit));
     }
     // Nothing was dispatched, and the ledger does not know this tenant
@@ -167,26 +216,26 @@ std::future<Result<exec::QueryResult>> QueryService::SubmitInternal(
     // created too, or arbitrary tenant names on the public query endpoint
     // would grow the controller's map without bound.
     admission_.ReleaseAndForget(tenant);
-    ++rejected_budget_;
+    rejected_budget_->Inc();
     return FailedFuture(std::move(admit));
   }
-  // Count the submission before dispatching: a fast worker may complete the
-  // job before Submit returns, and completed must never exceed submitted.
-  ++submitted_;
-  auto dispatched = dispatch([this, sql, epsilon, tenant](
+  // `submitted` moves as the job's first worker-side action (see the probe
+  // path above for why): no rollback is needed when dispatch is refused, and
+  // a fast worker still cannot push completed past it.
+  auto dispatched = dispatch([this, sql, epsilon, tenant, trace](
                                  core::DpStarJoin& engine) {
-    return Execute(engine, sql, epsilon, tenant);
+    submitted_->Inc();
+    return Execute(engine, sql, epsilon, tenant, trace);
   });
   if (!dispatched.ok()) {
     // Queue full (TrySubmit) or pool shut down: the job will never run, so
     // the admission ε and the in-flight slot flow back.
-    --submitted_;
     (void)ledger_.Refund(tenant, epsilon);
     admission_.Release(tenant);
     if (dispatched.status().code() == StatusCode::kUnavailable) {
-      ++rejected_overload_;
+      rejected_overload_->Inc();
     } else {
-      ++failed_;
+      failed_->Inc();
     }
     return FailedFuture(dispatched.status());
   }
@@ -196,29 +245,38 @@ std::future<Result<exec::QueryResult>> QueryService::SubmitInternal(
 Result<exec::QueryResult> QueryService::Execute(core::DpStarJoin& engine,
                                                 const std::string& sql,
                                                 double epsilon,
-                                                const std::string& tenant) {
-  auto bound = engine.binder().BindSql(sql);
+                                                const std::string& tenant,
+                                                obs::Trace* trace) {
+  auto bound = [&] {
+    obs::ScopedStage bind_span(trace, obs::Stage::kBind);
+    return engine.binder().BindSql(sql);
+  }();
   if (!bound.ok()) {
     // The tenant pays for answers, not for malformed or unbindable queries.
     (void)ledger_.Refund(tenant, epsilon);
-    ++failed_;
+    failed_->Inc();
     return bound.status();
   }
   const std::string key = query::CanonicalKey(*bound, epsilon);
-  if (auto replay = cache_.Lookup(key, epsilon)) {
+  auto replay = [&] {
+    obs::ScopedStage lookup_span(trace, obs::Stage::kCacheLookup);
+    return cache_.Lookup(key, epsilon);
+  }();
+  if (replay) {
     // Post-processing closure: re-releasing a stored noisy answer is free.
+    if (trace != nullptr) trace->answer_cache_hit = true;
     (void)ledger_.Refund(tenant, epsilon);
-    ++completed_;
+    completed_->Inc();
     return std::move(*replay);
   }
-  auto answer = engine.AnswerBound(*bound, epsilon, engine.rng());
+  auto answer = engine.AnswerBound(*bound, epsilon, engine.rng(), trace);
   if (!answer.ok()) {
     (void)ledger_.Refund(tenant, epsilon);
-    ++failed_;
+    failed_->Inc();
     return answer.status();
   }
   cache_.Insert(key, *answer);
-  ++completed_;
+  completed_->Inc();
   return std::move(*answer);
 }
 
@@ -233,12 +291,12 @@ Result<double> QueryService::RemainingBudget(const std::string& tenant) const {
 
 ServiceStats QueryService::Stats() const {
   ServiceStats stats;
-  stats.submitted = submitted_.load();
-  stats.completed = completed_.load();
-  stats.failed = failed_.load();
-  stats.rejected_budget = rejected_budget_.load();
-  stats.rejected_overload = rejected_overload_.load();
-  stats.rejected_tenant_limited = rejected_tenant_limited_.load();
+  stats.submitted = submitted_->Value();
+  stats.completed = completed_->Value();
+  stats.failed = failed_->Value();
+  stats.rejected_budget = rejected_budget_->Value();
+  stats.rejected_overload = rejected_overload_->Value();
+  stats.rejected_tenant_limited = rejected_tenant_limited_->Value();
   stats.tenant_rate_limited = admission_.total_rate_limited();
   stats.tenant_capped = admission_.total_capped();
   stats.cache = cache_.GetStats();

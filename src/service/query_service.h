@@ -34,6 +34,8 @@
 #include "core/dp_star_join.h"
 #include "exec/plan_cache.h"
 #include "exec/query_result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/admission.h"
 #include "service/answer_cache.h"
 #include "service/budget_ledger.h"
@@ -76,11 +78,23 @@ struct ServiceOptions {
   /// in-flight caps (zeros disable each knob), overridable per tenant via
   /// SetTenantLimits. See service/admission.h.
   AdmissionOptions admission;
+  /// Metrics registry the service's lifecycle counters live in. Pass the
+  /// process-wide registry so the HTTP layer's /metrics endpoint exposes the
+  /// service series alongside its own; when null the service creates a
+  /// private one (reachable via metrics()).
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 /// \brief Aggregate service counters, as returned by Stats().
+///
+/// Stats() reads these from the service's MetricsRegistry counters, so this
+/// snapshot and a /metrics scrape can never disagree (docs/operations.md
+/// documents the field ↔ series mapping).
 struct ServiceStats {
-  uint64_t submitted = 0;         ///< queries accepted into the queue
+  /// Queries that reached a pool worker. Counted as the job's first action
+  /// (not at enqueue) so the counter is monotonic — a refused dispatch never
+  /// has to roll it back — while still never trailing `completed`.
+  uint64_t submitted = 0;
   uint64_t completed = 0;         ///< answered (fresh or replayed)
   uint64_t failed = 0;            ///< admitted but failed (ε refunded)
   uint64_t rejected_budget = 0;   ///< refused at admission (ledger)
@@ -136,9 +150,15 @@ class QueryService {
 
   /// \brief Asynchronous submission; blocks only when the work queue is full.
   /// The returned future resolves to the noisy answer or the failure status.
+  ///
+  /// A non-null `trace` records the admission, ledger, queue-wait, bind,
+  /// cache-lookup and engine stage spans. The trace must stay alive until the
+  /// returned future resolves (the worker writes into it; future.get()
+  /// publishes those writes to the caller).
   std::future<Result<exec::QueryResult>> Submit(const std::string& sql,
                                                 double epsilon,
-                                                const std::string& tenant);
+                                                const std::string& tenant,
+                                                obs::Trace* trace = nullptr);
 
   /// \brief Non-blocking Submit: identical admission and answer path, but a
   /// full work queue resolves to Unavailable immediately (with the admission
@@ -147,7 +167,8 @@ class QueryService {
   /// saturated pool sheds load instead of stalling the accept loop.
   std::future<Result<exec::QueryResult>> TrySubmit(const std::string& sql,
                                                    double epsilon,
-                                                   const std::string& tenant);
+                                                   const std::string& tenant,
+                                                   obs::Trace* trace = nullptr);
 
   /// Synchronous convenience wrapper: Submit + get.
   Result<exec::QueryResult> Answer(const std::string& sql, double epsilon,
@@ -167,6 +188,12 @@ class QueryService {
   const AnswerCache& cache() const { return cache_; }
   /// The shared compiled-plan cache (all pool engines point at it).
   const exec::PlanCache& plan_cache() const { return *plan_cache_; }
+  /// The registry holding the service counters (never null; the one from
+  /// ServiceOptions::metrics or the service's private one).
+  obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+  /// Jobs waiting in the pool queue right now (approximate under load) —
+  /// exported as the dpstarj_queue_depth gauge at scrape time.
+  size_t queue_depth() const { return pool_.queue_depth(); }
 
   /// Stops accepting queries, drains the queue, joins the workers.
   /// Idempotent; also run by the destructor.
@@ -177,16 +204,20 @@ class QueryService {
   std::future<Result<exec::QueryResult>> SubmitInternal(const std::string& sql,
                                                         double epsilon,
                                                         const std::string& tenant,
-                                                        bool blocking);
+                                                        bool blocking,
+                                                        obs::Trace* trace);
 
   /// Runs on a pool worker: bind → cache lookup → answer → cache insert, with
   /// the refund protocol described above.
   Result<exec::QueryResult> Execute(core::DpStarJoin& engine, const std::string& sql,
-                                    double epsilon, const std::string& tenant);
+                                    double epsilon, const std::string& tenant,
+                                    obs::Trace* trace);
 
   /// Wraps a synchronously-known failure in a ready future.
   static std::future<Result<exec::QueryResult>> FailedFuture(Status status);
 
+  /// Declared first: the counters below live in it.
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
   BudgetLedger ledger_;
   AnswerCache cache_;
   AdmissionController admission_;
@@ -194,12 +225,14 @@ class QueryService {
   std::shared_ptr<exec::PlanCache> plan_cache_;
   EnginePool pool_;
 
-  std::atomic<uint64_t> submitted_{0};
-  std::atomic<uint64_t> completed_{0};
-  std::atomic<uint64_t> failed_{0};
-  std::atomic<uint64_t> rejected_budget_{0};
-  std::atomic<uint64_t> rejected_overload_{0};
-  std::atomic<uint64_t> rejected_tenant_limited_{0};
+  // Lifecycle counters, resolved once from metrics_ at construction. These
+  // are the single source of truth: Stats() and /metrics both read them.
+  obs::Counter* submitted_;
+  obs::Counter* completed_;
+  obs::Counter* failed_;
+  obs::Counter* rejected_budget_;
+  obs::Counter* rejected_overload_;
+  obs::Counter* rejected_tenant_limited_;
 };
 
 }  // namespace dpstarj::service

@@ -1,0 +1,285 @@
+// Unit tests of the telemetry substrate (src/obs/): histogram bucket math
+// and quantile extraction, registry identity and rendering invariants, trace
+// stage accounting, and the access-log line format. The concurrency test
+// hammers one histogram from many threads — it is the TSan witness that
+// Observe/Snapshot need no lock.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/access_log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dpstarj::obs {
+namespace {
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpper) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);  // (-inf, 1]
+  h.Observe(1.0);  // (-inf, 1]  — v <= bound is inclusive
+  h.Observe(1.5);  // (1, 2]
+  h.Observe(4.0);  // (2, 4]
+  h.Observe(5.0);  // +Inf bucket
+
+  HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, 12.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 2.4);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  // 10 observations per bucket over bounds {10,20,30,40}: the distribution
+  // is uniform at bucket granularity, so quantiles interpolate linearly.
+  Histogram h({10.0, 20.0, 30.0, 40.0});
+  for (int b = 0; b < 4; ++b) {
+    for (int i = 0; i < 10; ++i) h.Observe(b * 10 + 5);
+  }
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.25), 10.0);  // rank 10 = top of bucket 0
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 40.0);
+  // Rank 5 of 40 → halfway into (0, 10].
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.125), 5.0);
+  // Monotone in q.
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    double v = snap.Quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, QuantileClampsInfBucketToLargestFiniteBound) {
+  Histogram h({1.0, 2.0});
+  for (int i = 0; i < 10; ++i) h.Observe(100.0);  // all land in +Inf
+  EXPECT_DOUBLE_EQ(h.Snapshot().Quantile(0.99), 2.0);
+}
+
+TEST(HistogramTest, EmptyHistogramQuantileIsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.Snapshot().Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Snapshot().Mean(), 0.0);
+}
+
+TEST(HistogramTest, ExponentialBuckets) {
+  std::vector<double> bounds = Histogram::ExponentialBuckets(1.0, 2.0, 5);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[4], 16.0);
+  for (size_t i = 1; i < bounds.size(); ++i) EXPECT_GT(bounds[i], bounds[i - 1]);
+  // The default latency buckets reach past 10 s so a stuck scan still lands
+  // in a finite bucket.
+  const std::vector<double>& latency = Histogram::DefaultLatencyBuckets();
+  EXPECT_DOUBLE_EQ(latency.front(), 5e-6);
+  EXPECT_GT(latency.back(), 10.0);
+}
+
+// The TSan witness: concurrent Observe against one histogram, with scrapes
+// racing the writers, must neither tear nor drop observations.
+TEST(HistogramTest, ConcurrentObserveIsExact) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<double>((t + i) % 10));
+        if (i % 1024 == 0) (void)h.Snapshot();  // scrapes race the writers
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads * kPerThread));
+  uint64_t bucket_total = 0;
+  for (uint64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
+  // Every thread observes each residue 0..9 exactly kPerThread/10 times.
+  double expected_sum = kThreads * (kPerThread / 10) * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9);
+  EXPECT_DOUBLE_EQ(snap.sum, expected_sum);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndLabelOrderInsensitive) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("c_total", "help", {{"x", "1"}, {"y", "2"}});
+  Counter* b = reg.GetCounter("c_total", "help", {{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(a, b);  // labels are sorted at registration
+  Counter* other = reg.GetCounter("c_total", "help", {{"x", "1"}, {"y", "3"}});
+  EXPECT_NE(a, other);
+
+  a->Inc(3);
+  const Counter* found = reg.FindCounter("c_total", {{"y", "2"}, {"x", "1"}});
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->Value(), 3u);
+  EXPECT_EQ(reg.FindCounter("c_total", {{"x", "9"}}), nullptr);
+  EXPECT_EQ(reg.FindCounter("missing_total"), nullptr);
+  // A family registered as counter is invisible to typed lookups of other
+  // kinds (and the reverse) rather than aliasing.
+  EXPECT_EQ(reg.FindGauge("c_total", {{"x", "1"}, {"y", "2"}}), nullptr);
+}
+
+TEST(MetricsRegistryTest, HistogramChildrenExposeLabels) {
+  MetricsRegistry reg;
+  reg.GetHistogram("h_seconds", "help", {{"stage", "scan"}})->Observe(0.5);
+  reg.GetHistogram("h_seconds", "help", {{"stage", "bind"}})->Observe(0.25);
+  auto children = reg.HistogramChildren("h_seconds");
+  ASSERT_EQ(children.size(), 2u);
+  for (const auto& [labels, hist] : children) {
+    ASSERT_EQ(labels.size(), 1u);
+    EXPECT_EQ(labels[0].first, "stage");
+    EXPECT_EQ(hist->Count(), 1u);
+  }
+  EXPECT_TRUE(reg.HistogramChildren("h_missing").empty());
+}
+
+TEST(MetricsRegistryTest, RenderPrometheusFormat) {
+  MetricsRegistry reg;
+  reg.GetCounter("req_total", "Requests served", {{"code", "200"}})->Inc(7);
+  reg.GetGauge("depth", "Queue depth")->Set(3.5);
+  Histogram* h = reg.GetHistogram("lat_seconds", "Latency", {{"op", "q"}},
+                                  {0.1, 1.0});
+  h->Observe(0.05);
+  h->Observe(0.5);
+  h->Observe(5.0);
+
+  std::string text = reg.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP req_total Requests served\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE req_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("req_total{code=\"200\"} 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("depth 3.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_seconds histogram\n"), std::string::npos);
+  // _bucket series are cumulative, le joins the child labels, +Inf closes.
+  EXPECT_NE(text.find("lat_seconds_bucket{op=\"q\",le=\"0.1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{op=\"q\",le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{op=\"q\",le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_sum{op=\"q\"} 5.55\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count{op=\"q\"} 3\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, LabelValuesAreEscaped) {
+  MetricsRegistry reg;
+  reg.GetCounter("esc_total", "h", {{"v", "a\"b\\c\nd"}})->Inc();
+  std::string text = reg.RenderPrometheus();
+  EXPECT_NE(text.find("esc_total{v=\"a\\\"b\\\\c\\nd\"} 1\n"), std::string::npos);
+}
+
+TEST(TraceTest, StagesAccumulateAndSetTouchedBits) {
+  Trace trace;
+  EXPECT_EQ(trace.id().size(), 16u);
+  EXPECT_FALSE(trace.touched(Stage::kScan));
+  trace.Record(Stage::kScan, 1000);
+  trace.Record(Stage::kScan, 500);  // spends accumulate (e.g. spend + refund)
+  EXPECT_TRUE(trace.touched(Stage::kScan));
+  EXPECT_EQ(trace.stage_ns(Stage::kScan), 1500u);
+  EXPECT_EQ(trace.stage_us(Stage::kScan), 1u);
+  EXPECT_FALSE(trace.touched(Stage::kBind));
+
+  Trace other;
+  EXPECT_NE(trace.id(), other.id());
+}
+
+TEST(TraceTest, ScopedStageIsNullSafeAndRecords) {
+  { ScopedStage noop(nullptr, Stage::kScan); }  // must not crash
+
+  Trace trace;
+  {
+    ScopedStage span(&trace, Stage::kBind);
+  }
+  EXPECT_TRUE(trace.touched(Stage::kBind));
+}
+
+TEST(TraceTest, StageMetricsFoldTouchedStagesOnly) {
+  MetricsRegistry reg;
+  StageMetrics metrics(&reg);
+  Trace trace;
+  trace.Record(Stage::kScan, 2'000'000);       // 2 ms
+  trace.Record(Stage::kNoiseDraw, 1'000'000);  // 1 ms
+  metrics.ObserveTrace(trace);
+
+  const Histogram* scan =
+      reg.FindHistogram("dpstarj_stage_duration_seconds", {{"stage", "scan"}});
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->Count(), 1u);
+  EXPECT_DOUBLE_EQ(scan->Snapshot().sum, 0.002);
+  const Histogram* bind =
+      reg.FindHistogram("dpstarj_stage_duration_seconds", {{"stage", "bind"}});
+  ASSERT_NE(bind, nullptr);
+  EXPECT_EQ(bind->Count(), 0u);  // untouched stages stay unobserved
+}
+
+TEST(AccessLogTest, SerializeCarriesAllStagesAndEscapes) {
+  Trace trace;
+  for (int s = 0; s < kStageCount; ++s) {
+    trace.Record(static_cast<Stage>(s), (s + 1) * 1000);
+  }
+  trace.plan_cache_hit = true;
+
+  AccessLogEntry entry;
+  entry.method = "POST";
+  entry.path = "/v1/\"query\"";
+  entry.status = 200;
+  entry.tenant = "acme";
+  entry.total_us = 1234;
+  entry.trace = &trace;
+
+  std::string line = AccessLog::Serialize(entry);
+  EXPECT_NE(line.find("\"method\":\"POST\""), std::string::npos);
+  EXPECT_NE(line.find("\"path\":\"/v1/\\\"query\\\"\""), std::string::npos);
+  EXPECT_NE(line.find("\"status\":200"), std::string::npos);
+  EXPECT_NE(line.find("\"tenant\":\"acme\""), std::string::npos);
+  EXPECT_NE(line.find("\"total_us\":1234"), std::string::npos);
+  EXPECT_NE(line.find("\"trace_id\":\"" + trace.id() + "\""), std::string::npos);
+  EXPECT_NE(line.find("\"plan_cache_hit\":true"), std::string::npos);
+  for (int s = 0; s < kStageCount; ++s) {
+    std::string key =
+        "\"" + std::string(StageName(static_cast<Stage>(s))) + "\":";
+    EXPECT_NE(line.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(line.find("\"scan\":10"), std::string::npos);  // stage 9: 10000 ns
+
+  // No trace and no tenant: the optional fields are omitted entirely.
+  AccessLogEntry bare;
+  bare.method = "GET";
+  bare.path = "/healthz";
+  bare.status = 200;
+  bare.total_us = 5;
+  std::string bare_line = AccessLog::Serialize(bare);
+  EXPECT_EQ(bare_line.find("\"tenant\""), std::string::npos);
+  EXPECT_EQ(bare_line.find("\"trace_id\""), std::string::npos);
+  EXPECT_EQ(bare_line.find("\"stages\""), std::string::npos);
+}
+
+TEST(AccessLogTest, WriteProducesOneLinePerEntry) {
+  std::vector<std::string> lines;
+  AccessLog log([&](const std::string& line) { lines.push_back(line); });
+  AccessLogEntry entry;
+  entry.method = "GET";
+  entry.path = "/metrics";
+  entry.status = 200;
+  entry.total_us = 10;
+  log.Write(entry);
+  log.Write(entry);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].find('\n'), std::string::npos);
+  EXPECT_EQ(lines[0].front(), '{');
+  EXPECT_EQ(lines[0].back(), '}');
+}
+
+}  // namespace
+}  // namespace dpstarj::obs

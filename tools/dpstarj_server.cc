@@ -32,6 +32,8 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "net/client.h"
+#include "obs/access_log.h"
+#include "obs/metrics.h"
 #include "net/http_server.h"
 #include "net/service_api.h"
 #include "service/query_service.h"
@@ -60,7 +62,14 @@ struct Flags {
   double tenant_rate = 0.0;
   double tenant_burst = 0.0;
   int tenant_inflight = 0;
+  // Telemetry: JSON-lines access log ("" disables, "-" = stdout) and the
+  // slow-request WARN threshold (0 disables).
+  std::string access_log;
+  int slow_query_ms = 0;
   bool selfcheck = false;
+  // With --selfcheck: write the scraped /metrics body here so CI can run
+  // tools/check_metrics.py against a real exposition.
+  std::string metrics_dump;
 };
 
 void Usage(const char* argv0) {
@@ -71,13 +80,19 @@ void Usage(const char* argv0) {
       "          [--header-timeout-ms N] [--body-timeout-ms N]\n"
       "          [--idle-timeout-ms N] [--write-timeout-ms N]\n"
       "          [--tenant-rate Q] [--tenant-burst B]\n"
-      "          [--tenant-inflight N] [--selfcheck]\n"
+      "          [--tenant-inflight N] [--access-log PATH]\n"
+      "          [--slow-query-ms N] [--selfcheck] [--metrics-dump PATH]\n"
       "  --port 0 picks an ephemeral port (printed on startup)\n"
       "  --default-budget E auto-registers unknown tenants with total eps E\n"
       "  --header/body/idle/write-timeout-ms: connection deadlines, 0 disables\n"
       "  --tenant-rate/burst/inflight: default per-tenant admission limits\n"
       "    (0 disables; per-tenant overrides via POST /v1/tenants)\n"
+      "  --access-log PATH: JSON-lines per-request log with stage timings\n"
+      "    ('-' = stdout); /metrics is always served regardless\n"
+      "  --slow-query-ms N: WARN-log requests slower than N ms (0 disables)\n"
       "  --selfcheck: serve, run one client round trip, SIGINT itself, exit\n"
+      "  --metrics-dump PATH: with --selfcheck, save the /metrics scrape to\n"
+      "    PATH (CI feeds it to tools/check_metrics.py)\n"
       "  full reference: docs/operations.md\n",
       argv0);
 }
@@ -127,8 +142,13 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     } else if (arg == "--tenant-burst" && next_num(&v)) {
       flags->tenant_burst = v;
     } else if (arg == "--tenant-inflight" && next_int(&flags->tenant_inflight)) {
+    } else if (arg == "--access-log" && i + 1 < argc) {
+      flags->access_log = argv[++i];
+    } else if (arg == "--slow-query-ms" && next_int(&flags->slow_query_ms)) {
     } else if (arg == "--selfcheck") {
       flags->selfcheck = true;
+    } else if (arg == "--metrics-dump" && i + 1 < argc) {
+      flags->metrics_dump = argv[++i];
     } else {
       Usage(argv[0]);
       return false;
@@ -156,7 +176,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
 // The selfcheck client: one full protocol round trip against the live
 // server, then a process-directed SIGINT so the main thread's sigwait-based
 // drain path is exercised exactly as an operator's Ctrl-C would.
-int RunSelfcheck(const std::string& host, uint16_t port) {
+int RunSelfcheck(const std::string& host, uint16_t port,
+                 const std::string& metrics_dump) {
   net::Client client(host, port);
 
   auto health = client.Get("/healthz");
@@ -203,8 +224,60 @@ int RunSelfcheck(const std::string& host, uint16_t port) {
     std::fprintf(stderr, "selfcheck: stats failed\n");
     return 1;
   }
+  // Telemetry smoke: a small burst (cache replays — free under DP) so the
+  // stage and duration histograms carry data, then both scrape endpoints.
+  for (int i = 0; i < 8; ++i) {
+    auto burst = client.Post("/v1/query", query.Dump());
+    if (!burst.ok() || burst->status != 200) {
+      std::fprintf(stderr, "selfcheck: burst query %d failed\n", i);
+      return 1;
+    }
+    if (burst->FindHeader("X-DPStarJ-Trace-Id").empty()) {
+      std::fprintf(stderr, "selfcheck: response missing X-DPStarJ-Trace-Id\n");
+      return 1;
+    }
+  }
+  auto metrics = client.Get("/metrics");
+  if (!metrics.ok() || metrics->status != 200) {
+    std::fprintf(stderr, "selfcheck: /metrics failed\n");
+    return 1;
+  }
+  for (const char* needle :
+       {"dpstarj_queries_submitted_total", "dpstarj_queries_completed_total",
+        "dpstarj_query_duration_seconds_bucket",
+        "dpstarj_stage_duration_seconds_bucket",
+        "dpstarj_tenant_epsilon_remaining", "dpstarj_http_requests_total"}) {
+    if (metrics->body.find(needle) == std::string::npos) {
+      std::fprintf(stderr, "selfcheck: /metrics missing %s\n", needle);
+      return 1;
+    }
+  }
+  if (!metrics_dump.empty()) {
+    std::FILE* f = std::fopen(metrics_dump.c_str(), "w");
+    bool wrote =
+        f != nullptr &&
+        std::fwrite(metrics->body.data(), 1, metrics->body.size(), f) ==
+            metrics->body.size();
+    if (f != nullptr && std::fclose(f) != 0) wrote = false;
+    if (!wrote) {
+      std::fprintf(stderr, "selfcheck: cannot write %s\n",
+                   metrics_dump.c_str());
+      return 1;
+    }
+  }
+  auto traces = client.Get("/v1/trace/stats");
+  if (!traces.ok() || traces->status != 200) {
+    std::fprintf(stderr, "selfcheck: /v1/trace/stats failed\n");
+    return 1;
+  }
+  auto trace_body = net::Client::ParseBody(*traces);
+  if (!trace_body.ok() || trace_body->Find("stages") == nullptr) {
+    std::fprintf(stderr, "selfcheck: malformed /v1/trace/stats body\n");
+    return 1;
+  }
   std::printf("selfcheck: noisy answer %s\n", answer->body.c_str());
   std::printf("selfcheck: account %s\n", account->body.c_str());
+  std::printf("selfcheck: /metrics OK (%zu bytes)\n", metrics->body.size());
   return 0;
 }
 
@@ -233,6 +306,11 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // One process-wide registry: the service's lifecycle counters, the API's
+  // latency histograms and the HTTP layer's connection counters all land on
+  // the same GET /metrics page.
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
+
   service::ServiceOptions service_options;
   service_options.num_engines = flags.engines;
   service_options.queue_capacity = static_cast<size_t>(flags.queue);
@@ -242,6 +320,7 @@ int main(int argc, char** argv) {
   service_options.admission.defaults.rate_qps = flags.tenant_rate;
   service_options.admission.defaults.burst = flags.tenant_burst;
   service_options.admission.defaults.max_in_flight = flags.tenant_inflight;
+  service_options.metrics = metrics;
   service::QueryService service(&*catalog, service_options);
 
   net::ServerOptions server_options;
@@ -252,6 +331,16 @@ int main(int argc, char** argv) {
   server_options.body_timeout_ms = flags.body_timeout_ms;
   server_options.idle_timeout_ms = flags.idle_timeout_ms;
   server_options.write_timeout_ms = flags.write_timeout_ms;
+  server_options.metrics = metrics.get();
+  server_options.slow_query_ms = flags.slow_query_ms;
+  if (!flags.access_log.empty()) {
+    auto log = obs::AccessLog::Open(flags.access_log);
+    if (!log.ok()) {
+      std::fprintf(stderr, "access log: %s\n", log.status().ToString().c_str());
+      return 1;
+    }
+    server_options.access_log = std::shared_ptr<obs::AccessLog>(std::move(*log));
+  }
   net::HttpServer server(net::MakeServiceRouter(&service), server_options);
   Status started = server.Start();
   if (!started.ok()) {
@@ -265,7 +354,8 @@ int main(int argc, char** argv) {
   int selfcheck_rc = 0;
   if (flags.selfcheck) {
     selfcheck = std::thread([&] {
-      selfcheck_rc = RunSelfcheck(flags.host, server.port());
+      selfcheck_rc = RunSelfcheck(flags.host, server.port(),
+                                  flags.metrics_dump);
       // Drive the normal shutdown path; process-directed so sigwait sees it.
       kill(getpid(), SIGINT);
     });
