@@ -1,10 +1,13 @@
 // Throughput of the HTTP front door: queries/sec over the wire vs concurrent
 // client connections, against an in-process epoll server backed by the full
-// QueryService stack (ledger admission, answer cache, engine pool). Four
+// QueryService stack (ledger admission, answer cache, engine pool). Five
 // scenarios:
 //   * cache-miss (every query distinct — full bind + Predicate Mechanism per
 //     request) and cache-replay (8 distinct queries — wire and dispatch
 //     overhead dominate), mirroring bench_service_throughput;
+//   * workload batches: the same distinct queries once as sequential
+//     /v1/query traffic and once as /v1/workload batches of 16 (one shared
+//     fact sweep per batch) — reported as queries/sec for both;
 //   * hot-tenant: a capped hot tenant saturates the service while a quiet
 //     tenant runs the same sequential workload it first ran solo — reported
 //     as the quiet tenant's p50 under fire vs its solo p50 (the fairness
@@ -146,7 +149,8 @@ std::vector<double> RunSequential(const std::string& host, uint16_t port,
 // keep-alive connection. Every request must eventually succeed; 429s are
 // retried with a 1 ms backoff.
 RunResult RunWorkload(const std::string& host, uint16_t port, int connections,
-                      const std::vector<std::string>& bodies) {
+                      const std::vector<std::string>& bodies,
+                      const std::string& path = "/v1/query") {
   std::atomic<uint64_t> retries{0};
   std::atomic<bool> failed{false};
   Timer timer;
@@ -158,7 +162,7 @@ RunResult RunWorkload(const std::string& host, uint16_t port, int connections,
       for (size_t i = static_cast<size_t>(c); i < bodies.size();
            i += static_cast<size_t>(connections)) {
         for (;;) {
-          auto r = client.Post("/v1/query", bodies[i]);
+          auto r = client.Post(path, bodies[i]);
           if (!r.ok()) {
             std::fprintf(stderr, "client: %s\n", r.status().ToString().c_str());
             failed.store(true);
@@ -307,6 +311,58 @@ int main(int argc, char** argv) {
     DPSTARJ_CHECK(scrape->body.find("dpstarj_query_duration_seconds_bucket") !=
                       std::string::npos,
                   "scrape missing duration histogram");
+  }
+
+  // --- workload batches: /v1/workload vs equivalent sequential traffic ----
+  // The same distinct cache-missing queries, answered twice: one /v1/query
+  // request per query, then regrouped into /v1/workload batches of 16 (one
+  // admission decision + ONE shared fact sweep per batch). Distinct ε per
+  // pass keeps the answer cache from replaying across passes; the delta is
+  // the shared scan plus the saved per-request round trips.
+  {
+    const int batch_size = 16;
+    const int num_batches = std::max(4, num_queries / batch_size / 4);
+    const int total_queries = num_batches * batch_size;
+    std::vector<std::string> single_bodies;
+    std::vector<std::string> batch_bodies;
+    single_bodies.reserve(static_cast<size_t>(total_queries));
+    batch_bodies.reserve(static_cast<size_t>(num_batches));
+    for (int b = 0; b < num_batches; ++b) {
+      net::Json body = net::Json::Object();
+      body.Set("tenant", net::Json::Str("bench"));
+      net::Json entries = net::Json::Array();
+      for (int i = 0; i < batch_size; ++i) {
+        std::string sql = DistinctQuery(query_counter++);
+        single_bodies.push_back(QueryBody(sql, kEpsilon, "bench"));
+        net::Json entry = net::Json::Object();
+        entry.Set("sql", net::Json::Str(sql));
+        entry.Set("epsilon", net::Json::Number(kEpsilon + 0.02));
+        entries.Append(std::move(entry));
+      }
+      body.Set("queries", std::move(entries));
+      batch_bodies.push_back(body.Dump());
+    }
+    RunResult seq = RunWorkload(server.host(), server.port(), max_conns,
+                                single_bodies, "/v1/query");
+    RunResult bat = RunWorkload(server.host(), server.port(), max_conns,
+                                batch_bodies, "/v1/workload");
+    const double batch_qps = static_cast<double>(total_queries) / bat.seconds;
+    std::printf("\nworkload batches (%d queries as %d batches of %d, "
+                "%d connections):\n",
+                total_queries, num_batches, batch_size, max_conns);
+    std::printf("  sequential /v1/query: %.1f queries/sec in %.3f s; "
+                "/v1/workload: %.1f queries/sec in %.3f s (%.2fx)\n",
+                seq.qps, seq.seconds, batch_qps, bat.seconds,
+                batch_qps / seq.qps);
+    json.Add("net_throughput/workload_sequential",
+             Format("conns=%d batch=%d", max_conns, batch_size) +
+                 HostScalingNote(max_conns),
+             seq.qps, seq.seconds * 1e3);
+    json.Add("net_throughput/workload_batch",
+             Format("conns=%d batch=%d speedup=%.2f", max_conns, batch_size,
+                    batch_qps / seq.qps) +
+                 HostScalingNote(max_conns),
+             batch_qps, bat.seconds * 1e3);
   }
 
   // --- hot-tenant scenario: quiet tenant p50 solo vs under fire -----------

@@ -42,6 +42,12 @@ Result<exec::QueryResult> DpStarJoin::AnswerBound(const query::BoundQuery& bound
   return mechanism_.Answer(bound, epsilon, rng, trace);
 }
 
+std::vector<Result<exec::QueryResult>> DpStarJoin::AnswerBoundBatch(
+    const std::vector<BatchQueryRef>& batch, Rng* rng, obs::Trace* trace,
+    exec::WorkloadExecStats* stats) const {
+  return mechanism_.AnswerBatch(batch, rng, trace, stats);
+}
+
 Result<exec::QueryResult> DpStarJoin::TrueAnswer(const query::StarJoinQuery& q) const {
   DPSTARJ_ASSIGN_OR_RETURN(query::BoundQuery bound, binder_.Bind(q));
   exec::StarJoinExecutor executor(options_.executor);
@@ -89,18 +95,42 @@ Result<std::vector<double>> DpStarJoin::AnswerWorkload(
     const query::Workload& workload,
     const std::vector<query::DimensionAttribute>& attributes, double epsilon,
     bool decompose) {
-  DPSTARJ_ASSIGN_OR_RETURN(exec::DataCube cube,
-                           BuildWorkloadCube(workload, attributes));
-  DPSTARJ_RETURN_NOT_OK(SpendBudget(epsilon));
   if (decompose) {
+    DPSTARJ_ASSIGN_OR_RETURN(exec::DataCube cube,
+                             BuildWorkloadCube(workload, attributes));
+    DPSTARJ_RETURN_NOT_OK(SpendBudget(epsilon));
     WorkloadMechanismOptions opts;
     opts.strategy = options_.workload_strategy;
     opts.pma = options_.pma;
-    return AnswerWorkloadWithDecomposition(cube, workload, attributes, epsilon, &rng_,
-                                           opts);
+    return AnswerWorkloadWithDecomposition(cube, workload, attributes, epsilon,
+                                           &rng_, opts);
   }
-  return AnswerWorkloadPerQuery(cube, workload, attributes, epsilon, &rng_,
-                                options_.pma);
+  // Independent per-query PM (§5.3's baseline), executed through the
+  // shared-scan batch path: bind every workload query and answer the whole
+  // set in one fact sweep with cross-query predicate CSE. Each query is
+  // perturbed independently at ε/n like AnswerWorkloadPerQuery; batching is
+  // post-processing, so the answer distribution is unchanged — only the
+  // scan count drops from l to 1.
+  if (workload.size() == 0) return Status::InvalidArgument("empty workload");
+  std::vector<query::BoundQuery> bound;
+  bound.reserve(workload.queries.size());
+  for (const auto& q : workload.queries) {
+    DPSTARJ_ASSIGN_OR_RETURN(query::BoundQuery bq, binder_.Bind(q));
+    bound.push_back(std::move(bq));
+  }
+  DPSTARJ_RETURN_NOT_OK(SpendBudget(epsilon));
+  std::vector<BatchQueryRef> batch;
+  batch.reserve(bound.size());
+  for (const auto& bq : bound) batch.push_back({&bq, epsilon});
+  std::vector<Result<exec::QueryResult>> results =
+      mechanism_.AnswerBatch(batch, &rng_);
+  std::vector<double> answers;
+  answers.reserve(results.size());
+  for (auto& r : results) {
+    DPSTARJ_RETURN_NOT_OK(r.status());
+    answers.push_back(r->scalar);
+  }
+  return answers;
 }
 
 Result<std::vector<double>> DpStarJoin::TrueWorkload(

@@ -57,6 +57,102 @@ Result<exec::QueryResult> PredicateMechanism::Answer(const query::BoundQuery& q,
   return executor_.Execute(q, *overrides, *plan, trace);
 }
 
+std::vector<Result<exec::QueryResult>> PredicateMechanism::AnswerBatch(
+    const std::vector<BatchQueryRef>& batch, Rng* rng, obs::Trace* trace,
+    exec::WorkloadExecStats* stats) const {
+  // Per-query outcome slots (Result has no default constructor).
+  std::vector<std::optional<Result<exec::QueryResult>>> slots(batch.size());
+  std::vector<exec::PredicateOverrides> overrides(batch.size());
+
+  // ---- 1. noise: perturb each query at its own epsilon, in batch order.
+  // This consumes the RNG exactly as `for q: Answer(q, ...)` would, so the
+  // batch strategy below is pure post-processing over the same draws.
+  {
+    obs::ScopedStage noise_span(trace, obs::Stage::kNoiseDraw);
+    for (size_t k = 0; k < batch.size(); ++k) {
+      if (batch[k].query == nullptr) {
+        slots[k] = Status::InvalidArgument("batch query must not be null");
+        continue;
+      }
+      Result<exec::PredicateOverrides> ov =
+          PerturbPredicates(*batch[k].query, batch[k].epsilon, rng);
+      if (!ov.ok()) {
+        slots[k] = ov.status();
+        continue;
+      }
+      overrides[k] = std::move(*ov);
+    }
+  }
+
+  // ---- 2. execution strategy. Without a plan cache (or under strict
+  // integrity, which needs the single-query path's exact row reporting)
+  // every query takes a fresh single-query execution.
+  if (plan_cache_->capacity() == 0 || executor_.options().strict_integrity) {
+    obs::ScopedStage scan_span(trace, obs::Stage::kScan);
+    for (size_t k = 0; k < batch.size(); ++k) {
+      if (slots[k].has_value()) continue;
+      slots[k] = executor_.Execute(*batch[k].query, overrides[k]);
+    }
+  } else {
+    // Warm path: collect each query's cached scaffold, peel off the ones the
+    // shared scan cannot take, and batch the rest into one WorkloadPlan.
+    std::vector<exec::WorkloadItem> items;
+    std::vector<size_t> item_query;  // items[i] answers batch[item_query[i]]
+    items.reserve(batch.size());
+    item_query.reserve(batch.size());
+    for (size_t k = 0; k < batch.size(); ++k) {
+      if (slots[k].has_value()) continue;
+      Result<std::shared_ptr<const exec::ScanPlan>> plan =
+          plan_cache_->GetOrCompile(*batch[k].query, trace);
+      if (!plan.ok()) {
+        slots[k] = plan.status();
+        continue;
+      }
+      if ((*plan)->requires_scalar()) {
+        slots[k] =
+            executor_.Execute(*batch[k].query, overrides[k], **plan, trace);
+        continue;
+      }
+      exec::WorkloadItem item;
+      item.query = batch[k].query;
+      item.overrides = &overrides[k];
+      item.plan = std::move(*plan);
+      items.push_back(std::move(item));
+      item_query.push_back(k);
+    }
+    if (!items.empty()) {
+      Result<exec::WorkloadPlan> wplan =
+          exec::WorkloadPlan::Compile(std::move(items));
+      if (!wplan.ok()) {
+        for (size_t k : item_query) slots[k] = wplan.status();
+      } else {
+        if (stats != nullptr) {
+          const exec::WorkloadExecStats& s = wplan->stats();
+          stats->queries += s.queries;
+          stats->scans += s.scans;
+          stats->predicate_refs += s.predicate_refs;
+          stats->predicate_nodes += s.predicate_nodes;
+          stats->shared_dim_slots += s.shared_dim_slots;
+        }
+        Result<std::vector<exec::QueryResult>> results =
+            wplan->Execute(executor_.options(), trace);
+        if (!results.ok()) {
+          for (size_t k : item_query) slots[k] = results.status();
+        } else {
+          for (size_t i = 0; i < item_query.size(); ++i) {
+            slots[item_query[i]] = std::move((*results)[i]);
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<Result<exec::QueryResult>> out;
+  out.reserve(batch.size());
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
 Result<double> PredicateMechanism::AnswerWithCube(const query::BoundQuery& q,
                                                   const exec::DataCube& cube,
                                                   double epsilon, Rng* rng) const {

@@ -21,9 +21,17 @@
 #include "exec/plan_cache.h"
 #include "exec/query_result.h"
 #include "exec/star_join_executor.h"
+#include "exec/workload_plan.h"
 #include "query/binder.h"
 
 namespace dpstarj::core {
+
+/// \brief One query of a batch Answer: a bound query and its own epsilon.
+/// The pointed-to query must outlive the AnswerBatch call.
+struct BatchQueryRef {
+  const query::BoundQuery* query = nullptr;
+  double epsilon = 0.0;
+};
 
 /// \brief Algorithms 1 & 3: DP star-join answering via predicate perturbation.
 ///
@@ -65,6 +73,24 @@ class PredicateMechanism {
   /// and scan spans of this execution; the answer itself is unaffected.
   Result<exec::QueryResult> Answer(const query::BoundQuery& q, double epsilon,
                                    Rng* rng, obs::Trace* trace = nullptr) const;
+
+  /// \brief Answers a batch of bound queries with **one shared fact sweep**
+  /// (exec/workload_plan.h): predicates are perturbed per query in batch
+  /// order — consuming the RNG exactly like sequential Answer calls, so the
+  /// joint answer distribution is identical — then the perturbed queries'
+  /// deduped predicate bitmaps are built once each and the fact table is
+  /// swept once, accumulating every query simultaneously.
+  ///
+  /// Returns one Result per query, in batch order: a query that fails to
+  /// perturb or plan gets its own error without failing the batch. Queries
+  /// the batch path cannot take (scalar-pipeline plans, a disabled plan
+  /// cache, strict integrity) fall back to single-query execution, still in
+  /// batch order. `stats` (optional) accumulates the CSE receipts of the
+  /// shared-scan portion.
+  std::vector<Result<exec::QueryResult>> AnswerBatch(
+      const std::vector<BatchQueryRef>& batch, Rng* rng,
+      obs::Trace* trace = nullptr,
+      exec::WorkloadExecStats* stats = nullptr) const;
 
   /// \brief Fast path for repeated-run experiments: evaluates the noisy
   /// predicates against a pre-built cube (must be built with

@@ -367,6 +367,16 @@ int ResolveWorkers(const ExecutorOptions& options, int64_t fact_rows) {
 
 }  // namespace
 
+QueryResult RenderPlanGroups(const query::BoundQuery& q, const ScanPlan& plan,
+                             const GroupAccumulator& merged, bool is_avg) {
+  std::vector<const std::vector<int64_t>*> rep_rows(q.dims.size());
+  for (size_t i = 0; i < q.dims.size(); ++i) {
+    rep_rows[i] = &plan.dims[i].rep_rows;
+  }
+  return RenderGroupedResult(q, plan.layout, plan.parts, rep_rows, merged,
+                             is_avg);
+}
+
 Result<QueryResult> StarJoinExecutor::Execute(const query::BoundQuery& q) const {
   return Execute(q, PredicateOverrides(q.dims.size()));
 }
@@ -753,9 +763,7 @@ Result<QueryResult> StarJoinExecutor::Execute(const query::BoundQuery& q,
   for (size_t i = 1; i < partials.size(); ++i) {
     merged.MergeFrom(*partials[i].groups);
   }
-  std::vector<const std::vector<int64_t>*> rep_rows(num_dims);
-  for (size_t i = 0; i < num_dims; ++i) rep_rows[i] = &plan.dims[i].rep_rows;
-  return RenderGroupedResult(q, plan.layout, plan.parts, rep_rows, merged, is_avg);
+  return RenderPlanGroups(q, plan, merged, is_avg);
 }
 
 }  // namespace dpstarj::exec

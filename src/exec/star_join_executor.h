@@ -99,4 +99,12 @@ class StarJoinExecutor {
   ExecutorOptions options_;
 };
 
+/// \brief Renders a merged plan-path group accumulator into a QueryResult:
+/// labels are rendered once per group from the plan's layout and label parts
+/// and merged by rendered label (distinct codes can format identically),
+/// exactly the legacy per-row semantics. Shared by the executor's probing
+/// plan path and the shared-scan batch path (exec/workload_plan.h).
+QueryResult RenderPlanGroups(const query::BoundQuery& q, const ScanPlan& plan,
+                             const GroupAccumulator& merged, bool is_avg);
+
 }  // namespace dpstarj::exec

@@ -21,21 +21,21 @@ HttpResponse ErrorResponse(const Status& status) {
   return JsonResponse(HttpStatusForError(status), ErrorToJson(status));
 }
 
-/// Telemetry handles of the query route, resolved once against the service
-/// registry and shared by the handler closures.
+/// Telemetry handles of one answer route (/v1/query, /v1/workload), resolved
+/// once against the service registry and shared by the handler closures.
+/// `name`/`help` select the route's end-to-end duration family.
 struct ApiTelemetry {
-  explicit ApiTelemetry(obs::MetricsRegistry* reg) : stage_metrics(reg) {
-    static const char kName[] = "dpstarj_query_duration_seconds";
-    static const char kHelp[] = "End-to-end /v1/query latency by outcome";
-    ok = reg->GetHistogram(kName, kHelp, {{"outcome", "ok"}});
+  ApiTelemetry(obs::MetricsRegistry* reg, const char* name, const char* help)
+      : stage_metrics(reg) {
+    ok = reg->GetHistogram(name, help, {{"outcome", "ok"}});
     budget_exhausted =
-        reg->GetHistogram(kName, kHelp, {{"outcome", "budget_exhausted"}});
+        reg->GetHistogram(name, help, {{"outcome", "budget_exhausted"}});
     tenant_limited =
-        reg->GetHistogram(kName, kHelp, {{"outcome", "tenant_limited"}});
-    overload = reg->GetHistogram(kName, kHelp, {{"outcome", "overload"}});
-    bad_request = reg->GetHistogram(kName, kHelp, {{"outcome", "bad_request"}});
-    not_found = reg->GetHistogram(kName, kHelp, {{"outcome", "not_found"}});
-    error = reg->GetHistogram(kName, kHelp, {{"outcome", "error"}});
+        reg->GetHistogram(name, help, {{"outcome", "tenant_limited"}});
+    overload = reg->GetHistogram(name, help, {{"outcome", "overload"}});
+    bad_request = reg->GetHistogram(name, help, {{"outcome", "bad_request"}});
+    not_found = reg->GetHistogram(name, help, {{"outcome", "not_found"}});
+    error = reg->GetHistogram(name, help, {{"outcome", "error"}});
   }
 
   obs::Histogram* DurationFor(int status, bool is_tenant_limited) {
@@ -84,6 +84,28 @@ HttpResponse FinishTraced(ApiTelemetry* api, std::shared_ptr<obs::Trace> trace,
   resp.tenant = std::move(tenant);
   resp.trace = std::move(trace);
   return resp;
+}
+
+/// Decorates a 429 refusal with its Retry-After hint. A tenant-limited
+/// refusal (RateLimited) is additionally marked X-DPStarJ-Tenant-Limited: 1 —
+/// the caller itself is over its limits, other tenants are unaffected — and
+/// its hint comes from the tenant's own token bucket; a global-overload 429
+/// uses the configured constant. No-op on any other status.
+void AttachRetryAfter(service::QueryService* service, const ApiOptions& options,
+                      const Status& status, const std::string& tenant,
+                      HttpResponse* resp) {
+  if (resp->status != 429) return;
+  int retry_after = options.retry_after_seconds;
+  if (status.code() == StatusCode::kRateLimited) {
+    resp->headers.push_back({kTenantLimitedHeader, "1"});
+    // Clamp before the cast: a wire-settable rate like 1e-300 makes the hint
+    // astronomically large, and casting an out-of-int-range double is UB. An
+    // hour is as honest as any larger number.
+    double hint =
+        std::min(service->admission().RetryAfterSeconds(tenant), 3600.0);
+    retry_after = std::max(1, static_cast<int>(std::ceil(hint)));
+  }
+  resp->headers.push_back({"Retry-After", Format("%d", retry_after)});
 }
 
 }  // namespace
@@ -165,6 +187,16 @@ Json ServiceStatsToJson(const service::ServiceStats& stats) {
            Json::Number(static_cast<double>(stats.tenant_rate_limited)));
   body.Set("tenant_capped",
            Json::Number(static_cast<double>(stats.tenant_capped)));
+  body.Set("workload_batches",
+           Json::Number(static_cast<double>(stats.workload_batches)));
+  body.Set("workload_queries_fresh",
+           Json::Number(static_cast<double>(stats.workload_queries_fresh)));
+  body.Set("workload_queries_cached",
+           Json::Number(static_cast<double>(stats.workload_queries_cached)));
+  body.Set("workload_queries_failed",
+           Json::Number(static_cast<double>(stats.workload_queries_failed)));
+  body.Set("workload_cache_skips",
+           Json::Number(static_cast<double>(stats.workload_cache_skips)));
 
   Json cache = Json::Object();
   cache.Set("hits", Json::Number(static_cast<double>(stats.cache.hits)));
@@ -190,7 +222,12 @@ Json ServiceStatsToJson(const service::ServiceStats& stats) {
 
 Router MakeServiceRouter(service::QueryService* service, ApiOptions options) {
   DPSTARJ_CHECK(service != nullptr, "service must not be null");
-  auto api = std::make_shared<ApiTelemetry>(service->metrics());
+  auto api = std::make_shared<ApiTelemetry>(
+      service->metrics(), "dpstarj_query_duration_seconds",
+      "End-to-end /v1/query latency by outcome");
+  auto workload_api = std::make_shared<ApiTelemetry>(
+      service->metrics(), "dpstarj_workload_duration_seconds",
+      "End-to-end /v1/workload latency by outcome");
   Router router;
 
   router.Handle("GET", "/healthz", [](const HttpRequest&) {
@@ -409,22 +446,7 @@ Router MakeServiceRouter(service::QueryService* service, ApiOptions options) {
         service->TrySubmit(*sql, *epsilon, *tenant, trace.get()).get();
     if (!answer.ok()) {
       HttpResponse resp = ErrorResponse(answer.status());
-      if (resp.status == 429) {
-        int retry_after = options.retry_after_seconds;
-        if (answer.status().code() == StatusCode::kRateLimited) {
-          // Tenant-limited, not global pressure: mark it so clients (and
-          // dashboards) can tell "I am over my limit" from "the service is
-          // busy", and derive Retry-After from the tenant's own bucket.
-          resp.headers.push_back({kTenantLimitedHeader, "1"});
-          // Clamp before the cast: a wire-settable rate like 1e-300 makes
-          // the hint astronomically large, and casting an out-of-int-range
-          // double is UB. An hour is as honest as any larger number.
-          double hint =
-              std::min(service->admission().RetryAfterSeconds(*tenant), 3600.0);
-          retry_after = std::max(1, static_cast<int>(std::ceil(hint)));
-        }
-        resp.headers.push_back({"Retry-After", Format("%d", retry_after)});
-      }
+      AttachRetryAfter(service, options, answer.status(), *tenant, &resp);
       return FinishTraced(api.get(), trace, *tenant, std::move(resp));
     }
     HttpResponse resp = [&] {
@@ -432,6 +454,97 @@ Router MakeServiceRouter(service::QueryService* service, ApiOptions options) {
       return JsonResponse(200, QueryResultToJson(*answer));
     }();
     return FinishTraced(api.get(), trace, *tenant, std::move(resp));
+  });
+
+  router.Handle("POST", "/v1/workload",
+                [service, options, workload_api](const HttpRequest& req) {
+    auto trace = std::make_shared<obs::Trace>();
+    trace->Record(obs::Stage::kHeaderRead, req.header_read_us * 1000);
+    trace->Record(obs::Stage::kBodyRead, req.body_read_us * 1000);
+    auto fail = [&](const Status& st, std::string tenant = "") {
+      return FinishTraced(workload_api.get(), trace, std::move(tenant),
+                          ErrorResponse(st));
+    };
+    auto body = Json::Parse(req.body);
+    if (!body.ok()) return fail(body.status());
+    if (!body->is_object()) {
+      return fail(Status::InvalidArgument("body must be a JSON object"));
+    }
+    auto tenant = body->GetString("tenant");
+    if (!tenant.ok()) return fail(tenant.status());
+    const Json* queries = body->Find("queries");
+    if (queries == nullptr || !queries->is_array()) {
+      return fail(
+          Status::InvalidArgument("'queries' must be a non-empty array"),
+          *tenant);
+    }
+    std::vector<service::WorkloadQuerySpec> specs;
+    specs.reserve(queries->items().size());
+    for (const Json& q : queries->items()) {
+      if (!q.is_object()) {
+        return fail(Status::InvalidArgument(
+                        "each workload query must be a JSON object"),
+                    *tenant);
+      }
+      auto sql = q.GetString("sql");
+      if (!sql.ok()) return fail(sql.status(), *tenant);
+      auto epsilon = q.GetNumber("epsilon");
+      if (!epsilon.ok()) return fail(epsilon.status(), *tenant);
+      specs.push_back({std::move(*sql), *epsilon});
+    }
+    // One admission + one ledger decision for the whole batch, one pool job,
+    // one shared fact sweep. Batch-level refusals (tenant-limited, budget,
+    // overload) answer like /v1/query's; per-query failures land in the
+    // 200 body's per-query entries instead.
+    auto outcome =
+        service->SubmitWorkload(specs, *tenant, trace.get()).get();
+    if (!outcome.ok()) {
+      HttpResponse resp = ErrorResponse(outcome.status());
+      AttachRetryAfter(service, options, outcome.status(), *tenant, &resp);
+      return FinishTraced(workload_api.get(), trace, *tenant, std::move(resp));
+    }
+    HttpResponse resp = [&] {
+      obs::ScopedStage encode(trace.get(), obs::Stage::kEncode);
+      Json out = Json::Object();
+      out.Set("tenant", Json::Str(*tenant));
+      Json results = Json::Array();
+      for (const service::WorkloadQueryOutcome& qo : outcome->queries) {
+        if (qo.status.ok()) {
+          Json entry = QueryResultToJson(qo.result);
+          entry.Set("ok", Json::Bool(true));
+          entry.Set("cached", Json::Bool(qo.cached));
+          results.Append(std::move(entry));
+        } else {
+          Json entry = ErrorToJson(qo.status);
+          entry.Set("ok", Json::Bool(false));
+          results.Append(std::move(entry));
+        }
+      }
+      out.Set("queries", std::move(results));
+      Json ex = Json::Object();
+      ex.Set("queries",
+             Json::Number(static_cast<double>(outcome->exec.queries)));
+      ex.Set("scans", Json::Number(static_cast<double>(outcome->exec.scans)));
+      ex.Set("predicate_refs",
+             Json::Number(static_cast<double>(outcome->exec.predicate_refs)));
+      ex.Set("predicate_nodes",
+             Json::Number(static_cast<double>(outcome->exec.predicate_nodes)));
+      ex.Set("shared_dim_slots", Json::Number(static_cast<double>(
+                                     outcome->exec.shared_dim_slots)));
+      out.Set("exec", std::move(ex));
+      // The batch's accumulated stage spans so far (the encode stage is
+      // still open and reports its pre-encode value).
+      Json stages = Json::Object();
+      for (int s = 0; s < obs::kStageCount; ++s) {
+        const auto stage = static_cast<obs::Stage>(s);
+        if (!trace->touched(stage)) continue;
+        stages.Set(obs::StageName(stage),
+                   Json::Number(static_cast<double>(trace->stage_us(stage))));
+      }
+      out.Set("stage_us", std::move(stages));
+      return JsonResponse(200, out);
+    }();
+    return FinishTraced(workload_api.get(), trace, *tenant, std::move(resp));
   });
 
   return router;

@@ -10,6 +10,14 @@
 //       400/403/404/429/…   {"error": {"code", "message"}}; both 429 flavors
 //                           carry Retry-After, and the per-tenant one is
 //                           marked X-DPStarJ-Tenant-Limited: 1 (see below)
+//   POST /v1/workload       {"tenant", "queries": [{"sql","epsilon"},…]} —
+//                           one admission + ledger decision for the whole
+//                           batch (tokens = query count, ε = total), answered
+//                           with ONE shared fact sweep (cross-query predicate
+//                           CSE). 200 carries per-query outcomes (partial
+//                           failure stays in the body), the shared-scan CSE
+//                           receipts and the batch's stage timings; batch-
+//                           level refusals use /v1/query's status mapping
 //   POST /v1/tenants        {"tenant", "epsilon"[, "rate_qps", "burst",
 //                           "max_in_flight"]} → 201 (409 when it exists);
 //                           the optional fields override the tenant's fair-

@@ -73,15 +73,20 @@ void AdmissionController::RefillLocked(TenantState* state,
   state->last_refill = now;
 }
 
-AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant) {
+AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant,
+                                                int count) {
   const double now = Now();
+  // A batch admits all-or-nothing at its full query count; a non-positive
+  // count is treated as one so a buggy caller degrades to the single-query
+  // contract instead of admitting for free.
+  const double need = static_cast<double>(std::max(count, 1));
   std::lock_guard<std::mutex> lock(mu_);
   TenantState& state = tenants_[tenant];
   const TenantLimits& limits = EffectiveLimits(state);
 
   if (limits.rate_qps > 0.0) {
     RefillLocked(&state, limits, now);
-    if (state.tokens < 1.0) {
+    if (state.tokens < need) {
       ++state.rate_limited;
       ++total_rate_limited_;
       AdmissionDecision decision;
@@ -89,11 +94,15 @@ AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant) {
           Format("tenant '%s' is over its rate limit (%.3g queries/sec)",
                  tenant.c_str(), limits.rate_qps));
       decision.denial = AdmissionDenial::kRateLimited;
-      decision.retry_after_seconds = (1.0 - state.tokens) / limits.rate_qps;
+      // Honest even when the batch exceeds the bucket capacity: the hint
+      // then points past any plausible refill, and the caller's only real
+      // options are splitting the batch or raising the tenant's burst.
+      decision.retry_after_seconds = (need - state.tokens) / limits.rate_qps;
       return decision;
     }
   }
-  if (limits.max_in_flight > 0 && state.in_flight >= limits.max_in_flight) {
+  if (limits.max_in_flight > 0 &&
+      state.in_flight + std::max(count, 1) > limits.max_in_flight) {
     ++state.capped;
     ++total_capped_;
     AdmissionDecision decision;
@@ -107,29 +116,30 @@ AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant) {
     return decision;
   }
 
-  // Both checks passed: consume the token and the slot atomically (same lock
-  // acquisition), so concurrent admissions can never over-admit.
-  if (limits.rate_qps > 0.0) state.tokens -= 1.0;
-  ++state.in_flight;
-  ++state.admitted;
+  // Both checks passed: consume the tokens and the slots atomically (same
+  // lock acquisition), so concurrent admissions can never over-admit.
+  if (limits.rate_qps > 0.0) state.tokens -= need;
+  state.in_flight += std::max(count, 1);
+  state.admitted += static_cast<uint64_t>(std::max(count, 1));
   AdmissionDecision decision;
   decision.status = Status::OK();
   return decision;
 }
 
-void AdmissionController::Release(const std::string& tenant) {
+void AdmissionController::Release(const std::string& tenant, int count) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return;
-  if (it->second.in_flight > 0) --it->second.in_flight;
+  it->second.in_flight = std::max(0, it->second.in_flight - std::max(count, 1));
 }
 
-void AdmissionController::ReleaseAndForget(const std::string& tenant) {
+void AdmissionController::ReleaseAndForget(const std::string& tenant,
+                                           int count) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return;
   TenantState& state = it->second;
-  if (state.in_flight > 0) --state.in_flight;
+  state.in_flight = std::max(0, state.in_flight - std::max(count, 1));
   // Evict the lazily-created state when nothing pins it: no operator
   // override and no other in-flight admission. The caller invokes this for
   // tenants the ledger does not know — without it, every attacker-invented

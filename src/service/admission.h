@@ -95,21 +95,27 @@ class AdmissionController {
   /// The limits in force for `tenant` (override or defaults).
   TenantLimits LimitsFor(const std::string& tenant) const;
 
-  /// \brief Admits or refuses one query. On refusal, `retry_after_seconds`
-  /// hints when a retry can succeed: for a drained bucket, the time until one
-  /// token refills; for the in-flight cap, a nominal 1s (a query must finish
-  /// first, which admission cannot predict).
-  AdmissionDecision TryAdmit(const std::string& tenant);
+  /// \brief Admits or refuses `count` queries as one all-or-nothing decision
+  /// (a workload batch debits its full query count — otherwise
+  /// POST /v1/workload would be a rate-limit bypass paying one token for N
+  /// queries). On refusal, `retry_after_seconds` hints when a retry can
+  /// succeed: for a drained bucket, the time until `count` tokens refill;
+  /// for the in-flight cap, a nominal 1s (a query must finish first, which
+  /// admission cannot predict). A batch larger than the tenant's burst or
+  /// in-flight cap can never be admitted — callers split it or raise the
+  /// limits (docs/operations.md, "Sizing workload batches"). Refusal
+  /// counters move by one per decision, not per query.
+  AdmissionDecision TryAdmit(const std::string& tenant, int count = 1);
 
-  /// Returns the in-flight slot taken by an admitted TryAdmit.
-  void Release(const std::string& tenant);
+  /// Returns the in-flight slots taken by an admitted TryAdmit (same count).
+  void Release(const std::string& tenant, int count = 1);
 
   /// \brief Release, then evict the tenant's lazily-created state when
   /// nothing pins it (no operator override, no other in-flight admission).
   /// The service calls this instead of Release for tenants the ledger
   /// refused as unknown, so arbitrary tenant names on the public query
   /// endpoint cannot grow the controller's map without bound.
-  void ReleaseAndForget(const std::string& tenant);
+  void ReleaseAndForget(const std::string& tenant, int count = 1);
 
   /// \brief Advisory seconds until a retry can plausibly succeed: the time
   /// until the bucket holds a full token, floored at 1s while the tenant

@@ -37,6 +37,7 @@ std::string ServiceStats::ToString() const {
   return Format(
       "submitted %llu, completed %llu, failed %llu, rejected %llu, "
       "overloaded %llu, tenant-limited %llu | "
+      "workloads: %llu batches (%llu fresh / %llu cached / %llu failed) | "
       "cache: %llu hits / %llu misses (%.1f%% hit rate), eps saved %.4g | "
       "plans: %llu hits / %llu misses, %llu invalidated",
       static_cast<unsigned long long>(submitted),
@@ -45,6 +46,10 @@ std::string ServiceStats::ToString() const {
       static_cast<unsigned long long>(rejected_budget),
       static_cast<unsigned long long>(rejected_overload),
       static_cast<unsigned long long>(rejected_tenant_limited),
+      static_cast<unsigned long long>(workload_batches),
+      static_cast<unsigned long long>(workload_queries_fresh),
+      static_cast<unsigned long long>(workload_queries_cached),
+      static_cast<unsigned long long>(workload_queries_failed),
       static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.misses), 100.0 * cache.HitRate(),
       cache.epsilon_saved, static_cast<unsigned long long>(plan_cache.hits),
@@ -78,7 +83,25 @@ QueryService::QueryService(const storage::Catalog* catalog, ServiceOptions optio
           {{"reason", "overload"}})),
       rejected_tenant_limited_(metrics_->GetCounter(
           "dpstarj_queries_rejected_total", "Queries refused at admission, by kind",
-          {{"reason", "tenant_limited"}})) {}
+          {{"reason", "tenant_limited"}})),
+      workload_batches_(metrics_->GetCounter(
+          "dpstarj_workload_batches_total",
+          "Workload batches that reached a pool worker")),
+      workload_fresh_(metrics_->GetCounter(
+          "dpstarj_workload_queries_total",
+          "Workload queries by outcome", {{"outcome", "fresh"}})),
+      workload_cached_(metrics_->GetCounter(
+          "dpstarj_workload_queries_total",
+          "Workload queries by outcome", {{"outcome", "cached"}})),
+      workload_failed_(metrics_->GetCounter(
+          "dpstarj_workload_queries_total",
+          "Workload queries by outcome", {{"outcome", "failed"}})),
+      workload_cache_skips_(metrics_->GetCounter(
+          "dpstarj_workload_cache_skips_total",
+          "Cache-hit queries excluded from a workload's shared scan")),
+      workload_batch_size_(metrics_->GetHistogram(
+          "dpstarj_workload_batch_size", "Queries per workload batch", {},
+          obs::Histogram::ExponentialBuckets(1.0, 2.0, 9))) {}
 
 QueryService::~QueryService() { Shutdown(); }
 
@@ -280,6 +303,178 @@ Result<exec::QueryResult> QueryService::Execute(core::DpStarJoin& engine,
   return std::move(*answer);
 }
 
+std::future<Result<WorkloadOutcome>> QueryService::SubmitWorkload(
+    const std::vector<WorkloadQuerySpec>& queries, const std::string& tenant,
+    obs::Trace* trace) {
+  auto failed = [](Status status) {
+    std::promise<Result<WorkloadOutcome>> promise;
+    std::future<Result<WorkloadOutcome>> future = promise.get_future();
+    promise.set_value(std::move(status));
+    return future;
+  };
+  if (queries.empty()) {
+    return failed(
+        Status::InvalidArgument("workload must contain at least one query"));
+  }
+  double total_epsilon = 0.0;
+  for (const auto& q : queries) {
+    if (!std::isfinite(q.epsilon) || q.epsilon <= 0.0) {
+      return failed(Status::InvalidArgument(
+          "every workload epsilon must be positive and finite"));
+    }
+    total_epsilon += q.epsilon;
+  }
+  const int n = static_cast<int>(queries.size());
+  // Fair admission debits the tenant's bucket by the batch's query count in
+  // one all-or-nothing decision — a workload is N queries of capacity, not
+  // one. A batch larger than the tenant's burst or in-flight cap is never
+  // admissible; docs/operations.md covers sizing.
+  AdmissionDecision fair = [&] {
+    obs::ScopedStage admission_span(trace, obs::Stage::kAdmission);
+    return admission_.TryAdmit(tenant, n);
+  }();
+  if (!fair.status.ok()) {
+    rejected_tenant_limited_->Inc(static_cast<uint64_t>(n));
+    return failed(std::move(fair.status));
+  }
+  // One ledger decision sized to the batch's total ε. Unlike the single-query
+  // path there is no cache-probe dance for an exhausted tenant: the batch is
+  // refused whole, and callers wanting free replays route the individual
+  // queries through Submit (whose probe path stays).
+  Status admit = [&] {
+    obs::ScopedStage spend_span(trace, obs::Stage::kLedgerSpend);
+    return ledger_.Spend(tenant, total_epsilon);
+  }();
+  if (!admit.ok()) {
+    if (admit.code() == StatusCode::kNotFound) {
+      admission_.ReleaseAndForget(tenant, n);
+    } else {
+      admission_.Release(tenant, n);
+    }
+    rejected_budget_->Inc(static_cast<uint64_t>(n));
+    return failed(std::move(admit));
+  }
+  // The pool's Job protocol returns Result<QueryResult>; the batch outcome
+  // travels through this promise instead, set as the job's last action. The
+  // pool resolves every accepted job (Shutdown drains the queue), so the
+  // future always becomes ready.
+  auto promise = std::make_shared<std::promise<Result<WorkloadOutcome>>>();
+  std::future<Result<WorkloadOutcome>> future = promise->get_future();
+  const auto enqueued = std::chrono::steady_clock::now();
+  auto dispatched = pool_.TryDispatch(
+      [this, queries, tenant, trace, enqueued,
+       promise](core::DpStarJoin& engine) -> Result<exec::QueryResult> {
+        if (trace != nullptr) {
+          trace->Record(
+              obs::Stage::kQueueWait,
+              static_cast<uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - enqueued)
+                      .count()));
+        }
+        struct SlotGuard {
+          AdmissionController& admission;
+          const std::string& tenant;
+          int count;
+          ~SlotGuard() { admission.Release(tenant, count); }
+        } guard{admission_, tenant, static_cast<int>(queries.size())};
+        promise->set_value(ExecuteWorkload(engine, queries, tenant, trace));
+        return exec::QueryResult{};
+      },
+      tenant);
+  if (!dispatched.ok()) {
+    // Queue full or pool shut down: the job will never run, so the whole
+    // batch's ε and in-flight slots flow back.
+    (void)ledger_.Refund(tenant, total_epsilon);
+    admission_.Release(tenant, n);
+    if (dispatched.status().code() == StatusCode::kUnavailable) {
+      rejected_overload_->Inc();
+    } else {
+      failed_->Inc(static_cast<uint64_t>(n));
+    }
+    return failed(dispatched.status());
+  }
+  return future;
+}
+
+Result<WorkloadOutcome> QueryService::ExecuteWorkload(
+    core::DpStarJoin& engine, const std::vector<WorkloadQuerySpec>& queries,
+    const std::string& tenant, obs::Trace* trace) {
+  submitted_->Inc(static_cast<uint64_t>(queries.size()));
+  workload_batches_->Inc();
+  workload_batch_size_->Observe(static_cast<double>(queries.size()));
+
+  WorkloadOutcome outcome;
+  outcome.queries.resize(queries.size());
+
+  // Bind every query first; a bind failure refunds that query's ε only — the
+  // rest of the batch still answers.
+  std::vector<std::optional<query::BoundQuery>> bound(queries.size());
+  {
+    obs::ScopedStage bind_span(trace, obs::Stage::kBind);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto b = engine.binder().BindSql(queries[i].sql);
+      if (!b.ok()) {
+        (void)ledger_.Refund(tenant, queries[i].epsilon);
+        failed_->Inc();
+        workload_failed_->Inc();
+        outcome.queries[i].status = b.status();
+        continue;
+      }
+      bound[i] = std::move(*b);
+    }
+  }
+
+  // Answer-cache pre-pass: cache-hit queries are excluded from the shared
+  // scan and replayed at zero ε (their share of the spend flows back) — the
+  // scan only carries queries that genuinely need a fresh draw.
+  std::vector<std::string> keys(queries.size());
+  std::vector<size_t> miss;  // indices that still need a fresh draw
+  miss.reserve(queries.size());
+  {
+    obs::ScopedStage lookup_span(trace, obs::Stage::kCacheLookup);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (!bound[i].has_value()) continue;
+      keys[i] = query::CanonicalKey(*bound[i], queries[i].epsilon);
+      auto replay = cache_.Lookup(keys[i], queries[i].epsilon);
+      if (replay) {
+        if (trace != nullptr) trace->answer_cache_hit = true;
+        (void)ledger_.Refund(tenant, queries[i].epsilon);
+        completed_->Inc();
+        workload_cached_->Inc();
+        workload_cache_skips_->Inc();
+        outcome.queries[i].result = std::move(*replay);
+        outcome.queries[i].cached = true;
+        continue;
+      }
+      miss.push_back(i);
+    }
+  }
+
+  if (!miss.empty()) {
+    std::vector<core::BatchQueryRef> batch;
+    batch.reserve(miss.size());
+    for (size_t i : miss) batch.push_back({&*bound[i], queries[i].epsilon});
+    std::vector<Result<exec::QueryResult>> results =
+        engine.AnswerBoundBatch(batch, engine.rng(), trace, &outcome.exec);
+    for (size_t k = 0; k < miss.size(); ++k) {
+      const size_t i = miss[k];
+      if (!results[k].ok()) {
+        (void)ledger_.Refund(tenant, queries[i].epsilon);
+        failed_->Inc();
+        workload_failed_->Inc();
+        outcome.queries[i].status = results[k].status();
+        continue;
+      }
+      cache_.Insert(keys[i], *results[k]);
+      completed_->Inc();
+      workload_fresh_->Inc();
+      outcome.queries[i].result = std::move(*results[k]);
+    }
+  }
+  return outcome;
+}
+
 Result<exec::QueryResult> QueryService::Answer(const std::string& sql, double epsilon,
                                                const std::string& tenant) {
   return Submit(sql, epsilon, tenant).get();
@@ -299,6 +494,11 @@ ServiceStats QueryService::Stats() const {
   stats.rejected_tenant_limited = rejected_tenant_limited_->Value();
   stats.tenant_rate_limited = admission_.total_rate_limited();
   stats.tenant_capped = admission_.total_capped();
+  stats.workload_batches = workload_batches_->Value();
+  stats.workload_queries_fresh = workload_fresh_->Value();
+  stats.workload_queries_cached = workload_cached_->Value();
+  stats.workload_queries_failed = workload_failed_->Value();
+  stats.workload_cache_skips = workload_cache_skips_->Value();
   stats.cache = cache_.GetStats();
   stats.plan_cache = plan_cache_->GetStats();
   return stats;

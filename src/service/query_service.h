@@ -29,6 +29,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "core/dp_star_join.h"
@@ -104,11 +105,46 @@ struct ServiceStats {
   uint64_t rejected_tenant_limited = 0;
   uint64_t tenant_rate_limited = 0;  ///< ...of which: drained token bucket
   uint64_t tenant_capped = 0;        ///< ...of which: in-flight cap
+  /// Workload batches that reached a pool worker (one per SubmitWorkload
+  /// that dispatched; its queries also count into `submitted`).
+  uint64_t workload_batches = 0;
+  uint64_t workload_queries_fresh = 0;   ///< answered by the shared scan
+  uint64_t workload_queries_cached = 0;  ///< replayed from the answer cache
+  uint64_t workload_queries_failed = 0;  ///< per-query failures (ε refunded)
+  /// Cache-hit queries excluded from the shared scan before batch formation
+  /// (same value as workload_queries_cached; kept as its own series so the
+  /// pre-pass satellite is directly observable).
+  uint64_t workload_cache_skips = 0;
   AnswerCache::Stats cache;       ///< hit/miss/ε-saved accounting
   exec::PlanCache::Stats plan_cache;  ///< compiled-plan reuse accounting
 
   /// Human-readable one-stop summary.
   std::string ToString() const;
+};
+
+/// \brief One query of a workload batch submission.
+struct WorkloadQuerySpec {
+  std::string sql;
+  double epsilon = 0.0;
+};
+
+/// \brief Outcome of one workload query. `status` is OK when `result` holds
+/// the (noisy) answer; otherwise it carries that query's failure and the
+/// query's ε was refunded. `cached` marks answers replayed from the answer
+/// cache (also ε-refunded — replay is free under DP).
+struct WorkloadQueryOutcome {
+  Status status = Status::OK();
+  exec::QueryResult result;
+  bool cached = false;
+};
+
+/// \brief Result of one SubmitWorkload batch: per-query outcomes in
+/// submission order, plus the shared-scan CSE receipts (exec.scans is the
+/// number of fact sweeps the whole batch cost; exec.queries how many rode
+/// them).
+struct WorkloadOutcome {
+  std::vector<WorkloadQueryOutcome> queries;
+  exec::WorkloadExecStats exec;
 };
 
 /// \brief Thread-safe multi-tenant DP query service.
@@ -170,6 +206,23 @@ class QueryService {
                                                    const std::string& tenant,
                                                    obs::Trace* trace = nullptr);
 
+  /// \brief Submits a whole workload batch for one tenant: one fair-admission
+  /// decision debiting `queries.size()` tokens/slots, one ledger spend sized
+  /// to the batch's total ε, one pool job that answers every query with a
+  /// single shared fact sweep (cross-query predicate CSE, see
+  /// exec/workload_plan.h). Cache-hit queries are peeled off before the scan
+  /// and replayed at zero ε; per-query failures refund that query's ε and
+  /// surface in its WorkloadQueryOutcome without failing the batch.
+  ///
+  /// The whole batch is refused (batch-level error in the future) only
+  /// before any query runs: invalid arguments, tenant rate limit /
+  /// in-flight cap, insufficient total budget, or a full work queue
+  /// (non-blocking dispatch, like TrySubmit). The trace, if non-null, must
+  /// stay alive until the future resolves.
+  std::future<Result<WorkloadOutcome>> SubmitWorkload(
+      const std::vector<WorkloadQuerySpec>& queries, const std::string& tenant,
+      obs::Trace* trace = nullptr);
+
   /// Synchronous convenience wrapper: Submit + get.
   Result<exec::QueryResult> Answer(const std::string& sql, double epsilon,
                                    const std::string& tenant);
@@ -213,6 +266,13 @@ class QueryService {
                                     double epsilon, const std::string& tenant,
                                     obs::Trace* trace);
 
+  /// Runs on a pool worker: bind every query, peel cache hits, answer the
+  /// rest through the engine's shared-scan batch path, refunding each failed
+  /// or replayed query's ε individually.
+  Result<WorkloadOutcome> ExecuteWorkload(
+      core::DpStarJoin& engine, const std::vector<WorkloadQuerySpec>& queries,
+      const std::string& tenant, obs::Trace* trace);
+
   /// Wraps a synchronously-known failure in a ready future.
   static std::future<Result<exec::QueryResult>> FailedFuture(Status status);
 
@@ -233,6 +293,12 @@ class QueryService {
   obs::Counter* rejected_budget_;
   obs::Counter* rejected_overload_;
   obs::Counter* rejected_tenant_limited_;
+  obs::Counter* workload_batches_;
+  obs::Counter* workload_fresh_;
+  obs::Counter* workload_cached_;
+  obs::Counter* workload_failed_;
+  obs::Counter* workload_cache_skips_;
+  obs::Histogram* workload_batch_size_;
 };
 
 }  // namespace dpstarj::service

@@ -170,6 +170,80 @@ TEST(AdmissionControllerTest, InFlightCapRefusesUntilRelease) {
   EXPECT_EQ(fx.controller.TenantStats("t").capped, 1u);
 }
 
+// A workload batch debits its full query count in one all-or-nothing
+// decision — tokens, in-flight slots and the admitted counter all move by k,
+// and a refused batch consumes nothing.
+TEST(AdmissionControllerTest, BatchAdmissionDebitsQueryCount) {
+  TenantLimits limits;
+  limits.rate_qps = 2.0;
+  limits.burst = 4.0;
+  FakeClockController fx(limits);
+
+  // 3 of the 4 burst tokens go in one decision.
+  ASSERT_TRUE(fx.controller.TryAdmit("t", 3).status.ok());
+  EXPECT_EQ(fx.controller.TenantStats("t").in_flight, 3);
+  EXPECT_EQ(fx.controller.TenantStats("t").admitted, 3u);
+
+  // A 2-query batch needs 2 whole tokens; only 1 remains. Retry-After spans
+  // the full shortfall: (2 - 1) / 2 per sec = 0.5s.
+  auto denied = fx.controller.TryAdmit("t", 2);
+  ASSERT_FALSE(denied.status.ok());
+  ASSERT_TRUE(denied.denial.has_value());
+  EXPECT_EQ(*denied.denial, AdmissionDenial::kRateLimited);
+  EXPECT_DOUBLE_EQ(denied.retry_after_seconds, 0.5);
+  // The refusal consumed nothing: a single query still fits.
+  ASSERT_TRUE(fx.controller.TryAdmit("t", 1).status.ok());
+
+  // Release returns the batch's worth of slots in one call.
+  fx.controller.Release("t", 3);
+  fx.controller.Release("t");
+  EXPECT_EQ(fx.controller.TenantStats("t").in_flight, 0);
+  EXPECT_EQ(fx.controller.TenantStats("t").rate_limited, 1u);
+
+  // The in-flight cap is checked against the whole batch too: with cap 4 and
+  // 3 in flight, a 2-query batch is capped while a single query passes.
+  TenantLimits capped;
+  capped.max_in_flight = 4;
+  FakeClockController fy(capped);
+  ASSERT_TRUE(fy.controller.TryAdmit("t", 3).status.ok());
+  auto over = fy.controller.TryAdmit("t", 2);
+  ASSERT_FALSE(over.status.ok());
+  ASSERT_TRUE(over.denial.has_value());
+  EXPECT_EQ(*over.denial, AdmissionDenial::kInFlightCap);
+  ASSERT_TRUE(fy.controller.TryAdmit("t", 1).status.ok());
+  // A batch larger than the cap can never be admitted, even idle.
+  fy.controller.Release("t", 4);
+  EXPECT_FALSE(fy.controller.TryAdmit("t", 5).status.ok());
+}
+
+// SubmitWorkload debits the tenant's bucket by the batch's query count, not
+// by one — a workload must not be a rate-limit bypass.
+TEST(QueryServiceAdmissionTest, WorkloadBatchDebitsTokenBucketByQueryCount) {
+  auto catalog = testing_fixture::MakeToyCatalog();
+  ServiceOptions opts;
+  opts.num_engines = 1;
+  double now = 0.0;
+  opts.admission.defaults.rate_qps = 1.0;
+  opts.admission.defaults.burst = 4.0;
+  opts.admission.clock = [&now] { return now; };
+  QueryService svc(&catalog, opts);
+  ASSERT_TRUE(svc.RegisterTenant("t", 100.0).ok());
+
+  // A 3-query batch leaves 1 of the 4 burst tokens.
+  auto batch = svc.SubmitWorkload(
+      {{kToySql, 0.1}, {kToySql, 0.2}, {kToySql, 0.3}}, "t");
+  ASSERT_TRUE(batch.get().ok());
+  ASSERT_TRUE(svc.Answer(kToySql, 0.4, "t").ok());  // the last token
+  auto limited = svc.SubmitWorkload({{kToySql, 0.1}, {kToySql, 0.1}}, "t");
+  auto refused = limited.get();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kRateLimited);
+  // The refused batch's two queries count as tenant-limited rejections, and
+  // its ε was never touched.
+  EXPECT_EQ(svc.Stats().rejected_tenant_limited, 2u);
+  EXPECT_EQ(svc.admission().TenantStats("t").in_flight, 0);
+}
+
 TEST(AdmissionControllerTest, PerTenantOverridesReplaceDefaults) {
   TenantLimits defaults;
   defaults.rate_qps = 1.0;

@@ -384,6 +384,113 @@ TEST_F(NetServerTest, ProtocolErrorsOverTheWire) {
   server.Stop();
 }
 
+// POST /v1/workload end to end: a mixed batch (fresh, cache-replayed and
+// failing queries) is answered in one round trip with per-query outcomes,
+// the shared-scan CSE receipts and stage timings — and an underfunded batch
+// is refused whole with /v1/query's status mapping.
+TEST_F(NetServerTest, WorkloadBatchOverTheWire) {
+  service::ServiceOptions service_options;
+  service_options.num_engines = 1;
+  service::QueryService service(&catalog_, service_options);
+  HttpServer server(MakeServiceRouter(&service), {});
+  ASSERT_TRUE(server.Start().ok());
+  Client client("127.0.0.1", server.port());
+
+  ASSERT_EQ(client.Post("/v1/tenants", "{\"tenant\":\"w\",\"epsilon\":1}")
+                ->status,
+            201);
+  // Warm the answer cache so the batch demonstrably replays one entry.
+  ASSERT_EQ(
+      client.Post("/v1/query", QueryBody(DistinctToyQuery(0), 0.1, "w"))->status,
+      200);
+
+  auto MakeBatch = [](std::initializer_list<std::pair<std::string, double>>
+                          queries) {
+    Json body = Json::Object();
+    body.Set("tenant", Json::Str("w"));
+    Json arr = Json::Array();
+    for (const auto& [sql, eps] : queries) {
+      Json q = Json::Object();
+      q.Set("sql", Json::Str(sql));
+      q.Set("epsilon", Json::Number(eps));
+      arr.Append(std::move(q));
+    }
+    body.Set("queries", std::move(arr));
+    return body.Dump();
+  };
+
+  auto r = client.Post("/v1/workload",
+                       MakeBatch({{DistinctToyQuery(0), 0.1},
+                                  {DistinctToyQuery(1), 0.2},
+                                  {"SELECT nope", 0.1}}));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->status, 200) << r->body;
+  auto body = Client::ParseBody(*r);
+  ASSERT_TRUE(body.ok());
+
+  const Json* queries = body->Find("queries");
+  ASSERT_NE(queries, nullptr);
+  ASSERT_EQ(queries->items().size(), 3u);
+  const Json& cached = queries->items()[0];
+  EXPECT_TRUE(cached.Find("ok")->AsBool());
+  EXPECT_TRUE(cached.Find("cached")->AsBool());
+  EXPECT_NE(cached.Find("scalar"), nullptr);
+  const Json& fresh = queries->items()[1];
+  EXPECT_TRUE(fresh.Find("ok")->AsBool());
+  EXPECT_FALSE(fresh.Find("cached")->AsBool());
+  EXPECT_NE(fresh.Find("scalar"), nullptr);
+  const Json& failed = queries->items()[2];
+  EXPECT_FALSE(failed.Find("ok")->AsBool());
+  ASSERT_NE(failed.Find("error"), nullptr);
+
+  // The CSE receipts: one shared sweep answered the one fresh query.
+  const Json* exec = body->Find("exec");
+  ASSERT_NE(exec, nullptr);
+  EXPECT_DOUBLE_EQ(*exec->GetNumber("queries"), 1.0);
+  EXPECT_DOUBLE_EQ(*exec->GetNumber("scans"), 1.0);
+  const Json* stages = body->Find("stage_us");
+  ASSERT_NE(stages, nullptr);
+  EXPECT_NE(stages->Find("scan"), nullptr);  // the one shared sweep
+
+  // ε accounting: warm 0.1 + fresh 0.2; the replay and the failure flowed
+  // back. The refused batch below must not move the account either.
+  auto account = Client::ParseBody(*client.Get("/v1/tenants/w"));
+  ASSERT_TRUE(account.ok());
+  EXPECT_NEAR(*account->GetNumber("spent"), 0.3, 1e-9);
+
+  // Underfunded batch (0.5 + 0.4 > 0.7 remaining): refused whole, 403, no
+  // partial spend.
+  auto refused = client.Post("/v1/workload",
+                             MakeBatch({{DistinctToyQuery(2), 0.5},
+                                        {DistinctToyQuery(3), 0.4}}));
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(refused->status, 403) << refused->body;
+  auto err = Client::ParseBody(*refused);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->Find("error")->GetString("code").ValueOrDie(),
+            "BudgetExhausted");
+  account = Client::ParseBody(*client.Get("/v1/tenants/w"));
+  ASSERT_TRUE(account.ok());
+  EXPECT_NEAR(*account->GetNumber("spent"), 0.3, 1e-9);
+
+  // Malformed batches are 400s before admission.
+  EXPECT_EQ(client.Post("/v1/workload", "{\"tenant\":\"w\"}")->status, 400);
+  EXPECT_EQ(client.Post("/v1/workload",
+                        "{\"tenant\":\"w\",\"queries\":[]}")
+                ->status,
+            400);
+
+  // The workload counters surface in /v1/stats.
+  auto stats = Client::ParseBody(*client.Get("/v1/stats"));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(*stats->GetNumber("workload_batches"), 1.0);
+  EXPECT_DOUBLE_EQ(*stats->GetNumber("workload_queries_fresh"), 1.0);
+  EXPECT_DOUBLE_EQ(*stats->GetNumber("workload_queries_cached"), 1.0);
+  EXPECT_DOUBLE_EQ(*stats->GetNumber("workload_queries_failed"), 1.0);
+  EXPECT_DOUBLE_EQ(*stats->GetNumber("workload_cache_skips"), 1.0);
+  server.Stop();
+}
+
 TEST_F(NetServerTest, GracefulStopDrainsAndRefusesNewConnections) {
   service::ServiceOptions service_options;
   service_options.num_engines = 1;

@@ -1,0 +1,426 @@
+// Tests for the workload-level shared-scan compiler (exec/workload_plan.h)
+// and the layers above it: batched execution is bit-identical to one-at-a-time
+// warm execution on the paper's SSB counting queries under randomized
+// predicate overrides, the predicate CSE actually dedupes bitmap builds (the
+// stats receipts prove it), multithreaded batch execution is deterministic
+// across thread counts and repetitions, PredicateMechanism::AnswerBatch
+// consumes the RNG exactly like sequential Answer calls, and the service's
+// SubmitWorkload handles cache skips, partial failure and budget refunds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/predicate_mechanism.h"
+#include "exec/plan_cache.h"
+#include "exec/scan_plan.h"
+#include "exec/star_join_executor.h"
+#include "exec/workload_plan.h"
+#include "query/binder.h"
+#include "service/query_service.h"
+#include "ssb/ssb_generator.h"
+#include "ssb/ssb_queries.h"
+#include "test_catalog.h"
+
+namespace dpstarj {
+namespace {
+
+using exec::ExecutorOptions;
+using exec::QueryResult;
+using exec::StarJoinExecutor;
+using exec::WorkloadItem;
+using exec::WorkloadPlan;
+
+void ExpectBitIdentical(const QueryResult& expected, const QueryResult& got,
+                        const std::string& what) {
+  EXPECT_EQ(expected.grouped, got.grouped) << what;
+  EXPECT_EQ(expected.scalar, got.scalar) << what;
+  ASSERT_EQ(expected.groups.size(), got.groups.size()) << what;
+  auto it = got.groups.begin();
+  for (const auto& [label, value] : expected.groups) {
+    EXPECT_EQ(label, it->first) << what;
+    EXPECT_EQ(value, it->second) << what << " group " << label;
+    ++it;
+  }
+}
+
+// For double-SUM aggregates the single-query path (run-sorted sweep) and the
+// batch path (probe-order accumulation) add the same terms in different
+// orders, so only near-equality at double precision can be promised.
+void ExpectNearIdentical(const QueryResult& expected, const QueryResult& got,
+                         const std::string& what) {
+  EXPECT_EQ(expected.grouped, got.grouped) << what;
+  EXPECT_NEAR(expected.scalar, got.scalar,
+              1e-9 * (1.0 + std::abs(expected.scalar)))
+      << what;
+  ASSERT_EQ(expected.groups.size(), got.groups.size()) << what;
+  auto it = got.groups.begin();
+  for (const auto& [label, value] : expected.groups) {
+    EXPECT_EQ(label, it->first) << what;
+    EXPECT_NEAR(value, it->second, 1e-9 * (1.0 + std::abs(value)))
+        << what << " group " << label;
+    ++it;
+  }
+}
+
+int64_t RandInt(std::mt19937& rng, int64_t lo, int64_t hi) {
+  return std::uniform_int_distribution<int64_t>(lo, hi)(rng);
+}
+
+// Random per-dimension predicate replacements in domain-index space — the
+// shape the Predicate Mechanism feeds every noisy run.
+exec::PredicateOverrides MakeRandomOverrides(std::mt19937& rng,
+                                             const query::BoundQuery& bound) {
+  exec::PredicateOverrides overrides(bound.dims.size());
+  for (size_t i = 0; i < bound.dims.size(); ++i) {
+    if (bound.dims[i].predicates.empty()) continue;
+    std::vector<query::BoundPredicate> noisy = bound.dims[i].predicates;
+    for (auto& p : noisy) {
+      int64_t m = p.domain.size();
+      p.lo_index = RandInt(rng, 0, m - 1);
+      p.hi_index = RandInt(rng, p.lo_index, m - 1);
+      p.kind = p.lo_index == p.hi_index ? query::PredicateKind::kPoint
+                                        : query::PredicateKind::kRange;
+    }
+    overrides[i] = std::move(noisy);
+  }
+  return overrides;
+}
+
+// ------------------------------------------ SSB batch ≡ sequential warm ----
+
+// The paper's SSB queries (scalar counts Qc1–Qc4 and grouped sums Qg2/Qg4),
+// answered two ways under the same randomized overrides: one at a time
+// through the warm cached-plan path, and all together through one shared
+// scan. Counting aggregates are exact, so they must match bit-for-bit at
+// every thread count; the double-SUM queries must agree to within summation-
+// reordering rounding (the two paths visit matching rows in different
+// orders).
+TEST(WorkloadPlanTest, SsbBatchMatchesSequentialWarmExecutionBitForBit) {
+  ssb::SsbOptions gen;
+  gen.scale_factor = 0.002;
+  auto catalog = ssb::GenerateSsb(gen);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  query::Binder binder(&*catalog);
+
+  std::vector<query::BoundQuery> bound;
+  std::vector<std::shared_ptr<const exec::ScanPlan>> plans;
+  for (const char* name : {"Qc1", "Qc2", "Qc3", "Qc4", "Qg2", "Qg4"}) {
+    auto q = ssb::GetQuery(name);
+    ASSERT_TRUE(q.ok()) << name;
+    auto b = binder.Bind(*q);
+    ASSERT_TRUE(b.ok()) << name << ": " << b.status().ToString();
+    auto plan = exec::ScanPlan::Compile(*b);
+    ASSERT_TRUE(plan.ok()) << name << ": " << plan.status().ToString();
+    ASSERT_FALSE(plan->requires_scalar()) << name;
+    bound.push_back(std::move(*b));
+    plans.push_back(std::make_shared<exec::ScanPlan>(std::move(*plan)));
+  }
+
+  for (uint32_t seed = 1; seed <= 5; ++seed) {
+    std::mt19937 rng(seed);
+    std::vector<exec::PredicateOverrides> overrides;
+    overrides.reserve(bound.size());
+    for (const auto& b : bound) overrides.push_back(MakeRandomOverrides(rng, b));
+
+    std::vector<WorkloadItem> items;
+    for (size_t i = 0; i < bound.size(); ++i) {
+      WorkloadItem item;
+      item.query = &bound[i];
+      item.overrides = &overrides[i];
+      item.plan = plans[i];
+      items.push_back(std::move(item));
+    }
+    auto wplan = WorkloadPlan::Compile(std::move(items));
+    ASSERT_TRUE(wplan.ok()) << wplan.status().ToString();
+    // One fact table, six queries, one sweep.
+    EXPECT_EQ(wplan->stats().queries, 6);
+    EXPECT_EQ(wplan->stats().scans, 1);
+
+    for (int threads : {1, 4}) {
+      ExecutorOptions options;
+      options.exec_threads = threads;
+      options.morsel_size = 257;  // dozens of morsels: real partial merging
+      StarJoinExecutor executor(options);
+      auto batched = wplan->Execute(options);
+      ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+      ASSERT_EQ(batched->size(), bound.size());
+      for (size_t i = 0; i < bound.size(); ++i) {
+        auto sequential = executor.Execute(bound[i], overrides[i], *plans[i]);
+        ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+        const std::string what = "seed " + std::to_string(seed) + " query " +
+                                 std::to_string(i) + " threads " +
+                                 std::to_string(threads);
+        if (i < 4) {  // Qc1–Qc4: exact counts
+          ExpectBitIdentical(*sequential, (*batched)[i], what);
+        } else {  // Qg2/Qg4: double sums
+          ExpectNearIdentical(*sequential, (*batched)[i], what);
+        }
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- predicate CSE ----
+
+// Three queries over the toy schema: two share BOTH predicate lists verbatim,
+// the third shares the customer predicate and joins Prod without filtering
+// it. The compiler must build one bitmap per distinct (slot, predicate-list)
+// node — 3 nodes for 6 references — and gather each dimension's FK column
+// once (2 slots).
+TEST(WorkloadPlanTest, CseDedupesIdenticalPredicateNodes) {
+  auto catalog = testing_fixture::MakeToyCatalog();
+  query::Binder binder(&catalog);
+
+  query::StarJoinQuery a = testing_fixture::ToyCountQuery();
+  query::StarJoinQuery b = testing_fixture::ToyCountQuery();  // A's twin
+  query::StarJoinQuery c = testing_fixture::ToyCountQuery();
+  c.predicates.pop_back();  // keep region='N', drop the Prod filter
+
+  std::vector<query::BoundQuery> bound;
+  std::vector<std::shared_ptr<const exec::ScanPlan>> plans;
+  for (const auto& q : {a, b, c}) {
+    auto bq = binder.Bind(q);
+    ASSERT_TRUE(bq.ok()) << bq.status().ToString();
+    auto plan = exec::ScanPlan::Compile(*bq);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    bound.push_back(std::move(*bq));
+    plans.push_back(std::make_shared<exec::ScanPlan>(std::move(*plan)));
+  }
+
+  std::vector<WorkloadItem> items;
+  for (size_t i = 0; i < bound.size(); ++i) {
+    WorkloadItem item;
+    item.query = &bound[i];
+    item.plan = plans[i];
+    items.push_back(std::move(item));
+  }
+  auto wplan = WorkloadPlan::Compile(std::move(items));
+  ASSERT_TRUE(wplan.ok()) << wplan.status().ToString();
+
+  const exec::WorkloadExecStats& stats = wplan->stats();
+  EXPECT_EQ(stats.queries, 3);
+  EXPECT_EQ(stats.scans, 1);
+  EXPECT_EQ(stats.predicate_refs, 6);   // 3 queries × 2 dims
+  EXPECT_EQ(stats.predicate_nodes, 3);  // Cust[N], Prod[a], Prod[join-only]
+  EXPECT_EQ(stats.shared_dim_slots, 2);
+
+  // The deduped plan still answers correctly: region-N ∧ cat-a twice (= 2 on
+  // the fixture), region-N unfiltered once (= 4 orders by ck ∈ {1,2}).
+  auto results = wplan->Execute(ExecutorOptions{});
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 3u);
+  EXPECT_EQ((*results)[0].scalar, 2.0);
+  EXPECT_EQ((*results)[1].scalar, 2.0);
+  EXPECT_EQ((*results)[2].scalar, 4.0);
+}
+
+// ------------------------------------------------ determinism / threads ----
+
+// The merged result must not depend on the worker count or on which worker
+// claimed which morsel: repeated executions at 1 and 4 threads all agree
+// bit-for-bit. (Run under TSan, this is also the batch path's race check.)
+TEST(WorkloadPlanTest, BatchExecutionIsDeterministicAcrossThreadCounts) {
+  ssb::SsbOptions gen;
+  gen.scale_factor = 0.002;
+  auto catalog = ssb::GenerateSsb(gen);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  query::Binder binder(&*catalog);
+
+  std::vector<query::BoundQuery> bound;
+  std::vector<std::shared_ptr<const exec::ScanPlan>> plans;
+  for (const char* name : {"Qc2", "Qg2", "Qg4"}) {
+    auto q = ssb::GetQuery(name);
+    ASSERT_TRUE(q.ok());
+    auto b = binder.Bind(*q);
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    auto plan = exec::ScanPlan::Compile(*b);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    bound.push_back(std::move(*b));
+    plans.push_back(std::make_shared<exec::ScanPlan>(std::move(*plan)));
+  }
+  std::vector<WorkloadItem> items;
+  for (size_t i = 0; i < bound.size(); ++i) {
+    WorkloadItem item;
+    item.query = &bound[i];
+    item.plan = plans[i];
+    items.push_back(std::move(item));
+  }
+  auto wplan = WorkloadPlan::Compile(std::move(items));
+  ASSERT_TRUE(wplan.ok()) << wplan.status().ToString();
+
+  ExecutorOptions reference_options;
+  reference_options.exec_threads = 1;
+  reference_options.morsel_size = 257;
+  auto reference = wplan->Execute(reference_options);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  for (int threads : {1, 4}) {
+    for (int rep = 0; rep < 3; ++rep) {
+      ExecutorOptions options;
+      options.exec_threads = threads;
+      options.morsel_size = 257;
+      auto got = wplan->Execute(options);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_EQ(got->size(), reference->size());
+      for (size_t i = 0; i < reference->size(); ++i) {
+        ExpectBitIdentical((*reference)[i], (*got)[i],
+                           "threads " + std::to_string(threads) + " rep " +
+                               std::to_string(rep) + " query " +
+                               std::to_string(i));
+      }
+    }
+  }
+}
+
+// ------------------------------------------- mechanism RNG equivalence ----
+
+// AnswerBatch perturbs queries in batch order with the same draws sequential
+// Answer calls would make: two mechanisms seeded identically must produce
+// bit-identical answers either way. This is the distribution-equivalence
+// guarantee (batching is post-processing) made concrete for one seed.
+TEST(WorkloadPlanTest, AnswerBatchMatchesSequentialAnswersOnSameSeed) {
+  auto catalog = testing_fixture::MakeToyCatalog();
+  query::Binder binder(&catalog);
+
+  query::StarJoinQuery qa = testing_fixture::ToyCountQuery();
+  query::StarJoinQuery qb = testing_fixture::ToyCountQuery();
+  qb.predicates[0] =
+      query::Predicate::Point("Cust", "region", storage::Value("S"));
+  query::StarJoinQuery qc = testing_fixture::ToyCountQuery();
+  qc.group_by.push_back({"Cust", "region"});
+
+  std::vector<query::BoundQuery> bound;
+  for (const auto& q : {qa, qb, qc}) {
+    auto b = binder.Bind(q);
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    bound.push_back(std::move(*b));
+  }
+  const double eps[3] = {0.8, 1.2, 2.0};
+
+  core::PredicateMechanism mechanism;
+  Rng seq_rng(42);
+  std::vector<QueryResult> sequential;
+  for (size_t i = 0; i < bound.size(); ++i) {
+    auto r = mechanism.Answer(bound[i], eps[i], &seq_rng);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    sequential.push_back(std::move(*r));
+  }
+
+  Rng batch_rng(42);
+  std::vector<core::BatchQueryRef> batch;
+  for (size_t i = 0; i < bound.size(); ++i) batch.push_back({&bound[i], eps[i]});
+  exec::WorkloadExecStats stats;
+  auto results = mechanism.AnswerBatch(batch, &batch_rng, nullptr, &stats);
+  ASSERT_EQ(results.size(), bound.size());
+  for (size_t i = 0; i < bound.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << i << ": " << results[i].status().ToString();
+    ExpectBitIdentical(sequential[i], *results[i],
+                       "query " + std::to_string(i));
+  }
+  // All three rode one shared sweep.
+  EXPECT_EQ(stats.queries, 3);
+  EXPECT_EQ(stats.scans, 1);
+
+  // A null query inside the batch fails alone, without failing the batch.
+  // (Its skipped draw shifts the neighbors' noise relative to the full
+  // batch — only the error isolation is being checked here.)
+  std::vector<core::BatchQueryRef> with_null = batch;
+  with_null[1].query = nullptr;
+  Rng rng3(42);
+  auto partial = mechanism.AnswerBatch(with_null, &rng3);
+  ASSERT_EQ(partial.size(), 3u);
+  EXPECT_TRUE(partial[0].ok());
+  EXPECT_FALSE(partial[1].ok());
+  EXPECT_TRUE(partial[2].ok());
+}
+
+// ----------------------------------------------- service SubmitWorkload ----
+
+const char* kSqlNA =
+    "SELECT count(*) FROM Orders, Cust, Prod "
+    "WHERE Orders.ck = Cust.ck AND Orders.pk = Prod.pk "
+    "AND Cust.region = 'N' AND Prod.cat = 'a'";
+const char* kSqlSB =
+    "SELECT count(*) FROM Orders, Cust, Prod "
+    "WHERE Orders.ck = Cust.ck AND Orders.pk = Prod.pk "
+    "AND Cust.region = 'S' AND Prod.cat = 'b'";
+
+TEST(ServiceWorkloadTest, BatchAnswersWithCacheSkipsAndPartialFailure) {
+  auto catalog = testing_fixture::MakeToyCatalog();
+  service::ServiceOptions opts;
+  opts.num_engines = 1;
+  service::QueryService svc(&catalog, opts);
+  ASSERT_TRUE(svc.RegisterTenant("t", 10.0).ok());
+
+  // Warm the answer cache with one paid single-query answer.
+  auto warm = svc.Answer(kSqlNA, 0.5, "t");
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+  std::vector<service::WorkloadQuerySpec> specs = {
+      {kSqlNA, 0.5},            // cache hit: replayed, ε refunded
+      {kSqlSB, 0.25},           // fresh: rides the shared scan
+      {"SELECT nope", 0.25},    // bind failure: its ε refunded, rest answer
+  };
+  auto outcome = svc.SubmitWorkload(specs, "t").get();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_EQ(outcome->queries.size(), 3u);
+
+  EXPECT_TRUE(outcome->queries[0].status.ok());
+  EXPECT_TRUE(outcome->queries[0].cached);
+  EXPECT_EQ(outcome->queries[0].result.scalar, warm->scalar);
+  EXPECT_TRUE(outcome->queries[1].status.ok());
+  EXPECT_FALSE(outcome->queries[1].cached);
+  EXPECT_FALSE(outcome->queries[2].status.ok());
+
+  // The tenant paid for the warm answer and the one fresh workload query;
+  // the cached replay and the bind failure flowed back.
+  EXPECT_NEAR(*svc.ledger().Spent("t"), 0.75, 1e-12);
+
+  service::ServiceStats stats = svc.Stats();
+  EXPECT_EQ(stats.workload_batches, 1u);
+  EXPECT_EQ(stats.workload_queries_fresh, 1u);
+  EXPECT_EQ(stats.workload_queries_cached, 1u);
+  EXPECT_EQ(stats.workload_queries_failed, 1u);
+  EXPECT_EQ(stats.workload_cache_skips, 1u);
+  // The batch's queries also count into the regular lifecycle series.
+  EXPECT_EQ(stats.submitted, 4u);   // 1 single + 3 batch
+  EXPECT_EQ(stats.completed, 3u);   // warm + cached + fresh
+  EXPECT_EQ(stats.failed, 1u);
+
+  // A second identical batch replays both answers entirely from cache.
+  auto again = svc.SubmitWorkload({{kSqlNA, 0.5}, {kSqlSB, 0.25}}, "t").get();
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->queries[0].cached);
+  EXPECT_TRUE(again->queries[1].cached);
+  EXPECT_NEAR(*svc.ledger().Spent("t"), 0.75, 1e-12);
+  EXPECT_EQ(svc.Stats().workload_cache_skips, 3u);
+}
+
+TEST(ServiceWorkloadTest, UnderfundedBatchIsRefusedWholeWithNoPartialSpend) {
+  auto catalog = testing_fixture::MakeToyCatalog();
+  service::QueryService svc(&catalog, service::ServiceOptions{});
+  ASSERT_TRUE(svc.RegisterTenant("poor", 0.6).ok());
+
+  auto refused =
+      svc.SubmitWorkload({{kSqlNA, 0.5}, {kSqlSB, 0.5}}, "poor").get();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kBudgetExhausted);
+  EXPECT_NEAR(*svc.ledger().Spent("poor"), 0.0, 1e-12);
+  EXPECT_EQ(svc.Stats().workload_batches, 0u);
+  EXPECT_EQ(svc.Stats().rejected_budget, 2u);
+
+  // The in-flight slots flowed back: a fundable batch still goes through.
+  auto ok = svc.SubmitWorkload({{kSqlNA, 0.3}, {kSqlSB, 0.3}}, "poor").get();
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE(ok->queries[0].status.ok());
+  EXPECT_TRUE(ok->queries[1].status.ok());
+}
+
+}  // namespace
+}  // namespace dpstarj

@@ -44,6 +44,11 @@ REQUIRED = [
     "dpstarj_http_connections_total",
     "dpstarj_http_requests_total",
     "dpstarj_queue_depth",
+    "dpstarj_workload_batches_total",
+    "dpstarj_workload_queries_total",
+    "dpstarj_workload_cache_skips_total",
+    "dpstarj_workload_batch_size",
+    "dpstarj_workload_duration_seconds",
 ]
 
 

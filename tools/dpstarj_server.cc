@@ -237,6 +237,39 @@ int RunSelfcheck(const std::string& host, uint16_t port,
       return 1;
     }
   }
+  // One /v1/workload batch: a cache replay of the query above plus two
+  // fresh queries riding a single shared scan. Populates the workload
+  // counters and batch-size/duration histograms before the scrape.
+  net::Json batch = net::Json::Object();
+  batch.Set("tenant", net::Json::Str("smoke"));
+  net::Json batch_queries = net::Json::Array();
+  for (const char* name : {"Qc1", "Qc2", "Qc3"}) {
+    auto batch_sql = ssb::GetQuerySql(name);
+    if (!batch_sql.ok()) {
+      std::fprintf(stderr, "selfcheck: %s\n",
+                   batch_sql.status().ToString().c_str());
+      return 1;
+    }
+    net::Json entry = net::Json::Object();
+    entry.Set("sql", net::Json::Str(*batch_sql));
+    entry.Set("epsilon", net::Json::Number(0.5));
+    batch_queries.Append(std::move(entry));
+  }
+  batch.Set("queries", std::move(batch_queries));
+  auto workload = client.Post("/v1/workload", batch.Dump());
+  if (!workload.ok() || workload->status != 200) {
+    std::fprintf(stderr, "selfcheck: workload failed: %s\n",
+                 workload.ok() ? workload->body.c_str()
+                               : workload.status().ToString().c_str());
+    return 1;
+  }
+  auto workload_body = net::Client::ParseBody(*workload);
+  if (!workload_body.ok() || workload_body->Find("queries") == nullptr ||
+      workload_body->Find("queries")->items().size() != 3 ||
+      workload_body->Find("exec") == nullptr) {
+    std::fprintf(stderr, "selfcheck: malformed workload body\n");
+    return 1;
+  }
   auto metrics = client.Get("/metrics");
   if (!metrics.ok() || metrics->status != 200) {
     std::fprintf(stderr, "selfcheck: /metrics failed\n");
@@ -246,7 +279,9 @@ int RunSelfcheck(const std::string& host, uint16_t port,
        {"dpstarj_queries_submitted_total", "dpstarj_queries_completed_total",
         "dpstarj_query_duration_seconds_bucket",
         "dpstarj_stage_duration_seconds_bucket",
-        "dpstarj_tenant_epsilon_remaining", "dpstarj_http_requests_total"}) {
+        "dpstarj_tenant_epsilon_remaining", "dpstarj_http_requests_total",
+        "dpstarj_workload_batches_total", "dpstarj_workload_batch_size_bucket",
+        "dpstarj_workload_duration_seconds_bucket"}) {
     if (metrics->body.find(needle) == std::string::npos) {
       std::fprintf(stderr, "selfcheck: /metrics missing %s\n", needle);
       return 1;
@@ -276,6 +311,8 @@ int RunSelfcheck(const std::string& host, uint16_t port,
     return 1;
   }
   std::printf("selfcheck: noisy answer %s\n", answer->body.c_str());
+  std::printf("selfcheck: workload exec %s\n",
+              workload_body->Find("exec")->Dump().c_str());
   std::printf("selfcheck: account %s\n", account->body.c_str());
   std::printf("selfcheck: /metrics OK (%zu bytes)\n", metrics->body.size());
   return 0;
