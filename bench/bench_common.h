@@ -15,10 +15,12 @@
 #include "baselines/r2t.h"
 #include "bench_util/experiment.h"
 #include "bench_util/table_printer.h"
+#include "common/cpu.h"
 #include "common/math_util.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "exec/kernels/kernels.h"
 #include "core/predicate_mechanism.h"
 #include "exec/contribution_index.h"
 #include "exec/data_cube.h"
@@ -160,9 +162,12 @@ class QueryBench {
 };
 
 /// \brief Machine-readable bench output: when constructed with a non-empty
-/// path, the destructor writes a JSON array of
-/// `{"bench", "config", "rows_per_sec", "wall_ms"}` records — the format the
-/// perf-trajectory tooling consumes (see BENCH_engine.json).
+/// path, the destructor writes `{"host": {...}, "records": [...]}` — each
+/// record is `{"bench", "config", "rows_per_sec", "wall_ms"}`, and `host`
+/// carries the detected topology (cores, ISA the engine dispatched to, cache
+/// geometry) so runs from different machines are comparable without
+/// hand-written annotations. This is the format tools/check_bench.py and the
+/// checked-in BENCH_*.json baselines use.
 class JsonBenchWriter {
  public:
   /// \brief Extracts `--json <path>` or `--json=<path>` from argv, removing
@@ -203,16 +208,25 @@ class JsonBenchWriter {
       std::fprintf(stderr, "cannot write bench json to '%s'\n", path_.c_str());
       return;
     }
-    std::fprintf(f, "[\n");
+    const CpuInfo& cpu = HostCpu();
+    std::fprintf(f,
+                 "{\n"
+                 "  \"host\": {\"cores\": %d, \"isa\": \"%s\", "
+                 "\"cache_line_bytes\": %d, \"l1d_bytes\": %lld, "
+                 "\"l2_bytes\": %lld},\n"
+                 "  \"records\": [\n",
+                 cpu.cores, exec::kernels::ActiveKernels().name,
+                 cpu.cache_line_bytes, static_cast<long long>(cpu.l1d_bytes),
+                 static_cast<long long>(cpu.l2_bytes));
     for (size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
       std::fprintf(f,
-                   "  {\"bench\": \"%s\", \"config\": \"%s\", "
+                   "    {\"bench\": \"%s\", \"config\": \"%s\", "
                    "\"rows_per_sec\": %.1f, \"wall_ms\": %.3f}%s\n",
                    r.bench.c_str(), r.config.c_str(), r.rows_per_sec, r.wall_ms,
                    i + 1 < records_.size() ? "," : "");
     }
-    std::fprintf(f, "]\n");
+    std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     written_ = true;
   }

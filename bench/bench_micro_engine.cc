@@ -189,8 +189,6 @@ std::vector<ExecConfig> ComparisonConfigs() {
   return configs;
 }
 
-using bench_util::HostScalingNote;
-
 double SharedMinSec() {
   return bench_util::EnvDouble("DPSTARJ_MICRO_MIN_SEC", 0.3);
 }
@@ -276,8 +274,7 @@ void RunEngineComparison(bench::JsonBenchWriter* json) {
                     Format("%.2fx", rows_per_sec / scalar_rows_per_sec)});
       if (json != nullptr) {
         json->Add(std::string("micro_engine/") + qname,
-                  config.name + HostScalingNote(config.options.exec_threads),
-                  rows_per_sec, wall_ms);
+                  config.name, rows_per_sec, wall_ms);
       }
     }
     table.Print();
@@ -567,8 +564,7 @@ void RunCubeComparison(bench::JsonBenchWriter* json) {
                   Format("%.2fx", rows_per_sec / legacy_rows_per_sec)});
     if (json != nullptr) {
       json->Add("micro_engine/cube_build/Qc3",
-                config.name + HostScalingNote(config.threads), rows_per_sec,
-                wall_ms);
+                config.name, rows_per_sec, wall_ms);
     }
   }
   table.Print();

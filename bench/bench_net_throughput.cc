@@ -118,8 +118,6 @@ struct RunResult {
   uint64_t retries_429 = 0;
 };
 
-using bench_util::HostScalingNote;
-
 // Sequentially runs `queries` for one tenant over one connection, returning
 // per-request wall latencies (ms). Retries 429s (they should not happen for
 // the quiet tenant — fair dispatch is exactly what this measures).
@@ -248,7 +246,7 @@ int main(int argc, char** argv) {
                   Format("%.1f", r.qps), Format("%.2fx", r.qps / base_qps),
                   Format("%llu", static_cast<unsigned long long>(r.retries_429))});
     json.Add("net_throughput/miss",
-             Format("conns=%d", conns) + HostScalingNote(conns), r.qps,
+             Format("conns=%d", conns), r.qps,
              r.seconds * 1e3);
   }
   std::printf("cache-miss workload (all queries distinct, over the wire):\n");
@@ -285,7 +283,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.cache.misses),
               100.0 * stats.cache.HitRate(), stats.cache.epsilon_saved);
   json.Add("net_throughput/replay",
-           Format("conns=%d", max_conns) + HostScalingNote(max_conns), r.qps,
+           Format("conns=%d", max_conns), r.qps,
            r.seconds * 1e3);
 
   // Server-side latency quantiles for the replay workload, straight from the
@@ -355,13 +353,10 @@ int main(int argc, char** argv) {
                 seq.qps, seq.seconds, batch_qps, bat.seconds,
                 batch_qps / seq.qps);
     json.Add("net_throughput/workload_sequential",
-             Format("conns=%d batch=%d", max_conns, batch_size) +
-                 HostScalingNote(max_conns),
-             seq.qps, seq.seconds * 1e3);
+             Format("conns=%d batch=%d", max_conns, batch_size), seq.qps, seq.seconds * 1e3);
     json.Add("net_throughput/workload_batch",
              Format("conns=%d batch=%d speedup=%.2f", max_conns, batch_size,
-                    batch_qps / seq.qps) +
-                 HostScalingNote(max_conns),
+                    batch_qps / seq.qps),
              batch_qps, bat.seconds * 1e3);
   }
 

@@ -80,8 +80,6 @@ struct RunResult {
   double qps = 0.0;
 };
 
-using bench_util::HostScalingNote;
-
 // Submits `queries` through a fresh pool of `threads` workers and waits for
 // every answer. The submitting side runs on one thread; with a bounded queue
 // the pool's workers are the throughput bottleneck by design.
@@ -141,7 +139,7 @@ int main(int argc, char** argv) {
     table.AddRow({Format("%d", threads), Format("%.3f", r.seconds),
                   Format("%.1f", r.qps), Format("%.2fx", r.qps / base_qps)});
     json.Add("service_throughput/miss",
-             Format("threads=%d", threads) + HostScalingNote(threads), r.qps,
+             Format("threads=%d", threads), r.qps,
              r.seconds * 1e3);
   }
   std::printf("cache-miss workload (all queries distinct):\n");
@@ -165,7 +163,6 @@ int main(int argc, char** argv) {
   std::printf("  privacy budget saved by replays: eps = %.4g (of %.4g requested)\n",
               stats.cache.epsilon_saved, kEpsilon * num_queries);
   json.Add("service_throughput/replay",
-           Format("threads=%d", max_threads) + HostScalingNote(max_threads),
-           r.qps, r.seconds * 1e3);
+           Format("threads=%d", max_threads), r.qps, r.seconds * 1e3);
   return 0;
 }

@@ -66,11 +66,4 @@ int EnvInt(const char* name, int def) {
 
 int DefaultRuns() { return EnvInt("DPSTARJ_RUNS", 10); }
 
-std::string HostScalingNote(int threads) {
-  const int hw =
-      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
-  if (threads <= hw) return "";
-  return " [" + std::to_string(hw) + "-core host]";
-}
-
 }  // namespace dpstarj::bench_util

@@ -51,12 +51,6 @@ RunStats Repeat(int runs, const std::function<Result<double>()>& trial);
 double EnvDouble(const char* name, double def);
 int EnvInt(const char* name, int def);
 
-/// \brief Scaling-config annotation shared by the *_throughput / micro-engine
-/// benches: thread- (or connection-) scaling numbers are only meaningful up
-/// to the host's core count, so configs requesting more get a self-explaining
-/// " [N-core host]" suffix in the bench JSON (see BENCH_engine.json).
-std::string HostScalingNote(int threads);
-
 /// Default number of runs per point (DPSTARJ_RUNS, default 10).
 int DefaultRuns();
 

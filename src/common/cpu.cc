@@ -1,0 +1,55 @@
+#include "common/cpu.h"
+
+#include <algorithm>
+#include <thread>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace dpstarj {
+
+namespace {
+
+int64_t SysconfBytes(int name, int64_t fallback) {
+#ifdef __unix__
+  long v = sysconf(name);
+  return v > 0 ? static_cast<int64_t>(v) : fallback;
+#else
+  (void)name;
+  return fallback;
+#endif
+}
+
+CpuInfo Detect() {
+  CpuInfo info;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  // __builtin_cpu_supports reads CPUID once per process; the kernel layer
+  // (exec/kernels) never emits AVX2 outside target-attributed functions, so
+  // this is the only gate a non-AVX2 host needs.
+  info.avx2 = __builtin_cpu_supports("avx2") != 0;
+#endif
+  info.cores = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+#ifdef _SC_LEVEL1_DCACHE_LINESIZE
+  info.cache_line_bytes = static_cast<int>(
+      SysconfBytes(_SC_LEVEL1_DCACHE_LINESIZE, 64));
+#endif
+#ifdef _SC_LEVEL1_DCACHE_SIZE
+  info.l1d_bytes = SysconfBytes(_SC_LEVEL1_DCACHE_SIZE, 0);
+#endif
+#ifdef _SC_LEVEL2_CACHE_SIZE
+  info.l2_bytes = SysconfBytes(_SC_LEVEL2_CACHE_SIZE, 0);
+#endif
+  if (info.cache_line_bytes <= 0) info.cache_line_bytes = 64;
+  return info;
+}
+
+}  // namespace
+
+const CpuInfo& HostCpu() {
+  static const CpuInfo info = Detect();
+  return info;
+}
+
+}  // namespace dpstarj

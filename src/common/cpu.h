@@ -1,0 +1,30 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Host CPU topology and ISA detection, probed once at startup and shared by
+// the runtime-dispatched kernel layer (exec/kernels), the morsel scheduler
+// (L2-sized morsel granularity, worker pinning) and the bench JSON emitters
+// (structured host fields instead of hand-written annotations).
+
+#pragma once
+
+#include <cstdint>
+
+namespace dpstarj {
+
+/// \brief What was detected about the host, fixed for the process lifetime.
+struct CpuInfo {
+  /// CPUID says the host executes AVX2 (and the build can emit it).
+  bool avx2 = false;
+  /// Hardware threads visible to this process.
+  int cores = 1;
+  /// Coherence granule; per-worker state is padded to this (exec/parallel.h).
+  int cache_line_bytes = 64;
+  /// Per-core data cache sizes (0 when the OS does not report one).
+  int64_t l1d_bytes = 0;
+  int64_t l2_bytes = 0;
+};
+
+/// \brief The host description, probed on first call (cheap, thread-safe).
+const CpuInfo& HostCpu();
+
+}  // namespace dpstarj

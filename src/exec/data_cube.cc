@@ -266,16 +266,19 @@ Result<DataCube> DataCube::Build(
     double total = 0.0;
     int64_t dropped = 0;
   };
-  std::vector<CubePartial> partials(static_cast<size_t>(num_workers));
+  // total/dropped are bumped per row, so each worker's partial gets its own
+  // cache line (CacheAligned, exec/parallel.h).
+  std::vector<CacheAligned<CubePartial>> partials(
+      static_cast<size_t>(num_workers));
   // Worker 0 (the calling thread) accumulates directly into the cube so the
   // common sequential case allocates nothing extra.
   for (size_t wkr = 1; wkr < partials.size(); ++wkr) {
-    partials[wkr].values.assign(static_cast<size_t>(cells), 0.0);
+    partials[wkr].value.values.assign(static_cast<size_t>(cells), 0.0);
   }
 
   const size_t num_probes = probes.size();
   auto scan = [&](int worker, int64_t begin, int64_t end) {
-    CubePartial& p = partials[static_cast<size_t>(worker)];
+    CubePartial& p = partials[static_cast<size_t>(worker)].value;
     double* values = worker == 0 ? cube.values_.data() : p.values.data();
     for (int64_t row = begin; row < end; ++row) {
       int64_t offset = 0;
@@ -302,10 +305,10 @@ Result<DataCube> DataCube::Build(
   MorselPool::Shared().Run(num_workers, fact_rows, options.morsel_size, scan);
 
   // Deterministic merge, in worker order (worker 0 is already in place).
-  cube.total_ = partials[0].total;
-  cube.dropped_rows_ = partials[0].dropped;
+  cube.total_ = partials[0].value.total;
+  cube.dropped_rows_ = partials[0].value.dropped;
   for (size_t wkr = 1; wkr < partials.size(); ++wkr) {
-    const CubePartial& p = partials[wkr];
+    const CubePartial& p = partials[wkr].value;
     for (int64_t c = 0; c < cells; ++c) {
       cube.values_[static_cast<size_t>(c)] += p.values[static_cast<size_t>(c)];
     }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/parallel.h"
 #include "query/binder.h"
 #include "query/workload.h"
 
@@ -36,8 +37,9 @@ struct CubeOptions {
   /// Parallelism is skipped when the cube is too large for per-worker
   /// partials (> ~4M cells).
   int threads = 1;
-  /// Rows per scan morsel (parallel granularity).
-  int64_t morsel_size = 1 << 16;
+  /// Rows per scan morsel (parallel granularity). The default is sized to
+  /// the detected per-core L2 (exec/parallel.h, DefaultMorselSize).
+  int64_t morsel_size = DefaultMorselSize();
   /// Forces the legacy row-at-a-time, hash-probing build (kept as the
   /// benchmark baseline for the fused dense-LUT scan).
   bool force_legacy = false;

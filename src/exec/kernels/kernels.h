@@ -1,0 +1,119 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Runtime-dispatched SIMD kernels for the engine's four hot loops:
+//
+//   range_bitmap_and      predicate compare → 64-bit bitmap pack over a
+//                         memoized domain-ordinal span (scan_plan.cc,
+//                         BuildPassBitmap);
+//   pass_mask             the per-row verdict gather of the warm fact sweep:
+//                         for ≤ 64 rows, gather each dimension's resolved row
+//                         into its predicate bitmap and AND the bits into one
+//                         mask word (star_join_executor.cc plan paths);
+//   sum_span              contiguous double accumulation in a FIXED four-lane
+//                         split (see below), used for all-pass chunks of the
+//                         per-run gather/accumulate (32-byte-wide loads over
+//                         NumericView-backed weight spans);
+//   byte_gather_transpose the workload plan's per-slot verdict gather: pull
+//                         ≤ 64 byte-wide verdict words and transpose bit k of
+//                         every byte into node k's packed verdict word
+//                         (workload_plan.cc).
+//
+// Dispatch is decided ONCE at startup from CPUID (common/cpu.h): AVX2 when
+// the host executes it, the portable scalar implementations otherwise.
+// DPSTARJ_FORCE_SCALAR=1 in the environment forces the scalar table (the CI
+// forced-scalar jobs run the whole suite this way), and tests can inject
+// either table with ScopedKernelOverride.
+//
+// Equivalence contract: for identical inputs, the scalar and AVX2
+// implementations of every kernel return BYTE-IDENTICAL results — bitmap
+// kernels are exact by construction, and sum_span pins the floating-point
+// association order to a four-lane split (lane j accumulates elements
+// j, j+4, j+8, ..., lanes combine as (l0+l1)+(l2+l3)) that both
+// implementations follow instruction-for-instruction. A query answer
+// therefore never depends on the ISA the host happens to have
+// (tests/kernels_test.cc fuzzes this contract).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dpstarj::exec::kernels {
+
+struct EngineKernels {
+  /// "scalar" or "avx2" — surfaced in bench host fields and /metrics-adjacent
+  /// diagnostics.
+  const char* name;
+
+  /// ANDs (or stores, when `first`) the packed compare bits of
+  /// `ordinals[r] ∈ [lo, hi]` for r in [0, rows) into `words`. Bits at and
+  /// past `rows` (the absent-FK sentinel and the tail) are left untouched on
+  /// AND and stored as 0 on first store, so callers' sentinel-bit invariant
+  /// holds.
+  void (*range_bitmap_and)(const int64_t* ordinals, int64_t rows, int64_t lo,
+                           int64_t hi, bool first, uint64_t* words);
+
+  /// Pass mask of rows [base, base + nbits), nbits ≤ 64: bit i =
+  /// AND over d of bitmap_words[d] bit dim_rows[d][base + i]. Absent FKs
+  /// resolve to the sentinel row, whose bitmap bit is always 0. Bits ≥ nbits
+  /// are 0.
+  uint64_t (*pass_mask)(const int32_t* const* dim_rows,
+                        const uint64_t* const* bitmap_words, size_t num_dims,
+                        int64_t base, int nbits);
+
+  /// Sum of w[0..n) in the fixed four-lane association order documented
+  /// above. NOT sequential-order addition: both implementations reassociate
+  /// identically, so the result is ISA-independent (and differs from a naive
+  /// running sum only by normal floating-point rounding).
+  double (*sum_span)(const double* w, int64_t n);
+
+  /// Gathers table[rows[i]] for i in [0, len), len ≤ 64, and writes the
+  /// packed word of bit k across the gathered bytes into out[k] for each
+  /// k in [0, nn), nn ≤ 8. Bits ≥ len are 0.
+  void (*byte_gather_transpose)(const uint8_t* table, const int32_t* rows,
+                                int len, size_t nn, uint64_t* out);
+};
+
+/// The portable reference implementations (always available).
+const EngineKernels& ScalarKernels();
+
+/// The AVX2 implementations, or nullptr when the build target or the host
+/// CPU cannot execute them.
+const EngineKernels* Avx2KernelsOrNull();
+
+/// \brief The table the engine dispatches through, chosen once: a test
+/// override if active, else scalar when DPSTARJ_FORCE_SCALAR=1 was set at
+/// first use, else AVX2 when the host supports it, else scalar. Callers
+/// hoist the reference out of their loops; the indirect call is per-chunk,
+/// not per-row.
+const EngineKernels& ActiveKernels();
+
+/// \brief RAII kernel-table injection for tests (not thread-safe against
+/// concurrent scans — install before spawning work). Passing nullptr
+/// restores normal dispatch for the scope instead of overriding.
+class ScopedKernelOverride {
+ public:
+  explicit ScopedKernelOverride(const EngineKernels* kernels);
+  ~ScopedKernelOverride();
+
+  ScopedKernelOverride(const ScopedKernelOverride&) = delete;
+  ScopedKernelOverride& operator=(const ScopedKernelOverride&) = delete;
+
+ private:
+  const EngineKernels* previous_;
+};
+
+/// \brief Sums the weights of `mask`'s set bits in ascending bit order:
+/// the sparse-mask companion of sum_span, shared by all callers (kept
+/// scalar — extraction order, not arithmetic, dominates sparse chunks).
+inline double SumMaskedAscending(const double* w, int64_t base, uint64_t mask) {
+  double sum = 0.0;
+  while (mask != 0) {
+    const int bit = __builtin_ctzll(mask);
+    mask &= mask - 1;
+    sum += w[base + bit];
+  }
+  return sum;
+}
+
+}  // namespace dpstarj::exec::kernels

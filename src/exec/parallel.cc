@@ -1,8 +1,47 @@
 #include "exec/parallel.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "common/cpu.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace dpstarj::exec {
+
+namespace {
+
+std::atomic<bool> g_pin_workers{false};
+
+// Pins the calling thread to `core` (mod the visible cores). Best-effort:
+// a failed affinity call just leaves the thread to the scheduler.
+void PinSelfToCore(int core) {
+#if defined(__linux__)
+  const int cores = std::max(HostCpu().cores, 1);
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(core % cores), &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
+}
+
+}  // namespace
+
+int64_t DefaultMorselSize() {
+  const int64_t l2 = HostCpu().l2_bytes;
+  if (l2 <= 0) return int64_t{1} << 16;
+  constexpr int64_t kBytesPerRow = 32;
+  return std::clamp(l2 / kBytesPerRow, int64_t{1} << 14, int64_t{1} << 18);
+}
+
+void MorselPool::SetPinWorkers(bool on) {
+  g_pin_workers.store(on, std::memory_order_relaxed);
+}
 
 MorselPool::~MorselPool() {
   {
@@ -58,7 +97,15 @@ void MorselPool::FinishRole(Job* job) {
 
 void MorselPool::EnsureThreads(int n) {
   while (static_cast<int>(threads_.size()) < n) {
-    threads_.emplace_back([this] { ThreadLoop(); });
+    const int index = static_cast<int>(threads_.size());
+    const bool pin = g_pin_workers.load(std::memory_order_relaxed);
+    threads_.emplace_back([this, index, pin] {
+      // Core 0 is skipped: the calling thread (always role 0) usually lives
+      // there, and stacking a pool worker on it serializes the two largest
+      // shares of every scan.
+      if (pin) PinSelfToCore(index + 1);
+      ThreadLoop();
+    });
   }
 }
 

@@ -29,6 +29,29 @@
 
 namespace dpstarj::exec {
 
+/// \brief Pads and aligns a per-worker slot to its own coherence granule.
+///
+/// Worker partials live in contiguous vectors (one slot per role) and are
+/// written on every morsel; unpadded, slots of adjacent workers land on the
+/// same cache line and each accumulate turns into cross-core ownership
+/// ping-pong (false sharing) — measurable as scan throughput that *drops*
+/// when workers are added. 64 bytes covers the destructive-interference
+/// granule of every x86-64 and AArch64 server part we target (HostCpu()
+/// reports the actual line size for diagnostics, but alignment must be a
+/// compile-time constant).
+template <typename T>
+struct alignas(64) CacheAligned {
+  T value;
+};
+
+/// \brief Topology-derived default morsel granularity in fact rows: sized so
+/// one morsel's streaming working set (~32 bytes per row: resolved dimension
+/// rows, packed group code, weight) stays within the detected per-core L2
+/// (common/cpu.h), clamped to [2^14, 2^18] rows. Falls back to 2^16 when the
+/// OS reports no L2 size. Smaller morsels would thrash the job queue; larger
+/// ones evict their own lines before the next pass over the range.
+int64_t DefaultMorselSize();
+
 /// \brief A reusable morsel worker pool with deterministic role assignment.
 class MorselPool {
  public:
@@ -58,6 +81,15 @@ class MorselPool {
 
   /// Number of worker threads currently in the pool.
   int num_threads() const;
+
+  /// \brief When enabled, pool threads created afterwards are pinned
+  /// round-robin across the host's cores (the calling thread — role 0 —
+  /// is left to the OS scheduler). Opt-in via dpstarj-server --pin-workers:
+  /// pinning helps steady-state scans on dedicated hosts and hurts on
+  /// shared/oversubscribed ones, so the default is off. Threads that already
+  /// exist keep their affinity; enable before the first Run to pin the whole
+  /// pool.
+  static void SetPinWorkers(bool on);
 
  private:
   struct Job {

@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "exec/domain_index.h"
+#include "exec/kernels/kernels.h"
 #include "exec/query_result.h"
 
 namespace dpstarj::exec {
@@ -158,7 +159,11 @@ Result<ScanPlan> ScanPlan::Compile(const query::BoundQuery& q) {
     const int32_t sentinel = pd.num_rows;
     for (int64_t r = 0; r < plan.fact_rows_; ++r) {
       int32_t dr = index.Lookup(fk[r]);
-      rows[static_cast<size_t>(r)] = dr == KeyIndex::kAbsent ? sentinel : dr;
+      if (dr == KeyIndex::kAbsent) {
+        dr = sentinel;
+        pd.has_absent_fk = true;
+      }
+      rows[static_cast<size_t>(r)] = dr;
     }
   }
 
@@ -359,10 +364,27 @@ Result<std::vector<uint64_t>> BuildPassBitmap(
     const PlanDim& pd, const storage::Table& dim,
     const std::vector<query::BoundPredicate>& preds) {
   const int64_t rows = pd.num_rows;
-  // Byte-wise evaluation first: one branchless compare chain per predicate
-  // over the memoized ordinal table — the autovectorizable inner loop.
-  std::vector<uint8_t> pass(static_cast<size_t>(rows), 1);
+  // One compare → pack pass per predicate over the memoized ordinal table,
+  // ANDed directly into the bitmap words by the dispatched kernel (AVX2 when
+  // the host has it). Bit `rows` (the absent-FK sentinel) and every bit past
+  // it stay 0: the kernel never touches bits at or past `rows` on AND and
+  // stores them as 0 on the first store.
+  std::vector<uint64_t> words(static_cast<size_t>((rows + 1 + 63) / 64), 0);
+  const auto& kern = kernels::ActiveKernels();
+  if (preds.empty()) {
+    // No predicates: every real row passes.
+    const int64_t full_words = rows >> 6;
+    for (int64_t wi = 0; wi < full_words; ++wi) {
+      words[static_cast<size_t>(wi)] = ~uint64_t{0};
+    }
+    if ((rows & 63) != 0) {
+      words[static_cast<size_t>(full_words)] =
+          ~uint64_t{0} >> (64 - (rows & 63));
+    }
+    return words;
+  }
   std::vector<int64_t> fresh;  // ordinals computed for non-memoized predicates
+  bool first = true;
   for (const auto& pred : preds) {
     if (pred.column_index < 0 ||
         pred.column_index >= dim.schema().num_fields()) {
@@ -385,17 +407,8 @@ Result<std::vector<uint64_t>> BuildPassBitmap(
     // matching the fresh pipeline's `ordinal >= 0 && Matches(ordinal)`.
     const int64_t lo = std::max<int64_t>(pred.lo_index, 0);
     const int64_t hi = pred.hi_index;
-    const int64_t* o = ordinals->data();
-    for (int64_t r = 0; r < rows; ++r) {
-      pass[static_cast<size_t>(r)] &=
-          static_cast<uint8_t>((o[r] >= lo) & (o[r] <= hi));
-    }
-  }
-  // Pack into words; bit `rows` (the absent-FK sentinel) stays 0.
-  std::vector<uint64_t> words(static_cast<size_t>((rows + 1 + 63) / 64), 0);
-  for (int64_t r = 0; r < rows; ++r) {
-    words[static_cast<size_t>(r >> 6)] |=
-        static_cast<uint64_t>(pass[static_cast<size_t>(r)]) << (r & 63);
+    kern.range_bitmap_and(ordinals->data(), rows, lo, hi, first, words.data());
+    first = false;
   }
   return words;
 }

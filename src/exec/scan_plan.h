@@ -44,6 +44,13 @@ struct PlanDim {
   /// no ordinal and its bit in every predicate bitmap is 0.
   int32_t num_rows = 0;
 
+  /// True when at least one fact row's FK missed this dimension (so some
+  /// entry of fact_dim_row is the sentinel). When false AND an execution's
+  /// rebuilt bitmap passes every real row — a fully-open predicate, common
+  /// under PM perturbation of wide ranges — the dimension cannot reject any
+  /// fact row and the sweep drops it entirely (see the executor's plan path).
+  bool has_absent_fk = false;
+
   /// row → dense group ordinal over the dimension's GROUP BY columns (empty
   /// when the dimension contributes no group keys). Ordinals are assigned in
   /// first-occurrence row order over all rows — predicate-independent.

@@ -10,6 +10,7 @@
 #include "common/string_util.h"
 #include "exec/domain_index.h"
 #include "exec/group_code.h"
+#include "exec/kernels/kernels.h"
 #include "exec/parallel.h"
 
 namespace dpstarj::exec {
@@ -280,11 +281,33 @@ struct ScanPartial {
   int error_dim = -1;
 };
 
+// Workers bump scalar/rows on every passing chunk, so each role's partial
+// gets its own cache line (see CacheAligned in exec/parallel.h).
+using ScanPartials = std::vector<CacheAligned<ScanPartial>>;
+
+// True when bits [0, rows) are all set — a rebuilt predicate bitmap that
+// passes every real dimension row. Together with PlanDim::has_absent_fk ==
+// false this proves the dimension cannot reject any fact row, so the sweep
+// skips its gathers entirely (fully-open predicates are the steady state of
+// PM perturbation over wide domains). The check is ISA-independent, so
+// scalar and AVX2 executions still take identical code paths.
+bool BitmapPassesAllRows(const std::vector<uint64_t>& words, int32_t rows) {
+  const int64_t full = rows >> 6;
+  for (int64_t w = 0; w < full; ++w) {
+    if (words[static_cast<size_t>(w)] != ~uint64_t{0}) return false;
+  }
+  const int tail = rows & 63;
+  if (tail == 0) return true;
+  const uint64_t need = ~uint64_t{0} >> (64 - tail);
+  return (words[static_cast<size_t>(full)] & need) == need;
+}
+
 // First strict-integrity violation across workers (scan order), or row -1.
-std::pair<int64_t, int> FirstStrictError(const std::vector<ScanPartial>& partials) {
+std::pair<int64_t, int> FirstStrictError(const ScanPartials& partials) {
   int64_t error_row = -1;
   int error_dim = -1;
-  for (const auto& p : partials) {
+  for (const auto& slot : partials) {
+    const ScanPartial& p = slot.value;
     if (p.error_row >= 0 && (error_row < 0 || p.error_row < error_row)) {
       error_row = p.error_row;
       error_dim = p.error_dim;
@@ -304,13 +327,13 @@ Status StrictErrorStatus(const query::BoundQuery& q, int64_t error_row,
 }
 
 // Folds worker partials of a non-grouped scan, in worker order.
-QueryResult FinalizeScalar(const std::vector<ScanPartial>& partials, bool is_avg) {
+QueryResult FinalizeScalar(const ScanPartials& partials, bool is_avg) {
   QueryResult result;
   double scalar = 0.0;
   int64_t rows = 0;
-  for (const auto& p : partials) {
-    scalar += p.scalar;
-    rows += p.rows;
+  for (const auto& slot : partials) {
+    scalar += slot.value.scalar;
+    rows += slot.value.rows;
   }
   result.scalar =
       is_avg ? (rows > 0 ? scalar / static_cast<double>(rows) : 0.0) : scalar;
@@ -476,19 +499,19 @@ Result<QueryResult> StarJoinExecutor::Execute(
   const int num_workers = ResolveWorkers(options_, fact_rows);
   const size_t num_dims = q.dims.size();
   const bool strict = options_.strict_integrity;
-  std::vector<ScanPartial> partials(static_cast<size_t>(num_workers));
+  ScanPartials partials(static_cast<size_t>(num_workers));
   if (grouped) {
     // Bound each worker's dense table by the rows it will actually scan: a
     // flat vector much larger than the touched code count is pure memset.
     const uint64_t dense_limit =
         static_cast<uint64_t>(fact_rows / num_workers) * 4 + 1024;
     for (auto& p : partials) {
-      p.groups = std::make_unique<GroupAccumulator>(code_space, dense_limit);
+      p.value.groups = std::make_unique<GroupAccumulator>(code_space, dense_limit);
     }
   }
 
   auto scan = [&](int worker, int64_t begin, int64_t end) {
-    ScanPartial& p = partials[static_cast<size_t>(worker)];
+    ScanPartial& p = partials[static_cast<size_t>(worker)].value;
     if (p.error_row >= 0) return;  // this worker already hit a strict error
     for (int64_t row = begin; row < end; ++row) {
       uint64_t code = 0;
@@ -544,9 +567,9 @@ Result<QueryResult> StarJoinExecutor::Execute(
   const bool is_avg = q.query.aggregate == query::AggregateKind::kAvg;
   if (!grouped) return FinalizeScalar(partials, is_avg);
 
-  GroupAccumulator& merged = *partials[0].groups;
+  GroupAccumulator& merged = *partials[0].value.groups;
   for (size_t i = 1; i < partials.size(); ++i) {
-    merged.MergeFrom(*partials[i].groups);
+    merged.MergeFrom(*partials[i].value.groups);
   }
 
   std::vector<PlanLabelPart> render_parts;
@@ -620,12 +643,19 @@ Result<QueryResult> StarJoinExecutor::Execute(const query::BoundQuery& q,
     const int32_t* label_of = plan.label_of_code.data();
     const double* sorted_w =
         plan.sorted_weights.empty() ? nullptr : plan.sorted_weights.data();
-    std::vector<const int32_t*> sorted_rows(num_dims);
-    std::vector<const uint64_t*> words(num_dims);
+    // Only dimensions that can actually reject a fact row take part in the
+    // verdict gather (see BitmapPassesAllRows).
+    std::vector<const int32_t*> sorted_rows;
+    std::vector<const uint64_t*> words;
     for (size_t i = 0; i < num_dims; ++i) {
-      sorted_rows[i] = plan.sorted_dim_row[i].data();
-      words[i] = bitmaps[i].data();
+      if (!plan.dims[i].has_absent_fk &&
+          BitmapPassesAllRows(bitmaps[i], plan.dims[i].num_rows)) {
+        continue;
+      }
+      sorted_rows.push_back(plan.sorted_dim_row[i].data());
+      words.push_back(bitmaps[i].data());
     }
+    const size_t active_dims = sorted_rows.size();
     // Workers are sized by the real work — the fact rows inside the runs —
     // then clamped to the number of code morsels actually available.
     const int64_t code_morsel = std::max<int64_t>(
@@ -635,6 +665,14 @@ Result<QueryResult> StarJoinExecutor::Execute(const query::BoundQuery& q,
         std::max(num_workers, 1), std::max<int64_t>(code_morsels, 1)));
     std::vector<std::vector<GroupAgg>> label_partials(
         static_cast<size_t>(sweep_workers), std::vector<GroupAgg>(num_labels));
+    // The sweep dispatches through the kernel layer in ≤64-row chunks: one
+    // pass_mask gather-AND per chunk, popcount for the row count, and a wide
+    // contiguous accumulate (sum_span) when every row in the chunk passed —
+    // the common case for selective-on-few-dims queries — falling back to a
+    // set-bit walk for sparse chunks.
+    const auto& kern = kernels::ActiveKernels();
+    const int32_t* const* srows = sorted_rows.data();
+    const uint64_t* const* wptrs = words.data();
     auto sweep = [&](int worker, int64_t code_begin, int64_t code_end) {
       std::vector<GroupAgg>& aggs = label_partials[static_cast<size_t>(worker)];
       for (int64_t code = code_begin; code < code_end; ++code) {
@@ -643,19 +681,27 @@ Result<QueryResult> StarJoinExecutor::Execute(const query::BoundQuery& q,
         if (begin == end) continue;
         double sum = 0.0;
         int64_t rows = 0;
-        for (int64_t j = begin; j < end; ++j) {
-          uint64_t ok = 1;
-          for (size_t i = 0; i < num_dims; ++i) {
-            int32_t dr = sorted_rows[i][j];
-            ok &= words[i][dr >> 6] >> (dr & 63);
+        if (active_dims == 0) {
+          // Every row of the run passes: one wide accumulate, no gathers.
+          rows = end - begin;
+          if (sorted_w != nullptr) sum = kern.sum_span(sorted_w + begin, rows);
+        } else {
+          for (int64_t j = begin; j < end; j += 64) {
+            const int nbits = static_cast<int>(std::min<int64_t>(64, end - j));
+            const uint64_t mask =
+                kern.pass_mask(srows, wptrs, active_dims, j, nbits);
+            if (mask == 0) continue;
+            const int hits = __builtin_popcountll(mask);
+            rows += hits;
+            if (sorted_w == nullptr) continue;  // COUNT: popcount is enough
+            sum += hits == nbits
+                       ? kern.sum_span(sorted_w + j, nbits)
+                       : kernels::SumMaskedAscending(sorted_w, j, mask);
           }
-          if ((ok & 1) == 0) continue;
-          sum += sorted_w != nullptr ? sorted_w[j] : 1.0;
-          ++rows;
         }
         if (rows > 0) {
           GroupAgg& agg = aggs[static_cast<size_t>(label_of[code])];
-          agg.sum += sum;
+          agg.sum += sorted_w != nullptr ? sum : static_cast<double>(rows);
           agg.rows += rows;
         }
       }
@@ -680,12 +726,13 @@ Result<QueryResult> StarJoinExecutor::Execute(const query::BoundQuery& q,
     return result;
   }
 
-  std::vector<ScanPartial> partials(static_cast<size_t>(num_workers));
+  ScanPartials partials(static_cast<size_t>(num_workers));
   if (grouped) {
     const uint64_t dense_limit =
         static_cast<uint64_t>(fact_rows / num_workers) * 4 + 1024;
     for (auto& p : partials) {
-      p.groups = std::make_unique<GroupAccumulator>(plan.code_space, dense_limit);
+      p.value.groups =
+          std::make_unique<GroupAccumulator>(plan.code_space, dense_limit);
     }
   }
 
@@ -697,6 +744,20 @@ Result<QueryResult> StarJoinExecutor::Execute(const query::BoundQuery& q,
     pass_words[i] = bitmaps[i].data();
     sentinels[i] = plan.dims[i].num_rows;
   }
+  // The non-strict sweep only gathers dimensions that can reject a row
+  // (BitmapPassesAllRows); strict mode keeps the full set because it must
+  // report the exact (row, dimension) of an integrity violation.
+  std::vector<const int32_t*> active_rows;
+  std::vector<const uint64_t*> active_words;
+  for (size_t i = 0; i < num_dims; ++i) {
+    if (!plan.dims[i].has_absent_fk &&
+        BitmapPassesAllRows(bitmaps[i], plan.dims[i].num_rows)) {
+      continue;
+    }
+    active_rows.push_back(dim_rows[i]);
+    active_words.push_back(pass_words[i]);
+  }
+  const size_t active_dims = active_rows.size();
   const uint64_t* codes = plan.codes.data();
   const double* weights = plan.weights.empty() ? nullptr : plan.weights.data();
 
@@ -706,7 +767,7 @@ Result<QueryResult> StarJoinExecutor::Execute(const query::BoundQuery& q,
   // separate branchy loop because it must distinguish "absent" from
   // "filtered" at the exact (row, dimension) the fresh pipeline would.
   auto scan = [&](int worker, int64_t begin, int64_t end) {
-    ScanPartial& p = partials[static_cast<size_t>(worker)];
+    ScanPartial& p = partials[static_cast<size_t>(worker)].value;
     if (p.error_row >= 0) return;
     if (strict) {
       for (int64_t row = begin; row < end; ++row) {
@@ -734,19 +795,45 @@ Result<QueryResult> StarJoinExecutor::Execute(const query::BoundQuery& q,
       }
       return;
     }
-    for (int64_t row = begin; row < end; ++row) {
-      uint64_t ok = 1;
-      for (size_t i = 0; i < num_dims; ++i) {
-        int32_t dr = dim_rows[i][row];
-        ok &= pass_words[i][dr >> 6] >> (dr & 63);
-      }
-      if ((ok & 1) == 0) continue;
-      const double w = weights != nullptr ? weights[row] : 1.0;
+    // Non-strict probing sweep: ≤64-row chunks through the kernel layer.
+    // Scalar aggregates take popcount + wide sums; grouped aggregates must
+    // touch the accumulator per row, so they walk the mask's set bits (the
+    // verdict gather is still vectorized).
+    const auto& kern = kernels::ActiveKernels();
+    if (active_dims == 0 && !grouped) {
+      // Nothing can reject a row: the whole morsel aggregates wide.
+      p.rows += end - begin;
+      p.scalar += weights != nullptr
+                      ? kern.sum_span(weights + begin, end - begin)
+                      : static_cast<double>(end - begin);
+      return;
+    }
+    for (int64_t row = begin; row < end; row += 64) {
+      const int nbits = static_cast<int>(std::min<int64_t>(64, end - row));
+      const uint64_t mask =
+          nbits == 64 && active_dims == 0
+              ? ~uint64_t{0}
+              : kern.pass_mask(active_rows.data(), active_words.data(),
+                               active_dims, row, nbits);
+      if (mask == 0) continue;
       if (!grouped) {
-        p.scalar += w;
-        p.rows += 1;
-      } else {
-        p.groups->Add(codes[row], w);
+        const int hits = __builtin_popcountll(mask);
+        p.rows += hits;
+        if (weights == nullptr) {
+          p.scalar += static_cast<double>(hits);
+        } else {
+          p.scalar += hits == nbits
+                          ? kern.sum_span(weights + row, nbits)
+                          : kernels::SumMaskedAscending(weights, row, mask);
+        }
+        continue;
+      }
+      uint64_t m = mask;
+      while (m != 0) {
+        const int bit = __builtin_ctzll(m);
+        m &= m - 1;
+        const int64_t r = row + bit;
+        p.groups->Add(codes[r], weights != nullptr ? weights[r] : 1.0);
       }
     }
   };
@@ -759,9 +846,9 @@ Result<QueryResult> StarJoinExecutor::Execute(const query::BoundQuery& q,
 
   if (!grouped) return FinalizeScalar(partials, is_avg);
 
-  GroupAccumulator& merged = *partials[0].groups;
+  GroupAccumulator& merged = *partials[0].value.groups;
   for (size_t i = 1; i < partials.size(); ++i) {
-    merged.MergeFrom(*partials[i].groups);
+    merged.MergeFrom(*partials[i].value.groups);
   }
   return RenderPlanGroups(q, plan, merged, is_avg);
 }

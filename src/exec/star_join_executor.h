@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/parallel.h"
 #include "exec/query_result.h"
 #include "exec/scan_plan.h"
 #include "obs/trace.h"
@@ -51,8 +52,9 @@ struct ExecutorOptions {
   /// and inexact floating-point SUMs are reproducible run-to-run.
   int exec_threads = 1;
 
-  /// Rows per scan morsel (parallel granularity).
-  int64_t morsel_size = 1 << 16;
+  /// Rows per scan morsel (parallel granularity). The default is sized to
+  /// the detected per-core L2 (exec/parallel.h, DefaultMorselSize).
+  int64_t morsel_size = DefaultMorselSize();
 
   /// Forces the legacy row-at-a-time pipeline (kept for benchmarking and as
   /// the automatic fallback when a GROUP BY key set cannot be packed into a
@@ -82,9 +84,11 @@ class StarJoinExecutor {
   /// Equivalence with the fresh-build Execute: exact aggregates (COUNT,
   /// integer-valued SUM) are bit-identical at every thread count; inexact
   /// grouped SUMs follow the plan's run-sorted sweep, which associates each
-  /// group's additions in row order — the fresh pipeline's single-thread
-  /// order — at any worker count. Strict-integrity violations are reported
-  /// with the exact row/dimension/message of the fresh pipeline.
+  /// group's additions in a fixed chunked order (≤64-row chunks in row
+  /// order; all-pass chunks accumulate in the kernel layer's pinned
+  /// four-lane split — see exec/kernels/kernels.h) that is identical at
+  /// every worker count and on every ISA. Strict-integrity violations are
+  /// reported with the exact row/dimension/message of the fresh pipeline.
   ///
   /// A non-null `trace` records the bitmap-rebuild and fact-sweep spans
   /// (obs::Stage::kBitmapRebuild / kScan); execution is unchanged otherwise.

@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "exec/group_code.h"
+#include "exec/kernels/kernels.h"
 #include "exec/parallel.h"
 
 namespace dpstarj::exec {
@@ -50,7 +51,10 @@ bool SamePredList(const std::vector<query::BoundPredicate>& a,
 }
 
 // Per-(worker, item) scan partial; merged in worker order like ScanPartial.
-struct ItemPartial {
+// Aligned to a cache line so the slots at the seam of two workers' partial
+// vectors (allocated back-to-back) never share one — scalar/rows are bumped
+// on every surviving verdict word.
+struct alignas(64) ItemPartial {
   double scalar = 0.0;
   int64_t rows = 0;
   std::unique_ptr<GroupAccumulator> groups;
@@ -305,6 +309,7 @@ Result<std::vector<QueryResult>> WorkloadPlan::Execute(
         static_cast<size_t>(num_workers),
         std::vector<uint64_t>(num_nodes * static_cast<size_t>(kWordsPerBlock)));
 
+    const auto& kern = kernels::ActiveKernels();
     auto scan = [&](int worker, int64_t begin, int64_t end) {
       std::vector<ItemPartial>& ps = partials[static_cast<size_t>(worker)];
       uint64_t* verdict = verdict_scratch[static_cast<size_t>(worker)].data();
@@ -322,32 +327,22 @@ Result<std::vector<QueryResult>> WorkloadPlan::Execute(
             if (nn == 0) continue;
             const int32_t* rows_for = slot_rows[s] + b0;
             if (!slot_tables8[s].empty()) {
-              // Byte-table path: gather 64 verdict bytes, then per node pull
-              // the k-th bit of 8 bytes at once — mask the bit into each
-              // byte's LSB and let a multiply shift-accumulate the eight
-              // LSBs into the top byte (little-endian byte order).
-              constexpr uint64_t kLsb8 = 0x0101010101010101ULL;
-              constexpr uint64_t kGather = 0x0102040810204080ULL;
+              // Byte-table path: the dispatched byte_gather_transpose kernel
+              // gathers 64 verdict bytes and pulls bit k of every byte into
+              // node k's packed word (SWAR multiply on scalar, vpmovmskb
+              // transpose on AVX2); the per-node words then scatter into the
+              // verdict scratch rows.
               const uint8_t* table = slot_tables8[s].data();
+              uint64_t node_bits[8];
               for (int wi = 0; wi < nwords; ++wi) {
                 const int i0 = wi * 64;
                 const int i1 = std::min(len, i0 + 64);
-                uint8_t vbuf[64];
-                for (int i = i0; i < i1; ++i) {
-                  vbuf[i - i0] = table[rows_for[i]];
-                }
-                for (int i = i1 - i0; i < 64; ++i) vbuf[i] = 0;
-                uint64_t chunks[8];
-                std::memcpy(chunks, vbuf, sizeof(chunks));
+                kern.byte_gather_transpose(table, rows_for + i0, i1 - i0, nn,
+                                           node_bits);
                 for (size_t k = 0; k < nn; ++k) {
-                  uint64_t bits = 0;
-                  for (int c = 0; c < 8; ++c) {
-                    bits |= ((((chunks[c] >> k) & kLsb8) * kGather) >> 56)
-                            << static_cast<unsigned>(8 * c);
-                  }
                   verdict[slot_nodes[s][k] *
                               static_cast<size_t>(kWordsPerBlock) +
-                          wi] = bits;
+                          wi] = node_bits[k];
                 }
               }
               continue;

@@ -31,6 +31,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "exec/parallel.h"
 #include "net/client.h"
 #include "obs/access_log.h"
 #include "obs/metrics.h"
@@ -67,6 +68,8 @@ struct Flags {
   std::string access_log;
   int slow_query_ms = 0;
   bool selfcheck = false;
+  // Pin engine-pool scan workers round-robin to cores (exec/parallel.h).
+  bool pin_workers = false;
   // With --selfcheck: write the scraped /metrics body here so CI can run
   // tools/check_metrics.py against a real exposition.
   std::string metrics_dump;
@@ -81,7 +84,8 @@ void Usage(const char* argv0) {
       "          [--idle-timeout-ms N] [--write-timeout-ms N]\n"
       "          [--tenant-rate Q] [--tenant-burst B]\n"
       "          [--tenant-inflight N] [--access-log PATH]\n"
-      "          [--slow-query-ms N] [--selfcheck] [--metrics-dump PATH]\n"
+      "          [--slow-query-ms N] [--pin-workers] [--selfcheck]\n"
+      "          [--metrics-dump PATH]\n"
       "  --port 0 picks an ephemeral port (printed on startup)\n"
       "  --default-budget E auto-registers unknown tenants with total eps E\n"
       "  --header/body/idle/write-timeout-ms: connection deadlines, 0 disables\n"
@@ -90,6 +94,8 @@ void Usage(const char* argv0) {
       "  --access-log PATH: JSON-lines per-request log with stage timings\n"
       "    ('-' = stdout); /metrics is always served regardless\n"
       "  --slow-query-ms N: WARN-log requests slower than N ms (0 disables)\n"
+      "  --pin-workers: pin scan worker threads round-robin to cores\n"
+      "    (steady-state dedicated hosts only; see docs/operations.md)\n"
       "  --selfcheck: serve, run one client round trip, SIGINT itself, exit\n"
       "  --metrics-dump PATH: with --selfcheck, save the /metrics scrape to\n"
       "    PATH (CI feeds it to tools/check_metrics.py)\n"
@@ -145,6 +151,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     } else if (arg == "--access-log" && i + 1 < argc) {
       flags->access_log = argv[++i];
     } else if (arg == "--slow-query-ms" && next_int(&flags->slow_query_ms)) {
+    } else if (arg == "--pin-workers") {
+      flags->pin_workers = true;
     } else if (arg == "--selfcheck") {
       flags->selfcheck = true;
     } else if (arg == "--metrics-dump" && i + 1 < argc) {
@@ -333,6 +341,9 @@ int main(int argc, char** argv) {
   sigaddset(&signals, SIGINT);
   sigaddset(&signals, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  // Before any scan runs so the very first pool threads are pinned.
+  if (flags.pin_workers) exec::MorselPool::SetPinWorkers(true);
 
   std::printf("generating SSB catalog at sf=%g ...\n", flags.scale_factor);
   ssb::SsbOptions ssb_options;
