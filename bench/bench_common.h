@@ -21,6 +21,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "exec/kernels/kernels.h"
+#include "obs/prof/counters.h"
 #include "core/predicate_mechanism.h"
 #include "exec/contribution_index.h"
 #include "exec/data_cube.h"
@@ -163,11 +164,17 @@ class QueryBench {
 
 /// \brief Machine-readable bench output: when constructed with a non-empty
 /// path, the destructor writes `{"host": {...}, "records": [...]}` — each
-/// record is `{"bench", "config", "rows_per_sec", "wall_ms"}`, and `host`
-/// carries the detected topology (cores, ISA the engine dispatched to, cache
-/// geometry) so runs from different machines are comparable without
-/// hand-written annotations. This is the format tools/check_bench.py and the
-/// checked-in BENCH_*.json baselines use.
+/// record is `{"bench", "config", "rows_per_sec", "wall_ms",
+/// "cycles_per_row", "instr_per_row"}`, and `host` carries the detected
+/// topology (cores, ISA the engine dispatched to, cache geometry) plus a
+/// `perf_counters` flag saying whether the cycle/instruction columns are
+/// real hardware counts or zeros from a host that denies perf_event_open.
+/// This is the format tools/check_bench.py and the checked-in BENCH_*.json
+/// baselines use.
+///
+/// Construct the writer at the top of main(): the inherit=1 process counters
+/// open in its constructor and only cover threads spawned afterwards, so it
+/// must exist before the first query warms the morsel pool.
 class JsonBenchWriter {
  public:
   /// \brief Extracts `--json <path>` or `--json=<path>` from argv, removing
@@ -196,9 +203,15 @@ class JsonBenchWriter {
   ~JsonBenchWriter() { Flush(); }
 
   void Add(const std::string& bench, const std::string& config,
-           double rows_per_sec, double wall_ms) {
-    records_.push_back({bench, config, rows_per_sec, wall_ms});
+           double rows_per_sec, double wall_ms, double cycles_per_row = 0.0,
+           double instr_per_row = 0.0) {
+    records_.push_back(
+        {bench, config, rows_per_sec, wall_ms, cycles_per_row, instr_per_row});
   }
+
+  /// Process-wide cycle/instruction counters for CounterSpan; zeros (and
+  /// available() == false) on hosts without PMU access.
+  const obs::prof::ProcessCounters& counters() const { return counters_; }
 
   /// Writes the file; called by the destructor, idempotent.
   void Flush() {
@@ -213,17 +226,20 @@ class JsonBenchWriter {
                  "{\n"
                  "  \"host\": {\"cores\": %d, \"isa\": \"%s\", "
                  "\"cache_line_bytes\": %d, \"l1d_bytes\": %lld, "
-                 "\"l2_bytes\": %lld},\n"
+                 "\"l2_bytes\": %lld, \"perf_counters\": %s},\n"
                  "  \"records\": [\n",
                  cpu.cores, exec::kernels::ActiveKernels().name,
                  cpu.cache_line_bytes, static_cast<long long>(cpu.l1d_bytes),
-                 static_cast<long long>(cpu.l2_bytes));
+                 static_cast<long long>(cpu.l2_bytes),
+                 counters_.available() ? "true" : "false");
     for (size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
       std::fprintf(f,
                    "    {\"bench\": \"%s\", \"config\": \"%s\", "
-                   "\"rows_per_sec\": %.1f, \"wall_ms\": %.3f}%s\n",
+                   "\"rows_per_sec\": %.1f, \"wall_ms\": %.3f, "
+                   "\"cycles_per_row\": %.3f, \"instr_per_row\": %.3f}%s\n",
                    r.bench.c_str(), r.config.c_str(), r.rows_per_sec, r.wall_ms,
+                   r.cycles_per_row, r.instr_per_row,
                    i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -239,10 +255,38 @@ class JsonBenchWriter {
     std::string config;  // must not contain JSON-special characters
     double rows_per_sec;
     double wall_ms;
+    double cycles_per_row;
+    double instr_per_row;
   };
   std::string path_;
   std::vector<Record> records_;
+  obs::prof::ProcessCounters counters_;
   bool written_ = false;
+};
+
+/// \brief Delta of the writer's process-wide counters over a measured region:
+/// snapshot at construction, divide by a row count at the end. All-zero on
+/// hosts where the counters are unavailable — callers need no special case,
+/// the columns just stay 0 and host.perf_counters says why.
+class CounterSpan {
+ public:
+  explicit CounterSpan(const JsonBenchWriter& json)
+      : counters_(&json.counters()), start_(counters_->Read()) {}
+
+  double CyclesPerRow(double rows) const {
+    if (rows <= 0) return 0.0;
+    return static_cast<double>(counters_->Read().cycles - start_.cycles) / rows;
+  }
+  double InstructionsPerRow(double rows) const {
+    if (rows <= 0) return 0.0;
+    return static_cast<double>(counters_->Read().instructions -
+                               start_.instructions) /
+           rows;
+  }
+
+ private:
+  const obs::prof::ProcessCounters* counters_;
+  obs::prof::ProcessCounters::Reading start_;
 };
 
 /// Default SSB scale factor for benches (DPSTARJ_SF).

@@ -22,6 +22,7 @@
 
 #include <cstring>
 #include <functional>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -260,6 +261,8 @@ void RunEngineComparison(bench::JsonBenchWriter* json) {
         DPSTARJ_CHECK(drift < 1e-9, "pipelines disagree on the query answer");
       }
       Timer timer;
+      std::optional<bench::CounterSpan> span;
+      if (json != nullptr) span.emplace(*json);
       int iters = 0;
       do {
         auto r = executor.Execute(*bound);
@@ -273,8 +276,10 @@ void RunEngineComparison(bench::JsonBenchWriter* json) {
                     Format("%.3g", rows_per_sec),
                     Format("%.2fx", rows_per_sec / scalar_rows_per_sec)});
       if (json != nullptr) {
-        json->Add(std::string("micro_engine/") + qname,
-                  config.name, rows_per_sec, wall_ms);
+        const double rows = fact_rows * iters;
+        json->Add(std::string("micro_engine/") + qname, config.name,
+                  rows_per_sec, wall_ms, span->CyclesPerRow(rows),
+                  span->InstructionsPerRow(rows));
       }
     }
     table.Print();
@@ -371,6 +376,8 @@ void RunPlanCacheComparison(bench::JsonBenchWriter* json) {
     for (const PathConfig& path : paths) {
       path.run();  // warm-up (compiles the plan for the warm path)
       Timer timer;
+      std::optional<bench::CounterSpan> span;
+      if (json != nullptr) span.emplace(*json);
       int iters = 0;
       do {
         path.run();
@@ -383,8 +390,10 @@ void RunPlanCacheComparison(bench::JsonBenchWriter* json) {
                     Format("%.3g", rows_per_sec),
                     Format("%.2fx", rows_per_sec / uncached_rows_per_sec)});
       if (json != nullptr) {
+        const double rows = fact_rows * iters;
         json->Add(std::string("micro_engine/pm_repeat/") + qname, path.name,
-                  rows_per_sec, wall_ms);
+                  rows_per_sec, wall_ms, span->CyclesPerRow(rows),
+                  span->InstructionsPerRow(rows));
       }
     }
     table.Print();
@@ -459,6 +468,8 @@ void RunWorkloadComparison(bench::JsonBenchWriter* json) {
   for (const PathConfig& path : paths) {
     path.run();  // warm-up: compiles and caches every per-query plan
     Timer timer;
+    std::optional<bench::CounterSpan> span;
+    if (json != nullptr) span.emplace(*json);
     int iters = 0;
     do {
       path.run();
@@ -480,8 +491,10 @@ void RunWorkloadComparison(bench::JsonBenchWriter* json) {
         config += Format(" speedup=%.2fx vs sequential warm (same host)",
                          rows_per_sec / sequential_rows_per_sec);
       }
+      const double rows = fact_rows * batch_queries * iters;
       json->Add("micro_engine/workload/ssb_qc16", config, rows_per_sec,
-                wall_ms);
+                wall_ms, span->CyclesPerRow(rows),
+                span->InstructionsPerRow(rows));
     }
   }
   table.Print();
@@ -550,6 +563,8 @@ void RunCubeComparison(bench::JsonBenchWriter* json) {
       DPSTARJ_CHECK(drift < 1e-9, "cube builds disagree on the total");
     }
     Timer timer;
+    std::optional<bench::CounterSpan> span;
+    if (json != nullptr) span.emplace(*json);
     int iters = 0;
     do {
       auto cube = exec::DataCube::BuildFromQueryPredicates(*bound, config.options);
@@ -563,8 +578,10 @@ void RunCubeComparison(bench::JsonBenchWriter* json) {
                   Format("%.3g", rows_per_sec),
                   Format("%.2fx", rows_per_sec / legacy_rows_per_sec)});
     if (json != nullptr) {
-      json->Add("micro_engine/cube_build/Qc3",
-                config.name, rows_per_sec, wall_ms);
+      const double rows = fact_rows * iters;
+      json->Add("micro_engine/cube_build/Qc3", config.name, rows_per_sec,
+                wall_ms, span->CyclesPerRow(rows),
+                span->InstructionsPerRow(rows));
     }
   }
   table.Print();
@@ -574,6 +591,8 @@ void RunCubeComparison(bench::JsonBenchWriter* json) {
   DPSTARJ_CHECK(cube.ok(), "cube build");
   auto preds = bound->Predicates();
   Timer timer;
+  std::optional<bench::CounterSpan> span;
+  if (json != nullptr) span.emplace(*json);
   int iters = 0;
   do {
     auto r = cube->Evaluate(preds);
@@ -586,7 +605,10 @@ void RunCubeComparison(bench::JsonBenchWriter* json) {
   std::printf("cube evaluate (box sweep): %.4f ms/eval over %lld cells\n\n",
               wall_ms, static_cast<long long>(cube->num_cells()));
   if (json != nullptr) {
-    json->Add("micro_engine/cube_eval/Qc3", "box-sweep", cells_per_sec, wall_ms);
+    // "rows" for the eval loop are swept cube cells, matching cells_per_sec.
+    const double cells = static_cast<double>(cube->num_cells()) * iters;
+    json->Add("micro_engine/cube_eval/Qc3", "box-sweep", cells_per_sec, wall_ms,
+              span->CyclesPerRow(cells), span->InstructionsPerRow(cells));
   }
 }
 

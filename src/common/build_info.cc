@@ -1,0 +1,37 @@
+#include "common/build_info.h"
+
+#include <chrono>
+
+namespace dpstarj::common {
+
+namespace {
+
+#if defined(__clang__)
+constexpr const char* kCompiler = "clang " __VERSION__;
+#elif defined(__GNUC__)
+constexpr const char* kCompiler = "gcc " __VERSION__;
+#else
+constexpr const char* kCompiler = __VERSION__;
+#endif
+
+#if defined(DPSTARJ_BUILD_TYPE)
+constexpr const char* kBuildType = DPSTARJ_BUILD_TYPE;
+#else
+constexpr const char* kBuildType = "unknown";
+#endif
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info{kCompiler, kBuildType};
+  return info;
+}
+
+double ProcessUptimeSeconds() {
+  static const auto anchor = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       anchor)
+      .count();
+}
+
+}  // namespace dpstarj::common

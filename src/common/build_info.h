@@ -1,0 +1,23 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Static build identity (compiler, build type) for the dpstarj_build_info
+// metric and /v1/stats, plus the process uptime anchor behind
+// dpstarj_process_uptime_seconds.
+
+#pragma once
+
+namespace dpstarj::common {
+
+struct BuildInfo {
+  const char* compiler;    ///< e.g. "GNU 13.2.0" (from __VERSION__)
+  const char* build_type;  ///< CMAKE_BUILD_TYPE, or "unknown" outside CMake
+};
+
+const BuildInfo& GetBuildInfo();
+
+/// \brief Seconds since the anchor was first touched. Call once early in
+/// process startup (the service router constructor does) so "uptime" means
+/// time since boot rather than time since the first scrape.
+double ProcessUptimeSeconds();
+
+}  // namespace dpstarj::common

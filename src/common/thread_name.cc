@@ -1,0 +1,27 @@
+#include "common/thread_name.h"
+
+#include <cstdio>
+
+#if defined(__linux__)
+#include <sys/prctl.h>
+#endif
+
+namespace dpstarj::common {
+
+void SetCurrentThreadName(const char* name) {
+#if defined(__linux__)
+  char truncated[16];  // TASK_COMM_LEN: 15 chars + NUL; snprintf truncates
+  std::snprintf(truncated, sizeof(truncated), "%s", name);
+  (void)prctl(PR_SET_NAME, reinterpret_cast<unsigned long>(truncated), 0, 0, 0);
+#else
+  (void)name;
+#endif
+}
+
+void SetCurrentThreadName(const char* prefix, int index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%s%d", prefix, index);
+  SetCurrentThreadName(name);
+}
+
+}  // namespace dpstarj::common

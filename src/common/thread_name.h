@@ -1,0 +1,20 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Kernel-visible thread names. The sampling profiler (obs/prof/sampler) uses
+// the name of the interrupted thread as the root frame of every folded stack,
+// so naming the pool/handler threads is what turns a capture into
+// "dpsj-eng-0;...;Scan 812" instead of a wall of anonymous stacks. Names also
+// show up in /proc/<pid>/task/*/comm, top -H and core dumps.
+
+#pragma once
+
+namespace dpstarj::common {
+
+/// \brief Names the calling thread, truncated to the kernel's 15-character
+/// limit. Best-effort no-op off Linux.
+void SetCurrentThreadName(const char* name);
+
+/// Names the calling thread "<prefix><index>" (e.g. "dpsj-eng-0").
+void SetCurrentThreadName(const char* prefix, int index);
+
+}  // namespace dpstarj::common

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 
 #include "common/cpu.h"
+#include "common/thread_name.h"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -74,6 +76,16 @@ int MorselPool::num_threads() const {
   return static_cast<int>(threads_.size());
 }
 
+std::vector<MorselPool::WorkerStats> MorselPool::worker_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WorkerStats> out(worker_counters_.size());
+  for (size_t i = 0; i < worker_counters_.size(); ++i) {
+    out[i].busy_ns = worker_counters_[i].busy_ns.load(std::memory_order_relaxed);
+    out[i].roles = worker_counters_[i].roles.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
 void MorselPool::RunRole(const Job& job, int role) {
   const int64_t num_morsels =
       (job.total + job.morsel_size - 1) / job.morsel_size;
@@ -99,17 +111,19 @@ void MorselPool::EnsureThreads(int n) {
   while (static_cast<int>(threads_.size()) < n) {
     const int index = static_cast<int>(threads_.size());
     const bool pin = g_pin_workers.load(std::memory_order_relaxed);
-    threads_.emplace_back([this, index, pin] {
+    WorkerCounters* counters = &worker_counters_.emplace_back();
+    threads_.emplace_back([this, index, pin, counters] {
+      common::SetCurrentThreadName("dpsj-morsel-", index);
       // Core 0 is skipped: the calling thread (always role 0) usually lives
       // there, and stacking a pool worker on it serializes the two largest
       // shares of every scan.
       if (pin) PinSelfToCore(index + 1);
-      ThreadLoop();
+      ThreadLoop(counters);
     });
   }
 }
 
-void MorselPool::ThreadLoop() {
+void MorselPool::ThreadLoop(WorkerCounters* counters) {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     work_cv_.wait(lock, [&] { return shutdown_ || !pending_.empty(); });
@@ -118,7 +132,15 @@ void MorselPool::ThreadLoop() {
     const int role = job->next_role++;
     if (job->next_role >= job->num_workers) pending_.pop_front();
     lock.unlock();
+    const auto busy_start = std::chrono::steady_clock::now();
     RunRole(*job, role);
+    counters->busy_ns.fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - busy_start)
+                .count()),
+        std::memory_order_relaxed);
+    counters->roles.fetch_add(1, std::memory_order_relaxed);
     FinishRole(job);
     lock.lock();
   }

@@ -19,6 +19,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -82,6 +83,19 @@ class MorselPool {
   /// Number of worker threads currently in the pool.
   int num_threads() const;
 
+  /// \brief One pool thread's lifetime utilization snapshot. busy_ns counts
+  /// time inside RunRole (claim-to-finish); everything else is idle wait.
+  /// Covers pool threads only — the calling thread's role-0 work shows up in
+  /// its own stage spans, not here.
+  struct WorkerStats {
+    uint64_t busy_ns = 0;
+    uint64_t roles = 0;  ///< roles executed (≥1 morsel each)
+  };
+
+  /// Snapshot of every pool thread's counters, index-aligned with creation
+  /// order (thread i is named "dpsj-morsel-i").
+  std::vector<WorkerStats> worker_stats() const;
+
   /// \brief When enabled, pool threads created afterwards are pinned
   /// round-robin across the host's cores (the calling thread — role 0 —
   /// is left to the OS scheduler). Opt-in via dpstarj-server --pin-workers:
@@ -101,17 +115,26 @@ class MorselPool {
     int completed_roles = 0; // job done when == num_workers
   };
 
+  // Per-thread busy counters, padded to a cache line: each pool thread
+  // updates only its own slot, so the writes never contend. A deque keeps
+  // slot addresses stable as EnsureThreads grows the pool.
+  struct alignas(64) WorkerCounters {
+    std::atomic<uint64_t> busy_ns{0};
+    std::atomic<uint64_t> roles{0};
+  };
+
   static void RunRole(const Job& job, int role);
   // Marks one role of `job` finished; notifies the owning Run when the job
   // completes. Caller must NOT hold mu_.
   void FinishRole(Job* job);
   void EnsureThreads(int n);  // caller holds mu_
-  void ThreadLoop();
+  void ThreadLoop(WorkerCounters* counters);
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // pool threads: a job or shutdown arrived
   std::condition_variable done_cv_;  // callers: some role finished
   std::vector<std::thread> threads_;
+  std::deque<WorkerCounters> worker_counters_;  // index-aligned with threads_
   std::deque<Job*> pending_;  // jobs with unclaimed roles, FIFO
   bool shutdown_ = false;
 };

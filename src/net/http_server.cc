@@ -15,6 +15,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_name.h"
 #include "net/json.h"
 
 namespace dpstarj::net {
@@ -139,11 +140,17 @@ Status HttpServer::Start() {
     return st;
   }
 
-  event_thread_ = std::thread([this] { EventLoop(); });
+  event_thread_ = std::thread([this] {
+    common::SetCurrentThreadName("dpsj-epoll");
+    EventLoop();
+  });
   event_thread_id_.store(event_thread_.get_id());
   handler_threads_.reserve(static_cast<size_t>(options_.handler_threads));
   for (int i = 0; i < options_.handler_threads; ++i) {
-    handler_threads_.emplace_back([this] { HandlerLoop(); });
+    handler_threads_.emplace_back([this, i] {
+      common::SetCurrentThreadName("dpsj-http-", i);
+      HandlerLoop();
+    });
   }
   DPSTARJ_LOG(kInfo) << "http server listening on " << options_.host << ":"
                      << port_;
@@ -733,9 +740,31 @@ void HttpServer::HandleRequest(Connection* conn) {
       }
       if (options_.slow_query_ms > 0 &&
           total_us >= static_cast<uint64_t>(options_.slow_query_ms) * 1000) {
+        // Name the dominant stage inline: the operator triaging the log
+        // should not need to fetch the trace by id just to learn where the
+        // time went.
+        std::string dominant;
+        if (response.trace != nullptr && total_us > 0) {
+          uint64_t max_ns = 0;
+          obs::Stage max_stage = obs::Stage::kHeaderRead;
+          for (int s = 0; s < obs::kStageCount; ++s) {
+            const auto stage = static_cast<obs::Stage>(s);
+            if (response.trace->stage_ns(stage) > max_ns) {
+              max_ns = response.trace->stage_ns(stage);
+              max_stage = stage;
+            }
+          }
+          if (max_ns > 0) {
+            dominant = Format(" dominant_stage=%s (%.0f%%)",
+                              obs::StageName(max_stage),
+                              100.0 * static_cast<double>(max_ns / 1000) /
+                                  static_cast<double>(total_us));
+          }
+        }
         DPSTARJ_LOG(kWarning)
             << "slow request: " << request.method << " " << request.path
             << " -> " << response.status << " in " << total_us << " us"
+            << dominant
             << (response.trace != nullptr ? " trace=" + response.trace->id()
                                           : std::string());
       }

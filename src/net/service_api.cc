@@ -2,11 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <memory>
 #include <utility>
 
+#include "common/build_info.h"
+#include "common/cpu.h"
 #include "common/string_util.h"
+#include "exec/kernels/kernels.h"
+#include "exec/parallel.h"
 #include "obs/metrics.h"
+#include "obs/prof/counters.h"
+#include "obs/prof/sampler.h"
 #include "obs/trace.h"
 
 namespace dpstarj::net {
@@ -106,6 +113,48 @@ void AttachRetryAfter(service::QueryService* service, const ApiOptions& options,
     retry_after = std::max(1, static_cast<int>(std::ceil(hint)));
   }
   resp->headers.push_back({"Retry-After", Format("%d", retry_after)});
+}
+
+/// The raw value of `key` in a query string ("a=1&b=2"), or "" when absent.
+/// No %-decoding: every parameter this API reads is a plain number.
+std::string QueryParam(const std::string& query, const std::string& key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return std::string();
+}
+
+/// Parses a finite double out of `text` entirely (trailing junk rejected).
+bool ParseFullDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || !std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+/// Exports the busy/idle accounting of one worker pool as scrape-time gauges.
+void ExportWorkerGauges(obs::MetricsRegistry* reg, const char* pool,
+                        size_t index, uint64_t busy_ns, uint64_t tasks) {
+  const obs::Labels labels = {{"pool", pool}, {"worker", Format("%zu", index)}};
+  reg->GetGauge("dpstarj_worker_busy_seconds",
+                "Lifetime busy time per pool worker (everything else the "
+                "worker was idle on its queue)",
+                labels)
+      ->Set(static_cast<double>(busy_ns) * 1e-9);
+  reg->GetGauge("dpstarj_worker_tasks",
+                "Lifetime tasks (jobs or morsel roles) executed per pool worker",
+                labels)
+      ->Set(static_cast<double>(tasks));
 }
 
 }  // namespace
@@ -228,6 +277,30 @@ Router MakeServiceRouter(service::QueryService* service, ApiOptions options) {
   auto workload_api = std::make_shared<ApiTelemetry>(
       service->metrics(), "dpstarj_workload_duration_seconds",
       "End-to-end /v1/workload latency by outcome");
+  // Anchor the uptime clock at router construction (≈ process start), and
+  // publish the static build identity once — the labels carry the values, the
+  // gauge itself is the conventional constant 1.
+  common::ProcessUptimeSeconds();
+  {
+    const common::BuildInfo& build = common::GetBuildInfo();
+    service->metrics()
+        ->GetGauge("dpstarj_build_info",
+                   "Build identity; the value is always 1, the labels carry "
+                   "the information",
+                   {{"isa", exec::kernels::ActiveKernels().name},
+                    {"compiler", build.compiler},
+                    {"build_type", build.build_type}})
+        ->Set(1.0);
+  }
+  obs::Counter* profile_ok = service->metrics()->GetCounter(
+      "dpstarj_profile_captures_total", "Profile captures by outcome",
+      {{"outcome", "ok"}});
+  obs::Counter* profile_rejected = service->metrics()->GetCounter(
+      "dpstarj_profile_captures_total", "Profile captures by outcome",
+      {{"outcome", "rejected"}});
+  obs::Counter* profile_samples = service->metrics()->GetCounter(
+      "dpstarj_profile_samples_total",
+      "Stack samples aggregated across all profile captures");
   Router router;
 
   router.Handle("GET", "/healthz", [](const HttpRequest&) {
@@ -235,7 +308,14 @@ Router MakeServiceRouter(service::QueryService* service, ApiOptions options) {
   });
 
   router.Handle("GET", "/v1/stats", [service](const HttpRequest&) {
-    return JsonResponse(200, ServiceStatsToJson(service->Stats()));
+    Json body = ServiceStatsToJson(service->Stats());
+    // Runtime identity: which kernel table dispatch picked, how stage
+    // counters are being sourced, and how long the process has been up.
+    body.Set("kernel_isa", Json::Str(exec::kernels::ActiveKernels().name));
+    body.Set("profiler_mode",
+             Json::Str(obs::prof::CounterModeName(obs::prof::ActiveCounterMode())));
+    body.Set("uptime_seconds", Json::Number(common::ProcessUptimeSeconds()));
+    return JsonResponse(200, body);
   });
 
   router.Handle("GET", "/metrics", [service](const HttpRequest&) {
@@ -271,6 +351,19 @@ Router MakeServiceRouter(service::QueryService* service, ApiOptions options) {
     reg->GetGauge("dpstarj_admission_capped",
                   "Lifetime submissions refused by tenant in-flight caps")
         ->Set(static_cast<double>(stats.tenant_capped));
+    reg->GetGauge("dpstarj_process_uptime_seconds",
+                  "Seconds since process start")
+        ->Set(common::ProcessUptimeSeconds());
+    {
+      const auto engine = service->worker_stats();
+      for (size_t i = 0; i < engine.size(); ++i) {
+        ExportWorkerGauges(reg, "engine", i, engine[i].busy_ns, engine[i].jobs);
+      }
+      const auto morsel = exec::MorselPool::Shared().worker_stats();
+      for (size_t i = 0; i < morsel.size(); ++i) {
+        ExportWorkerGauges(reg, "morsel", i, morsel[i].busy_ns, morsel[i].roles);
+      }
+    }
     HttpResponse resp;
     resp.status = 200;
     resp.body = reg->RenderPrometheus();
@@ -301,10 +394,83 @@ Router MakeServiceRouter(service::QueryService* service, ApiOptions options) {
       }
       return out;
     };
+    // The per-stage hardware-counter totals, folded from finished traces by
+    // StageMetrics. All-zero hardware series with profiler_mode ==
+    // "thread_cputime" means "no PMU access", not "no cycles burned".
+    Json counters = Json::Object();
+    for (int s = 0; s < obs::kStageCount; ++s) {
+      const char* stage = obs::StageName(static_cast<obs::Stage>(s));
+      const obs::Labels labels = {{"stage", stage}};
+      auto value = [reg, &labels](const char* family) -> double {
+        const obs::Counter* c = reg->FindCounter(family, labels);
+        return c == nullptr ? 0.0 : static_cast<double>(c->Value());
+      };
+      Json entry = Json::Object();
+      entry.Set("cycles", Json::Number(value("dpstarj_stage_cycles_total")));
+      entry.Set("instructions",
+                Json::Number(value("dpstarj_stage_instructions_total")));
+      entry.Set("llc_misses",
+                Json::Number(value("dpstarj_stage_llc_misses_total")));
+      entry.Set("branch_misses",
+                Json::Number(value("dpstarj_stage_branch_misses_total")));
+      entry.Set("task_clock_ns",
+                Json::Number(value("dpstarj_stage_task_clock_ns_total")));
+      counters.Set(stage, std::move(entry));
+    }
     Json body = Json::Object();
     body.Set("stages", render_family("dpstarj_stage_duration_seconds", "stage"));
     body.Set("query", render_family("dpstarj_query_duration_seconds", "outcome"));
+    body.Set("stage_counters", std::move(counters));
+    body.Set("profiler_mode",
+             Json::Str(obs::prof::CounterModeName(obs::prof::ActiveCounterMode())));
     return JsonResponse(200, body);
+  });
+
+  router.Handle("GET", "/v1/profile",
+                [profile_ok, profile_rejected,
+                 profile_samples](const HttpRequest& req) {
+    // Defaults: a 1-second window at 99 Hz — enough for a quick look, prime
+    // so the sampling does not alias against millisecond-periodic work.
+    double seconds = 1.0;
+    double hz = 99.0;
+    const std::string seconds_text = QueryParam(req.query, "seconds");
+    if (!seconds_text.empty() && !ParseFullDouble(seconds_text, &seconds)) {
+      profile_rejected->Inc();
+      return ErrorResponse(Status::InvalidArgument("seconds must be a number"));
+    }
+    const std::string hz_text = QueryParam(req.query, "hz");
+    if (!hz_text.empty() &&
+        (!ParseFullDouble(hz_text, &hz) || hz != std::floor(hz))) {
+      profile_rejected->Inc();
+      return ErrorResponse(Status::InvalidArgument("hz must be an integer"));
+    }
+    if (hz < 1.0 || hz > 1000.0) {
+      // Range-check before the int cast (attacker-supplied value).
+      profile_rejected->Inc();
+      return ErrorResponse(Status::InvalidArgument("hz must be in [1, 1000]"));
+    }
+    // Blocks this handler thread for the capture window; the sampler rejects
+    // a second concurrent capture with AlreadyExists → 409, so at most one
+    // handler thread is ever parked here.
+    auto profile =
+        obs::prof::Sampler::Global().Run(seconds, static_cast<int>(hz));
+    if (!profile.ok()) {
+      profile_rejected->Inc();
+      return ErrorResponse(profile.status());
+    }
+    profile_ok->Inc();
+    profile_samples->Inc(profile->samples);
+    HttpResponse resp;
+    resp.status = 200;
+    resp.body = std::move(profile->folded);
+    resp.content_type = "text/plain; charset=utf-8";
+    resp.headers.push_back(
+        {"X-DPStarJ-Profile-Samples", Format("%llu", static_cast<unsigned long long>(
+                                                         profile->samples))});
+    resp.headers.push_back(
+        {"X-DPStarJ-Profile-Dropped", Format("%llu", static_cast<unsigned long long>(
+                                                         profile->dropped))});
+    return resp;
   });
 
   router.Handle("POST", "/v1/tenants", [service](const HttpRequest& req) {

@@ -33,8 +33,15 @@
 //                           the per-outcome query-duration aggregates
 //   GET  /metrics           Prometheus text exposition (version 0.0.4) of the
 //                           process registry; scrape-time gauges (per-tenant ε
-//                           position, queue depth, cache hit ratios) are
-//                           refreshed inside the handler
+//                           position, queue depth, cache hit ratios, worker
+//                           busy time, uptime) are refreshed inside the
+//                           handler
+//   GET  /v1/profile        ?seconds=N&hz=H — blocks for the window, answers
+//                           200 text/plain flamegraph-collapsed folded stacks
+//                           of wherever the process burned CPU (plus
+//                           X-DPStarJ-Profile-Samples/-Dropped headers);
+//                           400 on bad parameters, 409 while another capture
+//                           is live. Zero cost when not in use.
 //   GET  /healthz           {"status":"ok"} — liveness, no service state
 //
 // Every /v1/query response (success or refusal) carries X-DPStarJ-Trace-Id;

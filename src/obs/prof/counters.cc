@@ -1,0 +1,271 @@
+#include "obs/prof/counters.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace dpstarj::obs::prof {
+
+namespace {
+
+uint64_t SatSub(uint64_t a, uint64_t b) { return a > b ? a - b : 0; }
+
+uint64_t ThreadCpuNs() {
+#if defined(__linux__) || defined(__APPLE__)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
+
+// Process-wide mode: -1 undecided, otherwise a CounterMode value. Decided by
+// whichever thread first opens (or fails to open) a group; later threads
+// follow the decision without re-probing, so a flaky host cannot split the
+// process across modes.
+std::atomic<int> g_mode{-1};
+
+bool PerfForcedOff() {
+  const char* env = std::getenv("DPSTARJ_PROF_NO_PERF");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+#if defined(__linux__)
+
+int PerfOpen(uint32_t type, uint64_t config, int group_fd, uint64_t format,
+             bool disabled, bool inherit) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.read_format = format;
+  attr.disabled = disabled ? 1 : 0;
+  attr.inherit = inherit ? 1 : 0;
+  // User-space measurement only: perf_event_paranoid=2 (the unprivileged
+  // default) refuses kernel-inclusive counters but admits these.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(syscall(__NR_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, /*flags=*/0ul));
+}
+
+// One thread's counter group: cycles leads, the other three follow. Sibling
+// failures (a PMU without an LLC event, say) skip that series rather than
+// losing the group; slot_of_[i] maps the CounterSet field to its position in
+// the group read, -1 when unavailable.
+struct ThreadGroup {
+  bool attempted = false;
+  int fds[4] = {-1, -1, -1, -1};
+  int slot_of[4] = {-1, -1, -1, -1};
+  int num_open = 0;
+
+  ~ThreadGroup() {
+    for (int fd : fds) {
+      if (fd >= 0) close(fd);
+    }
+  }
+
+  bool Open() {
+    attempted = true;
+    static constexpr struct {
+      uint32_t type;
+      uint64_t config;
+    } kEvents[4] = {
+        {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+        {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+        {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+        {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    };
+    const uint64_t format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                            PERF_FORMAT_TOTAL_TIME_RUNNING;
+    fds[0] = PerfOpen(kEvents[0].type, kEvents[0].config, /*group_fd=*/-1,
+                      format, /*disabled=*/true, /*inherit=*/false);
+    if (fds[0] < 0) return false;
+    slot_of[0] = 0;
+    num_open = 1;
+    for (int i = 1; i < 4; ++i) {
+      fds[i] = PerfOpen(kEvents[i].type, kEvents[i].config, fds[0], format,
+                        /*disabled=*/false, /*inherit=*/false);
+      if (fds[i] >= 0) slot_of[i] = num_open++;
+    }
+    if (ioctl(fds[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) != 0) {
+      for (int& fd : fds) {
+        if (fd >= 0) close(fd);
+        fd = -1;
+      }
+      num_open = 0;
+      return false;
+    }
+    return true;
+  }
+
+  // Reads the group; false on a failed read (counters stay zero).
+  bool Read(uint64_t out[4]) const {
+    // Layout: nr, time_enabled, time_running, value[nr].
+    uint64_t buf[3 + 4] = {};
+    const ssize_t want =
+        static_cast<ssize_t>((3 + static_cast<size_t>(num_open)) * sizeof(uint64_t));
+    if (read(fds[0], buf, static_cast<size_t>(want)) != want) return false;
+    const uint64_t enabled = buf[1], running = buf[2];
+    for (int i = 0; i < 4; ++i) {
+      if (slot_of[i] < 0) continue;
+      uint64_t v = buf[3 + slot_of[i]];
+      // Multiplexing scaling: the kernel time-slices over-subscribed PMUs;
+      // scale the observed count up by enabled/running (Brendan Gregg's
+      // "perf stat" convention). running == 0 means never scheduled.
+      if (running > 0 && running < enabled) {
+        v = static_cast<uint64_t>(
+            static_cast<double>(v) *
+            (static_cast<double>(enabled) / static_cast<double>(running)));
+      } else if (running == 0) {
+        v = 0;
+      }
+      out[i] = v;
+    }
+    return true;
+  }
+};
+
+thread_local ThreadGroup t_group;
+
+#endif  // __linux__
+
+}  // namespace
+
+const char* CounterModeName(CounterMode mode) {
+  switch (mode) {
+    case CounterMode::kPerfEvents: return "perf_events";
+    case CounterMode::kFallback: return "thread_cputime";
+  }
+  return "unknown";
+}
+
+CounterSet CounterSet::operator-(const CounterSet& earlier) const {
+  CounterSet d;
+  d.cycles = SatSub(cycles, earlier.cycles);
+  d.instructions = SatSub(instructions, earlier.instructions);
+  d.llc_misses = SatSub(llc_misses, earlier.llc_misses);
+  d.branch_misses = SatSub(branch_misses, earlier.branch_misses);
+  d.task_clock_ns = SatSub(task_clock_ns, earlier.task_clock_ns);
+  return d;
+}
+
+void CounterSet::Accumulate(const CounterSet& delta) {
+  cycles += delta.cycles;
+  instructions += delta.instructions;
+  llc_misses += delta.llc_misses;
+  branch_misses += delta.branch_misses;
+  task_clock_ns += delta.task_clock_ns;
+}
+
+CounterSet SampleThreadCounters() {
+  CounterSet out;
+  out.task_clock_ns = ThreadCpuNs();
+#if defined(__linux__)
+  int mode = g_mode.load(std::memory_order_acquire);
+  if (mode == static_cast<int>(CounterMode::kFallback)) return out;
+  if (!t_group.attempted) {
+    bool opened = false;
+    if (mode != static_cast<int>(CounterMode::kFallback) && !PerfForcedOff()) {
+      opened = t_group.Open();
+    } else {
+      t_group.attempted = true;
+    }
+    if (mode < 0) {
+      // First thread to sample decides the process mode.
+      int expected = -1;
+      g_mode.compare_exchange_strong(
+          expected,
+          static_cast<int>(opened ? CounterMode::kPerfEvents
+                                  : CounterMode::kFallback),
+          std::memory_order_acq_rel);
+    }
+  }
+  if (t_group.num_open > 0) {
+    uint64_t hw[4] = {};
+    if (t_group.Read(hw)) {
+      out.cycles = hw[0];
+      out.instructions = hw[1];
+      out.llc_misses = hw[2];
+      out.branch_misses = hw[3];
+    }
+  }
+#endif
+  return out;
+}
+
+CounterMode ActiveCounterMode() {
+  int mode = g_mode.load(std::memory_order_acquire);
+  if (mode < 0) {
+    (void)SampleThreadCounters();  // resolves g_mode as a side effect
+    mode = g_mode.load(std::memory_order_acquire);
+  }
+  if (mode < 0) return CounterMode::kFallback;  // non-Linux: never resolves
+  return static_cast<CounterMode>(mode);
+}
+
+ProcessCounters::ProcessCounters() {
+#if defined(__linux__)
+  if (PerfForcedOff()) return;
+  // inherit=1 is incompatible with PERF_FORMAT_GROUP, so the two events are
+  // independent fds, each scaled by its own enabled/running times.
+  const uint64_t format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  cycles_fd_ = PerfOpen(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES,
+                        /*group_fd=*/-1, format, /*disabled=*/false,
+                        /*inherit=*/true);
+  instructions_fd_ = PerfOpen(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS,
+                              /*group_fd=*/-1, format, /*disabled=*/false,
+                              /*inherit=*/true);
+  if (!available()) {
+    if (cycles_fd_ >= 0) close(cycles_fd_);
+    if (instructions_fd_ >= 0) close(instructions_fd_);
+    cycles_fd_ = instructions_fd_ = -1;
+  }
+#endif
+}
+
+ProcessCounters::~ProcessCounters() {
+#if defined(__linux__)
+  if (cycles_fd_ >= 0) close(cycles_fd_);
+  if (instructions_fd_ >= 0) close(instructions_fd_);
+#endif
+}
+
+ProcessCounters::Reading ProcessCounters::Read() const {
+  Reading r;
+#if defined(__linux__)
+  if (!available()) return r;
+  auto read_scaled = [](int fd) -> uint64_t {
+    uint64_t buf[3] = {};  // value, time_enabled, time_running
+    if (read(fd, buf, sizeof(buf)) != static_cast<ssize_t>(sizeof(buf))) {
+      return 0;
+    }
+    uint64_t v = buf[0];
+    if (buf[2] > 0 && buf[2] < buf[1]) {
+      v = static_cast<uint64_t>(
+          static_cast<double>(v) *
+          (static_cast<double>(buf[1]) / static_cast<double>(buf[2])));
+    } else if (buf[2] == 0) {
+      v = 0;
+    }
+    return v;
+  };
+  r.cycles = read_scaled(cycles_fd_);
+  r.instructions = read_scaled(instructions_fd_);
+#endif
+  return r;
+}
+
+}  // namespace dpstarj::obs::prof

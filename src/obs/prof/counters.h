@@ -1,0 +1,93 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// Per-thread hardware performance counters for the stage profiler, with a
+// software fallback that never reports a silent zero.
+//
+// Preferred mode opens one perf_event group per thread (cycles leader +
+// instructions, LLC misses, branch misses as siblings) the first time the
+// thread samples, and reads all four with a single group read. The group is
+// opened with PERF_FORMAT_TIME_ENABLED|TIME_RUNNING so counts are scaled for
+// kernel multiplexing, and with exclude_kernel so perf_event_paranoid=2 hosts
+// (the unprivileged-container default) still admit it.
+//
+// When the syscall is denied (paranoid level, seccomp) or the host simply has
+// no PMU (most cloud VMs return ENOENT for hardware events), the subsystem
+// degrades to CLOCK_THREAD_CPUTIME_ID: the four hardware series read zero and
+// the task-clock series keeps working. The active mode is process-wide —
+// resolved once, on the first sample — and exported as the
+// dpstarj_profiler_mode gauge (obs/trace.cc), so a scrape can always tell
+// "no cycles burned" apart from "no PMU access".
+//
+// The task-clock series is sourced from CLOCK_THREAD_CPUTIME_ID in BOTH
+// modes: it is the one series dashboards may rely on unconditionally.
+//
+// Env knobs:
+//   DPSTARJ_PROF_NO_PERF=1   force the fallback mode (used by tests, and by
+//                            operators who want the syscall never attempted).
+
+#pragma once
+
+#include <cstdint>
+
+namespace dpstarj::obs::prof {
+
+/// How the per-thread counters are being sourced (process-wide).
+enum class CounterMode : int {
+  kFallback = 0,    ///< CLOCK_THREAD_CPUTIME_ID only; hardware series are 0
+  kPerfEvents = 1,  ///< perf_event_open group per thread
+};
+
+/// Stable label value for the dpstarj_profiler_mode gauge
+/// ("thread_cputime" / "perf_events").
+const char* CounterModeName(CounterMode mode);
+
+/// \brief One reading (or delta) of a thread's counters.
+struct CounterSet {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t llc_misses = 0;
+  uint64_t branch_misses = 0;
+  uint64_t task_clock_ns = 0;
+
+  /// Per-field saturating difference (multiplexing scaling can make a scaled
+  /// hardware count regress by a few counts between reads; clamp to 0 rather
+  /// than wrap).
+  CounterSet operator-(const CounterSet& earlier) const;
+  void Accumulate(const CounterSet& delta);
+};
+
+/// \brief The process-wide counter mode, resolving it (including the first
+/// perf_event_open attempt, on the calling thread) when still undecided.
+CounterMode ActiveCounterMode();
+
+/// \brief Reads the calling thread's counters. Cheap enough for stage spans:
+/// one clock_gettime plus, in perf mode, one group read(). The first call on
+/// a thread opens its group (perf mode only).
+CounterSet SampleThreadCounters();
+
+/// \brief Process-wide counters for bench harnesses: cycles + instructions
+/// opened with inherit=1 BEFORE worker threads spawn, so a later Read() sums
+/// over every thread the process has created since. Reads scale for
+/// multiplexing. available() is false when the host denies the events — the
+/// bench then records zero columns (and says so in its host block).
+class ProcessCounters {
+ public:
+  ProcessCounters();
+  ~ProcessCounters();
+  ProcessCounters(const ProcessCounters&) = delete;
+  ProcessCounters& operator=(const ProcessCounters&) = delete;
+
+  struct Reading {
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+  };
+
+  bool available() const { return cycles_fd_ >= 0 && instructions_fd_ >= 0; }
+  Reading Read() const;
+
+ private:
+  int cycles_fd_ = -1;
+  int instructions_fd_ = -1;
+};
+
+}  // namespace dpstarj::obs::prof

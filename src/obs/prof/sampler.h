@@ -1,0 +1,70 @@
+// Copyright (c) dpstarj authors. Licensed under the MIT license.
+//
+// On-demand timer-signal sampling profiler: folded-stack (flamegraph-
+// collapsed) captures of wherever the process burns CPU, served by
+// GET /v1/profile with zero cost while no capture is running.
+//
+// Mechanism: Run() arms setitimer(ITIMER_PROF), which raises SIGPROF every
+// 1/hz seconds of *process CPU time*. The kernel delivers each signal on a
+// currently-running thread — exactly the thread worth sampling — so EnginePool
+// workers, MorselPool scan threads and HTTP handlers all appear in proportion
+// to the CPU they burn, and an idle process generates no signals at all. The
+// async-signal-safe handler claims a preallocated slot (one fetch_add),
+// records the interrupted PC, walks the frame-pointer chain (the whole tree
+// builds with -fno-omit-frame-pointer; each candidate frame is validated with
+// mincore() before dereferencing), stamps the thread name, and publishes the
+// slot with a release store. Aggregation, symbolization (dladdr +
+// __cxa_demangle — link the binary with -rdynamic for named frames) and
+// folding happen on the calling thread after the capture window closes.
+//
+// One capture at a time: a second Run() while one is live returns
+// AlreadyExists, which the wire layer maps to HTTP 409. The SIGPROF handler
+// is installed once and never restored (it is inert — one atomic load — when
+// no capture is live): restoring SIG_DFL would let a signal already in flight
+// terminate the process, and ITIMER_PROF is only ever armed inside Run().
+//
+// Bounds: seconds in (0, 30], hz in [1, 1000]; the sample buffer is sized to
+// the request (capped) and kept alive across runs, so a straggler handler
+// from a just-closed window can never touch freed memory.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace dpstarj::obs::prof {
+
+/// \brief The process-wide sampling profiler. All methods thread-safe.
+class Sampler {
+ public:
+  /// One finished capture.
+  struct Profile {
+    /// Flamegraph-collapsed text: "thread;outer;...;inner COUNT\n" per
+    /// distinct stack, sorted by count descending.
+    std::string folded;
+    uint64_t samples = 0;  ///< stacks captured
+    uint64_t dropped = 0;  ///< signals that found the buffer full
+  };
+
+  static Sampler& Global();
+
+  /// \brief Captures for `seconds` of wall time at `hz` samples per CPU-
+  /// second, blocking the calling thread for the window. Errors:
+  /// InvalidArgument on out-of-bounds parameters, AlreadyExists when a
+  /// capture is already live (HTTP 409), Internal when the signal machinery
+  /// is unavailable.
+  Result<Profile> Run(double seconds, int hz);
+
+  /// True while a capture window is open (for tests and status pages).
+  bool running() const;
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+ private:
+  Sampler() = default;
+};
+
+}  // namespace dpstarj::obs::prof

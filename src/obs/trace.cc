@@ -65,10 +65,43 @@ uint64_t Trace::ElapsedNs() const {
 StageMetrics::StageMetrics(MetricsRegistry* registry) {
   if (registry == nullptr) return;
   for (int i = 0; i < kStageCount; ++i) {
+    const char* name = StageName(static_cast<Stage>(i));
     histograms_[i] = registry->GetHistogram(
         "dpstarj_stage_duration_seconds",
-        "Per-request time spent in each pipeline stage",
-        {{"stage", StageName(static_cast<Stage>(i))}});
+        "Per-request time spent in each pipeline stage", {{"stage", name}});
+    cycles_[i] = registry->GetCounter(
+        "dpstarj_stage_cycles_total",
+        "CPU cycles burned in each pipeline stage (0 in fallback mode)",
+        {{"stage", name}});
+    instructions_[i] = registry->GetCounter(
+        "dpstarj_stage_instructions_total",
+        "Instructions retired in each pipeline stage (0 in fallback mode)",
+        {{"stage", name}});
+    llc_misses_[i] = registry->GetCounter(
+        "dpstarj_stage_llc_misses_total",
+        "Last-level cache misses in each pipeline stage (0 in fallback mode)",
+        {{"stage", name}});
+    branch_misses_[i] = registry->GetCounter(
+        "dpstarj_stage_branch_misses_total",
+        "Branch mispredictions in each pipeline stage (0 in fallback mode)",
+        {{"stage", name}});
+    task_clock_ns_[i] = registry->GetCounter(
+        "dpstarj_stage_task_clock_ns_total",
+        "Thread CPU time (ns) in each pipeline stage; valid in both profiler "
+        "modes",
+        {{"stage", name}});
+  }
+  // One child per mode; the active one reads 1. Resolving the mode here (at
+  // service construction) also performs the first perf_event_open attempt on
+  // a known-good thread rather than mid-request.
+  const prof::CounterMode active = prof::ActiveCounterMode();
+  for (prof::CounterMode mode :
+       {prof::CounterMode::kPerfEvents, prof::CounterMode::kFallback}) {
+    registry
+        ->GetGauge("dpstarj_profiler_mode",
+                   "Counter sourcing mode: the active child reads 1",
+                   {{"mode", prof::CounterModeName(mode)}})
+        ->Set(mode == active ? 1.0 : 0.0);
   }
 }
 
@@ -78,6 +111,12 @@ void StageMetrics::ObserveTrace(const Trace& trace) {
     const Stage stage = static_cast<Stage>(i);
     if (!trace.touched(stage)) continue;
     histograms_[i]->Observe(static_cast<double>(trace.stage_ns(stage)) * 1e-9);
+    const prof::CounterSet& prof = trace.stage_prof(stage);
+    cycles_[i]->Inc(prof.cycles);
+    instructions_[i]->Inc(prof.instructions);
+    llc_misses_[i]->Inc(prof.llc_misses);
+    branch_misses_[i]->Inc(prof.branch_misses);
+    task_clock_ns_[i]->Inc(prof.task_clock_ns);
   }
 }
 

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/prof/counters.h"
 
 namespace dpstarj::obs {
 
@@ -69,6 +70,17 @@ class Trace {
     return (touched_ & (1u << static_cast<int>(stage))) != 0;
   }
 
+  /// Accumulates a hardware-counter delta for the stage. Deltas are taken by
+  /// ScopedStage on the thread that ran the span, so per-thread counters stay
+  /// valid even as the trace hops threads between stages.
+  void RecordProf(Stage stage, const prof::CounterSet& delta) {
+    stage_prof_[static_cast<int>(stage)].Accumulate(delta);
+  }
+
+  const prof::CounterSet& stage_prof(Stage stage) const {
+    return stage_prof_[static_cast<int>(stage)];
+  }
+
   /// Wall time since construction, in nanoseconds.
   uint64_t ElapsedNs() const;
 
@@ -80,18 +92,24 @@ class Trace {
   std::string id_;
   std::chrono::steady_clock::time_point start_;
   uint64_t stage_ns_[kStageCount] = {};
+  prof::CounterSet stage_prof_[kStageCount] = {};
   uint32_t touched_ = 0;
 };
 
-/// \brief RAII span: records the scope's duration into `trace` (when non-null)
-/// at destruction. The null check makes untraced paths free to instrument.
+/// \brief RAII span: records the scope's duration — and the thread's
+/// hardware-counter delta — into `trace` (when non-null) at destruction. The
+/// null check makes untraced paths free to instrument. Construction and
+/// destruction always happen on the same thread, which is what makes the
+/// per-thread counter delta meaningful.
 class ScopedStage {
  public:
   ScopedStage(Trace* trace, Stage stage)
       : trace_(trace),
         stage_(stage),
         start_(trace == nullptr ? std::chrono::steady_clock::time_point()
-                                : std::chrono::steady_clock::now()) {}
+                                : std::chrono::steady_clock::now()),
+        prof_start_(trace == nullptr ? prof::CounterSet()
+                                     : prof::SampleThreadCounters()) {}
   ~ScopedStage() {
     if (trace_ == nullptr) return;
     trace_->Record(stage_,
@@ -99,6 +117,7 @@ class ScopedStage {
                        std::chrono::duration_cast<std::chrono::nanoseconds>(
                            std::chrono::steady_clock::now() - start_)
                            .count()));
+    trace_->RecordProf(stage_, prof::SampleThreadCounters() - prof_start_);
   }
   ScopedStage(const ScopedStage&) = delete;
   ScopedStage& operator=(const ScopedStage&) = delete;
@@ -107,19 +126,30 @@ class ScopedStage {
   Trace* trace_;
   Stage stage_;
   std::chrono::steady_clock::time_point start_;
+  prof::CounterSet prof_start_;
 };
 
 /// \brief Scrape-side aggregation of traces: one registry histogram per stage
-/// (dpstarj_stage_duration_seconds{stage=...}), resolved once at construction.
+/// (dpstarj_stage_duration_seconds{stage=...}) plus one counter per stage per
+/// hardware series (dpstarj_stage_cycles_total{stage=...}, ...), resolved
+/// once at construction. Construction also publishes the
+/// dpstarj_profiler_mode gauge (one child per mode, active mode = 1) so a
+/// scrape can tell "zero cycles" apart from "no PMU access".
 class StageMetrics {
  public:
   explicit StageMetrics(MetricsRegistry* registry);
 
-  /// Folds every touched stage of a finished trace into the histograms.
+  /// Folds every touched stage of a finished trace into the histograms and
+  /// counter series.
   void ObserveTrace(const Trace& trace);
 
  private:
   Histogram* histograms_[kStageCount] = {};
+  Counter* cycles_[kStageCount] = {};
+  Counter* instructions_[kStageCount] = {};
+  Counter* llc_misses_[kStageCount] = {};
+  Counter* branch_misses_[kStageCount] = {};
+  Counter* task_clock_ns_[kStageCount] = {};
 };
 
 }  // namespace dpstarj::obs

@@ -1,9 +1,11 @@
 #include "service/engine_pool.h"
 
+#include <chrono>
 #include <exception>
 
 #include "common/random.h"
 #include "common/string_util.h"
+#include "common/thread_name.h"
 
 namespace dpstarj::service {
 
@@ -27,9 +29,13 @@ EnginePool::EnginePool(const storage::Catalog* catalog, int num_engines,
     per_engine.seed = seeder.engine()();
     engines_.push_back(std::make_unique<core::DpStarJoin>(catalog, per_engine));
   }
+  worker_counters_ = std::vector<WorkerCounters>(static_cast<size_t>(num_engines));
   workers_.reserve(static_cast<size_t>(num_engines));
   for (int i = 0; i < num_engines; ++i) {
-    workers_.emplace_back([this, i] { WorkerLoop(i); });
+    workers_.emplace_back([this, i] {
+      common::SetCurrentThreadName("dpsj-eng-", i);
+      WorkerLoop(i);
+    });
   }
 }
 
@@ -84,6 +90,17 @@ size_t EnginePool::queue_depth(const std::string& tenant) const {
   return it == tenant_queues_.end() ? 0 : it->second.size();
 }
 
+std::vector<EnginePool::WorkerStats> EnginePool::worker_stats() const {
+  // worker_counters_ is sized before the workers spawn and never resized, so
+  // no lock is needed; the loads race benignly with worker updates.
+  std::vector<WorkerStats> out(worker_counters_.size());
+  for (size_t i = 0; i < worker_counters_.size(); ++i) {
+    out[i].busy_ns = worker_counters_[i].busy_ns.load(std::memory_order_relaxed);
+    out[i].jobs = worker_counters_[i].jobs.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
 EnginePool::Task EnginePool::PopNextLocked() {
   // Serve the head of the next tenant's FIFO: the tenant rotates to the back
   // of the round-robin while it still has waiting work, and drops out of the
@@ -114,6 +131,7 @@ void EnginePool::WorkerLoop(int engine_index) {
       task = PopNextLocked();
     }
     queue_not_full_.notify_one();
+    const auto busy_start = std::chrono::steady_clock::now();
     // The library is exception-free by contract, but a job can still throw
     // (std::bad_alloc, user callables). An escape here would std::terminate
     // the whole service; convert to a Status so the future always resolves.
@@ -126,6 +144,14 @@ void EnginePool::WorkerLoop(int engine_index) {
         return Status::Internal("query job threw a non-standard exception");
       }
     }();
+    WorkerCounters& counters = worker_counters_[static_cast<size_t>(engine_index)];
+    counters.busy_ns.fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - busy_start)
+                .count()),
+        std::memory_order_relaxed);
+    counters.jobs.fetch_add(1, std::memory_order_relaxed);
     task.promise.set_value(std::move(result));
   }
 }

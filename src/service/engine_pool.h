@@ -21,6 +21,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -90,10 +91,27 @@ class EnginePool {
   /// Queue capacity.
   size_t queue_capacity() const { return queue_capacity_; }
 
+  /// \brief One worker's lifetime utilization snapshot: busy_ns is time spent
+  /// executing jobs (everything else the worker was parked on the queue),
+  /// jobs the number executed. Worker i is the thread named "dpsj-eng-i".
+  struct WorkerStats {
+    uint64_t busy_ns = 0;
+    uint64_t jobs = 0;
+  };
+
+  /// Snapshot of every worker's counters, index-aligned with engines.
+  std::vector<WorkerStats> worker_stats() const;
+
  private:
   struct Task {
     Job job;
     std::promise<Result<exec::QueryResult>> promise;
+  };
+
+  // Cache-line-padded so each worker's updates stay on its own line.
+  struct alignas(64) WorkerCounters {
+    std::atomic<uint64_t> busy_ns{0};
+    std::atomic<uint64_t> jobs{0};
   };
 
   Result<std::future<Result<exec::QueryResult>>> DispatchInternal(
@@ -108,6 +126,9 @@ class EnginePool {
   const size_t queue_capacity_;
   std::vector<std::unique_ptr<core::DpStarJoin>> engines_;
   std::vector<std::thread> workers_;
+  /// Sized once in the constructor (before the workers spawn); index-aligned
+  /// with workers_.
+  std::vector<WorkerCounters> worker_counters_;
 
   mutable std::mutex mu_;
   std::condition_variable queue_not_full_;

@@ -101,7 +101,11 @@ QueryService::QueryService(const storage::Catalog* catalog, ServiceOptions optio
           "Cache-hit queries excluded from a workload's shared scan")),
       workload_batch_size_(metrics_->GetHistogram(
           "dpstarj_workload_batch_size", "Queries per workload batch", {},
-          obs::Histogram::ExponentialBuckets(1.0, 2.0, 9))) {}
+          obs::Histogram::ExponentialBuckets(1.0, 2.0, 9))),
+      queue_depth_sampled_(metrics_->GetHistogram(
+          "dpstarj_queue_depth_sampled",
+          "Pool queue depth observed at each dispatch", {},
+          obs::Histogram::ExponentialBuckets(1.0, 2.0, 11))) {}
 
 QueryService::~QueryService() { Shutdown(); }
 
@@ -179,6 +183,9 @@ std::future<Result<exec::QueryResult>> QueryService::SubmitInternal(
           } guard{admission_, tenant};
           return inner(engine);
         };
+    // Depth at dispatch, before this job joins the queue: the distribution
+    // operators watch for saturation building ahead of latency.
+    queue_depth_sampled_->Observe(static_cast<double>(pool_.queue_depth()));
     return blocking ? pool_.Dispatch(std::move(with_release), tenant)
                     : pool_.TryDispatch(std::move(with_release), tenant);
   };
@@ -361,6 +368,7 @@ std::future<Result<WorkloadOutcome>> QueryService::SubmitWorkload(
   auto promise = std::make_shared<std::promise<Result<WorkloadOutcome>>>();
   std::future<Result<WorkloadOutcome>> future = promise->get_future();
   const auto enqueued = std::chrono::steady_clock::now();
+  queue_depth_sampled_->Observe(static_cast<double>(pool_.queue_depth()));
   auto dispatched = pool_.TryDispatch(
       [this, queries, tenant, trace, enqueued,
        promise](core::DpStarJoin& engine) -> Result<exec::QueryResult> {

@@ -247,6 +247,11 @@ class QueryService {
   /// Jobs waiting in the pool queue right now (approximate under load) —
   /// exported as the dpstarj_queue_depth gauge at scrape time.
   size_t queue_depth() const { return pool_.queue_depth(); }
+  /// Per-engine-worker busy/idle accounting — exported as
+  /// dpstarj_worker_busy_seconds{pool="engine",...} at scrape time.
+  std::vector<EnginePool::WorkerStats> worker_stats() const {
+    return pool_.worker_stats();
+  }
 
   /// Stops accepting queries, drains the queue, joins the workers.
   /// Idempotent; also run by the destructor.
@@ -299,6 +304,9 @@ class QueryService {
   obs::Counter* workload_failed_;
   obs::Counter* workload_cache_skips_;
   obs::Histogram* workload_batch_size_;
+  /// Queue depth observed at every dispatch: the saturation distribution the
+  /// scrape-time dpstarj_queue_depth gauge (one instant per scrape) misses.
+  obs::Histogram* queue_depth_sampled_;
 };
 
 }  // namespace dpstarj::service

@@ -9,6 +9,13 @@ candidate's speedup ratios to stay within --tolerance of the baseline's.
 A regression in, say, the plan-warm fast path shows up as a collapsed
 warm/uncached ratio no matter how fast the host is.
 
+When BOTH files carry non-zero `cycles_per_row` columns for a record (i.e.
+both runs had perf-counter access), the gate additionally bounds the
+candidate's cycles/row at (1 + --cycle-tolerance) x baseline — a
+frequency-independent check that catches "same wall clock, twice the work"
+regressions that scaling governors can mask. Records where either side is 0
+(no PMU: most CI containers) are skipped with a note, never failed.
+
 Usage:
     tools/check_bench.py BASELINE.json CANDIDATE.json [--tolerance 0.5]
 
@@ -24,7 +31,9 @@ import sys
 
 
 def load_records(path):
-    """Returns (host_dict_or_None, {(bench, normalised_config): rows_per_sec})."""
+    """Returns (host_dict_or_None,
+    {(bench, normalised_config): (rows_per_sec, cycles_per_row)}).
+    cycles_per_row is 0.0 for records predating the counter columns."""
     with open(path) as f:
         doc = json.load(f)
     if isinstance(doc, dict):
@@ -33,7 +42,10 @@ def load_records(path):
         host, records = None, doc
     out = {}
     for r in records:
-        out[(r["bench"], normalise(r["config"]))] = float(r["rows_per_sec"])
+        out[(r["bench"], normalise(r["config"]))] = (
+            float(r["rows_per_sec"]),
+            float(r.get("cycles_per_row", 0.0)),
+        )
     return host, out
 
 
@@ -48,7 +60,7 @@ def normalise(config):
 def group_ratios(records):
     """Per bench group: every config's rows/sec over the group's slowest."""
     groups = {}
-    for (bench, config), rps in records.items():
+    for (bench, config), (rps, _cycles) in records.items():
         groups.setdefault(bench, {})[config] = rps
     ratios = {}
     for bench, configs in groups.items():
@@ -71,6 +83,13 @@ def main():
         default=0.5,
         help="allowed fractional drop in any within-group speedup ratio "
         "(default 0.5: the candidate ratio must be >= 50%% of baseline)",
+    )
+    ap.add_argument(
+        "--cycle-tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional growth in cycles/row when both runs carry "
+        "hardware counts (default 0.5: candidate <= 1.5x baseline)",
     )
     args = ap.parse_args()
 
@@ -109,6 +128,37 @@ def main():
                     f"{bench} [{config}]: speedup ratio fell to x{cand_r:.2f} "
                     f"(baseline x{base_r:.2f}, floor x{floor_r:.2f})"
                 )
+
+    # Cycle gate: absolute-ish (cycles/row is frequency-independent), but only
+    # meaningful when both runs actually counted cycles.
+    cycle_checked = cycle_skipped = 0
+    for key, (base_rps, base_cyc) in sorted(base.items()):
+        cand_entry = cand.get(key)
+        if cand_entry is None:
+            continue  # already reported by the ratio gate
+        cand_cyc = cand_entry[1]
+        if base_cyc <= 0 or cand_cyc <= 0:
+            cycle_skipped += 1
+            continue
+        cycle_checked += 1
+        bench, config = key
+        ceiling = base_cyc * (1.0 + args.cycle_tolerance)
+        verdict = "ok" if cand_cyc <= ceiling else "REGRESSED"
+        print(
+            f"  {verdict:9s} {bench} [{config}]: cycles/row "
+            f"baseline {base_cyc:.1f} candidate {cand_cyc:.1f} "
+            f"(ceiling {ceiling:.1f})"
+        )
+        if cand_cyc > ceiling:
+            failures.append(
+                f"{bench} [{config}]: cycles/row grew to {cand_cyc:.1f} "
+                f"(baseline {base_cyc:.1f}, ceiling {ceiling:.1f})"
+            )
+    if cycle_skipped:
+        print(
+            f"cycle gate: {cycle_checked} records checked, {cycle_skipped} "
+            "skipped (no hardware counts on one side)"
+        )
 
     print(f"checked {checked} ratios across {len(base_ratios)} bench groups")
     if failures:

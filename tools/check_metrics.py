@@ -49,6 +49,21 @@ REQUIRED = [
     "dpstarj_workload_cache_skips_total",
     "dpstarj_workload_batch_size",
     "dpstarj_workload_duration_seconds",
+    # Profiling subsystem (PR 9). The stage counter families are present in
+    # both profiler modes; dpstarj_profiler_mode says which one filled them.
+    "dpstarj_profiler_mode",
+    "dpstarj_build_info",
+    "dpstarj_process_uptime_seconds",
+    "dpstarj_stage_cycles_total",
+    "dpstarj_stage_instructions_total",
+    "dpstarj_stage_llc_misses_total",
+    "dpstarj_stage_branch_misses_total",
+    "dpstarj_stage_task_clock_ns_total",
+    "dpstarj_worker_busy_seconds",
+    "dpstarj_worker_tasks",
+    "dpstarj_queue_depth_sampled",
+    "dpstarj_profile_captures_total",
+    "dpstarj_profile_samples_total",
 ]
 
 

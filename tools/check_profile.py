@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Folded-stack profile checker (CI: no network, no deps).
+
+Validates a GET /v1/profile capture dumped by
+`dpstarj-server --selfcheck --profile-dump FILE`:
+  * every line is `frame;frame;...;frame COUNT` — the count is the last
+    space-separated token and must be a positive integer (demangled C++
+    frames legitimately contain spaces, commas and angle brackets, so
+    everything before that token is the stack);
+  * every line has at least one frame and no empty frame (`;;`);
+  * lines are sorted by count, descending (ties broken lexicographically)
+    — the order the server promises so `head` shows the hottest stacks;
+  * at least one sample landed in the engine: a stack whose root frame is
+    a `dpsj-eng` worker thread or that contains a `dpstarj::` frame.
+    This is what proves the capture profiled real query execution rather
+    than idle pool threads parked in futex waits.
+
+Usage: check_profile.py PROFILE_FILE [MIN_SAMPLES]
+Exits non-zero listing every violation. MIN_SAMPLES (default 1) is the
+minimum total sample count across all stacks.
+"""
+
+import sys
+from pathlib import Path
+
+
+def check(text: str, min_samples: int):
+    errors = []
+    total = 0
+    engine_lines = 0
+    prev = None  # previous line's count, for order checking
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        errors.append("capture is empty")
+    for line_no, line in enumerate(lines, start=1):
+        stack, sep, count_str = line.rpartition(" ")
+        if not sep or not count_str.isdigit() or int(count_str) <= 0:
+            errors.append(
+                f"line {line_no}: no positive trailing count: {line[:80]!r}")
+            continue
+        count = int(count_str)
+        total += count
+        frames = stack.split(";")
+        if not stack or any(not f for f in frames):
+            errors.append(f"line {line_no}: empty frame in {stack[:80]!r}")
+            continue
+        if frames[0].startswith("dpsj-eng") or "dpstarj::" in stack:
+            engine_lines += 1
+        if prev is not None and count > prev:
+            errors.append(
+                f"line {line_no}: counts not sorted descending "
+                f"({prev} then {count})")
+        prev = count
+
+    if total < min_samples:
+        errors.append(f"only {total} samples total, need >= {min_samples}")
+    if not errors and engine_lines == 0:
+        errors.append(
+            "no engine-frame samples (no dpsj-eng root, no dpstarj:: frame) "
+            "— capture ran without query load?")
+    return errors, total, engine_lines
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = Path(argv[1])
+    if not path.exists():
+        print(f"{path}: file not found", file=sys.stderr)
+        return 1
+    min_samples = int(argv[2]) if len(argv) > 2 else 1
+    errors, total, engine = check(path.read_text(encoding="utf-8"),
+                                  min_samples)
+    for error in errors:
+        print(f"{path}: {error}", file=sys.stderr)
+    if not errors:
+        print(f"{path}: {total} samples ok ({engine} engine stacks)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -21,6 +21,7 @@
 // call, the process SIGINTs itself, and the exit code reports whether the
 // round trips and the graceful drain all succeeded.
 
+#include <atomic>
 #include <cmath>
 #include <csignal>
 #include <cstdio>
@@ -73,6 +74,9 @@ struct Flags {
   // With --selfcheck: write the scraped /metrics body here so CI can run
   // tools/check_metrics.py against a real exposition.
   std::string metrics_dump;
+  // With --selfcheck: capture GET /v1/profile under a query load and write
+  // the folded stacks here (CI feeds it to tools/check_profile.py).
+  std::string profile_dump;
 };
 
 void Usage(const char* argv0) {
@@ -85,7 +89,7 @@ void Usage(const char* argv0) {
       "          [--tenant-rate Q] [--tenant-burst B]\n"
       "          [--tenant-inflight N] [--access-log PATH]\n"
       "          [--slow-query-ms N] [--pin-workers] [--selfcheck]\n"
-      "          [--metrics-dump PATH]\n"
+      "          [--metrics-dump PATH] [--profile-dump PATH]\n"
       "  --port 0 picks an ephemeral port (printed on startup)\n"
       "  --default-budget E auto-registers unknown tenants with total eps E\n"
       "  --header/body/idle/write-timeout-ms: connection deadlines, 0 disables\n"
@@ -99,6 +103,9 @@ void Usage(const char* argv0) {
       "  --selfcheck: serve, run one client round trip, SIGINT itself, exit\n"
       "  --metrics-dump PATH: with --selfcheck, save the /metrics scrape to\n"
       "    PATH (CI feeds it to tools/check_metrics.py)\n"
+      "  --profile-dump PATH: with --selfcheck, capture GET /v1/profile under\n"
+      "    a query load and save the folded stacks to PATH (CI feeds it to\n"
+      "    tools/check_profile.py)\n"
       "  full reference: docs/operations.md\n",
       argv0);
 }
@@ -157,6 +164,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->selfcheck = true;
     } else if (arg == "--metrics-dump" && i + 1 < argc) {
       flags->metrics_dump = argv[++i];
+    } else if (arg == "--profile-dump" && i + 1 < argc) {
+      flags->profile_dump = argv[++i];
     } else {
       Usage(argv[0]);
       return false;
@@ -185,7 +194,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
 // server, then a process-directed SIGINT so the main thread's sigwait-based
 // drain path is exercised exactly as an operator's Ctrl-C would.
 int RunSelfcheck(const std::string& host, uint16_t port,
-                 const std::string& metrics_dump) {
+                 const std::string& metrics_dump,
+                 const std::string& profile_dump) {
   net::Client client(host, port);
 
   auto health = client.Get("/healthz");
@@ -278,6 +288,58 @@ int RunSelfcheck(const std::string& host, uint16_t port,
     std::fprintf(stderr, "selfcheck: malformed workload body\n");
     return 1;
   }
+  if (!profile_dump.empty()) {
+    // Capture GET /v1/profile while a second thread drives a steady query
+    // load, so engine frames actually appear in the folded stacks. The load
+    // tenant's epsilon varies per query, which defeats the answer cache —
+    // every request runs a real scan instead of a sub-microsecond replay.
+    auto prof_reg = client.Post("/v1/tenants",
+                                "{\"tenant\":\"prof\",\"epsilon\":1e9}");
+    if (!prof_reg.ok() || prof_reg->status != 201) {
+      std::fprintf(stderr, "selfcheck: profile tenant registration failed\n");
+      return 1;
+    }
+    std::atomic<bool> stop{false};
+    std::thread load([&] {
+      net::Client load_client(host, port);
+      for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        net::Json q = net::Json::Object();
+        q.Set("sql", net::Json::Str(*sql));
+        q.Set("epsilon", net::Json::Number(0.01 + 1e-6 * i));
+        q.Set("tenant", net::Json::Str("prof"));
+        auto r = load_client.Post("/v1/query", q.Dump());
+        if (!r.ok() || r->status != 200) break;
+      }
+    });
+    // 499 Hz (prime: no aliasing against periodic work) for one second —
+    // plenty of CPU-time ticks even on a one-core CI runner under load.
+    auto profile = client.Get("/v1/profile?seconds=1&hz=499");
+    stop.store(true, std::memory_order_relaxed);
+    load.join();
+    if (!profile.ok() || profile->status != 200 || profile->body.empty()) {
+      std::fprintf(stderr, "selfcheck: /v1/profile failed: %s\n",
+                   profile.ok() ? Format("HTTP %d body=%zu bytes",
+                                         profile->status, profile->body.size())
+                                      .c_str()
+                                : profile.status().ToString().c_str());
+      return 1;
+    }
+    std::FILE* f = std::fopen(profile_dump.c_str(), "w");
+    bool wrote =
+        f != nullptr &&
+        std::fwrite(profile->body.data(), 1, profile->body.size(), f) ==
+            profile->body.size();
+    if (f != nullptr && std::fclose(f) != 0) wrote = false;
+    if (!wrote) {
+      std::fprintf(stderr, "selfcheck: cannot write %s\n",
+                   profile_dump.c_str());
+      return 1;
+    }
+    std::printf("selfcheck: /v1/profile OK (%s samples, %zu bytes)\n",
+                std::string(profile->FindHeader("X-DPStarJ-Profile-Samples"))
+                    .c_str(),
+                profile->body.size());
+  }
   auto metrics = client.Get("/metrics");
   if (!metrics.ok() || metrics->status != 200) {
     std::fprintf(stderr, "selfcheck: /metrics failed\n");
@@ -289,7 +351,10 @@ int RunSelfcheck(const std::string& host, uint16_t port,
         "dpstarj_stage_duration_seconds_bucket",
         "dpstarj_tenant_epsilon_remaining", "dpstarj_http_requests_total",
         "dpstarj_workload_batches_total", "dpstarj_workload_batch_size_bucket",
-        "dpstarj_workload_duration_seconds_bucket"}) {
+        "dpstarj_workload_duration_seconds_bucket", "dpstarj_profiler_mode",
+        "dpstarj_build_info", "dpstarj_process_uptime_seconds",
+        "dpstarj_stage_cycles_total", "dpstarj_stage_task_clock_ns_total",
+        "dpstarj_worker_busy_seconds", "dpstarj_queue_depth_sampled_bucket"}) {
     if (metrics->body.find(needle) == std::string::npos) {
       std::fprintf(stderr, "selfcheck: /metrics missing %s\n", needle);
       return 1;
@@ -403,7 +468,7 @@ int main(int argc, char** argv) {
   if (flags.selfcheck) {
     selfcheck = std::thread([&] {
       selfcheck_rc = RunSelfcheck(flags.host, server.port(),
-                                  flags.metrics_dump);
+                                  flags.metrics_dump, flags.profile_dump);
       // Drive the normal shutdown path; process-directed so sigwait sees it.
       kill(getpid(), SIGINT);
     });
