@@ -8,6 +8,8 @@
 //     vs sequential warm Answer calls,
 //   * DataCube build (legacy hash-probing vs fused-LUT morsel scan) and the
 //     box-sweep Evaluate,
+//   * ingest plan maintenance — ScanPlan::Compile on a grown fact table vs
+//     ScanPlan::ExtendFrom over just the appended tail,
 // plus google-benchmark timings of the join/cube/PMA/R2T/k-star substrate
 // (skipped with `--compare-only`). These are not paper experiments; they
 // track the substrate's performance so regressions in the hot paths are
@@ -20,6 +22,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
 #include <functional>
 #include <optional>
@@ -35,6 +38,7 @@
 #include "core/predicate_mechanism.h"
 #include "obs/trace.h"
 #include "exec/data_cube.h"
+#include "exec/scan_plan.h"
 #include "exec/star_join_executor.h"
 #include "graph/generator.h"
 #include "graph/kstar.h"
@@ -612,6 +616,115 @@ void RunCubeComparison(bench::JsonBenchWriter* json) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Ingest comparison (the PR-10 acceptance measurement): after an append batch
+// lands on a live fact table, a cached grouped ScanPlan is stale. The
+// PlanCache extends it over the tail (ScanPlan::ExtendFrom) instead of
+// recompiling the full table (ScanPlan::Compile) — this harness measures both
+// on the same grown table, after checking the two scaffolds are identical.
+// Runs last: it appends to the shared comparison catalog's Lineorder.
+// ---------------------------------------------------------------------------
+
+void RunIngestComparison(bench::JsonBenchWriter* json) {
+  const double sf = bench_util::EnvDouble("DPSTARJ_MICRO_SF", 0.05);
+  const double min_sec = SharedMinSec();
+  const storage::Catalog& catalog = ComparisonCatalog();
+  query::Binder binder(&catalog);
+
+  // The same grouped drill-down as the executor comparison: SUM(revenue) by
+  // year × brand, full fact scan — the scaffold shape ingest must maintain.
+  query::StarJoinQuery scan;
+  scan.name = "QgScan";
+  scan.fact_table = "Lineorder";
+  scan.joined_tables = {"Date", "Part"};
+  scan.aggregate = query::AggregateKind::kSum;
+  scan.measure_terms = {{"revenue", 1.0}};
+  scan.group_by = {{"Date", "year"}, {"Part", "brand"}};
+  auto bound = binder.Bind(scan);
+  DPSTARJ_CHECK(bound.ok(), "bind");
+
+  auto fact = catalog.GetTable("Lineorder");
+  DPSTARJ_CHECK(fact.ok(), "fact table");
+  const int64_t base_rows = (*fact)->num_rows();
+  auto old_plan = exec::ScanPlan::Compile(*bound);
+  DPSTARJ_CHECK(old_plan.ok(), "compile");
+
+  // Append a ~1% tail of recycled rows (valid FKs by construction — they are
+  // existing rows), the shape of one ingest batch on a live table.
+  const int64_t tail = std::max<int64_t>(int64_t{512}, base_rows / 100);
+  for (int64_t i = 0; i < tail; ++i) {
+    Status appended = (*fact)->AppendRow((*fact)->GetRow(i % base_rows));
+    DPSTARJ_CHECK(appended.ok(), "append");
+  }
+  const double fact_rows = static_cast<double>((*fact)->num_rows());
+
+  // Self-check: the extension must reproduce a fresh compile bit for bit.
+  DPSTARJ_CHECK(exec::ScanPlan::IsAppendExtension(*old_plan, *bound),
+                "append precondition");
+  auto fresh = exec::ScanPlan::Compile(*bound);
+  DPSTARJ_CHECK(fresh.ok(), "fresh compile");
+  auto extended = exec::ScanPlan::ExtendFrom(*old_plan, *bound);
+  DPSTARJ_CHECK(extended.ok(), "extend");
+  DPSTARJ_CHECK(extended->codes == fresh->codes &&
+                    extended->weights == fresh->weights &&
+                    extended->run_offsets == fresh->run_offsets &&
+                    extended->sorted_dim_row == fresh->sorted_dim_row &&
+                    extended->sorted_weights == fresh->sorted_weights &&
+                    extended->group_labels == fresh->group_labels,
+                "extended plan diverges from fresh compile");
+
+  std::printf("== ingest plan maintenance: QgScan "
+              "(sf=%.3g, %.0f fact rows, +%lld tail) ==\n",
+              sf, fact_rows, static_cast<long long>(tail));
+  bench_util::TablePrinter table(
+      {"path", "iters", "ms/batch", "rows/sec", "speedup"});
+
+  struct PathConfig {
+    std::string name;
+    std::function<void()> run;
+  };
+  std::vector<PathConfig> paths;
+  paths.push_back({"recompile (full table)", [&]() {
+                     auto p = exec::ScanPlan::Compile(*bound);
+                     DPSTARJ_CHECK(p.ok(), "compile");
+                     benchmark::DoNotOptimize(p->codes.data());
+                   }});
+  paths.push_back({"extend (tail splice)", [&]() {
+                     auto p = exec::ScanPlan::ExtendFrom(*old_plan, *bound);
+                     DPSTARJ_CHECK(p.ok(), "extend");
+                     benchmark::DoNotOptimize(p->codes.data());
+                   }});
+
+  double recompile_rows_per_sec = 0.0;
+  for (const PathConfig& path : paths) {
+    path.run();  // warm-up
+    Timer timer;
+    std::optional<bench::CounterSpan> span;
+    if (json != nullptr) span.emplace(*json);
+    int iters = 0;
+    do {
+      path.run();
+      ++iters;
+    } while (timer.ElapsedSeconds() < min_sec || iters < 3);
+    const double wall_ms = timer.ElapsedMillis() / iters;
+    // Both paths deliver a plan covering the whole grown table, so work
+    // delivered per second is total fact rows either way; the extension's
+    // advantage is that it only touches the tail to deliver them.
+    const double rows_per_sec = fact_rows / (wall_ms / 1e3);
+    if (recompile_rows_per_sec == 0.0) recompile_rows_per_sec = rows_per_sec;
+    table.AddRow({path.name, Format("%d", iters), Format("%.3f", wall_ms),
+                  Format("%.3g", rows_per_sec),
+                  Format("%.2fx", rows_per_sec / recompile_rows_per_sec)});
+    if (json != nullptr) {
+      const double rows = fact_rows * iters;
+      json->Add("micro_engine/ingest/QgScan", path.name, rows_per_sec, wall_ms,
+                span->CyclesPerRow(rows), span->InstructionsPerRow(rows));
+    }
+  }
+  table.Print();
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -632,6 +745,7 @@ int main(int argc, char** argv) {
   RunPlanCacheComparison(&json);
   RunWorkloadComparison(&json);
   RunCubeComparison(&json);
+  RunIngestComparison(&json);  // last: appends to the comparison catalog
   json.Flush();
   if (compare_only) return 0;
 

@@ -68,6 +68,15 @@ class DataCube {
   static Result<DataCube> BuildFromQueryPredicates(const query::BoundQuery& q,
                                                    const CubeOptions& options = {});
 
+  /// \brief Folds fact rows [first_row, q.fact->num_rows()) into the cube —
+  /// the incremental counterpart of Build for streaming ingest. `q` must
+  /// join every axis table (axes are revalidated against the query); the
+  /// dimensions must be unchanged since the build. The tail is scanned
+  /// sequentially in row order, so a cube maintained across appends equals
+  /// a fresh sequential Build over the final table bit for bit
+  /// (tests/ingest_test.cc asserts this).
+  Status AppendRows(const query::BoundQuery& q, int64_t first_row);
+
   /// The axes, in build order.
   const std::vector<CubeAxis>& axes() const { return axes_; }
   /// Number of cells (product of axis sizes).

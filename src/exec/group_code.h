@@ -98,6 +98,11 @@ class GroupCodeLayout {
            masks_[static_cast<size_t>(f)];
   }
 
+  /// Largest ordinal field f can represent. Pack() does not mask, so callers
+  /// packing ordinals derived from *new* data (incremental plan extension)
+  /// must range-check against this before OR-ing into a code.
+  uint64_t FieldMask(int f) const { return masks_[static_cast<size_t>(f)]; }
+
   /// Total number of representable codes (product of rounded-up field
   /// sizes), or nullopt when it does not fit in 63 bits.
   std::optional<uint64_t> CodeSpace() const;

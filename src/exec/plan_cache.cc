@@ -59,44 +59,86 @@ PlanCache::PlanCache(size_t capacity, size_t max_bytes)
 Result<std::shared_ptr<const ScanPlan>> PlanCache::GetOrCompile(
     const query::BoundQuery& q, obs::Trace* trace) {
   const std::string key = PlanKey(q);
+  std::shared_ptr<const ScanPlan> append_base;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {
-      std::shared_ptr<const ScanPlan> plan = it->second->second;
-      if (plan->Matches(q)) {
+      std::shared_ptr<const ScanPlan> cached = it->second->second;
+      if (cached->Matches(q)) {
         lru_.splice(lru_.begin(), lru_, it->second);
         ++stats_.hits;
         if (trace != nullptr) trace->plan_cache_hit = true;
-        return plan;
+        return cached;
       }
-      bytes_ -= plan->ApproxBytes();
-      lru_.erase(it->second);
-      index_.erase(it);
-      ++stats_.invalidations;
+      // Stale. When only the fact table grew (streaming ingest), keep the
+      // entry for now — its scaffold is the input of the tail extension
+      // below, and a declined extension drops it then. Anything else is an
+      // identity invalidation: nothing is salvageable, drop immediately.
+      if (ScanPlan::IsAppendExtension(*cached, q)) {
+        append_base = std::move(cached);
+      } else {
+        bytes_ -= cached->ApproxBytes();
+        lru_.erase(it->second);
+        index_.erase(it);
+        ++stats_.invalidations;
+        ++stats_.invalidated_identity;
+      }
     }
   }
 
-  // Compile outside the lock: compilation scans the fact table once and must
-  // not serialize concurrent engines behind the cache mutex.
-  obs::ScopedStage compile_span(trace, obs::Stage::kPlanCompile);
-  DPSTARJ_ASSIGN_OR_RETURN(ScanPlan compiled, ScanPlan::Compile(q));
-  auto plan = std::make_shared<const ScanPlan>(std::move(compiled));
+  // Extend / compile outside the lock: both scan fact data and must not
+  // serialize concurrent engines behind the cache mutex.
+  std::shared_ptr<const ScanPlan> plan;
+  bool extended = false;
+  if (append_base != nullptr) {
+    obs::ScopedStage extend_span(trace, obs::Stage::kPlanExtend);
+    auto ext = ScanPlan::ExtendFrom(*append_base, q);
+    if (ext.ok()) {
+      plan = std::make_shared<const ScanPlan>(std::move(*ext));
+      extended = true;
+    }
+    // A declined extension (NotSupported: the tail does not splice) falls
+    // through to a fresh compile; the entry is dropped below.
+  }
+  if (!extended) {
+    obs::ScopedStage compile_span(trace, obs::Stage::kPlanCompile);
+    DPSTARJ_ASSIGN_OR_RETURN(ScanPlan compiled, ScanPlan::Compile(q));
+    plan = std::make_shared<const ScanPlan>(std::move(compiled));
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.misses;
+  if (extended) {
+    // The scaffold was reused, so this is a hit for ratio purposes — just
+    // one that produced a new shared plan object.
+    ++stats_.hits;
+    ++stats_.extends;
+    if (trace != nullptr) trace->plan_cache_hit = true;
+  } else {
+    ++stats_.misses;
+    if (append_base != nullptr) {
+      ++stats_.invalidations;
+      ++stats_.invalidated_append;
+    }
+  }
   if (capacity_ == 0) return plan;
   auto it = index_.find(key);
   if (it != index_.end()) {
-    // A racing compile landed first; keep ours only if theirs went stale.
+    // A racing insert landed first; keep ours only if theirs went stale.
     if (it->second->second->Matches(q)) {
       lru_.splice(lru_.begin(), lru_, it->second);
       return it->second->second;
     }
+    const bool replacing_base = it->second->second == append_base;
     bytes_ -= it->second->second->ApproxBytes();
     lru_.erase(it->second);
     index_.erase(it);
-    ++stats_.invalidations;
+    if (!replacing_base) {
+      // Someone else's entry went stale underneath us (not the append base
+      // we deliberately left in place) — account it like any invalidation.
+      ++stats_.invalidations;
+      ++stats_.invalidated_identity;
+    }
   }
   lru_.emplace_front(key, plan);
   index_[key] = lru_.begin();

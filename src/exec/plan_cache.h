@@ -12,10 +12,15 @@
 //
 // Invalidation: tables are append-only, so a plan is stale exactly when one
 // of its tables is no longer the same object or has grown. Every hit is
-// validated with ScanPlan::Matches before use; a stale entry is dropped,
-// counted, and recompiled — callers can never execute against a stale
-// scaffold. The service layer shares one PlanCache across all pool engines
-// (see service/query_service.h).
+// validated with ScanPlan::Matches before use; callers can never execute
+// against a stale scaffold. A stale entry whose only change is fact-table
+// growth (streaming ingest) is *extended* in place via ScanPlan::ExtendFrom
+// — tail-only work instead of a full recompile — and only dropped when the
+// extension is declined (e.g. a fact group key outgrew its packed field).
+// Any other staleness (a table object replaced, a dimension grew) drops the
+// entry and recompiles; the two classes are counted separately. The service
+// layer shares one PlanCache across all pool engines (see
+// service/query_service.h).
 
 #pragma once
 
@@ -49,9 +54,20 @@ class PlanCache {
 
   /// Hit/miss/invalidation accounting, as returned by GetStats().
   struct Stats {
-    uint64_t hits = 0;
-    uint64_t misses = 0;          ///< lookups that compiled a fresh plan
-    uint64_t invalidations = 0;   ///< stale entries dropped (table changed)
+    uint64_t hits = 0;    ///< validated hits, extends included
+    uint64_t misses = 0;  ///< lookups that compiled a fresh plan
+    /// Append-stale entries revalidated by ScanPlan::ExtendFrom (each also
+    /// counts as a hit: the cached scaffold was reused, not recompiled).
+    uint64_t extends = 0;
+    /// Stale entries dropped — always invalidated_append +
+    /// invalidated_identity.
+    uint64_t invalidations = 0;
+    /// The fact table grew but the tail could not be spliced (packed group
+    /// field overflow, or the plan was scalar-fallback).
+    uint64_t invalidated_append = 0;
+    /// A table object was replaced or a dimension changed size — nothing of
+    /// the scaffold is salvageable.
+    uint64_t invalidated_identity = 0;
     uint64_t evictions = 0;
 
     /// hits / (hits + misses), 0 when empty.
@@ -65,13 +81,17 @@ class PlanCache {
   explicit PlanCache(size_t capacity = kDefaultCapacity,
                      size_t max_bytes = kDefaultMaxBytes);
 
-  /// \brief Returns the cached plan for `q`'s execution signature, compiling
-  /// (and caching) one when absent or stale. Compilation runs outside the
-  /// cache lock; two threads racing on the same cold key may both compile,
-  /// and the later insert wins — wasted work, never wrong results.
+  /// \brief Returns the cached plan for `q`'s execution signature: a
+  /// validated hit when fresh, an incremental extension when only the fact
+  /// table grew, and a full compile otherwise. Extension and compilation
+  /// both run outside the cache lock; two threads racing on the same cold
+  /// key may both compile, and the later insert wins — wasted work, never
+  /// wrong results.
   ///
-  /// A non-null `trace` gets `plan_cache_hit` set on a validated hit and the
-  /// compile span (obs::Stage::kPlanCompile) recorded on a miss.
+  /// A non-null `trace` gets `plan_cache_hit` set on a validated hit or a
+  /// successful extension, the extend span (obs::Stage::kPlanExtend)
+  /// recorded on the extension path, and the compile span
+  /// (obs::Stage::kPlanCompile) recorded on a miss.
   Result<std::shared_ptr<const ScanPlan>> GetOrCompile(
       const query::BoundQuery& q, obs::Trace* trace = nullptr);
 

@@ -2,6 +2,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -16,6 +17,12 @@ struct QueryResult {
   bool grouped = false;
   /// Per-group aggregates, ordered by label (GROUP BY path).
   std::map<std::string, double> groups;
+
+  /// Fact-table mutation epoch the answer was computed (or replayed) at —
+  /// stamped by the service under its per-table read lock, so clients of a
+  /// live table can tell exactly which version of the data they observed.
+  /// 0 for tables that were never appended to after load.
+  uint64_t epoch = 0;
 
   /// Sum over groups (== scalar for non-grouped results).
   double Total() const;

@@ -33,6 +33,61 @@ int64_t CellKey(const storage::Column& col, int64_t row) {
   return 0;
 }
 
+// (Re)renders the label of every code whose run is non-empty, merging codes
+// that render identically — shared by Compile and ExtendFrom so the extended
+// plan's label table is the fresh compile's by construction. A group-bearing
+// dimension with zero rows means no fact row can ever pass (all FKs resolve
+// to its sentinel), so nothing is renderable — and its empty rep_rows must
+// not be indexed.
+void RenderRunLabels(ScanPlan& plan, const query::BoundQuery& q) {
+  const int64_t space = static_cast<int64_t>(plan.run_offsets.size()) - 1;
+  bool renderable = true;
+  for (const auto& part : plan.parts) {
+    if (part.dim_idx >= 0 &&
+        plan.dims[static_cast<size_t>(part.dim_idx)].rep_rows.empty()) {
+      renderable = false;
+      break;
+    }
+  }
+  plan.group_labels.clear();
+  plan.label_of_code.assign(static_cast<size_t>(space), -1);
+  std::map<std::string, std::vector<int64_t>> codes_of_label;
+  std::string label;
+  for (int64_t code = 0; renderable && code < space; ++code) {
+    if (plan.run_offsets[static_cast<size_t>(code)] ==
+        plan.run_offsets[static_cast<size_t>(code) + 1]) {
+      continue;
+    }
+    label.clear();
+    for (const auto& part : plan.parts) {
+      if (!label.empty()) label += kGroupKeyDelimiter;
+      uint64_t ordinal =
+          plan.layout.Extract(static_cast<uint64_t>(code), part.field);
+      if (part.dim_idx >= 0) {
+        const PlanDim& pd = plan.dims[static_cast<size_t>(part.dim_idx)];
+        const query::DimBinding& d = q.dims[static_cast<size_t>(part.dim_idx)];
+        label += d.dim->column(part.col)
+                     .GetValue(pd.rep_rows[ordinal])
+                     .ToString();
+      } else if (part.is_string) {
+        label += q.fact->column(part.col).dictionary()->At(
+            static_cast<int32_t>(ordinal));
+      } else {
+        label += std::to_string(part.base + static_cast<int64_t>(ordinal));
+      }
+    }
+    codes_of_label[label].push_back(code);
+  }
+  plan.group_labels.reserve(codes_of_label.size());
+  for (auto& [label_key, code_list] : codes_of_label) {
+    const int32_t slot = static_cast<int32_t>(plan.group_labels.size());
+    plan.group_labels.push_back(label_key);
+    for (int64_t code : code_list) {
+      plan.label_of_code[static_cast<size_t>(code)] = slot;
+    }
+  }
+}
+
 }  // namespace
 
 Result<ScanPlan> ScanPlan::Compile(const query::BoundQuery& q) {
@@ -270,55 +325,255 @@ Result<ScanPlan> ScanPlan::Compile(const query::BoundQuery& q) {
     }
 
     // Pre-render the label of every code that can ever produce a group (its
-    // run is non-empty), merging codes that render identically. A group-
-    // bearing dimension with zero rows means no fact row can ever pass (all
-    // FKs resolve to its sentinel), so nothing is renderable — and its empty
-    // rep_rows must not be indexed.
-    bool renderable = true;
-    for (const auto& part : plan.parts) {
-      if (part.dim_idx >= 0 &&
-          plan.dims[static_cast<size_t>(part.dim_idx)].rep_rows.empty()) {
-        renderable = false;
-        break;
-      }
+    // run is non-empty), merging codes that render identically.
+    RenderRunLabels(plan, q);
+    plan.has_sorted_runs = true;
+  }
+  return plan;
+}
+
+bool ScanPlan::IsAppendExtension(const ScanPlan& old,
+                                 const query::BoundQuery& q) {
+  if (q.fact != old.fact_ || q.fact->num_rows() < old.fact_rows_) return false;
+  if (q.dims.size() != old.dim_tables_.size()) return false;
+  for (size_t i = 0; i < q.dims.size(); ++i) {
+    if (q.dims[i].dim != old.dim_tables_[i] ||
+        q.dims[i].dim->num_rows() != old.dim_rows_[i]) {
+      return false;
     }
-    plan.label_of_code.assign(static_cast<size_t>(space), -1);
-    std::map<std::string, std::vector<int64_t>> codes_of_label;
-    std::string label;
-    for (int64_t code = 0; renderable && code < space; ++code) {
-      if (plan.run_offsets[static_cast<size_t>(code)] ==
-          plan.run_offsets[static_cast<size_t>(code) + 1]) {
-        continue;
-      }
-      label.clear();
-      for (const auto& part : plan.parts) {
-        if (!label.empty()) label += kGroupKeyDelimiter;
-        uint64_t ordinal =
-            plan.layout.Extract(static_cast<uint64_t>(code), part.field);
-        if (part.dim_idx >= 0) {
-          const PlanDim& pd = plan.dims[static_cast<size_t>(part.dim_idx)];
-          const query::DimBinding& d = q.dims[static_cast<size_t>(part.dim_idx)];
-          label += d.dim->column(part.col)
-                       .GetValue(pd.rep_rows[ordinal])
-                       .ToString();
-        } else if (part.is_string) {
-          label += q.fact->column(part.col).dictionary()->At(
-              static_cast<int32_t>(ordinal));
-        } else {
-          label += std::to_string(part.base + static_cast<int64_t>(ordinal));
+  }
+  return q.measure_cols == old.measure_cols_ &&
+         q.group_key_layout == old.group_key_layout_;
+}
+
+Result<ScanPlan> ScanPlan::ExtendFrom(const ScanPlan& old,
+                                      const query::BoundQuery& q) {
+  if (!IsAppendExtension(old, q)) {
+    return Status::NotSupported(
+        "plan extension requires the compiled tables with only fact growth");
+  }
+  if (old.requires_scalar_) {
+    return Status::NotSupported(
+        "scalar-fallback plans carry no scaffold to extend");
+  }
+  const int64_t old_rows = old.fact_rows_;
+  const int64_t new_rows = q.fact->num_rows();
+
+  // Validate the tail's fact-side group keys against the compiled layout
+  // BEFORE copying anything: Pack() does not mask, so an ordinal outgrowing
+  // its field would corrupt neighbouring fields. A violation (a value below
+  // the compiled base, or a value/dictionary code past the field's bit
+  // width) means a fresh compile would lay the code out differently — the
+  // caller recompiles instead.
+  for (const auto& part : old.parts) {
+    if (part.dim_idx >= 0) continue;
+    const storage::Column& c = q.fact->column(part.col);
+    const uint64_t mask = old.layout.FieldMask(part.field);
+    if (part.is_string) {
+      const int32_t* code = c.code_data().data();
+      for (int64_t r = old_rows; r < new_rows; ++r) {
+        if (static_cast<uint64_t>(code[static_cast<size_t>(r)]) > mask) {
+          return Status::NotSupported(
+              "fact group-by dictionary outgrew the compiled field");
         }
       }
-      codes_of_label[label].push_back(code);
-    }
-    plan.group_labels.reserve(codes_of_label.size());
-    for (auto& [label_key, code_list] : codes_of_label) {
-      const int32_t slot = static_cast<int32_t>(plan.group_labels.size());
-      plan.group_labels.push_back(label_key);
-      for (int64_t code : code_list) {
-        plan.label_of_code[static_cast<size_t>(code)] = slot;
+    } else {
+      const int64_t* i64 = c.int64_data().data();
+      for (int64_t r = old_rows; r < new_rows; ++r) {
+        const int64_t v = i64[static_cast<size_t>(r)];
+        if (v < part.base || static_cast<uint64_t>(v - part.base) > mask) {
+          return Status::NotSupported(
+              "fact group-by value outgrew the compiled field");
+        }
       }
     }
-    plan.has_sorted_runs = true;
+  }
+
+  // Copy only what the extension keeps: the identity fields and the unsorted
+  // scaffold it extends in place. The run-sorted arrays and the label table
+  // are rebuilt below (or stay empty when `old` carries none) — copying them
+  // from `old` just to overwrite them roughly doubles the cost of the very
+  // recompile this function exists to avoid.
+  ScanPlan plan;
+  plan.fact_ = old.fact_;
+  plan.fact_rows_ = new_rows;
+  plan.dim_tables_ = old.dim_tables_;
+  plan.dim_rows_ = old.dim_rows_;
+  plan.measure_cols_ = old.measure_cols_;
+  plan.group_key_layout_ = old.group_key_layout_;
+  plan.requires_scalar_ = old.requires_scalar_;
+  plan.grouped = old.grouped;
+  plan.layout = old.layout;
+  plan.parts = old.parts;
+  plan.code_space = old.code_space;
+  plan.dims = old.dims;
+  plan.fact_dim_row = old.fact_dim_row;
+  plan.codes = old.codes;
+  plan.weights = old.weights;
+  plan.has_sorted_runs = old.has_sorted_runs;
+
+  // FK→row resolution for the tail only. The dimensions are unchanged, so
+  // the rebuilt per-dimension index answers exactly as it did at compile
+  // time (dimension indexes are small; the saved work is the fact scan).
+  for (size_t i = 0; i < q.dims.size(); ++i) {
+    const query::DimBinding& d = q.dims[i];
+    PlanDim& pd = plan.dims[i];
+    const auto& keys = d.dim->column(d.dim_pk_col).int64_data();
+    std::vector<int32_t> row_payload(keys.size());
+    for (size_t r = 0; r < keys.size(); ++r) {
+      row_payload[r] = static_cast<int32_t>(r);
+    }
+    auto built = KeyIndex::Build(keys, row_payload);
+    if (!built.ok()) return built.status();
+    const KeyIndex index = std::move(*built);
+    const int64_t* fk = q.fact->column(d.fact_fk_col).int64_data().data();
+    std::vector<int32_t>& rows = plan.fact_dim_row[i];
+    rows.resize(static_cast<size_t>(new_rows));
+    const int32_t sentinel = pd.num_rows;
+    for (int64_t r = old_rows; r < new_rows; ++r) {
+      int32_t dr = index.Lookup(fk[r]);
+      if (dr == KeyIndex::kAbsent) {
+        dr = sentinel;
+        pd.has_absent_fk = true;
+      }
+      rows[static_cast<size_t>(r)] = dr;
+    }
+  }
+
+  // Tail group codes, packed with the compiled layout (validated above).
+  if (plan.grouped) {
+    plan.codes.resize(static_cast<size_t>(new_rows), 0);
+    for (size_t i = 0; i < plan.dims.size(); ++i) {
+      const PlanDim& pd = plan.dims[i];
+      if (pd.field < 0) continue;
+      const int32_t* rows = plan.fact_dim_row[i].data();
+      const int32_t* ordinals = pd.group_ordinal.data();
+      const int32_t sentinel = pd.num_rows;
+      for (int64_t r = old_rows; r < new_rows; ++r) {
+        int32_t dr = rows[r];
+        if (dr == sentinel) continue;
+        plan.codes[static_cast<size_t>(r)] |= plan.layout.Pack(
+            pd.field, static_cast<uint64_t>(ordinals[dr]));
+      }
+    }
+    for (const auto& part : plan.parts) {
+      if (part.dim_idx >= 0) continue;
+      const storage::Column& c = q.fact->column(part.col);
+      if (part.is_string) {
+        const int32_t* code = c.code_data().data();
+        for (int64_t r = old_rows; r < new_rows; ++r) {
+          plan.codes[static_cast<size_t>(r)] |=
+              plan.layout.Pack(part.field, static_cast<uint64_t>(code[r]));
+        }
+      } else {
+        const int64_t* i64 = c.int64_data().data();
+        for (int64_t r = old_rows; r < new_rows; ++r) {
+          plan.codes[static_cast<size_t>(r)] |= plan.layout.Pack(
+              part.field, static_cast<uint64_t>(i64[r] - part.base));
+        }
+      }
+    }
+  }
+
+  // Tail weights. Accumulation order per row matches Compile (measure
+  // columns outer, rows inner), so the per-row sums associate identically.
+  if (!q.measure_cols.empty()) {
+    plan.weights.resize(static_cast<size_t>(new_rows), 0.0);
+    for (const auto& [col, coeff] : q.measure_cols) {
+      storage::Column::NumericView view = q.fact->column(col).numeric_view();
+      const double c = coeff;
+      for (int64_t r = old_rows; r < new_rows; ++r) {
+        plan.weights[static_cast<size_t>(r)] += c * view[r];
+      }
+    }
+  }
+
+  // Splice the tail into the counting-sort runs: each code's new run is its
+  // old run (rows already in scan order) followed by its tail rows in scan
+  // order — exactly what a fresh stable counting sort over all rows
+  // produces, since every tail row index is larger than every compiled row
+  // index. Per-group aggregation order (and thus float association) is
+  // therefore bit-identical to a from-scratch compile.
+  if (plan.has_sorted_runs) {
+    const int64_t space = static_cast<int64_t>(*plan.code_space);
+    std::vector<int64_t> tail_count(static_cast<size_t>(space), 0);
+    bool populates_empty_run = false;
+    for (int64_t r = old_rows; r < new_rows; ++r) {
+      const size_t code =
+          static_cast<size_t>(plan.codes[static_cast<size_t>(r)]);
+      if (tail_count[code]++ == 0 &&
+          old.run_offsets[code] == old.run_offsets[code + 1]) {
+        populates_empty_run = true;
+      }
+    }
+    std::vector<int64_t> offsets(static_cast<size_t>(space) + 1, 0);
+    for (int64_t c = 0; c < space; ++c) {
+      const size_t cs = static_cast<size_t>(c);
+      offsets[cs + 1] = offsets[cs] +
+                        (old.run_offsets[cs + 1] - old.run_offsets[cs]) +
+                        tail_count[cs];
+    }
+    // Stable counting sort of just the tail rows by code, so the merge below
+    // emits every destination element exactly once and strictly in run
+    // order: no zero-initialized full-size scratch, no random-access cursor.
+    const int64_t tail_n = new_rows - old_rows;
+    std::vector<int64_t> tail_begin(static_cast<size_t>(space) + 1, 0);
+    for (int64_t c = 0; c < space; ++c) {
+      tail_begin[static_cast<size_t>(c) + 1] =
+          tail_begin[static_cast<size_t>(c)] +
+          tail_count[static_cast<size_t>(c)];
+    }
+    std::vector<int64_t> tail_sorted(static_cast<size_t>(tail_n));
+    {
+      std::vector<int64_t> cursor(tail_begin.begin(), tail_begin.end() - 1);
+      for (int64_t r = old_rows; r < new_rows; ++r) {
+        const size_t code =
+            static_cast<size_t>(plan.codes[static_cast<size_t>(r)]);
+        tail_sorted[static_cast<size_t>(cursor[code]++)] = r;
+      }
+    }
+    std::vector<std::vector<int32_t>> sorted_dim_row(plan.dims.size());
+    for (auto& v : sorted_dim_row) v.reserve(static_cast<size_t>(new_rows));
+    const bool weighted = !plan.weights.empty();
+    std::vector<double> sorted_weights;
+    if (weighted) sorted_weights.reserve(static_cast<size_t>(new_rows));
+    for (int64_t c = 0; c < space; ++c) {
+      const size_t cs = static_cast<size_t>(c);
+      const int64_t old_begin = old.run_offsets[cs];
+      const int64_t old_end = old.run_offsets[cs + 1];
+      for (size_t i = 0; i < plan.dims.size(); ++i) {
+        sorted_dim_row[i].insert(sorted_dim_row[i].end(),
+                                 old.sorted_dim_row[i].begin() + old_begin,
+                                 old.sorted_dim_row[i].begin() + old_end);
+      }
+      if (weighted) {
+        sorted_weights.insert(sorted_weights.end(),
+                              old.sorted_weights.begin() + old_begin,
+                              old.sorted_weights.begin() + old_end);
+      }
+      for (int64_t t = tail_begin[cs]; t < tail_begin[cs + 1]; ++t) {
+        const size_t r = static_cast<size_t>(tail_sorted[static_cast<size_t>(t)]);
+        for (size_t i = 0; i < plan.dims.size(); ++i) {
+          sorted_dim_row[i].push_back(plan.fact_dim_row[i][r]);
+        }
+        if (weighted) sorted_weights.push_back(plan.weights[r]);
+      }
+    }
+    plan.run_offsets = std::move(offsets);
+    plan.sorted_dim_row = std::move(sorted_dim_row);
+    plan.sorted_weights = std::move(sorted_weights);
+
+    if (populates_empty_run) {
+      // Codes whose runs were empty are populated now: re-render labels
+      // from the new runs with the same loop Compile uses.
+      RenderRunLabels(plan, q);
+    } else {
+      // The set of non-empty runs is unchanged, and the label table depends
+      // only on that set — the old table is exactly what a fresh render
+      // over the spliced runs would produce.
+      plan.group_labels = old.group_labels;
+      plan.label_of_code = old.label_of_code;
+    }
   }
   return plan;
 }

@@ -94,6 +94,24 @@ class ScanPlan {
   /// recompiled; executing a stale plan is refused.
   bool Matches(const query::BoundQuery& q) const;
 
+  /// \brief True when `q` binds the same tables and aggregate shape as `old`
+  /// and only the fact table has grown — the precondition for ExtendFrom.
+  /// The plan cache uses this to classify a stale hit as append vs identity.
+  static bool IsAppendExtension(const ScanPlan& old, const query::BoundQuery& q);
+
+  /// \brief Compiles a plan for `q` by extending `old` over the fact table's
+  /// appended tail only: FK resolution, group-code packing, and weights run
+  /// over rows [old.fact_rows(), q.fact->num_rows()), and the tail is spliced
+  /// into the counting-sort runs. Because the sort is stable and every tail
+  /// row index exceeds every compiled row index, the result is bit-identical
+  /// to a fresh Compile on the grown table (tests/ingest_test.cc asserts
+  /// this over randomized append schedules). Returns NotSupported when the
+  /// tail cannot be spliced — the plan was scalar-fallback, or a fact-side
+  /// group key outgrew its packed bit field — in which case the caller falls
+  /// back to a full Compile.
+  static Result<ScanPlan> ExtendFrom(const ScanPlan& old,
+                                     const query::BoundQuery& q);
+
   /// The GROUP BY key set could not be packed into a 64-bit code; execution
   /// must take the scalar pipeline (no scaffold is built in this case).
   bool requires_scalar() const { return requires_scalar_; }

@@ -142,6 +142,25 @@ bool ParseFullDouble(const std::string& text, double* out) {
   return true;
 }
 
+/// Decodes one /v1/ingest cell. JSON strings map to string values; numbers
+/// map to int64 when integral and exactly representable (key and int64
+/// columns must not arrive as lossy doubles — 2^53 is the last double whose
+/// neighbours are all representable), otherwise double. The storage layer
+/// then coerces int64 ↔ double per column, so "42" works for a measure
+/// column and "42.0" does not silently truncate for a key column. Booleans,
+/// nulls, and nested containers have no column type and are rejected.
+Result<storage::Value> DecodeIngestCell(const Json& cell) {
+  if (cell.is_string()) return storage::Value(cell.AsString());
+  if (cell.is_number()) {
+    const double v = cell.AsNumber();
+    if (v == std::floor(v) && std::abs(v) <= 9007199254740992.0) {
+      return storage::Value(static_cast<int64_t>(v));
+    }
+    return storage::Value(v);
+  }
+  return Status::InvalidArgument("ingest cells must be numbers or strings");
+}
+
 /// Exports the busy/idle accounting of one worker pool as scrape-time gauges.
 void ExportWorkerGauges(obs::MetricsRegistry* reg, const char* pool,
                         size_t index, uint64_t busy_ns, uint64_t tasks) {
@@ -205,6 +224,9 @@ Json ErrorToJson(const Status& status) {
 Json QueryResultToJson(const exec::QueryResult& result) {
   Json body = Json::Object();
   body.Set("grouped", Json::Bool(result.grouped));
+  // The fact-table epoch the answer was computed (or replayed) at, so
+  // clients of a live table can tell which version of the data they saw.
+  body.Set("epoch", Json::Number(static_cast<double>(result.epoch)));
   if (result.grouped) {
     Json groups = Json::Array();
     for (const auto& [key, value] : result.groups) {
@@ -246,6 +268,9 @@ Json ServiceStatsToJson(const service::ServiceStats& stats) {
            Json::Number(static_cast<double>(stats.workload_queries_failed)));
   body.Set("workload_cache_skips",
            Json::Number(static_cast<double>(stats.workload_cache_skips)));
+  body.Set("ingest_batches",
+           Json::Number(static_cast<double>(stats.ingest_batches)));
+  body.Set("ingest_rows", Json::Number(static_cast<double>(stats.ingest_rows)));
 
   Json cache = Json::Object();
   cache.Set("hits", Json::Number(static_cast<double>(stats.cache.hits)));
@@ -260,8 +285,14 @@ Json ServiceStatsToJson(const service::ServiceStats& stats) {
   Json plans = Json::Object();
   plans.Set("hits", Json::Number(static_cast<double>(stats.plan_cache.hits)));
   plans.Set("misses", Json::Number(static_cast<double>(stats.plan_cache.misses)));
+  plans.Set("extends",
+            Json::Number(static_cast<double>(stats.plan_cache.extends)));
   plans.Set("invalidations",
             Json::Number(static_cast<double>(stats.plan_cache.invalidations)));
+  plans.Set("invalidated_append", Json::Number(static_cast<double>(
+                                      stats.plan_cache.invalidated_append)));
+  plans.Set("invalidated_identity", Json::Number(static_cast<double>(
+                                        stats.plan_cache.invalidated_identity)));
   plans.Set("evictions",
             Json::Number(static_cast<double>(stats.plan_cache.evictions)));
   plans.Set("hit_rate", Json::Number(stats.plan_cache.HitRate()));
@@ -277,6 +308,9 @@ Router MakeServiceRouter(service::QueryService* service, ApiOptions options) {
   auto workload_api = std::make_shared<ApiTelemetry>(
       service->metrics(), "dpstarj_workload_duration_seconds",
       "End-to-end /v1/workload latency by outcome");
+  auto ingest_api = std::make_shared<ApiTelemetry>(
+      service->metrics(), "dpstarj_ingest_api_duration_seconds",
+      "End-to-end /v1/ingest latency by outcome");
   // Anchor the uptime clock at router construction (≈ process start), and
   // publish the static build identity once — the labels carry the values, the
   // gauge itself is the conventional constant 1.
@@ -345,6 +379,13 @@ Router MakeServiceRouter(service::QueryService* service, ApiOptions options) {
         ->Set(stats.cache.epsilon_saved);
     reg->GetGauge("dpstarj_plan_cache_hit_ratio", "Plan-cache hits / lookups")
         ->Set(stats.plan_cache.HitRate());
+    reg->GetGauge("dpstarj_plan_extends",
+                  "Append-stale cached plans revalidated by incremental "
+                  "tail extension instead of a recompile")
+        ->Set(static_cast<double>(stats.plan_cache.extends));
+    reg->GetGauge("dpstarj_plan_recompiles",
+                  "Plan-cache lookups that compiled a fresh plan")
+        ->Set(static_cast<double>(stats.plan_cache.misses));
     reg->GetGauge("dpstarj_admission_rate_limited",
                   "Lifetime submissions refused by tenant token buckets")
         ->Set(static_cast<double>(stats.tenant_rate_limited));
@@ -711,6 +752,61 @@ Router MakeServiceRouter(service::QueryService* service, ApiOptions options) {
       return JsonResponse(200, out);
     }();
     return FinishTraced(workload_api.get(), trace, *tenant, std::move(resp));
+  });
+
+  router.Handle("POST", "/v1/ingest",
+                [service, ingest_api](const HttpRequest& req) {
+    auto trace = std::make_shared<obs::Trace>();
+    trace->Record(obs::Stage::kHeaderRead, req.header_read_us * 1000);
+    trace->Record(obs::Stage::kBodyRead, req.body_read_us * 1000);
+    // Ingest carries no tenant — rows are the dataset, not a privacy spend;
+    // the access-log tenant field stays empty like the ops endpoints'.
+    auto fail = [&](const Status& st) {
+      return FinishTraced(ingest_api.get(), trace, "", ErrorResponse(st));
+    };
+    auto body = Json::Parse(req.body);
+    if (!body.ok()) return fail(body.status());
+    if (!body->is_object()) {
+      return fail(Status::InvalidArgument("body must be a JSON object"));
+    }
+    auto table = body->GetString("table");
+    if (!table.ok()) return fail(table.status());
+    const Json* rows_json = body->Find("rows");
+    if (rows_json == nullptr || !rows_json->is_array()) {
+      return fail(
+          Status::InvalidArgument("'rows' must be a non-empty array of rows"));
+    }
+    std::vector<std::vector<storage::Value>> rows;
+    rows.reserve(rows_json->items().size());
+    for (const Json& row_json : rows_json->items()) {
+      if (!row_json.is_array()) {
+        return fail(Status::InvalidArgument(
+            "each ingest row must be an array of cells"));
+      }
+      std::vector<storage::Value> row;
+      row.reserve(row_json.items().size());
+      for (const Json& cell : row_json.items()) {
+        auto value = DecodeIngestCell(cell);
+        if (!value.ok()) return fail(value.status());
+        row.push_back(std::move(*value));
+      }
+      rows.push_back(std::move(row));
+    }
+    auto outcome = service->Ingest(*table, rows, trace.get());
+    if (!outcome.ok()) return fail(outcome.status());
+    HttpResponse resp = [&] {
+      obs::ScopedStage encode(trace.get(), obs::Stage::kEncode);
+      Json out = Json::Object();
+      out.Set("table", Json::Str(*table));
+      out.Set("appended",
+              Json::Number(static_cast<double>(outcome->appended)));
+      out.Set("rows_total",
+              Json::Number(static_cast<double>(outcome->rows_total)));
+      out.Set("version",
+              Json::Number(static_cast<double>(outcome->version)));
+      return JsonResponse(200, out);
+    }();
+    return FinishTraced(ingest_api.get(), trace, "", std::move(resp));
   });
 
   return router;

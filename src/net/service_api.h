@@ -18,6 +18,17 @@
 //                           failure stays in the body), the shared-scan CSE
 //                           receipts and the batch's stage timings; batch-
 //                           level refusals use /v1/query's status mapping
+//   POST /v1/ingest         {"table", "rows": [[cell,…],…]} — appends fact
+//                           rows as one atomic batch; cells are numbers or
+//                           strings matched against the table schema. 200
+//                           {"table","appended","rows_total","version"} with
+//                           `version` the table's new mutation epoch: every
+//                           answer computed after it is a FRESH DP release
+//                           (fresh noise, fresh ε spend), cached plans are
+//                           extended in place instead of recompiled. 400 on
+//                           malformed rows (all-or-nothing: nothing is
+//                           appended), 404 for an unknown table, 413 past
+//                           the body cap
 //   POST /v1/tenants        {"tenant", "epsilon"[, "rate_qps", "burst",
 //                           "max_in_flight"]} → 201 (409 when it exists);
 //                           the optional fields override the tenant's fair-

@@ -48,6 +48,8 @@ const char* StageName(Stage stage) {
     case Stage::kScan: return "scan";
     case Stage::kNoiseDraw: return "noise_draw";
     case Stage::kEncode: return "encode";
+    case Stage::kPlanExtend: return "plan_extend";
+    case Stage::kIngestApply: return "ingest_apply";
   }
   return "unknown";
 }

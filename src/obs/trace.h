@@ -39,9 +39,11 @@ enum class Stage : int {
   kScan,            ///< fact sweep / aggregation
   kNoiseDraw,       ///< predicate perturbation sampling
   kEncode,          ///< result → JSON response body
+  kPlanExtend,      ///< plan-cache append hit: incremental scaffold extend
+  kIngestApply,     ///< ingest: row append + epoch bump under the write lock
 };
 
-inline constexpr int kStageCount = static_cast<int>(Stage::kEncode) + 1;
+inline constexpr int kStageCount = static_cast<int>(Stage::kIngestApply) + 1;
 
 /// Stable lower_snake_case stage name ("header_read", "scan", ...), used as
 /// the `stage` label value and the access-log key.

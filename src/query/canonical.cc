@@ -51,4 +51,14 @@ std::string CanonicalKey(const BoundQuery& bound, double epsilon) {
   return CanonicalKey(bound) + Format(";eps=%.17g", epsilon);
 }
 
+std::string CanonicalEpochKey(const BoundQuery& bound, double epsilon) {
+  std::string key = CanonicalKey(bound, epsilon);
+  key += Format(";epoch=%llu",
+                static_cast<unsigned long long>(bound.fact->version()));
+  for (const auto& d : bound.dims) {
+    key += Format(",%llu", static_cast<unsigned long long>(d.dim->version()));
+  }
+  return key;
+}
+
 }  // namespace dpstarj::query

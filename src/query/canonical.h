@@ -37,4 +37,13 @@ std::string CanonicalKey(const BoundQuery& bound);
 /// indexes on: a replay is only exchangeable with a fresh draw at the same ε.
 std::string CanonicalKey(const BoundQuery& bound, double epsilon);
 
+/// \brief CanonicalKey(bound, epsilon) extended with the mutation epoch of
+/// every bound table (fact first, dimensions in bound order). Streaming
+/// ingest bumps a table's epoch per accepted batch, so keying the noisy-
+/// answer cache on this makes each epoch a fresh DP release: an answer drawn
+/// before an append is never replayed after it (and the new epoch's first
+/// submission spends budget and draws fresh noise). Table epochs are atomic,
+/// so this is safe to call without holding the service's table locks.
+std::string CanonicalEpochKey(const BoundQuery& bound, double epsilon);
+
 }  // namespace dpstarj::query

@@ -31,6 +31,15 @@ core::DpStarJoinOptions ResolveEngineOptions(
   return engine;
 }
 
+// The tables a bound query scans, for LockTablesShared.
+std::vector<std::string> TableNamesOf(const query::BoundQuery& bound) {
+  std::vector<std::string> names;
+  names.reserve(bound.dims.size() + 1);
+  names.push_back(bound.fact->name());
+  for (const auto& d : bound.dims) names.push_back(d.dim->name());
+  return names;
+}
+
 }  // namespace
 
 std::string ServiceStats::ToString() const {
@@ -38,8 +47,10 @@ std::string ServiceStats::ToString() const {
       "submitted %llu, completed %llu, failed %llu, rejected %llu, "
       "overloaded %llu, tenant-limited %llu | "
       "workloads: %llu batches (%llu fresh / %llu cached / %llu failed) | "
+      "ingest: %llu batches / %llu rows | "
       "cache: %llu hits / %llu misses (%.1f%% hit rate), eps saved %.4g | "
-      "plans: %llu hits / %llu misses, %llu invalidated",
+      "plans: %llu hits / %llu misses (%llu extended), "
+      "%llu invalidated (%llu append / %llu identity)",
       static_cast<unsigned long long>(submitted),
       static_cast<unsigned long long>(completed),
       static_cast<unsigned long long>(failed),
@@ -50,16 +61,22 @@ std::string ServiceStats::ToString() const {
       static_cast<unsigned long long>(workload_queries_fresh),
       static_cast<unsigned long long>(workload_queries_cached),
       static_cast<unsigned long long>(workload_queries_failed),
+      static_cast<unsigned long long>(ingest_batches),
+      static_cast<unsigned long long>(ingest_rows),
       static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.misses), 100.0 * cache.HitRate(),
       cache.epsilon_saved, static_cast<unsigned long long>(plan_cache.hits),
       static_cast<unsigned long long>(plan_cache.misses),
-      static_cast<unsigned long long>(plan_cache.invalidations));
+      static_cast<unsigned long long>(plan_cache.extends),
+      static_cast<unsigned long long>(plan_cache.invalidations),
+      static_cast<unsigned long long>(plan_cache.invalidated_append),
+      static_cast<unsigned long long>(plan_cache.invalidated_identity));
 }
 
 QueryService::QueryService(const storage::Catalog* catalog, ServiceOptions options)
     : metrics_(options.metrics != nullptr ? options.metrics
                                           : std::make_shared<obs::MetricsRegistry>()),
+      catalog_(catalog),
       ledger_(options.default_tenant_budget),
       cache_(options.cache_capacity),
       admission_(options.admission),
@@ -99,6 +116,16 @@ QueryService::QueryService(const storage::Catalog* catalog, ServiceOptions optio
       workload_cache_skips_(metrics_->GetCounter(
           "dpstarj_workload_cache_skips_total",
           "Cache-hit queries excluded from a workload's shared scan")),
+      ingest_batches_(metrics_->GetCounter(
+          "dpstarj_ingest_batches_total",
+          "Ingest batches accepted (one table-epoch bump each)")),
+      ingest_rows_(metrics_->GetCounter(
+          "dpstarj_ingest_rows_total",
+          "Fact rows appended across all accepted ingest batches")),
+      ingest_duration_(metrics_->GetHistogram(
+          "dpstarj_ingest_duration_seconds",
+          "Wall time of the ingest apply (validation + locked append)", {},
+          obs::Histogram::ExponentialBuckets(1e-5, 4.0, 12))),
       workload_batch_size_(metrics_->GetHistogram(
           "dpstarj_workload_batch_size", "Queries per workload batch", {},
           obs::Histogram::ExponentialBuckets(1.0, 2.0, 9))),
@@ -108,6 +135,23 @@ QueryService::QueryService(const storage::Catalog* catalog, ServiceOptions optio
           obs::Histogram::ExponentialBuckets(1.0, 2.0, 11))) {}
 
 QueryService::~QueryService() { Shutdown(); }
+
+std::shared_mutex* QueryService::TableLock(const std::string& table_name) {
+  std::lock_guard<std::mutex> lock(table_locks_mu_);
+  auto& slot = table_locks_[table_name];
+  if (slot == nullptr) slot = std::make_unique<std::shared_mutex>();
+  return slot.get();
+}
+
+std::vector<std::shared_lock<std::shared_mutex>> QueryService::LockTablesShared(
+    std::vector<std::string> names) {
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(names.size());
+  for (const auto& name : names) locks.emplace_back(*TableLock(name));
+  return locks;
+}
 
 Status QueryService::RegisterTenant(const std::string& tenant, double total_epsilon) {
   return ledger_.RegisterTenant(tenant, total_epsilon);
@@ -216,9 +260,13 @@ std::future<Result<exec::QueryResult>> QueryService::SubmitInternal(
               failed_->Inc();
               return bound.status();
             }
+            // Epoch-keyed probe with no table lock: the key only reads the
+            // tables' atomic version counters, never row data, and a replay
+            // is a pure copy of a stored answer.
             auto replay = [&] {
               obs::ScopedStage lookup_span(trace, obs::Stage::kCacheLookup);
-              return cache_.Lookup(query::CanonicalKey(*bound, epsilon), epsilon);
+              return cache_.Lookup(query::CanonicalEpochKey(*bound, epsilon),
+                                   epsilon);
             }();
             if (replay) {
               if (trace != nullptr) trace->answer_cache_hit = true;
@@ -287,7 +335,12 @@ Result<exec::QueryResult> QueryService::Execute(core::DpStarJoin& engine,
     failed_->Inc();
     return bound.status();
   }
-  const std::string key = query::CanonicalKey(*bound, epsilon);
+  // Reader-side table locks, held from key construction through the scan:
+  // the epochs folded into the key cannot move while the engine reads row
+  // data, so the cached answer always matches the epoch it is keyed by.
+  // Ingest takes these exclusively per batch (see Ingest below).
+  auto table_locks = LockTablesShared(TableNamesOf(*bound));
+  const std::string key = query::CanonicalEpochKey(*bound, epsilon);
   auto replay = [&] {
     obs::ScopedStage lookup_span(trace, obs::Stage::kCacheLookup);
     return cache_.Lookup(key, epsilon);
@@ -305,6 +358,7 @@ Result<exec::QueryResult> QueryService::Execute(core::DpStarJoin& engine,
     failed_->Inc();
     return answer.status();
   }
+  answer->epoch = bound->fact->version();
   cache_.Insert(key, *answer);
   completed_->Inc();
   return std::move(*answer);
@@ -433,6 +487,18 @@ Result<WorkloadOutcome> QueryService::ExecuteWorkload(
     }
   }
 
+  // Reader-side locks over the union of the batch's tables, held from key
+  // construction through the shared scan and the cache inserts: the epochs
+  // folded into the keys cannot move mid-batch, so every stored answer
+  // matches the epoch it is keyed by (an ingest batch lands entirely before
+  // or entirely after this workload's scan).
+  std::vector<std::string> batch_tables;
+  for (const auto& b : bound) {
+    if (!b.has_value()) continue;
+    for (auto& name : TableNamesOf(*b)) batch_tables.push_back(std::move(name));
+  }
+  auto table_locks = LockTablesShared(std::move(batch_tables));
+
   // Answer-cache pre-pass: cache-hit queries are excluded from the shared
   // scan and replayed at zero ε (their share of the spend flows back) — the
   // scan only carries queries that genuinely need a fresh draw.
@@ -443,7 +509,7 @@ Result<WorkloadOutcome> QueryService::ExecuteWorkload(
     obs::ScopedStage lookup_span(trace, obs::Stage::kCacheLookup);
     for (size_t i = 0; i < queries.size(); ++i) {
       if (!bound[i].has_value()) continue;
-      keys[i] = query::CanonicalKey(*bound[i], queries[i].epsilon);
+      keys[i] = query::CanonicalEpochKey(*bound[i], queries[i].epsilon);
       auto replay = cache_.Lookup(keys[i], queries[i].epsilon);
       if (replay) {
         if (trace != nullptr) trace->answer_cache_hit = true;
@@ -474,6 +540,7 @@ Result<WorkloadOutcome> QueryService::ExecuteWorkload(
         outcome.queries[i].status = results[k].status();
         continue;
       }
+      results[k]->epoch = bound[i]->fact->version();
       cache_.Insert(keys[i], *results[k]);
       completed_->Inc();
       workload_fresh_->Inc();
@@ -486,6 +553,50 @@ Result<WorkloadOutcome> QueryService::ExecuteWorkload(
 Result<exec::QueryResult> QueryService::Answer(const std::string& sql, double epsilon,
                                                const std::string& tenant) {
   return Submit(sql, epsilon, tenant).get();
+}
+
+Result<IngestOutcome> QueryService::Ingest(
+    const std::string& table_name,
+    const std::vector<std::vector<storage::Value>>& rows, obs::Trace* trace) {
+  DPSTARJ_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> table,
+                           catalog_->GetTable(table_name));
+  if (rows.empty()) {
+    return Status::InvalidArgument("ingest batch must contain at least one row");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  // Validate the whole batch before taking the write lock: the batch applies
+  // all-or-nothing, and in-flight scans are never stalled behind validation
+  // of rows that might be refused anyway.
+  for (size_t i = 0; i < rows.size(); ++i) {
+    Status valid = table->ValidateRow(rows[i]);
+    if (!valid.ok()) {
+      return Status::InvalidArgument(
+          Format("ingest row %zu: %s", i, valid.message().c_str()));
+    }
+  }
+  IngestOutcome out;
+  {
+    obs::ScopedStage apply_span(trace, obs::Stage::kIngestApply);
+    std::unique_lock<std::shared_mutex> lock(*TableLock(table_name));
+    for (const auto& row : rows) {
+      Status applied = table->AppendRow(row);
+      // Pre-validated above, and appends to this table are serialized by the
+      // exclusive lock — a failure here is a logic error, not bad input.
+      DPSTARJ_CHECK(applied.ok(), "validated ingest row must append");
+    }
+    // One epoch bump per accepted batch (not per row): the batch is the unit
+    // of release — queries see either none or all of it.
+    table->BumpVersion();
+    out.appended = static_cast<int64_t>(rows.size());
+    out.rows_total = table->num_rows();
+    out.version = table->version();
+  }
+  ingest_batches_->Inc();
+  ingest_rows_->Inc(static_cast<uint64_t>(out.appended));
+  ingest_duration_->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  return out;
 }
 
 Result<double> QueryService::RemainingBudget(const std::string& tenant) const {
@@ -507,6 +618,8 @@ ServiceStats QueryService::Stats() const {
   stats.workload_queries_cached = workload_cached_->Value();
   stats.workload_queries_failed = workload_failed_->Value();
   stats.workload_cache_skips = workload_cache_skips_->Value();
+  stats.ingest_batches = ingest_batches_->Value();
+  stats.ingest_rows = ingest_rows_->Value();
   stats.cache = cache_.GetStats();
   stats.plan_cache = plan_cache_->GetStats();
   return stats;

@@ -27,8 +27,11 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -115,6 +118,10 @@ struct ServiceStats {
   /// (same value as workload_queries_cached; kept as its own series so the
   /// pre-pass satellite is directly observable).
   uint64_t workload_cache_skips = 0;
+  /// Ingest batches accepted (one table-epoch bump each).
+  uint64_t ingest_batches = 0;
+  /// Fact rows appended across all accepted ingest batches.
+  uint64_t ingest_rows = 0;
   AnswerCache::Stats cache;       ///< hit/miss/ε-saved accounting
   exec::PlanCache::Stats plan_cache;  ///< compiled-plan reuse accounting
 
@@ -145,6 +152,13 @@ struct WorkloadQueryOutcome {
 struct WorkloadOutcome {
   std::vector<WorkloadQueryOutcome> queries;
   exec::WorkloadExecStats exec;
+};
+
+/// \brief Receipt of one accepted ingest batch.
+struct IngestOutcome {
+  int64_t appended = 0;   ///< rows applied by this batch
+  int64_t rows_total = 0; ///< table row count after the batch
+  uint64_t version = 0;   ///< table epoch after the batch (bumped once)
 };
 
 /// \brief Thread-safe multi-tenant DP query service.
@@ -227,6 +241,24 @@ class QueryService {
   Result<exec::QueryResult> Answer(const std::string& sql, double epsilon,
                                    const std::string& tenant);
 
+  /// \brief Appends `rows` to `table_name` as one atomic batch and bumps the
+  /// table's epoch once. Runs on the calling thread (not the engine pool)
+  /// under the table's exclusive write lock, serialized against every
+  /// in-flight scan of that table; queries racing the batch observe either
+  /// the old epoch or the new one, never a half-applied batch.
+  ///
+  /// The whole batch is validated against the schema before the lock is
+  /// taken — a bad row refuses the batch with its index in the error and
+  /// nothing applied (InvalidArgument; NotFound for unknown tables). Each
+  /// accepted batch is a fresh DP release for the table: answer-cache keys
+  /// carry the epoch, so post-append queries spend budget and draw fresh
+  /// noise (docs/wire-protocol.md §POST /v1/ingest).
+  ///
+  /// A non-null `trace` records the apply span (obs::Stage::kIngestApply).
+  Result<IngestOutcome> Ingest(const std::string& table_name,
+                               const std::vector<std::vector<storage::Value>>& rows,
+                               obs::Trace* trace = nullptr);
+
   /// Remaining ε of a tenant; NotFound for unknown tenants.
   Result<double> RemainingBudget(const std::string& tenant) const;
 
@@ -281,8 +313,29 @@ class QueryService {
   /// Wraps a synchronously-known failure in a ready future.
   static std::future<Result<exec::QueryResult>> FailedFuture(Status status);
 
+  /// The lazily created lock of one served table (see table_locks_).
+  std::shared_mutex* TableLock(const std::string& table_name);
+
+  /// \brief Shared (reader) locks over the named tables, acquired in sorted
+  /// name order (duplicates collapsed) so readers and the ingest writer
+  /// never deadlock. Holders may scan row data; Ingest takes its table's
+  /// lock exclusively. The locks release when the returned vector dies.
+  std::vector<std::shared_lock<std::shared_mutex>> LockTablesShared(
+      std::vector<std::string> names);
+
   /// Declared first: the counters below live in it.
   std::shared_ptr<obs::MetricsRegistry> metrics_;
+  /// The catalog the pool engines bind against (ingest resolves tables here).
+  const storage::Catalog* catalog_;
+  /// One shared_mutex per served table, created on first touch: queries hold
+  /// their tables shared for the scan, Ingest holds its table exclusive for
+  /// the append + epoch bump (columns are std::vector — growth reallocates,
+  /// so readers must never overlap a writer). The registry map itself is
+  /// guarded by table_locks_mu_; the shared_mutexes are heap-allocated so
+  /// rehashing never moves a lock somebody holds.
+  std::mutex table_locks_mu_;
+  std::unordered_map<std::string, std::unique_ptr<std::shared_mutex>>
+      table_locks_;
   BudgetLedger ledger_;
   AnswerCache cache_;
   AdmissionController admission_;
@@ -303,6 +356,9 @@ class QueryService {
   obs::Counter* workload_cached_;
   obs::Counter* workload_failed_;
   obs::Counter* workload_cache_skips_;
+  obs::Counter* ingest_batches_;
+  obs::Counter* ingest_rows_;
+  obs::Histogram* ingest_duration_;
   obs::Histogram* workload_batch_size_;
   /// Queue depth observed at every dispatch: the saturation distribution the
   /// scrape-time dpstarj_queue_depth gauge (one instant per scrape) misses.

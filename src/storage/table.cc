@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include <cmath>
+
 #include "common/string_util.h"
 
 namespace dpstarj::storage {
@@ -32,25 +34,38 @@ Result<std::shared_ptr<Table>> Table::Create(std::string name, Schema schema,
       new Table(std::move(name), std::move(schema), std::move(primary_key), pk_index));
 }
 
-Status Table::AppendRow(const std::vector<Value>& values) {
+Status Table::ValidateRow(const std::vector<Value>& values) const {
   if (static_cast<int>(values.size()) != schema_.num_fields()) {
     return Status::InvalidArgument(
         Format("row arity %zu != schema arity %d", values.size(),
                schema_.num_fields()));
   }
-  // Validate all cells before mutating anything, so a failed append leaves the
-  // table unchanged.
   for (size_t i = 0; i < values.size(); ++i) {
     ValueType ct = columns_[i].type();
     ValueType vt = values[i].type();
-    bool ok = (ct == vt) || (ct == ValueType::kInt64 && vt == ValueType::kDouble) ||
-              (ct == ValueType::kDouble && vt == ValueType::kInt64);
+    bool ok = (ct == vt) || (ct == ValueType::kDouble && vt == ValueType::kInt64);
+    if (ct == ValueType::kInt64 && vt == ValueType::kDouble) {
+      // Tolerate doubles in integer columns only when the narrowing cast in
+      // Column::Append is exact: a fractional value would be silently
+      // truncated, and one outside int64 range makes the cast undefined.
+      double d = values[i].AsDouble();
+      ok = std::floor(d) == d && d >= -9223372036854775808.0 &&
+           d < 9223372036854775808.0;
+    }
     if (!ok) {
       return Status::InvalidArgument(
           Format("column %zu of '%s' expects %s, got %s", i, name_.c_str(),
                  ValueTypeToString(ct), ValueTypeToString(vt)));
     }
   }
+  return Status::OK();
+}
+
+Status Table::AppendRow(const std::vector<Value>& values) {
+  // Validate all cells before mutating anything, so a failed append leaves the
+  // table unchanged.
+  Status valid = ValidateRow(values);
+  if (!valid.ok()) return valid;
   for (size_t i = 0; i < values.size(); ++i) {
     Status st = columns_[i].Append(values[i]);
     DPSTARJ_CHECK(st.ok(), "validated append must not fail");

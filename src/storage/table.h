@@ -2,6 +2,8 @@
 
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -35,6 +37,26 @@ class Table {
   /// Primary key column index (-1 if none).
   int primary_key_index() const { return pk_index_; }
 
+  /// \brief Monotonically increasing mutation epoch, starting at 0.
+  ///
+  /// The service's ingest path bumps it once per accepted append batch and
+  /// folds it into answer-cache keys, so a noisy answer drawn before an
+  /// append is never replayed after it (each epoch is a fresh DP release;
+  /// see docs/wire-protocol.md). The counter is atomic so unlocked readers
+  /// (cache-key construction on the budget-probe path) see a coherent value;
+  /// the row data itself is only safe to scan under the service's per-table
+  /// reader lock.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+  /// Advances the epoch. Called by writers after the rows are in place.
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// \brief Checks `values` against the schema (arity; types, with int64 ↔
+  /// double coercion allowed) without mutating anything — the validation
+  /// half of AppendRow, exposed so batch writers (streaming ingest) can
+  /// pre-validate a whole batch outside the write lock and then apply it
+  /// all-or-nothing.
+  Status ValidateRow(const std::vector<Value>& values) const;
+
   /// \brief Appends one row; `values` must match the schema arity and types.
   Status AppendRow(const std::vector<Value>& values);
 
@@ -67,6 +89,7 @@ class Table {
   int pk_index_ = -1;
   std::vector<Column> columns_;
   int64_t num_rows_ = 0;
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace dpstarj::storage

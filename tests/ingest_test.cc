@@ -1,0 +1,578 @@
+// Streaming-ingest equivalence tier: incremental plan extension, incremental
+// cube maintenance, and the service's epoch semantics must be
+// indistinguishable from tearing everything down and rebuilding.
+//
+//   * ScanPlan::ExtendFrom vs a fresh Compile over randomized append
+//     schedules × query shapes: every scaffold array (FK resolution, packed
+//     codes, weights, counting-sort runs, rendered labels) bit-identical,
+//     and cold/warm execution of both plans bit-identical.
+//   * DataCube::AppendRows vs a fresh sequential Build: totals, marginals
+//     and weighted evaluations exactly equal.
+//   * QueryService::Ingest: one epoch bump per accepted batch, all-or-nothing
+//     batches, answer-cache keys that fold the epoch in (a post-append query
+//     is a FRESH DP release and a fresh ε spend), exact ledger accounting.
+//   * A concurrent ingest/query/workload hammer over a live HTTP server
+//     (run under TSan via the CI TSan configuration): every answer's epoch
+//     is a table version that actually existed while the request was in
+//     flight, and per-tenant ε accounting stays exact to the last spend.
+//
+// Registered a second time under DPSTARJ_FORCE_SCALAR=1 (like
+// executor_equivalence_test), so the equivalence claims also hold on the
+// scalar kernel path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "exec/data_cube.h"
+#include "exec/plan_cache.h"
+#include "exec/scan_plan.h"
+#include "exec/star_join_executor.h"
+#include "net/client.h"
+#include "net/http_server.h"
+#include "net/service_api.h"
+#include "query/binder.h"
+#include "service/query_service.h"
+#include "storage/catalog.h"
+#include "test_catalog.h"
+
+namespace dpstarj {
+namespace {
+
+using exec::PredicateOverrides;
+using exec::QueryResult;
+using exec::ScanPlan;
+using exec::StarJoinExecutor;
+using storage::Value;
+using testing_fixture::MakeToyCatalog;
+using testing_fixture::ToyCountQuery;
+
+// ---------------------------------------------------------------------------
+// Fixture helpers
+
+query::StarJoinQuery ToyGroupedQuery() {
+  query::StarJoinQuery q = ToyCountQuery();
+  q.name = "toy_grouped";
+  q.aggregate = query::AggregateKind::kSum;
+  q.measure_terms = {{"qty", 1.0}};
+  q.group_by = {{"Cust", "region"}, {"Prod", "cat"}};
+  return q;
+}
+
+query::StarJoinQuery ToyFactGroupedQuery() {
+  query::StarJoinQuery q = ToyCountQuery();
+  q.name = "toy_fact_grouped";
+  q.aggregate = query::AggregateKind::kSum;
+  q.measure_terms = {{"price", 1.0}};
+  q.group_by = {{"Orders", "qty"}};  // fact-side packed field: base 1, 3 bits
+  return q;
+}
+
+query::StarJoinQuery ToyMultiMeasureQuery() {
+  query::StarJoinQuery q = ToyCountQuery();
+  q.name = "toy_multi_measure";
+  q.aggregate = query::AggregateKind::kSum;
+  q.measure_terms = {{"qty", 2.0}, {"price", 0.5}};
+  q.group_by = {{"Cust", "tier"}};
+  return q;
+}
+
+// One random fact row. ck may miss Cust (0 and 7+ are unknown keys) so the
+// absent-FK sentinel path is part of every schedule; qty stays within the
+// packed field compiled from the fixture's 1..5 range (base 1, mask 7).
+std::vector<Value> RandomOrdersRow(Rng* rng) {
+  return {Value(rng->UniformInt(0, 8)), Value(rng->UniformInt(1, 5)),
+          Value(rng->UniformInt(1, 8)),
+          Value(static_cast<double>(rng->UniformInt(0, 400)) * 0.25)};
+}
+
+void ExpectBitIdentical(const QueryResult& expected, const QueryResult& got) {
+  EXPECT_EQ(expected.grouped, got.grouped);
+  EXPECT_EQ(expected.scalar, got.scalar);
+  ASSERT_EQ(expected.groups.size(), got.groups.size());
+  auto it = got.groups.begin();
+  for (const auto& [label, value] : expected.groups) {
+    EXPECT_EQ(label, it->first);
+    EXPECT_EQ(value, it->second) << "group " << label;
+    ++it;
+  }
+}
+
+// Every public scaffold array of the two plans, field by field. `where`
+// identifies the (shape, seed, batch) combination on failure.
+void ExpectSamePlan(const ScanPlan& fresh, const ScanPlan& ext,
+                    const std::string& where) {
+  SCOPED_TRACE(where);
+  ASSERT_EQ(fresh.requires_scalar(), ext.requires_scalar());
+  EXPECT_EQ(fresh.fact_rows(), ext.fact_rows());
+  EXPECT_EQ(fresh.grouped, ext.grouped);
+  EXPECT_EQ(fresh.code_space, ext.code_space);
+  EXPECT_EQ(fresh.fact_dim_row, ext.fact_dim_row);
+  EXPECT_EQ(fresh.codes, ext.codes);
+  EXPECT_EQ(fresh.weights, ext.weights);
+  EXPECT_EQ(fresh.has_sorted_runs, ext.has_sorted_runs);
+  EXPECT_EQ(fresh.run_offsets, ext.run_offsets);
+  EXPECT_EQ(fresh.sorted_dim_row, ext.sorted_dim_row);
+  EXPECT_EQ(fresh.sorted_weights, ext.sorted_weights);
+  EXPECT_EQ(fresh.group_labels, ext.group_labels);
+  EXPECT_EQ(fresh.label_of_code, ext.label_of_code);
+  ASSERT_EQ(fresh.dims.size(), ext.dims.size());
+  for (size_t i = 0; i < fresh.dims.size(); ++i) {
+    EXPECT_EQ(fresh.dims[i].num_rows, ext.dims[i].num_rows);
+    EXPECT_EQ(fresh.dims[i].has_absent_fk, ext.dims[i].has_absent_fk);
+    EXPECT_EQ(fresh.dims[i].group_ordinal, ext.dims[i].group_ordinal);
+    EXPECT_EQ(fresh.dims[i].rep_rows, ext.dims[i].rep_rows);
+    EXPECT_EQ(fresh.dims[i].field, ext.dims[i].field);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ScanPlan::ExtendFrom ≡ fresh Compile
+
+TEST(IngestEquivalenceTest, ExtendMatchesFreshCompileOnRandomSchedules) {
+  const std::vector<query::StarJoinQuery> shapes = {
+      ToyCountQuery(), ToyGroupedQuery(), ToyFactGroupedQuery(),
+      ToyMultiMeasureQuery()};
+  for (size_t shape = 0; shape < shapes.size(); ++shape) {
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+      // Fresh instance per schedule: appends mutate the catalog.
+      storage::Catalog catalog = MakeToyCatalog();
+      query::Binder binder(&catalog);
+      StarJoinExecutor executor;
+      auto orders = catalog.GetTable("Orders");
+      ASSERT_TRUE(orders.ok());
+
+      auto bound = binder.Bind(shapes[shape]);
+      ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+      auto prev = ScanPlan::Compile(*bound);
+      ASSERT_TRUE(prev.ok()) << prev.status().ToString();
+
+      Rng rng(seed * 977 + shape);
+      for (int batch = 0; batch < 3; ++batch) {
+        const int64_t batch_rows = rng.UniformInt(1, 8);
+        for (int64_t r = 0; r < batch_rows; ++r) {
+          ASSERT_TRUE((*orders)->AppendRow(RandomOrdersRow(&rng)).ok());
+        }
+        auto grown = binder.Bind(shapes[shape]);
+        ASSERT_TRUE(grown.ok());
+        ASSERT_TRUE(ScanPlan::IsAppendExtension(*prev, *grown));
+
+        auto ext = ScanPlan::ExtendFrom(*prev, *grown);
+        ASSERT_TRUE(ext.ok()) << ext.status().ToString();
+        auto fresh = ScanPlan::Compile(*grown);
+        ASSERT_TRUE(fresh.ok());
+        ExpectSamePlan(*fresh, *ext,
+                       Format("shape=%zu seed=%llu batch=%d rows=%lld", shape,
+                              static_cast<unsigned long long>(seed), batch,
+                              static_cast<long long>(grown->fact->num_rows())));
+
+        // Execution through both scaffolds agrees with the planless pipeline.
+        auto baseline = executor.Execute(*grown);
+        ASSERT_TRUE(baseline.ok());
+        auto via_ext = executor.Execute(
+            *grown, PredicateOverrides(grown->dims.size()), *ext);
+        auto via_fresh = executor.Execute(
+            *grown, PredicateOverrides(grown->dims.size()), *fresh);
+        ASSERT_TRUE(via_ext.ok() && via_fresh.ok());
+        ExpectBitIdentical(*baseline, *via_ext);
+        ExpectBitIdentical(*via_fresh, *via_ext);
+
+        prev = std::move(ext);  // next batch extends the extension
+      }
+    }
+  }
+}
+
+TEST(IngestEquivalenceTest, ExtendDeclinedWhenFactGroupFieldOverflows) {
+  storage::Catalog catalog = MakeToyCatalog();
+  query::Binder binder(&catalog);
+  auto bound = binder.Bind(ToyFactGroupedQuery());
+  ASSERT_TRUE(bound.ok());
+  auto plan = ScanPlan::Compile(*bound);
+  ASSERT_TRUE(plan.ok());
+
+  // qty was compiled from values 1..5: base 1, a 3-bit field, mask 7. An
+  // appended qty of 9 has ordinal 8 > mask — packing it would corrupt the
+  // neighbouring field, so the extension must refuse (caller recompiles).
+  auto orders = catalog.GetTable("Orders");
+  ASSERT_TRUE(orders.ok());
+  ASSERT_TRUE((*orders)
+                  ->AppendRow({Value(int64_t{1}), Value(int64_t{1}),
+                               Value(int64_t{9}), Value(90.0)})
+                  .ok());
+  auto grown = binder.Bind(ToyFactGroupedQuery());
+  ASSERT_TRUE(grown.ok());
+  ASSERT_TRUE(ScanPlan::IsAppendExtension(*plan, *grown));
+  auto ext = ScanPlan::ExtendFrom(*plan, *grown);
+  ASSERT_FALSE(ext.ok());
+  EXPECT_EQ(ext.status().code(), StatusCode::kNotSupported);
+
+  // A value below the compiled base must be refused the same way.
+  storage::Catalog catalog2 = MakeToyCatalog();
+  query::Binder binder2(&catalog2);
+  auto bound2 = binder2.Bind(ToyFactGroupedQuery());
+  ASSERT_TRUE(bound2.ok());
+  auto plan2 = ScanPlan::Compile(*bound2);
+  ASSERT_TRUE(plan2.ok());
+  auto orders2 = catalog2.GetTable("Orders");
+  ASSERT_TRUE(orders2.ok());
+  ASSERT_TRUE((*orders2)
+                  ->AppendRow({Value(int64_t{1}), Value(int64_t{1}),
+                               Value(int64_t{0}), Value(0.0)})
+                  .ok());
+  auto grown2 = binder2.Bind(ToyFactGroupedQuery());
+  ASSERT_TRUE(grown2.ok());
+  auto ext2 = ScanPlan::ExtendFrom(*plan2, *grown2);
+  ASSERT_FALSE(ext2.ok());
+  EXPECT_EQ(ext2.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(IngestEquivalenceTest, ExtendRefusedWhenADimensionGrew) {
+  storage::Catalog catalog = MakeToyCatalog();
+  query::Binder binder(&catalog);
+  auto bound = binder.Bind(ToyCountQuery());
+  ASSERT_TRUE(bound.ok());
+  auto plan = ScanPlan::Compile(*bound);
+  ASSERT_TRUE(plan.ok());
+
+  auto cust = catalog.GetTable("Cust");
+  ASSERT_TRUE(cust.ok());
+  ASSERT_TRUE(
+      (*cust)
+          ->AppendRow({Value(int64_t{7}), Value("N"), Value(int64_t{1})})
+          .ok());
+  auto grown = binder.Bind(ToyCountQuery());
+  ASSERT_TRUE(grown.ok());
+  EXPECT_FALSE(ScanPlan::IsAppendExtension(*plan, *grown));
+  auto ext = ScanPlan::ExtendFrom(*plan, *grown);
+  ASSERT_FALSE(ext.ok());
+  EXPECT_EQ(ext.status().code(), StatusCode::kNotSupported);
+}
+
+// ---------------------------------------------------------------------------
+// DataCube::AppendRows ≡ fresh Build
+
+TEST(IngestEquivalenceTest, CubeAppendRowsMatchesFreshSequentialBuild) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    storage::Catalog catalog = MakeToyCatalog();
+    query::Binder binder(&catalog);
+    auto orders = catalog.GetTable("Orders");
+    ASSERT_TRUE(orders.ok());
+
+    auto bound = binder.Bind(ToyCountQuery());
+    ASSERT_TRUE(bound.ok());
+    const std::vector<query::DimensionAttribute> attrs = {
+        {"Cust", "region", testing_fixture::RegionDomain()},
+        {"Prod", "cat", testing_fixture::CatDomain()}};
+    auto cube = exec::DataCube::Build(*bound, attrs);
+    ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+
+    Rng rng(seed);
+    for (int batch = 0; batch < 3; ++batch) {
+      const int64_t first = (*orders)->num_rows();
+      const int64_t batch_rows = rng.UniformInt(1, 10);
+      for (int64_t r = 0; r < batch_rows; ++r) {
+        ASSERT_TRUE((*orders)->AppendRow(RandomOrdersRow(&rng)).ok());
+      }
+      auto grown = binder.Bind(ToyCountQuery());
+      ASSERT_TRUE(grown.ok());
+      ASSERT_TRUE(cube->AppendRows(*grown, first).ok());
+
+      auto rebuilt = exec::DataCube::Build(*grown, attrs);
+      ASSERT_TRUE(rebuilt.ok());
+      EXPECT_EQ(rebuilt->total(), cube->total());
+      EXPECT_EQ(rebuilt->dropped_rows(), cube->dropped_rows());
+      for (int a = 0; a < 2; ++a) {
+        auto m_fresh = rebuilt->Marginal(a);
+        auto m_inc = cube->Marginal(a);
+        ASSERT_TRUE(m_fresh.ok() && m_inc.ok());
+        EXPECT_EQ(*m_fresh, *m_inc) << "axis " << a;
+      }
+      // Random weighted evaluations probe every cell with exact arithmetic.
+      for (int probe = 0; probe < 4; ++probe) {
+        std::vector<std::vector<double>> weights;
+        for (int a = 0; a < 2; ++a) {
+          auto marginal = rebuilt->Marginal(a);
+          ASSERT_TRUE(marginal.ok());
+          std::vector<double> w(marginal->size());
+          for (auto& v : w) v = rng.Bernoulli(0.5) ? 1.0 : -2.0;
+          weights.push_back(std::move(w));
+        }
+        auto e_fresh = rebuilt->EvaluateWeighted(weights);
+        auto e_inc = cube->EvaluateWeighted(weights);
+        ASSERT_TRUE(e_fresh.ok() && e_inc.ok());
+        EXPECT_EQ(*e_fresh, *e_inc);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Service epochs + ledger accounting
+
+TEST(IngestServiceTest, EpochBumpsAndPostAppendAnswersAreFreshReleases) {
+  storage::Catalog catalog = MakeToyCatalog();
+  service::ServiceOptions opts;
+  opts.num_engines = 2;
+  service::QueryService svc(&catalog, opts);
+  ASSERT_TRUE(svc.RegisterTenant("t", 10.0).ok());
+
+  const char* sql =
+      "SELECT count(*) FROM Orders, Cust, Prod "
+      "WHERE Orders.ck = Cust.ck AND Orders.pk = Prod.pk "
+      "AND Cust.region = 'N' AND Prod.cat = 'a'";
+  auto a1 = svc.Answer(sql, 0.5, "t");
+  ASSERT_TRUE(a1.ok()) << a1.status().ToString();
+  EXPECT_EQ(a1->epoch, 0u);
+
+  // Same key at the same epoch: a cache replay — identical noisy value,
+  // nothing spent (post-processing closure of DP).
+  auto a2 = svc.Answer(sql, 0.5, "t");
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a2->scalar, a1->scalar);
+  auto acct = svc.ledger().Account("t");
+  ASSERT_TRUE(acct.ok());
+  EXPECT_EQ(acct->spent, 0.5);
+
+  // Accepted batch: one epoch bump, rows visible, counters advance.
+  auto out = svc.Ingest(
+      "Orders", {{Value(int64_t{1}), Value(int64_t{1}), Value(int64_t{2}),
+                  Value(20.0)},
+                 {Value(int64_t{2}), Value(int64_t{1}), Value(int64_t{1}),
+                  Value(10.0)}});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->appended, 2);
+  EXPECT_EQ(out->rows_total, 14);
+  EXPECT_EQ(out->version, 1u);
+
+  // Same query, new epoch: the canonical key differs, so this is a fresh
+  // release — computed at epoch 1 and paid for again.
+  auto a3 = svc.Answer(sql, 0.5, "t");
+  ASSERT_TRUE(a3.ok());
+  EXPECT_EQ(a3->epoch, 1u);
+  acct = svc.ledger().Account("t");
+  ASSERT_TRUE(acct.ok());
+  EXPECT_EQ(acct->spent, 1.0);
+
+  // And the new epoch's answer replays like any other.
+  auto a4 = svc.Answer(sql, 0.5, "t");
+  ASSERT_TRUE(a4.ok());
+  EXPECT_EQ(a4->scalar, a3->scalar);
+  EXPECT_EQ(a4->epoch, 1u);
+  EXPECT_EQ(svc.ledger().Account("t")->spent, 1.0);
+
+  service::ServiceStats stats = svc.Stats();
+  EXPECT_EQ(stats.ingest_batches, 1u);
+  EXPECT_EQ(stats.ingest_rows, 2u);
+  // The post-append execution reused the compiled scaffold by extension.
+  EXPECT_EQ(stats.plan_cache.extends, 1u);
+  EXPECT_EQ(stats.plan_cache.invalidations, 0u);
+}
+
+TEST(IngestServiceTest, BatchesAreAllOrNothing) {
+  storage::Catalog catalog = MakeToyCatalog();
+  service::QueryService svc(&catalog, {});
+  auto orders = catalog.GetTable("Orders");
+  ASSERT_TRUE(orders.ok());
+  const int64_t before = (*orders)->num_rows();
+
+  // Unknown table.
+  auto missing = svc.Ingest("Nope", {{Value(int64_t{1})}});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  // Empty batch.
+  auto empty = svc.Ingest("Orders", {});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+
+  // A good row ahead of a bad one: nothing lands, the epoch does not move.
+  auto mixed = svc.Ingest(
+      "Orders", {{Value(int64_t{1}), Value(int64_t{1}), Value(int64_t{2}),
+                  Value(20.0)},
+                 {Value(int64_t{1}), Value(int64_t{1})}});
+  ASSERT_FALSE(mixed.ok());
+  EXPECT_EQ(mixed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ((*orders)->num_rows(), before);
+  EXPECT_EQ((*orders)->version(), 0u);
+  EXPECT_EQ(svc.Stats().ingest_batches, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent ingest/query/workload over the wire (TSan target)
+
+TEST(IngestServiceTest, ConcurrentIngestQueryWorkloadOverTheWire) {
+  storage::Catalog catalog = MakeToyCatalog();
+  service::ServiceOptions service_options;
+  service_options.num_engines = 2;
+  service_options.queue_capacity = 256;
+  service::QueryService service(&catalog, service_options);
+
+  constexpr int kReaders = 3;
+  constexpr int kQueriesPerReader = 24;
+  constexpr int kIngestBatches = 16;
+  constexpr int kWorkloadBatches = 8;
+  for (int t = 0; t < kReaders; ++t) {
+    ASSERT_TRUE(service.RegisterTenant(Format("reader-%d", t), 1e6).ok());
+  }
+  ASSERT_TRUE(service.RegisterTenant("batcher", 1e6).ok());
+
+  net::ServerOptions server_options;
+  server_options.handler_threads = kReaders + 3;
+  net::HttpServer server(net::MakeServiceRouter(&service), server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string sql =
+      "SELECT count(*) FROM Orders, Cust, Prod "
+      "WHERE Orders.ck = Cust.ck AND Orders.pk = Prod.pk "
+      "AND Cust.region = 'N' AND Prod.cat = 'a'";
+
+  // Version floor/ceiling observed over the wire: `acked` only advances
+  // after an ingest 200 is read back, `attempted` before the POST goes out.
+  // For any answer, acked-at-send ≤ epoch ≤ attempted-at-receive.
+  std::atomic<uint64_t> acked{0}, attempted{0};
+  std::atomic<int> failures{0};
+
+  std::thread ingester([&] {
+    net::Client client("127.0.0.1", server.port());
+    Rng rng(42);
+    for (int b = 0; b < kIngestBatches; ++b) {
+      net::Json body = net::Json::Object();
+      body.Set("table", net::Json::Str("Orders"));
+      net::Json rows = net::Json::Array();
+      const int64_t n = rng.UniformInt(1, 4);
+      for (int64_t r = 0; r < n; ++r) {
+        net::Json row = net::Json::Array();
+        row.Append(net::Json::Number(
+            static_cast<double>(rng.UniformInt(1, 6))));
+        row.Append(net::Json::Number(
+            static_cast<double>(rng.UniformInt(1, 4))));
+        row.Append(net::Json::Number(
+            static_cast<double>(rng.UniformInt(1, 5))));
+        row.Append(net::Json::Number(10.0 * static_cast<double>(b + 1)));
+        rows.Append(std::move(row));
+      }
+      body.Set("rows", std::move(rows));
+      attempted.fetch_add(1, std::memory_order_seq_cst);
+      auto resp = client.Post("/v1/ingest", body.Dump());
+      if (!resp.ok() || resp->status != 200) {
+        ++failures;
+        return;
+      }
+      auto parsed = net::Client::ParseBody(*resp);
+      if (!parsed.ok() || parsed->Find("version") == nullptr ||
+          parsed->Find("version")->AsNumber() !=
+              static_cast<double>(b + 1)) {
+        ++failures;
+        return;
+      }
+      acked.store(static_cast<uint64_t>(b) + 1, std::memory_order_seq_cst);
+    }
+  });
+
+  std::vector<std::thread> readers;
+  std::vector<double> reader_spent(kReaders, 0.0);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      net::Client client("127.0.0.1", server.port());
+      const std::string tenant = Format("reader-%d", t);
+      for (int i = 0; i < kQueriesPerReader; ++i) {
+        // A unique ε per request keeps every canonical key distinct, so no
+        // answer is ever a replay: each 200 is exactly one ledger spend.
+        const double epsilon = 0.001 * (1 + t * kQueriesPerReader + i);
+        net::Json body = net::Json::Object();
+        body.Set("sql", net::Json::Str(sql));
+        body.Set("epsilon", net::Json::Number(epsilon));
+        body.Set("tenant", net::Json::Str(tenant));
+        const uint64_t lo = acked.load(std::memory_order_seq_cst);
+        auto resp = client.Post("/v1/query", body.Dump());
+        const uint64_t hi = attempted.load(std::memory_order_seq_cst);
+        if (!resp.ok() || resp->status != 200) {
+          ++failures;
+          continue;
+        }
+        auto parsed = net::Client::ParseBody(*resp);
+        if (!parsed.ok() || parsed->Find("epoch") == nullptr) {
+          ++failures;
+          continue;
+        }
+        const double epoch = parsed->Find("epoch")->AsNumber();
+        if (epoch < static_cast<double>(lo) ||
+            epoch > static_cast<double>(hi)) {
+          ++failures;  // an answer from a version that never existed
+          continue;
+        }
+        reader_spent[static_cast<size_t>(t)] += epsilon;
+      }
+    });
+  }
+
+  double batcher_spent = 0.0;
+  std::thread workloads([&] {
+    net::Client client("127.0.0.1", server.port());
+    for (int b = 0; b < kWorkloadBatches; ++b) {
+      net::Json body = net::Json::Object();
+      body.Set("tenant", net::Json::Str("batcher"));
+      net::Json queries = net::Json::Array();
+      double batch_eps = 0.0;
+      for (int k = 0; k < 2; ++k) {
+        const double epsilon = 0.001 * (1000 + b * 2 + k);
+        net::Json entry = net::Json::Object();
+        entry.Set("sql", net::Json::Str(sql));
+        entry.Set("epsilon", net::Json::Number(epsilon));
+        queries.Append(std::move(entry));
+        batch_eps += epsilon;
+      }
+      body.Set("queries", std::move(queries));
+      auto resp = client.Post("/v1/workload", body.Dump());
+      if (!resp.ok() || resp->status != 200) {
+        ++failures;
+        continue;
+      }
+      auto parsed = net::Client::ParseBody(*resp);
+      if (!parsed.ok() || parsed->Find("queries") == nullptr ||
+          parsed->Find("queries")->items().size() != 2) {
+        ++failures;
+        continue;
+      }
+      for (const net::Json& entry : parsed->Find("queries")->items()) {
+        const net::Json* ok = entry.Find("ok");
+        if (ok == nullptr || !ok->AsBool()) ++failures;
+      }
+      batcher_spent += batch_eps;
+    }
+  });
+
+  ingester.join();
+  for (auto& r : readers) r.join();
+  workloads.join();
+  server.Stop();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Exact per-tenant accounting: distinct ε per request means no replays —
+  // the ledger must hold exactly the sum of what each tenant's 200s cost.
+  for (int t = 0; t < kReaders; ++t) {
+    auto acct = service.ledger().Account(Format("reader-%d", t));
+    ASSERT_TRUE(acct.ok());
+    EXPECT_DOUBLE_EQ(acct->spent, reader_spent[static_cast<size_t>(t)]);
+  }
+  auto batcher = service.ledger().Account("batcher");
+  ASSERT_TRUE(batcher.ok());
+  EXPECT_DOUBLE_EQ(batcher->spent, batcher_spent);
+
+  service::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.ingest_batches, static_cast<uint64_t>(kIngestBatches));
+  // Every recompile the hammer needed was either the first compile or a
+  // declined/raced extension; extends + misses covers all fresh scaffolds.
+  EXPECT_GE(stats.plan_cache.extends + stats.plan_cache.misses, 1u);
+}
+
+}  // namespace
+}  // namespace dpstarj

@@ -119,7 +119,12 @@ TEST(PlanCacheTest, InvalidatesWhenATableGrows) {
   auto recompiled = cache.GetOrCompile(*bound);
   ASSERT_TRUE(recompiled.ok());
   EXPECT_NE(recompiled->get(), plan->get());
+  // A grown *dimension* is an identity invalidation — there is no append
+  // path to splice, so the extension counter must stay untouched.
   EXPECT_EQ(cache.GetStats().invalidations, 1u);
+  EXPECT_EQ(cache.GetStats().invalidated_identity, 1u);
+  EXPECT_EQ(cache.GetStats().invalidated_append, 0u);
+  EXPECT_EQ(cache.GetStats().extends, 0u);
 
   auto fresh = executor.Execute(*bound);
   ASSERT_TRUE(fresh.ok());
@@ -128,6 +133,96 @@ TEST(PlanCacheTest, InvalidatesWhenATableGrows) {
                               **recompiled);
   ASSERT_TRUE(got.ok());
   ExpectBitIdentical(*fresh, *got);
+}
+
+TEST(PlanCacheTest, ExtendsInsteadOfInvalidatingWhenOnlyFactGrows) {
+  storage::Catalog catalog = MakeToyCatalog();
+  query::Binder binder(&catalog);
+  PlanCache cache(8);
+  StarJoinExecutor executor;
+
+  auto bound = binder.Bind(ToyCountQuery());
+  ASSERT_TRUE(bound.ok());
+  auto plan = cache.GetOrCompile(*bound);
+  ASSERT_TRUE(plan.ok());
+
+  // Grow only the fact table (the FK resolves to an existing customer): the
+  // stale entry is revalidated by tail extension, not thrown away.
+  auto orders = catalog.GetTable("Orders");
+  ASSERT_TRUE(orders.ok());
+  ASSERT_TRUE(
+      (*orders)
+          ->AppendRow({Value(int64_t{1}), Value(int64_t{1}), Value(int64_t{9}),
+                       Value(90.0)})
+          .ok());
+  auto grown = binder.Bind(ToyCountQuery());
+  ASSERT_TRUE(grown.ok());
+  auto extended = cache.GetOrCompile(*grown);
+  ASSERT_TRUE(extended.ok());
+  EXPECT_NE(extended->get(), plan->get());  // a new immutable plan object
+
+  PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.misses, 1u);  // only the initial compile
+  EXPECT_EQ(stats.hits, 1u);    // the extension counts as a (revalidated) hit
+  EXPECT_EQ(stats.extends, 1u);
+  EXPECT_EQ(stats.invalidations, 0u);
+  EXPECT_EQ(stats.invalidated_append, 0u);
+  EXPECT_EQ(stats.invalidated_identity, 0u);
+
+  // The extended plan answers exactly like the fresh pipeline on the grown
+  // table, and a re-lookup at the same row count is a plain hit on it.
+  auto fresh = executor.Execute(*grown);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->scalar, 3.0);  // appended row: ck=1 (region N) × pk=1 (cat a)
+  auto got = executor.Execute(*grown, PredicateOverrides(grown->dims.size()),
+                              **extended);
+  ASSERT_TRUE(got.ok());
+  ExpectBitIdentical(*fresh, *got);
+  auto again = cache.GetOrCompile(*grown);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->get(), extended->get());
+  EXPECT_EQ(cache.GetStats().hits, 2u);
+  EXPECT_EQ(cache.GetStats().extends, 1u);
+}
+
+TEST(PlanCacheTest, CountsAppendInvalidationWhenExtensionIsDeclined) {
+  storage::Catalog catalog = MakeToyCatalog();
+  query::Binder binder(&catalog);
+  PlanCache cache(8);
+
+  // Group by a fact column so the plan packs qty (fixture range 1..5 →
+  // base 1, 3-bit field) into the group code.
+  query::StarJoinQuery q = ToyCountQuery();
+  q.aggregate = query::AggregateKind::kSum;
+  q.measure_terms = {{"price", 1.0}};
+  q.group_by = {{"Orders", "qty"}};
+  auto bound = binder.Bind(q);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  auto plan = cache.GetOrCompile(*bound);
+  ASSERT_TRUE(plan.ok());
+
+  // qty=9 has ordinal 8 > the field mask 7: the tail cannot be spliced into
+  // the compiled layout, so this append-stale entry must recompile and land
+  // in the *append* invalidation counter.
+  auto orders = catalog.GetTable("Orders");
+  ASSERT_TRUE(orders.ok());
+  ASSERT_TRUE(
+      (*orders)
+          ->AppendRow({Value(int64_t{1}), Value(int64_t{1}), Value(int64_t{9}),
+                       Value(90.0)})
+          .ok());
+  auto grown = binder.Bind(q);
+  ASSERT_TRUE(grown.ok());
+  auto recompiled = cache.GetOrCompile(*grown);
+  ASSERT_TRUE(recompiled.ok());
+  EXPECT_NE(recompiled->get(), plan->get());
+
+  PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.extends, 0u);
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.invalidated_append, 1u);
+  EXPECT_EQ(stats.invalidated_identity, 0u);
 }
 
 TEST(PlanCacheTest, EquivalentSpellingsShareOnePlan) {

@@ -64,6 +64,15 @@ REQUIRED = [
     "dpstarj_queue_depth_sampled",
     "dpstarj_profile_captures_total",
     "dpstarj_profile_samples_total",
+    # Streaming ingest (PR 10): batch/row counters, the service-side apply
+    # histogram, the /v1/ingest end-to-end histogram, and the plan-cache
+    # extend-vs-recompile gauges.
+    "dpstarj_ingest_batches_total",
+    "dpstarj_ingest_rows_total",
+    "dpstarj_ingest_duration_seconds",
+    "dpstarj_ingest_api_duration_seconds",
+    "dpstarj_plan_extends",
+    "dpstarj_plan_recompiles",
 ]
 
 

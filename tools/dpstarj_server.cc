@@ -288,6 +288,61 @@ int RunSelfcheck(const std::string& host, uint16_t port,
     std::fprintf(stderr, "selfcheck: malformed workload body\n");
     return 1;
   }
+  // Streaming-ingest round trip: append two fact rows (all FK values 1 —
+  // every SSB dimension key space is 1-based, so they resolve at any scale
+  // factor), check the epoch advanced, and re-run the query to confirm the
+  // post-append answer is stamped with the new epoch (a fresh DP release;
+  // the plan cache should extend rather than recompile underneath it).
+  net::Json ingest = net::Json::Object();
+  ingest.Set("table", net::Json::Str("Lineorder"));
+  net::Json ingest_rows = net::Json::Array();
+  for (int r = 0; r < 2; ++r) {
+    net::Json row = net::Json::Array();
+    for (double cell : {1e6 + r, 1.0, 1.0, 1.0, 1.0, 5.0, 1234.5, 100.25}) {
+      row.Append(net::Json::Number(cell));
+    }
+    ingest_rows.Append(std::move(row));
+  }
+  ingest.Set("rows", std::move(ingest_rows));
+  auto appended = client.Post("/v1/ingest", ingest.Dump());
+  if (!appended.ok() || appended->status != 200) {
+    std::fprintf(stderr, "selfcheck: ingest failed: %s\n",
+                 appended.ok() ? appended->body.c_str()
+                               : appended.status().ToString().c_str());
+    return 1;
+  }
+  auto ingest_body = net::Client::ParseBody(*appended);
+  if (!ingest_body.ok() || ingest_body->Find("version") == nullptr ||
+      ingest_body->Find("version")->AsNumber() != 1.0 ||
+      ingest_body->Find("appended") == nullptr ||
+      ingest_body->Find("appended")->AsNumber() != 2.0) {
+    std::fprintf(stderr, "selfcheck: malformed ingest body: %s\n",
+                 appended->body.c_str());
+    return 1;
+  }
+  // A short row must be refused whole (400, nothing appended).
+  auto bad = client.Post(
+      "/v1/ingest", "{\"table\":\"Lineorder\",\"rows\":[[1,2,3]]}");
+  if (!bad.ok() || bad->status != 400) {
+    std::fprintf(stderr, "selfcheck: malformed ingest row not rejected\n");
+    return 1;
+  }
+  net::Json requery = net::Json::Object();
+  requery.Set("sql", net::Json::Str(*sql));
+  requery.Set("epsilon", net::Json::Number(0.25));
+  requery.Set("tenant", net::Json::Str("smoke"));
+  auto post_ingest = client.Post("/v1/query", requery.Dump());
+  if (!post_ingest.ok() || post_ingest->status != 200) {
+    std::fprintf(stderr, "selfcheck: post-ingest query failed\n");
+    return 1;
+  }
+  auto post_body = net::Client::ParseBody(*post_ingest);
+  if (!post_body.ok() || post_body->Find("epoch") == nullptr ||
+      post_body->Find("epoch")->AsNumber() != 1.0) {
+    std::fprintf(stderr, "selfcheck: post-ingest answer not at epoch 1: %s\n",
+                 post_ingest->body.c_str());
+    return 1;
+  }
   if (!profile_dump.empty()) {
     // Capture GET /v1/profile while a second thread drives a steady query
     // load, so engine frames actually appear in the folded stacks. The load
@@ -354,7 +409,11 @@ int RunSelfcheck(const std::string& host, uint16_t port,
         "dpstarj_workload_duration_seconds_bucket", "dpstarj_profiler_mode",
         "dpstarj_build_info", "dpstarj_process_uptime_seconds",
         "dpstarj_stage_cycles_total", "dpstarj_stage_task_clock_ns_total",
-        "dpstarj_worker_busy_seconds", "dpstarj_queue_depth_sampled_bucket"}) {
+        "dpstarj_worker_busy_seconds", "dpstarj_queue_depth_sampled_bucket",
+        "dpstarj_ingest_batches_total", "dpstarj_ingest_rows_total",
+        "dpstarj_ingest_duration_seconds_bucket",
+        "dpstarj_ingest_api_duration_seconds_bucket", "dpstarj_plan_extends",
+        "dpstarj_plan_recompiles"}) {
     if (metrics->body.find(needle) == std::string::npos) {
       std::fprintf(stderr, "selfcheck: /metrics missing %s\n", needle);
       return 1;
@@ -386,6 +445,7 @@ int RunSelfcheck(const std::string& host, uint16_t port,
   std::printf("selfcheck: noisy answer %s\n", answer->body.c_str());
   std::printf("selfcheck: workload exec %s\n",
               workload_body->Find("exec")->Dump().c_str());
+  std::printf("selfcheck: ingest %s\n", appended->body.c_str());
   std::printf("selfcheck: account %s\n", account->body.c_str());
   std::printf("selfcheck: /metrics OK (%zu bytes)\n", metrics->body.size());
   return 0;
@@ -462,6 +522,9 @@ int main(int argc, char** argv) {
   }
   std::printf("dpstarj-server listening on http://%s:%u (engines=%d, queue=%d)\n",
               server.host().c_str(), server.port(), flags.engines, flags.queue);
+  // Supervisors (tools/fuzz_ingest.py, smoke scripts) scrape this line from a
+  // pipe to learn the ephemeral port; don't let stdio buffer it indefinitely.
+  std::fflush(stdout);
 
   std::thread selfcheck;
   int selfcheck_rc = 0;
